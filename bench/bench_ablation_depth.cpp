@@ -1,0 +1,63 @@
+// Depth-propagation ablation (extension): how does attention approximation
+// error compound through a stack of layers? The paper evaluates 32-layer
+// models end to end but reports only task accuracy; this measures the
+// hidden-state divergence directly, layer by layer.
+#include <cstdio>
+
+#include "attention/turbo_method.h"
+#include "baselines/fp16_method.h"
+#include "baselines/kivi.h"
+#include "bench/task_methods.h"
+#include "model/deep.h"
+#include "model/profile.h"
+
+int main() {
+  using namespace turbo;
+  using namespace turbo::model;
+
+  ModelProfile profile = llama3_8b_profile();
+  DeepConfig cfg;
+  cfg.layers = 8;
+  cfg.tokens = 128;
+
+  struct Row {
+    const char* label;
+    KvAttentionFactory factory;
+  };
+  const Row rows[] = {
+      {"Flash-FP16", make_fp16_factory({})},
+      {"KIVI-4", bench::kivi_method(BitWidth::kInt4, profile.head_dim)
+                     .factory},
+      {"Turbo-4", bench::turbo_method(BitWidth::kInt4).factory},
+      {"Turbo-2", bench::turbo_method(BitWidth::kInt2).factory},
+  };
+
+  std::printf("=== Depth ablation: hidden-state relative divergence vs "
+              "exact, per layer (%s profile, %zu tokens) ===\n\n",
+              profile.name.c_str(), cfg.tokens);
+  std::printf("%12s |", "method");
+  for (std::size_t l = 1; l <= cfg.layers; ++l) {
+    std::printf("   L%zu    ", l);
+  }
+  std::printf("\n");
+
+  for (const Row& row : rows) {
+    const DepthDivergence d =
+        measure_depth_divergence(profile, row.factory, cfg);
+    std::printf("%12s |", row.label);
+    for (double e : d.per_layer) {
+      std::printf(" %8.4f", e);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nExpected: FP16 divergence stays at rounding level; "
+              "quantized methods grow for the first few layers and then "
+              "*saturate* — the residual stream plus RMS norm are "
+              "contractive, so per-layer attention error does not compound "
+              "unboundedly. This is the mechanism that lets 4-bit KV "
+              "caches stay near-lossless through 32-layer models (Table "
+              "2), and why 2-bit (4x the per-layer error) still plateaus "
+              "rather than diverging.\n");
+  return 0;
+}

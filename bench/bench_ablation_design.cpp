@@ -1,0 +1,178 @@
+// Design-choice ablations (DESIGN.md §5) — not a paper table, but the
+// quantified justification for each of FlashQ's design decisions:
+//
+//  1. Integer vs float second-stage scales: what accuracy does the
+//     integer decode path cost?
+//  2. SAS sparsification threshold n_r: LUT size vs softmax error.
+//  3. Universal clamped buffer scale vs per-token rescaling: what does
+//     never-recompress cost on drifting token magnitudes?
+//  4. Second-stage grouping axis: channel-wise vs token-wise on the
+//     INT8 domain (the Figure 10 question, asked inside FlashQ).
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kvcache/decode_buffer.h"
+#include "model/generator.h"
+#include "quant/progressive.h"
+#include "softmax/sas.h"
+#include "softmax/softmax.h"
+
+namespace {
+
+using namespace turbo;
+using namespace turbo::model;
+
+void ablation_integer_scales() {
+  std::printf("-- 1. Second-stage scales: integer (FlashQ) vs float "
+              "(KIVI-style) --\n");
+  std::printf("%-16s %4s  %14s  %14s  %10s\n", "profile", "bits",
+              "int-scale RMSE", "float-scale RMSE", "premium");
+  for (const ModelProfile& profile :
+       {llama3_8b_profile(), phi3_mini_profile()}) {
+    QkvGenerator gen(profile, 99);
+    for (BitWidth bits : {BitWidth::kInt4, BitWidth::kInt2}) {
+      double int_err = 0.0;
+      double float_err = 0.0;
+      for (std::size_t h = 0; h < profile.heads; ++h) {
+        const HeadTensors t = gen.generate_head(h, 256);
+        for (std::size_t begin = 0; begin + 64 <= t.k.rows(); begin += 64) {
+          const MatrixF tile = t.k.block_rows(begin, 64);
+          const Int8Tile q1 = quantize_tile_int8(tile);
+          const ProgressiveBlock pb =
+              progressive_compress(q1.q, q1.scale, bits);
+          const FloatScaleBlock fb =
+              float_scale_compress(q1.q, q1.scale, bits);
+          int_err += rmse(tile, progressive_decompress_float(pb));
+          float_err += rmse(tile, float_scale_decompress_float(fb));
+        }
+      }
+      std::printf("%-16s %4d  %14.5f  %14.5f  %9.1f%%\n",
+                  profile.name.c_str(), bit_count(bits), int_err,
+                  float_err, 100.0 * (int_err / float_err - 1.0));
+    }
+  }
+  std::printf("The integer-scale premium is the price of the INT->INT8 "
+              "decode path (no FP dequantization kernel).\n\n");
+}
+
+void ablation_sas_threshold() {
+  std::printf("-- 2. SAS threshold n_r: LUT size vs softmax error --\n");
+  std::printf("%6s  %9s  %16s\n", "n_r", "LUT size", "softmax max err");
+  Rng rng(7);
+  MatrixF scores(64, 256);
+  rng.fill_normal(scores.flat(), 0.0, 3.0);
+  const MatrixF exact = softmax_rows(scores);
+  for (int n_r : {-3, -4, -6, -8, -10, -14}) {
+    const Sas sas(SasConfig{.threshold = n_r});
+    const MatrixF approx = sas.softmax(scores);
+    std::printf("%6d  %9zu  %16.2e\n", n_r, sas.lut().size(),
+                max_abs_error(approx, exact));
+  }
+  std::printf("Sparsification error shrinks ~e^{n_r} until the POLY/FP16 "
+              "floor (~1e-4) near n_r = -14. The paper's n_r = -6 keeps "
+              "the LUT at 8 entries; Table 4 shows the residual softmax "
+              "error is already below task-level resolution there.\n\n");
+}
+
+void ablation_buffer_scale() {
+  std::printf("-- 3. Decode buffer: universal clamped scale vs per-token "
+              "rescaling --\n");
+  std::printf("%14s  %18s  %18s  %8s\n", "drift/token", "universal RMSE",
+              "per-token RMSE", "clamped");
+  const std::size_t dim = 64;
+  const std::size_t tokens = 64;
+  for (double drift : {0.0, 0.01, 0.03, 0.1}) {
+    Rng rng(11);
+    DecodeBuffer buf(tokens, dim);
+    buf.seed_scale(4.0f);  // from prefill statistics
+    double uni_sq = 0.0;
+    double per_sq = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = 0; t < tokens; ++t) {
+      std::vector<float> v(dim);
+      const double scale_up = 1.0 + drift * static_cast<double>(t);
+      rng.fill_normal(v, 0.0, scale_up);
+      buf.push(v);
+      // Per-token alternative: fresh symmetric scale for this token.
+      const float s = symmetric_scale_int8(v);
+      std::vector<std::int8_t> q(dim);
+      quantize_symmetric_int8(v, s, q);
+      for (std::size_t c = 0; c < dim; ++c) {
+        const double u =
+            static_cast<double>(buf.tokens()(t, c)) * buf.scale() - v[c];
+        const double p = static_cast<double>(q[c]) * s - v[c];
+        uni_sq += u * u;
+        per_sq += p * p;
+        ++n;
+      }
+    }
+    std::printf("%14.2f  %18.5f  %18.5f  %7zu\n", drift,
+                std::sqrt(uni_sq / n), std::sqrt(per_sq / n),
+                buf.clamped_token_count());
+  }
+  std::printf("With stationary magnitudes the universal scale costs ~1.5x "
+              "RMSE vs per-token rescaling (a coarser but shared grid); "
+              "under magnitude drift it degrades through clamping — the "
+              "price section 3.3 accepts for never recompressing and for "
+              "keeping the buffer INT8-attendable.\n\n");
+}
+
+void ablation_grouping_axis() {
+  std::printf("-- 4. Second-stage axis on the INT8 domain: channel vs "
+              "token --\n");
+  std::printf("%-16s %4s  %12s  %12s\n", "profile", "bits", "channelwise",
+              "tokenwise");
+  for (const ModelProfile& profile :
+       {llama3_8b_profile(), phi3_mini_profile()}) {
+    QkvGenerator gen(profile, 31);
+    for (BitWidth bits : {BitWidth::kInt4, BitWidth::kInt2}) {
+      double ch_err = 0.0;
+      double tok_err = 0.0;
+      for (std::size_t h = 0; h < profile.heads; ++h) {
+        const HeadTensors t = gen.generate_head(h, 256);
+        for (std::size_t begin = 0; begin + 64 <= t.v.rows(); begin += 64) {
+          const MatrixF tile = t.v.block_rows(begin, 64);
+          const Int8Tile q1 = quantize_tile_int8(tile);
+          // Channelwise: the shipped implementation.
+          const ProgressiveBlock ch =
+              progressive_compress(q1.q, q1.scale, bits);
+          ch_err += rmse(tile, progressive_decompress_float(ch));
+          // Tokenwise: transpose the tile so rows become channels.
+          MatrixI8 q1t(q1.q.cols(), q1.q.rows());
+          for (std::size_t r = 0; r < q1.q.rows(); ++r) {
+            for (std::size_t c = 0; c < q1.q.cols(); ++c) {
+              q1t(c, r) = q1.q(r, c);
+            }
+          }
+          const ProgressiveBlock tok =
+              progressive_compress(q1t, q1.scale, bits);
+          const MatrixF back_t = progressive_decompress_float(tok);
+          MatrixF back(tile.rows(), tile.cols());
+          for (std::size_t r = 0; r < tile.rows(); ++r) {
+            for (std::size_t c = 0; c < tile.cols(); ++c) {
+              back(r, c) = back_t(c, r);
+            }
+          }
+          tok_err += rmse(tile, back);
+        }
+      }
+      std::printf("%-16s %4d  %12.5f  %12.5f\n", profile.name.c_str(),
+                  bit_count(bits), ch_err, tok_err);
+    }
+  }
+  std::printf("Channel-wise grouping wins inside the INT8 domain too — "
+              "Eq. 10's choice.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Design-choice ablations (DESIGN.md §5) ===\n\n");
+  ablation_integer_scales();
+  ablation_sas_threshold();
+  ablation_buffer_scale();
+  ablation_grouping_axis();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 10 — quantization error of channel-wise vs token-wise grouped
+// quantization on the value cache.
+//
+// Two views: raw RMSE (dominated by the outlier channels' absolute errors
+// under every scheme) and channel-normalized error (per-channel RMSE over
+// channel stddev) — the latter exposes the mechanism: token-wise groups
+// inherit the row's outlier-dominated step size, so the *normal* channels
+// are quantized far too coarsely. FlashQ's two-stage pipeline is included
+// for context.
+#include <cstdio>
+
+#include "model/generator.h"
+#include "quant/error.h"
+
+int main() {
+  using namespace turbo;
+  using namespace turbo::model;
+
+  std::printf("=== Figure 10 reproduction: group-quantization error, "
+              "channelwise vs tokenwise (group 64) ===\n");
+  std::printf("simulated 512-token value caches, averaged over heads\n\n");
+
+  for (const char* metric : {"raw RMSE", "channel-normalized error"}) {
+    const bool normalized = metric[0] == 'c';
+    std::printf("-- %s --\n", metric);
+    std::printf("%-16s %4s  %12s  %12s  %12s\n", "profile", "bits",
+                "channelwise", "tokenwise", "FlashQ(2stage)");
+    for (const ModelProfile& profile :
+         {llama3_8b_profile(), phi3_mini_profile()}) {
+      QkvGenerator gen(profile, 777);
+      for (BitWidth bits : {BitWidth::kInt4, BitWidth::kInt2}) {
+        double ch = 0.0;
+        double tok = 0.0;
+        double prog = 0.0;
+        for (std::size_t h = 0; h < profile.heads; ++h) {
+          const HeadTensors t = gen.generate_head(h, 512);
+          if (normalized) {
+            ch += grouped_quant_normalized_error(t.v, bits, 64,
+                                                 QuantAxis::kChannel);
+            tok += grouped_quant_normalized_error(t.v, bits, 64,
+                                                  QuantAxis::kToken);
+            prog += progressive_quant_normalized_error(t.v, bits, 64);
+          } else {
+            ch += grouped_quant_rmse(t.v, bits, 64, QuantAxis::kChannel);
+            tok += grouped_quant_rmse(t.v, bits, 64, QuantAxis::kToken);
+            prog += progressive_quant_rmse(t.v, bits, 64);
+          }
+        }
+        const double n = static_cast<double>(profile.heads);
+        std::printf("%-16s %4d  %12.4f  %12.4f  %12.4f\n",
+                    profile.name.c_str(), bit_count(bits), ch / n, tok / n,
+                    prog / n);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected: in the normalized view channelwise << tokenwise, "
+              "with the widest gap on Phi-3 (channel-outlier-heavy "
+              "values); FlashQ tracks the float channelwise quantizer "
+              "while keeping an integer-arithmetic decode path.\n");
+  return 0;
+}

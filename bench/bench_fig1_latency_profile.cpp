@@ -1,0 +1,128 @@
+// Figure 1 — latency profile of Phi3-medium on an A100-80GB.
+//
+//  (a) Attention's share of end-to-end generation time as the prompt
+//      grows (prompt:output = 8:1).
+//  (b) Decode attention-kernel timeshare per method: where KV-compression
+//      baselines lose their bandwidth savings to dequantization.
+//  (c) End-to-end inference timeshare per method.
+#include <cstdio>
+
+#include "sim/e2e_model.h"
+
+namespace {
+
+using namespace turbo::sim;
+
+InferenceConfig make_config(AttnMethod m, double bits, std::size_t batch,
+                            std::size_t prompt, std::size_t gen) {
+  InferenceConfig c;
+  c.method = m;
+  c.attention.kv_bits = bits;
+  c.batch = batch;
+  c.prompt = prompt;
+  c.generate = gen;
+  return c;
+}
+
+struct MethodRow {
+  AttnMethod method;
+  double bits;
+};
+
+constexpr MethodRow kMethods[] = {
+    {AttnMethod::kFlashFp16, 16.0},
+    {AttnMethod::kKiviFlash, 4.0},
+    {AttnMethod::kGearFlash, 4.0},
+    {AttnMethod::kTurbo, 3.0},
+};
+
+void figure_1a(const DeviceSpec& dev, const ModelGeometry& geom) {
+  std::printf("-- Figure 1a: attention share of end-to-end latency "
+              "(prompt:output = 8:1, batch 1, %s) --\n", geom.name.c_str());
+  std::printf("%10s  %22s  %12s  %12s\n", "prompt", "method", "total(s)",
+              "attn share");
+  for (std::size_t prompt : {1024u, 4096u, 16384u, 40960u, 81920u}) {
+    for (const MethodRow& m : kMethods) {
+      const InferenceConfig cfg =
+          make_config(m.method, m.bits, 1, prompt, prompt / 8);
+      // Whole generation: prefill + decode steps, each decomposed.
+      const E2EBreakdown pre = prefill_breakdown(dev, geom, cfg);
+      const E2EBreakdown dec =
+          decode_step_breakdown(dev, geom, cfg, prompt + prompt / 16);
+      const double steps = static_cast<double>(cfg.generate);
+      const double total = pre.total() + dec.total() * steps;
+      const double attn = pre.attention() + dec.attention() * steps;
+      std::printf("%10zu  %22s  %12.3f  %11.1f%%\n", prompt,
+                  attn_method_name(m.method).data(), total,
+                  100.0 * attn / total);
+    }
+  }
+}
+
+void figure_1b(const DeviceSpec& dev, const ModelGeometry& geom) {
+  std::printf("\n-- Figure 1b: decode attention-kernel timeshare "
+              "(context 8k, batch 4) --\n");
+  std::printf("%22s  %10s  %10s  %10s  %10s  %10s  %10s\n", "method",
+              "total(ms)", "matmul", "softmax", "kv-load", "dequant",
+              "other");
+  AttnShape shape;
+  shape.batch = 4;
+  shape.heads = geom.heads;
+  shape.kv_heads = geom.kv_heads;
+  shape.q_len = 1;
+  shape.kv_len = 8192;
+  shape.head_dim = geom.head_dim;
+  for (const MethodRow& m : kMethods) {
+    AttnCostConfig cfg;
+    cfg.kv_bits = m.bits;
+    const PhaseBreakdown b =
+        attention_decode_cost(dev, m.method, shape, cfg);
+    const double total = b.total();
+    auto pct = [total](double x) { return 100.0 * x / total; };
+    std::printf("%22s  %10.3f  %9.1f%%  %9.1f%%  %9.1f%%  %9.1f%%  %9.1f%%\n",
+                attn_method_name(m.method).data(), total * 1e3,
+                pct(b.qk_matmul + b.pv_matmul), pct(b.softmax), pct(b.kv_io),
+                pct(b.dequant + b.serialized), pct(b.quantize + b.launch));
+  }
+  std::printf("(fused kernels overlap compute with kv-load; shares can "
+              "exceed 100%%)\n");
+}
+
+void figure_1c(const DeviceSpec& dev, const ModelGeometry& geom) {
+  std::printf("\n-- Figure 1c: end-to-end inference timeshare "
+              "(prompt 8k, generate 1k, batch 4) --\n");
+  std::printf("%22s  %10s  %8s  %8s  %8s  %8s  %8s\n", "method", "total(s)",
+              "linear", "matmul", "softmax", "kv+deq", "other");
+  for (const MethodRow& m : kMethods) {
+    const InferenceConfig cfg = make_config(m.method, m.bits, 4, 8192, 1024);
+    const E2EBreakdown pre = prefill_breakdown(dev, geom, cfg);
+    const E2EBreakdown dec = decode_step_breakdown(dev, geom, cfg, 8704);
+    const double steps = static_cast<double>(cfg.generate);
+    auto sum = [&](auto f) { return f(pre) + f(dec) * steps; };
+    const double total = sum([](const E2EBreakdown& b) { return b.total(); });
+    auto pct = [&](auto f) { return 100.0 * sum(f) / total; };
+    std::printf(
+        "%22s  %10.2f  %7.1f%%  %7.1f%%  %7.1f%%  %7.1f%%  %7.1f%%\n",
+        attn_method_name(m.method).data(), total,
+        pct([](const E2EBreakdown& b) { return b.linear; }),
+        pct([](const E2EBreakdown& b) { return b.attn_matmul; }),
+        pct([](const E2EBreakdown& b) { return b.attn_softmax; }),
+        pct([](const E2EBreakdown& b) {
+          return b.attn_kv_io + b.attn_dequant;
+        }),
+        pct([](const E2EBreakdown& b) { return b.attn_other; }));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry geom = phi3_medium_geometry();
+  std::printf("=== Figure 1 reproduction: %s on %s (analytical model) ===\n\n",
+              geom.name.c_str(), dev.name.c_str());
+  figure_1a(dev, geom);
+  figure_1b(dev, geom);
+  figure_1c(dev, geom);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 4 — Q/K/V channel min-max distributions of Phi3-mini and
+// LLaMA3-8B: certain heads carry large-magnitude channels in Q/K; Phi-3's
+// value cache shows pronounced channel outliers.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "model/generator.h"
+
+namespace {
+
+using namespace turbo;
+using namespace turbo::model;
+
+void report_tensor(const char* label, const MatrixF& m) {
+  const auto mm = channel_min_max(m);
+  std::vector<float> gaps;
+  gaps.reserve(mm.size());
+  for (const auto& c : mm) gaps.push_back(c.gap());
+  std::printf("    %-6s channel-gap p50=%6.2f  p95=%6.2f  max=%6.2f\n",
+              label, percentile(gaps, 50), percentile(gaps, 95),
+              percentile(gaps, 100));
+}
+
+void profile_report(const ModelProfile& profile) {
+  std::printf("\n-- %s (%zu heads x %zu dims, 512 tokens) --\n",
+              profile.name.c_str(), profile.heads, profile.head_dim);
+  QkvGenerator gen(profile, /*seed=*/42);
+  for (std::size_t h = 0; h < profile.heads; ++h) {
+    const HeadTensors t = gen.generate_head(h, 512);
+    std::printf("  head %zu\n", h);
+    report_tensor("query", t.q);
+    report_tensor("key", t.k);
+    report_tensor("value", t.v);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4 reproduction: Q/K/V channel min-max "
+              "distributions (synthetic profiles) ===\n");
+  profile_report(phi3_mini_profile());
+  profile_report(llama3_8b_profile());
+  std::printf("\nExpected structure: later heads carry heavier channel "
+              "outliers in Q/K;\nPhi-3's value channels show far larger "
+              "gaps than LLaMA-3's.\n");
+  return 0;
+}

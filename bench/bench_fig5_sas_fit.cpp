@@ -1,0 +1,53 @@
+// Figure 5 — polynomial fit of the fractional exponent.
+//
+// Prints POLY(t) against e^{-t} over [0, 1] (the figure's curve) and the
+// end-to-end SAS error over the full active range [n_r, 0].
+#include <cmath>
+#include <cstdio>
+
+#include "softmax/sas.h"
+
+int main() {
+  using turbo::Sas;
+  using turbo::SasConfig;
+
+  std::printf("=== Figure 5 reproduction: POLY(t) vs e^{-t} on [0, 1] ===\n");
+  std::printf("%8s  %12s  %12s  %12s\n", "t", "exp(-t)", "POLY(t)",
+              "abs err");
+  double max_err = 0.0;
+  double sum_err = 0.0;
+  const int samples = 1000;
+  for (int i = 0; i <= samples; ++i) {
+    const float t = static_cast<float>(i) / samples;
+    const double exact = std::exp(-static_cast<double>(t));
+    const double approx = Sas::poly(t);
+    const double err = std::abs(approx - exact);
+    max_err = std::max(max_err, err);
+    sum_err += err;
+    if (i % 100 == 0) {
+      std::printf("%8.2f  %12.6f  %12.6f  %12.2e\n", t, exact, approx, err);
+    }
+  }
+  std::printf("max |err| = %.2e, mean |err| = %.2e over %d samples\n",
+              max_err, sum_err / (samples + 1), samples + 1);
+
+  std::printf("\n=== SAS end-to-end: LUT x POLY over [n_r, 0] ===\n");
+  std::printf("%22s  %12s  %12s\n", "config", "max abs err", "tail cutoff");
+  for (int threshold : {-4, -6, -8}) {
+    for (bool fp16 : {false, true}) {
+      const Sas sas(SasConfig{.threshold = threshold,
+                              .fp16_arithmetic = fp16});
+      double worst = 0.0;
+      for (int i = 0; i <= 2000; ++i) {
+        const float x =
+            static_cast<float>(threshold) * static_cast<float>(i) / 2000.0f;
+        worst = std::max(worst, std::abs(static_cast<double>(sas.exp_neg(x)) -
+                                         std::exp(static_cast<double>(x))));
+      }
+      std::printf("  n_r=%3d %s  %12.2e  %12.2e\n", threshold,
+                  fp16 ? "fp16" : "fp32", worst,
+                  std::exp(static_cast<double>(threshold)));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Figure 6 — attention-mechanism speedup over FlashAttention-FP16 for
+// Phi3-medium on an A100-80GB: prefill and decode, swept over batch size
+// (context 1k) and context length (batch 4). OOM marks configurations
+// whose FP16 KV cache (+weights) exceeds device memory.
+#include <cstdio>
+#include <vector>
+
+#include "sim/e2e_model.h"
+
+namespace {
+
+using namespace turbo::sim;
+
+struct MethodRow {
+  AttnMethod method;
+  double bits;
+  const char* label;
+};
+
+constexpr MethodRow kMethods[] = {
+    {AttnMethod::kKiviFlash, 4.0, "KIVI-4+Flash"},
+    {AttnMethod::kGearFlash, 4.0, "GEAR-4+Flash"},
+    {AttnMethod::kTurbo, 4.0, "Turbo-4"},
+    {AttnMethod::kTurbo, 3.0, "Turbo-2/4mix"},
+};
+
+bool oom(const DeviceSpec& dev, const ModelGeometry& geom, AttnMethod m,
+         double bits, std::size_t batch, std::size_t ctx) {
+  InferenceConfig c;
+  c.method = m;
+  c.attention.kv_bits = bits;
+  c.batch = batch;
+  c.prompt = ctx;
+  c.generate = 0;
+  return !memory_use(dev, geom, c).fits;
+}
+
+void sweep(const DeviceSpec& dev, const ModelGeometry& geom, bool prefill,
+           const std::vector<std::pair<std::size_t, std::size_t>>& configs,
+           const char* title) {
+  std::printf("\n-- %s --\n", title);
+  std::printf("%8s %8s  %14s |", "batch", "ctx", "Flash-FP16(ms)");
+  for (const MethodRow& m : kMethods) std::printf(" %13s", m.label);
+  std::printf("\n");
+
+  for (const auto& [batch, ctx] : configs) {
+    AttnShape shape;
+    shape.batch = batch;
+    shape.heads = geom.heads;
+    shape.kv_heads = geom.kv_heads;
+    shape.head_dim = geom.head_dim;
+    shape.q_len = prefill ? ctx : 1;
+    shape.kv_len = ctx;
+
+    AttnCostConfig base_cfg;
+    base_cfg.kv_bits = 16.0;
+    const double base =
+        (prefill
+             ? attention_prefill_cost(dev, AttnMethod::kFlashFp16, shape,
+                                      base_cfg)
+             : attention_decode_cost(dev, AttnMethod::kFlashFp16, shape,
+                                     base_cfg))
+            .total();
+    const bool base_oom =
+        oom(dev, geom, AttnMethod::kFlashFp16, 16.0, batch, ctx);
+    if (base_oom) {
+      std::printf("%8zu %8zu  %14s |", batch, ctx, "OOM");
+    } else {
+      std::printf("%8zu %8zu  %14.3f |", batch, ctx, base * 1e3);
+    }
+
+    for (const MethodRow& m : kMethods) {
+      if (oom(dev, geom, m.method, m.bits, batch, ctx)) {
+        std::printf(" %13s", "OOM");
+        continue;
+      }
+      AttnCostConfig cfg;
+      cfg.kv_bits = m.bits;
+      const double t =
+          (prefill ? attention_prefill_cost(dev, m.method, shape, cfg)
+                   : attention_decode_cost(dev, m.method, shape, cfg))
+              .total();
+      if (base_oom) {
+        std::printf(" %10.3fms", t * 1e3);
+      } else {
+        std::printf(" %12.2fx", base / t);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry geom = phi3_medium_geometry();
+  std::printf("=== Figure 6 reproduction: attention speedup vs "
+              "FlashAttention-FP16 (%s, %s) ===\n",
+              geom.name.c_str(), dev.name.c_str());
+  std::printf("Values are speedup factors over the FP16 baseline "
+              "(absolute ms when the baseline itself is OOM).\n");
+
+  const std::vector<std::pair<std::size_t, std::size_t>> batch_sweep = {
+      {1, 1024}, {4, 1024}, {16, 1024}, {64, 1024}};
+  const std::vector<std::pair<std::size_t, std::size_t>> ctx_sweep = {
+      {4, 4096}, {4, 8192}, {4, 16384}, {4, 32768}};
+
+  sweep(dev, geom, /*prefill=*/true, batch_sweep,
+        "Prefill, batch sweep @ context 1k");
+  sweep(dev, geom, /*prefill=*/true, ctx_sweep,
+        "Prefill, context sweep @ batch 4");
+  sweep(dev, geom, /*prefill=*/false, batch_sweep,
+        "Decode, batch sweep @ context 1k");
+  sweep(dev, geom, /*prefill=*/false, ctx_sweep,
+        "Decode, context sweep @ batch 4");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figures 8 & 9 — value-cache min-max gap distributions, channel-wise vs
+// token-wise, for LLaMA3-8B and Phi3-mini. The Appendix D observation:
+// channel gaps dominate token gaps, with Phi-3 far more extreme — which is
+// why token-wise value quantization (KIVI/GEAR) underperforms on Phi-3.
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "model/generator.h"
+
+namespace {
+
+using namespace turbo;
+using namespace turbo::model;
+
+void report(const ModelProfile& profile) {
+  QkvGenerator gen(profile, /*seed=*/1234);
+  std::vector<float> channel_gaps;
+  std::vector<float> token_gaps;
+  for (std::size_t h = 0; h < profile.heads; ++h) {
+    const HeadTensors t = gen.generate_head(h, 512);
+    for (const auto& mm : channel_min_max(t.v)) {
+      channel_gaps.push_back(mm.gap());
+    }
+    for (const auto& mm : token_min_max(t.v)) {
+      token_gaps.push_back(mm.gap());
+    }
+  }
+  std::printf("\n-- %s value cache (all heads, 512 tokens) --\n",
+              profile.name.c_str());
+  std::printf("%12s  %8s  %8s  %8s  %8s\n", "axis", "p50", "p90", "p99",
+              "max");
+  for (const auto& [label, gaps] :
+       {std::pair<const char*, std::vector<float>&>{"channelwise",
+                                                    channel_gaps},
+        {"tokenwise", token_gaps}}) {
+    std::printf("%12s  %8.2f  %8.2f  %8.2f  %8.2f\n", label,
+                percentile(gaps, 50), percentile(gaps, 90),
+                percentile(gaps, 99), percentile(gaps, 100));
+  }
+  std::printf("  channel-tail dominance (p99/p50, channelwise) = %.2f\n",
+              percentile(channel_gaps, 99) / percentile(channel_gaps, 50));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figures 8/9 reproduction: value-cache min-max gap "
+              "distributions ===\n");
+  report(llama3_8b_profile());  // Figure 8
+  report(phi3_mini_profile());  // Figure 9
+  std::printf("\nExpected: a heavy channel-wise tail for both models "
+              "(p99 >> p50 along channels but not tokens), far more "
+              "extreme on Phi-3 — its channelwise p99 is several times "
+              "LLaMA-3's.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Serving-level extension experiment (not a paper figure): the paper's
+// kernel-level wins, run through a continuous-batching serving simulator
+// under Poisson load. Shows how attention latency + KV footprint translate
+// into fleet metrics: sustained throughput, time-to-first-token tails, and
+// the load each method sustains before queueing collapse.
+#include <cstdio>
+
+#include "serving/engine.h"
+#include "serving/metrics.h"
+#include "serving/trace.h"
+
+int main() {
+  using namespace turbo::serving;
+  using turbo::sim::AttnMethod;
+
+  struct MethodRow {
+    AttnMethod method;
+    double bits;
+    const char* label;
+  };
+  const MethodRow methods[] = {
+      {AttnMethod::kFlashFp16, 16.0, "Flash-FP16"},
+      {AttnMethod::kKiviFlash, 4.0, "KIVI-4"},
+      {AttnMethod::kTurbo, 4.0, "Turbo-4"},
+      {AttnMethod::kTurbo, 3.0, "Turbo-2/4mix"},
+  };
+
+  std::printf("=== Serving simulation: Phi3-medium on A100-80GB, "
+              "continuous batching, Poisson arrivals ===\n");
+  std::printf("trace: 60 s, lognormal prompts (median ~490 tok) and "
+              "generations (median ~120 tok)\n\n");
+
+  for (double rate : {2.0, 6.0, 12.0}) {
+    TraceConfig t;
+    t.arrival_rate = rate;
+    t.duration_s = 60.0;
+    const auto trace = generate_trace(t);
+    std::printf("-- arrival rate %.0f req/s (%zu requests) --\n", rate,
+                trace.size());
+    std::printf("%14s  %9s  %9s  %9s  %9s  %9s  %6s\n", "method", "tok/s",
+                "TTFT p50", "TTFT p99", "TPOT p50", "e2e p99", "batch");
+    for (const MethodRow& m : methods) {
+      EngineConfig cfg;
+      cfg.device = turbo::sim::a100_sxm_80gb();
+      cfg.geometry = turbo::sim::phi3_medium_geometry();
+      cfg.method = m.method;
+      cfg.attention.kv_bits = m.bits;
+      const ServingMetrics s = summarize(run_engine(cfg, trace));
+      std::printf("%14s  %9.0f  %8.2fs  %8.2fs  %8.0fms  %8.1fs  %6zu\n",
+                  m.label, s.output_tokens_per_s, s.ttft_p50, s.ttft_p99,
+                  s.tpot_p50 * 1e3, s.e2e_p99, s.peak_batch);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected: at low load all methods are similar; as load "
+              "grows, FP16 hits its KV memory wall first — queueing "
+              "inflates its TTFT tail while the compressed methods keep "
+              "admitting. KIVI pays its dequant pass in TPOT.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// What-if hardware study (extension, not a paper figure): does
+// TurboAttention's advantage persist across devices and tensor-parallel
+// configurations? The paper evaluates a single A100; this sweep runs the
+// same Figure-6-style decode comparison on an H100, a bandwidth-starved
+// A100-PCIe, and 2/4-way tensor parallelism.
+#include <cstdio>
+
+#include "sim/parallel.h"
+
+int main() {
+  using namespace turbo::sim;
+
+  const ModelGeometry geom = phi3_medium_geometry();
+
+  std::printf("=== What-if: decode attention speedup of TurboAttention "
+              "(3-bit mix) vs FlashAttention-FP16 ===\n");
+  std::printf("%s, batch 8, context sweep; speedups of the full decode "
+              "step (linear + attention)\n\n", geom.name.c_str());
+  std::printf("%-16s %5s |", "device", "TP");
+  for (std::size_t ctx : {2048u, 8192u, 32768u}) {
+    std::printf("   ctx %6zu", ctx);
+  }
+  std::printf("\n");
+
+  const DeviceSpec devices[] = {a100_sxm_80gb(), a100_pcie_40gb(),
+                                h100_sxm_80gb()};
+  for (const DeviceSpec& dev : devices) {
+    for (std::size_t gpus : {1u, 2u, 4u}) {
+      TensorParallelConfig tp;
+      tp.gpus = gpus;
+      std::printf("%-16s %5zu |", dev.name.c_str(), gpus);
+      for (std::size_t ctx : {2048u, 8192u, 32768u}) {
+        InferenceConfig fp16;
+        fp16.method = AttnMethod::kFlashFp16;
+        fp16.attention.kv_bits = 16;
+        fp16.batch = 8;
+        fp16.prompt = ctx;
+        InferenceConfig turbo = fp16;
+        turbo.method = AttnMethod::kTurbo;
+        turbo.attention.kv_bits = 3;
+        const double t_fp16 =
+            decode_step_breakdown_tp(dev, geom, fp16, ctx, tp).total();
+        const double t_turbo =
+            decode_step_breakdown_tp(dev, geom, turbo, ctx, tp).total();
+        std::printf("      %5.2fx", t_fp16 / t_turbo);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected: the advantage grows with context (attention "
+              "share grows) and on bandwidth-starved parts (PCIe), and "
+              "shrinks as tensor parallelism dilutes per-GPU attention "
+              "behind the all-reduces — but never inverts.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Accuracy explorer: sweep methods x bit-widths on one proxy task.
+//
+// A smaller, faster version of the Table 2 bench meant for interactive
+// exploration when tuning a deployment's compression setting: prints
+// accuracy and measured KV bytes/token per configuration.
+#include <cstdio>
+
+#include "bench/task_methods.h"
+#include "model/profile.h"
+#include "tasks/retrieval.h"
+
+int main() {
+  using namespace turbo;
+  using namespace turbo::bench;
+  using namespace turbo::tasks;
+
+  model::ModelProfile profile = model::llama3_8b_profile();
+  RetrievalConfig task = gsm8k_proxy(profile);
+  task.n_cases = 16;  // interactive-speed subset
+
+  std::printf("=== Accuracy sweep: %s on %s ===\n\n", task.name.c_str(),
+              profile.name.c_str());
+  std::printf("%-24s %6s  %10s  %14s\n", "method", "bits", "accuracy",
+              "KV bytes/token");
+
+  std::vector<NamedFactory> suite = {
+      fp16_method(),
+      turbo_method(BitWidth::kInt4),
+      turbo_method(BitWidth::kInt3),
+      turbo_method(BitWidth::kInt2),
+      turbo_mixed_method(task, profile.heads / 2),
+      kivi_method(BitWidth::kInt4, profile.head_dim),
+      kivi_method(BitWidth::kInt2, profile.head_dim),
+      gear_method(BitWidth::kInt4, profile.head_dim),
+  };
+
+  for (const NamedFactory& f : suite) {
+    const TaskResult r = run_retrieval(task, f.factory);
+    std::printf("%-24s %6s  %9.1f%%  %14.1f\n", f.label.c_str(),
+                f.bits.c_str(), 100.0 * r.accuracy, r.kv_bytes_per_token);
+  }
+
+  std::printf("\nEdit this file to swap the profile (phi3_mini_profile, "
+              "qwen2_7b_profile) or the task (aqua_proxy, bbh_proxy).\n");
+  return 0;
+}

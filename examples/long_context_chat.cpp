@@ -1,0 +1,100 @@
+// Long-context chat session: the paper's motivating workload.
+//
+// Simulates a multi-turn conversation on one attention head of a
+// Phi3-mini-like model: a long document prefill followed by several
+// question/answer rounds, with every method's cache growing across turns.
+// Reports per-turn answer fidelity (vs FP32 exact) and the cache
+// footprints — the memory-vs-accuracy trade TurboAttention targets.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "attention/turbo_method.h"
+#include "baselines/fp16_method.h"
+#include "baselines/gear.h"
+#include "baselines/kivi.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "model/generator.h"
+
+int main() {
+  using namespace turbo;
+
+  const model::ModelProfile profile = model::phi3_mini_profile();
+  const std::size_t head = 5;  // a moderately outlier-heavy head
+  const std::size_t d = profile.head_dim;
+  const std::size_t document_tokens = 1536;
+  const std::size_t turns = 6;
+  const std::size_t tokens_per_turn = 96;
+
+  model::QkvGenerator gen(profile, /*seed=*/7);
+  const model::HeadTensors doc = gen.generate_head(
+      head, document_tokens + turns * tokens_per_turn);
+
+  struct Entry {
+    const char* label;
+    std::unique_ptr<KvAttention> method;
+  };
+  AttentionConfig attn;
+  TurboMethodConfig turbo_cfg;
+  KiviConfig kivi_cfg;
+  GearConfig gear_cfg;
+  std::vector<Entry> entries;
+  entries.push_back({"Exact-FP32",
+                     std::make_unique<ExactAttention>(d, attn)});
+  entries.push_back({"Flash-FP16",
+                     std::make_unique<Fp16FlashAttention>(d, attn)});
+  entries.push_back({"KIVI-4bit",
+                     std::make_unique<KiviAttention>(d, kivi_cfg)});
+  entries.push_back({"GEAR-L-4bit",
+                     std::make_unique<GearAttention>(d, gear_cfg)});
+  entries.push_back({"Turbo-4bit",
+                     std::make_unique<TurboKvAttention>(d, turbo_cfg)});
+
+  // Prefill the document.
+  const MatrixF q_doc = doc.q.block_rows(0, document_tokens);
+  const MatrixF k_doc = doc.k.block_rows(0, document_tokens);
+  const MatrixF v_doc = doc.v.block_rows(0, document_tokens);
+  for (Entry& e : entries) {
+    e.method->prefill(q_doc, k_doc, v_doc);
+  }
+  std::printf("prefilled %zu document tokens (head %zu of %s)\n\n",
+              document_tokens, head, profile.name.c_str());
+
+  // Chat turns: generate tokens, compare each method's outputs to exact.
+  std::printf("%8s |", "turn");
+  for (const Entry& e : entries) std::printf(" %12s", e.label);
+  std::printf("   (mean decode rel. error vs Exact-FP32)\n");
+
+  std::size_t row = document_tokens;
+  for (std::size_t turn = 0; turn < turns; ++turn) {
+    std::vector<double> err(entries.size(), 0.0);
+    for (std::size_t t = 0; t < tokens_per_turn; ++t, ++row) {
+      const auto q = doc.q.row(row);
+      const auto k = doc.k.row(row);
+      const auto v = doc.v.row(row);
+      const auto exact = entries[0].method->decode(q, k, v);
+      for (std::size_t i = 1; i < entries.size(); ++i) {
+        const auto o = entries[i].method->decode(q, k, v);
+        err[i] += relative_error(o, exact);
+      }
+    }
+    std::printf("%8zu |  %12s", turn + 1, "0 (ref)");
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      std::printf("      %.4f",
+                  err[i] / static_cast<double>(tokens_per_turn));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncache footprint after %zu total tokens:\n",
+              entries[0].method->token_count());
+  const double fp16_bytes =
+      static_cast<double>(entries[1].method->kv_cache_bytes());
+  for (const Entry& e : entries) {
+    std::printf("  %-12s %9zu bytes  (%.2fx vs FP16)\n", e.label,
+                e.method->kv_cache_bytes(),
+                fp16_bytes / static_cast<double>(e.method->kv_cache_bytes()));
+  }
+  return 0;
+}

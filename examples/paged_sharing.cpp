@@ -1,0 +1,100 @@
+// Paged KV cache with copy-on-write system-prompt sharing.
+//
+// A serving fleet answering many chats that share one long system prompt
+// should hold that prompt's KV exactly once. This example prefills the
+// shared prompt into one sequence, forks it per user (zero-copy: full
+// pages are reference-counted), lets each conversation diverge, and shows
+// the memory the combination of paging + FlashQ compression saves — while
+// verifying every sequence still decodes correctly via the fused kernel.
+#include <cstdio>
+#include <vector>
+
+#include "attention/reference.h"
+#include "attention/turbo.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kernels/fused_decode.h"
+#include "kvcache/paged_cache.h"
+
+int main() {
+  using namespace turbo;
+
+  const std::size_t d = 64;
+  const std::size_t page_tokens = 64;
+  const std::size_t system_tokens = 512;
+  const std::size_t n_users = 8;
+  const std::size_t turns_per_user = 48;
+
+  PagedKvCache cache(d, BitWidth::kInt4, page_tokens, /*page_count=*/256);
+  const AttentionConfig cfg;
+  const Sas sas;
+  Rng rng(1);
+
+  // Shared system prompt, prefilled once.
+  const auto base = cache.create_sequence();
+  MatrixF sys_k(system_tokens, d);
+  MatrixF sys_v(system_tokens, d);
+  rng.fill_normal(sys_k.flat(), 0.0, 1.0);
+  rng.fill_normal(sys_v.flat(), 0.0, 1.0);
+  for (std::size_t b = 0; b < system_tokens; b += page_tokens) {
+    const bool ok = cache.append_prefill_block(
+        base,
+        quantize_tile_int8(sys_k.block_rows(b, page_tokens)),
+        quantize_tile_int8(sys_v.block_rows(b, page_tokens)));
+    if (!ok) {
+      std::printf("out of pages during prefill\n");
+      return 1;
+    }
+  }
+  std::printf("system prompt: %zu tokens in %zu pages\n", system_tokens,
+              cache.used_pages());
+
+  // Fork one sequence per user — no pages consumed.
+  std::vector<PagedKvCache::SeqId> users;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    users.push_back(cache.fork_sequence(base));
+  }
+  std::printf("forked %zu user sequences: still %zu pages used, %zu "
+              "shared\n", n_users, cache.used_pages(),
+              cache.shared_pages());
+
+  // Each conversation diverges; each decode goes through the fused kernel
+  // and is sanity-checked against exact attention on the user's history.
+  double worst_err = 0.0;
+  std::vector<MatrixF> hist_k(n_users, sys_k);
+  std::vector<MatrixF> hist_v(n_users, sys_v);
+  for (std::size_t turn = 0; turn < turns_per_user; ++turn) {
+    for (std::size_t u = 0; u < n_users; ++u) {
+      std::vector<float> q(d);
+      std::vector<float> k(d);
+      std::vector<float> v(d);
+      rng.fill_normal(q, 0.0, 1.0);
+      rng.fill_normal(k, 0.0, 1.0);
+      rng.fill_normal(v, 0.0, 1.0);
+      if (!cache.append_token(users[u], k, v)) {
+        std::printf("out of pages at turn %zu\n", turn);
+        return 1;
+      }
+      hist_k[u].append_row(std::span<const float>(k));
+      hist_v[u].append_row(std::span<const float>(v));
+      const auto o = fused_turbo_decode(
+          q, cache.blocks(users[u]), cache.key_buffer(users[u]),
+          cache.value_buffer(users[u]), cfg, sas);
+      const auto exact = reference_decode(q, hist_k[u], hist_v[u], cfg);
+      worst_err = std::max(worst_err, relative_error(o, exact));
+    }
+  }
+
+  const std::size_t total_tokens = cache.token_count(users[0]) * n_users;
+  const double fp16_private =
+      static_cast<double>(total_tokens) * d * 2 * 2;  // K+V, FP16, no sharing
+  std::printf("\nafter %zu turns x %zu users:\n", turns_per_user, n_users);
+  std::printf("  pages used: %zu (%zu still shared)\n", cache.used_pages(),
+              cache.shared_pages());
+  std::printf("  compressed+shared bytes: %zu\n", cache.memory_bytes());
+  std::printf("  private FP16 equivalent: %.0f  ->  %.1fx smaller\n",
+              fp16_private,
+              fp16_private / static_cast<double>(cache.memory_bytes()));
+  std::printf("  worst decode rel. error vs exact: %.4f\n", worst_err);
+  return 0;
+}

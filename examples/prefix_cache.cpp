@@ -1,0 +1,68 @@
+// Disk prefix caching: prefill once, reuse forever.
+//
+// A few-shot CoT prompt (the paper's evaluation prompts are ~900-1300
+// tokens of fixed demonstrations) costs a full prefill on every request.
+// With the compressed cache serialized to disk, later sessions load the
+// packed pages instead of recomputing them — and the file is ~6x smaller
+// than an FP16 dump would be. This example measures both.
+#include <chrono>
+#include <cstdio>
+
+#include "attention/turbo.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kvcache/serialization.h"
+
+int main() {
+  using namespace turbo;
+  using Clock = std::chrono::steady_clock;
+
+  const std::size_t prompt_tokens = 1024;
+  const std::size_t d = 64;
+
+  Rng rng(3);
+  MatrixF q(prompt_tokens, d);
+  MatrixF k(prompt_tokens, d);
+  MatrixF v(prompt_tokens, d);
+  rng.fill_normal(q.flat(), 0.0, 1.0);
+  rng.fill_normal(k.flat(), 0.0, 1.0);
+  rng.fill_normal(v.flat(), 0.0, 1.0);
+
+  const AttentionConfig cfg;
+  const Sas sas;
+
+  // Session 1: prefill and persist.
+  QuantizedKvCache cache(d, BitWidth::kInt4, cfg.block_cols, 64);
+  const auto t0 = Clock::now();
+  turbo_attention_prefill(q, k, v, cfg, sas, &cache);
+  const auto t1 = Clock::now();
+  const std::string path = "/tmp/turbo_prefix.tkvc";
+  save_cache(cache, path);
+  const auto bytes = serialize_cache(cache);
+  std::printf("session 1: prefilled %zu tokens in %.1f ms, saved %zu "
+              "bytes (FP16 dump would be %zu)\n",
+              prompt_tokens,
+              std::chrono::duration<double, std::milli>(t1 - t0).count(),
+              bytes.size(), 2 * prompt_tokens * d * 2);
+
+  // Session 2: load instead of prefilling.
+  const auto t2 = Clock::now();
+  QuantizedKvCache loaded = load_cache(path);
+  const auto t3 = Clock::now();
+  std::printf("session 2: loaded %zu tokens in %.2f ms (%.0fx faster than "
+              "the prefill it replaces)\n",
+              loaded.token_count(),
+              std::chrono::duration<double, std::milli>(t3 - t2).count(),
+              std::chrono::duration<double>(t1 - t0).count() /
+                  std::chrono::duration<double>(t3 - t2).count());
+
+  // Decode against the loaded cache is bit-identical to the original.
+  std::vector<float> query(d);
+  rng.fill_normal(query, 0.0, 1.0);
+  const auto a = turbo_attention_decode(query, cache, cfg, sas);
+  const auto b = turbo_attention_decode(query, loaded, cfg, sas);
+  std::printf("decode over loaded cache bit-identical to original: %s\n",
+              a == b ? "yes" : "NO (bug!)");
+  std::remove(path.c_str());
+  return a == b ? 0 : 1;
+}

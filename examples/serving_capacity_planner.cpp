@@ -1,0 +1,74 @@
+// Serving capacity planner: size a deployment with the analytical model.
+//
+// For each supported model and attention method, reports — on an
+// A100-80GB — the largest batch that fits, the decode throughput at that
+// batch, and the longest context a batch-4 deployment can serve. This is
+// the operator-facing view of Figures 6/7a.
+#include <cstdio>
+
+#include "sim/e2e_model.h"
+
+int main() {
+  using namespace turbo::sim;
+  const DeviceSpec dev = a100_sxm_80gb();
+
+  struct MethodRow {
+    AttnMethod method;
+    double bits;
+    const char* label;
+  };
+  const MethodRow methods[] = {
+      {AttnMethod::kFlashFp16, 16.0, "Flash-FP16"},
+      {AttnMethod::kKiviFlash, 4.0, "KIVI-4"},
+      {AttnMethod::kTurbo, 4.0, "Turbo-4"},
+      {AttnMethod::kTurbo, 3.0, "Turbo-2/4"},
+  };
+
+  std::printf("=== Serving capacity on %s (prompt 1k, generate 512) ===\n\n",
+              dev.name.c_str());
+
+  for (const ModelGeometry& geom :
+       {phi3_mini_geometry(), llama3_8b_geometry(), qwen2_7b_geometry(),
+        phi3_medium_geometry()}) {
+    std::printf("-- %s (%.1fB params, %.0f GB weights FP16) --\n",
+                geom.name.c_str(), geom.params() / 1e9,
+                geom.weight_bytes_fp16() / 1e9);
+    std::printf("%12s  %10s  %16s  %18s\n", "method", "max batch",
+                "tok/s @ max", "max ctx @ batch 4");
+    for (const MethodRow& m : methods) {
+      InferenceConfig cfg;
+      cfg.method = m.method;
+      cfg.attention.kv_bits = m.bits;
+      cfg.prompt = 1024;
+      cfg.generate = 512;
+      const std::size_t mb = max_batch(dev, geom, cfg);
+
+      cfg.batch = mb == 0 ? 1 : mb;
+      const double thpt =
+          mb == 0 ? 0.0 : throughput_tokens_per_second(dev, geom, cfg);
+
+      // Longest servable context at batch 4 (binary search over prompt).
+      std::size_t lo = 0;
+      std::size_t hi = 1 << 22;
+      while (hi - lo > 1024) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        InferenceConfig probe = cfg;
+        probe.batch = 4;
+        probe.prompt = mid;
+        probe.generate = 0;
+        if (memory_use(dev, geom, probe).fits) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+
+      std::printf("%12s  %10zu  %12.0f t/s  %15zu tok\n", m.label, mb, thpt,
+                  lo);
+    }
+    std::printf("\n");
+  }
+  std::printf("Note: analytical roofline model calibrated to A100 "
+              "datasheet numbers — see src/sim/device.cpp.\n");
+  return 0;
+}

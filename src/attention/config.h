@@ -1,0 +1,33 @@
+// Shared configuration for the tiled attention kernels.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace turbo {
+
+struct AttentionConfig {
+  // FlashAttention tile sizes: Br query rows, Bc key/value rows per tile.
+  // Paper default 64x64 (Table 3 sweeps 32..128).
+  std::size_t block_rows = 64;
+  std::size_t block_cols = 64;
+
+  // Causal (autoregressive) masking for prefill.
+  bool causal = true;
+
+  // Sliding-window attention: each query attends at most the `window`
+  // most recent visible keys (0 = unlimited). Phi-3-mini uses a 2047-token
+  // window; combined with block eviction it bounds the KV cache.
+  std::size_t window = 0;
+
+  // Score scale; 0 means the conventional 1/sqrt(head_dim).
+  float scale = 0.0f;
+
+  float effective_scale(std::size_t head_dim) const {
+    return scale != 0.0f
+               ? scale
+               : 1.0f / std::sqrt(static_cast<float>(head_dim));
+  }
+};
+
+}  // namespace turbo

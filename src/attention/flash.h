@@ -1,0 +1,53 @@
+// FlashAttention baseline (Dao et al. 2022) on the CPU substrate.
+//
+// Numerics follow the GPU kernel: Q/K/V tiles and the probability tile P
+// are held in FP16 (emulated by rounding through binary16), matmuls
+// accumulate in FP32, and exponentiation runs in FP32 — exactly the
+// FP16/FP32 mix whose cost TurboAttention attacks. Tiling follows the
+// standard Br x Bc online-softmax schedule, so outputs are
+// bitwise-independent of tile size up to FP associativity.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "attention/config.h"
+#include "common/matrix.h"
+
+namespace turbo {
+
+struct FlashOptions {
+  // Round tile inputs/outputs through binary16 as the GPU kernel would.
+  // Disable to get an FP32-exact tiled kernel (used by equivalence tests).
+  bool emulate_fp16 = true;
+
+  // Skip re-rounding K/V: the caller guarantees they already hold
+  // FP16-representable values (every KvAttention cache stores rounded
+  // rows). Avoids an O(n_k * d) copy + round on every decode step. Q is
+  // still rounded.
+  bool kv_prerounded = false;
+
+  // Replacement exponential for the online softmax (must approximate e^x
+  // for x <= 0). Empty means FP32 std::exp — the FlashAttention baseline.
+  // Used by the "SAS only" ablation (Table 4), which keeps FP16 matmuls but
+  // swaps the exponentiation for SAS.
+  std::function<float(float)> exp_fn;
+};
+
+struct FlashResult {
+  MatrixF o;               // [n_q x d]
+  std::vector<float> lse;  // per-query log-sum-exp
+};
+
+// Tiled causal/non-causal attention. Q [n_q x d], K/V [n_k x d].
+FlashResult flash_attention(const MatrixF& q, const MatrixF& k,
+                            const MatrixF& v, const AttentionConfig& cfg,
+                            const FlashOptions& options = {});
+
+// Single-query decode step over a full cache (no mask).
+std::vector<float> flash_decode(std::span<const float> q, const MatrixF& k,
+                                const MatrixF& v, const AttentionConfig& cfg,
+                                const FlashOptions& options = {});
+
+}  // namespace turbo

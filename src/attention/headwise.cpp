@@ -1,0 +1,85 @@
+#include "attention/headwise.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace turbo {
+
+HeadStats compute_head_stats(const MatrixF& head) {
+  HeadStats s;
+  if (head.empty()) return s;
+  const std::vector<MinMax> channels = channel_min_max(head);
+  float lo = channels[0].min;
+  float hi = channels[0].max;
+  std::vector<float> gaps(channels.size());
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    lo = std::min(lo, channels[c].min);
+    hi = std::max(hi, channels[c].max);
+    gaps[c] = channels[c].gap();
+  }
+  s.gap = hi - lo;
+  s.gap_std = static_cast<float>(stddev(gaps));
+  s.entropy = static_cast<float>(histogram_entropy(head.flat(), 64));
+  return s;
+}
+
+HeadStats combine_head_stats(const HeadStats& k, const HeadStats& v) {
+  // A head is as hard to compress as its harder tensor. Taking the whole
+  // (gap, std) pair from the higher-priority tensor keeps the two numbers
+  // coherent — mixing K's gap with V's std would inflate heads that are
+  // easy on both axes individually.
+  HeadStats s = k.priority() >= v.priority() ? k : v;
+  s.entropy = std::max(k.entropy, v.entropy);
+  return s;
+}
+
+const char* head_selection_metric_name(HeadSelectionMetric m) {
+  switch (m) {
+    case HeadSelectionMetric::kPriority:
+      return "priority";
+    case HeadSelectionMetric::kEntropy:
+      return "entropy";
+    case HeadSelectionMetric::kMinMax:
+      return "min-max";
+    case HeadSelectionMetric::kVariation:
+      return "variation";
+  }
+  return "unknown";
+}
+
+float head_selection_score(const HeadStats& stats, HeadSelectionMetric m) {
+  switch (m) {
+    case HeadSelectionMetric::kPriority:
+      return stats.priority();
+    case HeadSelectionMetric::kEntropy:
+      return stats.entropy;
+    case HeadSelectionMetric::kMinMax:
+      return stats.gap;
+    case HeadSelectionMetric::kVariation:
+      return stats.gap_std;
+  }
+  return 0.0f;
+}
+
+std::vector<BitWidth> select_head_bits(std::span<const HeadStats> stats,
+                                       std::size_t n_low,
+                                       HeadSelectionMetric metric,
+                                       BitWidth low_bits,
+                                       BitWidth high_bits) {
+  TURBO_CHECK(n_low <= stats.size());
+  std::vector<std::size_t> order(stats.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return head_selection_score(stats[a], metric) <
+                            head_selection_score(stats[b], metric);
+                   });
+  std::vector<BitWidth> bits(stats.size(), high_bits);
+  for (std::size_t i = 0; i < n_low; ++i) bits[order[i]] = low_bits;
+  return bits;
+}
+
+}  // namespace turbo

@@ -1,0 +1,58 @@
+// Head-wise mixed precision (section 3.2) and the selection-metric
+// ablation of Figure 7b.
+//
+// Heads whose KV distributions are "easy" (small value range, uniform
+// channel gaps) tolerate 2-bit compression; heads with wide, uneven channel
+// ranges need 4 bits. The paper ranks heads by
+//   priority(h) = gap(h) * std(h)
+// where gap is the max-min over all channels of the head and std is the
+// standard deviation of per-channel gaps; the n_h lowest-priority heads per
+// layer are compressed to 2-bit. Baselines for the ablation rank by
+// histogram entropy, plain min-max gap, or gap variation alone.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "quant/types.h"
+
+namespace turbo {
+
+struct HeadStats {
+  float gap = 0.0f;      // max - min across the whole head
+  float gap_std = 0.0f;  // std of channel-wise (max - min) gaps
+  float entropy = 0.0f;  // histogram entropy of the head's values
+
+  // Eq. 11.
+  float priority() const { return gap * gap_std; }
+};
+
+// Statistics of one head's [tokens x head_dim] tensor.
+HeadStats compute_head_stats(const MatrixF& head);
+
+// Stats for a head's K and V jointly (element-wise worst case): the cache
+// compresses both, so a head is only "easy" if both tensors are easy.
+HeadStats combine_head_stats(const HeadStats& k, const HeadStats& v);
+
+enum class HeadSelectionMetric {
+  kPriority,   // gap * std (the paper's metric)
+  kEntropy,    // histogram entropy
+  kMinMax,     // gap alone
+  kVariation,  // std of channel gaps alone
+};
+
+const char* head_selection_metric_name(HeadSelectionMetric m);
+
+// Scalar ranking score under a metric (lower = compressed first).
+float head_selection_score(const HeadStats& stats, HeadSelectionMetric m);
+
+// Assign `low_bits` to the `n_low` lowest-scoring heads, `high_bits` to the
+// rest. Ties broken by head index for determinism.
+std::vector<BitWidth> select_head_bits(std::span<const HeadStats> stats,
+                                       std::size_t n_low,
+                                       HeadSelectionMetric metric,
+                                       BitWidth low_bits = BitWidth::kInt2,
+                                       BitWidth high_bits = BitWidth::kInt4);
+
+}  // namespace turbo

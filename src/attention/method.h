@@ -1,0 +1,56 @@
+// Uniform per-head interface over attention/KV-cache methods.
+//
+// Every method under comparison — the FP16 FlashAttention baseline, KIVI,
+// GEAR-L, and TurboAttention — is driven through this interface by the
+// model pipeline and the proxy-task harness: one prefill over the prompt,
+// then autoregressive decode steps that append the newly generated token's
+// key/value before attending.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "attention/config.h"
+#include "common/matrix.h"
+
+namespace turbo {
+
+class KvAttention {
+ public:
+  virtual ~KvAttention() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Causal attention over the prompt; primes the method's KV cache.
+  // Q/K/V are one head's [tokens x head_dim]. Must be called first, once.
+  virtual MatrixF prefill(const MatrixF& q, const MatrixF& k,
+                          const MatrixF& v) = 0;
+
+  // One decode step: append (k, v) to the cache, then attend q over every
+  // cached token (including the new one). Returns the output vector.
+  virtual std::vector<float> decode(std::span<const float> q,
+                                    std::span<const float> k,
+                                    std::span<const float> v) = 0;
+
+  // Attend q over the current cache without appending anything. Under
+  // grouped-query attention one KV cache serves a group of query heads:
+  // the group's first query uses decode() (which appends the shared k/v),
+  // the remaining queries use attend().
+  virtual std::vector<float> attend(std::span<const float> q) = 0;
+
+  // Current KV-cache footprint in bytes (payload + metadata + any
+  // full-precision residual window the method keeps).
+  virtual std::size_t kv_cache_bytes() const = 0;
+
+  // Number of tokens currently cached.
+  virtual std::size_t token_count() const = 0;
+};
+
+// Factory: builds one method instance per attention head.
+using KvAttentionFactory =
+    std::function<std::unique_ptr<KvAttention>(std::size_t head_dim)>;
+
+}  // namespace turbo

@@ -1,0 +1,77 @@
+#include "attention/reference.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "softmax/softmax.h"
+
+namespace turbo {
+
+namespace {
+
+// Number of keys query row i may attend under causal alignment.
+std::size_t causal_visible(std::size_t n_q, std::size_t n_k, std::size_t i) {
+  // Query i is absolute token (n_k - n_q + i); it sees keys 0..itself.
+  return n_k - n_q + i + 1;
+}
+
+}  // namespace
+
+MatrixF reference_attention_with_lse(const MatrixF& q, const MatrixF& k,
+                                     const MatrixF& v,
+                                     const AttentionConfig& cfg,
+                                     std::span<float> lse_out) {
+  TURBO_CHECK(q.cols() == k.cols());
+  TURBO_CHECK(k.rows() == v.rows());
+  TURBO_CHECK(k.cols() == v.cols());
+  TURBO_CHECK(lse_out.empty() || lse_out.size() == q.rows());
+  TURBO_CHECK(!cfg.causal || q.rows() <= k.rows());
+
+  const float scale = cfg.effective_scale(q.cols());
+  MatrixF scores = matmul_transposed(q, k);
+  for (float& s : scores.flat()) s *= scale;
+
+  if (cfg.causal || cfg.window > 0) {
+    for (std::size_t i = 0; i < scores.rows(); ++i) {
+      const std::size_t visible =
+          cfg.causal ? causal_visible(q.rows(), k.rows(), i) : k.rows();
+      auto row = scores.row(i);
+      for (std::size_t j = visible; j < row.size(); ++j) {
+        row[j] = -std::numeric_limits<float>::infinity();
+      }
+      if (cfg.window > 0 && visible > cfg.window) {
+        // Sliding window: only the `window` most recent visible keys.
+        for (std::size_t j = 0; j < visible - cfg.window; ++j) {
+          row[j] = -std::numeric_limits<float>::infinity();
+        }
+      }
+    }
+  }
+
+  MatrixF probs;
+  if (lse_out.empty()) {
+    probs = softmax_rows(scores);
+  } else {
+    probs = softmax_rows_with_lse(scores, lse_out);
+  }
+  return matmul(probs, v);
+}
+
+MatrixF reference_attention(const MatrixF& q, const MatrixF& k,
+                            const MatrixF& v, const AttentionConfig& cfg) {
+  return reference_attention_with_lse(q, k, v, cfg, {});
+}
+
+std::vector<float> reference_decode(std::span<const float> q,
+                                    const MatrixF& k, const MatrixF& v,
+                                    const AttentionConfig& cfg) {
+  MatrixF qm(1, q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) qm(0, i) = q[i];
+  AttentionConfig decode_cfg = cfg;
+  decode_cfg.causal = false;  // a decode query sees the entire cache
+  const MatrixF o = reference_attention(qm, k, v, decode_cfg);
+  return {o.row(0).begin(), o.row(0).end()};
+}
+
+}  // namespace turbo

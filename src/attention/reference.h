@@ -1,0 +1,32 @@
+// Exact FP32 attention — the ground truth every approximation is measured
+// against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "attention/config.h"
+#include "common/matrix.h"
+
+namespace turbo {
+
+// O = softmax(Q K^T * scale) V, computed fully in FP32 with materialized
+// score/probability matrices. Q is [n_q x d]; K, V are [n_k x d].
+// With cfg.causal, query row i attends keys [0, n_k - n_q + i] (the usual
+// prefill alignment where query i is token n_k - n_q + i).
+MatrixF reference_attention(const MatrixF& q, const MatrixF& k,
+                            const MatrixF& v, const AttentionConfig& cfg);
+
+// Same, also writing each query row's log-sum-exp (for FlashAttention
+// equivalence tests).
+MatrixF reference_attention_with_lse(const MatrixF& q, const MatrixF& k,
+                                     const MatrixF& v,
+                                     const AttentionConfig& cfg,
+                                     std::span<float> lse_out);
+
+// Single-query decode-step attention over a full cache, FP32 exact.
+std::vector<float> reference_decode(std::span<const float> q,
+                                    const MatrixF& k, const MatrixF& v,
+                                    const AttentionConfig& cfg);
+
+}  // namespace turbo

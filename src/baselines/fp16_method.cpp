@@ -1,0 +1,88 @@
+#include "baselines/fp16_method.h"
+
+#include "attention/flash.h"
+#include "attention/reference.h"
+#include "common/check.h"
+#include "common/fp16.h"
+
+namespace turbo {
+
+Fp16FlashAttention::Fp16FlashAttention(std::size_t head_dim,
+                                       AttentionConfig config)
+    : config_(config), k_(0, head_dim), v_(0, head_dim) {}
+
+MatrixF Fp16FlashAttention::prefill(const MatrixF& q, const MatrixF& k,
+                                    const MatrixF& v) {
+  TURBO_CHECK_MSG(k_.rows() == 0, "prefill must be the first call");
+  const FlashResult r = flash_attention(q, k, v, config_);
+  k_ = k;
+  v_ = v;
+  round_span_to_fp16(k_.flat());
+  round_span_to_fp16(v_.flat());
+  return r.o;
+}
+
+std::vector<float> Fp16FlashAttention::decode(std::span<const float> q,
+                                              std::span<const float> k,
+                                              std::span<const float> v) {
+  std::vector<float> k16(k.begin(), k.end());
+  std::vector<float> v16(v.begin(), v.end());
+  round_span_to_fp16(k16);
+  round_span_to_fp16(v16);
+  k_.append_row(std::span<const float>(k16));
+  v_.append_row(std::span<const float>(v16));
+  FlashOptions options;
+  options.kv_prerounded = true;  // rows were rounded on insertion
+  return flash_decode(q, k_, v_, config_, options);
+}
+
+std::vector<float> Fp16FlashAttention::attend(std::span<const float> q) {
+  FlashOptions options;
+  options.kv_prerounded = true;
+  return flash_decode(q, k_, v_, config_, options);
+}
+
+std::size_t Fp16FlashAttention::kv_cache_bytes() const {
+  return (k_.size() + v_.size()) * 2;
+}
+
+ExactAttention::ExactAttention(std::size_t head_dim, AttentionConfig config)
+    : config_(config), k_(0, head_dim), v_(0, head_dim) {}
+
+MatrixF ExactAttention::prefill(const MatrixF& q, const MatrixF& k,
+                                const MatrixF& v) {
+  TURBO_CHECK_MSG(k_.rows() == 0, "prefill must be the first call");
+  k_ = k;
+  v_ = v;
+  return reference_attention(q, k, v, config_);
+}
+
+std::vector<float> ExactAttention::decode(std::span<const float> q,
+                                          std::span<const float> k,
+                                          std::span<const float> v) {
+  k_.append_row(k);
+  v_.append_row(v);
+  return reference_decode(q, k_, v_, config_);
+}
+
+std::vector<float> ExactAttention::attend(std::span<const float> q) {
+  return reference_decode(q, k_, v_, config_);
+}
+
+std::size_t ExactAttention::kv_cache_bytes() const {
+  return (k_.size() + v_.size()) * 4;
+}
+
+KvAttentionFactory make_fp16_factory(AttentionConfig config) {
+  return [config](std::size_t head_dim) {
+    return std::make_unique<Fp16FlashAttention>(head_dim, config);
+  };
+}
+
+KvAttentionFactory make_exact_factory(AttentionConfig config) {
+  return [config](std::size_t head_dim) {
+    return std::make_unique<ExactAttention>(head_dim, config);
+  };
+}
+
+}  // namespace turbo

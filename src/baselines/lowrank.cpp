@@ -1,0 +1,122 @@
+#include "baselines/lowrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace turbo {
+
+namespace {
+
+// Orthonormalize the columns of `q` in place (modified Gram–Schmidt).
+// Rank-deficient columns are replaced with zero vectors, which simply
+// contribute nothing to the approximation.
+void orthonormalize_columns(MatrixF& q) {
+  const std::size_t m = q.rows();
+  const std::size_t r = q.cols();
+  for (std::size_t j = 0; j < r; ++j) {
+    for (std::size_t prev = 0; prev < j; ++prev) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < m; ++i) dot += q(i, j) * q(i, prev);
+      for (std::size_t i = 0; i < m; ++i) {
+        q(i, j) -= static_cast<float>(dot) * q(i, prev);
+      }
+    }
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm_sq += q(i, j) * q(i, j);
+    const double norm = std::sqrt(norm_sq);
+    if (norm < 1e-12) {
+      for (std::size_t i = 0; i < m; ++i) q(i, j) = 0.0f;
+      continue;
+    }
+    const float inv = static_cast<float>(1.0 / norm);
+    for (std::size_t i = 0; i < m; ++i) q(i, j) *= inv;
+  }
+}
+
+// B = A^T * Q where A is [m x n], Q is [m x r]: result [n x r].
+MatrixF at_times(const MatrixF& a, const MatrixF& q) {
+  MatrixF out(a.cols(), q.cols(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto ar = a.row(i);
+    auto qr = q.row(i);
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const float av = ar[c];
+      if (av == 0.0f) continue;
+      auto orow = out.row(c);
+      for (std::size_t j = 0; j < q.cols(); ++j) orow[j] += av * qr[j];
+    }
+  }
+  return out;
+}
+
+// B = A * P where A is [m x n], P is [n x r]: result [m x r].
+MatrixF a_times(const MatrixF& a, const MatrixF& p) {
+  MatrixF out(a.rows(), p.cols(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto ar = a.row(i);
+    auto orow = out.row(i);
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const float av = ar[c];
+      if (av == 0.0f) continue;
+      auto prow = p.row(c);
+      for (std::size_t j = 0; j < p.cols(); ++j) orow[j] += av * prow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LowRankFactors low_rank_approximate(const MatrixF& m, std::size_t rank,
+                                    std::size_t iterations,
+                                    std::uint64_t seed) {
+  TURBO_CHECK(rank > 0);
+  TURBO_CHECK(iterations > 0);
+  const std::size_t r = std::min({rank, m.rows(), m.cols()});
+
+  // Random start, then alternate Q <- orth(A P), P <- A^T Q.
+  Rng rng(seed);
+  MatrixF p(m.cols(), r);
+  rng.fill_normal(p.flat(), 0.0, 1.0);
+
+  MatrixF q;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    q = a_times(m, p);
+    orthonormalize_columns(q);
+    p = at_times(m, q);
+  }
+  // Final factors: left = Q (orthonormal), right = P = A^T Q, so that
+  // left * right^T = Q Q^T A — the projection of A onto the subspace.
+  LowRankFactors f;
+  f.left = std::move(q);
+  f.right = std::move(p);
+  return f;
+}
+
+MatrixF low_rank_reconstruct(const LowRankFactors& f) {
+  MatrixF out(f.left.rows(), f.right.rows(), 0.0f);
+  low_rank_add_to(f, out);
+  return out;
+}
+
+void low_rank_add_to(const LowRankFactors& f, MatrixF& target) {
+  TURBO_CHECK(target.rows() == f.left.rows());
+  TURBO_CHECK(target.cols() == f.right.rows());
+  for (std::size_t i = 0; i < target.rows(); ++i) {
+    auto lrow = f.left.row(i);
+    auto trow = target.row(i);
+    for (std::size_t j = 0; j < target.cols(); ++j) {
+      auto rrow = f.right.row(j);
+      float acc = 0.0f;
+      for (std::size_t x = 0; x < f.left.cols(); ++x) {
+        acc += lrow[x] * rrow[x];
+      }
+      trow[j] += acc;
+    }
+  }
+}
+
+}  // namespace turbo

@@ -1,0 +1,39 @@
+// Truncated low-rank approximation via randomized subspace iteration.
+//
+// GEAR compensates KV quantization error with a rank-r approximation of the
+// residual R = X - dequant(quant(X)). We compute the leading r-dimensional
+// subspace with block power iteration on R^T R (a handful of sweeps suffice
+// since quantization residuals have flat spectra and we only need the bulk
+// of the energy, not exact singular vectors).
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.h"
+
+namespace turbo {
+
+struct LowRankFactors {
+  MatrixF left;   // [m x rank]
+  MatrixF right;  // [n x rank]
+
+  // Approximation is left * right^T.
+  std::size_t rank() const { return left.cols(); }
+  // FP16 storage of both factors.
+  std::size_t memory_bytes() const {
+    return (left.size() + right.size()) * 2;
+  }
+};
+
+// Rank-`rank` approximation of `m` using `iterations` subspace-iteration
+// sweeps (3 is plenty for residual matrices). Deterministic via `seed`.
+LowRankFactors low_rank_approximate(const MatrixF& m, std::size_t rank,
+                                    std::size_t iterations,
+                                    std::uint64_t seed);
+
+MatrixF low_rank_reconstruct(const LowRankFactors& f);
+
+// Adds left * right^T onto `target` in place (avoids materializing).
+void low_rank_add_to(const LowRankFactors& f, MatrixF& target);
+
+}  // namespace turbo

@@ -1,0 +1,50 @@
+// Error-checking primitives used across the library.
+//
+// TURBO_CHECK is an always-on precondition check that throws
+// turbo::CheckError with a formatted message including the failing
+// expression and source location. It is used at public API boundaries;
+// internal hot loops use plain assert() semantics via TURBO_DCHECK, which
+// compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace turbo {
+
+// Exception thrown when a TURBO_CHECK fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace turbo
+
+#define TURBO_CHECK(expr)                                            \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::turbo::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                \
+  } while (false)
+
+#define TURBO_CHECK_MSG(expr, msg)                                   \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream oss_;                                       \
+      oss_ << msg;                                                   \
+      ::turbo::detail::check_failed(#expr, __FILE__, __LINE__,      \
+                                    oss_.str());                     \
+    }                                                                \
+  } while (false)
+
+#ifdef NDEBUG
+#define TURBO_DCHECK(expr) ((void)0)
+#else
+#define TURBO_DCHECK(expr) TURBO_CHECK(expr)
+#endif

@@ -1,0 +1,55 @@
+// Deterministic random number generation.
+//
+// Every experiment in this repo is seeded so that tests, benches and the
+// EXPERIMENTS.md numbers are exactly reproducible across runs. We use our
+// own xoshiro256++ rather than std::mt19937 + std::normal_distribution
+// because libstdc++ does not guarantee distribution output stability across
+// versions; the Box–Muller transform here is fully specified by this file.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace turbo {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform 64-bit value (xoshiro256++).
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  // Standard normal via Box–Muller (caches the second variate).
+  double normal();
+
+  // Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  // Fill a span with i.i.d. normals.
+  void fill_normal(std::span<float> out, double mean, double stddev);
+
+  // Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace turbo

@@ -1,0 +1,40 @@
+// Fused TurboAttention decode kernel.
+//
+// The reference decode path (attention/turbo_decode.cpp) materializes each
+// block's INT8 K/V before the integer matmuls — clear, but it spends its
+// time writing and re-reading a scratch matrix. The GPU kernel never does
+// that: codes are unpacked in registers and consumed immediately. This is
+// the CPU analogue: one pass per block that
+//
+//   * unpacks INT4/2 codes channel by channel,
+//   * applies the integer second stage (q2 * s_int + z_int) in registers,
+//   * accumulates the q.K dot products and the P~.V products directly,
+//
+// producing bit-identical results to the reference path (same arithmetic,
+// same order) at a fraction of the memory traffic. bench_kernels measures
+// the speedup; the equivalence test pins the exactness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "attention/config.h"
+#include "kvcache/decode_buffer.h"
+#include "kvcache/quantized_kv_cache.h"
+#include "softmax/sas.h"
+
+namespace turbo {
+
+// Drop-in equivalent of turbo_attention_decode (block-view overload).
+std::vector<float> fused_turbo_decode(
+    std::span<const float> q, std::span<const KvBlock* const> blocks,
+    const DecodeBuffer& key_buffer, const DecodeBuffer& value_buffer,
+    const AttentionConfig& cfg, const Sas& sas);
+
+// Convenience over a monolithic cache.
+std::vector<float> fused_turbo_decode(std::span<const float> q,
+                                      const QuantizedKvCache& cache,
+                                      const AttentionConfig& cfg,
+                                      const Sas& sas);
+
+}  // namespace turbo

@@ -1,0 +1,38 @@
+#include "kvcache/page_allocator.h"
+
+#include "common/check.h"
+
+namespace turbo {
+
+PageAllocator::PageAllocator(std::size_t page_count)
+    : capacity_(page_count), allocated_(page_count, false) {
+  TURBO_CHECK(page_count > 0);
+  TURBO_CHECK(page_count < kInvalidPage);
+  free_list_.reserve(page_count);
+  // Hand out low page ids first (LIFO free list, reversed fill).
+  for (std::size_t i = page_count; i > 0; --i) {
+    free_list_.push_back(static_cast<PageId>(i - 1));
+  }
+}
+
+PageId PageAllocator::allocate() {
+  if (free_list_.empty()) return kInvalidPage;
+  const PageId page = free_list_.back();
+  free_list_.pop_back();
+  allocated_[page] = true;
+  return page;
+}
+
+void PageAllocator::release(PageId page) {
+  TURBO_CHECK_MSG(page < capacity_, "release of out-of-range page " << page);
+  TURBO_CHECK_MSG(allocated_[page], "double free of page " << page);
+  allocated_[page] = false;
+  free_list_.push_back(page);
+}
+
+bool PageAllocator::is_allocated(PageId page) const {
+  TURBO_CHECK(page < capacity_);
+  return allocated_[page];
+}
+
+}  // namespace turbo

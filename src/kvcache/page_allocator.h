@@ -1,0 +1,40 @@
+// Fixed-size page allocator for the paged KV cache.
+//
+// Serving engines avoid per-sequence contiguous KV allocations (internal
+// fragmentation, no sharing) by carving the cache into fixed-size pages
+// and mapping sequences onto them through page tables — the vLLM design.
+// This allocator owns the page pool; the paged cache maps sequences to
+// pages and stores compressed KV payloads in them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace turbo {
+
+using PageId = std::uint32_t;
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+class PageAllocator {
+ public:
+  explicit PageAllocator(std::size_t page_count);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t free_pages() const { return free_list_.size(); }
+  std::size_t used_pages() const { return capacity_ - free_pages(); }
+
+  // Allocate one page; returns kInvalidPage when exhausted.
+  PageId allocate();
+
+  // Return a page to the pool. Double-free is a checked error.
+  void release(PageId page);
+
+  bool is_allocated(PageId page) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<PageId> free_list_;
+  std::vector<bool> allocated_;
+};
+
+}  // namespace turbo

@@ -1,0 +1,168 @@
+#include "kvcache/paged_cache.h"
+
+#include "common/check.h"
+
+namespace turbo {
+
+PagedKvCache::PagedKvCache(std::size_t head_dim, BitWidth bits,
+                           std::size_t page_tokens, std::size_t page_count)
+    : head_dim_(head_dim),
+      bits_(bits),
+      page_tokens_(page_tokens),
+      allocator_(page_count),
+      page_data_(page_count),
+      refcount_(page_count, 0) {
+  TURBO_CHECK(head_dim_ > 0);
+  TURBO_CHECK(page_tokens_ > 0);
+}
+
+PagedKvCache::SeqId PagedKvCache::create_sequence() {
+  const SeqId id = next_seq_++;
+  sequences_.emplace(
+      id, Sequence{{},
+                   DecodeBuffer(page_tokens_, head_dim_),
+                   DecodeBuffer(page_tokens_, head_dim_)});
+  return id;
+}
+
+PagedKvCache::SeqId PagedKvCache::fork_sequence(SeqId seq) {
+  const Sequence& src = seq_ref(seq);
+  const SeqId id = next_seq_++;
+  Sequence copy = src;  // page table + buffers copied
+  for (PageId p : copy.pages) {
+    ++refcount_[p];
+  }
+  sequences_.emplace(id, std::move(copy));
+  return id;
+}
+
+void PagedKvCache::release_sequence(SeqId seq) {
+  Sequence& s = seq_ref(seq);
+  for (PageId p : s.pages) {
+    TURBO_DCHECK(refcount_[p] > 0);
+    if (--refcount_[p] == 0) {
+      page_data_[p] = KvBlock{};
+      allocator_.release(p);
+    }
+  }
+  sequences_.erase(seq);
+}
+
+bool PagedKvCache::append_token(SeqId seq, std::span<const float> k,
+                                std::span<const float> v) {
+  Sequence& s = seq_ref(seq);
+  // Lazy flush: a full buffer is drained only when the next token needs
+  // the space, so page exhaustion surfaces exactly on the append it
+  // blocks (and the blocked token is not lost).
+  if (s.k_buffer.full()) {
+    if (!flush_buffer(s)) return false;
+  }
+  s.k_buffer.push(k);
+  s.v_buffer.push(v);
+  return true;
+}
+
+bool PagedKvCache::append_prefill_block(SeqId seq, const Int8Tile& k_tile,
+                                        const Int8Tile& v_tile) {
+  Sequence& s = seq_ref(seq);
+  TURBO_CHECK(k_tile.q.cols() == head_dim_);
+  TURBO_CHECK(k_tile.q.rows() == v_tile.q.rows());
+  TURBO_CHECK_MSG(s.k_buffer.empty(),
+                  "prefill blocks must precede decode tokens");
+  s.k_buffer.seed_scale(k_tile.scale * kSymmetricHeadroom);
+  s.v_buffer.seed_scale(v_tile.scale * kSymmetricHeadroom);
+
+  if (k_tile.q.rows() == page_tokens_) {
+    const PageId page = allocator_.allocate();
+    if (page == kInvalidPage) return false;
+    page_data_[page].k =
+        progressive_compress(k_tile.q, k_tile.scale, bits_);
+    page_data_[page].v =
+        progressive_compress(v_tile.q, v_tile.scale, bits_);
+    refcount_[page] = 1;
+    s.pages.push_back(page);
+    return true;
+  }
+  // Ragged final tile: route through the buffer (stays INT8 until enough
+  // decode tokens arrive to fill a page).
+  TURBO_CHECK(k_tile.q.rows() < page_tokens_);
+  for (std::size_t r = 0; r < k_tile.q.rows(); ++r) {
+    std::vector<float> kt(head_dim_);
+    std::vector<float> vt(head_dim_);
+    dequantize_symmetric_int8(k_tile.q.row(r), k_tile.scale, kt);
+    dequantize_symmetric_int8(v_tile.q.row(r), v_tile.scale, vt);
+    s.k_buffer.push(kt);
+    s.v_buffer.push(vt);
+  }
+  if (s.k_buffer.full()) return flush_buffer(s);
+  return true;
+}
+
+bool PagedKvCache::flush_buffer(Sequence& s) {
+  TURBO_CHECK(s.k_buffer.full());
+  const PageId page = allocator_.allocate();
+  if (page == kInvalidPage) return false;
+  const float k_scale = s.k_buffer.scale();
+  const float v_scale = s.v_buffer.scale();
+  const MatrixI8 k_q1 = s.k_buffer.take();
+  const MatrixI8 v_q1 = s.v_buffer.take();
+  page_data_[page].k = progressive_compress(k_q1, k_scale, bits_);
+  page_data_[page].v = progressive_compress(v_q1, v_scale, bits_);
+  refcount_[page] = 1;
+  s.pages.push_back(page);
+  return true;
+}
+
+std::size_t PagedKvCache::token_count(SeqId seq) const {
+  const Sequence& s = seq_ref(seq);
+  return s.pages.size() * page_tokens_ + s.k_buffer.size();
+}
+
+std::vector<const KvBlock*> PagedKvCache::blocks(SeqId seq) const {
+  const Sequence& s = seq_ref(seq);
+  std::vector<const KvBlock*> out;
+  out.reserve(s.pages.size());
+  for (PageId p : s.pages) {
+    out.push_back(&page_data_[p]);
+  }
+  return out;
+}
+
+const DecodeBuffer& PagedKvCache::key_buffer(SeqId seq) const {
+  return seq_ref(seq).k_buffer;
+}
+const DecodeBuffer& PagedKvCache::value_buffer(SeqId seq) const {
+  return seq_ref(seq).v_buffer;
+}
+
+std::size_t PagedKvCache::shared_pages() const {
+  std::size_t n = 0;
+  for (std::uint32_t rc : refcount_) {
+    if (rc > 1) ++n;
+  }
+  return n;
+}
+
+std::size_t PagedKvCache::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (PageId p = 0; p < page_data_.size(); ++p) {
+    if (refcount_[p] > 0) bytes += page_data_[p].memory_bytes();
+  }
+  for (const auto& [id, s] : sequences_) {
+    bytes += s.k_buffer.memory_bytes() + s.v_buffer.memory_bytes();
+  }
+  return bytes;
+}
+
+PagedKvCache::Sequence& PagedKvCache::seq_ref(SeqId seq) {
+  auto it = sequences_.find(seq);
+  TURBO_CHECK_MSG(it != sequences_.end(), "unknown sequence " << seq);
+  return it->second;
+}
+const PagedKvCache::Sequence& PagedKvCache::seq_ref(SeqId seq) const {
+  auto it = sequences_.find(seq);
+  TURBO_CHECK_MSG(it != sequences_.end(), "unknown sequence " << seq);
+  return it->second;
+}
+
+}  // namespace turbo

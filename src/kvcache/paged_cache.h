@@ -1,0 +1,96 @@
+// Paged, multi-sequence KV cache with copy-on-write prefix sharing.
+//
+// The serving-side memory manager: sequences map onto fixed-size pages
+// (one page = one FlashAttention block of tokens, compressed through the
+// FlashQ second stage) via per-sequence page tables. Because the cache is
+// append-only, forked sequences (beam search, shared system prompts) can
+// share full pages by reference counting with no copy ever needed; only
+// the partial INT8 tail buffer is duplicated. This is the vLLM PagedAttention
+// design specialized to TurboAttention's compressed page payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "kvcache/decode_buffer.h"
+#include "kvcache/page_allocator.h"
+#include "kvcache/quantized_kv_cache.h"
+
+namespace turbo {
+
+class PagedKvCache {
+ public:
+  using SeqId = std::uint64_t;
+
+  // `page_tokens` is the tokens-per-page (use the attention Bc);
+  // `page_count` bounds total memory.
+  PagedKvCache(std::size_t head_dim, BitWidth bits, std::size_t page_tokens,
+               std::size_t page_count);
+
+  std::size_t head_dim() const { return head_dim_; }
+  std::size_t page_tokens() const { return page_tokens_; }
+  BitWidth bits() const { return bits_; }
+
+  // --- Sequence lifecycle -------------------------------------------------
+  SeqId create_sequence();
+
+  // Copy-on-write fork: full pages are shared (refcounted); the partial
+  // tail buffer is copied. Returns nullopt if the buffer copy cannot be
+  // backed by future pages (never fails in practice — no page is consumed
+  // at fork time).
+  SeqId fork_sequence(SeqId seq);
+
+  void release_sequence(SeqId seq);
+  bool has_sequence(SeqId seq) const { return sequences_.count(seq) > 0; }
+
+  // --- Data path ----------------------------------------------------------
+  // Append one token's K/V to a sequence. Returns false when the cache is
+  // out of pages (the token is NOT appended; caller may evict and retry).
+  [[nodiscard]] bool append_token(SeqId seq, std::span<const float> k,
+                                  std::span<const float> v);
+
+  // Prefill fast path: absorb an INT8 tile pair (exactly page_tokens rows
+  // except possibly the last tile, which lands in the tail buffer).
+  // Returns false on page exhaustion.
+  [[nodiscard]] bool append_prefill_block(SeqId seq, const Int8Tile& k_tile,
+                                          const Int8Tile& v_tile);
+
+  // --- Decode view ----------------------------------------------------
+  std::size_t token_count(SeqId seq) const;
+  std::vector<const KvBlock*> blocks(SeqId seq) const;
+  const DecodeBuffer& key_buffer(SeqId seq) const;
+  const DecodeBuffer& value_buffer(SeqId seq) const;
+
+  // --- Introspection --------------------------------------------------
+  std::size_t used_pages() const { return allocator_.used_pages(); }
+  std::size_t free_pages() const { return allocator_.free_pages(); }
+  std::size_t sequence_count() const { return sequences_.size(); }
+  // Pages referenced by more than one sequence.
+  std::size_t shared_pages() const;
+  // Total compressed bytes held (pages + buffers).
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Sequence {
+    std::vector<PageId> pages;
+    DecodeBuffer k_buffer;
+    DecodeBuffer v_buffer;
+  };
+
+  Sequence& seq_ref(SeqId seq);
+  const Sequence& seq_ref(SeqId seq) const;
+  bool flush_buffer(Sequence& s);
+
+  std::size_t head_dim_;
+  BitWidth bits_;
+  std::size_t page_tokens_;
+  PageAllocator allocator_;
+  std::vector<KvBlock> page_data_;       // indexed by PageId
+  std::vector<std::uint32_t> refcount_;  // indexed by PageId
+  std::unordered_map<SeqId, Sequence> sequences_;
+  SeqId next_seq_ = 1;
+};
+
+}  // namespace turbo

@@ -1,0 +1,189 @@
+#include "kvcache/serialization.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace turbo {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434b5654u;  // "TVKC" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+// Little-endian byte-stream writer.
+class Writer {
+ public:
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+  void put_bytes(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    TURBO_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(),
+                    "truncated KV-cache stream");
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+  std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    TURBO_CHECK_MSG(pos_ + n <= bytes_.size(), "truncated KV-cache stream");
+    auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_progressive(Writer& w, const ProgressiveBlock& b) {
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(b.rows));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(b.cols));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(bit_count(b.bits)));
+  w.put<float>(b.fp_scale);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(b.channels.size()));
+  for (const ChannelParams& c : b.channels) {
+    w.put<std::int8_t>(c.s_int);
+    w.put<std::int8_t>(c.z_int);
+  }
+  w.put<std::uint64_t>(b.packed.size());
+  w.put_bytes(b.packed);
+}
+
+ProgressiveBlock read_progressive(Reader& r) {
+  ProgressiveBlock b;
+  b.rows = r.get<std::uint32_t>();
+  b.cols = r.get<std::uint32_t>();
+  b.bits = bit_width_from_int(r.get<std::uint8_t>());
+  b.fp_scale = r.get<float>();
+  const std::uint32_t n_channels = r.get<std::uint32_t>();
+  TURBO_CHECK_MSG(n_channels == b.cols, "corrupt channel table");
+  b.channels.resize(n_channels);
+  for (ChannelParams& c : b.channels) {
+    c.s_int = r.get<std::int8_t>();
+    c.z_int = r.get<std::int8_t>();
+  }
+  const std::uint64_t payload = r.get<std::uint64_t>();
+  TURBO_CHECK_MSG(payload == packed_byte_count(b.rows * b.cols, b.bits),
+                  "corrupt payload size");
+  auto bytes = r.get_bytes(payload);
+  b.packed.assign(bytes.begin(), bytes.end());
+  return b;
+}
+
+void write_buffer(Writer& w, const DecodeBuffer& buf) {
+  w.put<float>(buf.has_scale() ? buf.scale() : 0.0f);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(buf.size()));
+  for (std::size_t t = 0; t < buf.size(); ++t) {
+    auto row = buf.tokens().row(t);
+    w.put_bytes({reinterpret_cast<const std::uint8_t*>(row.data()),
+                 row.size()});
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_cache(const QuantizedKvCache& cache) {
+  Writer w;
+  w.put<std::uint32_t>(kMagic);
+  w.put<std::uint32_t>(kVersion);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.head_dim()));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(bit_count(cache.bits())));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.block_tokens()));
+  w.put<std::uint32_t>(
+      static_cast<std::uint32_t>(cache.key_buffer().capacity()));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.block_count()));
+  for (std::size_t j = 0; j < cache.block_count(); ++j) {
+    write_progressive(w, cache.block(j).k);
+    write_progressive(w, cache.block(j).v);
+  }
+  write_buffer(w, cache.key_buffer());
+  write_buffer(w, cache.value_buffer());
+  return w.take();
+}
+
+QuantizedKvCache deserialize_cache(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  TURBO_CHECK_MSG(r.get<std::uint32_t>() == kMagic,
+                  "not a TurboAttention KV-cache stream");
+  const std::uint32_t version = r.get<std::uint32_t>();
+  TURBO_CHECK_MSG(version == kVersion,
+                  "unsupported KV-cache version " << version);
+  const std::uint32_t head_dim = r.get<std::uint32_t>();
+  const BitWidth bits = bit_width_from_int(r.get<std::uint8_t>());
+  const std::uint32_t block_tokens = r.get<std::uint32_t>();
+  const std::uint32_t buffer_capacity = r.get<std::uint32_t>();
+  const std::uint32_t n_blocks = r.get<std::uint32_t>();
+
+  std::vector<KvBlock> blocks(n_blocks);
+  for (KvBlock& b : blocks) {
+    b.k = read_progressive(r);
+    b.v = read_progressive(r);
+  }
+
+  auto read_buffer = [&](float& scale, MatrixI8& rows) {
+    scale = r.get<float>();
+    const std::uint32_t n = r.get<std::uint32_t>();
+    rows = MatrixI8(0, head_dim);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      auto raw = r.get_bytes(head_dim);
+      std::vector<std::int8_t> row(head_dim);
+      std::memcpy(row.data(), raw.data(), head_dim);
+      rows.append_row(std::span<const std::int8_t>(row));
+    }
+  };
+  float k_scale = 0.0f;
+  float v_scale = 0.0f;
+  MatrixI8 k_buf;
+  MatrixI8 v_buf;
+  read_buffer(k_scale, k_buf);
+  read_buffer(v_scale, v_buf);
+  TURBO_CHECK_MSG(r.exhausted(), "trailing bytes in KV-cache stream");
+
+  return QuantizedKvCache::restore(head_dim, bits, block_tokens,
+                                   buffer_capacity, std::move(blocks),
+                                   k_scale, k_buf, v_scale, v_buf);
+}
+
+void save_cache(const QuantizedKvCache& cache, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serialize_cache(cache);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  TURBO_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  TURBO_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+QuantizedKvCache load_cache(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  TURBO_CHECK_MSG(in.good(), "cannot open " << path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  TURBO_CHECK_MSG(in.good(), "short read from " << path);
+  return deserialize_cache(bytes);
+}
+
+}  // namespace turbo

@@ -1,0 +1,30 @@
+// Binary serialization of compressed KV caches.
+//
+// Serving systems persist prefilled system prompts / few-shot prefixes so
+// later requests skip their prefill entirely (disk prefix caching). The
+// compressed representation is the natural persistence format — 4-6x
+// smaller than FP16 and exactly what decode consumes. Format: a tagged,
+// versioned, little-endian stream; round trips are bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kvcache/quantized_kv_cache.h"
+
+namespace turbo {
+
+// Serialize a cache (packed blocks + buffer + universal scales).
+std::vector<std::uint8_t> serialize_cache(const QuantizedKvCache& cache);
+
+// Reconstruct a cache from a stream produced by serialize_cache. Throws
+// CheckError on magic/version mismatch or a truncated/corrupt stream.
+QuantizedKvCache deserialize_cache(
+    std::span<const std::uint8_t> bytes);
+
+// File convenience wrappers.
+void save_cache(const QuantizedKvCache& cache, const std::string& path);
+QuantizedKvCache load_cache(const std::string& path);
+
+}  // namespace turbo

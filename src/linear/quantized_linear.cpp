@@ -1,0 +1,86 @@
+#include "linear/quantized_linear.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "quant/symmetric.h"
+
+namespace turbo::linear {
+
+QuantizedLinear::QuantizedLinear(const MatrixF& weights, WeightScheme scheme)
+    : in_features_(weights.cols()),
+      out_features_(weights.rows()),
+      scheme_(scheme),
+      w_q_(weights.rows(), weights.cols()),
+      row_scales_(weights.rows()) {
+  TURBO_CHECK(weights.rows() > 0 && weights.cols() > 0);
+
+  // Stage 1: symmetric INT8 per output channel.
+  for (std::size_t r = 0; r < out_features_; ++r) {
+    const float scale = symmetric_scale_int8(weights.row(r));
+    row_scales_[r] = scale;
+    quantize_symmetric_int8(weights.row(r), scale, w_q_.row(r));
+  }
+  packed_payload_bytes_ = out_features_ * in_features_;  // 1 B / weight
+
+  if (scheme_ == WeightScheme::kW4) {
+    // Stage 2: progressive INT8 -> INT4 (per output channel: the weight
+    // rows play the role the KV channels play in FlashQ), then keep the
+    // INT8 reconstruction for the forward pass.
+    // Transpose so rows become "channels" of the progressive compressor.
+    MatrixI8 wt(in_features_, out_features_);
+    for (std::size_t r = 0; r < out_features_; ++r) {
+      for (std::size_t c = 0; c < in_features_; ++c) {
+        wt(c, r) = w_q_(r, c);
+      }
+    }
+    const ProgressiveBlock block =
+        progressive_compress(wt, 1.0f, BitWidth::kInt4);
+    const MatrixI8 back = progressive_decompress_int8(block);
+    for (std::size_t r = 0; r < out_features_; ++r) {
+      for (std::size_t c = 0; c < in_features_; ++c) {
+        w_q_(r, c) = back(c, r);
+      }
+    }
+    packed_payload_bytes_ = block.payload_bytes() + block.metadata_bytes();
+  }
+}
+
+MatrixF QuantizedLinear::forward(const MatrixF& x) const {
+  TURBO_CHECK(x.cols() == in_features_);
+  MatrixF out(x.rows(), out_features_);
+  std::vector<std::int8_t> x_q(in_features_);
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    // Per-token symmetric INT8 activations (the A8 in W8A8/W4A8).
+    const float x_scale = symmetric_scale_int8(x.row(t));
+    quantize_symmetric_int8(x.row(t), x_scale, x_q);
+    for (std::size_t r = 0; r < out_features_; ++r) {
+      auto wr = w_q_.row(r);
+      std::int32_t acc = 0;
+      for (std::size_t c = 0; c < in_features_; ++c) {
+        acc += static_cast<std::int32_t>(x_q[c]) *
+               static_cast<std::int32_t>(wr[c]);
+      }
+      out(t, r) = static_cast<float>(acc) * x_scale * row_scales_[r];
+    }
+  }
+  return out;
+}
+
+MatrixF QuantizedLinear::forward_dequantized(const MatrixF& x) const {
+  return matmul_transposed(x, dequantized_weights());
+}
+
+MatrixF QuantizedLinear::dequantized_weights() const {
+  MatrixF w(out_features_, in_features_);
+  for (std::size_t r = 0; r < out_features_; ++r) {
+    dequantize_symmetric_int8(w_q_.row(r), row_scales_[r], w.row(r));
+  }
+  return w;
+}
+
+std::size_t QuantizedLinear::memory_bytes() const {
+  return packed_payload_bytes_ + row_scales_.size() * 2;  // FP16 scales
+}
+
+}  // namespace turbo::linear

@@ -1,0 +1,62 @@
+// Quantized linear layers: the W8A8 / W4A8 projection substrate that
+// LLM.int8() and QServe provide in the paper's Table 5 composition study.
+//
+// Weights are quantized per output channel (symmetric INT8, or QServe-style
+// progressive INT4 with INT8 intermediates); activations per token
+// (symmetric INT8). The forward pass is an integer matmul with one
+// per-(token, channel) rescale — the standard W8A8 kernel. Having the real
+// thing (instead of a noise model) lets the Table 5 reproduction measure
+// the upstream error it composes with TurboAttention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "quant/progressive.h"
+#include "quant/types.h"
+
+namespace turbo::linear {
+
+enum class WeightScheme {
+  kW8,  // LLM.int8()-style: symmetric INT8 per output channel
+  kW4,  // QServe-style: progressive INT8 -> INT4 per output channel
+};
+
+// A quantized weight matrix for y = x W^T (W stored [out x in]).
+class QuantizedLinear {
+ public:
+  // Quantize FP32 weights. For kW4 the second stage uses the same integer
+  // scales/zero-points machinery as the KV cache.
+  QuantizedLinear(const MatrixF& weights, WeightScheme scheme);
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  WeightScheme scheme() const { return scheme_; }
+
+  // Quantized forward: per-token symmetric INT8 activation quantization,
+  // INT8 integer matmul with INT32 accumulation, FP32 rescale.
+  MatrixF forward(const MatrixF& x) const;
+
+  // FP32 forward against the dequantized weights (for error attribution).
+  MatrixF forward_dequantized(const MatrixF& x) const;
+
+  // The effective (dequantized) weights.
+  MatrixF dequantized_weights() const;
+
+  // Stored bytes (payload + scales).
+  std::size_t memory_bytes() const;
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  WeightScheme scheme_;
+  // INT8 weight rows (for kW4 these are reconstructed at load; we keep the
+  // reconstruction since CPU "registers" are free — memory accounting uses
+  // the packed size).
+  MatrixI8 w_q_;
+  std::vector<float> row_scales_;     // per output channel
+  std::size_t packed_payload_bytes_;  // what the device would store
+};
+
+}  // namespace turbo::linear

@@ -1,0 +1,138 @@
+#include "model/deep.h"
+
+#include <cmath>
+
+#include "baselines/fp16_method.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace turbo::model {
+
+namespace {
+
+// x [tokens x d_in] * p [d_in x d_out].
+MatrixF project(const MatrixF& x, const MatrixF& p) {
+  return matmul(x, p);
+}
+
+// RMS-normalize each row to unit RMS (keeps magnitudes from drifting
+// across layers, like a pre-norm transformer).
+void rms_normalize(MatrixF& x) {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = x.row(r);
+    double ms = 0.0;
+    for (float v : row) ms += static_cast<double>(v) * v;
+    ms /= static_cast<double>(row.size());
+    const float inv = static_cast<float>(1.0 / std::sqrt(ms + 1e-9));
+    for (float& v : row) v *= inv;
+  }
+}
+
+struct LayerWeights {
+  std::vector<MatrixF> p_q;  // per head [d_model x head_dim]
+  std::vector<MatrixF> p_k;
+  std::vector<MatrixF> p_v;
+  MatrixF w_o;               // [d_model x d_model]
+};
+
+LayerWeights make_layer(const ModelProfile& profile, Rng& rng) {
+  const std::size_t d_model = profile.heads * profile.head_dim;
+  const double proj_std = 1.0 / std::sqrt(static_cast<double>(d_model));
+  LayerWeights w;
+  auto random_proj = [&] {
+    MatrixF p(d_model, profile.head_dim);
+    rng.fill_normal(p.flat(), 0.0, proj_std);
+    return p;
+  };
+  for (std::size_t h = 0; h < profile.heads; ++h) {
+    w.p_q.push_back(random_proj());
+    w.p_k.push_back(random_proj());
+    w.p_v.push_back(random_proj());
+  }
+  w.w_o = MatrixF(d_model, d_model);
+  rng.fill_normal(w.w_o.flat(), 0.0, proj_std);
+  return w;
+}
+
+// One layer forward for one stream, using a fresh method instance per
+// head. The first half of the sequence is prefilled; the second half runs
+// token-by-token through decode() — this is what actually reads each
+// method's *compressed* cache (KIVI/GEAR prefill attention is exact; only
+// their decode consumes the quantized representation).
+MatrixF layer_forward(const MatrixF& x, const LayerWeights& w,
+                      const ModelProfile& profile,
+                      const KvAttentionFactory& factory,
+                      std::span<const float> qk_scale_template) {
+  const std::size_t tokens = x.rows();
+  const std::size_t prefill = tokens / 2;
+  const std::size_t d_model = profile.heads * profile.head_dim;
+  MatrixF concat(tokens, d_model);
+  for (std::size_t h = 0; h < profile.heads; ++h) {
+    MatrixF q = project(x, w.p_q[h]);
+    MatrixF k = project(x, w.p_k[h]);
+    MatrixF v = project(x, w.p_v[h]);
+    // Inject the profile's channel-outlier structure into the metric so
+    // the quantization stress matches the single-layer experiments.
+    for (std::size_t r = 0; r < tokens; ++r) {
+      for (std::size_t c = 0; c < profile.head_dim; ++c) {
+        q(r, c) *= qk_scale_template[c];
+        k(r, c) *= qk_scale_template[c];
+      }
+    }
+    auto method = factory(profile.head_dim);
+    const MatrixF o = method->prefill(q.block_rows(0, prefill),
+                                      k.block_rows(0, prefill),
+                                      v.block_rows(0, prefill));
+    for (std::size_t r = 0; r < prefill; ++r) {
+      for (std::size_t c = 0; c < profile.head_dim; ++c) {
+        concat(r, h * profile.head_dim + c) = o(r, c);
+      }
+    }
+    for (std::size_t r = prefill; r < tokens; ++r) {
+      const auto od = method->decode(q.row(r), k.row(r), v.row(r));
+      for (std::size_t c = 0; c < profile.head_dim; ++c) {
+        concat(r, h * profile.head_dim + c) = od[c];
+      }
+    }
+  }
+  MatrixF mixed = matmul(concat, w.w_o);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    mixed.flat()[i] += x.flat()[i];  // residual
+  }
+  rms_normalize(mixed);
+  return mixed;
+}
+
+}  // namespace
+
+DepthDivergence measure_depth_divergence(const ModelProfile& profile,
+                                         const KvAttentionFactory& factory,
+                                         const DeepConfig& config) {
+  TURBO_CHECK(config.layers >= 1);
+  const std::size_t d_model = profile.heads * profile.head_dim;
+  Rng rng(config.seed);
+
+  MatrixF x_method(config.tokens, d_model);
+  rng.fill_normal(x_method.flat(), 0.0, 1.0);
+  rms_normalize(x_method);
+  MatrixF x_exact = x_method;
+
+  const std::vector<float> qk_scales =
+      channel_scales(profile, profile.heads / 2, TensorKind::kQueryKey,
+                     config.seed);
+
+  AttentionConfig exact_cfg;
+  const auto exact_factory = make_exact_factory(exact_cfg);
+
+  DepthDivergence out;
+  for (std::size_t l = 0; l < config.layers; ++l) {
+    const LayerWeights w = make_layer(profile, rng);
+    x_method = layer_forward(x_method, w, profile, factory, qk_scales);
+    x_exact = layer_forward(x_exact, w, profile, exact_factory, qk_scales);
+    out.per_layer.push_back(relative_error(x_method, x_exact));
+  }
+  return out;
+}
+
+}  // namespace turbo::model

@@ -1,0 +1,40 @@
+// Deep-stack error propagation.
+//
+// Single-layer fidelity understates what matters in a 32-layer model: the
+// approximation error of layer l perturbs the queries/keys/values of layer
+// l+1, and the question is whether those perturbations compound or wash
+// out. This pipeline runs a stack of attention layers twice — once with
+// the method under test, once exactly — evolving the two hidden-state
+// streams independently from the same initialization, and reports the
+// relative divergence after every layer.
+//
+// Layer structure (transformer-like, with fixed random weights):
+//   per head h:  q/k/v = x * P_{q,k,v}^{(l,h)}      (random projections)
+//                o_h   = Attention(q, k, v)          (method or exact)
+//   x' = RMSNorm(x + Concat(o_1..o_H) * W_o^{(l)})   (residual + mix)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/method.h"
+#include "model/profile.h"
+
+namespace turbo::model {
+
+struct DeepConfig {
+  std::size_t layers = 6;
+  std::size_t tokens = 128;  // prefill length (causal attention per layer)
+  std::uint64_t seed = 1;
+};
+
+struct DepthDivergence {
+  // Relative error ||x_method - x_exact|| / ||x_exact|| after each layer.
+  std::vector<double> per_layer;
+};
+
+DepthDivergence measure_depth_divergence(const ModelProfile& profile,
+                                         const KvAttentionFactory& factory,
+                                         const DeepConfig& config);
+
+}  // namespace turbo::model

@@ -1,0 +1,42 @@
+#include "model/generator.h"
+
+#include "common/rng.h"
+
+namespace turbo::model {
+
+QkvGenerator::QkvGenerator(ModelProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed) {}
+
+std::vector<float> QkvGenerator::qk_scales(std::size_t head) const {
+  return channel_scales(profile_, head, TensorKind::kQueryKey, seed_);
+}
+
+std::vector<float> QkvGenerator::v_scales(std::size_t head) const {
+  return channel_scales(profile_, head, TensorKind::kValue, seed_);
+}
+
+HeadTensors QkvGenerator::generate_head(std::size_t head,
+                                        std::size_t tokens) const {
+  const std::size_t d = profile_.head_dim;
+  const std::vector<float> qk = qk_scales(head);
+  const std::vector<float> vs = v_scales(head);
+
+  Rng rng(seed_ + 0x1234u + head * 0x9e37u);
+  HeadTensors t{MatrixF(tokens, d), MatrixF(tokens, d), MatrixF(tokens, d)};
+  for (std::size_t r = 0; r < tokens; ++r) {
+    // Occasional token-level spikes (attention-sink-like tokens) give the
+    // token dimension a visible but weaker outlier structure (Figs. 8/9:
+    // channel gaps dominate token gaps).
+    const float token_spike =
+        rng.uniform() < 0.02 ? static_cast<float>(rng.uniform(1.5, 2.5))
+                             : 1.0f;
+    for (std::size_t c = 0; c < d; ++c) {
+      t.q(r, c) = static_cast<float>(rng.normal()) * qk[c] * token_spike;
+      t.k(r, c) = static_cast<float>(rng.normal()) * qk[c] * token_spike;
+      t.v(r, c) = static_cast<float>(rng.normal()) * vs[c] * token_spike;
+    }
+  }
+  return t;
+}
+
+}  // namespace turbo::model

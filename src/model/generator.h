@@ -1,0 +1,42 @@
+// Synthetic Q/K/V generator reproducing the distributional structure of
+// Figures 4, 8 and 9: per-head channel-magnitude outliers (strong in Q/K
+// for all models, strong in V for Phi-3), mild token-wise spikes, and
+// head-to-head variability.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "model/profile.h"
+
+namespace turbo::model {
+
+struct HeadTensors {
+  MatrixF q;
+  MatrixF k;
+  MatrixF v;
+};
+
+class QkvGenerator {
+ public:
+  QkvGenerator(ModelProfile profile, std::uint64_t seed);
+
+  const ModelProfile& profile() const { return profile_; }
+
+  // Generate one head's [tokens x head_dim] tensors. Deterministic in
+  // (seed, head, tokens). Q and K share the head's metric channel scales,
+  // so attention scores weight outlier channels the way real rotary
+  // heads do; V gets its own (value) channel scales.
+  HeadTensors generate_head(std::size_t head, std::size_t tokens) const;
+
+  // The channel multipliers behind a head's tensors (for Figure 4-style
+  // distribution plots and headwise-selection experiments).
+  std::vector<float> qk_scales(std::size_t head) const;
+  std::vector<float> v_scales(std::size_t head) const;
+
+ private:
+  ModelProfile profile_;
+  std::uint64_t seed_;
+};
+
+}  // namespace turbo::model

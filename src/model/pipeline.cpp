@@ -1,0 +1,149 @@
+#include "model/pipeline.h"
+
+#include "baselines/fp16_method.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace turbo::model {
+
+namespace {
+
+void add_noise(MatrixF& m, Rng& rng, double stddev) {
+  if (stddev <= 0.0) return;
+  for (float& v : m.flat()) {
+    v += static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+}  // namespace
+
+MethodFidelity measure_fidelity(const QkvGenerator& generator,
+                                const KvAttentionFactory& factory,
+                                const PipelineConfig& config) {
+  const ModelProfile& profile = generator.profile();
+  AttentionConfig exact_cfg;  // defaults: causal, 64x64
+
+  MethodFidelity out;
+  double prefill_err_sum = 0.0;
+  double decode_err_sum = 0.0;
+  std::size_t decode_count = 0;
+  double bytes_sum = 0.0;
+
+  for (std::size_t h = 0; h < profile.heads; ++h) {
+    HeadTensors t =
+        generator.generate_head(h, config.prefill_tokens + config.decode_steps);
+    Rng noise_rng(config.seed + h * 77);
+    add_noise(t.q, noise_rng, config.input_noise);
+    add_noise(t.k, noise_rng, config.input_noise);
+    add_noise(t.v, noise_rng, config.input_noise);
+
+    const MatrixF q_pre = t.q.block_rows(0, config.prefill_tokens);
+    const MatrixF k_pre = t.k.block_rows(0, config.prefill_tokens);
+    const MatrixF v_pre = t.v.block_rows(0, config.prefill_tokens);
+
+    auto method = factory(profile.head_dim);
+    ExactAttention exact(profile.head_dim, exact_cfg);
+
+    const MatrixF o = method->prefill(q_pre, k_pre, v_pre);
+    const MatrixF o_ref = exact.prefill(q_pre, k_pre, v_pre);
+    prefill_err_sum += relative_error(o, o_ref);
+
+    for (std::size_t s = 0; s < config.decode_steps; ++s) {
+      const std::size_t row = config.prefill_tokens + s;
+      const auto od = method->decode(t.q.row(row), t.k.row(row), t.v.row(row));
+      const auto od_ref =
+          exact.decode(t.q.row(row), t.k.row(row), t.v.row(row));
+      decode_err_sum += relative_error(od, od_ref);
+      ++decode_count;
+    }
+    bytes_sum += static_cast<double>(method->kv_cache_bytes()) /
+                 static_cast<double>(method->token_count());
+  }
+
+  out.prefill_rel_err = prefill_err_sum / static_cast<double>(profile.heads);
+  out.decode_rel_err =
+      decode_count == 0
+          ? 0.0
+          : decode_err_sum / static_cast<double>(decode_count);
+  out.bytes_per_token = bytes_sum / static_cast<double>(profile.heads);
+  return out;
+}
+
+MethodFidelity measure_fidelity_gqa(const QkvGenerator& generator,
+                                    const KvAttentionFactory& factory,
+                                    const PipelineConfig& config,
+                                    std::size_t group_size) {
+  TURBO_CHECK(group_size >= 1);
+  const ModelProfile& profile = generator.profile();
+  AttentionConfig exact_cfg;
+
+  MethodFidelity out;
+  double prefill_err_sum = 0.0;
+  double decode_err_sum = 0.0;
+  std::size_t decode_count = 0;
+  double bytes_sum = 0.0;
+
+  for (std::size_t h = 0; h < profile.heads; ++h) {
+    HeadTensors t = generator.generate_head(
+        h, config.prefill_tokens + config.decode_steps);
+    // Per-query-head variations of the shared-KV queries: deterministic
+    // perturbations of the base query stream.
+    Rng q_rng(config.seed + 1000 + h);
+    std::vector<MatrixF> group_q(group_size, t.q);
+    for (std::size_t g = 1; g < group_size; ++g) {
+      for (float& x : group_q[g].flat()) {
+        x += static_cast<float>(q_rng.normal(0.0, 0.3));
+      }
+    }
+
+    auto method = factory(profile.head_dim);
+    ExactAttention exact(profile.head_dim, exact_cfg);
+    const MatrixF k_pre = t.k.block_rows(0, config.prefill_tokens);
+    const MatrixF v_pre = t.v.block_rows(0, config.prefill_tokens);
+
+    // Prefill with the group-leader queries; other groups' prefill outputs
+    // share the same cache state, so scoring the leader suffices for the
+    // cache-quality signal.
+    const MatrixF q_pre = group_q[0].block_rows(0, config.prefill_tokens);
+    prefill_err_sum += relative_error(method->prefill(q_pre, k_pre, v_pre),
+                                      exact.prefill(q_pre, k_pre, v_pre));
+
+    for (std::size_t s = 0; s < config.decode_steps; ++s) {
+      const std::size_t row = config.prefill_tokens + s;
+      // Group leader appends the shared k/v.
+      decode_err_sum += relative_error(
+          method->decode(group_q[0].row(row), t.k.row(row), t.v.row(row)),
+          exact.decode(group_q[0].row(row), t.k.row(row), t.v.row(row)));
+      ++decode_count;
+      // Remaining query heads attend the shared cache.
+      for (std::size_t g = 1; g < group_size; ++g) {
+        decode_err_sum += relative_error(method->attend(group_q[g].row(row)),
+                                         exact.attend(group_q[g].row(row)));
+        ++decode_count;
+      }
+    }
+    bytes_sum += static_cast<double>(method->kv_cache_bytes()) /
+                 static_cast<double>(method->token_count());
+  }
+
+  out.prefill_rel_err = prefill_err_sum / static_cast<double>(profile.heads);
+  out.decode_rel_err =
+      decode_count == 0 ? 0.0
+                        : decode_err_sum / static_cast<double>(decode_count);
+  out.bytes_per_token = bytes_sum / static_cast<double>(profile.heads);
+  return out;
+}
+
+std::vector<HeadStats> collect_head_stats(const QkvGenerator& generator,
+                                          std::size_t tokens) {
+  const ModelProfile& profile = generator.profile();
+  std::vector<HeadStats> stats(profile.heads);
+  for (std::size_t h = 0; h < profile.heads; ++h) {
+    const HeadTensors t = generator.generate_head(h, tokens);
+    stats[h] = combine_head_stats(compute_head_stats(t.k),
+                                  compute_head_stats(t.v));
+  }
+  return stats;
+}
+
+}  // namespace turbo::model

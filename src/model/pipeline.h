@@ -1,0 +1,52 @@
+// Multi-head fidelity pipeline: drives a KvAttention method across every
+// head of a profile on generated Q/K/V and scores its outputs against the
+// FP32 exact method. This is the numeric backbone for ablations that do
+// not need the full proxy tasks (Table 5 composition, Fig. 10 adjacent
+// sweeps) and for head-stats collection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/headwise.h"
+#include "attention/method.h"
+#include "model/generator.h"
+
+namespace turbo::model {
+
+struct PipelineConfig {
+  std::size_t prefill_tokens = 256;
+  std::size_t decode_steps = 32;
+  std::uint64_t seed = 1;
+  // Gaussian noise injected into every Q/K/V element before attention —
+  // models upstream weight/activation quantization error (Table 5:
+  // composition with LLM.int8() / QServe).
+  double input_noise = 0.0;
+};
+
+struct MethodFidelity {
+  double prefill_rel_err = 0;   // mean over heads vs exact
+  double decode_rel_err = 0;    // mean over heads and steps vs exact
+  double bytes_per_token = 0;   // measured KV-cache footprint
+};
+
+MethodFidelity measure_fidelity(const QkvGenerator& generator,
+                                const KvAttentionFactory& factory,
+                                const PipelineConfig& config);
+
+// Per-head K/V statistics over a generated prefill (input to the headwise
+// selector and the Figure 7b ablation).
+std::vector<HeadStats> collect_head_stats(const QkvGenerator& generator,
+                                          std::size_t tokens);
+
+// Grouped-query attention fidelity: one KV cache (and method instance) per
+// generated head serves `group_size` query heads — the group's first query
+// drives decode() (appending the shared k/v), the rest attend(). This is
+// the LLaMA-3/Qwen-2/Phi-3-medium cache layout; KV quantization error hits
+// every query head of the group.
+MethodFidelity measure_fidelity_gqa(const QkvGenerator& generator,
+                                    const KvAttentionFactory& factory,
+                                    const PipelineConfig& config,
+                                    std::size_t group_size);
+
+}  // namespace turbo::model

@@ -1,0 +1,131 @@
+#include "quant/asymmetric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace turbo {
+
+AsymParams asym_params(std::span<const float> values, BitWidth bits) {
+  const MinMax mm = min_max(values);
+  AsymParams p;
+  p.zero = mm.min;
+  const float gap = mm.gap();
+  p.scale = gap > 0.0f ? gap / static_cast<float>(max_code(bits)) : 1.0f;
+  return p;
+}
+
+void quantize_asym(std::span<const float> values, const AsymParams& p,
+                   BitWidth bits, std::span<std::uint8_t> out) {
+  TURBO_CHECK(values.size() == out.size());
+  TURBO_CHECK(p.scale > 0.0f);
+  const float inv = 1.0f / p.scale;
+  const float hi = static_cast<float>(max_code(bits));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float q = std::nearbyint((values[i] - p.zero) * inv);
+    out[i] = static_cast<std::uint8_t>(std::clamp(q, 0.0f, hi));
+  }
+}
+
+void dequantize_asym(std::span<const std::uint8_t> codes,
+                     const AsymParams& p, std::span<float> out) {
+  TURBO_CHECK(codes.size() == out.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[i] = static_cast<float>(codes[i]) * p.scale + p.zero;
+  }
+}
+
+std::size_t GroupQuantized::memory_bytes() const {
+  // Codes + per-group (scale, zero) stored as two FP16 values.
+  return packed.size() + params.size() * 4;
+}
+
+namespace {
+
+// Gather one group's values. For kChannel the group runs down column `c`
+// over rows [begin, end); for kToken it runs across row `r` over columns
+// [begin, end).
+void gather_group(const MatrixF& m, QuantAxis axis, std::size_t fixed,
+                  std::size_t begin, std::size_t end,
+                  std::vector<float>& buf) {
+  buf.clear();
+  if (axis == QuantAxis::kChannel) {
+    for (std::size_t r = begin; r < end; ++r) buf.push_back(m(r, fixed));
+  } else {
+    for (std::size_t c = begin; c < end; ++c) buf.push_back(m(fixed, c));
+  }
+}
+
+void scatter_group(MatrixF& m, QuantAxis axis, std::size_t fixed,
+                   std::size_t begin, std::span<const float> buf) {
+  if (axis == QuantAxis::kChannel) {
+    for (std::size_t i = 0; i < buf.size(); ++i) m(begin + i, fixed) = buf[i];
+  } else {
+    for (std::size_t i = 0; i < buf.size(); ++i) m(fixed, begin + i) = buf[i];
+  }
+}
+
+}  // namespace
+
+GroupQuantized quantize_grouped(const MatrixF& m, BitWidth bits,
+                                std::size_t group_size, QuantAxis axis) {
+  TURBO_CHECK(group_size > 0);
+  GroupQuantized g;
+  g.rows = m.rows();
+  g.cols = m.cols();
+  g.bits = bits;
+  g.axis = axis;
+  g.group_size = group_size;
+
+  const std::size_t n_fixed = axis == QuantAxis::kChannel ? m.cols() : m.rows();
+  const std::size_t axis_len = axis == QuantAxis::kChannel ? m.rows() : m.cols();
+
+  std::vector<std::uint8_t> codes;
+  codes.reserve(m.size());
+  std::vector<float> buf;
+  std::vector<std::uint8_t> group_codes;
+  for (std::size_t f = 0; f < n_fixed; ++f) {
+    for (std::size_t begin = 0; begin < axis_len; begin += group_size) {
+      const std::size_t end = std::min(begin + group_size, axis_len);
+      gather_group(m, axis, f, begin, end, buf);
+      const AsymParams p = asym_params(buf, bits);
+      group_codes.resize(buf.size());
+      quantize_asym(buf, p, bits, group_codes);
+      codes.insert(codes.end(), group_codes.begin(), group_codes.end());
+      g.params.push_back(p);
+    }
+  }
+  g.packed = pack_codes(codes, bits);
+  return g;
+}
+
+MatrixF dequantize_grouped(const GroupQuantized& g) {
+  MatrixF out(g.rows, g.cols);
+  const std::size_t n_fixed =
+      g.axis == QuantAxis::kChannel ? g.cols : g.rows;
+  const std::size_t axis_len =
+      g.axis == QuantAxis::kChannel ? g.rows : g.cols;
+
+  const std::vector<std::uint8_t> codes =
+      unpack_codes(g.packed, g.bits, g.rows * g.cols);
+
+  std::size_t code_pos = 0;
+  std::size_t group_idx = 0;
+  std::vector<float> buf;
+  for (std::size_t f = 0; f < n_fixed; ++f) {
+    for (std::size_t begin = 0; begin < axis_len; begin += g.group_size) {
+      const std::size_t end = std::min(begin + g.group_size, axis_len);
+      const std::size_t n = end - begin;
+      buf.resize(n);
+      dequantize_asym({codes.data() + code_pos, n}, g.params[group_idx], buf);
+      scatter_group(out, g.axis, f, begin, buf);
+      code_pos += n;
+      ++group_idx;
+    }
+  }
+  return out;
+}
+
+}  // namespace turbo

@@ -1,0 +1,59 @@
+// Float-domain asymmetric grouped quantization.
+//
+// This is the classic KV-cache quantizer used by the KIVI baseline and by
+// the Figure 10 channelwise-vs-tokenwise error study: values in a group
+// share a float scale and zero-point,
+//   q = clamp(round((x - zero) / scale), 0, 2^bits - 1),
+//   x^ = q * scale + zero.
+// Groups run either down a column (per-channel) or across a row (per-token)
+// with a group size g (KIVI uses g = 64).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "quant/packing.h"
+#include "quant/types.h"
+
+namespace turbo {
+
+// Parameters of one quantization group.
+struct AsymParams {
+  float scale = 1.0f;
+  float zero = 0.0f;
+};
+
+// Compute scale/zero for a group of values at the given width.
+AsymParams asym_params(std::span<const float> values, BitWidth bits);
+
+// Quantize a group with known parameters into unsigned codes.
+void quantize_asym(std::span<const float> values, const AsymParams& p,
+                   BitWidth bits, std::span<std::uint8_t> out);
+
+void dequantize_asym(std::span<const std::uint8_t> codes,
+                     const AsymParams& p, std::span<float> out);
+
+// A matrix quantized group-wise along an axis, codes packed.
+struct GroupQuantized {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  BitWidth bits = BitWidth::kInt4;
+  QuantAxis axis = QuantAxis::kChannel;
+  std::size_t group_size = 64;
+  std::vector<std::uint8_t> packed;   // codes in axis-major group order
+  std::vector<AsymParams> params;     // one per group
+
+  // Payload + metadata footprint in bytes (params as 2 x FP16).
+  std::size_t memory_bytes() const;
+};
+
+// Quantize `m` along `axis` with groups of `group_size` elements. The last
+// group along the axis may be ragged.
+GroupQuantized quantize_grouped(const MatrixF& m, BitWidth bits,
+                                std::size_t group_size, QuantAxis axis);
+
+MatrixF dequantize_grouped(const GroupQuantized& g);
+
+}  // namespace turbo

@@ -1,0 +1,107 @@
+#include "quant/error.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "quant/asymmetric.h"
+#include "quant/progressive.h"
+#include "quant/symmetric.h"
+
+namespace turbo {
+
+double grouped_quant_rmse(const MatrixF& m, BitWidth bits,
+                          std::size_t group_size, QuantAxis axis) {
+  const GroupQuantized g = quantize_grouped(m, bits, group_size, axis);
+  const MatrixF back = dequantize_grouped(g);
+  return rmse(m, back);
+}
+
+double progressive_quant_rmse(const MatrixF& m, BitWidth bits,
+                              std::size_t block_rows) {
+  TURBO_CHECK(block_rows > 0);
+  double sq_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t begin = 0; begin < m.rows(); begin += block_rows) {
+    const std::size_t rows = std::min(block_rows, m.rows() - begin);
+    const MatrixF tile = m.block_rows(begin, rows);
+    const ProgressiveBlock block =
+        progressive_compress_from_float(tile, bits);
+    const MatrixF back = progressive_decompress_float(block);
+    const double r = rmse(tile, back);
+    sq_sum += r * r * static_cast<double>(tile.size());
+    n += tile.size();
+  }
+  return n == 0 ? 0.0 : std::sqrt(sq_sum / static_cast<double>(n));
+}
+
+namespace {
+
+// Mean over channels of (channel RMSE / channel stddev).
+double channel_normalized_error(const MatrixF& original,
+                                const MatrixF& reconstructed) {
+  TURBO_CHECK(original.rows() == reconstructed.rows());
+  TURBO_CHECK(original.cols() == reconstructed.cols());
+  if (original.rows() == 0 || original.cols() == 0) return 0.0;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t c = 0; c < original.cols(); ++c) {
+    double err_sq = 0.0;
+    double mean = 0.0;
+    for (std::size_t r = 0; r < original.rows(); ++r) {
+      mean += original(r, c);
+    }
+    mean /= static_cast<double>(original.rows());
+    double var = 0.0;
+    for (std::size_t r = 0; r < original.rows(); ++r) {
+      const double d = original(r, c) - reconstructed(r, c);
+      err_sq += d * d;
+      const double dv = original(r, c) - mean;
+      var += dv * dv;
+    }
+    if (var <= 0.0) continue;  // constant channel: exactly representable
+    sum += std::sqrt(err_sq / var);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace
+
+double grouped_quant_normalized_error(const MatrixF& m, BitWidth bits,
+                                      std::size_t group_size,
+                                      QuantAxis axis) {
+  const GroupQuantized g = quantize_grouped(m, bits, group_size, axis);
+  return channel_normalized_error(m, dequantize_grouped(g));
+}
+
+double progressive_quant_normalized_error(const MatrixF& m, BitWidth bits,
+                                          std::size_t block_rows) {
+  TURBO_CHECK(block_rows > 0);
+  MatrixF back(0, m.cols());
+  for (std::size_t begin = 0; begin < m.rows(); begin += block_rows) {
+    const std::size_t rows = std::min(block_rows, m.rows() - begin);
+    const MatrixF tile = m.block_rows(begin, rows);
+    back.append_rows(progressive_decompress_float(
+        progressive_compress_from_float(tile, bits)));
+  }
+  return channel_normalized_error(m, back);
+}
+
+double symmetric_int8_rmse(const MatrixF& m, std::size_t block_rows) {
+  TURBO_CHECK(block_rows > 0);
+  double sq_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t begin = 0; begin < m.rows(); begin += block_rows) {
+    const std::size_t rows = std::min(block_rows, m.rows() - begin);
+    const MatrixF tile = m.block_rows(begin, rows);
+    const Int8Tile t = quantize_tile_int8(tile);
+    const MatrixF back = dequantize_tile(t);
+    const double r = rmse(tile, back);
+    sq_sum += r * r * static_cast<double>(tile.size());
+    n += tile.size();
+  }
+  return n == 0 ? 0.0 : std::sqrt(sq_sum / static_cast<double>(n));
+}
+
+}  // namespace turbo

@@ -1,0 +1,36 @@
+// Quantization-error measurement helpers (Fig. 10 and ablations).
+#pragma once
+
+#include "common/matrix.h"
+#include "quant/types.h"
+
+namespace turbo {
+
+// Round-trip RMSE of grouped asymmetric quantization along an axis — the
+// quantity Figure 10 compares channelwise vs tokenwise.
+double grouped_quant_rmse(const MatrixF& m, BitWidth bits,
+                          std::size_t group_size, QuantAxis axis);
+
+// Round-trip RMSE of the full two-stage progressive pipeline applied
+// block-wise with the given token block size.
+double progressive_quant_rmse(const MatrixF& m, BitWidth bits,
+                              std::size_t block_rows);
+
+// Round-trip RMSE of plain symmetric INT8 (first stage only), block-wise.
+double symmetric_int8_rmse(const MatrixF& m, std::size_t block_rows);
+
+// Channel-normalized round-trip error: per-channel RMSE divided by that
+// channel's standard deviation, averaged over channels. Plain RMSE is
+// dominated by the (large) absolute errors on outlier channels under every
+// scheme; this metric exposes where token-wise grouping actually loses —
+// its step size is set by the row's outlier-dominated range, so *normal*
+// channels are quantized far too coarsely relative to their scale.
+double grouped_quant_normalized_error(const MatrixF& m, BitWidth bits,
+                                      std::size_t group_size,
+                                      QuantAxis axis);
+
+// Same metric for the FlashQ two-stage pipeline.
+double progressive_quant_normalized_error(const MatrixF& m, BitWidth bits,
+                                          std::size_t block_rows);
+
+}  // namespace turbo

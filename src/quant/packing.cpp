@@ -1,0 +1,59 @@
+#include "quant/packing.h"
+
+#include "common/check.h"
+
+namespace turbo {
+
+std::size_t packed_byte_count(std::size_t count, BitWidth bits) {
+  const std::size_t b = static_cast<std::size_t>(bit_count(bits));
+  return (count * b + 7) / 8;
+}
+
+std::vector<std::uint8_t> pack_codes(std::span<const std::uint8_t> codes,
+                                     BitWidth bits) {
+  const int b = bit_count(bits);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << b) - 1u);
+  std::vector<std::uint8_t> out(packed_byte_count(codes.size(), bits), 0);
+  std::size_t bitpos = 0;
+  for (std::uint8_t code : codes) {
+    TURBO_DCHECK((code & ~mask) == 0);
+    const std::size_t byte = bitpos >> 3;
+    const unsigned shift = bitpos & 7u;
+    out[byte] |= static_cast<std::uint8_t>((code & mask) << shift);
+    // A code can straddle a byte boundary (3-bit case).
+    if (shift + static_cast<unsigned>(b) > 8) {
+      out[byte + 1] |=
+          static_cast<std::uint8_t>((code & mask) >> (8 - shift));
+    }
+    bitpos += static_cast<std::size_t>(b);
+  }
+  return out;
+}
+
+void unpack_codes(std::span<const std::uint8_t> packed, BitWidth bits,
+                  std::size_t count, std::span<std::uint8_t> out) {
+  TURBO_CHECK(out.size() >= count);
+  TURBO_CHECK(packed.size() >= packed_byte_count(count, bits));
+  const int b = bit_count(bits);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << b) - 1u);
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t byte = bitpos >> 3;
+    const unsigned shift = bitpos & 7u;
+    unsigned v = packed[byte] >> shift;
+    if (shift + static_cast<unsigned>(b) > 8) {
+      v |= static_cast<unsigned>(packed[byte + 1]) << (8 - shift);
+    }
+    out[i] = static_cast<std::uint8_t>(v & mask);
+    bitpos += static_cast<std::size_t>(b);
+  }
+}
+
+std::vector<std::uint8_t> unpack_codes(std::span<const std::uint8_t> packed,
+                                       BitWidth bits, std::size_t count) {
+  std::vector<std::uint8_t> out(count);
+  unpack_codes(packed, bits, count, out);
+  return out;
+}
+
+}  // namespace turbo

@@ -1,0 +1,139 @@
+#include "quant/progressive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace turbo {
+
+ProgressiveBlock progressive_compress(const MatrixI8& q1, float fp_scale,
+                                      BitWidth bits) {
+  TURBO_CHECK(bits == BitWidth::kInt2 || bits == BitWidth::kInt3 ||
+              bits == BitWidth::kInt4);
+  TURBO_CHECK(q1.rows() > 0 && q1.cols() > 0);
+
+  ProgressiveBlock block;
+  block.rows = q1.rows();
+  block.cols = q1.cols();
+  block.bits = bits;
+  block.fp_scale = fp_scale;
+  block.channels.resize(q1.cols());
+
+  const int codes_hi = max_code(bits);
+  std::vector<std::uint8_t> codes(q1.rows() * q1.cols());
+
+  for (std::size_t c = 0; c < q1.cols(); ++c) {
+    int lo = 127;
+    int hi = -127;
+    for (std::size_t r = 0; r < q1.rows(); ++r) {
+      const int v = q1(r, c);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const int gap = hi - lo;
+    // Algorithm 1 rounds the integer scale to nearest; values past
+    // max_code * s_int clip into the top code (rare, only the channel's
+    // extreme when the gap isn't divisible), which beats the systematic
+    // precision loss a ceil() scale would impose on every element.
+    const int s_int = std::max(1, (2 * gap + codes_hi) / (2 * codes_hi));
+    TURBO_DCHECK(s_int <= 127);
+    block.channels[c].s_int = static_cast<std::int8_t>(s_int);
+    block.channels[c].z_int = static_cast<std::int8_t>(lo);
+
+    for (std::size_t r = 0; r < q1.rows(); ++r) {
+      // Integer round-to-nearest of (q1 - z) / s: add s/2 before dividing.
+      const int num = q1(r, c) - lo;
+      const int q2 = std::clamp((num + s_int / 2) / s_int, 0, codes_hi);
+      codes[c * q1.rows() + r] = static_cast<std::uint8_t>(q2);
+    }
+  }
+  block.packed = pack_codes(codes, bits);
+  return block;
+}
+
+MatrixI8 progressive_decompress_int8(const ProgressiveBlock& block) {
+  MatrixI8 out(block.rows, block.cols);
+  const std::vector<std::uint8_t> codes =
+      unpack_codes(block.packed, block.bits, block.rows * block.cols);
+  for (std::size_t c = 0; c < block.cols; ++c) {
+    const int s = block.channels[c].s_int;
+    const int z = block.channels[c].z_int;
+    for (std::size_t r = 0; r < block.rows; ++r) {
+      const int q1 =
+          static_cast<int>(codes[c * block.rows + r]) * s + z;
+      out(r, c) = static_cast<std::int8_t>(std::clamp(q1, -127, 127));
+    }
+  }
+  return out;
+}
+
+MatrixF progressive_decompress_float(const ProgressiveBlock& block) {
+  const MatrixI8 q1 = progressive_decompress_int8(block);
+  MatrixF out(block.rows, block.cols);
+  for (std::size_t i = 0; i < q1.size(); ++i) {
+    out.flat()[i] = static_cast<float>(q1.flat()[i]) * block.fp_scale;
+  }
+  return out;
+}
+
+ProgressiveBlock progressive_compress_from_float(const MatrixF& tile,
+                                                 BitWidth bits) {
+  const Int8Tile stage1 = quantize_tile_int8(tile);
+  return progressive_compress(stage1.q, stage1.scale, bits);
+}
+
+FloatScaleBlock float_scale_compress(const MatrixI8& q1, float fp_scale,
+                                     BitWidth bits) {
+  TURBO_CHECK(bits == BitWidth::kInt2 || bits == BitWidth::kInt3 ||
+              bits == BitWidth::kInt4);
+  TURBO_CHECK(q1.rows() > 0 && q1.cols() > 0);
+
+  FloatScaleBlock block;
+  block.rows = q1.rows();
+  block.cols = q1.cols();
+  block.bits = bits;
+  block.fp_scale = fp_scale;
+  block.channels.resize(q1.cols());
+
+  const int codes_hi = max_code(bits);
+  std::vector<std::uint8_t> codes(q1.rows() * q1.cols());
+  for (std::size_t c = 0; c < q1.cols(); ++c) {
+    int lo = 127;
+    int hi = -127;
+    for (std::size_t r = 0; r < q1.rows(); ++r) {
+      lo = std::min<int>(lo, q1(r, c));
+      hi = std::max<int>(hi, q1(r, c));
+    }
+    FloatScaleChannel& ch = block.channels[c];
+    ch.zero = static_cast<float>(lo);
+    ch.scale = hi > lo
+                   ? static_cast<float>(hi - lo) / static_cast<float>(codes_hi)
+                   : 1.0f;
+    for (std::size_t r = 0; r < q1.rows(); ++r) {
+      const float q = std::nearbyint(
+          (static_cast<float>(q1(r, c)) - ch.zero) / ch.scale);
+      codes[c * q1.rows() + r] = static_cast<std::uint8_t>(
+          std::clamp(q, 0.0f, static_cast<float>(codes_hi)));
+    }
+  }
+  block.packed = pack_codes(codes, bits);
+  return block;
+}
+
+MatrixF float_scale_decompress_float(const FloatScaleBlock& block) {
+  MatrixF out(block.rows, block.cols);
+  const std::vector<std::uint8_t> codes =
+      unpack_codes(block.packed, block.bits, block.rows * block.cols);
+  for (std::size_t c = 0; c < block.cols; ++c) {
+    const FloatScaleChannel& ch = block.channels[c];
+    for (std::size_t r = 0; r < block.rows; ++r) {
+      const float q1 =
+          static_cast<float>(codes[c * block.rows + r]) * ch.scale + ch.zero;
+      out(r, c) = q1 * block.fp_scale;
+    }
+  }
+  return out;
+}
+
+}  // namespace turbo

@@ -1,0 +1,65 @@
+#include "quant/symmetric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace turbo {
+
+namespace {
+
+std::int8_t quantize_one(float x, float inv_scale) {
+  const float scaled = std::nearbyint(x * inv_scale);
+  const float clamped = std::clamp(scaled, -127.0f, 127.0f);
+  return static_cast<std::int8_t>(clamped);
+}
+
+}  // namespace
+
+float symmetric_scale_int8(std::span<const float> values, float headroom) {
+  TURBO_CHECK(headroom > 0.0f);
+  float amax = 0.0f;
+  for (float v : values) amax = std::max(amax, std::abs(v));
+  if (amax == 0.0f) return 1.0f;  // arbitrary positive scale for zero input
+  return amax / headroom;
+}
+
+void quantize_symmetric_int8(std::span<const float> values, float scale,
+                             std::span<std::int8_t> out) {
+  TURBO_CHECK(values.size() == out.size());
+  TURBO_CHECK(scale > 0.0f);
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = quantize_one(values[i], inv);
+  }
+}
+
+void dequantize_symmetric_int8(std::span<const std::int8_t> q, float scale,
+                               std::span<float> out) {
+  TURBO_CHECK(q.size() == out.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    out[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+Int8Tile quantize_tile_int8(const MatrixF& tile, float headroom) {
+  const float scale = symmetric_scale_int8(tile.flat(), headroom);
+  return quantize_tile_int8_with_scale(tile, scale);
+}
+
+Int8Tile quantize_tile_int8_with_scale(const MatrixF& tile, float scale) {
+  Int8Tile out;
+  out.scale = scale;
+  out.q = MatrixI8(tile.rows(), tile.cols());
+  quantize_symmetric_int8(tile.flat(), scale, out.q.flat());
+  return out;
+}
+
+MatrixF dequantize_tile(const Int8Tile& tile) {
+  MatrixF out(tile.q.rows(), tile.q.cols());
+  dequantize_symmetric_int8(tile.q.flat(), tile.scale, out.flat());
+  return out;
+}
+
+}  // namespace turbo

@@ -1,0 +1,53 @@
+// Shared quantization vocabulary.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace turbo {
+
+// Bit-widths supported by the second (asymmetric) quantization stage and by
+// the float-domain grouped quantizers. INT8 is the first-stage format.
+enum class BitWidth : int {
+  kInt2 = 2,
+  kInt3 = 3,
+  kInt4 = 4,
+  kInt8 = 8,
+};
+
+inline int bit_count(BitWidth b) { return static_cast<int>(b); }
+
+// Number of representable levels (2^bits).
+inline int level_count(BitWidth b) { return 1 << bit_count(b); }
+
+// Largest unsigned code for this width (2^bits - 1).
+inline int max_code(BitWidth b) { return level_count(b) - 1; }
+
+inline BitWidth bit_width_from_int(int bits) {
+  switch (bits) {
+    case 2:
+      return BitWidth::kInt2;
+    case 3:
+      return BitWidth::kInt3;
+    case 4:
+      return BitWidth::kInt4;
+    case 8:
+      return BitWidth::kInt8;
+    default:
+      TURBO_CHECK_MSG(false, "unsupported bit width " << bits);
+  }
+}
+
+// Axis along which grouped quantization parameters are shared.
+enum class QuantAxis {
+  kChannel,  // parameters shared down a column (per-channel): KIVI keys,
+             // FlashQ second stage
+  kToken,    // parameters shared across a row (per-token): KIVI values
+};
+
+inline const char* axis_name(QuantAxis a) {
+  return a == QuantAxis::kChannel ? "channel" : "token";
+}
+
+}  // namespace turbo

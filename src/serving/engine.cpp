@@ -1,0 +1,178 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace turbo::serving {
+
+namespace {
+
+struct Running {
+  std::size_t trace_index;
+  std::size_t context;    // tokens currently cached
+  std::size_t remaining;  // tokens still to generate
+};
+
+}  // namespace
+
+EngineResult run_engine(const EngineConfig& config,
+                        std::vector<Request> trace) {
+  std::sort(trace.begin(), trace.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+
+  const double kv_per_token = sim::kv_cache_bytes_per_token(
+      config.method, config.attention, config.geometry.kv_heads,
+      config.geometry.head_dim) *
+      static_cast<double>(config.geometry.layers);
+  const double kv_budget =
+      config.device.hbm_capacity * config.memory_headroom -
+      config.geometry.weight_bytes_fp16();
+  TURBO_CHECK_MSG(kv_budget > 0.0, "weights alone exceed device memory");
+
+  EngineResult result;
+  result.requests = trace;
+
+  std::deque<std::size_t> waiting;  // indices into result.requests
+  std::vector<Running> running;
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  double kv_used = 0.0;
+
+  auto footprint = [&](const Request& r) {
+    return static_cast<double>(r.prompt_tokens + r.max_new_tokens) *
+           kv_per_token;
+  };
+
+  // Reject requests that could never fit even alone.
+  for (Request& r : result.requests) {
+    if (footprint(r) > kv_budget) {
+      r.finish_s = r.arrival_s;  // degenerate: immediately rejected
+      ++result.rejected;
+    }
+  }
+
+  const std::size_t total = result.requests.size();
+  std::size_t finished = result.rejected;
+
+  while (finished < total && now < config.max_sim_time_s) {
+    // Pull arrivals whose time has come.
+    while (next_arrival < total &&
+           result.requests[next_arrival].arrival_s <= now) {
+      if (result.requests[next_arrival].finish_s < 0.0) {
+        waiting.push_back(next_arrival);
+      }
+      ++next_arrival;
+    }
+
+    // Admission: FIFO while memory and batch cap allow.
+    std::vector<std::size_t> admitted;
+    while (!waiting.empty() && running.size() + admitted.size() <
+                                   config.max_batch) {
+      const std::size_t idx = waiting.front();
+      const Request& r = result.requests[idx];
+      if (kv_used + footprint(r) > kv_budget) break;
+      kv_used += footprint(r);
+      admitted.push_back(idx);
+      waiting.pop_front();
+    }
+
+    if (!admitted.empty()) {
+      // Chunked-style prefill: each admitted request's prompt is processed
+      // at its own length (padding a batched prefill to the longest prompt
+      // would penalize exactly the methods that can admit more requests).
+      double prefill_latency = 0.0;
+      for (std::size_t idx : admitted) {
+        sim::InferenceConfig pcfg;
+        pcfg.method = config.method;
+        pcfg.attention = config.attention;
+        pcfg.batch = 1;
+        pcfg.prompt = result.requests[idx].prompt_tokens;
+        prefill_latency +=
+            sim::prefill_breakdown(config.device, config.geometry, pcfg)
+                .total();
+      }
+      const std::size_t first_new = running.size();
+      for (std::size_t idx : admitted) {
+        Request& r = result.requests[idx];
+        r.prefill_start_s = now;
+        running.push_back({idx, r.prompt_tokens, r.max_new_tokens});
+      }
+      now += prefill_latency;
+      result.busy_s += prefill_latency;
+      // The prompt's last-position output is the first generated token.
+      for (std::size_t i = first_new; i < running.size();) {
+        Running& ru = running[i];
+        Request& r = result.requests[ru.trace_index];
+        r.first_token_s = now;
+        r.generated = 1;
+        ru.remaining -= 1;
+        ru.context += 1;
+        if (ru.remaining == 0) {
+          r.finish_s = now;
+          kv_used -= footprint(r);
+          ++finished;
+          running[i] = running.back();
+          running.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    if (running.empty()) {
+      // Idle: jump to the next arrival.
+      if (next_arrival < total) {
+        now = std::max(now, result.requests[next_arrival].arrival_s);
+        continue;
+      }
+      break;  // nothing running, nothing arriving
+    }
+
+    // One decode iteration across the running batch.
+    std::size_t max_context = 0;
+    for (const Running& ru : running) {
+      max_context = std::max(max_context, ru.context);
+    }
+    sim::InferenceConfig dcfg;
+    dcfg.method = config.method;
+    dcfg.attention = config.attention;
+    dcfg.batch = running.size();
+    dcfg.prompt = max_context;
+    const double step = sim::decode_step_breakdown(
+                            config.device, config.geometry, dcfg,
+                            max_context)
+                            .total();
+    now += step;
+    result.busy_s += step;
+    result.peak_batch = std::max(result.peak_batch, running.size());
+    result.peak_kv_bytes = std::max(result.peak_kv_bytes, kv_used);
+
+    for (std::size_t i = 0; i < running.size();) {
+      Running& ru = running[i];
+      Request& r = result.requests[ru.trace_index];
+      if (ru.remaining > 0) {
+        ru.remaining -= 1;
+        ru.context += 1;
+        r.generated += 1;
+      }
+      if (ru.remaining == 0) {
+        r.finish_s = now;
+        kv_used -= footprint(r);
+        ++finished;
+        running[i] = running.back();
+        running.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  result.makespan_s = now;
+  return result;
+}
+
+}  // namespace turbo::serving

@@ -1,0 +1,51 @@
+// Discrete-event serving engine with continuous (iteration-level)
+// batching — the vLLM/Orca-style scheduler the paper's throughput numbers
+// implicitly assume, built on the analytical cost model.
+//
+// The simulation loop alternates:
+//   1. Admission: waiting requests join the running batch whenever their
+//      *worst-case* KV footprint (prompt + max_new tokens at the method's
+//      bytes/token) fits in the KV budget and the batch is below the cap.
+//      Admission triggers a prefill pass whose latency all running
+//      requests wait out (no chunked prefill).
+//   2. One decode iteration: every running request emits one token; the
+//      step latency comes from the per-method decode model at the current
+//      batch size and maximum context. Finished requests release memory.
+//
+// Methods differ in exactly two inputs — decode-step latency and KV
+// bytes/token — which is what turns the paper's kernel-level wins into
+// fleet-level throughput and tail-latency wins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serving/request.h"
+#include "sim/e2e_model.h"
+
+namespace turbo::serving {
+
+struct EngineConfig {
+  sim::DeviceSpec device;
+  sim::ModelGeometry geometry;
+  sim::AttnMethod method = sim::AttnMethod::kFlashFp16;
+  sim::AttnCostConfig attention;     // kv_bits etc.
+  std::size_t max_batch = 256;       // scheduler cap
+  double memory_headroom = 0.9;      // usable fraction of HBM
+  double max_sim_time_s = 36000.0;   // safety stop
+};
+
+struct EngineResult {
+  std::vector<Request> requests;  // with timestamps filled in
+  double makespan_s = 0.0;        // time the last request finished
+  double busy_s = 0.0;            // time spent in prefill+decode steps
+  std::size_t peak_batch = 0;
+  double peak_kv_bytes = 0.0;
+  std::size_t rejected = 0;       // requests that can never fit
+};
+
+// Run the trace to completion (every admissible request finishes).
+EngineResult run_engine(const EngineConfig& config,
+                        std::vector<Request> trace);
+
+}  // namespace turbo::serving

@@ -1,0 +1,45 @@
+#include "serving/metrics.h"
+
+#include "common/stats.h"
+
+namespace turbo::serving {
+
+ServingMetrics summarize(const EngineResult& result) {
+  ServingMetrics m;
+  m.rejected = result.rejected;
+  m.peak_batch = result.peak_batch;
+  m.peak_kv_gb = result.peak_kv_bytes / 1e9;
+  m.utilization =
+      result.makespan_s > 0.0 ? result.busy_s / result.makespan_s : 0.0;
+
+  std::vector<float> ttft;
+  std::vector<float> tpot;
+  std::vector<float> e2e;
+  double tokens = 0.0;
+  for (const Request& r : result.requests) {
+    if (!r.finished() || !r.started()) continue;
+    ++m.completed;
+    tokens += static_cast<double>(r.generated);
+    ttft.push_back(static_cast<float>(r.ttft()));
+    e2e.push_back(static_cast<float>(r.e2e_latency()));
+    if (r.generated > 1) {
+      tpot.push_back(static_cast<float>(r.tpot()));
+    }
+  }
+  if (result.makespan_s > 0.0) {
+    m.output_tokens_per_s = tokens / result.makespan_s;
+  }
+  if (!ttft.empty()) {
+    m.ttft_p50 = percentile(ttft, 50);
+    m.ttft_p99 = percentile(ttft, 99);
+    m.e2e_p50 = percentile(e2e, 50);
+    m.e2e_p99 = percentile(e2e, 99);
+  }
+  if (!tpot.empty()) {
+    m.tpot_p50 = percentile(tpot, 50);
+    m.tpot_p99 = percentile(tpot, 99);
+  }
+  return m;
+}
+
+}  // namespace turbo::serving

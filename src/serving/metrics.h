@@ -1,0 +1,27 @@
+// Serving-level metrics: throughput and latency percentiles.
+#pragma once
+
+#include <vector>
+
+#include "serving/engine.h"
+
+namespace turbo::serving {
+
+struct ServingMetrics {
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  double output_tokens_per_s = 0.0;  // generated tokens / makespan
+  double ttft_p50 = 0.0;             // time to first token
+  double ttft_p99 = 0.0;
+  double tpot_p50 = 0.0;             // per-token latency after the first
+  double tpot_p99 = 0.0;
+  double e2e_p50 = 0.0;
+  double e2e_p99 = 0.0;
+  double utilization = 0.0;          // busy / makespan
+  std::size_t peak_batch = 0;
+  double peak_kv_gb = 0.0;
+};
+
+ServingMetrics summarize(const EngineResult& result);
+
+}  // namespace turbo::serving

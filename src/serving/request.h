@@ -1,0 +1,35 @@
+// Request model for the serving simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace turbo::serving {
+
+struct Request {
+  std::uint64_t id = 0;
+  double arrival_s = 0.0;        // wall-clock arrival time
+  std::size_t prompt_tokens = 0;
+  std::size_t max_new_tokens = 0;
+
+  // Filled by the engine.
+  double prefill_start_s = -1.0;
+  double first_token_s = -1.0;   // time the first output token is ready
+  double finish_s = -1.0;
+  std::size_t generated = 0;
+
+  bool started() const { return prefill_start_s >= 0.0; }
+  bool finished() const { return finish_s >= 0.0; }
+
+  // Time to first token (from arrival). Valid once started.
+  double ttft() const { return first_token_s - arrival_s; }
+  // Mean time per output token after the first.
+  double tpot() const {
+    if (generated <= 1) return 0.0;
+    return (finish_s - first_token_s) /
+           static_cast<double>(generated - 1);
+  }
+  double e2e_latency() const { return finish_s - arrival_s; }
+};
+
+}  // namespace turbo::serving

@@ -1,0 +1,44 @@
+#include "serving/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace turbo::serving {
+
+std::vector<Request> generate_trace(const TraceConfig& config) {
+  TURBO_CHECK(config.arrival_rate > 0.0);
+  TURBO_CHECK(config.duration_s > 0.0);
+  Rng rng(config.seed);
+
+  std::vector<Request> trace;
+  double t = 0.0;
+  std::uint64_t id = 0;
+  while (true) {
+    // Poisson process: exponential inter-arrival times.
+    double u;
+    do {
+      u = rng.uniform();
+    } while (u <= 0.0);
+    t += -std::log(u) / config.arrival_rate;
+    if (t > config.duration_s) break;
+
+    Request r;
+    r.id = id++;
+    r.arrival_s = t;
+    const double p =
+        std::exp(rng.normal(config.prompt_log_mean, config.prompt_log_std));
+    const double g =
+        std::exp(rng.normal(config.gen_log_mean, config.gen_log_std));
+    r.prompt_tokens = std::clamp<std::size_t>(
+        static_cast<std::size_t>(p), 16, config.max_prompt);
+    r.max_new_tokens = std::clamp<std::size_t>(
+        static_cast<std::size_t>(g), 1, config.max_gen);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace turbo::serving

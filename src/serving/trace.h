@@ -1,0 +1,33 @@
+// Synthetic request traces.
+//
+// The paper's throughput experiments use fixed prompt/generation lengths;
+// real serving sees a mix. The trace generator produces deterministic
+// Poisson arrivals with log-normal prompt and generation lengths —
+// the shape of public serving traces (ShareGPT-style) — so the simulator
+// can evaluate methods under load rather than at a single batch point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace turbo::serving {
+
+struct TraceConfig {
+  double arrival_rate = 2.0;       // requests per second (Poisson)
+  double duration_s = 120.0;       // trace length
+  // Log-normal token-length parameters (of the underlying normal).
+  double prompt_log_mean = 6.2;    // median ~ e^6.2 ~ 490 tokens
+  double prompt_log_std = 0.8;
+  double gen_log_mean = 4.8;       // median ~ 120 tokens
+  double gen_log_std = 0.6;
+  std::size_t max_prompt = 16384;  // truncation guards
+  std::size_t max_gen = 2048;
+  std::uint64_t seed = 42;
+};
+
+// Deterministic trace for a config.
+std::vector<Request> generate_trace(const TraceConfig& config);
+
+}  // namespace turbo::serving

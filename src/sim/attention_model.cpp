@@ -1,0 +1,213 @@
+#include "sim/attention_model.h"
+
+#include "common/check.h"
+#include "sim/kernel_model.h"
+
+namespace turbo::sim {
+
+namespace {
+
+constexpr double kFp16Bytes = 2.0;
+
+double grid(const AttnShape& s) {
+  return static_cast<double>(s.batch) * static_cast<double>(s.heads);
+}
+double kv_grid(const AttnShape& s) {
+  return static_cast<double>(s.batch) * static_cast<double>(s.kv_heads);
+}
+
+// Per-layer-invocation quantized KV metadata bytes: one (scale, zero) pair
+// per group for float-domain methods; per-channel int8 pairs + an FP16
+// scale per block for Turbo. Both are ~payload/group in magnitude.
+double quant_metadata_bytes(const AttnCostConfig& cfg, double tokens,
+                            double kv_heads_x_batch, double head_dim) {
+  const double groups =
+      kv_heads_x_batch * 2.0 * tokens * head_dim /
+      static_cast<double>(cfg.group_size);
+  return groups * 4.0;
+}
+
+}  // namespace
+
+std::string_view attn_method_name(AttnMethod m) {
+  switch (m) {
+    case AttnMethod::kFlashFp16:
+      return "FlashAttention-FP16";
+    case AttnMethod::kKiviFlash:
+      return "KIVI+Flash";
+    case AttnMethod::kGearFlash:
+      return "GEAR-L+Flash";
+    case AttnMethod::kTurbo:
+      return "TurboAttention";
+  }
+  return "unknown";
+}
+
+double kv_cache_bytes_per_token(AttnMethod method, const AttnCostConfig& cfg,
+                                std::size_t kv_heads, std::size_t head_dim) {
+  const double elems =
+      2.0 * static_cast<double>(kv_heads) * static_cast<double>(head_dim);
+  if (method == AttnMethod::kFlashFp16) return elems * kFp16Bytes;
+  const double payload = elems * cfg.kv_bits / 8.0;
+  const double metadata = elems / static_cast<double>(cfg.group_size) * 4.0;
+  double extra = 0.0;
+  if (method == AttnMethod::kGearFlash) {
+    // Rank-r factors amortized per token: ~2 * r * d * 2 bytes per chunk of
+    // `group_size` tokens per tensor.
+    extra = 2.0 * static_cast<double>(cfg.gear_rank) *
+            static_cast<double>(head_dim) * kFp16Bytes *
+            static_cast<double>(kv_heads) * 2.0 /
+            static_cast<double>(cfg.group_size);
+  }
+  return payload + metadata + extra;
+}
+
+PhaseBreakdown attention_prefill_cost(const DeviceSpec& dev,
+                                      AttnMethod method,
+                                      const AttnShape& shape,
+                                      const AttnCostConfig& cfg) {
+  TURBO_CHECK(shape.q_len == shape.kv_len);
+  const double n = grid(shape);
+  const double nkv = kv_grid(shape);
+  const double s = static_cast<double>(shape.q_len);
+  const double d = static_cast<double>(shape.head_dim);
+  const double causal_factor = cfg.causal ? 0.5 : 1.0;
+  const double scores = n * s * s * causal_factor;
+
+  // I/O common to all methods: read Q (+K/V), write O.
+  const double io_common =
+      n * s * d * kFp16Bytes        // Q
+      + 2.0 * nkv * s * d * kFp16Bytes  // K, V
+      + n * s * d * kFp16Bytes;     // O
+
+  PhaseBreakdown b;
+  switch (method) {
+    case AttnMethod::kFlashFp16:
+    case AttnMethod::kKiviFlash:
+    case AttnMethod::kGearFlash: {
+      // Prefill attention itself is the FP16 FlashAttention kernel; the
+      // KV-quant methods bolt a compression pass on the end.
+      b.qk_matmul = 2.0 * scores * d / dev.eff_fp16_tensor();
+      b.pv_matmul = b.qk_matmul;
+      b.softmax = exp_fp32_time(dev, scores) +
+                  softmax_overhead_time(dev, scores, /*fp16=*/false);
+      b.kv_io = memory_time(dev, io_common);
+      b.launch = dev.kernel_launch_overhead;
+      if (method != AttnMethod::kFlashFp16) {
+        // Standalone compression kernel: re-read KV, quantize, write codes.
+        const double elems = 2.0 * nkv * s * d;
+        const double bytes = elems * kFp16Bytes  // read FP16 KV
+                             + elems * cfg.kv_bits / 8.0 +
+                             quant_metadata_bytes(cfg, s, nkv, d);
+        double compress = std::max(quantize_int8_time(dev, elems),
+                                   memory_time(dev, bytes)) +
+                          dev.kernel_launch_overhead;
+        if (method == AttnMethod::kGearFlash) {
+          // Residual computation + low-rank factorization sweeps (a few
+          // passes of [s x d] x [d x r] GEMMs per tensor).
+          compress += 6.0 * gemm_time(dev, shape.kv_len, cfg.gear_rank,
+                                      shape.head_dim,
+                                      MatmulPrecision::kFp16Tensor) *
+                      nkv;
+        }
+        b.serialized = compress;
+        b.quantize = quantize_int8_time(dev, elems);
+      }
+      break;
+    }
+    case AttnMethod::kTurbo: {
+      // Fused: INT8 tile quantization of Q/K/V, integer matmuls, SAS
+      // softmax, P~ quantization, second-stage KV compression — one kernel.
+      const double in_elems = (n + 2.0 * nkv) * s * d;
+      b.quantize = quantize_int8_time(dev, in_elems)     // Q/K/V stage 1
+                   + quantize_int8_time(dev, scores)     // P~ tiles
+                   + dequant_to_int8_time(dev, 2.0 * nkv * s * d);  // stage 2
+      b.qk_matmul = 2.0 * scores * d / dev.eff_int8_tensor();
+      b.pv_matmul = b.qk_matmul;
+      b.softmax = exp_sas_time(dev, scores) +
+                  softmax_overhead_time(dev, scores, /*fp16=*/true);
+      const double out_bytes = 2.0 * nkv * s * d * cfg.kv_bits / 8.0 +
+                               quant_metadata_bytes(cfg, s, nkv, d);
+      b.kv_io = memory_time(dev, io_common + out_bytes);
+      b.launch = dev.kernel_launch_overhead;
+      break;
+    }
+  }
+  return b;
+}
+
+PhaseBreakdown attention_decode_cost(const DeviceSpec& dev,
+                                     AttnMethod method,
+                                     const AttnShape& shape,
+                                     const AttnCostConfig& cfg) {
+  TURBO_CHECK(shape.q_len == 1);
+  const double n = grid(shape);
+  const double nkv = kv_grid(shape);
+  const double l = static_cast<double>(shape.kv_len);
+  const double d = static_cast<double>(shape.head_dim);
+  const double scores = n * l;
+  const double kv_elems = 2.0 * nkv * l * d;
+
+  PhaseBreakdown b;
+  switch (method) {
+    case AttnMethod::kFlashFp16: {
+      b.qk_matmul = 2.0 * scores * d / dev.eff_fp16_tensor();
+      b.pv_matmul = b.qk_matmul;
+      b.softmax = exp_fp32_time(dev, scores) +
+                  softmax_overhead_time(dev, scores, /*fp16=*/false);
+      b.kv_io = memory_time(dev, kv_elems * kFp16Bytes);
+      b.launch = dev.kernel_launch_overhead;
+      break;
+    }
+    case AttnMethod::kKiviFlash:
+    case AttnMethod::kGearFlash: {
+      // Pre-pass: read codes, dequantize on CUDA cores, write FP16 cache.
+      const double code_bytes = kv_elems * cfg.kv_bits / 8.0 +
+                                quant_metadata_bytes(cfg, l, nkv, d);
+      double pre_compute = dequant_to_fp16_time(dev, kv_elems);
+      double pre_bytes = code_bytes + kv_elems * kFp16Bytes;  // write FP16
+      if (method == AttnMethod::kGearFlash) {
+        // Low-rank reconstruction: [l x r] * [r x d] per tensor per
+        // (batch, kv head) + factor reads.
+        pre_compute += 2.0 *
+                       gemm_time(dev, shape.kv_len, shape.head_dim,
+                                 cfg.gear_rank,
+                                 MatmulPrecision::kFp16Tensor) *
+                       nkv;
+        pre_bytes += 2.0 * nkv *
+                     (l + d) * static_cast<double>(cfg.gear_rank) *
+                     kFp16Bytes;
+      }
+      b.dequant = pre_compute;
+      b.serialized = std::max(pre_compute, memory_time(dev, pre_bytes)) +
+                     dev.kernel_launch_overhead;
+      // Then the ordinary FP16 FlashAttention kernel re-reads the cache.
+      b.qk_matmul = 2.0 * scores * d / dev.eff_fp16_tensor();
+      b.pv_matmul = b.qk_matmul;
+      b.softmax = exp_fp32_time(dev, scores) +
+                  softmax_overhead_time(dev, scores, /*fp16=*/false);
+      b.kv_io = memory_time(dev, kv_elems * kFp16Bytes);
+      b.launch = dev.kernel_launch_overhead;
+      break;
+    }
+    case AttnMethod::kTurbo: {
+      // One fused kernel: quantized payload is the only KV traffic;
+      // second-stage reversal on the integer ALU feeds INT8 tensor cores.
+      const double code_bytes = kv_elems * cfg.kv_bits / 8.0 +
+                                quant_metadata_bytes(cfg, l, nkv, d);
+      b.dequant = dequant_to_int8_time(dev, kv_elems);
+      b.quantize = quantize_int8_time(dev, n * d)     // query stage 1
+                   + quantize_int8_time(dev, scores);  // P~
+      b.qk_matmul = 2.0 * scores * d / dev.eff_int8_tensor();
+      b.pv_matmul = b.qk_matmul;
+      b.softmax = exp_sas_time(dev, scores) +
+                  softmax_overhead_time(dev, scores, /*fp16=*/true);
+      b.kv_io = memory_time(dev, code_bytes);
+      b.launch = dev.kernel_launch_overhead;
+      break;
+    }
+  }
+  return b;
+}
+
+}  // namespace turbo::sim

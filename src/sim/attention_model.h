@@ -1,0 +1,91 @@
+// Per-method attention kernel cost models (Figures 1b, 6).
+//
+// Four executions of the same attention math are modeled:
+//  - FlashAttention-FP16: the paper's baseline. FP16 tensor-core matmuls,
+//    FP32 exponentiation, FP16 KV cache.
+//  - KIVI + Flash: 4/2-bit KV cache, but decompression runs as a separate
+//    kernel that materializes an FP16 cache in HBM before FlashAttention
+//    reads it back — saved bandwidth on the load is repaid threefold.
+//  - GEAR + Flash: KIVI's pipeline plus the low-rank residual
+//    reconstruction GEMM.
+//  - TurboAttention: fused. Quantized payload is the only KV traffic,
+//    second-stage reversal happens in registers on the integer ALU,
+//    matmuls run on INT8 tensor cores, exponentiation through SAS.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string_view>
+
+#include "sim/device.h"
+
+namespace turbo::sim {
+
+enum class AttnMethod {
+  kFlashFp16,
+  kKiviFlash,
+  kGearFlash,
+  kTurbo,
+};
+
+std::string_view attn_method_name(AttnMethod m);
+
+struct AttnShape {
+  std::size_t batch = 1;
+  std::size_t heads = 32;     // query heads (compute)
+  std::size_t kv_heads = 32;  // KV heads (cache traffic; < heads under GQA)
+  std::size_t q_len = 1;
+  std::size_t kv_len = 1;
+  std::size_t head_dim = 128;
+};
+
+struct AttnCostConfig {
+  // Average stored bits per KV element: 16 (FP16), 4, 3 (the 2/4 headwise
+  // mix), or 2. Only quantized methods read it.
+  double kv_bits = 16.0;
+  std::size_t group_size = 64;   // quant group / block tokens (metadata)
+  std::size_t gear_rank = 4;     // GEAR low-rank width
+  bool causal = true;            // prefill causal factor (~0.5 of the S^2)
+};
+
+// Phase-level latency decomposition of one attention invocation across the
+// whole (batch x heads) grid. All values in seconds.
+struct PhaseBreakdown {
+  double qk_matmul = 0;
+  double softmax = 0;     // exponentiation + row bookkeeping
+  double pv_matmul = 0;
+  double kv_io = 0;       // KV-cache HBM traffic (+ activation I/O)
+  double dequant = 0;     // decompression arithmetic (+ spill traffic)
+  double quantize = 0;    // quantization arithmetic (Turbo, cache writes)
+  double launch = 0;      // kernel launch overheads
+
+  // Latency of standalone pre-pass kernels that serialize with the fused
+  // attention kernel (KIVI/GEAR's decompression pass, including its own
+  // memory round-trip and launch). Zero for fused methods.
+  double serialized = 0;
+
+  // Arithmetic that overlaps memory inside the fused kernel.
+  double compute() const {
+    return qk_matmul + softmax + pv_matmul + dequant + quantize;
+  }
+  // Fused kernel = max(compute, memory); pre-pass kernels serialize.
+  double total() const { return std::max(compute(), kv_io) + serialized + launch; }
+};
+
+// Bytes of KV cache per token per layer (payload + metadata) for a method.
+double kv_cache_bytes_per_token(AttnMethod method, const AttnCostConfig& cfg,
+                                std::size_t kv_heads, std::size_t head_dim);
+
+// Cost of one prefill attention pass (q_len == kv_len == prompt length).
+PhaseBreakdown attention_prefill_cost(const DeviceSpec& dev,
+                                      AttnMethod method,
+                                      const AttnShape& shape,
+                                      const AttnCostConfig& cfg);
+
+// Cost of one decode-step attention pass (q_len == 1, kv_len == context).
+PhaseBreakdown attention_decode_cost(const DeviceSpec& dev,
+                                     AttnMethod method,
+                                     const AttnShape& shape,
+                                     const AttnCostConfig& cfg);
+
+}  // namespace turbo::sim

@@ -1,0 +1,48 @@
+#include "sim/device.h"
+
+namespace turbo::sim {
+
+DeviceSpec a100_sxm_80gb() {
+  DeviceSpec d;
+  d.name = "A100-SXM4-80GB";
+  d.fp16_tensor_flops = 312e12;
+  d.int8_tensor_ops = 624e12;
+  d.fp32_cuda_flops = 19.5e12;
+  d.fp16_cuda_flops = 78e12;
+  d.int32_alu_ops = 19.5e12;
+  // Effective exp rate: SFU MUFU throughput (~2.4e12/s) derated by the
+  // FP16->FP32->FP16 conversion chain and range reduction. Calibrated so
+  // softmax lands at the paper's ~30% share of FlashAttention time.
+  d.fp32_exp_ops = 2.0e12;
+  d.hbm_bandwidth = 2.039e12;
+  d.hbm_capacity = 80e9;
+  d.sram_per_sm = 164 * 1024;
+  d.sm_count = 108;
+  return d;
+}
+
+DeviceSpec h100_sxm_80gb() {
+  DeviceSpec d;
+  d.name = "H100-SXM5-80GB";
+  d.fp16_tensor_flops = 989e12;
+  d.int8_tensor_ops = 1979e12;
+  d.fp32_cuda_flops = 67e12;
+  d.fp16_cuda_flops = 134e12;
+  d.int32_alu_ops = 67e12;
+  d.fp32_exp_ops = 2.8e12;
+  d.hbm_bandwidth = 3.35e12;
+  d.hbm_capacity = 80e9;
+  d.sram_per_sm = 228 * 1024;
+  d.sm_count = 132;
+  return d;
+}
+
+DeviceSpec a100_pcie_40gb() {
+  DeviceSpec d = a100_sxm_80gb();
+  d.name = "A100-PCIe-40GB";
+  d.hbm_bandwidth = 1.555e12;
+  d.hbm_capacity = 40e9;
+  return d;
+}
+
+}  // namespace turbo::sim

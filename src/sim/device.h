@@ -1,0 +1,67 @@
+// GPU device model.
+//
+// The paper's latency/throughput results run on an NVIDIA A100-SXM-80GB.
+// Our substrate is CPU-only, so latency experiments run on an analytical
+// roofline model parameterized with datasheet numbers plus efficiency
+// factors calibrated against the relationships the paper reports (e.g.
+// softmax ~30% of FlashAttention time; FP32 CUDA throughput ~3% of FP16
+// tensor-core throughput). Every constant is visible here, not buried in
+// formulas, so the calibration is auditable.
+#pragma once
+
+#include <string>
+
+namespace turbo::sim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Peak arithmetic throughputs (operations per second, dense).
+  double fp16_tensor_flops = 0;  // FP16 tensor core MMA
+  double int8_tensor_ops = 0;    // INT8 tensor core MMA
+  double fp32_cuda_flops = 0;    // FP32 CUDA cores
+  double fp16_cuda_flops = 0;    // FP16 CUDA cores (2x FP32 rate)
+  double int32_alu_ops = 0;      // integer ALU (dequant INT->INT8)
+
+  // Effective FP32 exponentiation rate: SFU throughput derated by the
+  // FP16<->FP32 conversion and range-reduction work FlashAttention's
+  // exponentiation path performs (the bottleneck section 4 attacks).
+  double fp32_exp_ops = 0;
+
+  // Memory system.
+  double hbm_bandwidth = 0;      // bytes / second
+  double hbm_capacity = 0;       // bytes
+  std::size_t sram_per_sm = 0;   // usable shared memory per SM, bytes
+  std::size_t sm_count = 0;
+
+  // Achievable fractions of peak (calibration knobs).
+  double mma_efficiency = 0.6;       // FP16 tensor-core utilization
+  double int8_mma_efficiency = 0.45; // INT8 MMA runs at lower utilization
+                                     // (per-tile scale handling, layout)
+  double cuda_efficiency = 0.5;      // CUDA-core utilization
+  double mem_efficiency = 0.85;      // achievable HBM fraction
+
+  double kernel_launch_overhead = 5e-6;  // seconds per kernel
+
+  // Derated rates.
+  double eff_fp16_tensor() const { return fp16_tensor_flops * mma_efficiency; }
+  double eff_int8_tensor() const {
+    return int8_tensor_ops * int8_mma_efficiency;
+  }
+  double eff_fp32_cuda() const { return fp32_cuda_flops * cuda_efficiency; }
+  double eff_fp16_cuda() const { return fp16_cuda_flops * cuda_efficiency; }
+  double eff_int32_alu() const { return int32_alu_ops * cuda_efficiency; }
+  double eff_exp() const { return fp32_exp_ops * cuda_efficiency; }
+  double eff_bandwidth() const { return hbm_bandwidth * mem_efficiency; }
+};
+
+// NVIDIA A100-SXM4-80GB — the paper's evaluation platform.
+DeviceSpec a100_sxm_80gb();
+
+// NVIDIA H100-SXM5-80GB — for what-if extrapolation (not in the paper).
+DeviceSpec h100_sxm_80gb();
+
+// A bandwidth-starved PCIe part, useful for sensitivity studies.
+DeviceSpec a100_pcie_40gb();
+
+}  // namespace turbo::sim

@@ -1,0 +1,59 @@
+#include "sim/kernel_model.h"
+
+namespace turbo::sim {
+
+double gemm_time(const DeviceSpec& d, std::size_t m, std::size_t n,
+                 std::size_t k, MatmulPrecision precision) {
+  const double ops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                     static_cast<double>(k);
+  switch (precision) {
+    case MatmulPrecision::kFp32Cuda:
+      return ops / d.eff_fp32_cuda();
+    case MatmulPrecision::kFp16Tensor:
+      return ops / d.eff_fp16_tensor();
+    case MatmulPrecision::kInt8Tensor:
+      return ops / d.eff_int8_tensor();
+  }
+  return 0.0;
+}
+
+double memory_time(const DeviceSpec& d, double bytes) {
+  return bytes / d.eff_bandwidth();
+}
+
+double exp_fp32_time(const DeviceSpec& d, double count) {
+  return count / d.eff_exp();
+}
+
+double exp_sas_time(const DeviceSpec& d, double count) {
+  // 3 MACs (6 flops) on FP16 tensor cores + LUT gather and final multiply
+  // (~2 CUDA-core FP16 ops).
+  const double tc = 6.0 * count / d.eff_fp16_tensor();
+  const double cuda = 2.0 * count / d.eff_fp16_cuda();
+  return tc + cuda;
+}
+
+double softmax_overhead_time(const DeviceSpec& d, double count, bool fp16) {
+  const double rate = fp16 ? d.eff_fp16_cuda() : d.eff_fp32_cuda();
+  return 4.0 * count / rate;
+}
+
+double quantize_int8_time(const DeviceSpec& d, double count) {
+  // abs-max reduction share + scale + round: ~3 FP16 CUDA ops/element.
+  return 3.0 * count / d.eff_fp16_cuda();
+}
+
+double dequant_to_fp16_time(const DeviceSpec& d, double count) {
+  // shift/mask unpack + (code - zero) * scale + FP16 convert/pack:
+  // ~8 FP16 CUDA ops/element in practice.
+  return 8.0 * count / d.eff_fp16_cuda();
+}
+
+double dequant_to_int8_time(const DeviceSpec& d, double count) {
+  // shift/mask unpack + integer MAC + clamp: ~6 INT32 ALU ops/element.
+  // Comparable per-op cost to the float path, but fused in-register —
+  // its advantage is avoiding the pre-pass memory round trip, not the ALU.
+  return 6.0 * count / d.eff_int32_alu();
+}
+
+}  // namespace turbo::sim

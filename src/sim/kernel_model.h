@@ -1,0 +1,53 @@
+// Primitive kernel-cost estimators (roofline style).
+//
+// Every estimator returns seconds. Composite kernels take the max of their
+// compute and memory components (perfect overlap inside one fused kernel)
+// and pay one launch overhead; separate kernels (e.g. KIVI's standalone
+// dequantization pass) serialize and pay their own launch + full memory
+// round-trip — the effect the paper's Figure 1b visualizes.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/device.h"
+
+namespace turbo::sim {
+
+enum class MatmulPrecision {
+  kFp32Cuda,
+  kFp16Tensor,
+  kInt8Tensor,
+};
+
+// Time for a [m x k] * [k x n] matmul (2*m*n*k ops) at the given precision.
+double gemm_time(const DeviceSpec& d, std::size_t m, std::size_t n,
+                 std::size_t k, MatmulPrecision precision);
+
+// Time to move `bytes` through HBM.
+double memory_time(const DeviceSpec& d, double bytes);
+
+// FlashAttention's FP32 exponentiation path: `count` exponentials with
+// FP16<->FP32 conversions.
+double exp_fp32_time(const DeviceSpec& d, double count);
+
+// SAS exponentiation: degree-3 polynomial (3 FP16 MACs on tensor cores)
+// plus a LUT gather and one multiply per element — no FP32 involvement.
+double exp_sas_time(const DeviceSpec& d, double count);
+
+// Softmax bookkeeping around the exponentials (row max, row sum, rescale):
+// ~4 element-wise ops at the given CUDA-core precision.
+double softmax_overhead_time(const DeviceSpec& d, double count, bool fp16);
+
+// Symmetric INT8 quantization of `count` elements (scale + round), fused
+// into a producer kernel: CUDA-core FP16 work.
+double quantize_int8_time(const DeviceSpec& d, double count);
+
+// Float-domain dequantization of `count` INT4/2 codes to FP16 (unpack,
+// mul, add on FP16 CUDA cores) — KIVI / GEAR's decompression arithmetic.
+double dequant_to_fp16_time(const DeviceSpec& d, double count);
+
+// Integer-domain second-stage reversal (q2 * s_int + z_int on the integer
+// ALU) — FlashQ's in-kernel decompression arithmetic.
+double dequant_to_int8_time(const DeviceSpec& d, double count);
+
+}  // namespace turbo::sim

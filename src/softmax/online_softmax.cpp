@@ -1,0 +1,15 @@
+// The online-softmax machinery is header-only (templated on the exp
+// functor); this translation unit pins an explicit instantiation so misuse
+// shows up as a normal compile error in the library build rather than only
+// in client code.
+#include "softmax/online_softmax.h"
+
+namespace turbo {
+
+namespace {
+using StdExp = float (*)(float);
+}  // namespace
+
+template class OnlineSoftmaxRow<StdExp>;
+
+}  // namespace turbo

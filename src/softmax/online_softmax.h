@@ -1,0 +1,92 @@
+// Online (streaming) softmax — the Milakov–Gimelshein recurrence that
+// FlashAttention builds on.
+//
+// A row of scores arrives in blocks. The state keeps the running maximum m
+// and running denominator l; absorbing a block rescales what was
+// accumulated before by alpha = exp(m_old - m_new) and converts the block's
+// scores to unnormalized probabilities exp(s - m_new) in place. The caller
+// applies alpha to any output accumulator it carries (FlashAttention's O
+// tile) and divides by l at the end.
+//
+// The exponential is pluggable so the same recurrence drives both the exact
+// FlashAttention baseline (std::exp in FP32) and TurboAttention (SAS).
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "common/check.h"
+
+namespace turbo {
+
+template <typename ExpFn>
+class OnlineSoftmaxRow {
+ public:
+  // `exp_fn(x)` must approximate e^x for x <= 0.
+  explicit OnlineSoftmaxRow(ExpFn exp_fn) : exp_(exp_fn) {}
+
+  void reset() {
+    m_ = -std::numeric_limits<float>::infinity();
+    l_ = 0.0f;
+  }
+
+  // Absorb one block of scores. On return `scores` holds the unnormalized
+  // probabilities exp(s_i - m_new); the returned alpha is the factor by
+  // which previously accumulated outputs must be rescaled.
+  float absorb(std::span<float> scores) {
+    float block_max = -std::numeric_limits<float>::infinity();
+    for (float s : scores) block_max = std::max(block_max, s);
+    const float m_new = std::max(m_, block_max);
+
+    // alpha = exp(m_old - m_new); exp(-inf) on the first block -> 0, which
+    // correctly discards the (empty) prior accumulation.
+    const float alpha =
+        std::isinf(m_) ? 0.0f : exp_(m_ - m_new);
+
+    float block_sum = 0.0f;
+    for (float& s : scores) {
+      s = exp_(s - m_new);
+      block_sum += s;
+    }
+    l_ = l_ * alpha + block_sum;
+    m_ = m_new;
+    return alpha;
+  }
+
+  float running_max() const { return m_; }
+  float denominator() const { return l_; }
+
+  // log-sum-exp of everything absorbed so far.
+  float log_sum_exp() const { return m_ + std::log(l_); }
+
+ private:
+  ExpFn exp_;
+  float m_ = -std::numeric_limits<float>::infinity();
+  float l_ = 0.0f;
+};
+
+// Convenience: softmax of a full row computed in streaming blocks of
+// `block` elements. Verifies the recurrence against the exact softmax in
+// tests; also useful as a readable reference for the attention kernels.
+template <typename ExpFn>
+void streaming_softmax(std::span<const float> x, std::size_t block,
+                       ExpFn exp_fn, std::span<float> out) {
+  TURBO_CHECK(x.size() == out.size());
+  TURBO_CHECK(block > 0);
+  OnlineSoftmaxRow<ExpFn> state(exp_fn);
+  state.reset();
+  std::size_t begin = 0;
+  while (begin < x.size()) {
+    const std::size_t n = std::min(block, x.size() - begin);
+    for (std::size_t i = 0; i < n; ++i) out[begin + i] = x[begin + i];
+    const float alpha = state.absorb(out.subspan(begin, n));
+    // Rescale the already-written prefix, as FlashAttention rescales O.
+    for (std::size_t i = 0; i < begin; ++i) out[i] *= alpha;
+    begin += n;
+  }
+  const float inv = 1.0f / state.denominator();
+  for (float& v : out) v *= inv;
+}
+
+}  // namespace turbo

@@ -1,0 +1,93 @@
+#include "softmax/sas.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/fp16.h"
+
+namespace turbo {
+
+namespace {
+// Least-squares coefficients from Eq. 15 (highest degree first).
+constexpr float kC3 = -0.1025f;
+constexpr float kC2 = 0.4626f;
+constexpr float kC1 = -0.9922f;
+constexpr float kC0 = 0.9996f;
+}  // namespace
+
+Sas::Sas(SasConfig config) : config_(config) {
+  TURBO_CHECK_MSG(config_.threshold < 0,
+                  "SAS threshold must be negative, got "
+                      << config_.threshold);
+  // LUT[i] = e^{-i} for i = 0 .. |threshold|; one sentinel 0 entry past the
+  // end so the sparsified bucket (Algorithm 3 sets X[X < n_r] = n_r + 1,
+  // i.e. T[n_r + 1] = 0) needs no branch in the indexed path.
+  const int n = -config_.threshold;
+  lut_.resize(static_cast<std::size_t>(n) + 2);
+  for (int i = 0; i <= n; ++i) {
+    float v = std::exp(static_cast<float>(-i));
+    if (config_.fp16_arithmetic) v = round_to_fp16(v);
+    lut_[static_cast<std::size_t>(i)] = v;
+  }
+  lut_.back() = 0.0f;
+}
+
+float Sas::poly(float t) {
+  // Horner's scheme.
+  return ((kC3 * t + kC2) * t + kC1) * t + kC0;
+}
+
+float Sas::poly_fp16(float t) {
+  // Each multiply-accumulate rounds through binary16, as an FP16 tensor-core
+  // MAC chain would.
+  const float t16 = round_to_fp16(t);
+  float acc = round_to_fp16(kC3);
+  acc = round_to_fp16(acc * t16);
+  acc = round_to_fp16(acc + round_to_fp16(kC2));
+  acc = round_to_fp16(acc * t16);
+  acc = round_to_fp16(acc + round_to_fp16(kC1));
+  acc = round_to_fp16(acc * t16);
+  acc = round_to_fp16(acc + round_to_fp16(kC0));
+  return acc;
+}
+
+float Sas::exp_neg(float x) const {
+  if (x > 0.0f) x = 0.0f;  // FP16 rounding noise can push shifted scores > 0
+  if (config_.exact_exp) return std::exp(x);
+  if (x < static_cast<float>(config_.threshold)) return 0.0f;
+
+  const float y = -x;  // y in (0, |threshold|]
+  const int y_int = static_cast<int>(y);
+  const float y_dec = y - static_cast<float>(y_int);
+
+  const float lut_v = lut_[static_cast<std::size_t>(y_int)];
+  const float poly_v =
+      config_.fp16_arithmetic ? poly_fp16(y_dec) : poly(y_dec);
+  const float prod = lut_v * poly_v;
+  return config_.fp16_arithmetic ? round_to_fp16(prod) : prod;
+}
+
+void Sas::apply(std::span<float> values) const {
+  for (float& v : values) v = exp_neg(v);
+}
+
+MatrixF Sas::softmax(const MatrixF& scores) const {
+  MatrixF out(scores.rows(), scores.cols());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    auto x = scores.row(r);
+    auto o = out.row(r);
+    float m = x[0];
+    for (float v : x) m = std::max(m, v);
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      o[i] = exp_neg(x[i] - m);
+      sum += o[i];
+    }
+    // The row maximum itself always contributes ~1, so sum > 0.
+    const float inv = 1.0f / sum;
+    for (float& v : o) v *= inv;
+  }
+  return out;
+}
+
+}  // namespace turbo

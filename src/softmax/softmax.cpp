@@ -1,0 +1,51 @@
+#include "softmax/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace turbo {
+
+void softmax_row(std::span<const float> x, std::span<float> out) {
+  TURBO_CHECK(x.size() == out.size());
+  if (x.empty()) return;
+  const float m = *std::max_element(x.begin(), x.end());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::exp(x[i] - m);
+    sum += out[i];
+  }
+  const float inv = 1.0f / sum;
+  for (float& v : out) v *= inv;
+}
+
+MatrixF softmax_rows(const MatrixF& scores) {
+  MatrixF out(scores.rows(), scores.cols());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    softmax_row(scores.row(r), out.row(r));
+  }
+  return out;
+}
+
+MatrixF softmax_rows_with_lse(const MatrixF& scores,
+                              std::span<float> lse_out) {
+  TURBO_CHECK(lse_out.size() == scores.rows());
+  MatrixF out(scores.rows(), scores.cols());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    auto x = scores.row(r);
+    auto o = out.row(r);
+    const float m = *std::max_element(x.begin(), x.end());
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      o[i] = std::exp(x[i] - m);
+      sum += o[i];
+    }
+    const float inv = 1.0f / sum;
+    for (float& v : o) v *= inv;
+    lse_out[r] = m + std::log(sum);
+  }
+  return out;
+}
+
+}  // namespace turbo

@@ -1,0 +1,21 @@
+// Exact (reference) softmax.
+#pragma once
+
+#include <span>
+
+#include "common/matrix.h"
+
+namespace turbo {
+
+// Numerically stable softmax of one row: out_i = exp(x_i - max) / sum.
+void softmax_row(std::span<const float> x, std::span<float> out);
+
+// Row-wise softmax of a matrix.
+MatrixF softmax_rows(const MatrixF& scores);
+
+// Row-wise softmax that also returns the log-sum-exp of every row, the
+// quantity FlashAttention carries for cross-tile renormalization.
+MatrixF softmax_rows_with_lse(const MatrixF& scores,
+                              std::span<float> lse_out);
+
+}  // namespace turbo

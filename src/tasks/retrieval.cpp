@@ -1,0 +1,392 @@
+#include "tasks/retrieval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "model/generator.h"
+#include "tasks/codebook.h"
+
+namespace turbo::tasks {
+
+namespace {
+
+// Draw a unit vector in the head's *scaled* space: a Gaussian direction
+// with the channel multipliers applied, then normalized. Outlier channels
+// thus carry most of the vector's energy, as they do in real K/Q tensors.
+std::vector<float> scaled_unit(Rng& rng, std::span<const float> scales) {
+  std::vector<float> v(scales.size());
+  double norm_sq = 0.0;
+  for (std::size_t c = 0; c < v.size(); ++c) {
+    v[c] = static_cast<float>(rng.normal()) * scales[c];
+    norm_sq += static_cast<double>(v[c]) * v[c];
+  }
+  const float inv = static_cast<float>(1.0 / std::sqrt(std::max(norm_sq, 1e-30)));
+  for (float& x : v) x *= inv;
+  return v;
+}
+
+std::vector<float> mix_directions(std::span<const float> a, double wa,
+                                  std::span<const float> b, double wb) {
+  std::vector<float> v(a.size());
+  double norm_sq = 0.0;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    v[c] = static_cast<float>(wa * a[c] + wb * b[c]);
+    norm_sq += static_cast<double>(v[c]) * v[c];
+  }
+  const float inv = static_cast<float>(1.0 / std::sqrt(std::max(norm_sq, 1e-30)));
+  for (float& x : v) x *= inv;
+  return v;
+}
+
+// Per-head task materials for one case.
+struct HeadCase {
+  MatrixF k;                              // [context x d]
+  MatrixF v;                              // [context x d]
+  std::vector<std::vector<float>> pair_dir;  // target key direction per pair
+};
+
+struct CaseData {
+  std::vector<HeadCase> heads;
+  std::vector<std::size_t> perm;  // the chain: symbol s -> perm[s]
+  std::size_t start = 0;
+};
+
+CaseData build_case(const RetrievalConfig& cfg,
+                    const std::vector<std::vector<float>>& qk_scales,
+                    const std::vector<std::vector<float>>& v_scales,
+                    const std::vector<Codebook>& codebooks,
+                    std::uint64_t case_seed) {
+  const std::size_t n_heads = cfg.profile.heads;
+  const std::size_t d = cfg.profile.head_dim;
+  const std::size_t context = cfg.context_tokens();
+  const float kappa = static_cast<float>(
+      std::sqrt(cfg.key_sharpness) * std::pow(static_cast<double>(d), 0.25));
+
+  Rng rng(case_seed);
+
+  CaseData data;
+  data.perm.resize(cfg.n_pairs);
+  std::iota(data.perm.begin(), data.perm.end(), 0);
+  rng.shuffle(std::span<std::size_t>(data.perm));
+  data.start = rng.uniform_index(cfg.n_pairs);
+
+  // Token order is shared across heads (positions are a property of the
+  // prompt, not of a head). Facts occupy the leading region; the trailing
+  // `tail_filler` positions hold boilerplate.
+  std::vector<std::size_t> order(cfg.fact_tokens());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<std::size_t>(order));
+
+  // A token has one identity: the decoy symbol carried by each hard
+  // negative is decided once and shared across heads. This is what makes
+  // per-head retrieval errors *correlated* — when quantization noise
+  // promotes a decoy, every head that misfires leans toward the same wrong
+  // answer, exactly like a real model misreading a token.
+  std::vector<std::vector<std::size_t>> decoy_symbols(cfg.n_pairs);
+  for (std::size_t pair = 0; pair < cfg.n_pairs; ++pair) {
+    decoy_symbols[pair].resize(cfg.hard_negatives);
+    for (std::size_t neg = 0; neg < cfg.hard_negatives; ++neg) {
+      std::size_t decoy = rng.uniform_index(cfg.n_pairs);
+      if (decoy == data.perm[pair]) decoy = (decoy + 1) % cfg.n_pairs;
+      decoy_symbols[pair][neg] = decoy;
+    }
+  }
+
+  data.heads.resize(n_heads);
+  for (std::size_t h = 0; h < n_heads; ++h) {
+    HeadCase& hc = data.heads[h];
+    hc.k = MatrixF(context, d);
+    hc.v = MatrixF(context, d);
+    hc.pair_dir.resize(cfg.n_pairs);
+
+    const auto& qs = qk_scales[h];
+    const auto& vs = v_scales[h];
+    const Codebook& cb = codebooks[h];
+
+    std::size_t slot = 0;
+    for (std::size_t pair = 0; pair < cfg.n_pairs; ++pair) {
+      hc.pair_dir[pair] = scaled_unit(rng, qs);
+      const std::size_t answer = data.perm[pair];
+
+      // Target token.
+      {
+        const std::size_t pos = order[slot++];
+        auto krow = hc.k.row(pos);
+        auto vrow = hc.v.row(pos);
+        auto emb = cb.embedding(answer);
+        for (std::size_t c = 0; c < d; ++c) {
+          krow[c] = hc.pair_dir[pair][c] * kappa;
+          vrow[c] = emb[c] * vs[c];
+        }
+      }
+      // Hard negatives: similar keys, different values.
+      const double sim = cfg.negative_similarity;
+      const double orth = std::sqrt(std::max(0.0, 1.0 - sim * sim));
+      for (std::size_t neg = 0; neg < cfg.hard_negatives; ++neg) {
+        const std::size_t pos = order[slot++];
+        const std::vector<float> r = scaled_unit(rng, qs);
+        const std::vector<float> dir =
+            mix_directions(hc.pair_dir[pair], sim, r, orth);
+        const std::size_t decoy = decoy_symbols[pair][neg];
+        auto krow = hc.k.row(pos);
+        auto vrow = hc.v.row(pos);
+        auto emb = cb.embedding(decoy);
+        for (std::size_t c = 0; c < d; ++c) {
+          krow[c] = dir[c] * kappa;
+          vrow[c] = emb[c] * vs[c];
+        }
+      }
+    }
+    TURBO_CHECK(slot == cfg.fact_tokens());
+
+    // Boilerplate tail: filler-strength keys, near-zero values.
+    for (std::size_t pos = cfg.fact_tokens(); pos < context; ++pos) {
+      const std::vector<float> dir = scaled_unit(rng, qs);
+      auto krow = hc.k.row(pos);
+      auto vrow = hc.v.row(pos);
+      for (std::size_t c = 0; c < d; ++c) {
+        krow[c] = dir[c] * kappa * 0.7f;
+        vrow[c] = static_cast<float>(rng.normal(0.0, 0.05));
+      }
+    }
+
+    if (cfg.input_noise > 0.0) {
+      // Upstream quantization noise: perturb the cached K/V the way W8A8 /
+      // W4A8 linear quantization perturbs projection outputs.
+      const float kappa = static_cast<float>(
+          std::sqrt(cfg.key_sharpness) *
+          std::pow(static_cast<double>(d), 0.25));
+      for (float& x : hc.k.flat()) {
+        x += static_cast<float>(rng.normal(0.0, cfg.input_noise * kappa /
+                                                    std::sqrt(double(d))));
+      }
+      for (float& x : hc.v.flat()) {
+        x += static_cast<float>(rng.normal(0.0, cfg.input_noise));
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+TaskResult run_retrieval(const RetrievalConfig& config,
+                         const KvAttentionFactory& factory) {
+  TURBO_CHECK(config.n_pairs > 1);
+  TURBO_CHECK(config.hops >= 1);
+  const std::size_t n_heads = config.profile.heads;
+  const std::size_t d = config.profile.head_dim;
+  const float kappa = static_cast<float>(
+      std::sqrt(config.key_sharpness) *
+      std::pow(static_cast<double>(d), 0.25));
+
+  // Head-level materials shared across cases.
+  std::vector<std::vector<float>> qk_scales(n_heads);
+  std::vector<std::vector<float>> v_scales(n_heads);
+  std::vector<Codebook> codebooks;
+  codebooks.reserve(n_heads);
+  for (std::size_t h = 0; h < n_heads; ++h) {
+    qk_scales[h] =
+        model::channel_scales(config.profile, h,
+                              model::TensorKind::kQueryKey, config.seed);
+    v_scales[h] = model::channel_scales(config.profile, h,
+                                        model::TensorKind::kValue,
+                                        config.seed);
+    codebooks.emplace_back(config.n_pairs, d, config.seed + 31 * h);
+  }
+
+  TaskResult result;
+  result.cases = config.n_cases;
+  std::size_t correct = 0;
+  double bytes_sum = 0.0;
+  std::size_t bytes_samples = 0;
+
+  for (std::size_t case_idx = 0; case_idx < config.n_cases; ++case_idx) {
+    const std::uint64_t case_seed = config.seed * 1000003 + case_idx;
+    const CaseData data =
+        build_case(config, qk_scales, v_scales, codebooks, case_seed);
+
+    // Fresh method instance per head.
+    std::vector<std::unique_ptr<KvAttention>> methods;
+    methods.reserve(n_heads);
+    for (std::size_t h = 0; h < n_heads; ++h) {
+      methods.push_back(factory(d));
+      // Prefill queries are irrelevant to the task: reuse the keys so the
+      // magnitudes are realistic.
+      methods[h]->prefill(data.heads[h].k, data.heads[h].k,
+                          data.heads[h].v);
+    }
+
+    Rng rng(case_seed ^ 0xfeedfaceull);
+    std::size_t current = data.start;
+    for (std::size_t hop = 0; hop < config.hops; ++hop) {
+      // "Thinking" tokens between retrievals.
+      for (std::size_t f = 0; f < config.filler_per_hop; ++f) {
+        for (std::size_t h = 0; h < n_heads; ++h) {
+          std::vector<float> fk = scaled_unit(rng, qk_scales[h]);
+          for (float& x : fk) x *= kappa * 0.7f;
+          std::vector<float> fv(d);
+          for (float& x : fv) x = static_cast<float>(rng.normal(0.0, 0.05));
+          std::vector<float> fq = scaled_unit(rng, qk_scales[h]);
+          for (float& x : fq) x *= kappa * 0.7f;
+          methods[h]->decode(fq, fk, fv);
+        }
+      }
+
+      // The retrieval query for the current pair. A small *reader set*
+      // carries this hop's retrieval (cycling across hops and cases):
+      // real models route each reasoning step through specific retrieval
+      // heads rather than a full-width vote, so accuracy stays sensitive
+      // to per-head cache damage while retaining partial redundancy.
+      const std::size_t n_readers =
+          std::min<std::size_t>(std::max<std::size_t>(1,
+                                                      config.reading_heads),
+                                n_heads);
+      const std::size_t reader_base =
+          (case_idx * config.hops + hop) * n_readers;
+      std::vector<bool> is_reader(n_heads, false);
+      for (std::size_t r = 0; r < n_readers; ++r) {
+        is_reader[(reader_base + r) % n_heads] = true;
+      }
+      std::vector<double> symbol_score(config.n_pairs, 0.0);
+      for (std::size_t h = 0; h < n_heads; ++h) {
+        const std::vector<float> noise = scaled_unit(rng, qk_scales[h]);
+        std::vector<float> q = mix_directions(
+            data.heads[h].pair_dir[current], 1.0, noise, config.query_noise);
+        for (float& x : q) x *= kappa;
+        // The query token itself joins the cache like any generated token.
+        std::vector<float> qv(d);
+        for (float& x : qv) x = static_cast<float>(rng.normal(0.0, 0.05));
+        const std::vector<float> o = methods[h]->decode(q, q, qv);
+        if (!is_reader[h]) continue;  // cache stays in sync regardless
+        // Decode in a half-normalized embedding space (divide by the
+        // square root of the channel scale — the partial re-equalization a
+        // LayerNorm + learned output projection applies). Two effects stay
+        // alive simultaneously: token-wise value quantization error (set
+        // by the row's outlier-dominated range) is amplified on normal
+        // channels — the Fig. 10 / Appendix D mechanism — and heads with
+        // large-magnitude value channels still inject more absolute error,
+        // the fragility signal priority-based head selection exploits.
+        std::vector<float> o_dec(d);
+        std::vector<float> dec_scale(d);
+        for (std::size_t c = 0; c < d; ++c) {
+          const float root = std::sqrt(v_scales[h][c]);
+          o_dec[c] = o[c] / root;
+          dec_scale[c] = root;  // embeddings compared at sqrt(scale)
+        }
+        for (std::size_t s = 0; s < config.n_pairs; ++s) {
+          symbol_score[s] += codebooks[h].distance_sq(o_dec, s, dec_scale);
+        }
+      }
+      // Joint decode: lowest total distance across heads.
+      std::size_t decoded = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < config.n_pairs; ++s) {
+        if (symbol_score[s] < best) {
+          best = symbol_score[s];
+          decoded = s;
+        }
+      }
+      current = decoded;  // follow the (possibly wrong) chain
+    }
+
+    // Ground truth: perm applied `hops` times to the start.
+    std::size_t truth = data.start;
+    for (std::size_t hop = 0; hop < config.hops; ++hop) {
+      truth = data.perm[truth];
+    }
+    if (current == truth) ++correct;
+
+    for (const auto& m : methods) {
+      bytes_sum += static_cast<double>(m->kv_cache_bytes()) /
+                   static_cast<double>(m->token_count());
+      ++bytes_samples;
+    }
+  }
+
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(config.n_cases);
+  result.kv_bytes_per_token =
+      bytes_samples == 0 ? 0.0 : bytes_sum / static_cast<double>(bytes_samples);
+  return result;
+}
+
+std::vector<HeadStats> retrieval_head_stats(const RetrievalConfig& config) {
+  const std::size_t n_heads = config.profile.heads;
+  std::vector<std::vector<float>> qk_scales(n_heads);
+  std::vector<std::vector<float>> v_scales(n_heads);
+  std::vector<Codebook> codebooks;
+  for (std::size_t h = 0; h < n_heads; ++h) {
+    qk_scales[h] =
+        model::channel_scales(config.profile, h,
+                              model::TensorKind::kQueryKey, config.seed);
+    v_scales[h] = model::channel_scales(config.profile, h,
+                                        model::TensorKind::kValue,
+                                        config.seed);
+    codebooks.emplace_back(config.n_pairs, config.profile.head_dim,
+                           config.seed + 31 * h);
+  }
+  const CaseData data = build_case(config, qk_scales, v_scales, codebooks,
+                                   config.seed * 1000003);
+  std::vector<HeadStats> stats(n_heads);
+  for (std::size_t h = 0; h < n_heads; ++h) {
+    stats[h] = combine_head_stats(compute_head_stats(data.heads[h].k),
+                                  compute_head_stats(data.heads[h].v));
+  }
+  return stats;
+}
+
+RetrievalConfig gsm8k_proxy(model::ModelProfile profile) {
+  RetrievalConfig c;
+  c.name = "GSM8k-proxy";
+  c.profile = std::move(profile);
+  c.n_pairs = 32;
+  c.hard_negatives = 3;
+  c.negative_similarity = 0.86;
+  c.hops = 4;               // multi-step arithmetic chains
+  c.filler_per_hop = 16;
+  c.n_cases = 32;
+  c.query_noise = 0.15;
+  c.key_sharpness = 8.0;
+  c.seed = 811;
+  return c;
+}
+
+RetrievalConfig aqua_proxy(model::ModelProfile profile) {
+  RetrievalConfig c;
+  c.name = "AQuA-proxy";
+  c.profile = std::move(profile);
+  c.n_pairs = 24;
+  c.hard_negatives = 4;     // more confusable options
+  c.negative_similarity = 0.86;
+  c.hops = 3;
+  c.filler_per_hop = 16;
+  c.n_cases = 32;
+  c.query_noise = 0.15;
+  c.key_sharpness = 8.0;
+  c.seed = 812;
+  return c;
+}
+
+RetrievalConfig bbh_proxy(model::ModelProfile profile) {
+  RetrievalConfig c;
+  c.name = "BBH-proxy";
+  c.profile = std::move(profile);
+  c.n_pairs = 24;
+  c.hard_negatives = 5;     // symbolic matching over many decoys
+  c.negative_similarity = 0.89;
+  c.hops = 1;
+  c.filler_per_hop = 8;
+  c.n_cases = 32;
+  c.query_noise = 0.12;
+  c.key_sharpness = 8.0;
+  c.seed = 813;
+  return c;
+}
+
+}  // namespace turbo::tasks

@@ -1,0 +1,97 @@
+// Multi-hop retrieval: the proxy for the paper's generative CoT benchmarks.
+//
+// Why this task: GSM8k/AQuA/BBH accuracy in the paper is a generative
+// exact-match score whose failure mode under KV quantization is attention
+// misreading the context — retrieving the wrong intermediate fact, with
+// errors compounding across reasoning steps. This engine distills exactly
+// that mechanism:
+//
+//   * The prompt is a set of (key, value) pairs per attention head, with
+//     hard negatives (keys at cosine `negative_similarity` to a target,
+//     carrying different values) and the profile's channel-outlier
+//     structure on K/Q and V.
+//   * Answering requires `hops` chained retrievals: the value decoded at
+//     hop i names the pair to query at hop i+1 (a permutation walk). One
+//     misretrieval anywhere corrupts the final answer — the CoT
+//     error-compounding property.
+//   * Between hops the model "thinks": `filler_per_hop` decode tokens are
+//     appended, exercising the decode buffer / cache-growth machinery the
+//     way 256-token CoT generations do.
+//   * Decoding is a joint nearest-neighbor over all heads' outputs, so
+//     per-head quantization damage degrades accuracy gracefully and
+//     head-wise mixed precision has the trade-off surface of Fig. 7b.
+//
+// GSM8k / AQuA / BBH map to parameter presets (hops, negatives, context
+// size) documented in DESIGN.md; absolute accuracies are not comparable to
+// the paper's, but the ordering and gaps across methods probe the same
+// mechanism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attention/headwise.h"
+#include "attention/method.h"
+#include "model/profile.h"
+
+namespace turbo::tasks {
+
+struct RetrievalConfig {
+  std::string name = "retrieval";
+  model::ModelProfile profile;  // heads, head_dim, outlier structure
+
+  std::size_t n_pairs = 48;          // retrievable facts in the context
+  std::size_t hard_negatives = 3;    // decoy keys per fact
+  // Trailing boilerplate tokens after the facts (the question/instruction
+  // tail of a CoT prompt). Keeps the facts out of the float-residual
+  // window that KIVI/GEAR hold over the most recent tokens — in the paper
+  // that window is ~6% of a 1k prompt; without a tail it would cover half
+  // of our scaled-down contexts.
+  std::size_t tail_filler = 96;
+  double negative_similarity = 0.8;  // cosine of decoys to their target
+  std::size_t hops = 4;              // chained retrievals per case
+  // Heads whose outputs decode each hop's answer (cycling subset). Real
+  // retrieval rides on a few heads per step, not a full-width vote: a
+  // small reader set keeps accuracy sensitive to per-head cache damage
+  // while leaving the partial redundancy that makes half-the-heads-2-bit
+  // survivable (Table 2's mixed row).
+  std::size_t reading_heads = 3;
+  std::size_t filler_per_hop = 16;   // decode "thinking" tokens per hop
+  std::size_t n_cases = 24;
+  double query_noise = 0.12;         // perturbation of hop queries
+  double key_sharpness = 8.0;        // target raw attention score
+  // Gaussian noise on every K/V element (relative to kappa for keys,
+  // absolute for unit-scale values): models upstream weight/activation
+  // quantization (LLM.int8(), QServe) for the Table 5 composition study.
+  double input_noise = 0.0;
+  std::uint64_t seed = 1;
+
+  std::size_t fact_tokens() const { return n_pairs * (1 + hard_negatives); }
+  std::size_t context_tokens() const { return fact_tokens() + tail_filler; }
+};
+
+struct TaskResult {
+  double accuracy = 0;            // exact-match over cases
+  double kv_bytes_per_token = 0;  // measured on the method's cache
+  std::size_t cases = 0;
+};
+
+// Run the task with one KvAttention instance per head built from `factory`
+// (a fresh set per case).
+TaskResult run_retrieval(const RetrievalConfig& config,
+                         const KvAttentionFactory& factory);
+
+// Per-head K/V statistics of this task's generated context (for the
+// head-wise selection experiments). Deterministic in config.seed.
+std::vector<HeadStats> retrieval_head_stats(const RetrievalConfig& config);
+
+// Proxy presets. The model profile supplies the distributional structure;
+// the task parameters mirror the benchmark character: multi-step math
+// (GSM8k: long chains), harder multi-step with more confusable options
+// (AQuA), single-step symbolic matching over many choices (BBH).
+RetrievalConfig gsm8k_proxy(model::ModelProfile profile);
+RetrievalConfig aqua_proxy(model::ModelProfile profile);
+RetrievalConfig bbh_proxy(model::ModelProfile profile);
+
+}  // namespace turbo::tasks

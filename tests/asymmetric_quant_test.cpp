@@ -1,0 +1,135 @@
+#include "quant/asymmetric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "quant/error.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+TEST(AsymmetricQuantTest, ParamsSpanTheRange) {
+  std::vector<float> v{-2.0f, 0.0f, 6.0f};
+  const AsymParams p = asym_params(v, BitWidth::kInt4);
+  EXPECT_FLOAT_EQ(p.zero, -2.0f);
+  EXPECT_FLOAT_EQ(p.scale, 8.0f / 15.0f);
+}
+
+TEST(AsymmetricQuantTest, ConstantGroupIsExact) {
+  std::vector<float> v(16, 3.25f);
+  const AsymParams p = asym_params(v, BitWidth::kInt2);
+  std::vector<std::uint8_t> q(v.size());
+  quantize_asym(v, p, BitWidth::kInt2, q);
+  std::vector<float> back(v.size());
+  dequantize_asym(q, p, back);
+  for (float x : back) EXPECT_FLOAT_EQ(x, 3.25f);
+}
+
+TEST(AsymmetricQuantTest, EndpointsAreExact) {
+  // Min and max of a group are always representable exactly.
+  std::vector<float> v{-5.0f, 1.0f, 2.0f, 11.0f};
+  const AsymParams p = asym_params(v, BitWidth::kInt4);
+  std::vector<std::uint8_t> q(v.size());
+  quantize_asym(v, p, BitWidth::kInt4, q);
+  std::vector<float> back(v.size());
+  dequantize_asym(q, p, back);
+  EXPECT_FLOAT_EQ(back[0], -5.0f);
+  EXPECT_FLOAT_EQ(back[3], 11.0f);
+}
+
+TEST(AsymmetricQuantTest, ErrorBoundedByHalfScale) {
+  const MatrixF m = test::random_matrix(16, 16, 3);
+  for (BitWidth bits :
+       {BitWidth::kInt2, BitWidth::kInt3, BitWidth::kInt4}) {
+    const GroupQuantized g = quantize_grouped(m, bits, 16, QuantAxis::kToken);
+    const MatrixF back = dequantize_grouped(g);
+    double max_scale = 0.0;
+    for (const AsymParams& p : g.params) {
+      max_scale = std::max(max_scale, static_cast<double>(p.scale));
+    }
+    EXPECT_LE(max_abs_error(m, back), max_scale / 2.0 + 1e-6)
+        << "bits " << bit_count(bits);
+  }
+}
+
+TEST(AsymmetricQuantTest, GroupedRoundTripShapes) {
+  const MatrixF m = test::random_matrix(48, 32, 11);
+  const GroupQuantized g =
+      quantize_grouped(m, BitWidth::kInt4, 16, QuantAxis::kChannel);
+  EXPECT_EQ(g.rows, 48u);
+  EXPECT_EQ(g.cols, 32u);
+  // 48 rows / 16 per group = 3 groups per channel, 32 channels.
+  EXPECT_EQ(g.params.size(), 96u);
+  const MatrixF back = dequantize_grouped(g);
+  EXPECT_EQ(back.rows(), 48u);
+  EXPECT_EQ(back.cols(), 32u);
+  EXPECT_LT(relative_error(m, back), 0.08);
+}
+
+TEST(AsymmetricQuantTest, RaggedLastGroup) {
+  const MatrixF m = test::random_matrix(10, 6, 13);
+  const GroupQuantized g =
+      quantize_grouped(m, BitWidth::kInt4, 4, QuantAxis::kChannel);
+  // ceil(10/4) = 3 groups per channel.
+  EXPECT_EQ(g.params.size(), 18u);
+  const MatrixF back = dequantize_grouped(g);
+  EXPECT_LT(relative_error(m, back), 0.1);
+}
+
+TEST(AsymmetricQuantTest, MemoryAccounting) {
+  const MatrixF m = test::random_matrix(64, 64, 17);
+  const GroupQuantized g =
+      quantize_grouped(m, BitWidth::kInt4, 64, QuantAxis::kChannel);
+  // 64*64 codes at 4 bits = 2048 bytes payload; 64 groups * 4 bytes params.
+  EXPECT_EQ(g.memory_bytes(), 2048u + 256u);
+}
+
+// The Figure 10 property: when outliers concentrate in channels,
+// channelwise grouping has strictly lower error than tokenwise grouping.
+TEST(AsymmetricQuantTest, ChannelwiseBeatsTokenwiseOnChannelOutliers) {
+  const MatrixF m = test::random_outlier_matrix(256, 64, 23, 12.0, 6);
+  for (BitWidth bits : {BitWidth::kInt2, BitWidth::kInt4}) {
+    const double ch = grouped_quant_rmse(m, bits, 64, QuantAxis::kChannel);
+    const double tok = grouped_quant_rmse(m, bits, 64, QuantAxis::kToken);
+    EXPECT_LT(ch, tok) << "bits " << bit_count(bits);
+  }
+}
+
+// More bits must never increase error (monotonicity property).
+class AsymBitsMonotonicity
+    : public ::testing::TestWithParam<QuantAxis> {};
+
+TEST_P(AsymBitsMonotonicity, ErrorDecreasesWithBits) {
+  const QuantAxis axis = GetParam();
+  const MatrixF m = test::random_outlier_matrix(128, 64, 31);
+  const double e2 = grouped_quant_rmse(m, BitWidth::kInt2, 64, axis);
+  const double e3 = grouped_quant_rmse(m, BitWidth::kInt3, 64, axis);
+  const double e4 = grouped_quant_rmse(m, BitWidth::kInt4, 64, axis);
+  const double e8 = grouped_quant_rmse(m, BitWidth::kInt8, 64, axis);
+  EXPECT_GT(e2, e3);
+  EXPECT_GT(e3, e4);
+  EXPECT_GT(e4, e8);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAxes, AsymBitsMonotonicity,
+                         ::testing::Values(QuantAxis::kChannel,
+                                           QuantAxis::kToken));
+
+// Smaller groups adapt better: error decreases (weakly) as groups shrink.
+TEST(AsymmetricQuantTest, SmallerGroupsReduceError) {
+  const MatrixF m = test::random_outlier_matrix(256, 64, 37);
+  const double g256 =
+      grouped_quant_rmse(m, BitWidth::kInt4, 256, QuantAxis::kChannel);
+  const double g64 =
+      grouped_quant_rmse(m, BitWidth::kInt4, 64, QuantAxis::kChannel);
+  const double g16 =
+      grouped_quant_rmse(m, BitWidth::kInt4, 16, QuantAxis::kChannel);
+  EXPECT_LE(g64, g256 * 1.001);
+  EXPECT_LE(g16, g64 * 1.001);
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,197 @@
+// Cross-kernel property sweeps: invariants every attention implementation
+// must satisfy, parameterized over shapes, bit-widths and windows.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "attention/flash.h"
+#include "attention/reference.h"
+#include "attention/turbo.h"
+#include "common/stats.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+// --- Turbo prefill error scales with head_dim and bits -------------------
+
+class TurboShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, BitWidth>> {};
+
+TEST_P(TurboShapeSweep, PrefillWithinBudgetAndCacheConsistent) {
+  const auto [head_dim, bits] = GetParam();
+  const std::size_t tokens = 96;
+  const MatrixF q = test::random_matrix(tokens, head_dim, 1);
+  const MatrixF k = test::random_matrix(tokens, head_dim, 2);
+  const MatrixF v = test::random_matrix(tokens, head_dim, 3);
+  AttentionConfig cfg;
+  cfg.block_rows = 32;
+  cfg.block_cols = 32;
+  const Sas sas;
+  QuantizedKvCache cache(head_dim, bits, 32, 32);
+  const TurboPrefillResult r =
+      turbo_attention_prefill(q, k, v, cfg, sas, &cache);
+
+  // Output error independent of head_dim, bounded by the INT8+SAS budget
+  // (prefill never reads the INT4/2 cache).
+  const MatrixF ref = reference_attention(q, k, v, cfg);
+  EXPECT_LT(relative_error(r.o, ref), 0.05)
+      << "d=" << head_dim << " bits=" << bit_count(bits);
+
+  // Cache holds every token; reconstruction error ordered by bits.
+  EXPECT_EQ(cache.token_count(), tokens);
+  const double k_err = relative_error(cache.reconstruct_keys(), k);
+  const double budget = bits == BitWidth::kInt4
+                            ? 0.15
+                            : (bits == BitWidth::kInt3 ? 0.3 : 0.6);
+  EXPECT_LT(k_err, budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TurboShapeSweep,
+    ::testing::Combine(::testing::Values(std::size_t{16}, std::size_t{64},
+                                         std::size_t{128}),
+                       ::testing::Values(BitWidth::kInt2, BitWidth::kInt3,
+                                         BitWidth::kInt4)));
+
+// --- Window x causal combinations across kernels --------------------------
+
+class WindowCausalSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+TEST_P(WindowCausalSweep, FlashTracksReference) {
+  const auto [window, causal] = GetParam();
+  const MatrixF q = test::random_matrix(45, 16, 4);
+  const MatrixF k = test::random_matrix(45, 16, 5);
+  const MatrixF v = test::random_matrix(45, 16, 6);
+  AttentionConfig cfg;
+  cfg.window = window;
+  cfg.causal = causal;
+  cfg.block_rows = 16;
+  cfg.block_cols = 16;
+  FlashOptions options;
+  options.emulate_fp16 = false;
+  const FlashResult r = flash_attention(q, k, v, cfg, options);
+  const MatrixF ref = reference_attention(q, k, v, cfg);
+  EXPECT_LT(max_abs_error(r.o, ref), 1e-4)
+      << "window=" << window << " causal=" << causal;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, WindowCausalSweep,
+    ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{9}, std::size_t{45},
+                                         std::size_t{100}),
+                       ::testing::Bool()));
+
+// --- Attention-defining invariants ----------------------------------------
+
+TEST(AttentionPropertyTest, PermutingKvPairsLeavesOutputUnchanged) {
+  // Non-causal attention is a set operation over (k, v) pairs.
+  const MatrixF q = test::random_matrix(4, 8, 7);
+  MatrixF k = test::random_matrix(12, 8, 8);
+  MatrixF v = test::random_matrix(12, 8, 9);
+  AttentionConfig cfg;
+  cfg.causal = false;
+  const MatrixF before = reference_attention(q, k, v, cfg);
+
+  // Swap rows 2 and 9 of both K and V.
+  for (std::size_t c = 0; c < 8; ++c) {
+    std::swap(k(2, c), k(9, c));
+    std::swap(v(2, c), v(9, c));
+  }
+  const MatrixF after = reference_attention(q, k, v, cfg);
+  EXPECT_LT(max_abs_error(before, after), 1e-5);
+}
+
+TEST(AttentionPropertyTest, DuplicatedKeyGetsDoubleWeight) {
+  // Appending an exact copy of key j is equivalent to doubling exp(s_j).
+  MatrixF q(1, 4, 0.5f);
+  MatrixF k(2, 4);
+  MatrixF v(2, 4);
+  Rng rng(10);
+  rng.fill_normal(k.flat(), 0.0, 1.0);
+  rng.fill_normal(v.flat(), 0.0, 1.0);
+  AttentionConfig cfg;
+  cfg.causal = false;
+
+  MatrixF k3 = k;
+  MatrixF v3 = v;
+  k3.append_row(k.row(1));
+  v3.append_row(v.row(1));
+  const MatrixF o3 = reference_attention(q, k3, v3, cfg);
+
+  // Manual: weights w0, 2*w1 normalized.
+  const float scale = cfg.effective_scale(4);
+  float s0 = 0.0f;
+  float s1 = 0.0f;
+  for (std::size_t c = 0; c < 4; ++c) {
+    s0 += q(0, c) * k(0, c);
+    s1 += q(0, c) * k(1, c);
+  }
+  const double w0 = std::exp(static_cast<double>(s0 * scale));
+  const double w1 = 2.0 * std::exp(static_cast<double>(s1 * scale));
+  for (std::size_t c = 0; c < 4; ++c) {
+    const double expect = (w0 * v(0, c) + w1 * v(1, c)) / (w0 + w1);
+    EXPECT_NEAR(o3(0, c), expect, 1e-5);
+  }
+}
+
+TEST(AttentionPropertyTest, ValueScalingIsLinear) {
+  // Attention output is linear in V.
+  const MatrixF q = test::random_matrix(4, 8, 11);
+  const MatrixF k = test::random_matrix(16, 8, 12);
+  MatrixF v = test::random_matrix(16, 8, 13);
+  AttentionConfig cfg;
+  cfg.causal = false;
+  const MatrixF o1 = reference_attention(q, k, v, cfg);
+  for (float& x : v.flat()) x *= 3.0f;
+  const MatrixF o3 = reference_attention(q, k, v, cfg);
+  for (std::size_t i = 0; i < o1.size(); ++i) {
+    EXPECT_NEAR(o3.flat()[i], 3.0f * o1.flat()[i], 1e-4f);
+  }
+}
+
+TEST(AttentionPropertyTest, TurboDecodeInvariantToBlockBoundaries) {
+  // The same token stream compressed under different Bc gives only
+  // quantization-grain differences, not structural ones.
+  const std::size_t d = 16;
+  const MatrixF k = test::random_matrix(96, d, 14);
+  const MatrixF v = test::random_matrix(96, d, 15);
+  const MatrixF qp = test::random_matrix(96, d, 16);
+  const Sas sas;
+  std::vector<float> q(d, 0.3f);
+
+  std::vector<std::vector<float>> outs;
+  for (std::size_t bc : {16u, 32u, 48u}) {
+    AttentionConfig cfg;
+    cfg.block_rows = bc;
+    cfg.block_cols = bc;
+    QuantizedKvCache cache(d, BitWidth::kInt4, bc, bc);
+    turbo_attention_prefill(qp, k, v, cfg, sas, &cache);
+    outs.push_back(turbo_attention_decode(q, cache, cfg, sas));
+  }
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    EXPECT_LT(relative_error(outs[i], outs[0]), 0.15) << "variant " << i;
+  }
+}
+
+TEST(AttentionPropertyTest, LseConsistentAcrossKernels) {
+  const MatrixF q = test::random_matrix(24, 16, 17);
+  const MatrixF k = test::random_matrix(24, 16, 18);
+  const MatrixF v = test::random_matrix(24, 16, 19);
+  AttentionConfig cfg;
+  const Sas sas;
+  std::vector<float> ref_lse(24);
+  reference_attention_with_lse(q, k, v, cfg, ref_lse);
+  const FlashResult f = flash_attention(q, k, v, cfg);
+  const TurboPrefillResult t =
+      turbo_attention_prefill(q, k, v, cfg, sas, nullptr);
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_NEAR(f.lse[i], ref_lse[i], 0.02f);
+    EXPECT_NEAR(t.lse[i], ref_lse[i], 0.2f);
+  }
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,117 @@
+#include "kvcache/decode_buffer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace turbo {
+namespace {
+
+std::vector<float> token(std::initializer_list<float> vals) { return vals; }
+
+TEST(DecodeBufferTest, StartsEmpty) {
+  DecodeBuffer buf(4, 2);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FALSE(buf.full());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_FALSE(buf.has_scale());
+}
+
+TEST(DecodeBufferTest, SeedScaleFixesUniversalScale) {
+  DecodeBuffer buf(4, 2);
+  buf.seed_scale(119.0f);
+  EXPECT_FLOAT_EQ(buf.scale(), 1.0f);
+  // Second seed is a no-op: the scale is universal.
+  buf.seed_scale(1000.0f);
+  EXPECT_FLOAT_EQ(buf.scale(), 1.0f);
+}
+
+TEST(DecodeBufferTest, FirstPushSeedsScaleWhenUnseeded) {
+  DecodeBuffer buf(4, 2);
+  buf.push(token({119.0f, -59.5f}));
+  EXPECT_TRUE(buf.has_scale());
+  EXPECT_FLOAT_EQ(buf.scale(), 1.0f);
+  EXPECT_EQ(buf.tokens()(0, 0), 119);
+  EXPECT_EQ(buf.tokens()(0, 1), -60);  // nearbyint(-59.5) == -60
+}
+
+TEST(DecodeBufferTest, OutliersClampWithoutRecompression) {
+  DecodeBuffer buf(4, 2);
+  buf.seed_scale(119.0f);  // scale 1.0, representable range [-127, 127]
+  buf.push(token({100.0f, -100.0f}));
+  buf.push(token({500.0f, -500.0f}));  // outlier: clamps, not re-scales
+  EXPECT_FLOAT_EQ(buf.scale(), 1.0f);  // unchanged
+  EXPECT_EQ(buf.tokens()(0, 0), 100);  // earlier token untouched
+  EXPECT_EQ(buf.tokens()(1, 0), 127);
+  EXPECT_EQ(buf.tokens()(1, 1), -127);
+  EXPECT_EQ(buf.clamped_token_count(), 1u);
+}
+
+TEST(DecodeBufferTest, FullAfterCapacityPushes) {
+  DecodeBuffer buf(3, 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(buf.full());
+    buf.push(token({1.0f}));
+  }
+  EXPECT_TRUE(buf.full());
+  EXPECT_THROW(buf.push(token({1.0f})), CheckError);
+}
+
+TEST(DecodeBufferTest, TakeDrainsButKeepsScale) {
+  DecodeBuffer buf(4, 2);
+  buf.push(token({10.0f, 20.0f}));
+  buf.push(token({30.0f, 40.0f}));
+  const float scale = buf.scale();
+  const MatrixI8 out = buf.take();
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FLOAT_EQ(buf.scale(), scale);  // universal across flushes
+  // Post-take pushes still work with the retained scale.
+  buf.push(token({5.0f, 5.0f}));
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(DecodeBufferTest, RoundTripErrorWithinHalfScale) {
+  DecodeBuffer buf(16, 8);
+  Rng rng(1);
+  std::vector<std::vector<float>> originals;
+  buf.seed_scale(4.0f);  // generous range so nothing clamps
+  for (int t = 0; t < 16; ++t) {
+    std::vector<float> v(8);
+    rng.fill_normal(v, 0.0, 1.0);
+    buf.push(v);
+    originals.push_back(std::move(v));
+  }
+  for (int t = 0; t < 16; ++t) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      const float back =
+          static_cast<float>(buf.tokens()(static_cast<std::size_t>(t), c)) *
+          buf.scale();
+      EXPECT_NEAR(back, originals[static_cast<std::size_t>(t)][c],
+                  buf.scale() / 2.0f + 1e-6f);
+    }
+  }
+}
+
+TEST(DecodeBufferTest, DimensionMismatchThrows) {
+  DecodeBuffer buf(4, 3);
+  EXPECT_THROW(buf.push(token({1.0f, 2.0f})), CheckError);
+}
+
+TEST(DecodeBufferTest, ZeroCapacityThrows) {
+  EXPECT_THROW(DecodeBuffer(0, 4), CheckError);
+  EXPECT_THROW(DecodeBuffer(4, 0), CheckError);
+}
+
+TEST(DecodeBufferTest, MemoryBytesCountsInt8Payload) {
+  DecodeBuffer buf(8, 4);
+  buf.push(token({1.0f, 2.0f, 3.0f, 4.0f}));
+  buf.push(token({1.0f, 2.0f, 3.0f, 4.0f}));
+  EXPECT_EQ(buf.memory_bytes(), 8u + 2u);  // 2 tokens x 4 dims + fp16 scale
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,75 @@
+#include "model/deep.h"
+
+#include <gtest/gtest.h>
+
+#include "attention/turbo_method.h"
+#include "baselines/fp16_method.h"
+#include "model/profile.h"
+
+namespace turbo::model {
+namespace {
+
+DeepConfig small() {
+  DeepConfig cfg;
+  cfg.layers = 4;
+  cfg.tokens = 64;
+  cfg.seed = 3;
+  return cfg;
+}
+
+ModelProfile small_profile() {
+  ModelProfile p = llama3_8b_profile();
+  p.heads = 4;
+  return p;
+}
+
+TEST(DeepTest, ExactStreamHasZeroDivergence) {
+  const DepthDivergence d = measure_depth_divergence(
+      small_profile(), make_exact_factory({}), small());
+  ASSERT_EQ(d.per_layer.size(), 4u);
+  for (double e : d.per_layer) {
+    EXPECT_EQ(e, 0.0);
+  }
+}
+
+TEST(DeepTest, Fp16DivergenceTiny) {
+  const DepthDivergence d = measure_depth_divergence(
+      small_profile(), make_fp16_factory({}), small());
+  for (double e : d.per_layer) {
+    EXPECT_LT(e, 0.005);
+  }
+}
+
+TEST(DeepTest, DivergenceBoundedNotExploding) {
+  TurboMethodConfig cfg;
+  cfg.kv_bits = BitWidth::kInt2;  // worst case
+  const DepthDivergence d = measure_depth_divergence(
+      small_profile(), make_turbo_factory(cfg), small());
+  for (double e : d.per_layer) {
+    EXPECT_GT(e, 0.0);
+    EXPECT_LT(e, 1.0);  // residual + norm keep it contractive
+  }
+}
+
+TEST(DeepTest, CoarserBitsDivergeMore) {
+  TurboMethodConfig c4;
+  TurboMethodConfig c2;
+  c2.kv_bits = BitWidth::kInt2;
+  const DepthDivergence d4 = measure_depth_divergence(
+      small_profile(), make_turbo_factory(c4), small());
+  const DepthDivergence d2 = measure_depth_divergence(
+      small_profile(), make_turbo_factory(c2), small());
+  EXPECT_LT(d4.per_layer.back(), d2.per_layer.back());
+}
+
+TEST(DeepTest, Deterministic) {
+  TurboMethodConfig cfg;
+  const DepthDivergence a = measure_depth_divergence(
+      small_profile(), make_turbo_factory(cfg), small());
+  const DepthDivergence b = measure_depth_divergence(
+      small_profile(), make_turbo_factory(cfg), small());
+  EXPECT_EQ(a.per_layer, b.per_layer);
+}
+
+}  // namespace
+}  // namespace turbo::model

@@ -1,0 +1,103 @@
+#include "kernels/fused_decode.h"
+
+#include <gtest/gtest.h>
+
+#include "attention/turbo.h"
+#include "common/check.h"
+#include "kvcache/paged_cache.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+// Build a cache with prefill blocks (of every supported width) plus a
+// buffered tail, and check the fused kernel against the reference kernel.
+class FusedDecodeTest : public ::testing::TestWithParam<BitWidth> {};
+
+TEST_P(FusedDecodeTest, BitIdenticalToReference) {
+  const BitWidth bits = GetParam();
+  const std::size_t d = 32;
+  QuantizedKvCache cache(d, bits, 64, 64);
+  const MatrixF k = test::random_matrix(200, d, 1);
+  const MatrixF v = test::random_matrix(200, d, 2);
+  const MatrixF qp = test::random_matrix(200, d, 3);
+  const AttentionConfig cfg;
+  const Sas sas;
+  turbo_attention_prefill(qp, k, v, cfg, sas, &cache);
+
+  // Add buffered decode tokens (tail not a multiple of the block size).
+  Rng rng(4);
+  for (int t = 0; t < 13; ++t) {
+    std::vector<float> kt(d);
+    std::vector<float> vt(d);
+    rng.fill_normal(kt, 0.0, 1.0);
+    rng.fill_normal(vt, 0.0, 1.0);
+    cache.append_token(kt, vt);
+  }
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> q(d);
+    rng.fill_normal(q, 0.0, 1.0);
+    const auto reference = turbo_attention_decode(q, cache, cfg, sas);
+    const auto fused = fused_turbo_decode(q, cache, cfg, sas);
+    ASSERT_EQ(reference.size(), fused.size());
+    for (std::size_t c = 0; c < d; ++c) {
+      EXPECT_EQ(reference[c], fused[c])
+          << "bits=" << bit_count(bits) << " trial=" << trial << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FusedDecodeTest,
+                         ::testing::Values(BitWidth::kInt2, BitWidth::kInt3,
+                                           BitWidth::kInt4));
+
+TEST(FusedDecodeTest, RaggedFinalBlock) {
+  // 100 tokens at Bc=64: one full block + one 36-row block — exercises
+  // non-multiple-of-8 code counts in the packed layout.
+  const std::size_t d = 16;
+  QuantizedKvCache cache(d, BitWidth::kInt3, 64, 64);
+  const MatrixF k = test::random_matrix(100, d, 5);
+  const MatrixF v = test::random_matrix(100, d, 6);
+  const MatrixF qp = test::random_matrix(100, d, 7);
+  const AttentionConfig cfg;
+  const Sas sas;
+  turbo_attention_prefill(qp, k, v, cfg, sas, &cache);
+  std::vector<float> q(d, 0.3f);
+  EXPECT_EQ(turbo_attention_decode(q, cache, cfg, sas),
+            fused_turbo_decode(q, cache, cfg, sas));
+}
+
+TEST(FusedDecodeTest, WorksOnPagedCache) {
+  const std::size_t d = 16;
+  PagedKvCache paged(d, BitWidth::kInt4, 16, 8);
+  const auto seq = paged.create_sequence();
+  Rng rng(8);
+  for (int t = 0; t < 40; ++t) {
+    std::vector<float> kt(d);
+    std::vector<float> vt(d);
+    rng.fill_normal(kt, 0.0, 1.0);
+    rng.fill_normal(vt, 0.0, 1.0);
+    ASSERT_TRUE(paged.append_token(seq, kt, vt));
+  }
+  std::vector<float> q(d, -0.2f);
+  const AttentionConfig cfg;
+  const Sas sas;
+  const auto reference = turbo_attention_decode(
+      q, paged.blocks(seq), paged.key_buffer(seq), paged.value_buffer(seq),
+      cfg, sas);
+  const auto fused = fused_turbo_decode(
+      q, paged.blocks(seq), paged.key_buffer(seq), paged.value_buffer(seq),
+      cfg, sas);
+  EXPECT_EQ(reference, fused);
+}
+
+TEST(FusedDecodeTest, EmptyCacheThrows) {
+  QuantizedKvCache cache(8, BitWidth::kInt4, 64, 64);
+  std::vector<float> q(8, 1.0f);
+  EXPECT_THROW(fused_turbo_decode(q, cache, AttentionConfig{}, Sas{}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace turbo

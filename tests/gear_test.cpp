@@ -1,0 +1,147 @@
+#include "baselines/gear.h"
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.h"
+#include "baselines/kivi.h"
+#include "common/stats.h"
+#include "quant/asymmetric.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+GearConfig small_config() {
+  GearConfig cfg;
+  cfg.attention.block_rows = 32;
+  cfg.attention.block_cols = 32;
+  cfg.chunk = 16;
+  cfg.residual = 16;
+  cfg.rank = 4;
+  return cfg;
+}
+
+TEST(GearTest, PrefillMatchesFlashBaseline) {
+  const MatrixF q = test::random_matrix(64, 16, 1);
+  const MatrixF k = test::random_matrix(64, 16, 2);
+  const MatrixF v = test::random_matrix(64, 16, 3);
+  GearAttention gear(16, small_config());
+  const MatrixF o = gear.prefill(q, k, v);
+  const MatrixF ref =
+      reference_attention(q, k, v, small_config().attention);
+  EXPECT_LT(relative_error(o, ref), 5e-3);
+}
+
+TEST(GearTest, LowRankCompensationReducesError) {
+  // Reconstruction with rank-4 compensation must beat plain per-token
+  // quantization of the same chunks (GEAR's core claim).
+  const std::size_t d = 32;
+  const MatrixF kv = test::random_outlier_matrix(128, d, 4, 6.0, 4);
+
+  GearConfig cfg = small_config();
+  cfg.residual = 0;
+  cfg.chunk = 32;
+  GearAttention gear(d, cfg);
+  const MatrixF q = test::random_matrix(128, d, 5);
+  gear.prefill(q, kv, kv);
+
+  // Probe reconstruction quality through decode against a known query.
+  Rng rng(6);
+  std::vector<float> qt(d);
+  rng.fill_normal(qt, 0.0, 1.0);
+  std::vector<float> kt(d, 0.0f);
+  std::vector<float> vt(d, 0.0f);
+  const auto o_gear = gear.decode(qt, kt, vt);
+
+  // Plain per-token 4-bit baseline on the same data.
+  MatrixF k_plain = kv;
+  const GroupQuantized gq =
+      quantize_grouped(kv, cfg.bits, d, QuantAxis::kToken);
+  k_plain = dequantize_grouped(gq);
+  MatrixF k_full = k_plain;
+  k_full.append_row(std::span<const float>(kt));
+  MatrixF v_full = k_plain;
+  v_full.append_row(std::span<const float>(vt));
+
+  MatrixF k_exact = kv;
+  k_exact.append_row(std::span<const float>(kt));
+  MatrixF v_exact = kv;
+  v_exact.append_row(std::span<const float>(vt));
+
+  const auto ref = reference_decode(qt, k_exact, v_exact, cfg.attention);
+  const auto plain = reference_decode(qt, k_full, v_full, cfg.attention);
+  EXPECT_LT(relative_error(o_gear, ref), relative_error(plain, ref) + 0.02);
+}
+
+TEST(GearTest, DecodeStaysCloseToExact) {
+  GearAttention gear(16, small_config());
+  const MatrixF q = test::random_matrix(80, 16, 7);
+  MatrixF k = test::random_matrix(80, 16, 8);
+  MatrixF v = test::random_matrix(80, 16, 9);
+  gear.prefill(q, k, v);
+
+  Rng rng(10);
+  const AttentionConfig cfg = small_config().attention;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<float> qt(16);
+    std::vector<float> kt(16);
+    std::vector<float> vt(16);
+    rng.fill_normal(qt, 0.0, 1.0);
+    rng.fill_normal(kt, 0.0, 1.0);
+    rng.fill_normal(vt, 0.0, 1.0);
+    const auto o = gear.decode(qt, kt, vt);
+    k.append_row(std::span<const float>(kt));
+    v.append_row(std::span<const float>(vt));
+    const auto ref = reference_decode(qt, k, v, cfg);
+    EXPECT_LT(relative_error(o, ref), 0.15) << "step " << t;
+  }
+}
+
+TEST(GearTest, ResidualWindowBounds) {
+  GearConfig cfg = small_config();
+  GearAttention gear(8, cfg);
+  const MatrixF m = test::random_matrix(100, 8, 11);
+  gear.prefill(m, m, m);
+  EXPECT_GE(gear.residual_tokens(), cfg.residual);
+  EXPECT_LT(gear.residual_tokens(), cfg.residual + cfg.chunk);
+}
+
+TEST(GearTest, MemoryIncludesLowRankFactors) {
+  GearConfig cfg = small_config();
+  cfg.residual = 0;
+  cfg.chunk = 64;
+  GearAttention gear(32, cfg);
+  const MatrixF m = test::random_matrix(64, 32, 12);
+  gear.prefill(m, m, m);
+  // One chunk each for K and V: codes + params + 2 factor pairs.
+  const std::size_t factor_bytes = 2 * ((64 * 4 + 32 * 4) * 2);
+  EXPECT_GE(gear.kv_cache_bytes(), factor_bytes);
+  // Still far below FP16.
+  EXPECT_LT(gear.kv_cache_bytes(), 2u * 64u * 32u * 2u);
+}
+
+TEST(GearTest, DeterministicAcrossRuns) {
+  const MatrixF m = test::random_matrix(64, 16, 13);
+  GearConfig cfg = small_config();
+  GearAttention a(16, cfg);
+  GearAttention b(16, cfg);
+  const MatrixF q = test::random_matrix(64, 16, 14);
+  const MatrixF oa = a.prefill(q, m, m);
+  const MatrixF ob = b.prefill(q, m, m);
+  EXPECT_EQ(oa, ob);
+  std::vector<float> qt(16, 0.5f);
+  std::vector<float> t(16, 0.1f);
+  EXPECT_EQ(a.decode(qt, t, t), b.decode(qt, t, t));
+}
+
+TEST(GearTest, FactoryProducesWorkingInstances) {
+  const auto factory = make_gear_factory(small_config());
+  auto method = factory(16);
+  EXPECT_EQ(method->name(), "GEAR-L");
+  const MatrixF m = test::random_matrix(32, 16, 15);
+  method->prefill(m, m, m);
+  EXPECT_EQ(method->token_count(), 32u);
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,120 @@
+// Grouped-query attention: the attend() contract and the GQA pipeline.
+#include <gtest/gtest.h>
+
+#include "attention/turbo_method.h"
+#include "baselines/fp16_method.h"
+#include "baselines/gear.h"
+#include "baselines/kivi.h"
+#include "model/pipeline.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+// attend(q) must return exactly what decode(q, k, v) would have returned
+// on an identical cache state — i.e. decoding is append + attend.
+template <typename Method, typename Config>
+void check_attend_contract(Config config) {
+  const std::size_t d = 16;
+  const MatrixF prompt_q = test::random_matrix(48, d, 1);
+  const MatrixF prompt_k = test::random_matrix(48, d, 2);
+  const MatrixF prompt_v = test::random_matrix(48, d, 3);
+
+  Method a(d, config);
+  Method b(d, config);
+  a.prefill(prompt_q, prompt_k, prompt_v);
+  b.prefill(prompt_q, prompt_k, prompt_v);
+
+  Rng rng(4);
+  for (int t = 0; t < 12; ++t) {
+    std::vector<float> q(d);
+    std::vector<float> k(d);
+    std::vector<float> v(d);
+    rng.fill_normal(q, 0.0, 1.0);
+    rng.fill_normal(k, 0.0, 1.0);
+    rng.fill_normal(v, 0.0, 1.0);
+    const auto via_decode = a.decode(q, k, v);
+    b.decode(q, k, v);  // same append
+    const auto via_attend = b.attend(q);
+    ASSERT_EQ(via_decode, via_attend) << "step " << t;
+    // attend() must not change cache state.
+    ASSERT_EQ(a.token_count(), b.token_count());
+    ASSERT_EQ(a.kv_cache_bytes(), b.kv_cache_bytes());
+  }
+}
+
+TEST(GqaTest, AttendContractFp16) {
+  check_attend_contract<Fp16FlashAttention>(AttentionConfig{});
+}
+
+TEST(GqaTest, AttendContractExact) {
+  check_attend_contract<ExactAttention>(AttentionConfig{});
+}
+
+TEST(GqaTest, AttendContractTurbo) {
+  TurboMethodConfig cfg;
+  cfg.buffer_capacity = 16;
+  check_attend_contract<TurboKvAttention>(cfg);
+}
+
+TEST(GqaTest, AttendContractTurboSasOnly) {
+  TurboMethodConfig cfg;
+  cfg.use_flashq = false;
+  check_attend_contract<TurboKvAttention>(cfg);
+}
+
+TEST(GqaTest, AttendContractKivi) {
+  KiviConfig cfg;
+  cfg.group = 16;
+  cfg.residual = 16;
+  check_attend_contract<KiviAttention>(cfg);
+}
+
+TEST(GqaTest, AttendContractGear) {
+  GearConfig cfg;
+  cfg.chunk = 16;
+  cfg.residual = 16;
+  check_attend_contract<GearAttention>(cfg);
+}
+
+TEST(GqaTest, PipelineFidelityCloseToMha) {
+  // Sharing a cache across 4 query heads must not change the error scale:
+  // the cache is the same; only more queries read it.
+  model::QkvGenerator gen(model::llama3_8b_profile(), 9);
+  model::PipelineConfig cfg;
+  cfg.prefill_tokens = 96;
+  cfg.decode_steps = 8;
+  TurboMethodConfig tm;
+  tm.buffer_capacity = 16;
+  const auto mha = measure_fidelity(gen, make_turbo_factory(tm), cfg);
+  const auto gqa = measure_fidelity_gqa(gen, make_turbo_factory(tm), cfg, 4);
+  EXPECT_LT(gqa.decode_rel_err, mha.decode_rel_err * 2.0);
+  EXPECT_GT(gqa.decode_rel_err, 0.0);
+  EXPECT_NEAR(gqa.bytes_per_token, mha.bytes_per_token, 1.0);
+}
+
+TEST(GqaTest, GroupSizeOneMatchesMha) {
+  model::QkvGenerator gen(model::llama3_8b_profile(), 11);
+  model::PipelineConfig cfg;
+  cfg.prefill_tokens = 64;
+  cfg.decode_steps = 4;
+  TurboMethodConfig tm;
+  tm.buffer_capacity = 16;
+  const auto mha = measure_fidelity(gen, make_turbo_factory(tm), cfg);
+  const auto gqa = measure_fidelity_gqa(gen, make_turbo_factory(tm), cfg, 1);
+  EXPECT_DOUBLE_EQ(gqa.decode_rel_err, mha.decode_rel_err);
+  EXPECT_DOUBLE_EQ(gqa.prefill_rel_err, mha.prefill_rel_err);
+}
+
+TEST(GqaTest, ExactMethodZeroErrorUnderGqa) {
+  model::QkvGenerator gen(model::qwen2_7b_profile(), 13);
+  model::PipelineConfig cfg;
+  cfg.prefill_tokens = 64;
+  cfg.decode_steps = 4;
+  const auto f = measure_fidelity_gqa(gen, make_exact_factory({}), cfg, 7);
+  EXPECT_EQ(f.prefill_rel_err, 0.0);
+  EXPECT_EQ(f.decode_rel_err, 0.0);
+}
+
+}  // namespace
+}  // namespace turbo

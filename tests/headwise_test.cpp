@@ -1,0 +1,137 @@
+#include "attention/headwise.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+TEST(HeadwiseTest, GapMeasuresFullRange) {
+  MatrixF head(2, 2);
+  head(0, 0) = -3.0f;
+  head(0, 1) = 1.0f;
+  head(1, 0) = 0.0f;
+  head(1, 1) = 7.0f;
+  const HeadStats s = compute_head_stats(head);
+  EXPECT_FLOAT_EQ(s.gap, 10.0f);
+}
+
+TEST(HeadwiseTest, UniformChannelsHaveZeroGapStd) {
+  // Every channel spans exactly [0, 1] -> identical gaps -> std 0.
+  MatrixF head(2, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    head(0, c) = 0.0f;
+    head(1, c) = 1.0f;
+  }
+  const HeadStats s = compute_head_stats(head);
+  EXPECT_FLOAT_EQ(s.gap_std, 0.0f);
+  EXPECT_FLOAT_EQ(s.priority(), 0.0f);
+}
+
+TEST(HeadwiseTest, OutlierChannelRaisesPriority) {
+  const MatrixF smooth = test::random_matrix(64, 16, 1);
+  const MatrixF spiky = test::random_outlier_matrix(64, 16, 1, 10.0, 3);
+  const HeadStats a = compute_head_stats(smooth);
+  const HeadStats b = compute_head_stats(spiky);
+  EXPECT_GT(b.priority(), a.priority());
+  EXPECT_GT(b.gap, a.gap);
+  EXPECT_GT(b.gap_std, a.gap_std);
+}
+
+TEST(HeadwiseTest, CombineTakesHarderTensor) {
+  // v has the larger priority (3*2=6 > 1*5=5): its whole (gap, std) pair
+  // is kept; entropy is worst-case across tensors.
+  HeadStats k{.gap = 1.0f, .gap_std = 5.0f, .entropy = 0.1f};
+  HeadStats v{.gap = 3.0f, .gap_std = 2.0f, .entropy = 0.4f};
+  const HeadStats c = combine_head_stats(k, v);
+  EXPECT_FLOAT_EQ(c.gap, 3.0f);
+  EXPECT_FLOAT_EQ(c.gap_std, 2.0f);
+  EXPECT_FLOAT_EQ(c.priority(), 6.0f);
+  EXPECT_FLOAT_EQ(c.entropy, 0.4f);
+}
+
+TEST(HeadwiseTest, SelectionAssignsLowBitsToLowestPriority) {
+  std::vector<HeadStats> stats(4);
+  stats[0] = {.gap = 10.0f, .gap_std = 10.0f};  // priority 100
+  stats[1] = {.gap = 1.0f, .gap_std = 1.0f};    // priority 1
+  stats[2] = {.gap = 5.0f, .gap_std = 2.0f};    // priority 10
+  stats[3] = {.gap = 2.0f, .gap_std = 1.0f};    // priority 2
+  const auto bits =
+      select_head_bits(stats, 2, HeadSelectionMetric::kPriority);
+  EXPECT_EQ(bits[0], BitWidth::kInt4);
+  EXPECT_EQ(bits[1], BitWidth::kInt2);
+  EXPECT_EQ(bits[2], BitWidth::kInt4);
+  EXPECT_EQ(bits[3], BitWidth::kInt2);
+}
+
+TEST(HeadwiseTest, SelectionCountsAreExact) {
+  std::vector<HeadStats> stats(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    stats[i] = {.gap = static_cast<float>(i + 1),
+                .gap_std = 1.0f,
+                .entropy = static_cast<float>(8 - i)};
+  }
+  for (std::size_t n = 0; n <= 8; ++n) {
+    const auto bits =
+        select_head_bits(stats, n, HeadSelectionMetric::kMinMax);
+    std::size_t low = 0;
+    for (BitWidth b : bits) {
+      if (b == BitWidth::kInt2) ++low;
+    }
+    EXPECT_EQ(low, n);
+  }
+}
+
+TEST(HeadwiseTest, MetricsRankDifferently) {
+  std::vector<HeadStats> stats(2);
+  // Head 0: large gap, tiny variation. Head 1: small gap, huge variation.
+  stats[0] = {.gap = 100.0f, .gap_std = 0.01f, .entropy = 3.0f};
+  stats[1] = {.gap = 1.0f, .gap_std = 50.0f, .entropy = 0.5f};
+  const auto by_gap = select_head_bits(stats, 1, HeadSelectionMetric::kMinMax);
+  const auto by_var =
+      select_head_bits(stats, 1, HeadSelectionMetric::kVariation);
+  EXPECT_EQ(by_gap[1], BitWidth::kInt2);   // head 1 has the smaller gap
+  EXPECT_EQ(by_var[0], BitWidth::kInt2);   // head 0 has the smaller std
+}
+
+TEST(HeadwiseTest, EntropyMetricUsesEntropy) {
+  std::vector<HeadStats> stats(3);
+  stats[0] = {.gap = 1.0f, .gap_std = 1.0f, .entropy = 2.0f};
+  stats[1] = {.gap = 9.0f, .gap_std = 9.0f, .entropy = 0.5f};
+  stats[2] = {.gap = 5.0f, .gap_std = 5.0f, .entropy = 1.0f};
+  const auto bits =
+      select_head_bits(stats, 1, HeadSelectionMetric::kEntropy);
+  EXPECT_EQ(bits[1], BitWidth::kInt2);  // lowest entropy compressed first
+}
+
+TEST(HeadwiseTest, TooManyLowHeadsThrows) {
+  std::vector<HeadStats> stats(2);
+  EXPECT_THROW(select_head_bits(stats, 3, HeadSelectionMetric::kPriority),
+               CheckError);
+}
+
+TEST(HeadwiseTest, TieBreakIsDeterministic) {
+  std::vector<HeadStats> stats(4);  // all identical -> ties
+  const auto a = select_head_bits(stats, 2, HeadSelectionMetric::kPriority);
+  const auto b = select_head_bits(stats, 2, HeadSelectionMetric::kPriority);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a[0], BitWidth::kInt2);  // stable sort keeps index order
+  EXPECT_EQ(a[1], BitWidth::kInt2);
+  EXPECT_EQ(a[2], BitWidth::kInt4);
+}
+
+TEST(HeadwiseTest, MetricNames) {
+  EXPECT_STREQ(head_selection_metric_name(HeadSelectionMetric::kPriority),
+               "priority");
+  EXPECT_STREQ(head_selection_metric_name(HeadSelectionMetric::kEntropy),
+               "entropy");
+  EXPECT_STREQ(head_selection_metric_name(HeadSelectionMetric::kMinMax),
+               "min-max");
+  EXPECT_STREQ(head_selection_metric_name(HeadSelectionMetric::kVariation),
+               "variation");
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,116 @@
+#include "baselines/kivi.h"
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.h"
+#include "common/stats.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+KiviConfig small_config() {
+  KiviConfig cfg;
+  cfg.attention.block_rows = 32;
+  cfg.attention.block_cols = 32;
+  cfg.group = 16;
+  cfg.residual = 16;
+  return cfg;
+}
+
+TEST(KiviTest, PrefillMatchesFlashBaseline) {
+  // Prefill attention itself is uncompressed — only the cache differs.
+  const MatrixF q = test::random_matrix(64, 16, 1);
+  const MatrixF k = test::random_matrix(64, 16, 2);
+  const MatrixF v = test::random_matrix(64, 16, 3);
+  KiviAttention kivi(16, small_config());
+  const MatrixF o = kivi.prefill(q, k, v);
+  AttentionConfig cfg = small_config().attention;
+  const MatrixF ref = reference_attention(q, k, v, cfg);
+  EXPECT_LT(relative_error(o, ref), 5e-3);
+}
+
+TEST(KiviTest, ResidualWindowBounds) {
+  KiviConfig cfg = small_config();
+  KiviAttention kivi(8, cfg);
+  const MatrixF q = test::random_matrix(100, 8, 4);
+  const MatrixF k = test::random_matrix(100, 8, 5);
+  const MatrixF v = test::random_matrix(100, 8, 6);
+  kivi.prefill(q, k, v);
+  // Window keeps between residual and residual + group - 1 tokens.
+  EXPECT_GE(kivi.residual_tokens(), cfg.residual);
+  EXPECT_LT(kivi.residual_tokens(), cfg.residual + cfg.group);
+  EXPECT_EQ(kivi.token_count(), 100u);
+}
+
+TEST(KiviTest, DecodeStaysCloseToExact) {
+  KiviAttention kivi(16, small_config());
+  const MatrixF q = test::random_matrix(80, 16, 7);
+  MatrixF k = test::random_matrix(80, 16, 8);
+  MatrixF v = test::random_matrix(80, 16, 9);
+  kivi.prefill(q, k, v);
+
+  Rng rng(10);
+  AttentionConfig cfg = small_config().attention;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<float> qt(16);
+    std::vector<float> kt(16);
+    std::vector<float> vt(16);
+    rng.fill_normal(qt, 0.0, 1.0);
+    rng.fill_normal(kt, 0.0, 1.0);
+    rng.fill_normal(vt, 0.0, 1.0);
+    const auto o = kivi.decode(qt, kt, vt);
+    k.append_row(std::span<const float>(kt));
+    v.append_row(std::span<const float>(vt));
+    const auto ref = reference_decode(qt, k, v, cfg);
+    EXPECT_LT(relative_error(o, ref), 0.15) << "step " << t;
+  }
+}
+
+TEST(KiviTest, ChunksAccumulateDuringDecode) {
+  KiviConfig cfg = small_config();
+  KiviAttention kivi(8, cfg);
+  const MatrixF prompt = test::random_matrix(16, 8, 11);
+  kivi.prefill(prompt, prompt, prompt);
+  const std::size_t before = kivi.quantized_chunk_count();
+  Rng rng(12);
+  std::vector<float> t(8);
+  for (int i = 0; i < 64; ++i) {
+    rng.fill_normal(t, 0.0, 1.0);
+    kivi.decode(t, t, t);
+  }
+  EXPECT_GT(kivi.quantized_chunk_count(), before);
+}
+
+TEST(KiviTest, MemorySmallerThanFp16) {
+  KiviConfig cfg = small_config();
+  KiviAttention kivi(64, cfg);
+  const MatrixF m = test::random_matrix(512, 64, 13);
+  kivi.prefill(m, m, m);
+  const std::size_t fp16_bytes = 2 * 512 * 64 * 2;
+  EXPECT_LT(kivi.kv_cache_bytes(), fp16_bytes / 2);
+}
+
+TEST(KiviTest, LowerBitsSmallerCache) {
+  const MatrixF m = test::random_matrix(256, 32, 14);
+  KiviConfig cfg2 = small_config();
+  cfg2.bits = BitWidth::kInt2;
+  KiviConfig cfg4 = small_config();
+  KiviAttention k2(32, cfg2);
+  KiviAttention k4(32, cfg4);
+  k2.prefill(m, m, m);
+  k4.prefill(m, m, m);
+  EXPECT_LT(k2.kv_cache_bytes(), k4.kv_cache_bytes());
+}
+
+TEST(KiviTest, FactoryProducesWorkingInstances) {
+  const auto factory = make_kivi_factory(small_config());
+  auto method = factory(16);
+  EXPECT_EQ(method->name(), "KIVI");
+  const MatrixF m = test::random_matrix(32, 16, 15);
+  method->prefill(m, m, m);
+  EXPECT_EQ(method->token_count(), 32u);
+}
+
+}  // namespace
+}  // namespace turbo

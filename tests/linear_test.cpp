@@ -1,0 +1,90 @@
+#include "linear/quantized_linear.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "tests/test_util.h"
+
+namespace turbo::linear {
+namespace {
+
+TEST(QuantizedLinearTest, W8ForwardCloseToFp32) {
+  const MatrixF w = test::random_matrix(32, 64, 1, 0.05);
+  const MatrixF x = test::random_matrix(8, 64, 2);
+  QuantizedLinear layer(w, WeightScheme::kW8);
+  const MatrixF exact = matmul_transposed(x, w);
+  const MatrixF quant = layer.forward(x);
+  // W8A8: ~1% relative error on Gaussian data.
+  EXPECT_LT(relative_error(quant, exact), 0.02);
+}
+
+TEST(QuantizedLinearTest, W4NoisierThanW8ButBounded) {
+  const MatrixF w = test::random_matrix(48, 48, 3, 0.05);
+  const MatrixF x = test::random_matrix(8, 48, 4);
+  QuantizedLinear w8(w, WeightScheme::kW8);
+  QuantizedLinear w4(w, WeightScheme::kW4);
+  const MatrixF exact = matmul_transposed(x, w);
+  const double e8 = relative_error(w8.forward(x), exact);
+  const double e4 = relative_error(w4.forward(x), exact);
+  EXPECT_GT(e4, e8);
+  EXPECT_LT(e4, 0.15);
+}
+
+TEST(QuantizedLinearTest, ForwardMatchesDequantizedWithinActivationError) {
+  // forward() differs from forward_dequantized() only by the activation
+  // quantization (INT8 per token): a small, bounded gap.
+  const MatrixF w = test::random_matrix(24, 32, 5, 0.1);
+  const MatrixF x = test::random_matrix(4, 32, 6);
+  QuantizedLinear layer(w, WeightScheme::kW8);
+  const double gap = relative_error(layer.forward(x),
+                                    layer.forward_dequantized(x));
+  EXPECT_LT(gap, 0.02);
+  EXPECT_GT(gap, 0.0);
+}
+
+TEST(QuantizedLinearTest, MemoryFootprint) {
+  const MatrixF w = test::random_matrix(64, 128, 7, 0.05);
+  QuantizedLinear w8(w, WeightScheme::kW8);
+  QuantizedLinear w4(w, WeightScheme::kW4);
+  EXPECT_EQ(w8.memory_bytes(), 64u * 128u + 64u * 2u);
+  EXPECT_LT(w4.memory_bytes(), w8.memory_bytes() * 0.7);
+  // Both far below FP16 storage.
+  EXPECT_LT(w8.memory_bytes(), 64u * 128u * 2u);
+}
+
+TEST(QuantizedLinearTest, ShapesValidated) {
+  const MatrixF w = test::random_matrix(8, 16, 8);
+  QuantizedLinear layer(w, WeightScheme::kW8);
+  EXPECT_EQ(layer.in_features(), 16u);
+  EXPECT_EQ(layer.out_features(), 8u);
+  const MatrixF bad = test::random_matrix(2, 8, 9);
+  EXPECT_THROW(layer.forward(bad), CheckError);
+}
+
+TEST(QuantizedLinearTest, OutlierRowGetsOwnScale) {
+  // One huge output channel must not destroy the others' precision.
+  MatrixF w = test::random_matrix(16, 32, 10, 0.05);
+  for (std::size_t c = 0; c < 32; ++c) w(3, c) *= 100.0f;
+  const MatrixF x = test::random_matrix(4, 32, 11);
+  QuantizedLinear layer(w, WeightScheme::kW8);
+  const MatrixF exact = matmul_transposed(x, w);
+  const MatrixF quant = layer.forward(x);
+  // Error of the non-outlier rows only.
+  double err = 0.0;
+  double norm = 0.0;
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t r = 0; r < 16; ++r) {
+      if (r == 3) continue;
+      const double d = quant(t, r) - exact(t, r);
+      err += d * d;
+      norm += exact(t, r) * exact(t, r);
+    }
+  }
+  EXPECT_LT(std::sqrt(err / norm), 0.02);
+}
+
+}  // namespace
+}  // namespace turbo::linear

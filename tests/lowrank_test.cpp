@@ -1,0 +1,103 @@
+#include "baselines/lowrank.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+// Build an exactly rank-r matrix A = U V^T.
+MatrixF exact_rank(std::size_t m, std::size_t n, std::size_t r,
+                   std::uint64_t seed) {
+  const MatrixF u = test::random_matrix(m, r, seed);
+  const MatrixF v = test::random_matrix(n, r, seed + 1);
+  MatrixF out(m, n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t x = 0; x < r; ++x) acc += u(i, x) * v(j, x);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+TEST(LowRankTest, RecoversExactlyLowRankMatrix) {
+  const MatrixF a = exact_rank(32, 16, 3, 1);
+  const LowRankFactors f = low_rank_approximate(a, 3, 5, 42);
+  const MatrixF back = low_rank_reconstruct(f);
+  EXPECT_LT(relative_error(back, a), 1e-4);
+}
+
+TEST(LowRankTest, HigherRankNeverWorse) {
+  const MatrixF a = test::random_matrix(48, 24, 2);
+  double prev = 1e30;
+  for (std::size_t r : {1u, 2u, 4u, 8u, 16u}) {
+    const LowRankFactors f = low_rank_approximate(a, r, 4, 7);
+    const double err = relative_error(low_rank_reconstruct(f), a);
+    EXPECT_LE(err, prev + 1e-3) << "rank " << r;
+    prev = err;
+  }
+}
+
+TEST(LowRankTest, RankClampedToMatrixDims) {
+  const MatrixF a = test::random_matrix(4, 6, 3);
+  const LowRankFactors f = low_rank_approximate(a, 100, 3, 1);
+  EXPECT_LE(f.rank(), 4u);
+  // Full-rank approximation reconstructs (nearly) exactly.
+  EXPECT_LT(relative_error(low_rank_reconstruct(f), a), 1e-4);
+}
+
+TEST(LowRankTest, DeterministicForFixedSeed) {
+  const MatrixF a = test::random_matrix(16, 16, 4);
+  const LowRankFactors f1 = low_rank_approximate(a, 4, 3, 99);
+  const LowRankFactors f2 = low_rank_approximate(a, 4, 3, 99);
+  EXPECT_EQ(f1.left, f2.left);
+  EXPECT_EQ(f1.right, f2.right);
+}
+
+TEST(LowRankTest, AddToAccumulates) {
+  const MatrixF a = exact_rank(8, 8, 2, 5);
+  const LowRankFactors f = low_rank_approximate(a, 2, 5, 1);
+  MatrixF target(8, 8, 1.0f);
+  low_rank_add_to(f, target);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(target(i, j), 1.0f + a(i, j), 1e-3f);
+    }
+  }
+}
+
+TEST(LowRankTest, CapturesEnergyOfNoisyLowRank) {
+  // Low-rank signal + small noise: rank-r recovery leaves only the noise.
+  MatrixF a = exact_rank(64, 32, 4, 6);
+  Rng rng(7);
+  double signal = 0.0;
+  for (float& v : a.flat()) {
+    signal += v * v;
+    v += static_cast<float>(rng.normal(0.0, 0.05));
+  }
+  const LowRankFactors f = low_rank_approximate(a, 4, 5, 8);
+  const MatrixF back = low_rank_reconstruct(f);
+  EXPECT_LT(relative_error(back, a), 0.05);
+}
+
+TEST(LowRankTest, MemoryBytesCountsBothFactorsFp16) {
+  const MatrixF a = test::random_matrix(64, 32, 9);
+  const LowRankFactors f = low_rank_approximate(a, 4, 3, 10);
+  EXPECT_EQ(f.memory_bytes(), (64u * 4u + 32u * 4u) * 2u);
+}
+
+TEST(LowRankTest, ZeroMatrixGivesZeroReconstruction) {
+  MatrixF a(16, 8, 0.0f);
+  const LowRankFactors f = low_rank_approximate(a, 4, 3, 11);
+  const MatrixF back = low_rank_reconstruct(f);
+  for (float v : back.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace turbo

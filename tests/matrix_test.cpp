@@ -1,0 +1,135 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  MatrixF m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 1.5f);
+  }
+  m(1, 2) = -7.0f;
+  EXPECT_EQ(m(1, 2), -7.0f);
+  EXPECT_EQ(m.row(1)[2], -7.0f);
+}
+
+TEST(MatrixTest, RowSpanAliasesStorage) {
+  MatrixF m(2, 3, 0.0f);
+  auto row = m.row(1);
+  row[0] = 9.0f;
+  EXPECT_EQ(m(1, 0), 9.0f);
+}
+
+TEST(MatrixTest, BlockRows) {
+  MatrixF m(5, 2);
+  for (std::size_t r = 0; r < 5; ++r) {
+    m(r, 0) = static_cast<float>(r);
+    m(r, 1) = static_cast<float>(10 * r);
+  }
+  const MatrixF b = m.block_rows(2, 2);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b(0, 0), 2.0f);
+  EXPECT_EQ(b(1, 1), 30.0f);
+}
+
+TEST(MatrixTest, BlockRowsOutOfRangeThrows) {
+  MatrixF m(3, 2);
+  EXPECT_THROW(m.block_rows(2, 2), CheckError);
+}
+
+TEST(MatrixTest, AppendRowsAndRow) {
+  MatrixF m(0, 3);
+  std::vector<float> row{1.0f, 2.0f, 3.0f};
+  m.append_row(std::span<const float>(row));
+  EXPECT_EQ(m.rows(), 1u);
+  MatrixF other(2, 3, 5.0f);
+  m.append_rows(other);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m(2, 1), 5.0f);
+}
+
+TEST(MatrixTest, AppendMismatchedWidthThrows) {
+  MatrixF m(1, 3);
+  std::vector<float> row{1.0f, 2.0f};
+  EXPECT_THROW(m.append_row(std::span<const float>(row)), CheckError);
+}
+
+TEST(MatrixTest, MatmulTransposedMatchesManual) {
+  MatrixF a(2, 3);
+  MatrixF b(2, 3);
+  float x = 1.0f;
+  for (float& v : a.flat()) v = x++;
+  for (float& v : b.flat()) v = x++;
+  // a = [1 2 3; 4 5 6], b = [7 8 9; 10 11 12]
+  const MatrixF c = matmul_transposed(a, b);
+  EXPECT_EQ(c(0, 0), 1 * 7 + 2 * 8 + 3 * 9);
+  EXPECT_EQ(c(0, 1), 1 * 10 + 2 * 11 + 3 * 12);
+  EXPECT_EQ(c(1, 0), 4 * 7 + 5 * 8 + 6 * 9);
+  EXPECT_EQ(c(1, 1), 4 * 10 + 5 * 11 + 6 * 12);
+}
+
+TEST(MatrixTest, MatmulMatchesManual) {
+  MatrixF a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  MatrixF b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const MatrixF c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, IntegerMatmulMatchesFloat) {
+  Rng rng(7);
+  MatrixI8 a(4, 8);
+  MatrixI8 b(5, 8);
+  for (auto& v : a.flat()) {
+    v = static_cast<std::int8_t>(rng.uniform_index(255)) ;
+  }
+  for (auto& v : b.flat()) {
+    v = static_cast<std::int8_t>(rng.uniform_index(255));
+  }
+  const MatrixI32 c = matmul_transposed_i8(a, b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < 8; ++k) {
+        acc += static_cast<std::int32_t>(a(i, k)) * b(j, k);
+      }
+      EXPECT_EQ(c(i, j), acc);
+    }
+  }
+}
+
+TEST(MatrixTest, IntegerMatmulNoOverflowAtMaxMagnitude) {
+  // 127 * 127 * 4096 = 66 x 10^6 — must fit comfortably in int32.
+  MatrixI8 a(1, 4096, 127);
+  MatrixI8 b(1, 4096, 127);
+  const MatrixI32 c = matmul_transposed_i8(a, b);
+  EXPECT_EQ(c(0, 0), 127 * 127 * 4096);
+}
+
+TEST(MatrixTest, MatmulShapeMismatchThrows) {
+  MatrixF a(2, 3);
+  MatrixF b(2, 4);
+  EXPECT_THROW(matmul_transposed(a, b), CheckError);
+  EXPECT_THROW(matmul(a, b), CheckError);
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,198 @@
+// Cross-module integration: every KvAttention method driven through the
+// same prefill + decode workload, scored against the FP32 exact method.
+#include <gtest/gtest.h>
+
+#include "attention/turbo_method.h"
+#include "baselines/fp16_method.h"
+#include "baselines/gear.h"
+#include "baselines/kivi.h"
+#include "common/stats.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+struct Workload {
+  MatrixF q;
+  MatrixF k;
+  MatrixF v;
+  std::vector<std::vector<float>> decode_q;
+  std::vector<std::vector<float>> decode_k;
+  std::vector<std::vector<float>> decode_v;
+};
+
+Workload make_workload(std::size_t prompt, std::size_t steps, std::size_t d,
+                       std::uint64_t seed) {
+  Workload w;
+  w.q = test::random_matrix(prompt, d, seed);
+  w.k = test::random_matrix(prompt, d, seed + 1);
+  w.v = test::random_matrix(prompt, d, seed + 2);
+  Rng rng(seed + 3);
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::vector<float> q(d);
+    std::vector<float> k(d);
+    std::vector<float> v(d);
+    rng.fill_normal(q, 0.0, 1.0);
+    rng.fill_normal(k, 0.0, 1.0);
+    rng.fill_normal(v, 0.0, 1.0);
+    w.decode_q.push_back(std::move(q));
+    w.decode_k.push_back(std::move(k));
+    w.decode_v.push_back(std::move(v));
+  }
+  return w;
+}
+
+AttentionConfig test_attention_config() {
+  AttentionConfig cfg;
+  cfg.block_rows = 32;
+  cfg.block_cols = 32;
+  return cfg;
+}
+
+// Drive a method through the workload; returns max relative decode error
+// vs the exact method.
+double run_and_score(KvAttention& method, KvAttention& exact,
+                     const Workload& w) {
+  method.prefill(w.q, w.k, w.v);
+  exact.prefill(w.q, w.k, w.v);
+  double worst = 0.0;
+  for (std::size_t t = 0; t < w.decode_q.size(); ++t) {
+    const auto o = method.decode(w.decode_q[t], w.decode_k[t], w.decode_v[t]);
+    const auto ref = exact.decode(w.decode_q[t], w.decode_k[t], w.decode_v[t]);
+    worst = std::max(worst, relative_error(o, ref));
+  }
+  return worst;
+}
+
+TurboMethodConfig turbo_config() {
+  TurboMethodConfig cfg;
+  cfg.attention = test_attention_config();
+  cfg.buffer_capacity = 16;
+  return cfg;
+}
+
+KiviConfig kivi_config() {
+  KiviConfig cfg;
+  cfg.attention = test_attention_config();
+  cfg.group = 16;
+  cfg.residual = 16;
+  return cfg;
+}
+
+GearConfig gear_config() {
+  GearConfig cfg;
+  cfg.attention = test_attention_config();
+  cfg.chunk = 16;
+  cfg.residual = 16;
+  return cfg;
+}
+
+TEST(MethodIntegrationTest, AllMethodsTrackExactWithinBudget) {
+  const std::size_t d = 32;
+  const Workload w = make_workload(96, 24, d, 100);
+  ExactAttention exact_a(d, test_attention_config());
+  ExactAttention exact_b(d, test_attention_config());
+  ExactAttention exact_c(d, test_attention_config());
+  ExactAttention exact_d(d, test_attention_config());
+
+  Fp16FlashAttention fp16(d, test_attention_config());
+  EXPECT_LT(run_and_score(fp16, exact_a, w), 0.01);
+
+  TurboKvAttention turbo(d, turbo_config());
+  EXPECT_LT(run_and_score(turbo, exact_b, w), 0.25);
+
+  KiviAttention kivi(d, kivi_config());
+  EXPECT_LT(run_and_score(kivi, exact_c, w), 0.20);
+
+  GearAttention gear(d, gear_config());
+  EXPECT_LT(run_and_score(gear, exact_d, w), 0.20);
+}
+
+TEST(MethodIntegrationTest, MemoryOrdering) {
+  const std::size_t d = 64;
+  const Workload w = make_workload(256, 8, d, 200);
+
+  ExactAttention exact(d, test_attention_config());
+  Fp16FlashAttention fp16(d, test_attention_config());
+  TurboKvAttention turbo4(d, turbo_config());
+  TurboMethodConfig t2 = turbo_config();
+  t2.kv_bits = BitWidth::kInt2;
+  TurboKvAttention turbo2(d, t2);
+  KiviAttention kivi(d, kivi_config());
+  GearAttention gear(d, gear_config());
+
+  for (KvAttention* m : std::initializer_list<KvAttention*>{
+           &exact, &fp16, &turbo4, &turbo2, &kivi, &gear}) {
+    m->prefill(w.q, w.k, w.v);
+    for (std::size_t t = 0; t < w.decode_q.size(); ++t) {
+      m->decode(w.decode_q[t], w.decode_k[t], w.decode_v[t]);
+    }
+    EXPECT_EQ(m->token_count(), 264u) << m->name();
+  }
+
+  // FP32 > FP16 > {KIVI, GEAR} > Turbo-4 > Turbo-2 (Turbo has no FP16
+  // residual window, so it undercuts the float-residual baselines).
+  EXPECT_GT(exact.kv_cache_bytes(), fp16.kv_cache_bytes());
+  EXPECT_GT(fp16.kv_cache_bytes(), kivi.kv_cache_bytes());
+  EXPECT_GT(fp16.kv_cache_bytes(), gear.kv_cache_bytes());
+  EXPECT_GT(kivi.kv_cache_bytes(), turbo4.kv_cache_bytes());
+  EXPECT_GT(turbo4.kv_cache_bytes(), turbo2.kv_cache_bytes());
+
+  // Paper headline: >4.4x compression vs FP16 for Turbo.
+  EXPECT_GT(static_cast<double>(fp16.kv_cache_bytes()) /
+                static_cast<double>(turbo4.kv_cache_bytes()),
+            3.3);
+}
+
+TEST(MethodIntegrationTest, TurboAblationsRun) {
+  const std::size_t d = 16;
+  const Workload w = make_workload(48, 8, d, 300);
+
+  TurboMethodConfig flashq_only = turbo_config();
+  flashq_only.use_sas = false;
+  TurboMethodConfig sas_only = turbo_config();
+  sas_only.use_flashq = false;
+
+  ExactAttention exact_a(d, test_attention_config());
+  ExactAttention exact_b(d, test_attention_config());
+  TurboKvAttention fq(d, flashq_only);
+  TurboKvAttention so(d, sas_only);
+  EXPECT_LT(run_and_score(fq, exact_a, w), 0.25);
+  // SAS-only is nearly exact (no quantization at all).
+  EXPECT_LT(run_and_score(so, exact_b, w), 0.02);
+}
+
+TEST(MethodIntegrationTest, MixedFactoryAssignsPerHeadBits) {
+  TurboMethodConfig cfg = turbo_config();
+  auto factory = make_turbo_mixed_factory(
+      cfg, {BitWidth::kInt2, BitWidth::kInt4});
+  auto h0 = factory(16);
+  auto h1 = factory(16);
+  const MatrixF m = test::random_matrix(32, 16, 400);
+  h0->prefill(m, m, m);
+  h1->prefill(m, m, m);
+  EXPECT_LT(h0->kv_cache_bytes(), h1->kv_cache_bytes());
+  // The assignment cycles: heads 2 and 3 repeat the 2-bit / 4-bit pattern,
+  // so per-case rebuilds of the head set get identical precision layouts.
+  auto h2 = factory(16);
+  auto h3 = factory(16);
+  h2->prefill(m, m, m);
+  h3->prefill(m, m, m);
+  EXPECT_EQ(h2->kv_cache_bytes(), h0->kv_cache_bytes());
+  EXPECT_EQ(h3->kv_cache_bytes(), h1->kv_cache_bytes());
+  EXPECT_THROW(make_turbo_mixed_factory(cfg, {}), CheckError);
+}
+
+TEST(MethodIntegrationTest, PrefillTwiceThrows) {
+  const std::size_t d = 16;
+  const MatrixF m = test::random_matrix(16, d, 500);
+  TurboKvAttention turbo(d, turbo_config());
+  turbo.prefill(m, m, m);
+  EXPECT_THROW(turbo.prefill(m, m, m), CheckError);
+  Fp16FlashAttention fp16(d, test_attention_config());
+  fp16.prefill(m, m, m);
+  EXPECT_THROW(fp16.prefill(m, m, m), CheckError);
+}
+
+}  // namespace
+}  // namespace turbo

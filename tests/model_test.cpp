@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "attention/turbo_method.h"
+#include "baselines/fp16_method.h"
+#include "baselines/kivi.h"
+#include "common/stats.h"
+#include "model/generator.h"
+#include "model/pipeline.h"
+#include "model/profile.h"
+#include "quant/error.h"
+
+namespace turbo::model {
+namespace {
+
+TEST(ProfileTest, NamedProfilesDistinct) {
+  EXPECT_NE(llama3_8b_profile().name, phi3_mini_profile().name);
+  // Phi-3's signature: stronger value-channel outliers than LLaMA-3.
+  EXPECT_GT(phi3_mini_profile().outliers.v_outlier_scale,
+            llama3_8b_profile().outliers.v_outlier_scale);
+}
+
+TEST(ProfileTest, ChannelScalesDeterministic) {
+  const ModelProfile p = llama3_8b_profile();
+  const auto a = channel_scales(p, 3, TensorKind::kQueryKey, 42);
+  const auto b = channel_scales(p, 3, TensorKind::kQueryKey, 42);
+  EXPECT_EQ(a, b);
+  const auto c = channel_scales(p, 4, TensorKind::kQueryKey, 42);
+  EXPECT_NE(a, c);
+}
+
+TEST(ProfileTest, ScalesAtLeastOne) {
+  const ModelProfile p = phi3_mini_profile();
+  for (std::size_t h = 0; h < p.heads; ++h) {
+    for (TensorKind k : {TensorKind::kQueryKey, TensorKind::kValue}) {
+      for (float s : channel_scales(p, h, k, 7)) {
+        EXPECT_GE(s, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(ProfileTest, LaterHeadsCarryMoreOutliers) {
+  // head_variability ramps severity with head index — the structure the
+  // headwise selector exploits.
+  const ModelProfile p = phi3_mini_profile();
+  auto total_outlier_mass = [&](std::size_t head) {
+    double mass = 0.0;
+    for (float s : channel_scales(p, head, TensorKind::kQueryKey, 11)) {
+      mass += s - 1.0f;
+    }
+    return mass;
+  };
+  EXPECT_LT(total_outlier_mass(0), total_outlier_mass(p.heads - 1));
+}
+
+TEST(GeneratorTest, ShapesAndDeterminism) {
+  QkvGenerator gen(llama3_8b_profile(), 5);
+  const HeadTensors a = gen.generate_head(2, 100);
+  EXPECT_EQ(a.q.rows(), 100u);
+  EXPECT_EQ(a.q.cols(), 32u);
+  const HeadTensors b = gen.generate_head(2, 100);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.v, b.v);
+}
+
+TEST(GeneratorTest, ChannelGapsDominateTokenGaps) {
+  // The Figs. 8/9 property: channel-wise min-max gaps have much heavier
+  // tails than token-wise gaps.
+  QkvGenerator gen(phi3_mini_profile(), 7);
+  const HeadTensors t = gen.generate_head(7, 512);  // outlier-heavy head
+  const auto ch = channel_min_max(t.v);
+  const auto tok = token_min_max(t.v);
+  std::vector<float> ch_gaps;
+  std::vector<float> tok_gaps;
+  for (const auto& mm : ch) ch_gaps.push_back(mm.gap());
+  for (const auto& mm : tok) tok_gaps.push_back(mm.gap());
+  EXPECT_GT(percentile(ch_gaps, 95), percentile(tok_gaps, 95));
+}
+
+TEST(GeneratorTest, Phi3ValueOutliersStrongerThanLlama) {
+  QkvGenerator phi(phi3_mini_profile(), 9);
+  QkvGenerator llama(llama3_8b_profile(), 9);
+  auto max_channel_gap = [](const MatrixF& m) {
+    float g = 0.0f;
+    for (const auto& mm : channel_min_max(m)) g = std::max(g, mm.gap());
+    return g;
+  };
+  // Compare the most outlier-heavy head of each profile.
+  const float phi_gap =
+      max_channel_gap(phi.generate_head(7, 512).v);
+  const float llama_gap =
+      max_channel_gap(llama.generate_head(7, 512).v);
+  EXPECT_GT(phi_gap, llama_gap);
+}
+
+TEST(GeneratorTest, ChannelwiseQuantBeatsTokenwiseOnGenerated) {
+  // Figure 10 on generated data: channel groups adapt to the outlier
+  // channels; token groups smear them across the whole row.
+  QkvGenerator gen(phi3_mini_profile(), 13);
+  const HeadTensors t = gen.generate_head(6, 256);
+  const double ch =
+      grouped_quant_rmse(t.v, BitWidth::kInt4, 64, QuantAxis::kChannel);
+  const double tok =
+      grouped_quant_rmse(t.v, BitWidth::kInt4, 64, QuantAxis::kToken);
+  EXPECT_LT(ch, tok);
+}
+
+TEST(PipelineTest, ExactMethodHasZeroError) {
+  QkvGenerator gen(llama3_8b_profile(), 3);
+  PipelineConfig cfg;
+  cfg.prefill_tokens = 96;
+  cfg.decode_steps = 8;
+  const MethodFidelity f =
+      measure_fidelity(gen, make_exact_factory({}), cfg);
+  EXPECT_EQ(f.prefill_rel_err, 0.0);
+  EXPECT_EQ(f.decode_rel_err, 0.0);
+}
+
+TEST(PipelineTest, TurboErrorSmallAndBytesLow) {
+  QkvGenerator gen(llama3_8b_profile(), 3);
+  PipelineConfig cfg;
+  cfg.prefill_tokens = 128;
+  cfg.decode_steps = 8;
+  TurboMethodConfig tm;
+  const MethodFidelity f =
+      measure_fidelity(gen, make_turbo_factory(tm), cfg);
+  EXPECT_LT(f.prefill_rel_err, 0.05);
+  EXPECT_LT(f.decode_rel_err, 0.25);
+  EXPECT_LT(f.bytes_per_token, 2.0 * 32 * 2 / 3.0);  // well under FP16
+}
+
+TEST(PipelineTest, InputNoiseRaisesError) {
+  // Table 5's mechanism: upstream weight-quantization noise composes with
+  // attention approximation error.
+  QkvGenerator gen(llama3_8b_profile(), 3);
+  PipelineConfig clean;
+  clean.prefill_tokens = 96;
+  clean.decode_steps = 4;
+  PipelineConfig noisy = clean;
+  noisy.input_noise = 0.05;
+  TurboMethodConfig tm;
+  const MethodFidelity a = measure_fidelity(gen, make_turbo_factory(tm), clean);
+  const MethodFidelity b = measure_fidelity(gen, make_turbo_factory(tm), noisy);
+  // Noise is injected into the inputs of *both* the method and the exact
+  // reference, so fidelity stays comparable; the composition must at
+  // minimum keep errors bounded.
+  EXPECT_LT(b.prefill_rel_err, 0.08);
+  (void)a;
+}
+
+TEST(PipelineTest, HeadStatsRankOutlierHeads) {
+  QkvGenerator gen(phi3_mini_profile(), 21);
+  const auto stats = collect_head_stats(gen, 256);
+  ASSERT_EQ(stats.size(), gen.profile().heads);
+  // The ramped severity must be visible in the priority metric.
+  EXPECT_GT(stats.back().priority(), stats.front().priority());
+}
+
+}  // namespace
+}  // namespace turbo::model

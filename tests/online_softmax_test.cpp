@@ -1,0 +1,100 @@
+#include "softmax/online_softmax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "softmax/softmax.h"
+
+namespace turbo {
+namespace {
+
+float std_exp(float x) { return std::exp(x); }
+
+TEST(OnlineSoftmaxTest, SingleBlockMatchesExact) {
+  Rng rng(1);
+  std::vector<float> x(32);
+  for (float& v : x) v = static_cast<float>(rng.normal(0.0, 3.0));
+  std::vector<float> exact(32);
+  softmax_row(x, exact);
+  std::vector<float> streamed(32);
+  streaming_softmax<float (*)(float)>(x, 32, std_exp, streamed);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(streamed[i], exact[i], 1e-6f);
+  }
+}
+
+class OnlineSoftmaxBlockSweep
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OnlineSoftmaxBlockSweep, BlockSizeInvariant) {
+  const std::size_t block = GetParam();
+  Rng rng(17);
+  std::vector<float> x(257);  // deliberately not a multiple of any block
+  for (float& v : x) v = static_cast<float>(rng.normal(0.0, 5.0));
+  std::vector<float> exact(x.size());
+  softmax_row(x, exact);
+  std::vector<float> streamed(x.size());
+  streaming_softmax<float (*)(float)>(x, block, std_exp, streamed);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(streamed[i], exact[i], 1e-5f) << "block " << block;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, OnlineSoftmaxBlockSweep,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{16}, std::size_t{64},
+                                           std::size_t{300}));
+
+TEST(OnlineSoftmaxTest, RunningMaxAndDenominator) {
+  OnlineSoftmaxRow<float (*)(float)> state(std_exp);
+  state.reset();
+  std::vector<float> block1{1.0f, 3.0f};
+  std::vector<float> block2{5.0f, 2.0f};
+  state.absorb(std::span<float>(block1));
+  EXPECT_FLOAT_EQ(state.running_max(), 3.0f);
+  state.absorb(std::span<float>(block2));
+  EXPECT_FLOAT_EQ(state.running_max(), 5.0f);
+  // l = sum over all of exp(x - 5).
+  const float expected = std::exp(-4.0f) + std::exp(-2.0f) +
+                         std::exp(0.0f) + std::exp(-3.0f);
+  EXPECT_NEAR(state.denominator(), expected, 1e-6f);
+}
+
+TEST(OnlineSoftmaxTest, LogSumExpMatches) {
+  OnlineSoftmaxRow<float (*)(float)> state(std_exp);
+  state.reset();
+  std::vector<float> block{0.0f, 1.0f, 2.0f};
+  state.absorb(std::span<float>(block));
+  double sum = 0.0;
+  for (int i = 0; i < 3; ++i) sum += std::exp(static_cast<double>(i));
+  EXPECT_NEAR(state.log_sum_exp(), std::log(sum), 1e-6);
+}
+
+TEST(OnlineSoftmaxTest, AbsorbReturnsCorrectAlpha) {
+  OnlineSoftmaxRow<float (*)(float)> state(std_exp);
+  state.reset();
+  std::vector<float> block1{2.0f};
+  const float alpha1 = state.absorb(std::span<float>(block1));
+  EXPECT_EQ(alpha1, 0.0f);  // first block: nothing to rescale
+  std::vector<float> block2{4.0f};
+  const float alpha2 = state.absorb(std::span<float>(block2));
+  EXPECT_NEAR(alpha2, std::exp(-2.0f), 1e-6f);
+  std::vector<float> block3{0.0f};  // lower max: no rescaling needed
+  const float alpha3 = state.absorb(std::span<float>(block3));
+  EXPECT_FLOAT_EQ(alpha3, 1.0f);
+}
+
+TEST(OnlineSoftmaxTest, DecreasingBlocksKeepMax) {
+  OnlineSoftmaxRow<float (*)(float)> state(std_exp);
+  state.reset();
+  for (float start : {10.0f, 5.0f, 0.0f}) {
+    std::vector<float> block{start, start - 1.0f};
+    state.absorb(std::span<float>(block));
+  }
+  EXPECT_FLOAT_EQ(state.running_max(), 10.0f);
+}
+
+}  // namespace
+}  // namespace turbo

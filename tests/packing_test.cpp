@@ -1,0 +1,72 @@
+#include "quant/packing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace turbo {
+namespace {
+
+TEST(PackingTest, ByteCounts) {
+  EXPECT_EQ(packed_byte_count(8, BitWidth::kInt2), 2u);
+  EXPECT_EQ(packed_byte_count(8, BitWidth::kInt4), 4u);
+  EXPECT_EQ(packed_byte_count(8, BitWidth::kInt3), 3u);
+  EXPECT_EQ(packed_byte_count(3, BitWidth::kInt4), 2u);  // rounds up
+  EXPECT_EQ(packed_byte_count(0, BitWidth::kInt2), 0u);
+}
+
+TEST(PackingTest, Int4KnownLayout) {
+  std::vector<std::uint8_t> codes{0x1, 0xf};
+  const auto packed = pack_codes(codes, BitWidth::kInt4);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 0xf1);  // little-endian within the byte
+}
+
+TEST(PackingTest, Int2KnownLayout) {
+  std::vector<std::uint8_t> codes{0x3, 0x0, 0x1, 0x2};
+  const auto packed = pack_codes(codes, BitWidth::kInt2);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 0b10010011);
+}
+
+class PackingRoundTrip
+    : public ::testing::TestWithParam<std::tuple<BitWidth, std::size_t>> {};
+
+TEST_P(PackingRoundTrip, RoundTripsExactly) {
+  const auto [bits, count] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(count) * 31 +
+          static_cast<std::uint64_t>(bit_count(bits)));
+  std::vector<std::uint8_t> codes(count);
+  for (auto& c : codes) {
+    c = static_cast<std::uint8_t>(rng.uniform_index(level_count(bits)));
+  }
+  const auto packed = pack_codes(codes, bits);
+  EXPECT_EQ(packed.size(), packed_byte_count(count, bits));
+  const auto back = unpack_codes(packed, bits, count);
+  EXPECT_EQ(back, codes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidthsAndSizes, PackingRoundTrip,
+    ::testing::Combine(::testing::Values(BitWidth::kInt2, BitWidth::kInt3,
+                                         BitWidth::kInt4),
+                       ::testing::Values(std::size_t{1}, std::size_t{7},
+                                         std::size_t{8}, std::size_t{64},
+                                         std::size_t{1000})));
+
+TEST(PackingTest, StraddlingByteBoundaries) {
+  // 3-bit codes straddle byte boundaries; all-max codes stress the carry.
+  std::vector<std::uint8_t> codes(17, 0x7);
+  const auto packed = pack_codes(codes, BitWidth::kInt3);
+  const auto back = unpack_codes(packed, BitWidth::kInt3, codes.size());
+  EXPECT_EQ(back, codes);
+}
+
+TEST(PackingTest, CompressionRatioInt2) {
+  std::vector<std::uint8_t> codes(256, 0x2);
+  const auto packed = pack_codes(codes, BitWidth::kInt2);
+  EXPECT_EQ(packed.size(), 64u);  // 4x over one-byte-per-code
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,149 @@
+#include "quant/progressive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "quant/error.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+MatrixI8 random_int8(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  MatrixI8 m(rows, cols);
+  Rng rng(seed);
+  for (auto& v : m.flat()) {
+    v = static_cast<std::int8_t>(
+        static_cast<int>(rng.uniform_index(239)) - 119);
+  }
+  return m;
+}
+
+TEST(ProgressiveQuantTest, IntegerScaleAtLeastOne) {
+  const MatrixI8 q1 = random_int8(64, 32, 1);
+  const ProgressiveBlock b = progressive_compress(q1, 0.01f, BitWidth::kInt4);
+  for (const ChannelParams& c : b.channels) {
+    EXPECT_GE(c.s_int, 1);
+  }
+}
+
+TEST(ProgressiveQuantTest, ConstantChannelIsExact) {
+  MatrixI8 q1(16, 2, 0);
+  for (std::size_t r = 0; r < 16; ++r) {
+    q1(r, 0) = 42;
+    q1(r, 1) = -77;
+  }
+  const ProgressiveBlock b = progressive_compress(q1, 1.0f, BitWidth::kInt2);
+  const MatrixI8 back = progressive_decompress_int8(b);
+  for (std::size_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(back(r, 0), 42);
+    EXPECT_EQ(back(r, 1), -77);
+  }
+}
+
+TEST(ProgressiveQuantTest, ReconstructionErrorBoundedByHalfScale) {
+  const MatrixI8 q1 = random_int8(64, 16, 5);
+  for (BitWidth bits :
+       {BitWidth::kInt2, BitWidth::kInt3, BitWidth::kInt4}) {
+    const ProgressiveBlock b = progressive_compress(q1, 1.0f, bits);
+    const MatrixI8 back = progressive_decompress_int8(b);
+    for (std::size_t c = 0; c < q1.cols(); ++c) {
+      // Integer rounding gives |q1 - q1^| <= ceil(s/2); a round-to-nearest
+      // scale additionally clips the channel extreme by up to
+      // gap - max_code * s.
+      int lo = 127;
+      int hi = -127;
+      for (std::size_t r = 0; r < q1.rows(); ++r) {
+        lo = std::min<int>(lo, q1(r, c));
+        hi = std::max<int>(hi, q1(r, c));
+      }
+      const int s = b.channels[c].s_int;
+      const int clip = std::max(0, (hi - lo) - max_code(bits) * s);
+      const int bound = (s + 1) / 2 + clip;
+      for (std::size_t r = 0; r < q1.rows(); ++r) {
+        EXPECT_LE(std::abs(q1(r, c) - back(r, c)), bound)
+            << "bits=" << bit_count(bits) << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(ProgressiveQuantTest, DecompressFloatAppliesFpScale) {
+  MatrixI8 q1(2, 1, 0);
+  q1(0, 0) = 100;
+  q1(1, 0) = -100;
+  const ProgressiveBlock b = progressive_compress(q1, 0.25f, BitWidth::kInt4);
+  const MatrixF back = progressive_decompress_float(b);
+  const MatrixI8 back_i8 = progressive_decompress_int8(b);
+  EXPECT_FLOAT_EQ(back(0, 0), static_cast<float>(back_i8(0, 0)) * 0.25f);
+  EXPECT_FLOAT_EQ(back(1, 0), static_cast<float>(back_i8(1, 0)) * 0.25f);
+}
+
+TEST(ProgressiveQuantTest, MemoryFootprintShrinks) {
+  const MatrixI8 q1 = random_int8(64, 128, 9);
+  const ProgressiveBlock b4 = progressive_compress(q1, 1.0f, BitWidth::kInt4);
+  const ProgressiveBlock b2 = progressive_compress(q1, 1.0f, BitWidth::kInt2);
+  EXPECT_EQ(b4.payload_bytes(), 64u * 128u / 2);
+  EXPECT_EQ(b2.payload_bytes(), 64u * 128u / 4);
+  // Including metadata, INT4 must beat INT8 by close to 2x and INT2 by 4x.
+  EXPECT_LT(b4.memory_bytes(), 64u * 128u * 0.6);
+  EXPECT_LT(b2.memory_bytes(), 64u * 128u * 0.35);
+}
+
+TEST(ProgressiveQuantTest, FullPipelineFromFloat) {
+  const MatrixF tile = test::random_matrix(64, 64, 13);
+  const ProgressiveBlock b =
+      progressive_compress_from_float(tile, BitWidth::kInt4);
+  const MatrixF back = progressive_decompress_float(b);
+  EXPECT_LT(relative_error(tile, back), 0.12);
+}
+
+TEST(ProgressiveQuantTest, ChannelOutliersHandledByChannelwiseStage) {
+  // A channel with large magnitude gets its own (s_int, z_int); the other
+  // channels must not lose precision because of it.
+  MatrixF tile = test::random_matrix(64, 8, 17);
+  for (std::size_t r = 0; r < 64; ++r) tile(r, 3) *= 50.0f;
+  const ProgressiveBlock b =
+      progressive_compress_from_float(tile, BitWidth::kInt4);
+  const MatrixF back = progressive_decompress_float(b);
+  // Error of the non-outlier channels only.
+  double err = 0.0;
+  double norm = 0.0;
+  for (std::size_t r = 0; r < 64; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      if (c == 3) continue;
+      const double d = tile(r, c) - back(r, c);
+      err += d * d;
+      norm += tile(r, c) * tile(r, c);
+    }
+  }
+  EXPECT_LT(std::sqrt(err / norm), 0.4);
+}
+
+class ProgressiveBitsSweep : public ::testing::TestWithParam<BitWidth> {};
+
+TEST_P(ProgressiveBitsSweep, RoundTripWithinBitDependentBound) {
+  const BitWidth bits = GetParam();
+  const MatrixF tile = test::random_matrix(64, 64, 19);
+  const double err = progressive_quant_rmse(tile, bits, 64);
+  // Looser bound for coarser codes.
+  const double bound =
+      bits == BitWidth::kInt4 ? 0.12 : (bits == BitWidth::kInt3 ? 0.25 : 0.55);
+  EXPECT_LT(err, bound);
+  // And the two-stage error can never beat the stage-1 error.
+  EXPECT_GE(err, symmetric_int8_rmse(tile, 64) * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ProgressiveBitsSweep,
+                         ::testing::Values(BitWidth::kInt2, BitWidth::kInt3,
+                                           BitWidth::kInt4));
+
+TEST(ProgressiveQuantTest, RejectsInt8SecondStage) {
+  const MatrixI8 q1 = random_int8(8, 8, 21);
+  EXPECT_THROW(progressive_compress(q1, 1.0f, BitWidth::kInt8), CheckError);
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,169 @@
+// Randomized cross-checks of the quantization stack against brute-force
+// reference implementations (small shapes, many seeds).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "quant/asymmetric.h"
+#include "quant/packing.h"
+#include "quant/progressive.h"
+#include "quant/symmetric.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+// Brute-force symmetric INT8 reference.
+std::vector<std::int8_t> brute_symmetric(std::span<const float> x,
+                                         float scale) {
+  std::vector<std::int8_t> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    float q = std::nearbyint(x[i] / scale);
+    if (q > 127.0f) q = 127.0f;
+    if (q < -127.0f) q = -127.0f;
+    out[i] = static_cast<std::int8_t>(q);
+  }
+  return out;
+}
+
+TEST(QuantFuzzTest, SymmetricMatchesBruteForce) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    std::vector<float> x(64);
+    rng.fill_normal(x, rng.normal(0.0, 2.0), rng.uniform(0.1, 5.0));
+    const float scale = symmetric_scale_int8(x);
+    std::vector<std::int8_t> q(x.size());
+    quantize_symmetric_int8(x, scale, q);
+    const auto ref = brute_symmetric(x, scale);
+    ASSERT_EQ(q, ref) << "seed " << seed;
+  }
+}
+
+TEST(QuantFuzzTest, PackingRandomWidthsAndLengths) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BitWidth bits =
+        trial % 3 == 0 ? BitWidth::kInt2
+                       : (trial % 3 == 1 ? BitWidth::kInt3 : BitWidth::kInt4);
+    const std::size_t n = 1 + rng.uniform_index(300);
+    std::vector<std::uint8_t> codes(n);
+    for (auto& c : codes) {
+      c = static_cast<std::uint8_t>(rng.uniform_index(level_count(bits)));
+    }
+    const auto packed = pack_codes(codes, bits);
+    ASSERT_EQ(unpack_codes(packed, bits, n), codes)
+        << "trial " << trial << " n " << n;
+  }
+}
+
+TEST(QuantFuzzTest, ProgressiveRoundTripInvariants) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_index(70);
+    const std::size_t cols = 1 + rng.uniform_index(40);
+    const BitWidth bits =
+        trial % 2 == 0 ? BitWidth::kInt2 : BitWidth::kInt4;
+    MatrixI8 q1(rows, cols);
+    for (auto& v : q1.flat()) {
+      v = static_cast<std::int8_t>(
+          static_cast<int>(rng.uniform_index(239)) - 119);
+    }
+    const ProgressiveBlock b = progressive_compress(q1, 0.5f, bits);
+    const MatrixI8 back = progressive_decompress_int8(b);
+    ASSERT_EQ(back.rows(), rows);
+    ASSERT_EQ(back.cols(), cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Reconstruction stays inside the channel's [min, max] envelope
+      // (expanded by half a step for rounding).
+      int lo = 127;
+      int hi = -127;
+      for (std::size_t r = 0; r < rows; ++r) {
+        lo = std::min<int>(lo, q1(r, c));
+        hi = std::max<int>(hi, q1(r, c));
+      }
+      const int slack = (b.channels[c].s_int + 1) / 2;
+      for (std::size_t r = 0; r < rows; ++r) {
+        ASSERT_GE(back(r, c), lo - slack);
+        ASSERT_LE(back(r, c), hi + slack);
+      }
+    }
+  }
+}
+
+TEST(QuantFuzzTest, GroupedQuantNeverExpandsRange) {
+  Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t rows = 2 + rng.uniform_index(60);
+    const std::size_t cols = 2 + rng.uniform_index(30);
+    MatrixF m(rows, cols);
+    rng.fill_normal(m.flat(), 0.0, rng.uniform(0.1, 10.0));
+    const QuantAxis axis =
+        trial % 2 == 0 ? QuantAxis::kChannel : QuantAxis::kToken;
+    const GroupQuantized g =
+        quantize_grouped(m, BitWidth::kInt4, 16, axis);
+    const MatrixF back = dequantize_grouped(g);
+    float lo = m.flat()[0];
+    float hi = lo;
+    for (float v : m.flat()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    for (float v : back.flat()) {
+      // Asymmetric quantization reconstructs inside the data range.
+      ASSERT_GE(v, lo - 1e-4f);
+      ASSERT_LE(v, hi + 1e-4f);
+    }
+  }
+}
+
+TEST(QuantFuzzTest, SerializePackUnpackIdempotent) {
+  // pack(unpack(pack(x))) == pack(x) for random code streams.
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitWidth bits = trial % 2 == 0 ? BitWidth::kInt3 : BitWidth::kInt4;
+    const std::size_t n = 1 + rng.uniform_index(100);
+    std::vector<std::uint8_t> codes(n);
+    for (auto& c : codes) {
+      c = static_cast<std::uint8_t>(rng.uniform_index(level_count(bits)));
+    }
+    const auto packed = pack_codes(codes, bits);
+    const auto repacked = pack_codes(unpack_codes(packed, bits, n), bits);
+    ASSERT_EQ(packed, repacked);
+  }
+}
+
+TEST(QuantFuzzTest, AsymGroupParamsRepresentEndpoints) {
+  Rng rng(31);
+  for (int trial = 0; trial < 80; ++trial) {
+    std::vector<float> v(4 + rng.uniform_index(60));
+    rng.fill_normal(v, rng.normal(0.0, 3.0), rng.uniform(0.05, 4.0));
+    for (BitWidth bits : {BitWidth::kInt2, BitWidth::kInt4}) {
+      const AsymParams p = asym_params(v, bits);
+      std::vector<std::uint8_t> q(v.size());
+      quantize_asym(v, p, bits, q);
+      std::vector<float> back(v.size());
+      dequantize_asym(q, p, back);
+      float lo = v[0];
+      float hi = v[0];
+      std::size_t lo_i = 0;
+      std::size_t hi_i = 0;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (v[i] < lo) {
+          lo = v[i];
+          lo_i = i;
+        }
+        if (v[i] > hi) {
+          hi = v[i];
+          hi_i = i;
+        }
+      }
+      ASSERT_NEAR(back[lo_i], lo, 1e-3f + std::abs(lo) * 1e-5f);
+      ASSERT_NEAR(back[hi_i], hi, 1e-3f + std::abs(hi) * 1e-5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace turbo

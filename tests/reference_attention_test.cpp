@@ -1,0 +1,146 @@
+#include "attention/reference.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "softmax/softmax.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+AttentionConfig non_causal() {
+  AttentionConfig cfg;
+  cfg.causal = false;
+  return cfg;
+}
+
+TEST(ReferenceAttentionTest, SingleKeyReturnsItsValue) {
+  MatrixF q(1, 4, 1.0f);
+  MatrixF k(1, 4, 1.0f);
+  MatrixF v(1, 4);
+  for (std::size_t c = 0; c < 4; ++c) v(0, c) = static_cast<float>(c);
+  const MatrixF o = reference_attention(q, k, v, non_causal());
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(o(0, c), static_cast<float>(c));
+  }
+}
+
+TEST(ReferenceAttentionTest, UniformScoresAverageValues) {
+  // Orthogonal q/k give identical scores -> output = mean of values.
+  MatrixF q(1, 2);
+  q(0, 0) = 1.0f;
+  q(0, 1) = 0.0f;
+  MatrixF k(2, 2, 0.0f);
+  k(0, 1) = 1.0f;  // both keys orthogonal to q
+  k(1, 1) = -1.0f;
+  MatrixF v(2, 2);
+  v(0, 0) = 2.0f;
+  v(0, 1) = 0.0f;
+  v(1, 0) = 4.0f;
+  v(1, 1) = 6.0f;
+  const MatrixF o = reference_attention(q, k, v, non_causal());
+  EXPECT_FLOAT_EQ(o(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(o(0, 1), 3.0f);
+}
+
+TEST(ReferenceAttentionTest, OutputIsConvexCombinationOfValues) {
+  const MatrixF q = test::random_matrix(4, 8, 1);
+  const MatrixF k = test::random_matrix(16, 8, 2);
+  const MatrixF v = test::random_matrix(16, 8, 3);
+  const MatrixF o = reference_attention(q, k, v, non_causal());
+  // Each output coordinate lies within [min, max] of that value column.
+  const auto bounds = channel_min_max(v);
+  for (std::size_t r = 0; r < o.rows(); ++r) {
+    for (std::size_t c = 0; c < o.cols(); ++c) {
+      EXPECT_GE(o(r, c), bounds[c].min - 1e-5f);
+      EXPECT_LE(o(r, c), bounds[c].max + 1e-5f);
+    }
+  }
+}
+
+TEST(ReferenceAttentionTest, CausalMaskingBlocksFuture) {
+  // Make key 2's value huge; queries 0 and 1 must not see it.
+  MatrixF q(3, 2, 1.0f);
+  MatrixF k(3, 2, 1.0f);
+  MatrixF v(3, 2, 1.0f);
+  v(2, 0) = 1000.0f;
+  AttentionConfig cfg;
+  cfg.causal = true;
+  const MatrixF o = reference_attention(q, k, v, cfg);
+  EXPECT_FLOAT_EQ(o(0, 0), 1.0f);  // sees only key 0
+  EXPECT_FLOAT_EQ(o(1, 0), 1.0f);  // keys 0,1
+  EXPECT_GT(o(2, 0), 300.0f);      // sees the huge value
+}
+
+TEST(ReferenceAttentionTest, CausalAlignmentWithLongerKeys) {
+  // 2 queries over 4 keys: query 0 is absolute token 2 (sees keys 0..2).
+  MatrixF q(2, 2, 1.0f);
+  MatrixF k(4, 2, 1.0f);
+  MatrixF v(4, 2, 0.0f);
+  v(3, 0) = 90.0f;
+  AttentionConfig cfg;
+  cfg.causal = true;
+  const MatrixF o = reference_attention(q, k, v, cfg);
+  EXPECT_FLOAT_EQ(o(0, 0), 0.0f);   // keys 0..2, all zero values
+  EXPECT_FLOAT_EQ(o(1, 0), 22.5f);  // keys 0..3, uniform weights
+}
+
+TEST(ReferenceAttentionTest, ScaleDefaultsToInverseSqrtD) {
+  const MatrixF q = test::random_matrix(2, 16, 4);
+  const MatrixF k = test::random_matrix(8, 16, 5);
+  const MatrixF v = test::random_matrix(8, 16, 6);
+  AttentionConfig cfg = non_causal();
+  const MatrixF o_default = reference_attention(q, k, v, cfg);
+  cfg.scale = 0.25f;  // 1/sqrt(16)
+  const MatrixF o_explicit = reference_attention(q, k, v, cfg);
+  EXPECT_LT(max_abs_error(o_default, o_explicit), 1e-6);
+}
+
+TEST(ReferenceAttentionTest, LseMatchesScores) {
+  const MatrixF q = test::random_matrix(3, 8, 7);
+  const MatrixF k = test::random_matrix(12, 8, 8);
+  const MatrixF v = test::random_matrix(12, 8, 9);
+  AttentionConfig cfg = non_causal();
+  std::vector<float> lse(3);
+  reference_attention_with_lse(q, k, v, cfg, lse);
+  const float scale = cfg.effective_scale(8);
+  for (std::size_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 12; ++j) {
+      double s = 0.0;
+      for (std::size_t x = 0; x < 8; ++x) s += q(r, x) * k(j, x);
+      sum += std::exp(s * scale);
+    }
+    EXPECT_NEAR(lse[r], std::log(sum), 1e-4);
+  }
+}
+
+TEST(ReferenceAttentionTest, DecodeMatchesMatrixForm) {
+  const MatrixF k = test::random_matrix(20, 8, 10);
+  const MatrixF v = test::random_matrix(20, 8, 11);
+  const MatrixF q = test::random_matrix(1, 8, 12);
+  AttentionConfig cfg;
+  const auto o_vec = reference_decode(q.row(0), k, v, cfg);
+  AttentionConfig nc = cfg;
+  nc.causal = false;
+  const MatrixF o_mat = reference_attention(q, k, v, nc);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_FLOAT_EQ(o_vec[c], o_mat(0, c));
+  }
+}
+
+TEST(ReferenceAttentionTest, CausalWithMoreQueriesThanKeysThrows) {
+  MatrixF q(4, 2, 1.0f);
+  MatrixF k(2, 2, 1.0f);
+  MatrixF v(2, 2, 1.0f);
+  AttentionConfig cfg;
+  cfg.causal = true;
+  EXPECT_THROW(reference_attention(q, k, v, cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace turbo

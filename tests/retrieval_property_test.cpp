@@ -1,0 +1,136 @@
+// Proxy-task engine invariants beyond the basic behaviours in tasks_test.
+#include <gtest/gtest.h>
+
+#include "attention/turbo_method.h"
+#include "baselines/fp16_method.h"
+#include "model/profile.h"
+#include "tasks/retrieval.h"
+
+namespace turbo::tasks {
+namespace {
+
+RetrievalConfig base_task() {
+  RetrievalConfig c;
+  c.profile = model::llama3_8b_profile();
+  c.profile.heads = 4;
+  c.n_pairs = 16;
+  c.hard_negatives = 2;
+  c.negative_similarity = 0.8;
+  c.hops = 2;
+  c.filler_per_hop = 4;
+  c.tail_filler = 32;
+  c.n_cases = 16;
+  c.seed = 500;
+  return c;
+}
+
+TEST(RetrievalPropertyTest, HarderNegativesNeverHelp) {
+  RetrievalConfig easy = base_task();
+  easy.negative_similarity = 0.5;
+  RetrievalConfig hard = base_task();
+  hard.negative_similarity = 0.95;
+  const double a =
+      run_retrieval(easy, make_fp16_factory({})).accuracy;
+  const double b =
+      run_retrieval(hard, make_fp16_factory({})).accuracy;
+  EXPECT_GE(a + 1e-9, b);
+}
+
+TEST(RetrievalPropertyTest, MoreQueryNoiseNeverHelpsMuch) {
+  RetrievalConfig clean = base_task();
+  clean.query_noise = 0.02;
+  RetrievalConfig noisy = base_task();
+  noisy.query_noise = 0.6;
+  const double a = run_retrieval(clean, make_fp16_factory({})).accuracy;
+  const double b = run_retrieval(noisy, make_fp16_factory({})).accuracy;
+  EXPECT_GE(a + 0.1, b);  // allow one-case noise
+}
+
+TEST(RetrievalPropertyTest, InputNoiseDegradesAccuracy) {
+  RetrievalConfig clean = base_task();
+  RetrievalConfig noisy = base_task();
+  noisy.input_noise = 0.5;  // extreme upstream quantization noise
+  const double a = run_retrieval(clean, make_fp16_factory({})).accuracy;
+  const double b = run_retrieval(noisy, make_fp16_factory({})).accuracy;
+  EXPECT_GT(a, b);
+}
+
+TEST(RetrievalPropertyTest, SeedChangesCasesNotDifficulty) {
+  RetrievalConfig t1 = base_task();
+  RetrievalConfig t2 = base_task();
+  t2.seed = 501;
+  t1.n_cases = 48;
+  t2.n_cases = 48;
+  const double a = run_retrieval(t1, make_fp16_factory({})).accuracy;
+  const double b = run_retrieval(t2, make_fp16_factory({})).accuracy;
+  EXPECT_NEAR(a, b, 0.25);  // same distribution, different draws
+}
+
+TEST(RetrievalPropertyTest, HeadStatsDeterministicAndSized) {
+  const RetrievalConfig t = base_task();
+  const auto a = retrieval_head_stats(t);
+  const auto b = retrieval_head_stats(t);
+  ASSERT_EQ(a.size(), t.profile.heads);
+  for (std::size_t h = 0; h < a.size(); ++h) {
+    EXPECT_EQ(a[h].gap, b[h].gap);
+    EXPECT_EQ(a[h].gap_std, b[h].gap_std);
+    EXPECT_GT(a[h].gap, 0.0f);
+  }
+}
+
+TEST(RetrievalPropertyTest, ContextTokensAccounting) {
+  RetrievalConfig t = base_task();
+  EXPECT_EQ(t.fact_tokens(), 16u * 3u);
+  EXPECT_EQ(t.context_tokens(), 16u * 3u + 32u);
+}
+
+TEST(RetrievalPropertyTest, ReadingHeadCountBoundedByHeads) {
+  // reading_heads > heads must clamp, not crash.
+  RetrievalConfig t = base_task();
+  t.reading_heads = 100;
+  const TaskResult r = run_retrieval(t, make_fp16_factory({}));
+  EXPECT_GT(r.accuracy, 0.0);
+}
+
+TEST(RetrievalPropertyTest, SingleReaderStillWorks) {
+  RetrievalConfig t = base_task();
+  t.reading_heads = 1;
+  const TaskResult r = run_retrieval(t, make_fp16_factory({}));
+  EXPECT_GT(r.accuracy, 0.3);  // single-head decode is harder but sane
+}
+
+TEST(RetrievalPropertyTest, KvBytesOrderedAcrossMethods) {
+  const RetrievalConfig t = base_task();
+  const double fp16 =
+      run_retrieval(t, make_fp16_factory({})).kv_bytes_per_token;
+  TurboMethodConfig t4;
+  t4.buffer_capacity = 16;
+  const double turbo =
+      run_retrieval(t, make_turbo_factory(t4)).kv_bytes_per_token;
+  EXPECT_GT(fp16 / turbo, 3.0);
+}
+
+TEST(RetrievalPropertyTest, MixedPrecisionBetweenPureWidths) {
+  RetrievalConfig t = base_task();
+  t.n_cases = 24;
+  TurboMethodConfig c4;
+  c4.buffer_capacity = 16;
+  TurboMethodConfig c2 = c4;
+  c2.kv_bits = BitWidth::kInt2;
+  const double b4 =
+      run_retrieval(t, make_turbo_factory(c4)).kv_bytes_per_token;
+  const double b2 =
+      run_retrieval(t, make_turbo_factory(c2)).kv_bytes_per_token;
+  const auto stats = retrieval_head_stats(t);
+  const auto bits =
+      select_head_bits(stats, t.profile.heads / 2,
+                       HeadSelectionMetric::kPriority);
+  const double bm =
+      run_retrieval(t, make_turbo_mixed_factory(c4, bits))
+          .kv_bytes_per_token;
+  EXPECT_LT(b2, bm);
+  EXPECT_LT(bm, b4);
+}
+
+}  // namespace
+}  // namespace turbo::tasks

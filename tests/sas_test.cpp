@@ -1,0 +1,173 @@
+#include "softmax/sas.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "common/stats.h"
+#include "softmax/softmax.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+TEST(SasTest, PolyApproximatesExpOnUnitInterval) {
+  // Figure 5's claim: the degree-3 fit tracks e^{-t} closely on [0, 1].
+  double max_err = 0.0;
+  for (int i = 0; i <= 1000; ++i) {
+    const float t = static_cast<float>(i) / 1000.0f;
+    const double err = std::abs(Sas::poly(t) - std::exp(-t));
+    max_err = std::max(max_err, err);
+  }
+  EXPECT_LT(max_err, 5e-4);
+}
+
+TEST(SasTest, PolyFp16CloseToPolyFp32) {
+  for (int i = 0; i <= 100; ++i) {
+    const float t = static_cast<float>(i) / 100.0f;
+    EXPECT_NEAR(Sas::poly_fp16(t), Sas::poly(t), 3e-3f) << "t=" << t;
+  }
+}
+
+TEST(SasTest, LutHoldsNegativePowersOfE) {
+  const Sas sas(SasConfig{.threshold = -6, .fp16_arithmetic = false});
+  const auto lut = sas.lut();
+  ASSERT_EQ(lut.size(), 8u);  // e^0..e^-6 plus the zero sentinel
+  for (int i = 0; i <= 6; ++i) {
+    EXPECT_NEAR(lut[static_cast<std::size_t>(i)],
+                std::exp(static_cast<float>(-i)), 1e-6f);
+  }
+  EXPECT_EQ(lut.back(), 0.0f);
+}
+
+TEST(SasTest, SparsificationBelowThreshold) {
+  const Sas sas;
+  EXPECT_EQ(sas.exp_neg(-6.5f), 0.0f);
+  EXPECT_EQ(sas.exp_neg(-100.0f), 0.0f);
+  EXPECT_EQ(sas.exp_neg(-std::numeric_limits<float>::infinity()), 0.0f);
+  EXPECT_GT(sas.exp_neg(-5.9f), 0.0f);
+}
+
+TEST(SasTest, ApproximationErrorWithinRange) {
+  const Sas sas;
+  for (int i = 0; i <= 600; ++i) {
+    const float x = -static_cast<float>(i) / 100.0f;  // [-6, 0]
+    const float approx = sas.exp_neg(x);
+    const float exact = std::exp(x);
+    // Absolute error: POLY error (~5e-4) + FP16 rounding of values <= 1.
+    EXPECT_NEAR(approx, exact, 2.5e-3f) << "x=" << x;
+  }
+}
+
+TEST(SasTest, PositiveInputsClampToOne) {
+  const Sas sas;
+  // Rounding noise can push shifted scores slightly above 0.
+  EXPECT_NEAR(sas.exp_neg(0.001f), 1.0f, 2e-3f);
+  EXPECT_NEAR(sas.exp_neg(0.0f), 1.0f, 2e-3f);
+}
+
+TEST(SasTest, ExactModeBypassesApproximation) {
+  const Sas sas(SasConfig{.exact_exp = true});
+  for (float x : {-0.3f, -2.7f, -10.0f, -50.0f}) {
+    EXPECT_FLOAT_EQ(sas.exp_neg(x), std::exp(x));
+  }
+}
+
+TEST(SasTest, SoftmaxSumsToOne) {
+  const Sas sas;
+  const MatrixF scores = test::random_matrix(8, 64, 3, 2.0);
+  const MatrixF p = sas.softmax(scores);
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    float sum = 0.0f;
+    for (float v : p.row(r)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SasTest, SoftmaxCloseToExact) {
+  const Sas sas;
+  const MatrixF scores = test::random_matrix(16, 128, 7, 3.0);
+  const MatrixF approx = sas.softmax(scores);
+  const MatrixF exact = softmax_rows(scores);
+  EXPECT_LT(max_abs_error(approx, exact), 0.03);
+}
+
+TEST(SasTest, SoftmaxSparsifiesTail) {
+  const Sas sas;
+  MatrixF scores(1, 4);
+  scores(0, 0) = 0.0f;
+  scores(0, 1) = -1.0f;
+  scores(0, 2) = -20.0f;  // far below threshold after shift
+  scores(0, 3) = -30.0f;
+  const MatrixF p = sas.softmax(scores);
+  EXPECT_EQ(p(0, 2), 0.0f);
+  EXPECT_EQ(p(0, 3), 0.0f);
+  EXPECT_GT(p(0, 0), p(0, 1));
+}
+
+TEST(SasTest, ArgmaxPreserved) {
+  // SAS must never flip the ranking of well separated scores.
+  const Sas sas;
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    MatrixF scores(1, 16);
+    for (float& v : scores.flat()) {
+      v = static_cast<float>(rng.normal(0.0, 2.0));
+    }
+    // Skip near-ties: SAS's ~2e-3 absolute error can legitimately flip
+    // scores separated by less than its error band.
+    float top = -1e30f;
+    float second = -1e30f;
+    for (float v : scores.flat()) {
+      if (v > top) {
+        second = top;
+        top = v;
+      } else if (v > second) {
+        second = v;
+      }
+    }
+    if (top - second < 0.05f) continue;
+
+    const MatrixF pa = sas.softmax(scores);
+    const MatrixF pe = softmax_rows(scores);
+    std::size_t arg_a = 0;
+    std::size_t arg_e = 0;
+    for (std::size_t c = 1; c < 16; ++c) {
+      if (pa(0, c) > pa(0, arg_a)) arg_a = c;
+      if (pe(0, c) > pe(0, arg_e)) arg_e = c;
+    }
+    EXPECT_EQ(arg_a, arg_e) << "trial " << trial;
+  }
+}
+
+class SasThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SasThresholdSweep, TighterThresholdLargerError) {
+  const int threshold = GetParam();
+  const Sas sas(SasConfig{.threshold = threshold});
+  // Total probability mass wrongly zeroed is bounded by
+  // n * e^{threshold} after normalization.
+  const MatrixF scores = test::random_matrix(4, 256, 13, 3.0);
+  const MatrixF approx = sas.softmax(scores);
+  const MatrixF exact = softmax_rows(scores);
+  const double bound =
+      256.0 * std::exp(static_cast<double>(threshold)) + 6e-3;
+  EXPECT_LT(max_abs_error(approx, exact), bound) << "n_r=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SasThresholdSweep,
+                         ::testing::Values(-4, -6, -8, -12));
+
+TEST(SasTest, InvalidThresholdThrows) {
+  EXPECT_THROW(Sas(SasConfig{.threshold = 0}), CheckError);
+  EXPECT_THROW(Sas(SasConfig{.threshold = 3}), CheckError);
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,129 @@
+#include "kvcache/serialization.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "attention/turbo.h"
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+QuantizedKvCache make_cache(BitWidth bits, std::size_t tokens,
+                            std::size_t buffered, std::uint64_t seed) {
+  const std::size_t d = 24;
+  QuantizedKvCache cache(d, bits, 64, 64);
+  if (tokens > 0) {
+    const MatrixF k = test::random_matrix(tokens, d, seed);
+    const MatrixF v = test::random_matrix(tokens, d, seed + 1);
+    const MatrixF q = test::random_matrix(tokens, d, seed + 2);
+    const AttentionConfig cfg;
+    const Sas sas;
+    turbo_attention_prefill(q, k, v, cfg, sas, &cache);
+  }
+  Rng rng(seed + 3);
+  for (std::size_t t = 0; t < buffered; ++t) {
+    std::vector<float> kt(d);
+    std::vector<float> vt(d);
+    rng.fill_normal(kt, 0.0, 1.0);
+    rng.fill_normal(vt, 0.0, 1.0);
+    cache.append_token(kt, vt);
+  }
+  return cache;
+}
+
+void expect_equal_caches(const QuantizedKvCache& a,
+                         const QuantizedKvCache& b) {
+  ASSERT_EQ(a.token_count(), b.token_count());
+  ASSERT_EQ(a.block_count(), b.block_count());
+  EXPECT_EQ(a.memory_bytes(), b.memory_bytes());
+  for (std::size_t j = 0; j < a.block_count(); ++j) {
+    EXPECT_EQ(a.block(j).k.packed, b.block(j).k.packed);
+    EXPECT_EQ(a.block(j).v.packed, b.block(j).v.packed);
+    EXPECT_EQ(a.block(j).k.fp_scale, b.block(j).k.fp_scale);
+  }
+  // Bit-exact: decode produces identical outputs.
+  std::vector<float> q(a.head_dim(), 0.37f);
+  const AttentionConfig cfg;
+  const Sas sas;
+  EXPECT_EQ(turbo_attention_decode(q, a, cfg, sas),
+            turbo_attention_decode(q, b, cfg, sas));
+}
+
+class SerializationRoundTrip : public ::testing::TestWithParam<BitWidth> {};
+
+TEST_P(SerializationRoundTrip, BitExact) {
+  const QuantizedKvCache cache = make_cache(GetParam(), 150, 13, 5);
+  const auto bytes = serialize_cache(cache);
+  const QuantizedKvCache back = deserialize_cache(bytes);
+  expect_equal_caches(cache, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SerializationRoundTrip,
+                         ::testing::Values(BitWidth::kInt2, BitWidth::kInt3,
+                                           BitWidth::kInt4));
+
+TEST(SerializationTest, BufferOnlyCache) {
+  const QuantizedKvCache cache = make_cache(BitWidth::kInt4, 0, 7, 9);
+  const QuantizedKvCache back = deserialize_cache(serialize_cache(cache));
+  expect_equal_caches(cache, back);
+}
+
+TEST(SerializationTest, EmptyCacheRoundTrips) {
+  QuantizedKvCache cache(24, BitWidth::kInt4, 64, 64);
+  const QuantizedKvCache back = deserialize_cache(serialize_cache(cache));
+  EXPECT_EQ(back.token_count(), 0u);
+  EXPECT_EQ(back.block_count(), 0u);
+}
+
+TEST(SerializationTest, StreamSmallerThanFp16) {
+  const QuantizedKvCache cache = make_cache(BitWidth::kInt4, 256, 0, 11);
+  const auto bytes = serialize_cache(cache);
+  EXPECT_LT(bytes.size(), 256u * 24u * 2u * 2u / 3u);
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  auto bytes = serialize_cache(make_cache(BitWidth::kInt4, 64, 0, 13));
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(deserialize_cache(bytes), CheckError);
+}
+
+TEST(SerializationTest, RejectsWrongVersion) {
+  auto bytes = serialize_cache(make_cache(BitWidth::kInt4, 64, 0, 13));
+  bytes[4] = 99;
+  EXPECT_THROW(deserialize_cache(bytes), CheckError);
+}
+
+TEST(SerializationTest, RejectsTruncation) {
+  const auto bytes = serialize_cache(make_cache(BitWidth::kInt4, 64, 5, 13));
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                          std::size_t{9}}) {
+    EXPECT_THROW(
+        deserialize_cache(std::span(bytes.data(), cut)), CheckError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SerializationTest, RejectsTrailingGarbage) {
+  auto bytes = serialize_cache(make_cache(BitWidth::kInt4, 64, 0, 13));
+  bytes.push_back(0x42);
+  EXPECT_THROW(deserialize_cache(bytes), CheckError);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const QuantizedKvCache cache = make_cache(BitWidth::kInt2, 128, 9, 17);
+  const std::string path = ::testing::TempDir() + "/turbo_cache.tkvc";
+  save_cache(cache, path);
+  const QuantizedKvCache back = load_cache(path);
+  expect_equal_caches(cache, back);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_cache("/nonexistent/path/cache.tkvc"), CheckError);
+}
+
+}  // namespace
+}  // namespace turbo

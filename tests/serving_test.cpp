@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "serving/engine.h"
+#include "serving/metrics.h"
+#include "serving/trace.h"
+
+namespace turbo::serving {
+namespace {
+
+TraceConfig small_trace() {
+  TraceConfig t;
+  t.arrival_rate = 4.0;
+  t.duration_s = 20.0;
+  t.prompt_log_mean = 5.5;  // median ~245 tokens
+  t.prompt_log_std = 0.5;
+  t.gen_log_mean = 4.0;     // median ~55 tokens
+  t.gen_log_std = 0.5;
+  t.seed = 7;
+  return t;
+}
+
+EngineConfig engine(sim::AttnMethod method, double bits) {
+  EngineConfig c;
+  c.device = sim::a100_sxm_80gb();
+  c.geometry = sim::phi3_medium_geometry();
+  c.method = method;
+  c.attention.kv_bits = bits;
+  return c;
+}
+
+TEST(TraceTest, DeterministicAndOrdered) {
+  const auto a = generate_trace(small_trace());
+  const auto b = generate_trace(small_trace());
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 20u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+    }
+  }
+}
+
+TEST(TraceTest, LengthsWithinBounds) {
+  TraceConfig t = small_trace();
+  t.max_prompt = 512;
+  t.max_gen = 64;
+  for (const Request& r : generate_trace(t)) {
+    EXPECT_GE(r.prompt_tokens, 16u);
+    EXPECT_LE(r.prompt_tokens, 512u);
+    EXPECT_GE(r.max_new_tokens, 1u);
+    EXPECT_LE(r.max_new_tokens, 64u);
+    EXPECT_GE(r.arrival_s, 0.0);
+    EXPECT_LE(r.arrival_s, t.duration_s);
+  }
+}
+
+TEST(TraceTest, ArrivalRateApproximatelyPoisson) {
+  TraceConfig t = small_trace();
+  t.arrival_rate = 10.0;
+  t.duration_s = 200.0;
+  const auto trace = generate_trace(t);
+  const double rate = static_cast<double>(trace.size()) / t.duration_s;
+  EXPECT_NEAR(rate, 10.0, 1.0);
+}
+
+TEST(EngineTest, AllRequestsComplete) {
+  const auto trace = generate_trace(small_trace());
+  const EngineResult r =
+      run_engine(engine(sim::AttnMethod::kTurbo, 4.0), trace);
+  const ServingMetrics m = summarize(r);
+  EXPECT_EQ(m.completed + m.rejected, trace.size());
+  EXPECT_EQ(m.rejected, 0u);
+  for (const Request& req : r.requests) {
+    EXPECT_TRUE(req.finished());
+    EXPECT_GE(req.first_token_s, req.arrival_s);
+    EXPECT_GE(req.finish_s, req.first_token_s);
+    EXPECT_EQ(req.generated, req.max_new_tokens);
+  }
+}
+
+TEST(EngineTest, TimestampsMonotoneWithLoad) {
+  // Higher arrival rate must not reduce any completion metric.
+  TraceConfig light = small_trace();
+  TraceConfig heavy = small_trace();
+  heavy.arrival_rate = 20.0;
+  const auto ml = summarize(run_engine(
+      engine(sim::AttnMethod::kFlashFp16, 16.0), generate_trace(light)));
+  const auto mh = summarize(run_engine(
+      engine(sim::AttnMethod::kFlashFp16, 16.0), generate_trace(heavy)));
+  EXPECT_GT(mh.output_tokens_per_s, ml.output_tokens_per_s * 0.9);
+  EXPECT_GE(mh.ttft_p99, ml.ttft_p50);  // queueing under load
+}
+
+TEST(EngineTest, TurboFinishesTraceSooner) {
+  TraceConfig t = small_trace();
+  t.arrival_rate = 12.0;
+  t.duration_s = 30.0;
+  const auto trace = generate_trace(t);
+  const auto fp16 =
+      run_engine(engine(sim::AttnMethod::kFlashFp16, 16.0), trace);
+  const auto turbo = run_engine(engine(sim::AttnMethod::kTurbo, 3.0), trace);
+  // Faster decode steps drain the same trace sooner with a no-worse tail.
+  EXPECT_LT(turbo.makespan_s, fp16.makespan_s);
+  EXPECT_LE(summarize(turbo).ttft_p99, summarize(fp16).ttft_p99 * 1.05);
+}
+
+TEST(EngineTest, TurboServesMoreConcurrentRequestsUnderMemoryPressure) {
+  // Long prompts push FP16 into its KV memory wall; the compressed cache
+  // keeps admitting.
+  TraceConfig t = small_trace();
+  t.arrival_rate = 12.0;
+  t.duration_s = 30.0;
+  t.prompt_log_mean = 7.5;  // median ~1800 tokens
+  const auto trace = generate_trace(t);
+  const auto fp16 =
+      run_engine(engine(sim::AttnMethod::kFlashFp16, 16.0), trace);
+  const auto turbo = run_engine(engine(sim::AttnMethod::kTurbo, 3.0), trace);
+  EXPECT_GT(summarize(turbo).peak_batch, summarize(fp16).peak_batch);
+  EXPECT_LT(turbo.makespan_s, fp16.makespan_s);
+}
+
+TEST(EngineTest, OversizedRequestRejected) {
+  std::vector<Request> trace(1);
+  trace[0].prompt_tokens = 1u << 22;  // absurd
+  trace[0].max_new_tokens = 8;
+  const EngineResult r =
+      run_engine(engine(sim::AttnMethod::kFlashFp16, 16.0), trace);
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_EQ(summarize(r).completed, 0u);
+}
+
+TEST(EngineTest, BatchCapRespected) {
+  EngineConfig cfg = engine(sim::AttnMethod::kTurbo, 4.0);
+  cfg.max_batch = 3;
+  TraceConfig t = small_trace();
+  t.arrival_rate = 50.0;
+  t.duration_s = 5.0;
+  const EngineResult r = run_engine(cfg, generate_trace(t));
+  EXPECT_LE(r.peak_batch, 3u);
+}
+
+TEST(EngineTest, MemoryAccounting) {
+  const auto trace = generate_trace(small_trace());
+  const EngineResult r =
+      run_engine(engine(sim::AttnMethod::kFlashFp16, 16.0), trace);
+  const double budget = sim::a100_sxm_80gb().hbm_capacity * 0.9 -
+                        sim::phi3_medium_geometry().weight_bytes_fp16();
+  EXPECT_LE(r.peak_kv_bytes, budget);
+  EXPECT_GT(r.peak_kv_bytes, 0.0);
+}
+
+TEST(MetricsTest, UtilizationBounded) {
+  const auto trace = generate_trace(small_trace());
+  const ServingMetrics m = summarize(
+      run_engine(engine(sim::AttnMethod::kKiviFlash, 4.0), trace));
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0 + 1e-9);
+  EXPECT_GE(m.ttft_p99, m.ttft_p50);
+  EXPECT_GE(m.e2e_p99, m.e2e_p50);
+}
+
+}  // namespace
+}  // namespace turbo::serving

@@ -1,0 +1,203 @@
+#include "sim/attention_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+
+namespace turbo::sim {
+namespace {
+
+AttnShape decode_shape(std::size_t context, std::size_t batch = 4) {
+  AttnShape s;
+  s.batch = batch;
+  s.heads = 40;
+  s.kv_heads = 40;  // Phi3-medium attention microbenchmark (MHA layout)
+  s.q_len = 1;
+  s.kv_len = context;
+  s.head_dim = 128;
+  return s;
+}
+
+AttnShape prefill_shape(std::size_t len, std::size_t batch = 4) {
+  AttnShape s = decode_shape(len, batch);
+  s.q_len = len;
+  return s;
+}
+
+AttnCostConfig bits(double b) {
+  AttnCostConfig c;
+  c.kv_bits = b;
+  return c;
+}
+
+TEST(AttnModelTest, KvBytesPerToken) {
+  const AttnCostConfig fp16 = bits(16);
+  const double fp16_b =
+      kv_cache_bytes_per_token(AttnMethod::kFlashFp16, fp16, 8, 128);
+  EXPECT_DOUBLE_EQ(fp16_b, 2.0 * 8 * 128 * 2);
+  const double t4 =
+      kv_cache_bytes_per_token(AttnMethod::kTurbo, bits(4), 8, 128);
+  // >4x reduction even with metadata (paper: 4.4x headline at 4-bit).
+  EXPECT_GT(fp16_b / t4, 3.5);
+  const double t3 =
+      kv_cache_bytes_per_token(AttnMethod::kTurbo, bits(3), 8, 128);
+  EXPECT_GT(fp16_b / t3, 4.4);
+  // GEAR carries low-rank factors on top of codes.
+  EXPECT_GT(kv_cache_bytes_per_token(AttnMethod::kGearFlash, bits(4), 8, 128),
+            kv_cache_bytes_per_token(AttnMethod::kKiviFlash, bits(4), 8, 128));
+}
+
+TEST(AttnModelTest, DecodeTurboFasterThanFlash) {
+  // Figure 6 decode: Turbo beats FlashAttention-FP16 at every context.
+  const DeviceSpec dev = a100_sxm_80gb();
+  for (std::size_t ctx : {4096u, 8192u, 16384u, 32768u}) {
+    const double flash =
+        attention_decode_cost(dev, AttnMethod::kFlashFp16, decode_shape(ctx),
+                              bits(16))
+            .total();
+    const double turbo =
+        attention_decode_cost(dev, AttnMethod::kTurbo, decode_shape(ctx),
+                              bits(3))
+            .total();
+    const double speedup = flash / turbo;
+    // Paper: up to 1.7x decode speedup.
+    EXPECT_GT(speedup, 1.1) << "ctx " << ctx;
+    EXPECT_LT(speedup, 2.5) << "ctx " << ctx;
+  }
+}
+
+TEST(AttnModelTest, FusedTurboBeatsSerializedKiviDecode) {
+  // Same payload bits; Turbo's advantage is fusion (no pre-pass).
+  const DeviceSpec dev = a100_sxm_80gb();
+  const double kivi =
+      attention_decode_cost(dev, AttnMethod::kKiviFlash, decode_shape(16384),
+                            bits(4))
+          .total();
+  const double turbo =
+      attention_decode_cost(dev, AttnMethod::kTurbo, decode_shape(16384),
+                            bits(4))
+          .total();
+  EXPECT_GT(kivi / turbo, 2.0);
+}
+
+TEST(AttnModelTest, DecodeKiviSlowerThanFlash) {
+  // Figure 1b / 6: KIVI's separate dequantization pass makes it *slower*
+  // than the FP16 baseline despite the smaller cache.
+  const DeviceSpec dev = a100_sxm_80gb();
+  for (std::size_t ctx : {4096u, 16384u}) {
+    const double flash =
+        attention_decode_cost(dev, AttnMethod::kFlashFp16, decode_shape(ctx),
+                              bits(16))
+            .total();
+    const double kivi =
+        attention_decode_cost(dev, AttnMethod::kKiviFlash, decode_shape(ctx),
+                              bits(4))
+            .total();
+    EXPECT_GT(kivi, flash) << "ctx " << ctx;
+  }
+}
+
+TEST(AttnModelTest, GearSlowerThanKivi) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const double kivi = attention_decode_cost(
+                          dev, AttnMethod::kKiviFlash, decode_shape(8192),
+                          bits(4))
+                          .total();
+  const double gear = attention_decode_cost(
+                          dev, AttnMethod::kGearFlash, decode_shape(8192),
+                          bits(4))
+                          .total();
+  EXPECT_GT(gear, kivi);
+}
+
+TEST(AttnModelTest, PrefillTurboSpeedupInPaperRange) {
+  // Figure 6 prefill: up to ~1.8x over FlashAttention-FP16.
+  const DeviceSpec dev = a100_sxm_80gb();
+  for (std::size_t len : {4096u, 8192u, 16384u}) {
+    const double flash =
+        attention_prefill_cost(dev, AttnMethod::kFlashFp16,
+                               prefill_shape(len), bits(16))
+            .total();
+    const double turbo = attention_prefill_cost(
+                             dev, AttnMethod::kTurbo, prefill_shape(len),
+                             bits(3))
+                             .total();
+    const double speedup = flash / turbo;
+    EXPECT_GT(speedup, 1.2) << "len " << len;
+    EXPECT_LT(speedup, 2.6) << "len " << len;
+  }
+}
+
+TEST(AttnModelTest, SoftmaxShareOfFlashPrefill) {
+  // Section 4: softmax costs over 30% of FlashAttention execution.
+  const DeviceSpec dev = a100_sxm_80gb();
+  const PhaseBreakdown b = attention_prefill_cost(
+      dev, AttnMethod::kFlashFp16, prefill_shape(8192), bits(16));
+  const double share = b.softmax / b.compute();
+  EXPECT_GT(share, 0.25);
+  EXPECT_LT(share, 0.6);
+}
+
+TEST(AttnModelTest, SasShrinksSoftmaxShare) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const PhaseBreakdown flash = attention_prefill_cost(
+      dev, AttnMethod::kFlashFp16, prefill_shape(8192), bits(16));
+  const PhaseBreakdown turbo = attention_prefill_cost(
+      dev, AttnMethod::kTurbo, prefill_shape(8192), bits(4));
+  EXPECT_LT(turbo.softmax / turbo.compute(),
+            0.5 * flash.softmax / flash.compute());
+}
+
+TEST(AttnModelTest, DecodeLatencyGrowsWithContext) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  double prev = 0.0;
+  for (std::size_t ctx = 1024; ctx <= 65536; ctx *= 2) {
+    const double t = attention_decode_cost(dev, AttnMethod::kTurbo,
+                                           decode_shape(ctx), bits(4))
+                         .total();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(AttnModelTest, LowerBitsLowerKvTraffic) {
+  // Turbo decode is compute-bound once fused, so total latency is flat in
+  // bits — but the KV traffic (and thus headroom on bandwidth-starved
+  // parts) keeps shrinking.
+  const DeviceSpec dev = a100_sxm_80gb();
+  const PhaseBreakdown b4 = attention_decode_cost(
+      dev, AttnMethod::kTurbo, decode_shape(16384), bits(4));
+  const PhaseBreakdown b2 = attention_decode_cost(
+      dev, AttnMethod::kTurbo, decode_shape(16384), bits(2));
+  EXPECT_LT(b2.kv_io, b4.kv_io);
+  EXPECT_LE(b2.total(), b4.total() * 1.0001);
+}
+
+TEST(AttnModelTest, BreakdownFieldsNonNegative) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  for (AttnMethod m : {AttnMethod::kFlashFp16, AttnMethod::kKiviFlash,
+                       AttnMethod::kGearFlash, AttnMethod::kTurbo}) {
+    const double b = m == AttnMethod::kFlashFp16 ? 16.0 : 4.0;
+    const PhaseBreakdown pre = attention_prefill_cost(
+        dev, m, prefill_shape(2048), bits(b));
+    const PhaseBreakdown dec =
+        attention_decode_cost(dev, m, decode_shape(2048), bits(b));
+    for (const PhaseBreakdown& pb : {pre, dec}) {
+      EXPECT_GE(pb.qk_matmul, 0.0);
+      EXPECT_GE(pb.softmax, 0.0);
+      EXPECT_GE(pb.pv_matmul, 0.0);
+      EXPECT_GE(pb.kv_io, 0.0);
+      EXPECT_GE(pb.dequant, 0.0);
+      EXPECT_GE(pb.quantize, 0.0);
+      EXPECT_GT(pb.total(), 0.0);
+    }
+  }
+}
+
+TEST(AttnModelTest, MethodNames) {
+  EXPECT_EQ(attn_method_name(AttnMethod::kFlashFp16), "FlashAttention-FP16");
+  EXPECT_EQ(attn_method_name(AttnMethod::kTurbo), "TurboAttention");
+}
+
+}  // namespace
+}  // namespace turbo::sim

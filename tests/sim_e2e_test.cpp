@@ -1,0 +1,159 @@
+#include "sim/e2e_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+
+namespace turbo::sim {
+namespace {
+
+InferenceConfig config(AttnMethod m, double kv_bits, std::size_t batch,
+                       std::size_t prompt, std::size_t gen) {
+  InferenceConfig c;
+  c.method = m;
+  c.attention.kv_bits = kv_bits;
+  c.batch = batch;
+  c.prompt = prompt;
+  c.generate = gen;
+  return c;
+}
+
+TEST(GeometryTest, ParameterCountsNearPublished) {
+  // Within ~15% of the published totals (we count decoder + embeddings).
+  EXPECT_NEAR(llama3_8b_geometry().params(), 8.0e9, 1.3e9);
+  EXPECT_NEAR(phi3_mini_geometry().params(), 3.8e9, 0.7e9);
+  EXPECT_NEAR(phi3_medium_geometry().params(), 14.0e9, 2.2e9);
+  EXPECT_NEAR(qwen2_7b_geometry().params(), 7.6e9, 1.4e9);
+}
+
+TEST(E2ETest, AttentionShareGrowsWithContext) {
+  // Figure 1a: attention dominates end-to-end latency at long context.
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry g = phi3_medium_geometry();
+  double prev_share = 0.0;
+  for (std::size_t prompt : {1024u, 8192u, 32768u, 81920u}) {
+    const E2EBreakdown b = prefill_breakdown(
+        dev, g, config(AttnMethod::kFlashFp16, 16, 1, prompt, 1));
+    const double share = b.attention() / b.total();
+    EXPECT_GT(share, prev_share) << "prompt " << prompt;
+    prev_share = share;
+  }
+  // Paper: up to ~80% at >80k context.
+  EXPECT_GT(prev_share, 0.6);
+}
+
+TEST(E2ETest, DecodeStepLatencyOrdering) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry g = phi3_medium_geometry();
+  const std::size_t ctx = 16384;
+  const double flash =
+      decode_step_breakdown(dev, g,
+                            config(AttnMethod::kFlashFp16, 16, 4, ctx, 1),
+                            ctx)
+          .total();
+  const double kivi =
+      decode_step_breakdown(dev, g,
+                            config(AttnMethod::kKiviFlash, 4, 4, ctx, 1),
+                            ctx)
+          .total();
+  const double turbo =
+      decode_step_breakdown(dev, g, config(AttnMethod::kTurbo, 4, 4, ctx, 1),
+                            ctx)
+          .total();
+  EXPECT_LT(turbo, flash);
+  EXPECT_GT(kivi, flash);
+}
+
+TEST(E2ETest, GenerationLatencyPositiveAndMonotonicInBatch) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry g = phi3_mini_geometry();
+  double prev = 0.0;
+  for (std::size_t batch : {1u, 4u, 16u}) {
+    const double t = generation_latency(
+        dev, g, config(AttnMethod::kTurbo, 4, batch, 1024, 128));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(E2ETest, MemoryUseComponents) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry g = phi3_medium_geometry();
+  const MemoryUse m =
+      memory_use(dev, g, config(AttnMethod::kFlashFp16, 16, 4, 4096, 128));
+  EXPECT_NEAR(m.weights, 28e9, 5e9);  // ~14B params FP16
+  EXPECT_GT(m.kv_cache, 0.0);
+  EXPECT_TRUE(m.fits);
+}
+
+TEST(E2ETest, TurboKvCacheMuchSmaller) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry g = phi3_medium_geometry();
+  const MemoryUse fp16 =
+      memory_use(dev, g, config(AttnMethod::kFlashFp16, 16, 4, 32768, 128));
+  const MemoryUse turbo =
+      memory_use(dev, g, config(AttnMethod::kTurbo, 3, 4, 32768, 128));
+  EXPECT_GT(fp16.kv_cache / turbo.kv_cache, 4.0);
+}
+
+TEST(E2ETest, MaxBatchLargerForTurbo) {
+  // Figure 7a's mechanism: the compressed cache admits a larger batch
+  // before OOM, which is what lifts maximum throughput.
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry g = phi3_medium_geometry();
+  const std::size_t fp16_max =
+      max_batch(dev, g, config(AttnMethod::kFlashFp16, 16, 1, 1024, 125));
+  const std::size_t turbo_max =
+      max_batch(dev, g, config(AttnMethod::kTurbo, 3, 1, 1024, 125));
+  EXPECT_GT(fp16_max, 0u);
+  EXPECT_GT(turbo_max, fp16_max);
+}
+
+TEST(E2ETest, ThroughputZeroWhenOom) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry g = phi3_medium_geometry();
+  const InferenceConfig huge =
+      config(AttnMethod::kFlashFp16, 16, 4096, 32768, 128);
+  EXPECT_FALSE(memory_use(dev, g, huge).fits);
+  EXPECT_EQ(throughput_tokens_per_second(dev, g, huge), 0.0);
+}
+
+TEST(E2ETest, MaxThroughputTurboBeatsBaseline) {
+  // Paper headline: up to 2.37x maximum throughput over FP16.
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry g = phi3_medium_geometry();
+
+  // Each method runs at its own largest feasible batch — the compressed
+  // cache admits ~3.7x the batch, which is what lifts maximum throughput.
+  auto max_throughput = [&](AttnMethod m, double kv_bits) {
+    InferenceConfig c = config(m, kv_bits, 1, 1024, 125);
+    const std::size_t mb = max_batch(dev, g, c);
+    double best = 0.0;
+    for (std::size_t b = 1; b <= mb; b = b * 2) {
+      c.batch = b;
+      best = std::max(best, throughput_tokens_per_second(dev, g, c));
+    }
+    c.batch = mb;
+    best = std::max(best, throughput_tokens_per_second(dev, g, c));
+    return best;
+  };
+
+  const double fp16 = max_throughput(AttnMethod::kFlashFp16, 16);
+  const double turbo = max_throughput(AttnMethod::kTurbo, 3);
+  // Paper: up to 2.37x maximum throughput.
+  EXPECT_GT(turbo / fp16, 1.5);
+  EXPECT_LT(turbo / fp16, 4.0);
+}
+
+TEST(E2ETest, PrefillBreakdownAdditive) {
+  const DeviceSpec dev = a100_sxm_80gb();
+  const ModelGeometry g = llama3_8b_geometry();
+  const E2EBreakdown b = prefill_breakdown(
+      dev, g, config(AttnMethod::kTurbo, 4, 2, 2048, 1));
+  EXPECT_NEAR(b.total(), b.linear + b.attention(), 1e-12);
+  EXPECT_GT(b.linear, 0.0);
+  EXPECT_GT(b.attention(), 0.0);
+}
+
+}  // namespace
+}  // namespace turbo::sim

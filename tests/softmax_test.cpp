@@ -1,0 +1,87 @@
+#include "softmax/softmax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+TEST(SoftmaxTest, SumsToOne) {
+  const MatrixF scores = test::random_matrix(8, 32, 1, 3.0);
+  const MatrixF p = softmax_rows(scores);
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    float sum = 0.0f;
+    for (float v : p.row(r)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, UniformInputGivesUniformOutput) {
+  MatrixF scores(1, 4, 2.0f);
+  const MatrixF p = softmax_rows(scores);
+  for (float v : p.row(0)) EXPECT_NEAR(v, 0.25f, 1e-6f);
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  MatrixF a(1, 3);
+  a(0, 0) = 1.0f;
+  a(0, 1) = 2.0f;
+  a(0, 2) = 3.0f;
+  MatrixF b = a;
+  for (float& v : b.flat()) v += 100.0f;
+  const MatrixF pa = softmax_rows(a);
+  const MatrixF pb = softmax_rows(b);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(pa(0, c), pb(0, c), 1e-6f);
+  }
+}
+
+TEST(SoftmaxTest, StableForLargeMagnitudes) {
+  MatrixF scores(1, 3);
+  scores(0, 0) = 10000.0f;
+  scores(0, 1) = 9999.0f;
+  scores(0, 2) = -10000.0f;
+  const MatrixF p = softmax_rows(scores);
+  EXPECT_FALSE(std::isnan(p(0, 0)));
+  EXPECT_GT(p(0, 0), p(0, 1));
+  EXPECT_NEAR(p(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(SoftmaxTest, KnownTwoElementValues) {
+  MatrixF scores(1, 2);
+  scores(0, 0) = 0.0f;
+  scores(0, 1) = std::log(3.0f);
+  const MatrixF p = softmax_rows(scores);
+  EXPECT_NEAR(p(0, 0), 0.25f, 1e-6f);
+  EXPECT_NEAR(p(0, 1), 0.75f, 1e-6f);
+}
+
+TEST(SoftmaxTest, LseMatchesDirectComputation) {
+  const MatrixF scores = test::random_matrix(4, 16, 5, 2.0);
+  std::vector<float> lse(4);
+  softmax_rows_with_lse(scores, lse);
+  for (std::size_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (float v : scores.row(r)) sum += std::exp(static_cast<double>(v));
+    EXPECT_NEAR(lse[r], std::log(sum), 1e-4);
+  }
+}
+
+TEST(SoftmaxTest, MonotonicInScores) {
+  MatrixF scores(1, 3);
+  scores(0, 0) = 0.1f;
+  scores(0, 1) = 0.5f;
+  scores(0, 2) = 0.9f;
+  const MatrixF p = softmax_rows(scores);
+  EXPECT_LT(p(0, 0), p(0, 1));
+  EXPECT_LT(p(0, 1), p(0, 2));
+}
+
+}  // namespace
+}  // namespace turbo

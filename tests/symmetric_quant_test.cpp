@@ -1,0 +1,92 @@
+#include "quant/symmetric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+TEST(SymmetricQuantTest, ScaleUsesHeadroom) {
+  std::vector<float> v{-119.0f, 60.0f};
+  EXPECT_FLOAT_EQ(symmetric_scale_int8(v), 1.0f);  // max|x| / 119
+  EXPECT_FLOAT_EQ(symmetric_scale_int8(v, 238.0f), 0.5f);
+}
+
+TEST(SymmetricQuantTest, ZeroInputHasPositiveScale) {
+  std::vector<float> v{0.0f, 0.0f};
+  EXPECT_GT(symmetric_scale_int8(v), 0.0f);
+}
+
+TEST(SymmetricQuantTest, RoundTripErrorBoundedByHalfScale) {
+  const MatrixF m = test::random_matrix(32, 64, 99, 3.0);
+  const Int8Tile tile = quantize_tile_int8(m);
+  const MatrixF back = dequantize_tile(tile);
+  // In-range values (|x| <= 119 * s) quantize with error <= s/2; the
+  // headroom guarantees every input is in range.
+  const double bound = tile.scale / 2.0 + 1e-6;
+  EXPECT_LE(max_abs_error(m, back), bound);
+}
+
+TEST(SymmetricQuantTest, HeadroomLeavesMargin) {
+  // The largest magnitude maps to +-119, well inside int8.
+  std::vector<float> v{10.0f, -20.0f, 15.0f};
+  const float scale = symmetric_scale_int8(v);
+  std::vector<std::int8_t> q(v.size());
+  quantize_symmetric_int8(v, scale, q);
+  for (std::int8_t x : q) {
+    EXPECT_LE(std::abs(static_cast<int>(x)), 119);
+  }
+}
+
+TEST(SymmetricQuantTest, ClampingWithExternalScale) {
+  // Values beyond the representable range saturate at +-127 instead of
+  // wrapping — the decode-buffer "clamp outliers" behaviour.
+  MatrixF m(1, 3);
+  m(0, 0) = 1000.0f;
+  m(0, 1) = -1000.0f;
+  m(0, 2) = 1.0f;
+  const Int8Tile tile = quantize_tile_int8_with_scale(m, 1.0f);
+  EXPECT_EQ(tile.q(0, 0), 127);
+  EXPECT_EQ(tile.q(0, 1), -127);
+  EXPECT_EQ(tile.q(0, 2), 1);
+}
+
+TEST(SymmetricQuantTest, DequantizeIsLinear) {
+  std::vector<std::int8_t> q{-119, 0, 60, 119};
+  std::vector<float> out(4);
+  dequantize_symmetric_int8(q, 0.5f, out);
+  EXPECT_FLOAT_EQ(out[0], -59.5f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 30.0f);
+  EXPECT_FLOAT_EQ(out[3], 59.5f);
+}
+
+TEST(SymmetricQuantTest, RelativeErrorSmallForGaussianData) {
+  const MatrixF m = test::random_matrix(64, 64, 7);
+  const Int8Tile tile = quantize_tile_int8(m);
+  const MatrixF back = dequantize_tile(tile);
+  // INT8 with per-block scale on N(0,1): relative error well under 2%.
+  EXPECT_LT(relative_error(m, back), 0.02);
+}
+
+// Round-trip across a sweep of magnitudes: quantization must be
+// scale-invariant (relative error independent of data magnitude).
+class SymmetricScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SymmetricScaleSweep, RelativeErrorIsScaleInvariant) {
+  const double magnitude = GetParam();
+  const MatrixF m = test::random_matrix(32, 32, 21, magnitude);
+  const Int8Tile tile = quantize_tile_int8(m);
+  const MatrixF back = dequantize_tile(tile);
+  EXPECT_LT(relative_error(m, back), 0.02) << "magnitude " << magnitude;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, SymmetricScaleSweep,
+                         ::testing::Values(1e-4, 1e-2, 1.0, 1e2, 1e4));
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,37 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace turbo::test {
+
+// Random normal matrix with the given stddev.
+inline MatrixF random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed, double stddev = 1.0) {
+  MatrixF m(rows, cols);
+  Rng rng(seed);
+  rng.fill_normal(m.flat(), 0.0, stddev);
+  return m;
+}
+
+// Random matrix with heavy per-channel outliers: a few columns scaled up,
+// mimicking the channel-outlier structure of real K/V caches (Fig. 4).
+inline MatrixF random_outlier_matrix(std::size_t rows, std::size_t cols,
+                                     std::uint64_t seed,
+                                     double outlier_scale = 8.0,
+                                     std::size_t n_outliers = 4) {
+  MatrixF m = random_matrix(rows, cols, seed);
+  Rng rng(seed ^ 0xabcdef);
+  for (std::size_t i = 0; i < n_outliers && i < cols; ++i) {
+    const std::size_t c = rng.uniform_index(cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      m(r, c) *= static_cast<float>(outlier_scale);
+    }
+  }
+  return m;
+}
+
+}  // namespace turbo::test

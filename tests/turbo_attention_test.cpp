@@ -1,0 +1,187 @@
+#include "attention/turbo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.h"
+#include "common/check.h"
+#include "common/stats.h"
+#include "tests/test_util.h"
+
+namespace turbo {
+namespace {
+
+AttentionConfig config(std::size_t br, std::size_t bc, bool causal) {
+  AttentionConfig cfg;
+  cfg.block_rows = br;
+  cfg.block_cols = bc;
+  cfg.causal = causal;
+  return cfg;
+}
+
+TEST(TurboPrefillTest, CloseToReferenceNonCausal) {
+  const MatrixF q = test::random_matrix(64, 32, 1);
+  const MatrixF k = test::random_matrix(64, 32, 2);
+  const MatrixF v = test::random_matrix(64, 32, 3);
+  const AttentionConfig cfg = config(32, 32, false);
+  const Sas sas;
+  const TurboPrefillResult r =
+      turbo_attention_prefill(q, k, v, cfg, sas, nullptr);
+  const MatrixF ref = reference_attention(q, k, v, cfg);
+  // INT8 matmuls + SAS: a couple of percent relative error is the budget.
+  EXPECT_LT(relative_error(r.o, ref), 0.03);
+}
+
+TEST(TurboPrefillTest, CloseToReferenceCausal) {
+  const MatrixF q = test::random_matrix(96, 32, 4);
+  const MatrixF k = test::random_matrix(96, 32, 5);
+  const MatrixF v = test::random_matrix(96, 32, 6);
+  const AttentionConfig cfg = config(32, 32, true);
+  const Sas sas;
+  const TurboPrefillResult r =
+      turbo_attention_prefill(q, k, v, cfg, sas, nullptr);
+  const MatrixF ref = reference_attention(q, k, v, cfg);
+  EXPECT_LT(relative_error(r.o, ref), 0.03);
+}
+
+class TurboTileSweep : public ::testing::TestWithParam<
+                           std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(TurboTileSweep, RobustAcrossBlockSizes) {
+  // The Table 3 property: accuracy is insensitive to (Br, Bc).
+  const auto [br, bc] = GetParam();
+  const MatrixF q = test::random_matrix(100, 16, 7);
+  const MatrixF k = test::random_matrix(100, 16, 8);
+  const MatrixF v = test::random_matrix(100, 16, 9);
+  const AttentionConfig cfg = config(br, bc, true);
+  const Sas sas;
+  const TurboPrefillResult r =
+      turbo_attention_prefill(q, k, v, cfg, sas, nullptr);
+  const MatrixF ref = reference_attention(q, k, v, cfg);
+  EXPECT_LT(relative_error(r.o, ref), 0.04) << "Br=" << br << " Bc=" << bc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, TurboTileSweep,
+    ::testing::Combine(::testing::Values(std::size_t{32}, std::size_t{64},
+                                         std::size_t{128}),
+                       ::testing::Values(std::size_t{32}, std::size_t{64},
+                                         std::size_t{128})));
+
+TEST(TurboPrefillTest, PopulatesCache) {
+  const MatrixF q = test::random_matrix(100, 16, 10);
+  const MatrixF k = test::random_matrix(100, 16, 11);
+  const MatrixF v = test::random_matrix(100, 16, 12);
+  const AttentionConfig cfg = config(64, 64, true);
+  QuantizedKvCache cache(16, BitWidth::kInt4, 64, 64);
+  const Sas sas;
+  turbo_attention_prefill(q, k, v, cfg, sas, &cache);
+  EXPECT_EQ(cache.token_count(), 100u);
+  EXPECT_EQ(cache.block_count(), 2u);  // 64 + 36
+  EXPECT_EQ(cache.block(0).tokens(), 64u);
+  EXPECT_EQ(cache.block(1).tokens(), 36u);
+  // Cache reconstruction stays close to the original K/V.
+  EXPECT_LT(relative_error(cache.reconstruct_keys(), k), 0.13);
+  EXPECT_LT(relative_error(cache.reconstruct_values(), v), 0.13);
+}
+
+TEST(TurboPrefillTest, CacheBlockSizeMismatchThrows) {
+  const MatrixF q = test::random_matrix(8, 8, 13);
+  QuantizedKvCache cache(8, BitWidth::kInt4, 32, 64);
+  const AttentionConfig cfg = config(8, 16, false);
+  const Sas sas;
+  EXPECT_THROW(turbo_attention_prefill(q, q, q, cfg, sas, &cache),
+               CheckError);
+}
+
+TEST(TurboDecodeTest, MatchesReferenceWithin4BitBudget) {
+  const std::size_t d = 32;
+  const MatrixF k = test::random_matrix(200, d, 14);
+  const MatrixF v = test::random_matrix(200, d, 15);
+  const MatrixF q = test::random_matrix(1, d, 16);
+  const AttentionConfig cfg = config(64, 64, true);
+  const Sas sas;
+  QuantizedKvCache cache(d, BitWidth::kInt4, 64, 64);
+  const MatrixF dummy_q = test::random_matrix(200, d, 17);
+  turbo_attention_prefill(dummy_q, k, v, cfg, sas, &cache);
+
+  const auto o = turbo_attention_decode(q.row(0), cache, cfg, sas);
+  const auto ref = reference_decode(q.row(0), k, v, cfg);
+  EXPECT_LT(relative_error(o, ref), 0.18);
+}
+
+TEST(TurboDecodeTest, BufferedTokensParticipate) {
+  const std::size_t d = 16;
+  const AttentionConfig cfg = config(64, 64, true);
+  const Sas sas;
+  QuantizedKvCache cache(d, BitWidth::kInt4, 64, 64);
+
+  // No prefill: push a handful of decode tokens (stay in the buffer).
+  MatrixF k(0, d);
+  MatrixF v(0, d);
+  Rng rng(18);
+  for (int t = 0; t < 5; ++t) {
+    std::vector<float> kt(d);
+    std::vector<float> vt(d);
+    rng.fill_normal(kt, 0.0, 1.0);
+    rng.fill_normal(vt, 0.0, 1.0);
+    cache.append_token(kt, vt);
+    k.append_row(std::span<const float>(kt));
+    v.append_row(std::span<const float>(vt));
+  }
+  EXPECT_EQ(cache.block_count(), 0u);  // everything buffered
+
+  const MatrixF q = test::random_matrix(1, d, 19);
+  const auto o = turbo_attention_decode(q.row(0), cache, cfg, sas);
+  const auto ref = reference_decode(q.row(0), k, v, cfg);
+  EXPECT_LT(relative_error(o, ref), 0.05);
+}
+
+TEST(TurboDecodeTest, EmptyCacheThrows) {
+  QuantizedKvCache cache(8, BitWidth::kInt4, 64, 64);
+  std::vector<float> q(8, 1.0f);
+  const AttentionConfig cfg;
+  const Sas sas;
+  EXPECT_THROW(turbo_attention_decode(q, cache, cfg, sas), CheckError);
+}
+
+TEST(TurboDecodeTest, Int2CoarserThanInt4) {
+  const std::size_t d = 32;
+  const MatrixF k = test::random_matrix(128, d, 20);
+  const MatrixF v = test::random_matrix(128, d, 21);
+  const MatrixF qd = test::random_matrix(1, d, 22);
+  const MatrixF qp = test::random_matrix(128, d, 23);
+  const AttentionConfig cfg = config(64, 64, true);
+  const Sas sas;
+
+  double err[2];
+  int idx = 0;
+  for (BitWidth bits : {BitWidth::kInt4, BitWidth::kInt2}) {
+    QuantizedKvCache cache(d, bits, 64, 64);
+    turbo_attention_prefill(qp, k, v, cfg, sas, &cache);
+    const auto o = turbo_attention_decode(qd.row(0), cache, cfg, sas);
+    const auto ref = reference_decode(qd.row(0), k, v, cfg);
+    err[idx++] = relative_error(o, ref);
+  }
+  EXPECT_LT(err[0], err[1]);  // INT4 more accurate than INT2
+}
+
+TEST(TurboPrefillTest, LseFiniteAndOrdered) {
+  const MatrixF q = test::random_matrix(32, 16, 24);
+  const MatrixF k = test::random_matrix(32, 16, 25);
+  const MatrixF v = test::random_matrix(32, 16, 26);
+  const AttentionConfig cfg = config(16, 16, true);
+  const Sas sas;
+  const TurboPrefillResult r =
+      turbo_attention_prefill(q, k, v, cfg, sas, nullptr);
+  std::vector<float> ref_lse(32);
+  reference_attention_with_lse(q, k, v, cfg, ref_lse);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_FALSE(std::isnan(r.lse[i]));
+    EXPECT_NEAR(r.lse[i], ref_lse[i], 0.15f);
+  }
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,66 @@
+// Minimal --key value flag parser for the CLI tools (no dependencies).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace turbo::tools {
+
+class Flags {
+ public:
+  // Parses "--key value" pairs after the subcommand. Exits with a message
+  // on malformed input.
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        std::fprintf(stderr, "malformed flag '%s' (expected --key value)\n",
+                     key.c_str());
+        std::exit(2);
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+  long get_int(const std::string& key, long def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtol(it->second.c_str(),
+                                                   nullptr, 10);
+  }
+
+  double get_double(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(),
+                                                   nullptr);
+  }
+
+  // Report any flag the command did not consume (typo protection).
+  void check_consumed(const std::vector<std::string>& known) const {
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const std::string& k : known) {
+        if (k == key) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace turbo::tools

@@ -1,0 +1,183 @@
+// turbo_cli — configurable experiment runner.
+//
+//   turbo_cli accuracy --model llama3 --task gsm8k --method turbo --bits 4
+//   turbo_cli latency  --device a100 --model phi3-medium --method turbo
+//                      --bits 3 --batch 4 --ctx 8192 --phase decode --tp 1
+//   turbo_cli serve    --rate 6 --duration 60 --method turbo --bits 3
+//
+// A thin front end over the library so users can sweep configurations
+// without writing C++. Every bench binary remains the canonical,
+// argument-free reproduction path; this tool is for exploration.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/task_methods.h"
+#include "model/profile.h"
+#include "serving/engine.h"
+#include "serving/metrics.h"
+#include "serving/trace.h"
+#include "sim/parallel.h"
+#include "tasks/retrieval.h"
+#include "tools/flags.h"
+
+namespace {
+
+using namespace turbo;
+using tools::Flags;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: turbo_cli <accuracy|latency|serve> [--key value ...]\n"
+      "  accuracy: --model llama3|qwen2|phi3  --task gsm8k|aqua|bbh\n"
+      "            --method fp16|kivi|gear|turbo|turbo-mixed\n"
+      "            --bits 2|3|4  --cases N  --seed S\n"
+      "  latency:  --device a100|a100-pcie|h100\n"
+      "            --model phi3-mini|phi3-medium|llama3|qwen2\n"
+      "            --method fp16|kivi|gear|turbo  --bits B  --batch N\n"
+      "            --ctx TOKENS  --phase prefill|decode  --tp GPUS\n"
+      "  serve:    --rate REQ_PER_S  --duration S  --method ...  --bits B\n");
+  std::exit(2);
+}
+
+model::ModelProfile profile_by_name(const std::string& name) {
+  if (name == "llama3") return model::llama3_8b_profile();
+  if (name == "qwen2") return model::qwen2_7b_profile();
+  if (name == "phi3") return model::phi3_mini_profile();
+  std::fprintf(stderr, "unknown model profile '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+sim::ModelGeometry geometry_by_name(const std::string& name) {
+  if (name == "phi3-mini") return sim::phi3_mini_geometry();
+  if (name == "phi3-medium") return sim::phi3_medium_geometry();
+  if (name == "llama3") return sim::llama3_8b_geometry();
+  if (name == "qwen2") return sim::qwen2_7b_geometry();
+  std::fprintf(stderr, "unknown model geometry '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+sim::DeviceSpec device_by_name(const std::string& name) {
+  if (name == "a100") return sim::a100_sxm_80gb();
+  if (name == "a100-pcie") return sim::a100_pcie_40gb();
+  if (name == "h100") return sim::h100_sxm_80gb();
+  std::fprintf(stderr, "unknown device '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+sim::AttnMethod sim_method_by_name(const std::string& name) {
+  if (name == "fp16") return sim::AttnMethod::kFlashFp16;
+  if (name == "kivi") return sim::AttnMethod::kKiviFlash;
+  if (name == "gear") return sim::AttnMethod::kGearFlash;
+  if (name == "turbo") return sim::AttnMethod::kTurbo;
+  std::fprintf(stderr, "unknown method '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+int run_accuracy(const Flags& flags) {
+  flags.check_consumed({"model", "task", "method", "bits", "cases", "seed"});
+  const model::ModelProfile profile =
+      profile_by_name(flags.get("model", "llama3"));
+  const std::string task_name = flags.get("task", "gsm8k");
+  tasks::RetrievalConfig task =
+      task_name == "aqua"  ? tasks::aqua_proxy(profile)
+      : task_name == "bbh" ? tasks::bbh_proxy(profile)
+                           : tasks::gsm8k_proxy(profile);
+  task.n_cases = static_cast<std::size_t>(flags.get_int("cases", 32));
+  task.seed = static_cast<std::uint64_t>(flags.get_int("seed", task.seed));
+
+  const std::string method = flags.get("method", "turbo");
+  const BitWidth bits = bit_width_from_int(
+      static_cast<int>(flags.get_int("bits", 4)));
+  bench::NamedFactory f =
+      method == "fp16"   ? bench::fp16_method()
+      : method == "kivi" ? bench::kivi_method(bits, profile.head_dim)
+      : method == "gear" ? bench::gear_method(bits, profile.head_dim)
+      : method == "turbo-mixed"
+          ? bench::turbo_mixed_method(task, profile.heads / 2)
+          : bench::turbo_method(bits);
+
+  const tasks::TaskResult r = tasks::run_retrieval(task, f.factory);
+  std::printf("%s / %s / %s (%s-bit): accuracy %.1f%% over %zu cases, "
+              "KV %.1f bytes/token\n",
+              profile.name.c_str(), task.name.c_str(), f.label.c_str(),
+              f.bits.c_str(), 100.0 * r.accuracy, r.cases,
+              r.kv_bytes_per_token);
+  return 0;
+}
+
+int run_latency(const Flags& flags) {
+  flags.check_consumed(
+      {"device", "model", "method", "bits", "batch", "ctx", "phase", "tp"});
+  const sim::DeviceSpec dev = device_by_name(flags.get("device", "a100"));
+  const sim::ModelGeometry geom =
+      geometry_by_name(flags.get("model", "phi3-medium"));
+  sim::InferenceConfig cfg;
+  cfg.method = sim_method_by_name(flags.get("method", "turbo"));
+  cfg.attention.kv_bits = flags.get_double("bits", 4.0);
+  cfg.batch = static_cast<std::size_t>(flags.get_int("batch", 4));
+  const std::size_t ctx =
+      static_cast<std::size_t>(flags.get_int("ctx", 8192));
+  cfg.prompt = ctx;
+  sim::TensorParallelConfig tp;
+  tp.gpus = static_cast<std::size_t>(flags.get_int("tp", 1));
+
+  if (!sim::memory_use_tp(dev, geom, cfg, tp).fits) {
+    std::printf("%s / %s: OOM at batch %zu, ctx %zu (tp=%zu)\n",
+                geom.name.c_str(), dev.name.c_str(), cfg.batch, ctx,
+                tp.gpus);
+    return 1;
+  }
+  const std::string phase = flags.get("phase", "decode");
+  const sim::E2EBreakdown b =
+      phase == "prefill"
+          ? sim::prefill_breakdown_tp(dev, geom, cfg, tp)
+          : sim::decode_step_breakdown_tp(dev, geom, cfg, ctx, tp);
+  std::printf("%s %s on %s (tp=%zu, batch %zu, ctx %zu): %.3f ms\n",
+              phase.c_str(), geom.name.c_str(), dev.name.c_str(), tp.gpus,
+              cfg.batch, ctx, b.total() * 1e3);
+  std::printf("  linear %.3f ms | attn matmul %.3f | softmax %.3f | "
+              "kv io %.3f | dequant %.3f | other %.3f\n",
+              b.linear * 1e3, b.attn_matmul * 1e3, b.attn_softmax * 1e3,
+              b.attn_kv_io * 1e3, b.attn_dequant * 1e3,
+              b.attn_other * 1e3);
+  return 0;
+}
+
+int run_serve(const Flags& flags) {
+  flags.check_consumed({"rate", "duration", "method", "bits", "seed"});
+  serving::TraceConfig trace_cfg;
+  trace_cfg.arrival_rate = flags.get_double("rate", 4.0);
+  trace_cfg.duration_s = flags.get_double("duration", 60.0);
+  trace_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  serving::EngineConfig engine;
+  engine.device = sim::a100_sxm_80gb();
+  engine.geometry = sim::phi3_medium_geometry();
+  engine.method = sim_method_by_name(flags.get("method", "turbo"));
+  engine.attention.kv_bits = flags.get_double("bits", 3.0);
+
+  const auto trace = serving::generate_trace(trace_cfg);
+  const serving::ServingMetrics m =
+      serving::summarize(serving::run_engine(engine, trace));
+  std::printf("%zu requests @ %.1f req/s: %.0f tok/s, TTFT p50/p99 "
+              "%.2f/%.2f s, TPOT p50 %.0f ms, peak batch %zu, rejected "
+              "%zu\n",
+              trace.size(), trace_cfg.arrival_rate, m.output_tokens_per_s,
+              m.ttft_p50, m.ttft_p99, m.tpot_p50 * 1e3, m.peak_batch,
+              m.rejected);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (cmd == "accuracy") return run_accuracy(flags);
+  if (cmd == "latency") return run_latency(flags);
+  if (cmd == "serve") return run_serve(flags);
+  usage();
+}
