@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_depth.dir/bench/bench_ablation_depth.cpp.o"
+  "CMakeFiles/bench_ablation_depth.dir/bench/bench_ablation_depth.cpp.o.d"
+  "bench/bench_ablation_depth"
+  "bench/bench_ablation_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

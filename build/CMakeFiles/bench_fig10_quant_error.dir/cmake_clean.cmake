@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_quant_error.dir/bench/bench_fig10_quant_error.cpp.o"
+  "CMakeFiles/bench_fig10_quant_error.dir/bench/bench_fig10_quant_error.cpp.o.d"
+  "bench/bench_fig10_quant_error"
+  "bench/bench_fig10_quant_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_quant_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

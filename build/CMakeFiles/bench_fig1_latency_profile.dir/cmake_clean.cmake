@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_latency_profile.dir/bench/bench_fig1_latency_profile.cpp.o"
+  "CMakeFiles/bench_fig1_latency_profile.dir/bench/bench_fig1_latency_profile.cpp.o.d"
+  "bench/bench_fig1_latency_profile"
+  "bench/bench_fig1_latency_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_latency_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_qkv_distribution.dir/bench/bench_fig4_qkv_distribution.cpp.o"
+  "CMakeFiles/bench_fig4_qkv_distribution.dir/bench/bench_fig4_qkv_distribution.cpp.o.d"
+  "bench/bench_fig4_qkv_distribution"
+  "bench/bench_fig4_qkv_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_qkv_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

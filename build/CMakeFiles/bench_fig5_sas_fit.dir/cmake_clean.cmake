@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sas_fit.dir/bench/bench_fig5_sas_fit.cpp.o"
+  "CMakeFiles/bench_fig5_sas_fit.dir/bench/bench_fig5_sas_fit.cpp.o.d"
+  "bench/bench_fig5_sas_fit"
+  "bench/bench_fig5_sas_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sas_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_throughput.dir/bench/bench_fig7a_throughput.cpp.o"
+  "CMakeFiles/bench_fig7a_throughput.dir/bench/bench_fig7a_throughput.cpp.o.d"
+  "bench/bench_fig7a_throughput"
+  "bench/bench_fig7a_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_head_selection.dir/bench/bench_fig7b_head_selection.cpp.o"
+  "CMakeFiles/bench_fig7b_head_selection.dir/bench/bench_fig7b_head_selection.cpp.o.d"
+  "bench/bench_fig7b_head_selection"
+  "bench/bench_fig7b_head_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_head_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

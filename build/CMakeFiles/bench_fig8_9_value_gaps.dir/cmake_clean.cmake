@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_value_gaps.dir/bench/bench_fig8_9_value_gaps.cpp.o"
+  "CMakeFiles/bench_fig8_9_value_gaps.dir/bench/bench_fig8_9_value_gaps.cpp.o.d"
+  "bench/bench_fig8_9_value_gaps"
+  "bench/bench_fig8_9_value_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_value_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serving.dir/bench/bench_serving.cpp.o"
+  "CMakeFiles/bench_serving.dir/bench/bench_serving.cpp.o.d"
+  "bench/bench_serving"
+  "bench/bench_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

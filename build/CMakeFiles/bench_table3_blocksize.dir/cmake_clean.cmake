@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_blocksize.dir/bench/bench_table3_blocksize.cpp.o"
+  "CMakeFiles/bench_table3_blocksize.dir/bench/bench_table3_blocksize.cpp.o.d"
+  "bench/bench_table3_blocksize"
+  "bench/bench_table3_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_integration.dir/bench/bench_table5_integration.cpp.o"
+  "CMakeFiles/bench_table5_integration.dir/bench/bench_table5_integration.cpp.o.d"
+  "bench/bench_table5_integration"
+  "bench/bench_table5_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_whatif_hardware.dir/bench/bench_whatif_hardware.cpp.o"
+  "CMakeFiles/bench_whatif_hardware.dir/bench/bench_whatif_hardware.cpp.o.d"
+  "bench/bench_whatif_hardware"
+  "bench/bench_whatif_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_sweep.dir/accuracy_sweep.cpp.o"
+  "CMakeFiles/accuracy_sweep.dir/accuracy_sweep.cpp.o.d"
+  "accuracy_sweep"
+  "accuracy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_context_chat.dir/long_context_chat.cpp.o"
+  "CMakeFiles/long_context_chat.dir/long_context_chat.cpp.o.d"
+  "long_context_chat"
+  "long_context_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_context_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

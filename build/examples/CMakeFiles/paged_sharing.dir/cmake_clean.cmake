@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_sharing.dir/paged_sharing.cpp.o"
+  "CMakeFiles/paged_sharing.dir/paged_sharing.cpp.o.d"
+  "paged_sharing"
+  "paged_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

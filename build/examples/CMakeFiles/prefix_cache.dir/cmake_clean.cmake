@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_cache.dir/prefix_cache.cpp.o"
+  "CMakeFiles/prefix_cache.dir/prefix_cache.cpp.o.d"
+  "prefix_cache"
+  "prefix_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_capacity_planner.dir/serving_capacity_planner.cpp.o"
+  "CMakeFiles/serving_capacity_planner.dir/serving_capacity_planner.cpp.o.d"
+  "serving_capacity_planner"
+  "serving_capacity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_capacity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

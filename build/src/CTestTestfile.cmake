@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("quant")
+subdirs("softmax")
+subdirs("attention")
+subdirs("kvcache")
+subdirs("kernels")
+subdirs("linear")
+subdirs("baselines")
+subdirs("sim")
+subdirs("serving")
+subdirs("model")
+subdirs("tasks")

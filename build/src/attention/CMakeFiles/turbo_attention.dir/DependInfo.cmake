@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attention/flash.cpp" "src/attention/CMakeFiles/turbo_attention.dir/flash.cpp.o" "gcc" "src/attention/CMakeFiles/turbo_attention.dir/flash.cpp.o.d"
+  "/root/repo/src/attention/headwise.cpp" "src/attention/CMakeFiles/turbo_attention.dir/headwise.cpp.o" "gcc" "src/attention/CMakeFiles/turbo_attention.dir/headwise.cpp.o.d"
+  "/root/repo/src/attention/reference.cpp" "src/attention/CMakeFiles/turbo_attention.dir/reference.cpp.o" "gcc" "src/attention/CMakeFiles/turbo_attention.dir/reference.cpp.o.d"
+  "/root/repo/src/attention/turbo_decode.cpp" "src/attention/CMakeFiles/turbo_attention.dir/turbo_decode.cpp.o" "gcc" "src/attention/CMakeFiles/turbo_attention.dir/turbo_decode.cpp.o.d"
+  "/root/repo/src/attention/turbo_method.cpp" "src/attention/CMakeFiles/turbo_attention.dir/turbo_method.cpp.o" "gcc" "src/attention/CMakeFiles/turbo_attention.dir/turbo_method.cpp.o.d"
+  "/root/repo/src/attention/turbo_prefill.cpp" "src/attention/CMakeFiles/turbo_attention.dir/turbo_prefill.cpp.o" "gcc" "src/attention/CMakeFiles/turbo_attention.dir/turbo_prefill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turbo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/turbo_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/softmax/CMakeFiles/turbo_softmax.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/turbo_kvcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_attention.dir/flash.cpp.o"
+  "CMakeFiles/turbo_attention.dir/flash.cpp.o.d"
+  "CMakeFiles/turbo_attention.dir/headwise.cpp.o"
+  "CMakeFiles/turbo_attention.dir/headwise.cpp.o.d"
+  "CMakeFiles/turbo_attention.dir/reference.cpp.o"
+  "CMakeFiles/turbo_attention.dir/reference.cpp.o.d"
+  "CMakeFiles/turbo_attention.dir/turbo_decode.cpp.o"
+  "CMakeFiles/turbo_attention.dir/turbo_decode.cpp.o.d"
+  "CMakeFiles/turbo_attention.dir/turbo_method.cpp.o"
+  "CMakeFiles/turbo_attention.dir/turbo_method.cpp.o.d"
+  "CMakeFiles/turbo_attention.dir/turbo_prefill.cpp.o"
+  "CMakeFiles/turbo_attention.dir/turbo_prefill.cpp.o.d"
+  "libturbo_attention.a"
+  "libturbo_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

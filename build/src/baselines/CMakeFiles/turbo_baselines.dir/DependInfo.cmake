@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fp16_method.cpp" "src/baselines/CMakeFiles/turbo_baselines.dir/fp16_method.cpp.o" "gcc" "src/baselines/CMakeFiles/turbo_baselines.dir/fp16_method.cpp.o.d"
+  "/root/repo/src/baselines/gear.cpp" "src/baselines/CMakeFiles/turbo_baselines.dir/gear.cpp.o" "gcc" "src/baselines/CMakeFiles/turbo_baselines.dir/gear.cpp.o.d"
+  "/root/repo/src/baselines/kivi.cpp" "src/baselines/CMakeFiles/turbo_baselines.dir/kivi.cpp.o" "gcc" "src/baselines/CMakeFiles/turbo_baselines.dir/kivi.cpp.o.d"
+  "/root/repo/src/baselines/lowrank.cpp" "src/baselines/CMakeFiles/turbo_baselines.dir/lowrank.cpp.o" "gcc" "src/baselines/CMakeFiles/turbo_baselines.dir/lowrank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turbo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/turbo_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/attention/CMakeFiles/turbo_attention.dir/DependInfo.cmake"
+  "/root/repo/build/src/softmax/CMakeFiles/turbo_softmax.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/turbo_kvcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

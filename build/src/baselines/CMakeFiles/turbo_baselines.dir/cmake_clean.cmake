@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_baselines.dir/fp16_method.cpp.o"
+  "CMakeFiles/turbo_baselines.dir/fp16_method.cpp.o.d"
+  "CMakeFiles/turbo_baselines.dir/gear.cpp.o"
+  "CMakeFiles/turbo_baselines.dir/gear.cpp.o.d"
+  "CMakeFiles/turbo_baselines.dir/kivi.cpp.o"
+  "CMakeFiles/turbo_baselines.dir/kivi.cpp.o.d"
+  "CMakeFiles/turbo_baselines.dir/lowrank.cpp.o"
+  "CMakeFiles/turbo_baselines.dir/lowrank.cpp.o.d"
+  "libturbo_baselines.a"
+  "libturbo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

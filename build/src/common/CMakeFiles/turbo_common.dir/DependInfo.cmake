@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cpp" "src/common/CMakeFiles/turbo_common.dir/check.cpp.o" "gcc" "src/common/CMakeFiles/turbo_common.dir/check.cpp.o.d"
+  "/root/repo/src/common/fp16.cpp" "src/common/CMakeFiles/turbo_common.dir/fp16.cpp.o" "gcc" "src/common/CMakeFiles/turbo_common.dir/fp16.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/turbo_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/turbo_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/turbo_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/turbo_common.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_common.dir/check.cpp.o"
+  "CMakeFiles/turbo_common.dir/check.cpp.o.d"
+  "CMakeFiles/turbo_common.dir/fp16.cpp.o"
+  "CMakeFiles/turbo_common.dir/fp16.cpp.o.d"
+  "CMakeFiles/turbo_common.dir/rng.cpp.o"
+  "CMakeFiles/turbo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/turbo_common.dir/stats.cpp.o"
+  "CMakeFiles/turbo_common.dir/stats.cpp.o.d"
+  "libturbo_common.a"
+  "libturbo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/fused_decode.cpp" "src/kernels/CMakeFiles/turbo_kernels.dir/fused_decode.cpp.o" "gcc" "src/kernels/CMakeFiles/turbo_kernels.dir/fused_decode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turbo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/turbo_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/softmax/CMakeFiles/turbo_softmax.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/turbo_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/attention/CMakeFiles/turbo_attention.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

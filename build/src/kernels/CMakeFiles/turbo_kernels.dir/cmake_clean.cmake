@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_kernels.dir/fused_decode.cpp.o"
+  "CMakeFiles/turbo_kernels.dir/fused_decode.cpp.o.d"
+  "libturbo_kernels.a"
+  "libturbo_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvcache/decode_buffer.cpp" "src/kvcache/CMakeFiles/turbo_kvcache.dir/decode_buffer.cpp.o" "gcc" "src/kvcache/CMakeFiles/turbo_kvcache.dir/decode_buffer.cpp.o.d"
+  "/root/repo/src/kvcache/page_allocator.cpp" "src/kvcache/CMakeFiles/turbo_kvcache.dir/page_allocator.cpp.o" "gcc" "src/kvcache/CMakeFiles/turbo_kvcache.dir/page_allocator.cpp.o.d"
+  "/root/repo/src/kvcache/paged_cache.cpp" "src/kvcache/CMakeFiles/turbo_kvcache.dir/paged_cache.cpp.o" "gcc" "src/kvcache/CMakeFiles/turbo_kvcache.dir/paged_cache.cpp.o.d"
+  "/root/repo/src/kvcache/quantized_kv_cache.cpp" "src/kvcache/CMakeFiles/turbo_kvcache.dir/quantized_kv_cache.cpp.o" "gcc" "src/kvcache/CMakeFiles/turbo_kvcache.dir/quantized_kv_cache.cpp.o.d"
+  "/root/repo/src/kvcache/serialization.cpp" "src/kvcache/CMakeFiles/turbo_kvcache.dir/serialization.cpp.o" "gcc" "src/kvcache/CMakeFiles/turbo_kvcache.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turbo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/turbo_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_kvcache.dir/decode_buffer.cpp.o"
+  "CMakeFiles/turbo_kvcache.dir/decode_buffer.cpp.o.d"
+  "CMakeFiles/turbo_kvcache.dir/page_allocator.cpp.o"
+  "CMakeFiles/turbo_kvcache.dir/page_allocator.cpp.o.d"
+  "CMakeFiles/turbo_kvcache.dir/paged_cache.cpp.o"
+  "CMakeFiles/turbo_kvcache.dir/paged_cache.cpp.o.d"
+  "CMakeFiles/turbo_kvcache.dir/quantized_kv_cache.cpp.o"
+  "CMakeFiles/turbo_kvcache.dir/quantized_kv_cache.cpp.o.d"
+  "CMakeFiles/turbo_kvcache.dir/serialization.cpp.o"
+  "CMakeFiles/turbo_kvcache.dir/serialization.cpp.o.d"
+  "libturbo_kvcache.a"
+  "libturbo_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

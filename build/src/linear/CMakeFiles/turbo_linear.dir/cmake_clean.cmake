@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_linear.dir/quantized_linear.cpp.o"
+  "CMakeFiles/turbo_linear.dir/quantized_linear.cpp.o.d"
+  "libturbo_linear.a"
+  "libturbo_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

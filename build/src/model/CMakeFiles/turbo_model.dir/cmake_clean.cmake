@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_model.dir/deep.cpp.o"
+  "CMakeFiles/turbo_model.dir/deep.cpp.o.d"
+  "CMakeFiles/turbo_model.dir/generator.cpp.o"
+  "CMakeFiles/turbo_model.dir/generator.cpp.o.d"
+  "CMakeFiles/turbo_model.dir/pipeline.cpp.o"
+  "CMakeFiles/turbo_model.dir/pipeline.cpp.o.d"
+  "CMakeFiles/turbo_model.dir/profile.cpp.o"
+  "CMakeFiles/turbo_model.dir/profile.cpp.o.d"
+  "libturbo_model.a"
+  "libturbo_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/asymmetric.cpp" "src/quant/CMakeFiles/turbo_quant.dir/asymmetric.cpp.o" "gcc" "src/quant/CMakeFiles/turbo_quant.dir/asymmetric.cpp.o.d"
+  "/root/repo/src/quant/error.cpp" "src/quant/CMakeFiles/turbo_quant.dir/error.cpp.o" "gcc" "src/quant/CMakeFiles/turbo_quant.dir/error.cpp.o.d"
+  "/root/repo/src/quant/packing.cpp" "src/quant/CMakeFiles/turbo_quant.dir/packing.cpp.o" "gcc" "src/quant/CMakeFiles/turbo_quant.dir/packing.cpp.o.d"
+  "/root/repo/src/quant/progressive.cpp" "src/quant/CMakeFiles/turbo_quant.dir/progressive.cpp.o" "gcc" "src/quant/CMakeFiles/turbo_quant.dir/progressive.cpp.o.d"
+  "/root/repo/src/quant/symmetric.cpp" "src/quant/CMakeFiles/turbo_quant.dir/symmetric.cpp.o" "gcc" "src/quant/CMakeFiles/turbo_quant.dir/symmetric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turbo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_quant.dir/asymmetric.cpp.o"
+  "CMakeFiles/turbo_quant.dir/asymmetric.cpp.o.d"
+  "CMakeFiles/turbo_quant.dir/error.cpp.o"
+  "CMakeFiles/turbo_quant.dir/error.cpp.o.d"
+  "CMakeFiles/turbo_quant.dir/packing.cpp.o"
+  "CMakeFiles/turbo_quant.dir/packing.cpp.o.d"
+  "CMakeFiles/turbo_quant.dir/progressive.cpp.o"
+  "CMakeFiles/turbo_quant.dir/progressive.cpp.o.d"
+  "CMakeFiles/turbo_quant.dir/symmetric.cpp.o"
+  "CMakeFiles/turbo_quant.dir/symmetric.cpp.o.d"
+  "libturbo_quant.a"
+  "libturbo_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

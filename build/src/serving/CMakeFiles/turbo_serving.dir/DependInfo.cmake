@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/engine.cpp" "src/serving/CMakeFiles/turbo_serving.dir/engine.cpp.o" "gcc" "src/serving/CMakeFiles/turbo_serving.dir/engine.cpp.o.d"
+  "/root/repo/src/serving/metrics.cpp" "src/serving/CMakeFiles/turbo_serving.dir/metrics.cpp.o" "gcc" "src/serving/CMakeFiles/turbo_serving.dir/metrics.cpp.o.d"
+  "/root/repo/src/serving/trace.cpp" "src/serving/CMakeFiles/turbo_serving.dir/trace.cpp.o" "gcc" "src/serving/CMakeFiles/turbo_serving.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turbo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/turbo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/turbo_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

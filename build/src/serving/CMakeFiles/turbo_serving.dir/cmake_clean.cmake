@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_serving.dir/engine.cpp.o"
+  "CMakeFiles/turbo_serving.dir/engine.cpp.o.d"
+  "CMakeFiles/turbo_serving.dir/metrics.cpp.o"
+  "CMakeFiles/turbo_serving.dir/metrics.cpp.o.d"
+  "CMakeFiles/turbo_serving.dir/trace.cpp.o"
+  "CMakeFiles/turbo_serving.dir/trace.cpp.o.d"
+  "libturbo_serving.a"
+  "libturbo_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

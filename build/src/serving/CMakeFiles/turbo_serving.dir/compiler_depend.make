@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for turbo_serving.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attention_model.cpp" "src/sim/CMakeFiles/turbo_sim.dir/attention_model.cpp.o" "gcc" "src/sim/CMakeFiles/turbo_sim.dir/attention_model.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/turbo_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/turbo_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/e2e_model.cpp" "src/sim/CMakeFiles/turbo_sim.dir/e2e_model.cpp.o" "gcc" "src/sim/CMakeFiles/turbo_sim.dir/e2e_model.cpp.o.d"
+  "/root/repo/src/sim/kernel_model.cpp" "src/sim/CMakeFiles/turbo_sim.dir/kernel_model.cpp.o" "gcc" "src/sim/CMakeFiles/turbo_sim.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/sim/parallel.cpp" "src/sim/CMakeFiles/turbo_sim.dir/parallel.cpp.o" "gcc" "src/sim/CMakeFiles/turbo_sim.dir/parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turbo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/turbo_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

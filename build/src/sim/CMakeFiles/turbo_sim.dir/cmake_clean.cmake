@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_sim.dir/attention_model.cpp.o"
+  "CMakeFiles/turbo_sim.dir/attention_model.cpp.o.d"
+  "CMakeFiles/turbo_sim.dir/device.cpp.o"
+  "CMakeFiles/turbo_sim.dir/device.cpp.o.d"
+  "CMakeFiles/turbo_sim.dir/e2e_model.cpp.o"
+  "CMakeFiles/turbo_sim.dir/e2e_model.cpp.o.d"
+  "CMakeFiles/turbo_sim.dir/kernel_model.cpp.o"
+  "CMakeFiles/turbo_sim.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/turbo_sim.dir/parallel.cpp.o"
+  "CMakeFiles/turbo_sim.dir/parallel.cpp.o.d"
+  "libturbo_sim.a"
+  "libturbo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

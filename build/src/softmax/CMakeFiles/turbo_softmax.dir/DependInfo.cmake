@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softmax/online_softmax.cpp" "src/softmax/CMakeFiles/turbo_softmax.dir/online_softmax.cpp.o" "gcc" "src/softmax/CMakeFiles/turbo_softmax.dir/online_softmax.cpp.o.d"
+  "/root/repo/src/softmax/sas.cpp" "src/softmax/CMakeFiles/turbo_softmax.dir/sas.cpp.o" "gcc" "src/softmax/CMakeFiles/turbo_softmax.dir/sas.cpp.o.d"
+  "/root/repo/src/softmax/softmax.cpp" "src/softmax/CMakeFiles/turbo_softmax.dir/softmax.cpp.o" "gcc" "src/softmax/CMakeFiles/turbo_softmax.dir/softmax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turbo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

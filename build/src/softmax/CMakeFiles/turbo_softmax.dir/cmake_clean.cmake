@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_softmax.dir/online_softmax.cpp.o"
+  "CMakeFiles/turbo_softmax.dir/online_softmax.cpp.o.d"
+  "CMakeFiles/turbo_softmax.dir/sas.cpp.o"
+  "CMakeFiles/turbo_softmax.dir/sas.cpp.o.d"
+  "CMakeFiles/turbo_softmax.dir/softmax.cpp.o"
+  "CMakeFiles/turbo_softmax.dir/softmax.cpp.o.d"
+  "libturbo_softmax.a"
+  "libturbo_softmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

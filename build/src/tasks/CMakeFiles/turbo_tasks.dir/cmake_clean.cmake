@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_tasks.dir/codebook.cpp.o"
+  "CMakeFiles/turbo_tasks.dir/codebook.cpp.o.d"
+  "CMakeFiles/turbo_tasks.dir/retrieval.cpp.o"
+  "CMakeFiles/turbo_tasks.dir/retrieval.cpp.o.d"
+  "libturbo_tasks.a"
+  "libturbo_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_quant_test.dir/asymmetric_quant_test.cpp.o"
+  "CMakeFiles/asymmetric_quant_test.dir/asymmetric_quant_test.cpp.o.d"
+  "asymmetric_quant_test"
+  "asymmetric_quant_test.pdb"
+  "asymmetric_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_property_test.dir/attention_property_test.cpp.o"
+  "CMakeFiles/attention_property_test.dir/attention_property_test.cpp.o.d"
+  "attention_property_test"
+  "attention_property_test.pdb"
+  "attention_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_buffer_test.dir/decode_buffer_test.cpp.o"
+  "CMakeFiles/decode_buffer_test.dir/decode_buffer_test.cpp.o.d"
+  "decode_buffer_test"
+  "decode_buffer_test.pdb"
+  "decode_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

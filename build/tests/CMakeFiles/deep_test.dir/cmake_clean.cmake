@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_test.dir/deep_test.cpp.o"
+  "CMakeFiles/deep_test.dir/deep_test.cpp.o.d"
+  "deep_test"
+  "deep_test.pdb"
+  "deep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_attention_test.dir/flash_attention_test.cpp.o"
+  "CMakeFiles/flash_attention_test.dir/flash_attention_test.cpp.o.d"
+  "flash_attention_test"
+  "flash_attention_test.pdb"
+  "flash_attention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

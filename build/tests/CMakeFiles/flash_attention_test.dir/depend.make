@@ -1,0 +1,2 @@
+# Empty dependencies file for flash_attention_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp16_test.dir/fp16_test.cpp.o"
+  "CMakeFiles/fp16_test.dir/fp16_test.cpp.o.d"
+  "fp16_test"
+  "fp16_test.pdb"
+  "fp16_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_decode_test.dir/fused_decode_test.cpp.o"
+  "CMakeFiles/fused_decode_test.dir/fused_decode_test.cpp.o.d"
+  "fused_decode_test"
+  "fused_decode_test.pdb"
+  "fused_decode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_decode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gear_test.dir/gear_test.cpp.o"
+  "CMakeFiles/gear_test.dir/gear_test.cpp.o.d"
+  "gear_test"
+  "gear_test.pdb"
+  "gear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqa_test.dir/gqa_test.cpp.o"
+  "CMakeFiles/gqa_test.dir/gqa_test.cpp.o.d"
+  "gqa_test"
+  "gqa_test.pdb"
+  "gqa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headwise_test.dir/headwise_test.cpp.o"
+  "CMakeFiles/headwise_test.dir/headwise_test.cpp.o.d"
+  "headwise_test"
+  "headwise_test.pdb"
+  "headwise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivi_test.dir/kivi_test.cpp.o"
+  "CMakeFiles/kivi_test.dir/kivi_test.cpp.o.d"
+  "kivi_test"
+  "kivi_test.pdb"
+  "kivi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cache_test.dir/kv_cache_test.cpp.o"
+  "CMakeFiles/kv_cache_test.dir/kv_cache_test.cpp.o.d"
+  "kv_cache_test"
+  "kv_cache_test.pdb"
+  "kv_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

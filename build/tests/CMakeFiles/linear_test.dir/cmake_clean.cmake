@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_test.dir/linear_test.cpp.o"
+  "CMakeFiles/linear_test.dir/linear_test.cpp.o.d"
+  "linear_test"
+  "linear_test.pdb"
+  "linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

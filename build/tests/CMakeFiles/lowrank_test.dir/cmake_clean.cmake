@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowrank_test.dir/lowrank_test.cpp.o"
+  "CMakeFiles/lowrank_test.dir/lowrank_test.cpp.o.d"
+  "lowrank_test"
+  "lowrank_test.pdb"
+  "lowrank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowrank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_integration_test.dir/method_integration_test.cpp.o"
+  "CMakeFiles/method_integration_test.dir/method_integration_test.cpp.o.d"
+  "method_integration_test"
+  "method_integration_test.pdb"
+  "method_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_softmax_test.dir/online_softmax_test.cpp.o"
+  "CMakeFiles/online_softmax_test.dir/online_softmax_test.cpp.o.d"
+  "online_softmax_test"
+  "online_softmax_test.pdb"
+  "online_softmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_softmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_cache_test.dir/paged_cache_test.cpp.o"
+  "CMakeFiles/paged_cache_test.dir/paged_cache_test.cpp.o.d"
+  "paged_cache_test"
+  "paged_cache_test.pdb"
+  "paged_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

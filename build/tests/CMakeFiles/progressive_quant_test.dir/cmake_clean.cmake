@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_quant_test.dir/progressive_quant_test.cpp.o"
+  "CMakeFiles/progressive_quant_test.dir/progressive_quant_test.cpp.o.d"
+  "progressive_quant_test"
+  "progressive_quant_test.pdb"
+  "progressive_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_attention_test.dir/reference_attention_test.cpp.o"
+  "CMakeFiles/reference_attention_test.dir/reference_attention_test.cpp.o.d"
+  "reference_attention_test"
+  "reference_attention_test.pdb"
+  "reference_attention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

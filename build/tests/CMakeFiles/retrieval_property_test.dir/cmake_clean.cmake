@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieval_property_test.dir/retrieval_property_test.cpp.o"
+  "CMakeFiles/retrieval_property_test.dir/retrieval_property_test.cpp.o.d"
+  "retrieval_property_test"
+  "retrieval_property_test.pdb"
+  "retrieval_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_test.dir/sas_test.cpp.o"
+  "CMakeFiles/sas_test.dir/sas_test.cpp.o.d"
+  "sas_test"
+  "sas_test.pdb"
+  "sas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

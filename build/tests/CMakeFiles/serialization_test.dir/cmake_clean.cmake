@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialization_test.dir/serialization_test.cpp.o"
+  "CMakeFiles/serialization_test.dir/serialization_test.cpp.o.d"
+  "serialization_test"
+  "serialization_test.pdb"
+  "serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_attention_test.dir/sim_attention_test.cpp.o"
+  "CMakeFiles/sim_attention_test.dir/sim_attention_test.cpp.o.d"
+  "sim_attention_test"
+  "sim_attention_test.pdb"
+  "sim_attention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_e2e_test.dir/sim_e2e_test.cpp.o"
+  "CMakeFiles/sim_e2e_test.dir/sim_e2e_test.cpp.o.d"
+  "sim_e2e_test"
+  "sim_e2e_test.pdb"
+  "sim_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

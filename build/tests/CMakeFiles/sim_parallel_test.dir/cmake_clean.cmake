@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_parallel_test.dir/sim_parallel_test.cpp.o"
+  "CMakeFiles/sim_parallel_test.dir/sim_parallel_test.cpp.o.d"
+  "sim_parallel_test"
+  "sim_parallel_test.pdb"
+  "sim_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

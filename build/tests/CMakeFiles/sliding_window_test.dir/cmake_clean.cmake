@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_window_test.dir/sliding_window_test.cpp.o"
+  "CMakeFiles/sliding_window_test.dir/sliding_window_test.cpp.o.d"
+  "sliding_window_test"
+  "sliding_window_test.pdb"
+  "sliding_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmax_test.dir/softmax_test.cpp.o"
+  "CMakeFiles/softmax_test.dir/softmax_test.cpp.o.d"
+  "softmax_test"
+  "softmax_test.pdb"
+  "softmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/stats_test.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/turbo_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/turbo_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/turbo_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/turbo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/turbo_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/turbo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/turbo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/attention/CMakeFiles/turbo_attention.dir/DependInfo.cmake"
+  "/root/repo/build/src/softmax/CMakeFiles/turbo_softmax.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/turbo_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/turbo_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/turbo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

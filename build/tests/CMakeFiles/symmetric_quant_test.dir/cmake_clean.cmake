@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetric_quant_test.dir/symmetric_quant_test.cpp.o"
+  "CMakeFiles/symmetric_quant_test.dir/symmetric_quant_test.cpp.o.d"
+  "symmetric_quant_test"
+  "symmetric_quant_test.pdb"
+  "symmetric_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetric_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_attention_test.dir/turbo_attention_test.cpp.o"
+  "CMakeFiles/turbo_attention_test.dir/turbo_attention_test.cpp.o.d"
+  "turbo_attention_test"
+  "turbo_attention_test.pdb"
+  "turbo_attention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

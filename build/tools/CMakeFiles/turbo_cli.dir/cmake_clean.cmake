@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_cli.dir/turbo_cli.cpp.o"
+  "CMakeFiles/turbo_cli.dir/turbo_cli.cpp.o.d"
+  "turbo_cli"
+  "turbo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
