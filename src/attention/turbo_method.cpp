@@ -28,6 +28,9 @@ TurboKvAttention::TurboKvAttention(std::size_t head_dim,
 MatrixF TurboKvAttention::prefill(const MatrixF& q, const MatrixF& k,
                                   const MatrixF& v) {
   TURBO_CHECK_MSG(token_count() == 0, "prefill must be the first call");
+  TURBO_CHECK(q.cols() == cache_.head_dim() && k.cols() == cache_.head_dim() &&
+              v.cols() == cache_.head_dim());
+  TURBO_CHECK(k.rows() == v.rows());
   if (!config_.use_flashq) {
     // SAS-only ablation: FP16 FlashAttention with the SAS exponential and
     // an FP16 (uncompressed) cache.
@@ -48,6 +51,8 @@ MatrixF TurboKvAttention::prefill(const MatrixF& q, const MatrixF& k,
 std::vector<float> TurboKvAttention::decode(std::span<const float> q,
                                             std::span<const float> k,
                                             std::span<const float> v) {
+  TURBO_CHECK(q.size() == cache_.head_dim() && k.size() == cache_.head_dim() &&
+              v.size() == cache_.head_dim());
   if (!config_.use_flashq) {
     std::vector<float> k16(k.begin(), k.end());
     std::vector<float> v16(v.begin(), v.end());
@@ -65,6 +70,7 @@ std::vector<float> TurboKvAttention::decode(std::span<const float> q,
 }
 
 std::vector<float> TurboKvAttention::attend(std::span<const float> q) {
+  TURBO_CHECK(q.size() == cache_.head_dim());
   if (!config_.use_flashq) {
     FlashOptions options;
     options.exp_fn = [this](float x) { return sas_.exp_neg(x); };

@@ -4,6 +4,7 @@
 
 #include "attention/turbo.h"
 #include "common/check.h"
+#include "common/numeric.h"
 #include "quant/symmetric.h"
 
 namespace turbo {
@@ -142,9 +143,7 @@ TurboPrefillResult turbo_attention_prefill(const MatrixF& q, const MatrixF& k,
       const float inv_p_scale = 1.0f / p_scale;
       for (std::size_t r = 0; r < q_rows; ++r) {
         for (std::size_t c = 0; c < k_rows; ++c) {
-          const float scaled = std::nearbyint(p_tile(r, c) * inv_p_scale);
-          p_q(r, c) =
-              static_cast<std::int8_t>(std::clamp(scaled, 0.0f, 127.0f));
+          p_q(r, c) = clamp_to_i8(p_tile(r, c) * inv_p_scale, 0, 127);
         }
       }
       const float o_scale = p_scale * v_tiles[j].scale;

@@ -14,6 +14,9 @@ Fp16FlashAttention::Fp16FlashAttention(std::size_t head_dim,
 MatrixF Fp16FlashAttention::prefill(const MatrixF& q, const MatrixF& k,
                                     const MatrixF& v) {
   TURBO_CHECK_MSG(k_.rows() == 0, "prefill must be the first call");
+  TURBO_CHECK(q.cols() == k_.cols() && k.cols() == k_.cols() &&
+              v.cols() == k_.cols());
+  TURBO_CHECK(k.rows() == v.rows());
   const FlashResult r = flash_attention(q, k, v, config_);
   k_ = k;
   v_ = v;
@@ -25,6 +28,8 @@ MatrixF Fp16FlashAttention::prefill(const MatrixF& q, const MatrixF& k,
 std::vector<float> Fp16FlashAttention::decode(std::span<const float> q,
                                               std::span<const float> k,
                                               std::span<const float> v) {
+  TURBO_CHECK(q.size() == k_.cols() && k.size() == k_.cols() &&
+              v.size() == k_.cols());
   std::vector<float> k16(k.begin(), k.end());
   std::vector<float> v16(v.begin(), v.end());
   round_span_to_fp16(k16);
@@ -37,6 +42,7 @@ std::vector<float> Fp16FlashAttention::decode(std::span<const float> q,
 }
 
 std::vector<float> Fp16FlashAttention::attend(std::span<const float> q) {
+  TURBO_CHECK(q.size() == k_.cols());
   FlashOptions options;
   options.kv_prerounded = true;
   return flash_decode(q, k_, v_, config_, options);
@@ -52,6 +58,9 @@ ExactAttention::ExactAttention(std::size_t head_dim, AttentionConfig config)
 MatrixF ExactAttention::prefill(const MatrixF& q, const MatrixF& k,
                                 const MatrixF& v) {
   TURBO_CHECK_MSG(k_.rows() == 0, "prefill must be the first call");
+  TURBO_CHECK(q.cols() == k_.cols() && k.cols() == k_.cols() &&
+              v.cols() == k_.cols());
+  TURBO_CHECK(k.rows() == v.rows());
   k_ = k;
   v_ = v;
   return reference_attention(q, k, v, config_);
@@ -60,12 +69,15 @@ MatrixF ExactAttention::prefill(const MatrixF& q, const MatrixF& k,
 std::vector<float> ExactAttention::decode(std::span<const float> q,
                                           std::span<const float> k,
                                           std::span<const float> v) {
+  TURBO_CHECK(q.size() == k_.cols() && k.size() == k_.cols() &&
+              v.size() == k_.cols());
   k_.append_row(k);
   v_.append_row(v);
   return reference_decode(q, k_, v_, config_);
 }
 
 std::vector<float> ExactAttention::attend(std::span<const float> q) {
+  TURBO_CHECK(q.size() == k_.cols());
   return reference_decode(q, k_, v_, config_);
 }
 

@@ -18,6 +18,9 @@ GearAttention::GearAttention(std::size_t head_dim, GearConfig config)
 MatrixF GearAttention::prefill(const MatrixF& q, const MatrixF& k,
                                const MatrixF& v) {
   TURBO_CHECK_MSG(k_all_.rows() == 0, "prefill must be the first call");
+  TURBO_CHECK(q.cols() == head_dim_ && k.cols() == head_dim_ &&
+              v.cols() == head_dim_);
+  TURBO_CHECK(k.rows() == v.rows());
   const FlashResult r = flash_attention(q, k, v, config_.attention);
   k_all_ = k;
   v_all_ = v;
@@ -30,6 +33,8 @@ MatrixF GearAttention::prefill(const MatrixF& q, const MatrixF& k,
 std::vector<float> GearAttention::decode(std::span<const float> q,
                                          std::span<const float> k,
                                          std::span<const float> v) {
+  TURBO_CHECK(q.size() == head_dim_ && k.size() == head_dim_ &&
+              v.size() == head_dim_);
   std::vector<float> k16(k.begin(), k.end());
   std::vector<float> v16(v.begin(), v.end());
   round_span_to_fp16(k16);
@@ -44,6 +49,7 @@ std::vector<float> GearAttention::decode(std::span<const float> q,
 }
 
 std::vector<float> GearAttention::attend(std::span<const float> q) {
+  TURBO_CHECK(q.size() == head_dim_);
   FlashOptions options;
   options.kv_prerounded = true;
   return flash_decode(q, k_all_, v_all_, config_.attention, options);

@@ -19,13 +19,17 @@ void orthonormalize_columns(MatrixF& q) {
   for (std::size_t j = 0; j < r; ++j) {
     for (std::size_t prev = 0; prev < j; ++prev) {
       double dot = 0.0;
-      for (std::size_t i = 0; i < m; ++i) dot += q(i, j) * q(i, prev);
+      for (std::size_t i = 0; i < m; ++i) {
+        dot += static_cast<double>(q(i, j)) * static_cast<double>(q(i, prev));
+      }
       for (std::size_t i = 0; i < m; ++i) {
         q(i, j) -= static_cast<float>(dot) * q(i, prev);
       }
     }
     double norm_sq = 0.0;
-    for (std::size_t i = 0; i < m; ++i) norm_sq += q(i, j) * q(i, j);
+    for (std::size_t i = 0; i < m; ++i) {
+      norm_sq += static_cast<double>(q(i, j)) * static_cast<double>(q(i, j));
+    }
     const double norm = std::sqrt(norm_sq);
     if (norm < 1e-12) {
       for (std::size_t i = 0; i < m; ++i) q(i, j) = 0.0f;

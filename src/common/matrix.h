@@ -55,8 +55,10 @@ class Matrix {
 
   // Copy a contiguous block of rows [row_begin, row_begin + n_rows) into a
   // new matrix. Tiling code uses this to materialize Q/K/V tiles.
+  // The bound is stated subtraction-side so a huge n_rows cannot wrap
+  // row_begin + n_rows around std::size_t and sneak past the check.
   Matrix block_rows(std::size_t row_begin, std::size_t n_rows) const {
-    TURBO_CHECK(row_begin + n_rows <= rows_);
+    TURBO_CHECK(row_begin <= rows_ && n_rows <= rows_ - row_begin);
     Matrix out(n_rows, cols_);
     for (std::size_t r = 0; r < n_rows; ++r) {
       auto src = row(row_begin + r);

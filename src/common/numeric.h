@@ -1,0 +1,113 @@
+// Checked numeric conversions for the quantization paths.
+//
+// TurboAttention's arithmetic lives in narrow integer types (INT8 tiles,
+// INT4/INT2 codes, int8 scales and zero-points), where a bare
+// static_cast<> silently truncates anything out of range. Every narrowing
+// conversion in the library goes through the helpers here instead, so the
+// clamp semantics are explicit and `tools/turbo_lint` can forbid unchecked
+// casts everywhere else (rule: no `static_cast<std::int8_t>` outside this
+// file — see docs/STATIC_ANALYSIS.md).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace turbo {
+
+// Saturating conversion between arithmetic types: values outside the
+// destination's representable range clamp to the nearest bound instead of
+// wrapping (unsigned), truncating (signed narrowing, implementation-defined
+// pre-C++20, silent always) or invoking UB (float -> int out of range).
+template <typename To, typename From>
+constexpr To saturate_cast(From value) {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>,
+                "saturate_cast requires arithmetic types");
+  if constexpr (std::is_floating_point_v<From> && std::is_integral_v<To>) {
+    // Compare in the float domain; casting an out-of-range float to an
+    // integer type is undefined behaviour, so clamp first. NaN (the only
+    // value where v != v) maps to zero rather than UB.
+    if (value != value) return To{0};
+    const From lo = static_cast<From>(std::numeric_limits<To>::min());
+    const From hi = static_cast<From>(std::numeric_limits<To>::max());
+    if (value <= lo) return std::numeric_limits<To>::min();
+    if (value >= hi) return std::numeric_limits<To>::max();
+    return static_cast<To>(value);
+  } else if constexpr (std::is_integral_v<From> && std::is_integral_v<To>) {
+    using Wide = std::common_type_t<From, To, std::int64_t>;
+    const Wide v = static_cast<Wide>(value);
+    const Wide lo = static_cast<Wide>(std::numeric_limits<To>::min());
+    const Wide hi = static_cast<Wide>(std::numeric_limits<To>::max());
+    if constexpr (std::is_signed_v<From> && std::is_unsigned_v<To>) {
+      if (value < From{0}) return To{0};
+    }
+    if constexpr (std::is_unsigned_v<From> && std::is_signed_v<To>) {
+      if (static_cast<std::uint64_t>(value) >
+          static_cast<std::uint64_t>(std::numeric_limits<To>::max())) {
+        return std::numeric_limits<To>::max();
+      }
+      return static_cast<To>(value);
+    }
+    if (v < lo) return std::numeric_limits<To>::min();
+    if (v > hi) return std::numeric_limits<To>::max();
+    return static_cast<To>(value);
+  } else {
+    return static_cast<To>(value);
+  }
+}
+
+// Deliberate modular truncation to one byte: keep the low 8 bits, discard
+// the rest. This is for bit-packing code where the discarded high bits are
+// intentionally routed to the next byte — NOT a range clamp. Anywhere a
+// value is supposed to fit, use saturate_cast or clamp_to_i8 instead.
+template <typename T>
+constexpr std::uint8_t trunc_to_u8(T v) {
+  static_assert(std::is_integral_v<T>, "trunc_to_u8 requires an integer");
+  return static_cast<std::uint8_t>(
+      static_cast<std::make_unsigned_t<T>>(v) & 0xFFu);
+}
+
+// Clamp an integer into the symmetric INT8 lattice [-127, 127] used by the
+// first quantization stage (the -128 code is never produced; symmetric
+// quantization keeps the grid sign-balanced).
+constexpr std::int8_t clamp_to_i8(std::int32_t v) {
+  if (v < -127) return static_cast<std::int8_t>(-127);
+  if (v > 127) return static_cast<std::int8_t>(127);
+  return static_cast<std::int8_t>(v);
+}
+
+// Round-to-nearest-even then clamp into [-127, 127]. This is the inner step
+// of symmetric INT8 quantization: q = clamp(round(x / s)). NaN maps to 0 so
+// a poisoned activation quantizes to the zero code instead of UB.
+inline std::int8_t clamp_to_i8(float x) {
+  if (std::isnan(x)) return static_cast<std::int8_t>(0);
+  const float r = std::nearbyint(x);
+  if (r <= -127.0f) return static_cast<std::int8_t>(-127);
+  if (r >= 127.0f) return static_cast<std::int8_t>(127);
+  return static_cast<std::int8_t>(r);
+}
+
+// Round-to-nearest-even then clamp into [lo, hi] (both within int8 range).
+// Used where the valid code range is narrower than the full lattice, e.g.
+// non-negative softmax probabilities quantized into [0, 127].
+inline std::int8_t clamp_to_i8(float x, std::int32_t lo, std::int32_t hi) {
+  TURBO_DCHECK(-128 <= lo && lo <= hi && hi <= 127);
+  if (std::isnan(x)) return clamp_to_i8(lo > 0 ? lo : (hi < 0 ? hi : 0));
+  const float r = std::nearbyint(x);
+  if (r <= static_cast<float>(lo)) return clamp_to_i8(lo);
+  if (r >= static_cast<float>(hi)) return clamp_to_i8(hi);
+  return static_cast<std::int8_t>(r);
+}
+
+}  // namespace turbo
+
+// Check that a floating-point expression is finite (not NaN / not ±inf).
+// Scale computations divide by data-dependent maxima; a non-finite scale
+// silently corrupts every code in the tile, so public quantization entry
+// points assert finiteness at the boundary.
+#define TURBO_CHECK_FINITE(x)                                         \
+  TURBO_CHECK_MSG(std::isfinite(static_cast<double>(x)),              \
+                  #x " must be finite, got " << (x))

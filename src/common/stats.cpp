@@ -20,7 +20,7 @@ MinMax min_max(std::span<const float> values) {
 double mean(std::span<const float> values) {
   if (values.empty()) return 0.0;
   double sum = 0.0;
-  for (float v : values) sum += v;
+  for (float v : values) sum += static_cast<double>(v);
   return sum / static_cast<double>(values.size());
 }
 
@@ -29,7 +29,7 @@ double stddev(std::span<const float> values) {
   const double m = mean(values);
   double acc = 0.0;
   for (float v : values) {
-    const double d = v - m;
+    const double d = static_cast<double>(v) - m;
     acc += d * d;
   }
   return std::sqrt(acc / static_cast<double>(values.size()));
@@ -44,7 +44,9 @@ double percentile(std::span<const float> values, double p) {
   const std::size_t lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  return static_cast<double>(sorted[lo]) +
+         frac * (static_cast<double>(sorted[hi]) -
+                 static_cast<double>(sorted[lo]));
 }
 
 double mse(std::span<const float> a, std::span<const float> b) {
@@ -106,9 +108,9 @@ double histogram_entropy(std::span<const float> values, std::size_t bins) {
   const MinMax mm = min_max(values);
   if (mm.gap() == 0.0f) return 0.0;
   std::vector<std::size_t> counts(bins, 0);
-  const double width = static_cast<double>(mm.gap()) / bins;
+  const double width = static_cast<double>(mm.gap()) / static_cast<double>(bins);
   for (float v : values) {
-    auto idx = static_cast<std::size_t>((v - mm.min) / width);
+    auto idx = static_cast<std::size_t>(static_cast<double>(v - mm.min) / width);
     counts[std::min(idx, bins - 1)]++;
   }
   double h = 0.0;

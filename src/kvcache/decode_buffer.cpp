@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace turbo {
 
@@ -33,7 +34,7 @@ void DecodeBuffer::push(std::span<const float> token) {
   for (std::size_t i = 0; i < dim_; ++i) {
     const float scaled = std::nearbyint(token[i] * inv);
     if (scaled > 127.0f || scaled < -127.0f) clamped = true;
-    q[i] = static_cast<std::int8_t>(std::clamp(scaled, -127.0f, 127.0f));
+    q[i] = clamp_to_i8(scaled);
   }
   if (clamped) ++clamped_tokens_;
   tokens_.append_row(std::span<const std::int8_t>(q));

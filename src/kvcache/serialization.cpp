@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace turbo {
 
@@ -37,15 +38,17 @@ class Reader {
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    TURBO_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(),
+    TURBO_CHECK_MSG(sizeof(T) <= bytes_.size() - pos_,
                     "truncated KV-cache stream");
     T value;
     std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return value;
   }
+  // Stated subtraction-side: a length field near SIZE_MAX (corrupt or
+  // hostile stream) must not wrap pos_ + n around and pass the bound.
   std::span<const std::uint8_t> get_bytes(std::size_t n) {
-    TURBO_CHECK_MSG(pos_ + n <= bytes_.size(), "truncated KV-cache stream");
+    TURBO_CHECK_MSG(n <= bytes_.size() - pos_, "truncated KV-cache stream");
     auto out = bytes_.subspan(pos_, n);
     pos_ += n;
     return out;
@@ -60,7 +63,7 @@ class Reader {
 void write_progressive(Writer& w, const ProgressiveBlock& b) {
   w.put<std::uint32_t>(static_cast<std::uint32_t>(b.rows));
   w.put<std::uint32_t>(static_cast<std::uint32_t>(b.cols));
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(bit_count(b.bits)));
+  w.put<std::uint8_t>(saturate_cast<std::uint8_t>(bit_count(b.bits)));
   w.put<float>(b.fp_scale);
   w.put<std::uint32_t>(static_cast<std::uint32_t>(b.channels.size()));
   for (const ChannelParams& c : b.channels) {
@@ -109,7 +112,7 @@ std::vector<std::uint8_t> serialize_cache(const QuantizedKvCache& cache) {
   w.put<std::uint32_t>(kMagic);
   w.put<std::uint32_t>(kVersion);
   w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.head_dim()));
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(bit_count(cache.bits())));
+  w.put<std::uint8_t>(saturate_cast<std::uint8_t>(bit_count(cache.bits())));
   w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.block_tokens()));
   w.put<std::uint32_t>(
       static_cast<std::uint32_t>(cache.key_buffer().capacity()));

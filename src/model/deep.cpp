@@ -22,7 +22,7 @@ void rms_normalize(MatrixF& x) {
   for (std::size_t r = 0; r < x.rows(); ++r) {
     auto row = x.row(r);
     double ms = 0.0;
-    for (float v : row) ms += static_cast<double>(v) * v;
+    for (float v : row) ms += static_cast<double>(v) * static_cast<double>(v);
     ms /= static_cast<double>(row.size());
     const float inv = static_cast<float>(1.0 / std::sqrt(ms + 1e-9));
     for (float& v : row) v *= inv;

@@ -4,12 +4,15 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/numeric.h"
 #include "common/stats.h"
 
 namespace turbo {
 
 AsymParams asym_params(std::span<const float> values, BitWidth bits) {
   const MinMax mm = min_max(values);
+  TURBO_CHECK_FINITE(mm.min);
+  TURBO_CHECK_FINITE(mm.max);
   AsymParams p;
   p.zero = mm.min;
   const float gap = mm.gap();
@@ -25,7 +28,7 @@ void quantize_asym(std::span<const float> values, const AsymParams& p,
   const float hi = static_cast<float>(max_code(bits));
   for (std::size_t i = 0; i < values.size(); ++i) {
     const float q = std::nearbyint((values[i] - p.zero) * inv);
-    out[i] = static_cast<std::uint8_t>(std::clamp(q, 0.0f, hi));
+    out[i] = saturate_cast<std::uint8_t>(std::clamp(q, 0.0f, hi));
   }
 }
 

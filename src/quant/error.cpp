@@ -49,14 +49,14 @@ double channel_normalized_error(const MatrixF& original,
     double err_sq = 0.0;
     double mean = 0.0;
     for (std::size_t r = 0; r < original.rows(); ++r) {
-      mean += original(r, c);
+      mean += static_cast<double>(original(r, c));
     }
     mean /= static_cast<double>(original.rows());
     double var = 0.0;
     for (std::size_t r = 0; r < original.rows(); ++r) {
       const double d = original(r, c) - reconstructed(r, c);
       err_sq += d * d;
-      const double dv = original(r, c) - mean;
+      const double dv = static_cast<double>(original(r, c)) - mean;
       var += dv * dv;
     }
     if (var <= 0.0) continue;  // constant channel: exactly representable

@@ -1,0 +1,35 @@
+// turbo-lint: integer-kernel
+//
+// Second-stage decode, integer domain only (Algorithm 2, Step 2 of the
+// Figure 3 decode flow): q1 = clamp(q2 * s_int + z_int, -127, 127).
+//
+// This translation unit is tagged `integer-kernel`: tools/turbo_lint
+// rejects any floating-point arithmetic added here, because the whole
+// point of FlashQ's progressive scheme is that the decode path never
+// leaves integer registers. Keep FP (de)quantization in progressive.cpp.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/numeric.h"
+#include "quant/packing.h"
+#include "quant/progressive.h"
+
+namespace turbo {
+
+MatrixI8 progressive_decompress_int8(const ProgressiveBlock& block) {
+  MatrixI8 out(block.rows, block.cols);
+  const std::vector<std::uint8_t> codes =
+      unpack_codes(block.packed, block.bits, block.rows * block.cols);
+  for (std::size_t c = 0; c < block.cols; ++c) {
+    const int s = block.channels[c].s_int;
+    const int z = block.channels[c].z_int;
+    for (std::size_t r = 0; r < block.rows; ++r) {
+      const int q1 = static_cast<int>(codes[c * block.rows + r]) * s + z;
+      out(r, c) = clamp_to_i8(q1);
+    }
+  }
+  return out;
+}
+
+}  // namespace turbo

@@ -1,6 +1,8 @@
+// turbo-lint: integer-kernel
 #include "quant/packing.h"
 
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace turbo {
 
@@ -12,18 +14,17 @@ std::size_t packed_byte_count(std::size_t count, BitWidth bits) {
 std::vector<std::uint8_t> pack_codes(std::span<const std::uint8_t> codes,
                                      BitWidth bits) {
   const int b = bit_count(bits);
-  const std::uint8_t mask = static_cast<std::uint8_t>((1u << b) - 1u);
+  const std::uint8_t mask = trunc_to_u8((1u << static_cast<unsigned>(b)) - 1u);
   std::vector<std::uint8_t> out(packed_byte_count(codes.size(), bits), 0);
   std::size_t bitpos = 0;
   for (std::uint8_t code : codes) {
     TURBO_DCHECK((code & ~mask) == 0);
     const std::size_t byte = bitpos >> 3;
     const unsigned shift = bitpos & 7u;
-    out[byte] |= static_cast<std::uint8_t>((code & mask) << shift);
+    out[byte] |= trunc_to_u8((code & mask) << shift);
     // A code can straddle a byte boundary (3-bit case).
     if (shift + static_cast<unsigned>(b) > 8) {
-      out[byte + 1] |=
-          static_cast<std::uint8_t>((code & mask) >> (8 - shift));
+      out[byte + 1] |= trunc_to_u8((code & mask) >> (8 - shift));
     }
     bitpos += static_cast<std::size_t>(b);
   }
@@ -35,16 +36,16 @@ void unpack_codes(std::span<const std::uint8_t> packed, BitWidth bits,
   TURBO_CHECK(out.size() >= count);
   TURBO_CHECK(packed.size() >= packed_byte_count(count, bits));
   const int b = bit_count(bits);
-  const std::uint8_t mask = static_cast<std::uint8_t>((1u << b) - 1u);
+  const std::uint8_t mask = trunc_to_u8((1u << static_cast<unsigned>(b)) - 1u);
   std::size_t bitpos = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t byte = bitpos >> 3;
     const unsigned shift = bitpos & 7u;
-    unsigned v = packed[byte] >> shift;
+    unsigned v = static_cast<unsigned>(packed[byte]) >> shift;
     if (shift + static_cast<unsigned>(b) > 8) {
       v |= static_cast<unsigned>(packed[byte + 1]) << (8 - shift);
     }
-    out[i] = static_cast<std::uint8_t>(v & mask);
+    out[i] = trunc_to_u8(v & mask);
     bitpos += static_cast<std::size_t>(b);
   }
 }

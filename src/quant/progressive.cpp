@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace turbo {
 
@@ -12,6 +13,7 @@ ProgressiveBlock progressive_compress(const MatrixI8& q1, float fp_scale,
   TURBO_CHECK(bits == BitWidth::kInt2 || bits == BitWidth::kInt3 ||
               bits == BitWidth::kInt4);
   TURBO_CHECK(q1.rows() > 0 && q1.cols() > 0);
+  TURBO_CHECK_FINITE(fp_scale);
 
   ProgressiveBlock block;
   block.rows = q1.rows();
@@ -38,35 +40,22 @@ ProgressiveBlock progressive_compress(const MatrixI8& q1, float fp_scale,
     // precision loss a ceil() scale would impose on every element.
     const int s_int = std::max(1, (2 * gap + codes_hi) / (2 * codes_hi));
     TURBO_DCHECK(s_int <= 127);
-    block.channels[c].s_int = static_cast<std::int8_t>(s_int);
-    block.channels[c].z_int = static_cast<std::int8_t>(lo);
+    block.channels[c].s_int = clamp_to_i8(s_int);
+    block.channels[c].z_int = clamp_to_i8(lo);
 
     for (std::size_t r = 0; r < q1.rows(); ++r) {
       // Integer round-to-nearest of (q1 - z) / s: add s/2 before dividing.
       const int num = q1(r, c) - lo;
       const int q2 = std::clamp((num + s_int / 2) / s_int, 0, codes_hi);
-      codes[c * q1.rows() + r] = static_cast<std::uint8_t>(q2);
+      codes[c * q1.rows() + r] = saturate_cast<std::uint8_t>(q2);
     }
   }
   block.packed = pack_codes(codes, bits);
   return block;
 }
 
-MatrixI8 progressive_decompress_int8(const ProgressiveBlock& block) {
-  MatrixI8 out(block.rows, block.cols);
-  const std::vector<std::uint8_t> codes =
-      unpack_codes(block.packed, block.bits, block.rows * block.cols);
-  for (std::size_t c = 0; c < block.cols; ++c) {
-    const int s = block.channels[c].s_int;
-    const int z = block.channels[c].z_int;
-    for (std::size_t r = 0; r < block.rows; ++r) {
-      const int q1 =
-          static_cast<int>(codes[c * block.rows + r]) * s + z;
-      out(r, c) = static_cast<std::int8_t>(std::clamp(q1, -127, 127));
-    }
-  }
-  return out;
-}
+// progressive_decompress_int8 lives in int_decode.cpp (tagged
+// `integer-kernel` so turbo_lint keeps the decode path float-free).
 
 MatrixF progressive_decompress_float(const ProgressiveBlock& block) {
   const MatrixI8 q1 = progressive_decompress_int8(block);
@@ -113,7 +102,7 @@ FloatScaleBlock float_scale_compress(const MatrixI8& q1, float fp_scale,
     for (std::size_t r = 0; r < q1.rows(); ++r) {
       const float q = std::nearbyint(
           (static_cast<float>(q1(r, c)) - ch.zero) / ch.scale);
-      codes[c * q1.rows() + r] = static_cast<std::uint8_t>(
+      codes[c * q1.rows() + r] = saturate_cast<std::uint8_t>(
           std::clamp(q, 0.0f, static_cast<float>(codes_hi)));
     }
   }

@@ -4,23 +4,15 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace turbo {
-
-namespace {
-
-std::int8_t quantize_one(float x, float inv_scale) {
-  const float scaled = std::nearbyint(x * inv_scale);
-  const float clamped = std::clamp(scaled, -127.0f, 127.0f);
-  return static_cast<std::int8_t>(clamped);
-}
-
-}  // namespace
 
 float symmetric_scale_int8(std::span<const float> values, float headroom) {
   TURBO_CHECK(headroom > 0.0f);
   float amax = 0.0f;
   for (float v : values) amax = std::max(amax, std::abs(v));
+  TURBO_CHECK_FINITE(amax);
   if (amax == 0.0f) return 1.0f;  // arbitrary positive scale for zero input
   return amax / headroom;
 }
@@ -29,9 +21,10 @@ void quantize_symmetric_int8(std::span<const float> values, float scale,
                              std::span<std::int8_t> out) {
   TURBO_CHECK(values.size() == out.size());
   TURBO_CHECK(scale > 0.0f);
+  TURBO_CHECK_FINITE(scale);
   const float inv = 1.0f / scale;
   for (std::size_t i = 0; i < values.size(); ++i) {
-    out[i] = quantize_one(values[i], inv);
+    out[i] = clamp_to_i8(values[i] * inv);
   }
 }
 

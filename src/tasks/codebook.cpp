@@ -18,7 +18,7 @@ Codebook::Codebook(std::size_t n_symbols, std::size_t dim,
     double norm_sq = 0.0;
     for (float& v : row) {
       v = static_cast<float>(rng.normal());
-      norm_sq += v * v;
+      norm_sq += static_cast<double>(v) * static_cast<double>(v);
     }
     const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
     for (float& v : row) v *= inv;
@@ -36,9 +36,10 @@ double Codebook::distance_sq(std::span<const float> v, std::size_t symbol,
   auto e = embeddings_.row(symbol);
   double acc = 0.0;
   for (std::size_t c = 0; c < v.size(); ++c) {
-    const double scaled =
-        channel_scale.empty() ? e[c] : e[c] * channel_scale[c];
-    const double d = v[c] - scaled;
+    const double scaled = channel_scale.empty()
+                              ? static_cast<double>(e[c])
+                              : static_cast<double>(e[c] * channel_scale[c]);
+    const double d = static_cast<double>(v[c]) - scaled;
     acc += d * d;
   }
   return acc;

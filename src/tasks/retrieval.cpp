@@ -23,7 +23,7 @@ std::vector<float> scaled_unit(Rng& rng, std::span<const float> scales) {
   double norm_sq = 0.0;
   for (std::size_t c = 0; c < v.size(); ++c) {
     v[c] = static_cast<float>(rng.normal()) * scales[c];
-    norm_sq += static_cast<double>(v[c]) * v[c];
+    norm_sq += static_cast<double>(v[c]) * static_cast<double>(v[c]);
   }
   const float inv = static_cast<float>(1.0 / std::sqrt(std::max(norm_sq, 1e-30)));
   for (float& x : v) x *= inv;
@@ -35,8 +35,9 @@ std::vector<float> mix_directions(std::span<const float> a, double wa,
   std::vector<float> v(a.size());
   double norm_sq = 0.0;
   for (std::size_t c = 0; c < a.size(); ++c) {
-    v[c] = static_cast<float>(wa * a[c] + wb * b[c]);
-    norm_sq += static_cast<double>(v[c]) * v[c];
+    v[c] = static_cast<float>(wa * static_cast<double>(a[c]) +
+                              wb * static_cast<double>(b[c]));
+    norm_sq += static_cast<double>(v[c]) * static_cast<double>(v[c]);
   }
   const float inv = static_cast<float>(1.0 / std::sqrt(std::max(norm_sq, 1e-30)));
   for (float& x : v) x *= inv;
@@ -158,12 +159,12 @@ CaseData build_case(const RetrievalConfig& cfg,
     if (cfg.input_noise > 0.0) {
       // Upstream quantization noise: perturb the cached K/V the way W8A8 /
       // W4A8 linear quantization perturbs projection outputs.
-      const float kappa = static_cast<float>(
-          std::sqrt(cfg.key_sharpness) *
-          std::pow(static_cast<double>(d), 0.25));
+      const double noise_kappa = std::sqrt(cfg.key_sharpness) *
+                                 std::pow(static_cast<double>(d), 0.25);
       for (float& x : hc.k.flat()) {
-        x += static_cast<float>(rng.normal(0.0, cfg.input_noise * kappa /
-                                                    std::sqrt(double(d))));
+        x += static_cast<float>(rng.normal(
+            0.0, cfg.input_noise * noise_kappa /
+                     std::sqrt(static_cast<double>(d))));
       }
       for (float& x : hc.v.flat()) {
         x += static_cast<float>(rng.normal(0.0, cfg.input_noise));

@@ -1,0 +1,348 @@
+// Boundary-value tests for the checked-conversion helpers and the
+// invariants the correctness-tooling layer enforces: INT8 headroom
+// quantization at exactly +-119, progressive INT4/INT2 zero-point
+// boundaries, empty / zero-row Matrix slicing, TURBO_CHECK failure
+// messages, and rejection of corrupt serialized KV-cache streams.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/matrix.h"
+#include "common/numeric.h"
+#include "common/rng.h"
+#include "kvcache/serialization.h"
+#include "quant/progressive.h"
+#include "quant/symmetric.h"
+
+namespace turbo {
+namespace {
+
+// ---- saturate_cast ------------------------------------------------------
+
+TEST(SaturateCast, FloatToIntClampsOutOfRange) {
+  EXPECT_EQ(saturate_cast<std::int8_t>(200.0f), 127);
+  EXPECT_EQ(saturate_cast<std::int8_t>(-200.0f), -128);
+  EXPECT_EQ(saturate_cast<std::uint8_t>(300.0f), 255);
+  EXPECT_EQ(saturate_cast<std::uint8_t>(-1.0f), 0);
+  EXPECT_EQ(saturate_cast<std::int8_t>(42.0f), 42);
+}
+
+TEST(SaturateCast, FloatSpecialValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(saturate_cast<std::int8_t>(inf), 127);
+  EXPECT_EQ(saturate_cast<std::int8_t>(-inf), -128);
+  EXPECT_EQ(saturate_cast<std::uint8_t>(inf), 255);
+  // NaN maps to zero rather than invoking the UB of a bare cast.
+  EXPECT_EQ(saturate_cast<std::int8_t>(nan), 0);
+  EXPECT_EQ(saturate_cast<std::uint8_t>(nan), 0);
+}
+
+TEST(SaturateCast, IntToIntClamps) {
+  EXPECT_EQ(saturate_cast<std::uint8_t>(-5), 0);
+  EXPECT_EQ(saturate_cast<std::uint8_t>(256), 255);
+  EXPECT_EQ(saturate_cast<std::int8_t>(1000), 127);
+  EXPECT_EQ(saturate_cast<std::int8_t>(-1000), -128);
+  EXPECT_EQ(saturate_cast<std::int8_t>(std::uint64_t{1} << 40), 127);
+  EXPECT_EQ(saturate_cast<std::uint8_t>(std::int64_t{-1}), 0);
+  EXPECT_EQ(saturate_cast<std::int32_t>(std::int8_t{-7}), -7);
+}
+
+TEST(TruncToU8, IsModularNotSaturating) {
+  // Bit-packing relies on modular truncation: high bits are routed to the
+  // next byte, so 0x1FF must become 0xFF, not clamp.
+  EXPECT_EQ(trunc_to_u8(0x1FF), 0xFF);
+  EXPECT_EQ(trunc_to_u8(256), 0x00);
+  EXPECT_EQ(trunc_to_u8(-1), 0xFF);
+  EXPECT_EQ(trunc_to_u8(0x1234), 0x34);
+}
+
+TEST(ClampToI8, IntOverload) {
+  EXPECT_EQ(clamp_to_i8(0), 0);
+  EXPECT_EQ(clamp_to_i8(127), 127);
+  EXPECT_EQ(clamp_to_i8(128), 127);
+  EXPECT_EQ(clamp_to_i8(-127), -127);
+  // -128 is representable in int8 but excluded from the symmetric lattice.
+  EXPECT_EQ(clamp_to_i8(-128), -127);
+  EXPECT_EQ(clamp_to_i8(std::numeric_limits<std::int32_t>::min()), -127);
+}
+
+TEST(ClampToI8, FloatOverloadRoundsThenClamps) {
+  EXPECT_EQ(clamp_to_i8(3.4f), 3);
+  EXPECT_EQ(clamp_to_i8(-3.6f), -4);
+  EXPECT_EQ(clamp_to_i8(126.6f), 127);
+  EXPECT_EQ(clamp_to_i8(500.0f), 127);
+  EXPECT_EQ(clamp_to_i8(-500.0f), -127);
+  EXPECT_EQ(clamp_to_i8(std::numeric_limits<float>::quiet_NaN()), 0);
+}
+
+TEST(ClampToI8, RangeOverload) {
+  EXPECT_EQ(clamp_to_i8(-3.0f, 0, 127), 0);
+  EXPECT_EQ(clamp_to_i8(200.0f, 0, 127), 127);
+  EXPECT_EQ(clamp_to_i8(64.2f, 0, 127), 64);
+  // NaN lands on the in-range value closest to zero.
+  EXPECT_EQ(clamp_to_i8(std::numeric_limits<float>::quiet_NaN(), 5, 100), 5);
+  EXPECT_EQ(clamp_to_i8(std::numeric_limits<float>::quiet_NaN(), -100, -5),
+            -5);
+}
+
+// ---- INT8 headroom boundary (Algorithm 1) -------------------------------
+
+TEST(SymmetricHeadroom, TileMaximumQuantizesToExactly119) {
+  // scale = max|x| / 119, so the element realizing the maximum must land
+  // on the +-119 code exactly — that is the whole point of the headroom.
+  const std::vector<float> values = {0.5f, -8.0f, 3.25f, 8.0f, -1.0f};
+  const float scale = symmetric_scale_int8(values);
+  EXPECT_FLOAT_EQ(scale, 8.0f / kSymmetricHeadroom);
+
+  std::vector<std::int8_t> q(values.size());
+  quantize_symmetric_int8(values, scale, q);
+  EXPECT_EQ(q[1], -119);
+  EXPECT_EQ(q[3], 119);
+  for (const std::int8_t v : q) {
+    EXPECT_GE(v, -119);
+    EXPECT_LE(v, 119);
+  }
+}
+
+TEST(SymmetricHeadroom, UniversalScaleOutliersClampAt127) {
+  // Decode-time values quantized against an older ("universal") scale may
+  // exceed the tile maximum that chose it; they must saturate at +-127,
+  // never wrap.
+  MatrixF tile(1, 4);
+  tile(0, 0) = 8.0f;    // the value the scale was chosen for -> 119
+  tile(0, 1) = 8.6f;    // slightly above: uses the 119..127 headroom
+  tile(0, 2) = 80.0f;   // far outlier -> clamps to 127
+  tile(0, 3) = -80.0f;  // far outlier -> clamps to -127
+  const float scale = 8.0f / kSymmetricHeadroom;
+  const Int8Tile out = quantize_tile_int8_with_scale(tile, scale);
+  EXPECT_EQ(out.q(0, 0), 119);
+  EXPECT_GT(out.q(0, 1), 119);
+  EXPECT_LE(out.q(0, 1), 127);
+  EXPECT_EQ(out.q(0, 2), 127);
+  EXPECT_EQ(out.q(0, 3), -127);
+}
+
+// ---- progressive zero-point boundaries ----------------------------------
+
+class ProgressiveBoundary : public ::testing::TestWithParam<BitWidth> {};
+
+TEST_P(ProgressiveBoundary, FullRangeChannelKeepsEndpoints) {
+  // A channel spanning the whole symmetric lattice [-127, 127] stresses
+  // the integer scale and zero-point at their extremes: z_int = -127 and
+  // s_int = round(254 / max_code) must both stay within int8.
+  const BitWidth bits = GetParam();
+  MatrixI8 q1(2, 3);
+  for (std::size_t c = 0; c < q1.cols(); ++c) {
+    q1(0, c) = -127;
+    q1(1, c) = 127;
+  }
+  const ProgressiveBlock block = progressive_compress(q1, 0.05f, bits);
+  for (const ChannelParams& ch : block.channels) {
+    EXPECT_EQ(ch.z_int, -127);
+    EXPECT_GE(ch.s_int, 1);
+  }
+  const MatrixI8 back = progressive_decompress_int8(block);
+  for (std::size_t c = 0; c < q1.cols(); ++c) {
+    // Code 0 decodes to z_int exactly. The top code decodes to
+    // s_int * max_code + z_int; with s_int = round(gap / max_code) that
+    // lands within max_code/2 of the true maximum (above it when the
+    // scale rounds up — then the +-127 clamp recovers the endpoint
+    // exactly, as for INT2/INT4 — below it when it rounds down, as the
+    // INT3 scale 36 = round(254 / 7) does).
+    EXPECT_EQ(back(0, c), -127);
+    EXPECT_GE(back(1, c), 127 - max_code(bits) / 2);
+    EXPECT_LE(back(1, c), 127);
+  }
+}
+
+TEST_P(ProgressiveBoundary, ConstantChannelRoundTripsExactly) {
+  // Zero gap -> s_int = 1, z_int = the constant; every element decodes to
+  // itself regardless of bit width.
+  const BitWidth bits = GetParam();
+  MatrixI8 q1(4, 2);
+  q1.fill(std::int8_t{-42});
+  const ProgressiveBlock block = progressive_compress(q1, 1.0f, bits);
+  for (const ChannelParams& ch : block.channels) {
+    EXPECT_EQ(ch.s_int, 1);
+    EXPECT_EQ(ch.z_int, -42);
+  }
+  EXPECT_EQ(progressive_decompress_int8(block), q1);
+}
+
+TEST_P(ProgressiveBoundary, DecodedValuesStayOnSymmetricLattice) {
+  const BitWidth bits = GetParam();
+  MatrixI8 q1(16, 8);
+  Rng rng(7);
+  for (std::int8_t& v : q1.flat()) {
+    v = clamp_to_i8(static_cast<std::int32_t>(rng.uniform_index(255)) - 127);
+  }
+  const MatrixI8 back =
+      progressive_decompress_int8(progressive_compress(q1, 0.1f, bits));
+  for (const std::int8_t v : back.flat()) {
+    EXPECT_GE(v, -127);
+    EXPECT_LE(v, 127);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, ProgressiveBoundary,
+                         ::testing::Values(BitWidth::kInt2, BitWidth::kInt3,
+                                           BitWidth::kInt4));
+
+// ---- empty / zero-row Matrix slicing ------------------------------------
+
+TEST(MatrixBoundary, EmptyMatrixZeroRowSlices) {
+  MatrixF empty;
+  const MatrixF sliced = empty.block_rows(0, 0);
+  EXPECT_EQ(sliced.rows(), 0u);
+  EXPECT_TRUE(sliced.empty());
+  EXPECT_THROW(empty.block_rows(0, 1), CheckError);
+  EXPECT_THROW(empty.block_rows(1, 0), CheckError);
+}
+
+TEST(MatrixBoundary, ZeroRowSliceAtEveryPosition) {
+  MatrixF m(3, 4, 1.5f);
+  for (std::size_t begin = 0; begin <= m.rows(); ++begin) {
+    const MatrixF sliced = m.block_rows(begin, 0);
+    EXPECT_EQ(sliced.rows(), 0u);
+    EXPECT_EQ(sliced.cols(), 4u);
+  }
+  EXPECT_THROW(m.block_rows(4, 0), CheckError);
+}
+
+TEST(MatrixBoundary, HugeRowCountDoesNotWrapBoundsCheck) {
+  // Regression: with the check written as row_begin + n_rows <= rows_,
+  // n_rows near SIZE_MAX wraps std::size_t and sneaks past the bound.
+  MatrixF m(3, 4);
+  const std::size_t huge = std::numeric_limits<std::size_t>::max();
+  EXPECT_THROW(m.block_rows(0, huge), CheckError);
+  EXPECT_THROW(m.block_rows(2, huge - 1), CheckError);
+  EXPECT_THROW(m.block_rows(huge, 2), CheckError);
+}
+
+TEST(MatrixBoundary, AppendRowsHandlesEmptyOperands) {
+  MatrixF m;
+  MatrixF chunk(2, 3, 1.0f);
+  m.append_rows(MatrixF{});  // empty onto empty: still empty, no cols fixed
+  EXPECT_EQ(m.rows(), 0u);
+  m.append_rows(chunk);  // empty matrix adopts the operand's column count
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.append_rows(MatrixF(0, 3));  // zero-row operand is a no-op
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_THROW(m.append_rows(MatrixF(1, 5)), CheckError);
+}
+
+// ---- TURBO_CHECK failure messages ---------------------------------------
+
+TEST(CheckMessages, CheckCarriesExpressionAndLocation) {
+  try {
+    TURBO_CHECK(1 == 2);
+    FAIL() << "TURBO_CHECK(false) must throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("numeric_invariants_test.cpp"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckMessages, CheckMsgStreamsContext) {
+  try {
+    const int got = 41;
+    TURBO_CHECK_MSG(got == 42, "expected 42, got " << got);
+    FAIL() << "TURBO_CHECK_MSG(false, ...) must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 42, got 41"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckMessages, CheckFiniteRejectsNanAndInf) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(TURBO_CHECK_FINITE(inf), CheckError);
+  EXPECT_THROW(TURBO_CHECK_FINITE(nan), CheckError);
+  EXPECT_NO_THROW(TURBO_CHECK_FINITE(1.0f));
+  try {
+    TURBO_CHECK_FINITE(-inf);
+    FAIL() << "TURBO_CHECK_FINITE(-inf) must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("must be finite"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- corrupt serialized streams -----------------------------------------
+
+QuantizedKvCache small_cache() {
+  const std::size_t d = 8;
+  QuantizedKvCache cache(d, BitWidth::kInt4, 16, 16);
+  Rng rng(11);
+  for (int t = 0; t < 5; ++t) {
+    std::vector<float> kt(d);
+    std::vector<float> vt(d);
+    rng.fill_normal(kt, 0.0, 1.0);
+    rng.fill_normal(vt, 0.0, 1.0);
+    cache.append_token(kt, vt);
+  }
+  return cache;
+}
+
+TEST(CorruptStream, TruncatedStreamThrows) {
+  std::vector<std::uint8_t> bytes = serialize_cache(small_cache());
+  ASSERT_NO_THROW(deserialize_cache(bytes));
+  for (const std::size_t keep : {bytes.size() / 2, bytes.size() - 1,
+                                 std::size_t{5}, std::size_t{0}}) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<std::ptrdiff_t>(
+                                                      keep));
+    EXPECT_THROW(deserialize_cache(cut), CheckError) << "kept " << keep;
+  }
+}
+
+TEST(CorruptStream, BadMagicAndVersionThrow) {
+  const std::vector<std::uint8_t> bytes = serialize_cache(small_cache());
+  std::vector<std::uint8_t> bad = bytes;
+  bad[0] ^= 0xFFu;  // magic occupies bytes [0, 4)
+  EXPECT_THROW(deserialize_cache(bad), CheckError);
+
+  bad = bytes;
+  bad[4] = 99;  // version occupies bytes [4, 8)
+  try {
+    deserialize_cache(bad);
+    FAIL() << "unsupported version must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CorruptStream, HostileLengthFieldThrowsInsteadOfWrapping) {
+  // Overwrite the key-buffer token count with 0xFFFFFFFF. The reader must
+  // hit the truncation check — a bounds check of the wrapping form
+  // pos + n <= size would overflow and read out of bounds instead.
+  std::vector<std::uint8_t> bytes = serialize_cache(small_cache());
+  // Header: magic(4) version(4) head_dim(4) bits(1) block_tokens(4)
+  // buffer_capacity(4) n_blocks(4) = 25 bytes; no blocks follow for this
+  // cache, then the key buffer starts with scale(4) count(4).
+  const std::size_t count_offset = 25 + 4;
+  ASSERT_LT(count_offset + 4, bytes.size());
+  for (std::size_t i = 0; i < 4; ++i) bytes[count_offset + i] = 0xFFu;
+  EXPECT_THROW(deserialize_cache(bytes), CheckError);
+}
+
+TEST(CorruptStream, HostileHeadDimThrowsInsteadOfWrapping) {
+  std::vector<std::uint8_t> bytes = serialize_cache(small_cache());
+  for (std::size_t i = 0; i < 4; ++i) bytes[8 + i] = 0xFFu;  // head_dim
+  EXPECT_THROW(deserialize_cache(bytes), CheckError);
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Full correctness matrix for the TurboAttention tree.
+#
+#   tools/check.sh            # run everything
+#   tools/check.sh release    # just the Release build + tests
+#   tools/check.sh asan       # just the ASan+UBSan build + tests
+#   tools/check.sh lint       # just turbo_lint
+#   tools/check.sh tidy       # just clang-tidy (skipped when not installed)
+#
+# Exits non-zero on the first failing stage. Stages that need a tool the
+# machine does not have (clang-tidy) are reported as SKIP, not failure.
+set -u
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+STAGES=("${@:-all}")
+FAILED=0
+
+for s in "${STAGES[@]}"; do
+  case "$s" in
+    all|release|asan|lint|tidy) ;;
+    *)
+      echo "check.sh: unknown stage '$s' (expected: release asan lint tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+want() {
+  local stage="$1"
+  for s in "${STAGES[@]}"; do
+    if [[ "$s" == "all" || "$s" == "$stage" ]]; then return 0; fi
+  done
+  return 1
+}
+
+banner() { printf '\n==== %s ====\n' "$1"; }
+
+run_release() {
+  banner "release: -O2 -Werror build + ctest"
+  cmake --preset release || return 1
+  cmake --build --preset release -j "$JOBS" || return 1
+  ctest --preset release || return 1
+}
+
+run_asan() {
+  banner "asan: -fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --preset debug-asan-ubsan || return 1
+  cmake --build --preset debug-asan-ubsan -j "$JOBS" || return 1
+  ctest --preset debug-asan-ubsan || return 1
+}
+
+run_lint() {
+  banner "lint: turbo_lint quant-invariant rules"
+  # Reuse whichever configured build dir already has the lint binary;
+  # fall back to configuring the release preset.
+  local bin=""
+  for d in build-release build-asan-ubsan build; do
+    if [[ -x "$d/tools/turbo_lint" ]]; then bin="$d/tools/turbo_lint"; break; fi
+  done
+  if [[ -z "$bin" ]]; then
+    cmake --preset release || return 1
+    cmake --build --preset release -j "$JOBS" --target turbo_lint || return 1
+    bin="build-release/tools/turbo_lint"
+  fi
+  "$bin" "$ROOT" || return 1
+}
+
+run_tidy() {
+  banner "tidy: clang-tidy over src/ and tools/"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "SKIP: clang-tidy not installed"
+    return 0
+  fi
+  cmake --preset tidy || return 1
+  local sources
+  mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p build-tidy "${sources[@]}" || return 1
+  else
+    clang-tidy -quiet -p build-tidy "${sources[@]}" || return 1
+  fi
+}
+
+if want release; then run_release || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want asan; then run_asan || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want lint; then run_lint || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want tidy; then run_tidy || FAILED=1; fi
+
+if [[ $FAILED -ne 0 ]]; then
+  echo
+  echo "check.sh: FAILED"
+  exit 1
+fi
+echo
+echo "check.sh: all requested stages passed"

@@ -10,9 +10,11 @@
 // argument-free reproduction path; this tool is for exploration.
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "bench/task_methods.h"
+#include "common/check.h"
 #include "model/profile.h"
 #include "serving/engine.h"
 #include "serving/metrics.h"
@@ -85,7 +87,8 @@ int run_accuracy(const Flags& flags) {
       : task_name == "bbh" ? tasks::bbh_proxy(profile)
                            : tasks::gsm8k_proxy(profile);
   task.n_cases = static_cast<std::size_t>(flags.get_int("cases", 32));
-  task.seed = static_cast<std::uint64_t>(flags.get_int("seed", task.seed));
+  task.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<long>(task.seed)));
 
   const std::string method = flags.get("method", "turbo");
   const BitWidth bits = bit_width_from_int(
@@ -176,8 +179,15 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   const Flags flags(argc, argv, 2);
-  if (cmd == "accuracy") return run_accuracy(flags);
-  if (cmd == "latency") return run_latency(flags);
-  if (cmd == "serve") return run_serve(flags);
+  // Precondition failures (bad flag values reaching a TURBO_CHECK) should
+  // read as a CLI error, not an uncaught-exception abort.
+  try {
+    if (cmd == "accuracy") return run_accuracy(flags);
+    if (cmd == "latency") return run_latency(flags);
+    if (cmd == "serve") return run_serve(flags);
+  } catch (const turbo::CheckError& e) {
+    std::cerr << "turbo_cli: " << e.what() << "\n";
+    return 1;
+  }
   usage();
 }

@@ -1,0 +1,365 @@
+// turbo_lint — repo-specific invariant checks a generic linter can't do.
+//
+// Rules (see docs/STATIC_ANALYSIS.md for rationale and suppression):
+//
+//   no-raw-assert        assert() / <cassert> are forbidden in src/ and
+//                        tools/: release builds compile them out, so a
+//                        violated precondition becomes silent corruption.
+//                        Use TURBO_CHECK (always on) or TURBO_DCHECK.
+//
+//   unchecked-i8-cast    static_cast<std::int8_t> outside the checked
+//                        helpers (src/common/numeric.h) silently truncates
+//                        out-of-range values; use clamp_to_i8 /
+//                        saturate_cast<>. Suppress a deliberate narrowing
+//                        with `// turbo-lint: allow-narrowing`.
+//
+//   integer-kernel       a file whose head carries `turbo-lint:
+//                        integer-kernel` must stay free of floating-point
+//                        arithmetic (FlashQ's decode path is INT-only by
+//                        design). Suppress one line with `// turbo-lint:
+//                        allow-float`.
+//
+//   method-shape-check   every KvAttention implementation must validate
+//                        its inputs with TURBO_CHECK in prefill(),
+//                        decode() and attend() — these are the public
+//                        entry points the pipeline drives with
+//                        externally-shaped tensors.
+//
+// Usage: turbo_lint <repo_root>
+// Exit status 0 when clean, 1 with one "file:line: [rule] ..." diagnostic
+// per violation otherwise.
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct SourceFile {
+  fs::path path;
+  std::string rel;       // path relative to the repo root
+  std::string raw;       // original contents (markers live in comments)
+  std::string stripped;  // comments and string/char literals blanked
+};
+
+struct Violation {
+  std::string rel;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Blank out comments, string literals and character literals, preserving
+// newlines and byte offsets, so rule regexes only ever see real code.
+std::string strip_comments_and_strings(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  std::string out = text;
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of_offset(const std::string& text, std::size_t offset) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+std::string raw_line_at(const std::string& text, std::size_t line) {
+  std::istringstream in(text);
+  std::string current;
+  for (std::size_t n = 1; std::getline(in, current); ++n) {
+    if (n == line) return current;
+  }
+  return {};
+}
+
+bool line_has_marker(const SourceFile& file, std::size_t line,
+                     const std::string& marker) {
+  return raw_line_at(file.raw, line).find("turbo-lint: " + marker) !=
+         std::string::npos;
+}
+
+// First lines of the raw file carry file-level tags.
+bool file_has_tag(const SourceFile& file, const std::string& tag) {
+  std::istringstream in(file.raw);
+  std::string line;
+  for (int n = 0; n < 10 && std::getline(in, line); ++n) {
+    if (line.find("turbo-lint: " + tag) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void scan_regex(const SourceFile& file, const std::regex& re,
+                const std::string& rule, const std::string& message,
+                const std::string& allow_marker,
+                std::vector<Violation>& out) {
+  auto begin =
+      std::sregex_iterator(file.stripped.begin(), file.stripped.end(), re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::size_t line =
+        line_of_offset(file.stripped, static_cast<std::size_t>(it->position()));
+    if (!allow_marker.empty() && line_has_marker(file, line, allow_marker)) {
+      continue;
+    }
+    out.push_back({file.rel, line, rule, message});
+  }
+}
+
+// --- rule: no-raw-assert --------------------------------------------------
+
+void check_no_raw_assert(const SourceFile& file, std::vector<Violation>& out) {
+  static const std::regex kAssertCall("\\bassert\\s*\\(");
+  static const std::regex kAssertInclude(
+      "#\\s*include\\s*<(cassert|assert\\.h)>");
+  scan_regex(file, kAssertCall, "no-raw-assert",
+             "raw assert() compiles out in release builds; use TURBO_CHECK "
+             "or TURBO_DCHECK",
+             "", out);
+  scan_regex(file, kAssertInclude, "no-raw-assert",
+             "do not include <cassert>; use common/check.h", "", out);
+}
+
+// --- rule: unchecked-i8-cast ----------------------------------------------
+
+void check_unchecked_i8_cast(const SourceFile& file,
+                             std::vector<Violation>& out) {
+  if (file.rel == "src/common/numeric.h") return;  // home of the helpers
+  static const std::regex kI8Cast("static_cast<\\s*(std::)?u?int8_t\\s*>");
+  scan_regex(file, kI8Cast, "unchecked-i8-cast",
+             "bare 8-bit narrowing cast; use clamp_to_i8 / saturate_cast<> "
+             "from common/numeric.h (or annotate with "
+             "turbo-lint: allow-narrowing)",
+             "allow-narrowing", out);
+}
+
+// --- rule: integer-kernel -------------------------------------------------
+
+void check_integer_kernel(const SourceFile& file,
+                          std::vector<Violation>& out) {
+  if (!file_has_tag(file, "integer-kernel")) return;
+  static const std::regex kFpToken(
+      "\\b(float|double)\\b|"
+      "\\b[0-9]+\\.[0-9]*f?\\b|"
+      "\\bstd::(exp|log|sqrt|pow|nearbyint|round|fma)\\b|"
+      "\\bexp_neg\\b");
+  scan_regex(file, kFpToken, "integer-kernel",
+             "floating-point arithmetic in a file tagged integer-kernel "
+             "(annotate the line with turbo-lint: allow-float if deliberate)",
+             "allow-float", out);
+}
+
+// --- rule: method-shape-check ---------------------------------------------
+
+// Extract the body of the function whose qualified name starts at the match
+// of `sig_re` in `stripped`; returns false if no definition (declaration
+// only) is found.
+bool extract_body(const std::string& stripped, const std::regex& sig_re,
+                  std::string& body, std::size_t& def_line) {
+  auto it = std::sregex_iterator(stripped.begin(), stripped.end(), sig_re);
+  for (; it != std::sregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length());
+    // Walk past the parameter list to the matching ')'.
+    int depth = 1;  // sig_re consumed the opening '('
+    while (pos < stripped.size() && depth > 0) {
+      if (stripped[pos] == '(') ++depth;
+      if (stripped[pos] == ')') --depth;
+      ++pos;
+    }
+    // Skip qualifiers (const, noexcept, override, whitespace) up to '{' or
+    // ';'. A ';' means declaration, not definition — try the next match.
+    while (pos < stripped.size() && stripped[pos] != '{' &&
+           stripped[pos] != ';') {
+      ++pos;
+    }
+    if (pos >= stripped.size() || stripped[pos] == ';') continue;
+    const std::size_t body_begin = pos;
+    int braces = 0;
+    while (pos < stripped.size()) {
+      if (stripped[pos] == '{') ++braces;
+      if (stripped[pos] == '}') {
+        --braces;
+        if (braces == 0) break;
+      }
+      ++pos;
+    }
+    body = stripped.substr(body_begin, pos - body_begin + 1);
+    def_line = line_of_offset(
+        stripped, static_cast<std::size_t>(it->position()));
+    return true;
+  }
+  return false;
+}
+
+void check_method_shape_checks(const std::vector<SourceFile>& files,
+                               std::vector<Violation>& out) {
+  static const std::regex kImplClass(
+      "class\\s+(\\w+)[^;{]*:\\s*(?:public\\s+)?KvAttention\\b");
+  static const char* kMethods[] = {"prefill", "decode", "attend"};
+
+  for (const SourceFile& file : files) {
+    auto it = std::sregex_iterator(file.stripped.begin(),
+                                   file.stripped.end(), kImplClass);
+    for (; it != std::sregex_iterator(); ++it) {
+      const std::string cls = (*it)[1].str();
+      if (cls == "KvAttention") continue;
+      for (const char* method : kMethods) {
+        const std::regex sig(cls + "::" + method + "\\s*\\(");
+        bool found = false;
+        bool checked = false;
+        std::string where_rel;
+        std::size_t where_line = 0;
+        for (const SourceFile& candidate : files) {
+          std::string body;
+          std::size_t line = 0;
+          if (extract_body(candidate.stripped, sig, body, line)) {
+            found = true;
+            where_rel = candidate.rel;
+            where_line = line;
+            checked = body.find("TURBO_CHECK") != std::string::npos;
+            break;
+          }
+        }
+        if (!found) {
+          // Inline definition inside the class body, or not implemented in
+          // the scanned tree; look for `method (...) ... {` in the class's
+          // own file as a fallback.
+          const std::regex inline_sig(std::string("\\b") + method +
+                                      "\\s*\\(");
+          std::string body;
+          std::size_t line = 0;
+          if (extract_body(file.stripped, inline_sig, body, line)) {
+            found = true;
+            where_rel = file.rel;
+            where_line = line;
+            checked = body.find("TURBO_CHECK") != std::string::npos;
+          }
+        }
+        if (!found) continue;  // pure declaration; implementation elsewhere
+        if (!checked) {
+          out.push_back(
+              {where_rel, where_line, "method-shape-check",
+               cls + "::" + method +
+                   " must validate its input shapes with TURBO_CHECK"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: turbo_lint <repo_root>\n");
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  if (!fs::is_directory(root / "src")) {
+    std::fprintf(stderr, "turbo_lint: %s/src is not a directory\n", argv[1]);
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      SourceFile f;
+      f.path = entry.path();
+      f.rel = fs::relative(entry.path(), root).generic_string();
+      f.raw = buf.str();
+      f.stripped = strip_comments_and_strings(f.raw);
+      files.push_back(std::move(f));
+    }
+  }
+
+  std::vector<Violation> violations;
+  for (const SourceFile& f : files) {
+    check_no_raw_assert(f, violations);
+    check_unchecked_i8_cast(f, violations);
+    check_integer_kernel(f, violations);
+  }
+  check_method_shape_checks(files, violations);
+
+  for (const Violation& v : violations) {
+    std::cout << v.rel << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  std::cout << "turbo_lint: " << files.size() << " files scanned, "
+            << violations.size() << " violation(s)\n";
+  return violations.empty() ? 0 : 1;
+}
