@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Integrity tag for serialized KV-cache streams: a swapped-out sequence
+// that comes back from a host store (or disk) must be detected as corrupt
+// *before* its pages are adopted, so the scheduler can fall back to
+// recompute instead of silently decoding garbage. Software table-driven;
+// this is nowhere near a hot path (one pass per swap event).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace turbo {
+
+// Digest of `data`. Pass a previous digest as `crc` to extend it across
+// chunks: crc32(b, crc32(a)) == crc32(ab).
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t crc = 0);
+
+}  // namespace turbo

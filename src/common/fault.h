@@ -1,0 +1,115 @@
+// Deterministic, seed-driven fault injection.
+//
+// Robustness claims ("the engine degrades gracefully under page
+// exhaustion", "corrupt swap streams are detected and recovered") are
+// only testable if the failures can be produced on demand and *exactly*
+// reproduced. A FaultPlan is a pure description of failure probabilities;
+// a FaultInjector turns it into a deterministic Bernoulli stream from its
+// own private RNG, so the same seed yields the same fault sequence in
+// every build configuration. Probes with probability 0 consume no
+// randomness: a plan with all-zero probabilities behaves bit-identically
+// to no injector at all.
+//
+// Threaded through PageAllocator (allocation failure), the KV-stream
+// deserializers (byte corruption) and the serving engine (swap latency
+// spikes). All probes count how often they fired, so tests can assert the
+// injected rate was actually exercised.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace turbo {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  // Probability an individual page allocation fails even though the pool
+  // has free pages (models fragmentation / transient allocator pressure).
+  double page_alloc_failure_prob = 0.0;
+
+  // Probability a serialized KV stream is corrupted in transit (one byte
+  // flipped at a seed-determined offset) per deserialize / swap-in.
+  double stream_corruption_prob = 0.0;
+
+  // Probability a swap transfer hits a latency spike, and its cost
+  // multiplier (models PCIe contention).
+  double swap_spike_prob = 0.0;
+  double swap_spike_multiplier = 8.0;
+
+  bool enabled() const {
+    return page_alloc_failure_prob > 0.0 || stream_corruption_prob > 0.0 ||
+           swap_spike_prob > 0.0;
+  }
+
+  // Probabilities must be in [0, 1] and the spike multiplier >= 1; a plan
+  // outside that range is a configuration error, not a fault to inject.
+  void validate() const {
+    const auto is_prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+    TURBO_CHECK_MSG(is_prob(page_alloc_failure_prob),
+                    "page_alloc_failure_prob outside [0, 1]");
+    TURBO_CHECK_MSG(is_prob(stream_corruption_prob),
+                    "stream_corruption_prob outside [0, 1]");
+    TURBO_CHECK_MSG(is_prob(swap_spike_prob),
+                    "swap_spike_prob outside [0, 1]");
+    TURBO_CHECK_MSG(swap_spike_multiplier >= 1.0,
+                    "swap_spike_multiplier must be >= 1");
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed) {
+    plan_.validate();
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // One Bernoulli draw per call; returns true when the fault fires.
+  bool fail_page_alloc() {
+    if (!probe(plan_.page_alloc_failure_prob)) return false;
+    ++injected_alloc_failures_;
+    return true;
+  }
+  bool corrupt_stream() {
+    if (!probe(plan_.stream_corruption_prob)) return false;
+    ++injected_corruptions_;
+    return true;
+  }
+  // 1.0 normally; the spike multiplier when the spike fault fires.
+  double swap_latency_multiplier() {
+    if (!probe(plan_.swap_spike_prob)) return 1.0;
+    ++injected_spikes_;
+    return plan_.swap_spike_multiplier;
+  }
+
+  // Seed-determined byte offset for an injected corruption.
+  std::size_t corruption_offset(std::size_t stream_size) {
+    if (stream_size == 0) return 0;
+    return static_cast<std::size_t>(rng_.uniform_index(stream_size));
+  }
+
+  std::size_t injected_alloc_failures() const {
+    return injected_alloc_failures_;
+  }
+  std::size_t injected_corruptions() const { return injected_corruptions_; }
+  std::size_t injected_spikes() const { return injected_spikes_; }
+
+ private:
+  bool probe(double prob) {
+    if (prob <= 0.0) return false;  // no RNG draw: plan stays inert
+    return rng_.uniform() < prob;
+  }
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::size_t injected_alloc_failures_ = 0;
+  std::size_t injected_corruptions_ = 0;
+  std::size_t injected_spikes_ = 0;
+};
+
+}  // namespace turbo

@@ -16,6 +16,10 @@ PageAllocator::PageAllocator(std::size_t page_count)
 }
 
 PageId PageAllocator::allocate() {
+  if (injector_ != nullptr && injector_->fail_page_alloc()) {
+    ++injected_failures_;
+    return kInvalidPage;
+  }
   if (free_list_.empty()) return kInvalidPage;
   const PageId page = free_list_.back();
   free_list_.pop_back();

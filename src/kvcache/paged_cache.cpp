@@ -113,6 +113,57 @@ bool PagedKvCache::flush_buffer(Sequence& s) {
   return true;
 }
 
+std::optional<PagedKvCache::SeqId> PagedKvCache::adopt_sequence(
+    std::vector<KvBlock> blocks, float k_scale, const MatrixI8& k_rows,
+    float v_scale, const MatrixI8& v_rows) {
+  for (const KvBlock& b : blocks) {
+    TURBO_CHECK_MSG(b.k.rows == page_tokens_ && b.v.rows == page_tokens_,
+                    "adopted block is not page-sized");
+    TURBO_CHECK_MSG(b.k.cols == head_dim_ && b.v.cols == head_dim_,
+                    "adopted block head_dim mismatch");
+    TURBO_CHECK_MSG(b.k.bits == bits_ && b.v.bits == bits_,
+                    "adopted block bit-width mismatch");
+  }
+  TURBO_CHECK_MSG(k_rows.rows() == v_rows.rows(),
+                  "adopted K/V tail buffers disagree on length");
+  // Flushing is lazy, so a serialized sequence may carry an exactly-full
+  // tail buffer (it is cut into a page only when the next token arrives).
+  TURBO_CHECK_MSG(k_rows.rows() <= page_tokens_,
+                  "adopted tail buffer larger than a page");
+  TURBO_CHECK(k_rows.rows() == 0 || k_rows.cols() == head_dim_);
+  TURBO_CHECK(v_rows.rows() == 0 || v_rows.cols() == head_dim_);
+  TURBO_CHECK_MSG(k_rows.rows() == 0 || (k_scale > 0.0f && v_scale > 0.0f),
+                  "adopted tail buffer has tokens but no universal scale");
+
+  std::vector<PageId> pages;
+  pages.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const PageId page = allocator_.allocate();
+    if (page == kInvalidPage) {
+      for (const PageId p : pages) allocator_.release(p);  // rollback
+      return std::nullopt;
+    }
+    pages.push_back(page);
+  }
+  Sequence s{{},
+             DecodeBuffer(page_tokens_, head_dim_),
+             DecodeBuffer(page_tokens_, head_dim_)};
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    page_data_[pages[i]] = std::move(blocks[i]);
+    refcount_[pages[i]] = 1;
+  }
+  s.pages = std::move(pages);
+  if (k_scale > 0.0f) s.k_buffer.restore_scale(k_scale);
+  if (v_scale > 0.0f) s.v_buffer.restore_scale(v_scale);
+  for (std::size_t t = 0; t < k_rows.rows(); ++t) {
+    s.k_buffer.push_quantized(k_rows.row(t));
+    s.v_buffer.push_quantized(v_rows.row(t));
+  }
+  const SeqId id = next_seq_++;
+  sequences_.emplace(id, std::move(s));
+  return id;
+}
+
 std::size_t PagedKvCache::token_count(SeqId seq) const {
   const Sequence& s = seq_ref(seq);
   return s.pages.size() * page_tokens_ + s.k_buffer.size();

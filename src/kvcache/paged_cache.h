@@ -36,10 +36,11 @@ class PagedKvCache {
   // --- Sequence lifecycle -------------------------------------------------
   SeqId create_sequence();
 
-  // Copy-on-write fork: full pages are shared (refcounted); the partial
-  // tail buffer is copied. Returns nullopt if the buffer copy cannot be
-  // backed by future pages (never fails in practice — no page is consumed
-  // at fork time).
+  // Copy-on-write fork: full pages are shared (refcounted); only the
+  // partial tail buffer is copied. Contract: forking NEVER fails and
+  // NEVER consumes a page — it only increments refcounts — so the return
+  // is an unconditional SeqId, not an optional. Page pressure surfaces
+  // later, on the first append that needs a private page.
   SeqId fork_sequence(SeqId seq);
 
   void release_sequence(SeqId seq);
@@ -56,6 +57,21 @@ class PagedKvCache {
   // Returns false on page exhaustion.
   [[nodiscard]] bool append_prefill_block(SeqId seq, const Int8Tile& k_tile,
                                           const Int8Tile& v_tile);
+
+  // --- Swap-in (kvcache/serialization.h) ------------------------------
+  // Adopt a fully-materialized sequence: one page is allocated per block
+  // and the tail buffers are restored bit-exactly. All-or-nothing: on
+  // page exhaustion (or an injected allocation failure) every page
+  // allocated so far is released and nullopt is returned — the cache is
+  // left exactly as before the call. Blocks must match this cache's
+  // head_dim / bits / page_tokens.
+  std::optional<SeqId> adopt_sequence(std::vector<KvBlock> blocks,
+                                      float k_scale, const MatrixI8& k_rows,
+                                      float v_scale, const MatrixI8& v_rows);
+
+  // Expose the allocator so callers can wire a FaultInjector
+  // (common/fault.h) into the allocation path.
+  PageAllocator& allocator() { return allocator_; }
 
   // --- Decode view ----------------------------------------------------
   std::size_t token_count(SeqId seq) const;

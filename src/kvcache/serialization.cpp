@@ -4,14 +4,17 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "common/crc32.h"
 #include "common/numeric.h"
 
 namespace turbo {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x434b5654u;  // "TVKC" little-endian
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMagic = 0x434b5654u;     // "TVKC" little-endian
+constexpr std::uint32_t kVersion = 2;             // 2: per-block CRC-32
+constexpr std::uint32_t kSeqMagic = 0x534b5654u;  // "TVKS" little-endian
+constexpr std::uint32_t kSeqVersion = 1;
 
 // Little-endian byte-stream writer.
 class Writer {
@@ -24,6 +27,12 @@ class Writer {
   }
   void put_bytes(std::span<const std::uint8_t> data) {
     bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+  std::size_t size() const { return bytes_.size(); }
+  // Append the CRC-32 of everything written since `begin` (the CRC bytes
+  // themselves are excluded — they sit after the region they cover).
+  void put_crc_since(std::size_t begin) {
+    put<std::uint32_t>(crc32({bytes_.data() + begin, bytes_.size() - begin}));
   }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
@@ -52,6 +61,20 @@ class Reader {
     auto out = bytes_.subspan(pos_, n);
     pos_ += n;
     return out;
+  }
+  std::size_t pos() const { return pos_; }
+  // Read a stored CRC-32 and compare it against the bytes in
+  // [begin, current position). Throws IntegrityError on mismatch.
+  void check_crc_since(std::size_t begin, const char* what) {
+    const std::uint32_t expect =
+        crc32(bytes_.subspan(begin, pos_ - begin));
+    const std::uint32_t stored = get<std::uint32_t>();
+    if (stored != expect) {
+      std::ostringstream oss;
+      oss << "KV-cache stream checksum mismatch in " << what << " (stored 0x"
+          << std::hex << stored << ", computed 0x" << expect << ")";
+      throw IntegrityError(oss.str());
+    }
   }
   bool exhausted() const { return pos_ == bytes_.size(); }
 
@@ -105,24 +128,60 @@ void write_buffer(Writer& w, const DecodeBuffer& buf) {
   }
 }
 
+struct RawBuffer {
+  float scale = 0.0f;
+  MatrixI8 rows;
+};
+
+RawBuffer read_buffer(Reader& r, std::size_t head_dim) {
+  RawBuffer out;
+  out.scale = r.get<float>();
+  const std::uint32_t n = r.get<std::uint32_t>();
+  out.rows = MatrixI8(0, head_dim);
+  for (std::uint32_t t = 0; t < n; ++t) {
+    auto raw = r.get_bytes(head_dim);
+    std::vector<std::int8_t> row(head_dim);
+    std::memcpy(row.data(), raw.data(), head_dim);
+    out.rows.append_row(std::span<const std::int8_t>(row));
+  }
+  return out;
+}
+
+// Apply the injector's stream-corruption fault: flip one byte at a
+// seed-determined offset. Returns the (possibly corrupted) working copy.
+std::vector<std::uint8_t> maybe_corrupt(std::span<const std::uint8_t> bytes,
+                                        FaultInjector* fault) {
+  std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
+  if (fault != nullptr && fault->corrupt_stream() && !copy.empty()) {
+    copy[fault->corruption_offset(copy.size())] ^= 0xa5u;
+  }
+  return copy;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> serialize_cache(const QuantizedKvCache& cache) {
   Writer w;
   w.put<std::uint32_t>(kMagic);
   w.put<std::uint32_t>(kVersion);
+  const std::size_t header_begin = w.size();
   w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.head_dim()));
   w.put<std::uint8_t>(saturate_cast<std::uint8_t>(bit_count(cache.bits())));
   w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.block_tokens()));
   w.put<std::uint32_t>(
       static_cast<std::uint32_t>(cache.key_buffer().capacity()));
   w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.block_count()));
+  w.put_crc_since(header_begin);
   for (std::size_t j = 0; j < cache.block_count(); ++j) {
+    const std::size_t block_begin = w.size();
     write_progressive(w, cache.block(j).k);
     write_progressive(w, cache.block(j).v);
+    w.put_crc_since(block_begin);
   }
+  const std::size_t buffers_begin = w.size();
   write_buffer(w, cache.key_buffer());
   write_buffer(w, cache.value_buffer());
+  w.put_crc_since(buffers_begin);
   return w.take();
 }
 
@@ -133,40 +192,31 @@ QuantizedKvCache deserialize_cache(std::span<const std::uint8_t> bytes) {
   const std::uint32_t version = r.get<std::uint32_t>();
   TURBO_CHECK_MSG(version == kVersion,
                   "unsupported KV-cache version " << version);
+  const std::size_t header_begin = r.pos();
   const std::uint32_t head_dim = r.get<std::uint32_t>();
   const BitWidth bits = bit_width_from_int(r.get<std::uint8_t>());
   const std::uint32_t block_tokens = r.get<std::uint32_t>();
   const std::uint32_t buffer_capacity = r.get<std::uint32_t>();
   const std::uint32_t n_blocks = r.get<std::uint32_t>();
+  r.check_crc_since(header_begin, "header");
 
   std::vector<KvBlock> blocks(n_blocks);
-  for (KvBlock& b : blocks) {
-    b.k = read_progressive(r);
-    b.v = read_progressive(r);
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    const std::size_t block_begin = r.pos();
+    blocks[j].k = read_progressive(r);
+    blocks[j].v = read_progressive(r);
+    r.check_crc_since(block_begin, "block");
   }
 
-  auto read_buffer = [&](float& scale, MatrixI8& rows) {
-    scale = r.get<float>();
-    const std::uint32_t n = r.get<std::uint32_t>();
-    rows = MatrixI8(0, head_dim);
-    for (std::uint32_t t = 0; t < n; ++t) {
-      auto raw = r.get_bytes(head_dim);
-      std::vector<std::int8_t> row(head_dim);
-      std::memcpy(row.data(), raw.data(), head_dim);
-      rows.append_row(std::span<const std::int8_t>(row));
-    }
-  };
-  float k_scale = 0.0f;
-  float v_scale = 0.0f;
-  MatrixI8 k_buf;
-  MatrixI8 v_buf;
-  read_buffer(k_scale, k_buf);
-  read_buffer(v_scale, v_buf);
+  const std::size_t buffers_begin = r.pos();
+  const RawBuffer k = read_buffer(r, head_dim);
+  const RawBuffer v = read_buffer(r, head_dim);
+  r.check_crc_since(buffers_begin, "tail buffers");
   TURBO_CHECK_MSG(r.exhausted(), "trailing bytes in KV-cache stream");
 
   return QuantizedKvCache::restore(head_dim, bits, block_tokens,
                                    buffer_capacity, std::move(blocks),
-                                   k_scale, k_buf, v_scale, v_buf);
+                                   k.scale, k.rows, v.scale, v.rows);
 }
 
 void save_cache(const QuantizedKvCache& cache, const std::string& path) {
@@ -187,6 +237,68 @@ QuantizedKvCache load_cache(const std::string& path) {
   in.read(reinterpret_cast<char*>(bytes.data()), size);
   TURBO_CHECK_MSG(in.good(), "short read from " << path);
   return deserialize_cache(bytes);
+}
+
+std::vector<std::uint8_t> serialize_sequence(const PagedKvCache& cache,
+                                             PagedKvCache::SeqId seq) {
+  Writer w;
+  w.put<std::uint32_t>(kSeqMagic);
+  w.put<std::uint32_t>(kSeqVersion);
+  const std::size_t header_begin = w.size();
+  const std::vector<const KvBlock*> blocks = cache.blocks(seq);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.head_dim()));
+  w.put<std::uint8_t>(saturate_cast<std::uint8_t>(bit_count(cache.bits())));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(cache.page_tokens()));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(blocks.size()));
+  w.put_crc_since(header_begin);
+  for (const KvBlock* b : blocks) {
+    const std::size_t block_begin = w.size();
+    write_progressive(w, b->k);
+    write_progressive(w, b->v);
+    w.put_crc_since(block_begin);
+  }
+  const std::size_t buffers_begin = w.size();
+  write_buffer(w, cache.key_buffer(seq));
+  write_buffer(w, cache.value_buffer(seq));
+  w.put_crc_since(buffers_begin);
+  return w.take();
+}
+
+std::optional<PagedKvCache::SeqId> deserialize_sequence(
+    PagedKvCache& cache, std::span<const std::uint8_t> bytes,
+    FaultInjector* fault) {
+  const std::vector<std::uint8_t> working = maybe_corrupt(bytes, fault);
+  Reader r(working);
+  TURBO_CHECK_MSG(r.get<std::uint32_t>() == kSeqMagic,
+                  "not a TurboAttention KV-sequence stream");
+  const std::uint32_t version = r.get<std::uint32_t>();
+  TURBO_CHECK_MSG(version == kSeqVersion,
+                  "unsupported KV-sequence version " << version);
+  const std::size_t header_begin = r.pos();
+  const std::uint32_t head_dim = r.get<std::uint32_t>();
+  const BitWidth bits = bit_width_from_int(r.get<std::uint8_t>());
+  const std::uint32_t page_tokens = r.get<std::uint32_t>();
+  const std::uint32_t n_pages = r.get<std::uint32_t>();
+  r.check_crc_since(header_begin, "sequence header");
+  TURBO_CHECK_MSG(head_dim == cache.head_dim() && bits == cache.bits() &&
+                      page_tokens == cache.page_tokens(),
+                  "KV-sequence stream geometry does not match this cache");
+
+  std::vector<KvBlock> blocks(n_pages);
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    const std::size_t block_begin = r.pos();
+    blocks[j].k = read_progressive(r);
+    blocks[j].v = read_progressive(r);
+    r.check_crc_since(block_begin, "sequence block");
+  }
+  const std::size_t buffers_begin = r.pos();
+  const RawBuffer k = read_buffer(r, head_dim);
+  const RawBuffer v = read_buffer(r, head_dim);
+  r.check_crc_since(buffers_begin, "sequence tail buffers");
+  TURBO_CHECK_MSG(r.exhausted(), "trailing bytes in KV-sequence stream");
+
+  return cache.adopt_sequence(std::move(blocks), k.scale, k.rows, v.scale,
+                              v.rows);
 }
 
 }  // namespace turbo

@@ -1,30 +1,73 @@
 // Binary serialization of compressed KV caches.
 //
 // Serving systems persist prefilled system prompts / few-shot prefixes so
-// later requests skip their prefill entirely (disk prefix caching). The
+// later requests skip their prefill entirely (disk prefix caching), and
+// swap preempted sequences out to host memory under KV pressure. The
 // compressed representation is the natural persistence format — 4-6x
-// smaller than FP16 and exactly what decode consumes. Format: a tagged,
-// versioned, little-endian stream; round trips are bit-exact.
+// smaller than FP16 and exactly what decode consumes.
+//
+// Format: a tagged, versioned, little-endian stream; round trips are
+// bit-exact. Since version 2 every stream carries integrity metadata: a
+// header CRC-32 plus one CRC-32 per compressed block and one over the
+// tail buffers, so corruption is detected at the damaged block before any
+// payload is adopted (see docs/ROBUSTNESS.md for the recovery contract).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+#include "common/fault.h"
+#include "kvcache/paged_cache.h"
 #include "kvcache/quantized_kv_cache.h"
 
 namespace turbo {
+
+// Thrown when a stream is structurally parseable but a CRC-32 check
+// fails: the payload was corrupted in transit or at rest. Distinct from
+// plain CheckError (malformed / truncated stream) so swap-in paths can
+// catch it and recover by recomputation.
+class IntegrityError : public CheckError {
+ public:
+  explicit IntegrityError(const std::string& what) : CheckError(what) {}
+};
+
+// --- Whole-cache streams (QuantizedKvCache) -------------------------------
 
 // Serialize a cache (packed blocks + buffer + universal scales).
 std::vector<std::uint8_t> serialize_cache(const QuantizedKvCache& cache);
 
 // Reconstruct a cache from a stream produced by serialize_cache. Throws
-// CheckError on magic/version mismatch or a truncated/corrupt stream.
-QuantizedKvCache deserialize_cache(
-    std::span<const std::uint8_t> bytes);
+// CheckError on magic/version mismatch or a truncated/corrupt structure,
+// IntegrityError when a checksum does not match its payload.
+QuantizedKvCache deserialize_cache(std::span<const std::uint8_t> bytes);
 
 // File convenience wrappers.
 void save_cache(const QuantizedKvCache& cache, const std::string& path);
 QuantizedKvCache load_cache(const std::string& path);
+
+// --- Sequence swap streams (PagedKvCache) ---------------------------------
+
+// Serialize one sequence of a paged cache: its full pages (shared pages
+// are serialized by value — refcounts are a cache-local concern) plus the
+// partial tail buffers. The stream is self-describing and checksummed
+// like a cache stream.
+std::vector<std::uint8_t> serialize_sequence(const PagedKvCache& cache,
+                                             PagedKvCache::SeqId seq);
+
+// Swap a serialized sequence back into `cache` as a NEW sequence.
+//  - Throws IntegrityError when a block checksum fails (corrupt swap
+//    stream), CheckError when the stream is malformed or its geometry
+//    (head_dim / bits / page_tokens) does not match the cache.
+//  - Returns nullopt when the cache has too few free pages; the cache is
+//    left untouched (all-or-nothing, see PagedKvCache::adopt_sequence).
+// If `fault` is non-null, its stream-corruption probe may deterministically
+// flip one byte before parsing — the hook the fault-injection harness uses
+// to drive the detect-and-recover path end to end.
+std::optional<PagedKvCache::SeqId> deserialize_sequence(
+    PagedKvCache& cache, std::span<const std::uint8_t> bytes,
+    FaultInjector* fault = nullptr);
 
 }  // namespace turbo

@@ -1,9 +1,13 @@
 #include "serving/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <limits>
 
 #include "common/check.h"
+#include "kvcache/page_allocator.h"
+#include "serving/swap.h"
 
 namespace turbo::serving {
 
@@ -11,8 +15,20 @@ namespace {
 
 struct Running {
   std::size_t trace_index;
-  std::size_t context;    // tokens currently cached
-  std::size_t remaining;  // tokens still to generate
+  std::size_t context;        // tokens currently cached
+  std::size_t remaining;      // tokens still to generate
+  std::vector<PageId> pages;  // pages backing `context` (+ growth slack)
+  bool pinned = false;        // protected from further victimization
+};
+
+// A preempted request waiting out its backoff before re-admission.
+struct Paused {
+  std::size_t trace_index;
+  std::size_t context;    // tokens to restore (prompt + generated so far)
+  std::size_t remaining;
+  double eligible_s;      // earliest re-admission time
+  bool swapped;           // true: pages parked in the host store
+  double bytes;           // swapped stream size (0 for recompute)
 };
 
 }  // namespace
@@ -32,24 +48,35 @@ EngineResult run_engine(const EngineConfig& config,
       config.device.hbm_capacity * config.memory_headroom -
       config.geometry.weight_bytes_fp16();
   TURBO_CHECK_MSG(kv_budget > 0.0, "weights alone exceed device memory");
+  TURBO_CHECK(config.page_tokens > 0);
+  TURBO_CHECK(config.backoff_base_s > 0.0);
+  TURBO_CHECK(config.backoff_cap_s >= config.backoff_base_s);
+  TURBO_CHECK(config.admit_reserve >= 0.0 && config.admit_reserve < 1.0);
+
+  // KV memory as fixed-size pages through a real allocator, so that page
+  // exhaustion and injected allocation faults surface exactly where a
+  // paged serving system would see them.
+  const double page_bytes =
+      static_cast<double>(config.page_tokens) * kv_per_token;
+  const std::size_t page_count =
+      static_cast<std::size_t>(kv_budget / page_bytes);
+  TURBO_CHECK_MSG(page_count > 0, "KV budget smaller than one page");
+  PageAllocator allocator(page_count);
+  FaultInjector fault(config.faults);
+  allocator.set_fault_injector(&fault);
 
   EngineResult result;
   result.requests = trace;
 
-  std::deque<std::size_t> waiting;  // indices into result.requests
-  std::vector<Running> running;
-  std::size_t next_arrival = 0;
-  double now = 0.0;
-  double kv_used = 0.0;
-
-  auto footprint = [&](const Request& r) {
-    return static_cast<double>(r.prompt_tokens + r.max_new_tokens) *
-           kv_per_token;
+  const std::size_t pt = config.page_tokens;
+  auto pages_needed = [pt](std::size_t tokens) {
+    return (tokens + pt - 1) / pt;
   };
 
-  // Reject requests that could never fit even alone.
+  // Reject requests that could never fit even with the machine to
+  // themselves. Everything else is guaranteed schedulable.
   for (Request& r : result.requests) {
-    if (footprint(r) > kv_budget) {
+    if (pages_needed(r.prompt_tokens + r.max_new_tokens) > page_count) {
       r.finish_s = r.arrival_s;  // degenerate: immediately rejected
       ++result.rejected;
     }
@@ -57,6 +84,112 @@ EngineResult run_engine(const EngineConfig& config,
 
   const std::size_t total = result.requests.size();
   std::size_t finished = result.rejected;
+
+  std::deque<std::size_t> waiting;  // indices into result.requests
+  std::vector<Running> running;
+  std::vector<Paused> paused;
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+
+  auto prefill_cost = [&](std::size_t tokens) {
+    sim::InferenceConfig pcfg;
+    pcfg.method = config.method;
+    pcfg.attention = config.attention;
+    pcfg.batch = 1;
+    pcfg.prompt = tokens;
+    return sim::prefill_breakdown(config.device, config.geometry, pcfg)
+        .total();
+  };
+
+  // Allocate `n` pages or none (failed attempts roll back).
+  auto try_alloc = [&](std::size_t n, std::vector<PageId>& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const PageId p = allocator.allocate();
+      if (p == kInvalidPage) {
+        while (!out.empty()) {
+          allocator.release(out.back());
+          out.pop_back();
+        }
+        return false;
+      }
+      out.push_back(p);
+    }
+    return true;
+  };
+
+  auto release_all = [&](std::vector<PageId>& pages) {
+    for (const PageId p : pages) allocator.release(p);
+    pages.clear();
+  };
+
+  auto backoff_for = [&](std::size_t preempt_count) {
+    const std::size_t exp =
+        std::min<std::size_t>(preempt_count > 0 ? preempt_count - 1 : 0, 16);
+    return std::min(config.backoff_cap_s,
+                    config.backoff_base_s *
+                        static_cast<double>(std::size_t{1} << exp));
+  };
+
+  // Evict running[j]: swap its pages to the host store (PCIe cost) or
+  // drop them for recomputation. Returns the transfer stall incurred.
+  auto preempt = [&](Running& victim) {
+    Request& r = result.requests[victim.trace_index];
+    ++result.preemptions;
+    ++r.preemptions;
+    result.max_preemptions_single_request =
+        std::max(result.max_preemptions_single_request, r.preemptions);
+    Paused p{victim.trace_index, victim.context, victim.remaining,
+             now + backoff_for(r.preemptions), false, 0.0};
+    double stall = 0.0;
+    if (config.preempt_mode == PreemptMode::kSwap) {
+      p.swapped = true;
+      p.bytes = static_cast<double>(victim.pages.size()) * page_bytes;
+      result.swap_out_bytes += p.bytes;
+      ++result.preempted_swap;
+      stall = swap_transfer_seconds(p.bytes, config.device,
+                                    fault.swap_latency_multiplier());
+    } else {
+      ++result.preempted_recompute;
+    }
+    release_all(victim.pages);
+    paused.push_back(p);
+    return stall;
+  };
+
+  // Lowest-priority victim among alive running requests: non-pinned
+  // first; then lowest Request::priority; then latest arrival. Returns
+  // running.size() when nothing is eligible (running all dead).
+  auto pick_victim = [&](const std::vector<char>& dead) {
+    std::size_t best = running.size();
+    bool best_pinned = true;
+    for (std::size_t j = 0; j < running.size(); ++j) {
+      if (dead[j] != 0) continue;
+      const Request& r = result.requests[running[j].trace_index];
+      if (best == running.size()) {
+        best = j;
+        best_pinned = running[j].pinned;
+        continue;
+      }
+      const Request& b = result.requests[running[best].trace_index];
+      const bool j_pinned = running[j].pinned;
+      if (j_pinned != best_pinned) {
+        if (!j_pinned) {
+          best = j;
+          best_pinned = false;
+        }
+        continue;
+      }
+      if (r.priority != b.priority) {
+        if (r.priority < b.priority) best = j;
+        continue;
+      }
+      if (r.arrival_s > b.arrival_s ||
+          (r.arrival_s == b.arrival_s && r.id > b.id)) {
+        best = j;
+      }
+    }
+    return best;
+  };
 
   while (finished < total && now < config.max_sim_time_s) {
     // Pull arrivals whose time has come.
@@ -68,15 +201,85 @@ EngineResult run_engine(const EngineConfig& config,
       ++next_arrival;
     }
 
-    // Admission: FIFO while memory and batch cap allow.
+    // --- Re-admission of preempted requests (before fresh arrivals) ---
+    // Order: higher priority first, then earlier arrival. No overtaking:
+    // the first re-admission that cannot get pages ends the pass, which
+    // keeps the backoff queue fair.
+    double admit_latency = 0.0;
+    std::sort(paused.begin(), paused.end(),
+              [&](const Paused& a, const Paused& b) {
+                const Request& ra = result.requests[a.trace_index];
+                const Request& rb = result.requests[b.trace_index];
+                if (ra.priority != rb.priority) {
+                  return ra.priority > rb.priority;
+                }
+                if (ra.arrival_s != rb.arrival_s) {
+                  return ra.arrival_s < rb.arrival_s;
+                }
+                return ra.id < rb.id;
+              });
+    for (std::size_t pi = 0; pi < paused.size();) {
+      Paused& p = paused[pi];
+      if (p.eligible_s > now || running.size() >= config.max_batch) {
+        ++pi;
+        continue;
+      }
+      std::vector<PageId> pages;
+      if (!try_alloc(pages_needed(p.context + 1), pages)) {
+        p.eligible_s = now + config.backoff_base_s;  // retry tick
+        break;                                       // no overtaking
+      }
+      Request& r = result.requests[p.trace_index];
+      if (p.swapped) {
+        const double dt = swap_transfer_seconds(
+            p.bytes, config.device, fault.swap_latency_multiplier());
+        admit_latency += dt;
+        result.swap_stall_s += dt;
+        result.swap_in_bytes += p.bytes;
+        if (fault.corrupt_stream()) {
+          // The swapped stream fails its CRC on the way back in. The
+          // pages cannot be adopted — recover by recomputing them.
+          ++result.checksum_failures;
+          const double cost = prefill_cost(p.context);
+          admit_latency += cost;
+          result.busy_s += cost;
+          ++result.recoveries;
+        } else {
+          ++result.swap_ins;
+        }
+      } else {
+        const double cost = prefill_cost(p.context);
+        admit_latency += cost;
+        result.busy_s += cost;
+      }
+      running.push_back(
+          {p.trace_index, p.context, p.remaining, std::move(pages),
+           r.preemptions >= config.pin_after_preemptions});
+      paused.erase(paused.begin() + static_cast<std::ptrdiff_t>(pi));
+    }
+
+    // --- Fresh admission: FIFO while pages and the batch cap allow ---
+    // Optimistic: a request needs only its prompt (+ first token) pages
+    // to start; decode growth is backed by preemption. Fresh admissions
+    // leave `admit_reserve` of the pool free for that growth — except
+    // when the batch is empty, where head-of-line blocking would stall
+    // the engine outright.
     std::vector<std::size_t> admitted;
-    while (!waiting.empty() && running.size() + admitted.size() <
-                                   config.max_batch) {
+    std::vector<std::vector<PageId>> admitted_pages;
+    const std::size_t reserve_pages = static_cast<std::size_t>(
+        static_cast<double>(page_count) * config.admit_reserve);
+    while (!waiting.empty() &&
+           running.size() + admitted.size() < config.max_batch) {
       const std::size_t idx = waiting.front();
       const Request& r = result.requests[idx];
-      if (kv_used + footprint(r) > kv_budget) break;
-      kv_used += footprint(r);
+      const std::size_t needed = pages_needed(r.prompt_tokens + 1);
+      const std::size_t reserve =
+          (running.empty() && admitted.empty()) ? 0 : reserve_pages;
+      if (allocator.free_pages() < needed + reserve) break;
+      std::vector<PageId> pages;
+      if (!try_alloc(needed, pages)) break;  // injected failure: retry later
       admitted.push_back(idx);
+      admitted_pages.push_back(std::move(pages));
       waiting.pop_front();
     }
 
@@ -85,35 +288,31 @@ EngineResult run_engine(const EngineConfig& config,
       // at its own length (padding a batched prefill to the longest prompt
       // would penalize exactly the methods that can admit more requests).
       double prefill_latency = 0.0;
-      for (std::size_t idx : admitted) {
-        sim::InferenceConfig pcfg;
-        pcfg.method = config.method;
-        pcfg.attention = config.attention;
-        pcfg.batch = 1;
-        pcfg.prompt = result.requests[idx].prompt_tokens;
-        prefill_latency +=
-            sim::prefill_breakdown(config.device, config.geometry, pcfg)
-                .total();
-      }
-      const std::size_t first_new = running.size();
-      for (std::size_t idx : admitted) {
+      for (std::size_t a = 0; a < admitted.size(); ++a) {
+        const std::size_t idx = admitted[a];
         Request& r = result.requests[idx];
+        prefill_latency += prefill_cost(r.prompt_tokens);
         r.prefill_start_s = now;
-        running.push_back({idx, r.prompt_tokens, r.max_new_tokens});
+        running.push_back({idx, r.prompt_tokens, r.max_new_tokens,
+                           std::move(admitted_pages[a]), false});
       }
-      now += prefill_latency;
+      now += admit_latency + prefill_latency;
+      admit_latency = 0.0;
       result.busy_s += prefill_latency;
       // The prompt's last-position output is the first generated token.
+      const std::size_t first_new = running.size() - admitted.size();
       for (std::size_t i = first_new; i < running.size();) {
         Running& ru = running[i];
         Request& r = result.requests[ru.trace_index];
         r.first_token_s = now;
-        r.generated = 1;
-        ru.remaining -= 1;
-        ru.context += 1;
+        if (ru.remaining > 0) {
+          r.generated = 1;
+          ru.remaining -= 1;
+          ru.context += 1;
+        }
         if (ru.remaining == 0) {
           r.finish_s = now;
-          kv_used -= footprint(r);
+          release_all(ru.pages);
           ++finished;
           running[i] = running.back();
           running.pop_back();
@@ -121,16 +320,80 @@ EngineResult run_engine(const EngineConfig& config,
           ++i;
         }
       }
+    } else {
+      now += admit_latency;
+      admit_latency = 0.0;
     }
+    result.peak_batch = std::max(result.peak_batch, running.size());
 
     if (running.empty()) {
-      // Idle: jump to the next arrival.
+      // Idle: jump to the next event (arrival or backoff expiry).
+      double next_event = std::numeric_limits<double>::infinity();
       if (next_arrival < total) {
-        now = std::max(now, result.requests[next_arrival].arrival_s);
+        next_event = result.requests[next_arrival].arrival_s;
+      }
+      for (const Paused& p : paused) {
+        next_event = std::min(next_event, p.eligible_s);
+      }
+      if (std::isfinite(next_event)) {
+        now = std::max(now, next_event);
         continue;
       }
-      break;  // nothing running, nothing arriving
+      if (!waiting.empty()) {
+        // Admission blocked with an empty machine: only injected
+        // allocation faults can do this. Retry after a tick.
+        now += config.backoff_base_s;
+        continue;
+      }
+      break;  // nothing running, waiting, paused or arriving
     }
+
+    // --- Decode-step page growth; preemption is the backstop ---
+    // Each running request about to append token `context + 1` may need
+    // one more page. Injected allocation faults evict the request they
+    // hit (a degraded step); genuine exhaustion evicts the lowest-
+    // priority victim and retries.
+    {
+      double stall = 0.0;
+      bool degraded = false;
+      std::vector<char> dead(running.size(), 0);
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        if (dead[i] != 0) continue;
+        Running& ru = running[i];
+        if (ru.pages.size() * pt >= ru.context + 1) continue;
+        for (;;) {
+          const std::size_t injected_before = allocator.injected_failures();
+          const PageId page = allocator.allocate();
+          if (page != kInvalidPage) {
+            ru.pages.push_back(page);
+            break;
+          }
+          if (allocator.injected_failures() > injected_before) {
+            // The fault hit this request's allocation: it is the victim.
+            stall += preempt(ru);
+            dead[i] = 1;
+            degraded = true;
+            break;
+          }
+          const std::size_t v = pick_victim(dead);
+          TURBO_CHECK_MSG(v < running.size(),
+                          "page exhaustion with no evictable request");
+          stall += preempt(running[v]);
+          dead[v] = 1;
+          if (v == i) break;  // evicted itself; no page needed
+        }
+      }
+      std::vector<Running> alive;
+      alive.reserve(running.size());
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        if (dead[i] == 0) alive.push_back(std::move(running[i]));
+      }
+      running.swap(alive);
+      now += stall;
+      result.swap_stall_s += stall;
+      if (degraded) ++result.degraded_steps;
+    }
+    if (running.empty()) continue;  // everyone was evicted this step
 
     // One decode iteration across the running batch.
     std::size_t max_context = 0;
@@ -149,7 +412,9 @@ EngineResult run_engine(const EngineConfig& config,
     now += step;
     result.busy_s += step;
     result.peak_batch = std::max(result.peak_batch, running.size());
-    result.peak_kv_bytes = std::max(result.peak_kv_bytes, kv_used);
+    result.peak_kv_bytes =
+        std::max(result.peak_kv_bytes,
+                 static_cast<double>(allocator.used_pages()) * page_bytes);
 
     for (std::size_t i = 0; i < running.size();) {
       Running& ru = running[i];
@@ -161,7 +426,7 @@ EngineResult run_engine(const EngineConfig& config,
       }
       if (ru.remaining == 0) {
         r.finish_s = now;
-        kv_used -= footprint(r);
+        release_all(ru.pages);
         ++finished;
         running[i] = running.back();
         running.pop_back();
@@ -172,6 +437,8 @@ EngineResult run_engine(const EngineConfig& config,
   }
 
   result.makespan_s = now;
+  result.injected_alloc_failures = allocator.injected_failures();
+  result.hit_time_limit = finished < total;
   return result;
 }
 

@@ -3,14 +3,27 @@
 // implicitly assume, built on the analytical cost model.
 //
 // The simulation loop alternates:
-//   1. Admission: waiting requests join the running batch whenever their
-//      *worst-case* KV footprint (prompt + max_new tokens at the method's
-//      bytes/token) fits in the KV budget and the batch is below the cap.
-//      Admission triggers a prefill pass whose latency all running
-//      requests wait out (no chunked prefill).
+//   1. Re-admission: preempted requests whose backoff has expired rejoin
+//      the batch first (swap-in over the PCIe link, or recompute via a
+//      fresh prefill), then waiting requests are admitted FIFO while KV
+//      pages and the batch cap allow.
 //   2. One decode iteration: every running request emits one token; the
 //      step latency comes from the per-method decode model at the current
-//      batch size and maximum context. Finished requests release memory.
+//      batch size and maximum context.
+//
+// KV memory is managed as fixed-size pages through a real PageAllocator,
+// so exhaustion (and injected allocation faults) surface exactly where
+// they would in a paged serving system. Admission is optimistic — a
+// request needs only its prompt's pages to start — and decode-time growth
+// that cannot be backed by a free page triggers *preemption*: the
+// lowest-priority running request is evicted, either dropping its KV for
+// later recomputation or swapping its pages to a host store at PCIe cost
+// (see serving/swap.h). Preempted requests re-enter under bounded
+// exponential backoff and are pinned (never victimized again) after
+// repeated evictions, so no request is starved; only a request that could
+// never fit even alone is rejected outright. A FaultPlan (common/fault.h)
+// deterministically injects allocation failures, swap-stream corruption
+// (detected by checksum, recovered by recompute) and swap latency spikes.
 //
 // Methods differ in exactly two inputs — decode-step latency and KV
 // bytes/token — which is what turns the paper's kernel-level wins into
@@ -20,10 +33,17 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/fault.h"
 #include "serving/request.h"
 #include "sim/e2e_model.h"
 
 namespace turbo::serving {
+
+// What to do with a preemption victim's KV cache.
+enum class PreemptMode {
+  kRecompute,  // drop the pages; re-prefill on re-admission
+  kSwap,       // serialize to the host store; swap back in on re-admission
+};
 
 struct EngineConfig {
   sim::DeviceSpec device;
@@ -33,6 +53,20 @@ struct EngineConfig {
   std::size_t max_batch = 256;       // scheduler cap
   double memory_headroom = 0.9;      // usable fraction of HBM
   double max_sim_time_s = 36000.0;   // safety stop
+
+  // --- Pressure / robustness policy ---------------------------------------
+  PreemptMode preempt_mode = PreemptMode::kSwap;
+  std::size_t page_tokens = 64;      // scheduler page granularity
+  // Fraction of the page pool fresh admissions must leave free for decode
+  // growth (re-admissions of preempted requests ignore it).
+  double admit_reserve = 0.1;
+  double backoff_base_s = 0.25;      // first re-admission delay
+  double backoff_cap_s = 8.0;        // exponential backoff ceiling
+  // After this many preemptions a request is pinned: it is only ever
+  // victimized again if every running request is pinned (forward-progress
+  // fallback), which bounds per-request eviction churn.
+  std::size_t pin_after_preemptions = 4;
+  FaultPlan faults;                  // all-zero probabilities = no injection
 };
 
 struct EngineResult {
@@ -42,9 +76,28 @@ struct EngineResult {
   std::size_t peak_batch = 0;
   double peak_kv_bytes = 0.0;
   std::size_t rejected = 0;       // requests that can never fit
+
+  // --- Robustness counters ------------------------------------------------
+  std::size_t preemptions = 0;           // total eviction events
+  std::size_t preempted_recompute = 0;   // victims that dropped their KV
+  std::size_t preempted_swap = 0;        // victims swapped to host
+  std::size_t swap_ins = 0;              // successful swap-backs
+  double swap_out_bytes = 0.0;
+  double swap_in_bytes = 0.0;
+  double swap_stall_s = 0.0;             // wall-clock spent on PCIe transfers
+  std::size_t checksum_failures = 0;     // corrupt swap-ins detected by CRC
+  std::size_t recoveries = 0;            // checksum failures recovered
+  std::size_t degraded_steps = 0;        // steps that lost >=1 request to an
+                                         // injected allocation failure
+  std::size_t injected_alloc_failures = 0;
+  std::size_t max_preemptions_single_request = 0;
+  bool hit_time_limit = false;           // max_sim_time_s safety stop fired
 };
 
-// Run the trace to completion (every admissible request finishes).
+// Run the trace until every request has completed or been rejected (the
+// max_sim_time_s safety stop is the only other exit, reported via
+// hit_time_limit). Deterministic: identical config + trace (including the
+// fault seed) give identical results.
 EngineResult run_engine(const EngineConfig& config,
                         std::vector<Request> trace);
 

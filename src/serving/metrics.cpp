@@ -11,6 +11,18 @@ ServingMetrics summarize(const EngineResult& result) {
   m.peak_kv_gb = result.peak_kv_bytes / 1e9;
   m.utilization =
       result.makespan_s > 0.0 ? result.busy_s / result.makespan_s : 0.0;
+  m.preemptions = result.preemptions;
+  m.preempted_recompute = result.preempted_recompute;
+  m.preempted_swap = result.preempted_swap;
+  m.swap_ins = result.swap_ins;
+  m.swap_out_gb = result.swap_out_bytes / 1e9;
+  m.swap_in_gb = result.swap_in_bytes / 1e9;
+  m.swap_stall_s = result.swap_stall_s;
+  m.checksum_failures = result.checksum_failures;
+  m.recoveries = result.recoveries;
+  m.degraded_steps = result.degraded_steps;
+  m.injected_alloc_failures = result.injected_alloc_failures;
+  m.max_preemptions_single_request = result.max_preemptions_single_request;
 
   std::vector<float> ttft;
   std::vector<float> tpot;

@@ -20,6 +20,20 @@ struct ServingMetrics {
   double utilization = 0.0;          // busy / makespan
   std::size_t peak_batch = 0;
   double peak_kv_gb = 0.0;
+
+  // Robustness counters (copied from EngineResult; see serving/engine.h).
+  std::size_t preemptions = 0;
+  std::size_t preempted_recompute = 0;
+  std::size_t preempted_swap = 0;
+  std::size_t swap_ins = 0;
+  double swap_out_gb = 0.0;
+  double swap_in_gb = 0.0;
+  double swap_stall_s = 0.0;
+  std::size_t checksum_failures = 0;
+  std::size_t recoveries = 0;
+  std::size_t degraded_steps = 0;
+  std::size_t injected_alloc_failures = 0;
+  std::size_t max_preemptions_single_request = 0;
 };
 
 ServingMetrics summarize(const EngineResult& result);

@@ -11,12 +11,16 @@ struct Request {
   double arrival_s = 0.0;        // wall-clock arrival time
   std::size_t prompt_tokens = 0;
   std::size_t max_new_tokens = 0;
+  // Scheduling priority: higher values are preempted last. Ties are
+  // broken by arrival order (earlier arrivals are protected).
+  int priority = 0;
 
   // Filled by the engine.
   double prefill_start_s = -1.0;
   double first_token_s = -1.0;   // time the first output token is ready
   double finish_s = -1.0;
   std::size_t generated = 0;
+  std::size_t preemptions = 0;   // times this request was evicted
 
   bool started() const { return prefill_start_s >= 0.0; }
   bool finished() const { return finish_s >= 0.0; }

@@ -1,0 +1,66 @@
+#include "serving/swap.h"
+
+#include "common/check.h"
+#include "kvcache/serialization.h"
+
+namespace turbo::serving {
+
+void HostSwapStore::store(std::uint64_t key,
+                          std::vector<std::uint8_t> stream) {
+  auto it = streams_.find(key);
+  if (it != streams_.end()) {
+    bytes_ -= it->second.size();
+    streams_.erase(it);
+  }
+  bytes_ += stream.size();
+  streams_.emplace(key, std::move(stream));
+}
+
+std::optional<std::vector<std::uint8_t>> HostSwapStore::fetch(
+    std::uint64_t key) {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) return std::nullopt;
+  std::vector<std::uint8_t> out = std::move(it->second);
+  bytes_ -= out.size();
+  streams_.erase(it);
+  return out;
+}
+
+std::size_t swap_out(PagedKvCache& cache, PagedKvCache::SeqId seq,
+                     std::uint64_t key, HostSwapStore& store) {
+  std::vector<std::uint8_t> stream = serialize_sequence(cache, seq);
+  const std::size_t bytes = stream.size();
+  store.store(key, std::move(stream));
+  cache.release_sequence(seq);
+  return bytes;
+}
+
+SwapInResult swap_in(PagedKvCache& cache, std::uint64_t key,
+                     HostSwapStore& store, FaultInjector* fault) {
+  std::optional<std::vector<std::uint8_t>> stream = store.fetch(key);
+  if (!stream.has_value()) return {SwapInStatus::kMissing, 0};
+  try {
+    const std::optional<PagedKvCache::SeqId> seq =
+        deserialize_sequence(cache, *stream, fault);
+    if (!seq.has_value()) {
+      // Not corrupt, just no room: keep the stream for a later retry.
+      store.store(key, std::move(*stream));
+      return {SwapInStatus::kOutOfPages, 0};
+    }
+    return {SwapInStatus::kOk, *seq};
+  } catch (const CheckError&) {
+    // IntegrityError (checksum) or structural damage: either way the
+    // stream is unusable — drop it, the caller recomputes.
+    return {SwapInStatus::kChecksumMismatch, 0};
+  }
+}
+
+double swap_transfer_seconds(double bytes, const sim::DeviceSpec& dev,
+                             double spike_multiplier) {
+  TURBO_CHECK_MSG(dev.pcie_bandwidth > 0.0,
+                  "device has no host-link bandwidth configured");
+  TURBO_CHECK(spike_multiplier >= 1.0);
+  return bytes / dev.pcie_bandwidth * spike_multiplier;
+}
+
+}  // namespace turbo::serving

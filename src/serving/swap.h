@@ -1,0 +1,80 @@
+// Host-memory swap store for preempted KV sequences.
+//
+// When the scheduler preempts a running request it can either drop its KV
+// pages and re-prefill later (recompute) or move them to host memory and
+// bring them back over the PCIe link (swap) — the vLLM preemption pair.
+// This file provides both halves of the swap path:
+//
+//  - HostSwapStore: the simulated host-side store. It holds serialized
+//    sequence streams (kvcache/serialization.h) keyed by request id, so a
+//    swapped sequence really does round-trip through the checksummed
+//    format rather than being parked as live pages.
+//  - swap_out / swap_in: serialize-and-release / fetch-and-adopt with an
+//    explicit status, including checksum-mismatch detection so callers
+//    can fall back to recompute.
+//  - swap_transfer_seconds: the PCIe-bandwidth cost model the serving
+//    engine charges per transfer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fault.h"
+#include "kvcache/paged_cache.h"
+#include "sim/device.h"
+
+namespace turbo::serving {
+
+class HostSwapStore {
+ public:
+  // Store a serialized stream under `key` (overwrites any previous one).
+  void store(std::uint64_t key, std::vector<std::uint8_t> stream);
+
+  // Remove and return the stream stored under `key`; nullopt if absent.
+  std::optional<std::vector<std::uint8_t>> fetch(std::uint64_t key);
+
+  bool contains(std::uint64_t key) const {
+    return streams_.count(key) > 0;
+  }
+  std::size_t count() const { return streams_.size(); }
+  std::size_t stored_bytes() const { return bytes_; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> streams_;
+  std::size_t bytes_ = 0;
+};
+
+// Serialize `seq`, park the stream in the store under `key`, and release
+// the sequence's pages. Returns the stream size in bytes (what the
+// transfer cost model should charge).
+std::size_t swap_out(PagedKvCache& cache, PagedKvCache::SeqId seq,
+                     std::uint64_t key, HostSwapStore& store);
+
+enum class SwapInStatus {
+  kOk,                // sequence restored; `seq` is valid
+  kChecksumMismatch,  // corruption detected; stream dropped — recompute
+  kOutOfPages,        // cache cannot back the pages; stream kept in store
+  kMissing,           // no stream under this key
+};
+
+struct SwapInResult {
+  SwapInStatus status = SwapInStatus::kMissing;
+  PagedKvCache::SeqId seq = 0;
+};
+
+// Fetch `key` from the store and adopt it into `cache`. A corrupt stream
+// (CRC mismatch, or any structural damage) is consumed and reported as
+// kChecksumMismatch; on kOutOfPages the stream is put back so the caller
+// can retry after freeing pages. `fault` optionally injects corruption
+// into the fetched stream (common/fault.h).
+SwapInResult swap_in(PagedKvCache& cache, std::uint64_t key,
+                     HostSwapStore& store, FaultInjector* fault = nullptr);
+
+// Seconds to move `bytes` across the host link of `dev`, scaled by a
+// spike multiplier (>= 1.0) from the fault injector.
+double swap_transfer_seconds(double bytes, const sim::DeviceSpec& dev,
+                             double spike_multiplier = 1.0);
+
+}  // namespace turbo::serving

@@ -18,6 +18,7 @@ DeviceSpec a100_sxm_80gb() {
   d.hbm_capacity = 80e9;
   d.sram_per_sm = 164 * 1024;
   d.sm_count = 108;
+  d.pcie_bandwidth = 31.5e9;  // PCIe 4.0 x16 host link
   return d;
 }
 
@@ -34,6 +35,7 @@ DeviceSpec h100_sxm_80gb() {
   d.hbm_capacity = 80e9;
   d.sram_per_sm = 228 * 1024;
   d.sm_count = 132;
+  d.pcie_bandwidth = 63e9;  // PCIe 5.0 x16 host link
   return d;
 }
 
@@ -42,6 +44,7 @@ DeviceSpec a100_pcie_40gb() {
   d.name = "A100-PCIe-40GB";
   d.hbm_bandwidth = 1.555e12;
   d.hbm_capacity = 40e9;
+  d.pcie_bandwidth = 31.5e9;
   return d;
 }
 

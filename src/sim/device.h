@@ -34,6 +34,12 @@ struct DeviceSpec {
   std::size_t sram_per_sm = 0;   // usable shared memory per SM, bytes
   std::size_t sm_count = 0;
 
+  // Host link (device <-> host memory), bytes / second. Governs the cost
+  // of swapping preempted KV sequences to a host store and back
+  // (serving/swap.h). Datasheet PCIe rates; NVLink-C2C parts would just
+  // raise this number.
+  double pcie_bandwidth = 0;
+
   // Achievable fractions of peak (calibration knobs).
   double mma_efficiency = 0.6;       // FP16 tensor-core utilization
   double int8_mma_efficiency = 0.45; // INT8 MMA runs at lower utilization

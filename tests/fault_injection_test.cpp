@@ -1,0 +1,338 @@
+// Deterministic fault-injection suite (ctest label: fault).
+//
+// Drives the robustness contract end to end (docs/ROBUSTNESS.md):
+//  - under injected page-allocation failures, swap-stream corruption and
+//    PCIe latency spikes, the serving engine still terminates with every
+//    request either completed or explicitly rejected — no hang, no silent
+//    loss;
+//  - corrupted swap-ins are detected by checksum and recovered by
+//    recomputation;
+//  - identical fault seeds give bit-identical results (the suite runs
+//    under both Release and ASan+UBSan in CI, so this is a cross-build
+//    determinism check, not just a same-process one);
+//  - the real byte-level swap path (PagedKvCache -> serialize ->
+//    HostSwapStore -> deserialize/adopt) survives corruption and page
+//    exhaustion with all-or-nothing semantics.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/rng.h"
+#include "kvcache/page_allocator.h"
+#include "kvcache/paged_cache.h"
+#include "kvcache/serialization.h"
+#include "serving/engine.h"
+#include "serving/metrics.h"
+#include "serving/swap.h"
+#include "serving/trace.h"
+
+namespace turbo {
+namespace {
+
+// ---- Bit-exact digest over an engine result ------------------------------
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t digest(const serving::EngineResult& r) {
+  std::uint64_t h = 0;
+  auto mix_d = [&](double d) {
+    h = mix(h, std::bit_cast<std::uint64_t>(d));
+  };
+  for (const serving::Request& q : r.requests) {
+    mix_d(q.prefill_start_s);
+    mix_d(q.first_token_s);
+    mix_d(q.finish_s);
+    h = mix(h, q.generated);
+    h = mix(h, q.preemptions);
+  }
+  mix_d(r.makespan_s);
+  mix_d(r.busy_s);
+  mix_d(r.swap_out_bytes);
+  mix_d(r.swap_in_bytes);
+  mix_d(r.swap_stall_s);
+  h = mix(h, r.preemptions);
+  h = mix(h, r.swap_ins);
+  h = mix(h, r.checksum_failures);
+  h = mix(h, r.recoveries);
+  h = mix(h, r.degraded_steps);
+  h = mix(h, r.injected_alloc_failures);
+  return h;
+}
+
+// A trace and engine sized so KV pressure is real: Phi3-mini on a 40 GB
+// card with low headroom leaves a page pool far smaller than the trace's
+// aggregate working set, so preemption must carry the overload.
+std::vector<serving::Request> overload_trace() {
+  serving::TraceConfig t;
+  t.arrival_rate = 24.0;
+  t.duration_s = 15.0;
+  t.prompt_log_mean = 5.5;  // median ~245 tokens
+  t.prompt_log_std = 0.5;
+  t.gen_log_mean = 5.5;     // long generations grow the KV during decode
+  t.gen_log_std = 0.5;
+  t.seed = 11;
+  return serving::generate_trace(t);
+}
+
+serving::EngineConfig pressured_engine(std::uint64_t fault_seed) {
+  serving::EngineConfig c;
+  c.device = sim::a100_pcie_40gb();
+  c.geometry = sim::phi3_mini_geometry();
+  c.method = sim::AttnMethod::kTurbo;
+  c.attention.kv_bits = 3.0;
+  c.memory_headroom = 0.25;  // ~2.4 GB of KV: forces heavy preemption
+  c.faults.seed = fault_seed;
+  c.faults.page_alloc_failure_prob = 0.05;
+  c.faults.stream_corruption_prob = 0.05;
+  c.faults.swap_spike_prob = 0.05;
+  return c;
+}
+
+void expect_full_accounting(const serving::EngineResult& r,
+                            std::size_t trace_size) {
+  EXPECT_FALSE(r.hit_time_limit);
+  const serving::ServingMetrics m = serving::summarize(r);
+  EXPECT_EQ(m.completed + m.rejected, trace_size);
+  for (const serving::Request& q : r.requests) {
+    ASSERT_TRUE(q.finished());
+    if (q.started()) {
+      EXPECT_EQ(q.generated, q.max_new_tokens);
+      EXPECT_GE(q.first_token_s, q.arrival_s);
+      EXPECT_GE(q.finish_s, q.first_token_s);
+    } else {
+      EXPECT_EQ(q.generated, 0u);  // rejected, and explicitly so
+    }
+  }
+}
+
+TEST(FaultMatrixTest, EngineSurvivesFaultsAcrossSeeds) {
+  const auto trace = overload_trace();
+  bool saw_checksum_failure = false;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    const serving::EngineResult r =
+        run_engine(pressured_engine(seed), trace);
+    expect_full_accounting(r, trace.size());
+    // The plan must have actually been exercised.
+    EXPECT_GT(r.preemptions, 0u);
+    EXPECT_GT(r.preempted_swap, 0u);
+    EXPECT_GT(r.swap_ins, 0u);
+    EXPECT_GT(r.injected_alloc_failures, 0u);
+    EXPECT_GT(r.degraded_steps, 0u);
+    EXPECT_GT(r.swap_out_bytes, 0.0);
+    EXPECT_GT(r.swap_stall_s, 0.0);
+    // Every detected corruption was recovered, never dropped.
+    EXPECT_EQ(r.checksum_failures, r.recoveries);
+    saw_checksum_failure |= r.checksum_failures > 0;
+  }
+  EXPECT_TRUE(saw_checksum_failure);
+}
+
+TEST(FaultMatrixTest, IdenticalSeedsBitIdenticalResults) {
+  const auto trace = overload_trace();
+  const serving::EngineConfig cfg = pressured_engine(2);
+  const serving::EngineResult a = run_engine(cfg, trace);
+  const serving::EngineResult b = run_engine(cfg, trace);
+  EXPECT_EQ(digest(a), digest(b));
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.checksum_failures, b.checksum_failures);
+}
+
+TEST(FaultMatrixTest, DifferentSeedsDifferentFaultStreams) {
+  const auto trace = overload_trace();
+  const serving::EngineResult a = run_engine(pressured_engine(1), trace);
+  const serving::EngineResult b = run_engine(pressured_engine(2), trace);
+  EXPECT_NE(digest(a), digest(b));
+}
+
+TEST(FaultMatrixTest, ZeroProbabilityPlanIsInert) {
+  // A plan with a seed but all-zero probabilities must behave exactly
+  // like no plan at all (probes consume no randomness).
+  const auto trace = overload_trace();
+  serving::EngineConfig with_seed = pressured_engine(5);
+  with_seed.faults = FaultPlan{};
+  with_seed.faults.seed = 5;
+  serving::EngineConfig no_plan = pressured_engine(5);
+  no_plan.faults = FaultPlan{};
+  const serving::EngineResult a = run_engine(with_seed, trace);
+  const serving::EngineResult b = run_engine(no_plan, trace);
+  EXPECT_EQ(digest(a), digest(b));
+  EXPECT_EQ(a.injected_alloc_failures, 0u);
+  EXPECT_EQ(a.checksum_failures, 0u);
+}
+
+// ---- PageAllocator injection ---------------------------------------------
+
+TEST(FaultInjectionTest, PageAllocatorInjectedFailuresAreDeterministic) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.page_alloc_failure_prob = 0.3;
+  std::vector<bool> first_run;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector injector(plan);
+    PageAllocator alloc(256);
+    alloc.set_fault_injector(&injector);
+    std::vector<bool> outcomes;
+    std::size_t failures = 0;
+    for (int i = 0; i < 128; ++i) {
+      const bool ok = alloc.allocate() != kInvalidPage;
+      outcomes.push_back(ok);
+      if (!ok) ++failures;
+    }
+    EXPECT_EQ(failures, alloc.injected_failures());
+    EXPECT_EQ(failures, injector.injected_alloc_failures());
+    EXPECT_GT(failures, 0u);
+    EXPECT_LT(failures, 128u);
+    if (run == 0) {
+      first_run = outcomes;
+    } else {
+      EXPECT_EQ(outcomes, first_run);
+    }
+  }
+}
+
+// ---- Real byte-level swap path -------------------------------------------
+
+constexpr std::size_t kDim = 16;
+constexpr std::size_t kPageTokens = 8;
+
+std::vector<float> random_vec(Rng& rng) {
+  std::vector<float> v(kDim);
+  rng.fill_normal(v, 0.0, 1.0);
+  return v;
+}
+
+PagedKvCache::SeqId fill_sequence(PagedKvCache& cache, std::size_t tokens,
+                                  std::uint64_t seed) {
+  const auto seq = cache.create_sequence();
+  Rng rng(seed);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const auto k = random_vec(rng);
+    const auto v = random_vec(rng);
+    TURBO_CHECK(cache.append_token(seq, k, v));
+  }
+  return seq;
+}
+
+TEST(SwapStoreTest, RoundTripRestoresSequenceBitExact) {
+  PagedKvCache cache(kDim, BitWidth::kInt4, kPageTokens, 32);
+  const auto seq = fill_sequence(cache, kPageTokens * 2 + 3, 9);
+  const auto blocks_before = cache.blocks(seq);
+  std::vector<std::vector<std::uint8_t>> k_payloads;
+  for (const KvBlock* b : blocks_before) {
+    k_payloads.push_back(b->k.packed);
+  }
+  const std::size_t tokens = cache.token_count(seq);
+  const std::size_t tail = cache.key_buffer(seq).size();
+
+  serving::HostSwapStore store;
+  const std::size_t bytes = serving::swap_out(cache, seq, 77, store);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_TRUE(store.contains(77));
+  EXPECT_EQ(store.stored_bytes(), bytes);
+  EXPECT_FALSE(cache.has_sequence(seq));
+  EXPECT_EQ(cache.used_pages(), 0u);  // pages really were released
+
+  const serving::SwapInResult in = serving::swap_in(cache, 77, store);
+  ASSERT_EQ(in.status, serving::SwapInStatus::kOk);
+  EXPECT_FALSE(store.contains(77));
+  EXPECT_EQ(cache.token_count(in.seq), tokens);
+  EXPECT_EQ(cache.key_buffer(in.seq).size(), tail);
+  const auto blocks_after = cache.blocks(in.seq);
+  ASSERT_EQ(blocks_after.size(), k_payloads.size());
+  for (std::size_t i = 0; i < blocks_after.size(); ++i) {
+    EXPECT_EQ(blocks_after[i]->k.packed, k_payloads[i]);
+  }
+}
+
+TEST(SwapStoreTest, SwapOutOfForkLeavesParentIntact) {
+  // Shared (refcounted) pages are serialized by value; swapping the fork
+  // out and back must neither disturb the parent nor share pages with it
+  // afterwards.
+  PagedKvCache cache(kDim, BitWidth::kInt4, kPageTokens, 32);
+  const auto parent = fill_sequence(cache, kPageTokens * 2 + 2, 13);
+  const auto fork = cache.fork_sequence(parent);
+  EXPECT_EQ(cache.shared_pages(), 2u);
+  const std::size_t parent_tokens = cache.token_count(parent);
+  const std::size_t fork_tokens = cache.token_count(fork);
+
+  serving::HostSwapStore store;
+  serving::swap_out(cache, fork, 1, store);
+  EXPECT_EQ(cache.shared_pages(), 0u);
+  EXPECT_EQ(cache.token_count(parent), parent_tokens);
+
+  const serving::SwapInResult in = serving::swap_in(cache, 1, store);
+  ASSERT_EQ(in.status, serving::SwapInStatus::kOk);
+  EXPECT_EQ(cache.token_count(in.seq), fork_tokens);
+  EXPECT_EQ(cache.shared_pages(), 0u);  // restored pages are private
+  EXPECT_EQ(cache.token_count(parent), parent_tokens);
+}
+
+TEST(SwapStoreTest, CorruptedStreamDetectedAndDropped) {
+  PagedKvCache cache(kDim, BitWidth::kInt4, kPageTokens, 32);
+  const auto seq = fill_sequence(cache, kPageTokens * 3, 21);
+  serving::HostSwapStore store;
+  const std::size_t bytes = serving::swap_out(cache, seq, 5, store);
+
+  auto stream = store.fetch(5);
+  ASSERT_TRUE(stream.has_value());
+  (*stream)[bytes / 2] ^= 0x10;  // flip one payload bit
+  store.store(5, std::move(*stream));
+
+  const std::size_t used_before = cache.used_pages();
+  const serving::SwapInResult in = serving::swap_in(cache, 5, store);
+  EXPECT_EQ(in.status, serving::SwapInStatus::kChecksumMismatch);
+  EXPECT_FALSE(store.contains(5));           // corrupt stream is consumed
+  EXPECT_EQ(cache.used_pages(), used_before);  // nothing adopted
+}
+
+TEST(SwapStoreTest, InjectedCorruptionTriggersChecksumPath) {
+  PagedKvCache cache(kDim, BitWidth::kInt4, kPageTokens, 32);
+  const auto seq = fill_sequence(cache, kPageTokens * 2, 33);
+  serving::HostSwapStore store;
+  serving::swap_out(cache, seq, 8, store);
+
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.stream_corruption_prob = 1.0;  // always corrupt
+  FaultInjector injector(plan);
+  const serving::SwapInResult in =
+      serving::swap_in(cache, 8, store, &injector);
+  EXPECT_EQ(in.status, serving::SwapInStatus::kChecksumMismatch);
+  EXPECT_EQ(injector.injected_corruptions(), 1u);
+}
+
+TEST(SwapStoreTest, OutOfPagesKeepsStreamForRetry) {
+  PagedKvCache cache(kDim, BitWidth::kInt4, kPageTokens, 4);
+  const auto seq = fill_sequence(cache, kPageTokens * 3 + 1, 17);  // 3 pages + tail
+  serving::HostSwapStore store;
+  serving::swap_out(cache, seq, 2, store);
+
+  // Occupy the pool so the swap-in cannot be backed.
+  const auto hog = fill_sequence(cache, kPageTokens * 2 + 1, 18);
+  const serving::SwapInResult blocked = serving::swap_in(cache, 2, store);
+  EXPECT_EQ(blocked.status, serving::SwapInStatus::kOutOfPages);
+  EXPECT_TRUE(store.contains(2));  // all-or-nothing: stream kept
+
+  cache.release_sequence(hog);
+  const serving::SwapInResult retry = serving::swap_in(cache, 2, store);
+  ASSERT_EQ(retry.status, serving::SwapInStatus::kOk);
+  EXPECT_EQ(cache.token_count(retry.seq), kPageTokens * 3 + 1);
+}
+
+TEST(SwapStoreTest, MissingKeyReported) {
+  PagedKvCache cache(kDim, BitWidth::kInt4, kPageTokens, 4);
+  serving::HostSwapStore store;
+  EXPECT_EQ(serving::swap_in(cache, 99, store).status,
+            serving::SwapInStatus::kMissing);
+}
+
+}  // namespace
+}  // namespace turbo

@@ -139,6 +139,53 @@ TEST_F(PagedCacheTest, ForkSharesFullPagesCopyOnWrite) {
   EXPECT_EQ(cache_.used_pages(), 0u);
 }
 
+TEST_F(PagedCacheTest, ForkReleaseChurnKeepsRefcountsExact) {
+  // CoW accounting under churn: repeated fork -> append -> release in
+  // varying orders (parent released before fork, fork before parent) must
+  // keep shared-page and used-page counts exact and end at zero.
+  const auto root = cache_.create_sequence();
+  for (std::size_t t = 0; t < kPageTokens * 2 + 1; ++t) {
+    ASSERT_TRUE(cache_.append_token(root, random_vec(), random_vec()));
+  }
+  EXPECT_EQ(cache_.used_pages(), 2u);
+
+  // Two forks of the same prefix: each shared page has three referents
+  // but is still counted once as "shared".
+  const auto f1 = cache_.fork_sequence(root);
+  const auto f2 = cache_.fork_sequence(root);
+  EXPECT_EQ(cache_.used_pages(), 2u);
+  EXPECT_EQ(cache_.shared_pages(), 2u);
+
+  // Release the PARENT first: forks keep the pages alive.
+  cache_.release_sequence(root);
+  EXPECT_EQ(cache_.used_pages(), 2u);
+  EXPECT_EQ(cache_.shared_pages(), 2u);
+  EXPECT_EQ(cache_.token_count(f1), kPageTokens * 2 + 1);
+
+  // Diverge f1 so it owns a private page on top of the shared prefix.
+  for (std::size_t t = 0; t < kPageTokens; ++t) {
+    ASSERT_TRUE(cache_.append_token(f1, random_vec(), random_vec()));
+  }
+  EXPECT_EQ(cache_.used_pages(), 3u);
+  EXPECT_EQ(cache_.shared_pages(), 2u);
+
+  // A second-generation fork of a fork shares f1's private page too.
+  const auto f3 = cache_.fork_sequence(f1);
+  EXPECT_EQ(cache_.shared_pages(), 3u);
+  cache_.release_sequence(f3);
+  EXPECT_EQ(cache_.shared_pages(), 2u);
+  EXPECT_EQ(cache_.used_pages(), 3u);
+
+  // Release the remaining forks in either order: counts reach zero with
+  // no leaked or double-freed page (release would throw on double free).
+  cache_.release_sequence(f2);
+  EXPECT_EQ(cache_.shared_pages(), 0u);
+  EXPECT_EQ(cache_.used_pages(), 3u);  // f1 still holds 2 shared + 1 private
+  cache_.release_sequence(f1);
+  EXPECT_EQ(cache_.used_pages(), 0u);
+  EXPECT_EQ(cache_.sequence_count(), 0u);
+}
+
 TEST_F(PagedCacheTest, DecodeMatchesMonolithicCache) {
   // The paged view must produce numerically identical attention to the
   // single-sequence QuantizedKvCache given the same token stream.

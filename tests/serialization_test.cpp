@@ -112,6 +112,110 @@ TEST(SerializationTest, RejectsTrailingGarbage) {
   EXPECT_THROW(deserialize_cache(bytes), CheckError);
 }
 
+TEST(SerializationTest, PayloadCorruptionDetectedByCrc) {
+  // Flip single bytes throughout the payload (past the magic/version
+  // prefix): every flip must be rejected, and flips that leave the
+  // structure parseable must surface as IntegrityError specifically.
+  const auto clean = serialize_cache(make_cache(BitWidth::kInt4, 128, 9, 19));
+  std::size_t integrity_errors = 0;
+  for (std::size_t at = 8; at < clean.size(); at += 37) {
+    auto bytes = clean;
+    bytes[at] ^= 0x01;
+    try {
+      deserialize_cache(bytes);
+      FAIL() << "corruption at byte " << at << " was not detected";
+    } catch (const IntegrityError&) {
+      ++integrity_errors;
+    } catch (const CheckError&) {
+      // Structural damage (e.g. a corrupted length) is also acceptable —
+      // the stream never deserializes silently.
+    }
+  }
+  EXPECT_GT(integrity_errors, 0u);
+}
+
+TEST(SerializationTest, SequenceRoundTripBitExact) {
+  PagedKvCache cache(24, BitWidth::kInt4, 16, 32);
+  const auto seq = cache.create_sequence();
+  Rng rng(23);
+  for (int t = 0; t < 16 * 2 + 5; ++t) {
+    std::vector<float> k(24);
+    std::vector<float> v(24);
+    rng.fill_normal(k, 0.0, 1.0);
+    rng.fill_normal(v, 0.0, 1.0);
+    ASSERT_TRUE(cache.append_token(seq, k, v));
+  }
+  const auto bytes = serialize_sequence(cache, seq);
+
+  PagedKvCache other(24, BitWidth::kInt4, 16, 32);
+  const auto restored = deserialize_sequence(other, bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(other.token_count(*restored), cache.token_count(seq));
+  const auto a = cache.blocks(seq);
+  const auto b = other.blocks(*restored);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->k.packed, b[i]->k.packed);
+    EXPECT_EQ(a[i]->v.packed, b[i]->v.packed);
+    EXPECT_EQ(a[i]->k.fp_scale, b[i]->k.fp_scale);
+  }
+  EXPECT_EQ(other.key_buffer(*restored).tokens(),
+            cache.key_buffer(seq).tokens());
+  EXPECT_EQ(other.key_buffer(*restored).scale(),
+            cache.key_buffer(seq).scale());
+}
+
+TEST(SerializationTest, SequenceWithSharedPagesSerializesByValue) {
+  // A forked sequence shares pages with its parent; its serialized form
+  // must stand alone and restore into a cache that never saw the parent.
+  PagedKvCache cache(24, BitWidth::kInt4, 16, 32);
+  const auto parent = cache.create_sequence();
+  Rng rng(29);
+  for (int t = 0; t < 16 * 2; ++t) {
+    std::vector<float> k(24);
+    std::vector<float> v(24);
+    rng.fill_normal(k, 0.0, 1.0);
+    rng.fill_normal(v, 0.0, 1.0);
+    ASSERT_TRUE(cache.append_token(parent, k, v));
+  }
+  const auto fork = cache.fork_sequence(parent);
+  ASSERT_GT(cache.shared_pages(), 0u);
+  const auto bytes = serialize_sequence(cache, fork);
+
+  PagedKvCache other(24, BitWidth::kInt4, 16, 32);
+  const auto restored = deserialize_sequence(other, bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(other.token_count(*restored), cache.token_count(fork));
+}
+
+TEST(SerializationTest, SequenceStreamCorruptionRejected) {
+  PagedKvCache cache(24, BitWidth::kInt4, 16, 32);
+  const auto seq = cache.create_sequence();
+  Rng rng(31);
+  for (int t = 0; t < 16 * 3; ++t) {
+    std::vector<float> k(24);
+    std::vector<float> v(24);
+    rng.fill_normal(k, 0.0, 1.0);
+    rng.fill_normal(v, 0.0, 1.0);
+    ASSERT_TRUE(cache.append_token(seq, k, v));
+  }
+  const auto clean = serialize_sequence(cache, seq);
+
+  PagedKvCache other(24, BitWidth::kInt4, 16, 32);
+  auto corrupt = clean;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  EXPECT_THROW(deserialize_sequence(other, corrupt), CheckError);
+  EXPECT_EQ(other.used_pages(), 0u);  // nothing adopted
+
+  auto truncated = clean;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(deserialize_sequence(other, truncated), CheckError);
+
+  // Geometry mismatch is a hard error, not a checksum failure.
+  PagedKvCache narrow(24, BitWidth::kInt4, 8, 32);
+  EXPECT_THROW(deserialize_sequence(narrow, clean), CheckError);
+}
+
 TEST(SerializationTest, FileRoundTrip) {
   const QuantizedKvCache cache = make_cache(BitWidth::kInt2, 128, 9, 17);
   const std::string path = ::testing::TempDir() + "/turbo_cache.tkvc";

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "serving/engine.h"
 #include "serving/metrics.h"
 #include "serving/trace.h"
@@ -149,6 +151,84 @@ TEST(EngineTest, MemoryAccounting) {
                         sim::phi3_medium_geometry().weight_bytes_fp16();
   EXPECT_LE(r.peak_kv_bytes, budget);
   EXPECT_GT(r.peak_kv_bytes, 0.0);
+}
+
+TEST(EngineTest, OverloadAccountsForEveryRequestWithoutStarvation) {
+  // A page pool far smaller than the trace's working set: the scheduler
+  // must preempt, yet every request still completes or is explicitly
+  // rejected, and bounded backoff + pinning keeps per-request eviction
+  // churn finite (no starvation).
+  EngineConfig cfg;
+  cfg.device = sim::a100_pcie_40gb();
+  cfg.geometry = sim::phi3_mini_geometry();
+  cfg.method = sim::AttnMethod::kTurbo;
+  cfg.attention.kv_bits = 3.0;
+  cfg.memory_headroom = 0.2;
+  TraceConfig t = small_trace();
+  t.arrival_rate = 24.0;
+  t.duration_s = 15.0;
+  t.gen_log_mean = 5.5;  // long generations -> decode-time KV growth
+  const auto trace = generate_trace(t);
+  const EngineResult r = run_engine(cfg, trace);
+  EXPECT_FALSE(r.hit_time_limit);
+  EXPECT_GT(r.preemptions, 0u);
+  const ServingMetrics m = summarize(r);
+  EXPECT_EQ(m.completed + m.rejected, trace.size());
+  std::size_t preempted_then_finished = 0;
+  for (const Request& req : r.requests) {
+    EXPECT_TRUE(req.finished());
+    if (req.started()) {
+      EXPECT_EQ(req.generated, req.max_new_tokens);
+      if (req.preemptions > 0) ++preempted_then_finished;
+    }
+    // Pinning bounds eviction churn well below "preempted every step".
+    EXPECT_LE(req.preemptions,
+              cfg.pin_after_preemptions + 8);
+  }
+  EXPECT_GT(preempted_then_finished, 0u);
+  EXPECT_EQ(r.max_preemptions_single_request,
+            [&] {
+              std::size_t worst = 0;
+              for (const Request& req : r.requests) {
+                worst = std::max(worst, req.preemptions);
+              }
+              return worst;
+            }());
+}
+
+TEST(EngineTest, BothPreemptModesDrainTheTrace) {
+  EngineConfig cfg;
+  cfg.device = sim::a100_pcie_40gb();
+  cfg.geometry = sim::phi3_mini_geometry();
+  cfg.method = sim::AttnMethod::kTurbo;
+  cfg.attention.kv_bits = 3.0;
+  cfg.memory_headroom = 0.2;
+  TraceConfig t = small_trace();
+  t.arrival_rate = 24.0;
+  t.duration_s = 10.0;
+  t.gen_log_mean = 5.5;
+  const auto trace = generate_trace(t);
+
+  cfg.preempt_mode = PreemptMode::kSwap;
+  const EngineResult swap = run_engine(cfg, trace);
+  cfg.preempt_mode = PreemptMode::kRecompute;
+  const EngineResult recompute = run_engine(cfg, trace);
+
+  for (const EngineResult* r : {&swap, &recompute}) {
+    EXPECT_FALSE(r->hit_time_limit);
+    const ServingMetrics m = summarize(*r);
+    EXPECT_EQ(m.completed + m.rejected, trace.size());
+    EXPECT_GT(r->preemptions, 0u);
+  }
+  // Each mode charges its own cost: swap moves bytes over PCIe,
+  // recompute never touches the host link.
+  EXPECT_GT(swap.preempted_swap, 0u);
+  EXPECT_GT(swap.swap_out_bytes, 0.0);
+  EXPECT_GT(swap.swap_stall_s, 0.0);
+  EXPECT_EQ(swap.preempted_recompute, 0u);
+  EXPECT_GT(recompute.preempted_recompute, 0u);
+  EXPECT_EQ(recompute.swap_out_bytes, 0.0);
+  EXPECT_EQ(recompute.swap_stall_s, 0.0);
 }
 
 TEST(MetricsTest, UtilizationBounded) {

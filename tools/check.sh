@@ -4,6 +4,8 @@
 #   tools/check.sh            # run everything
 #   tools/check.sh release    # just the Release build + tests
 #   tools/check.sh asan       # just the ASan+UBSan build + tests
+#   tools/check.sh fault      # fault-injection suite (ctest -L fault) in
+#                             # both builds; checks Release and ASan agree
 #   tools/check.sh lint       # just turbo_lint
 #   tools/check.sh tidy       # just clang-tidy (skipped when not installed)
 #
@@ -20,9 +22,9 @@ FAILED=0
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    all|release|asan|lint|tidy) ;;
+    all|release|asan|fault|lint|tidy) ;;
     *)
-      echo "check.sh: unknown stage '$s' (expected: release asan lint tidy)" >&2
+      echo "check.sh: unknown stage '$s' (expected: release asan fault lint tidy)" >&2
       exit 2
       ;;
   esac
@@ -50,6 +52,19 @@ run_asan() {
   cmake --preset debug-asan-ubsan || return 1
   cmake --build --preset debug-asan-ubsan -j "$JOBS" || return 1
   ctest --preset debug-asan-ubsan || return 1
+}
+
+run_fault() {
+  banner "fault: deterministic fault-injection suite (Release + ASan+UBSan)"
+  # The suite asserts bit-identical engine results for identical seeds, so
+  # running it under both build types is the determinism check the
+  # robustness docs promise (docs/ROBUSTNESS.md).
+  cmake --preset release || return 1
+  cmake --build --preset release -j "$JOBS" --target fault_injection_test || return 1
+  ctest --test-dir build-release -L fault --output-on-failure || return 1
+  cmake --preset debug-asan-ubsan || return 1
+  cmake --build --preset debug-asan-ubsan -j "$JOBS" --target fault_injection_test || return 1
+  ctest --test-dir build-asan-ubsan -L fault --output-on-failure || return 1
 }
 
 run_lint() {
@@ -86,6 +101,7 @@ run_tidy() {
 
 if want release; then run_release || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want asan; then run_asan || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want fault; then run_fault || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want lint; then run_lint || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tidy; then run_tidy || FAILED=1; fi
 

@@ -39,7 +39,10 @@ using tools::Flags;
       "            --model phi3-mini|phi3-medium|llama3|qwen2\n"
       "            --method fp16|kivi|gear|turbo  --bits B  --batch N\n"
       "            --ctx TOKENS  --phase prefill|decode  --tp GPUS\n"
-      "  serve:    --rate REQ_PER_S  --duration S  --method ...  --bits B\n");
+      "  serve:    --rate REQ_PER_S  --duration S  --method ...  --bits B\n"
+      "            --device ...  --model ...  --max-batch N  --headroom F\n"
+      "            --preempt swap|recompute  --fault-seed S\n"
+      "            --alloc-fail-p P  --corrupt-p P  --spike-p P --spike-x M\n");
   std::exit(2);
 }
 
@@ -149,17 +152,39 @@ int run_latency(const Flags& flags) {
 }
 
 int run_serve(const Flags& flags) {
-  flags.check_consumed({"rate", "duration", "method", "bits", "seed"});
+  flags.check_consumed({"rate", "duration", "method", "bits", "seed",
+                        "device", "model", "max-batch", "headroom",
+                        "preempt", "fault-seed", "alloc-fail-p", "corrupt-p",
+                        "spike-p", "spike-x"});
   serving::TraceConfig trace_cfg;
   trace_cfg.arrival_rate = flags.get_double("rate", 4.0);
   trace_cfg.duration_s = flags.get_double("duration", 60.0);
   trace_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   serving::EngineConfig engine;
-  engine.device = sim::a100_sxm_80gb();
-  engine.geometry = sim::phi3_medium_geometry();
+  engine.device = device_by_name(flags.get("device", "a100"));
+  engine.geometry = geometry_by_name(flags.get("model", "phi3-medium"));
   engine.method = sim_method_by_name(flags.get("method", "turbo"));
   engine.attention.kv_bits = flags.get_double("bits", 3.0);
+  engine.max_batch =
+      static_cast<std::size_t>(flags.get_int("max-batch", 256));
+  engine.memory_headroom = flags.get_double("headroom", 0.9);
+  const std::string preempt = flags.get("preempt", "swap");
+  if (preempt == "recompute") {
+    engine.preempt_mode = serving::PreemptMode::kRecompute;
+  } else if (preempt == "swap") {
+    engine.preempt_mode = serving::PreemptMode::kSwap;
+  } else {
+    std::fprintf(stderr, "unknown preempt mode '%s'\n", preempt.c_str());
+    std::exit(2);
+  }
+  engine.faults.seed =
+      static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  engine.faults.page_alloc_failure_prob =
+      flags.get_double("alloc-fail-p", 0.0);
+  engine.faults.stream_corruption_prob = flags.get_double("corrupt-p", 0.0);
+  engine.faults.swap_spike_prob = flags.get_double("spike-p", 0.0);
+  engine.faults.swap_spike_multiplier = flags.get_double("spike-x", 8.0);
 
   const auto trace = serving::generate_trace(trace_cfg);
   const serving::ServingMetrics m =
@@ -170,6 +195,18 @@ int run_serve(const Flags& flags) {
               trace.size(), trace_cfg.arrival_rate, m.output_tokens_per_s,
               m.ttft_p50, m.ttft_p99, m.tpot_p50 * 1e3, m.peak_batch,
               m.rejected);
+  std::printf("  pressure: preemptions %zu (swap %zu, recompute %zu), "
+              "swap-ins %zu, swapped %.2f/%.2f GB out/in, stall %.2f s\n",
+              m.preemptions, m.preempted_swap, m.preempted_recompute,
+              m.swap_ins, m.swap_out_gb, m.swap_in_gb, m.swap_stall_s);
+  if (engine.faults.enabled()) {
+    std::printf("  faults: alloc failures %zu, degraded steps %zu, "
+                "checksum failures %zu, recoveries %zu, worst-case "
+                "preemptions/request %zu\n",
+                m.injected_alloc_failures, m.degraded_steps,
+                m.checksum_failures, m.recoveries,
+                m.max_preemptions_single_request);
+  }
   return 0;
 }
 

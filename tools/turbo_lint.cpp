@@ -25,6 +25,14 @@
 //                        entry points the pipeline drives with
 //                        externally-shaped tensors.
 //
+//   unchecked-cache-append  PagedKvCache::append_token returns false when
+//                        the cache is out of pages; discarding that result
+//                        (statement position or a `(void)` cast) silently
+//                        loses tokens. The two-argument QuantizedKvCache
+//                        overload returns void and is exempt. Suppress a
+//                        deliberate discard with `// turbo-lint:
+//                        allow-unchecked-append`.
+//
 // Usage: turbo_lint <repo_root>
 // Exit status 0 when clean, 1 with one "file:line: [rule] ..." diagnostic
 // per violation otherwise.
@@ -215,6 +223,71 @@ void check_integer_kernel(const SourceFile& file,
              "allow-float", out);
 }
 
+// --- rule: unchecked-cache-append -----------------------------------------
+
+// PagedKvCache::append_token (the three-argument, fallible overload)
+// reports page exhaustion through its return value. [[nodiscard]] catches
+// bare discards at compile time in -Werror builds; this rule also catches
+// `(void)`-cast suppressions and guards builds without -Werror.
+void check_unchecked_cache_append(const SourceFile& file,
+                                  std::vector<Violation>& out) {
+  static const std::regex kCall("\\bappend_token\\s*\\(");
+  auto begin = std::sregex_iterator(file.stripped.begin(),
+                                    file.stripped.end(), kCall);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::size_t match_pos = static_cast<std::size_t>(it->position());
+    // Count top-level arguments: only the paged overload takes three.
+    std::size_t pos = match_pos + static_cast<std::size_t>(it->length());
+    int depth = 1;
+    std::size_t args = 1;
+    while (pos < file.stripped.size() && depth > 0) {
+      const char c = file.stripped[pos];
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ',' && depth == 1) ++args;
+      ++pos;
+    }
+    if (args != 3) continue;
+    // Statement prefix: everything since the last ';', '{' or '}'.
+    std::size_t start = match_pos;
+    while (start > 0) {
+      const char c = file.stripped[start - 1];
+      if (c == ';' || c == '{' || c == '}') break;
+      --start;
+    }
+    const std::string prefix =
+        file.stripped.substr(start, match_pos - start);
+    // Declarations and definitions name the return type.
+    if (std::regex_search(prefix, std::regex("\\bbool\\b"))) continue;
+    // Peel the callee chain ("cache.", "this->cache_.", ...) off the end
+    // of the prefix; whatever remains is the consuming context.
+    std::size_t ctx_end = prefix.size();
+    while (ctx_end > 0) {
+      const char c = prefix[ctx_end - 1];
+      const bool chain =
+          std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '.' || c == '-' || c == '>' || c == ':';
+      if (!chain) break;
+      --ctx_end;
+    }
+    std::string context = prefix.substr(0, ctx_end);
+    while (!context.empty() &&
+           std::isspace(static_cast<unsigned char>(context.back())) != 0) {
+      context.pop_back();
+    }
+    const bool void_cast =
+        std::regex_search(context, std::regex("\\(\\s*void\\s*\\)\\s*$"));
+    if (!context.empty() && !void_cast) continue;  // result is consumed
+    const std::size_t line = line_of_offset(file.stripped, match_pos);
+    if (line_has_marker(file, line, "allow-unchecked-append")) continue;
+    out.push_back(
+        {file.rel, line, "unchecked-cache-append",
+         "PagedKvCache::append_token result discarded; page exhaustion "
+         "must be handled (or annotate with "
+         "turbo-lint: allow-unchecked-append)"});
+  }
+}
+
 // --- rule: method-shape-check ---------------------------------------------
 
 // Extract the body of the function whose qualified name starts at the match
@@ -352,6 +425,7 @@ int main(int argc, char** argv) {
     check_no_raw_assert(f, violations);
     check_unchecked_i8_cast(f, violations);
     check_integer_kernel(f, violations);
+    check_unchecked_cache_append(f, violations);
   }
   check_method_shape_checks(files, violations);
 
