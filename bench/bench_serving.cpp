@@ -102,5 +102,53 @@ int main() {
               "PCIe cost; recompute re-pays prefill instead. Corrupted "
               "swap-ins are caught by checksum and recovered by "
               "recompute.\n");
+
+  // --- Chunked prefill: scheduler quantum sweep ----------------------------
+  // Long prompts mixed into a decode-heavy stream. Monolithic prefill
+  // (chunk 0) head-of-line blocks every in-flight generation for a whole
+  // prompt; smaller chunks bound each inter-token gap by one chunk at the
+  // price of re-reading the cached prefix per chunk (visible as a slightly
+  // longer makespan / lower tok/s at tiny chunks).
+  std::printf("\n=== Chunked prefill sweep: Phi3-medium on A100-80GB, "
+              "Turbo-4 ===\n");
+  std::printf("trace: 6 req/s for 40 s, long prompts (median ~1100 tok, "
+              "up to 16k) over short generations (median ~55 tok)\n\n");
+  {
+    TraceConfig t;
+    t.arrival_rate = 6.0;
+    t.duration_s = 40.0;
+    t.prompt_log_mean = 7.0;  // median ~1100 tokens; heavy prefill tail
+    t.prompt_log_std = 1.0;
+    t.gen_log_mean = 4.0;     // median ~55 tokens; decode-bound stream
+    t.gen_log_std = 0.5;
+    t.seed = 13;
+    const auto trace = generate_trace(t);
+    std::printf("%11s  %8s  %9s  %9s  %9s  %9s  %9s\n", "chunk (tok)",
+                "tok/s", "TTFT p50", "TTFT p99", "TPOT p50", "TPOT p99",
+                "e2e p99");
+    for (const std::size_t chunk : {std::size_t{0}, std::size_t{256},
+                                    std::size_t{512}, std::size_t{1024},
+                                    std::size_t{2048}}) {
+      EngineConfig cfg;
+      cfg.device = turbo::sim::a100_sxm_80gb();
+      cfg.geometry = turbo::sim::phi3_medium_geometry();
+      cfg.method = AttnMethod::kTurbo;
+      cfg.attention.kv_bits = 4.0;
+      cfg.prefill_chunk_tokens = chunk;
+      const ServingMetrics s = summarize(run_engine(cfg, trace));
+      char label[16];
+      std::snprintf(label, sizeof(label), "%zu", chunk);
+      std::printf("%11s  %8.0f  %8.2fs  %8.2fs  %8.0fms  %8.0fms  %8.1fs\n",
+                  chunk == 0 ? "monolithic" : label, s.output_tokens_per_s,
+                  s.ttft_p50, s.ttft_p99, s.tpot_p50 * 1e3, s.tpot_p99 * 1e3,
+                  s.e2e_p99);
+    }
+  }
+  std::printf("\nExpected: TPOT p99 shrinks as the chunk shrinks (inter-"
+              "token gaps are bounded by one chunk instead of one prompt) "
+              "and e2e p99 improves with it; TTFT of queued requests rises "
+              "because prefill work is spread across iterations, and tiny "
+              "chunks pay for re-reading the cached prefix each chunk. "
+              "512 is the shipped default.\n");
   return 0;
 }

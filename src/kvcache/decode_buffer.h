@@ -47,7 +47,9 @@ class DecodeBuffer {
   std::size_t clamped_token_count() const { return clamped_tokens_; }
 
   // Move the buffered tokens out and reset to empty. The universal scale is
-  // retained: it is universal across the whole generation.
+  // retained: it is universal across the whole generation. The clamp
+  // counter is reset along with the tokens — callers that account clamped
+  // tokens must read clamped_token_count() *before* take().
   MatrixI8 take();
 
   // --- Deserialization support (kvcache/serialization.h) -------------

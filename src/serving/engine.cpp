@@ -17,6 +17,7 @@ struct Running {
   std::size_t trace_index;
   std::size_t context;        // tokens currently cached
   std::size_t remaining;      // tokens still to generate
+  std::size_t prompt_left;    // prompt tokens not yet prefilled (cursor)
   std::vector<PageId> pages;  // pages backing `context` (+ growth slack)
   bool pinned = false;        // protected from further victimization
 };
@@ -24,11 +25,12 @@ struct Running {
 // A preempted request waiting out its backoff before re-admission.
 struct Paused {
   std::size_t trace_index;
-  std::size_t context;    // tokens to restore (prompt + generated so far)
+  std::size_t context;      // tokens to restore (prefilled + generated)
   std::size_t remaining;
-  double eligible_s;      // earliest re-admission time
-  bool swapped;           // true: pages parked in the host store
-  double bytes;           // swapped stream size (0 for recompute)
+  std::size_t prompt_left;  // prefill cursor survives preemption
+  double eligible_s;        // earliest re-admission time
+  bool swapped;             // true: pages parked in the host store
+  double bytes;             // swapped stream size (0 for recompute)
 };
 
 }  // namespace
@@ -52,6 +54,13 @@ EngineResult run_engine(const EngineConfig& config,
   TURBO_CHECK(config.backoff_base_s > 0.0);
   TURBO_CHECK(config.backoff_cap_s >= config.backoff_base_s);
   TURBO_CHECK(config.admit_reserve >= 0.0 && config.admit_reserve < 1.0);
+
+  // Scheduler quantum: at most this many prompt tokens prefill per
+  // iteration. 0 = monolithic (a whole prompt is one chunk).
+  const std::size_t quantum =
+      config.prefill_chunk_tokens == 0
+          ? std::numeric_limits<std::size_t>::max()
+          : config.prefill_chunk_tokens;
 
   // KV memory as fixed-size pages through a real allocator, so that page
   // exhaustion and injected allocation faults surface exactly where a
@@ -91,14 +100,21 @@ EngineResult run_engine(const EngineConfig& config,
   std::size_t next_arrival = 0;
   double now = 0.0;
 
-  auto prefill_cost = [&](std::size_t tokens) {
+  // Cost of prefilling a `chunk`-token slice with `cached` tokens already
+  // resident: attention spans cached + chunk, GEMMs cover the chunk only.
+  auto chunk_cost = [&](std::size_t chunk, std::size_t cached) {
     sim::InferenceConfig pcfg;
     pcfg.method = config.method;
     pcfg.attention = config.attention;
     pcfg.batch = 1;
-    pcfg.prompt = tokens;
-    return sim::prefill_breakdown(config.device, config.geometry, pcfg)
+    pcfg.prompt = chunk;
+    return sim::chunk_prefill_breakdown(config.device, config.geometry,
+                                        pcfg, cached)
         .total();
+  };
+  // Monolithic prefill over `tokens` (recompute of evicted context).
+  auto prefill_cost = [&](std::size_t tokens) {
+    return chunk_cost(tokens, 0);
   };
 
   // Allocate `n` pages or none (failed attempts roll back).
@@ -131,23 +147,30 @@ EngineResult run_engine(const EngineConfig& config,
   };
 
   // Evict running[j]: swap its pages to the host store (PCIe cost) or
-  // drop them for recomputation. Returns the transfer stall incurred.
+  // drop them for recomputation. A victim with nothing cached yet
+  // (preempted before its first chunk) has nothing to swap and is simply
+  // dropped. Returns the transfer stall incurred.
   auto preempt = [&](Running& victim) {
     Request& r = result.requests[victim.trace_index];
     ++result.preemptions;
     ++r.preemptions;
     result.max_preemptions_single_request =
         std::max(result.max_preemptions_single_request, r.preemptions);
-    Paused p{victim.trace_index, victim.context, victim.remaining,
-             now + backoff_for(r.preemptions), false, 0.0};
+    Paused p{victim.trace_index, victim.context,     victim.remaining,
+             victim.prompt_left, now + backoff_for(r.preemptions),
+             false,              0.0};
     double stall = 0.0;
     if (config.preempt_mode == PreemptMode::kSwap) {
-      p.swapped = true;
-      p.bytes = static_cast<double>(victim.pages.size()) * page_bytes;
-      result.swap_out_bytes += p.bytes;
       ++result.preempted_swap;
-      stall = swap_transfer_seconds(p.bytes, config.device,
-                                    fault.swap_latency_multiplier());
+      // A victim with nothing cached yet (evicted before its first
+      // prefill chunk) has no stream to move: zero-cost "swap".
+      if (victim.context > 0) {
+        p.swapped = true;
+        p.bytes = static_cast<double>(victim.pages.size()) * page_bytes;
+        result.swap_out_bytes += p.bytes;
+        stall = swap_transfer_seconds(p.bytes, config.device,
+                                      fault.swap_latency_multiplier());
+      }
     } else {
       ++result.preempted_recompute;
     }
@@ -189,6 +212,46 @@ EngineResult run_engine(const EngineConfig& config,
       }
     }
     return best;
+  };
+
+  // Grow running[i]'s page list until it backs `target` tokens, evicting
+  // victims on genuine exhaustion. An injected allocation fault evicts
+  // running[i] itself (a degraded step). Returns false when running[i]
+  // was evicted (its dead[] slot is set).
+  auto ensure_pages = [&](std::size_t i, std::size_t target,
+                          std::vector<char>& dead, double& stall,
+                          bool& degraded) {
+    while (running[i].pages.size() < pages_needed(target)) {
+      const std::size_t injected_before = allocator.injected_failures();
+      const PageId page = allocator.allocate();
+      if (page != kInvalidPage) {
+        running[i].pages.push_back(page);
+        continue;
+      }
+      if (allocator.injected_failures() > injected_before) {
+        // The fault hit this request's allocation: it is the victim.
+        stall += preempt(running[i]);
+        dead[i] = 1;
+        degraded = true;
+        return false;
+      }
+      const std::size_t v = pick_victim(dead);
+      TURBO_CHECK_MSG(v < running.size(),
+                      "page exhaustion with no evictable request");
+      stall += preempt(running[v]);
+      dead[v] = 1;
+      if (v == i) return false;  // evicted itself; no page needed
+    }
+    return true;
+  };
+
+  auto compact_running = [&](std::vector<char>& dead) {
+    std::vector<Running> alive;
+    alive.reserve(running.size());
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      if (dead[i] == 0) alive.push_back(std::move(running[i]));
+    }
+    running.swap(alive);
   };
 
   while (finished < total && now < config.max_sim_time_s) {
@@ -243,86 +306,53 @@ EngineResult run_engine(const EngineConfig& config,
           const double cost = prefill_cost(p.context);
           admit_latency += cost;
           result.busy_s += cost;
+          r.recomputed_tokens += p.context;
+          result.recomputed_tokens += p.context;
           ++result.recoveries;
         } else {
           ++result.swap_ins;
         }
-      } else {
+      } else if (p.context > 0) {
+        // Recompute mode: re-derive the evicted KV with a fresh prefill
+        // over everything that was cached (prompt prefix + generated).
         const double cost = prefill_cost(p.context);
         admit_latency += cost;
         result.busy_s += cost;
+        r.recomputed_tokens += p.context;
+        result.recomputed_tokens += p.context;
       }
+      // A partially-prefilled victim resumes from its cursor: the chunk
+      // loop below continues with p.prompt_left tokens still to go.
       running.push_back(
-          {p.trace_index, p.context, p.remaining, std::move(pages),
-           r.preemptions >= config.pin_after_preemptions});
+          {p.trace_index, p.context, p.remaining, p.prompt_left,
+           std::move(pages), r.preemptions >= config.pin_after_preemptions});
       paused.erase(paused.begin() + static_cast<std::ptrdiff_t>(pi));
     }
+    now += admit_latency;
 
     // --- Fresh admission: FIFO while pages and the batch cap allow ---
-    // Optimistic: a request needs only its prompt (+ first token) pages
-    // to start; decode growth is backed by preemption. Fresh admissions
+    // Optimistic and chunk-aware: a request needs only its first chunk's
+    // pages to start (the prefill cursor allocates the rest as it
+    // advances); decode growth is backed by preemption. Fresh admissions
     // leave `admit_reserve` of the pool free for that growth — except
     // when the batch is empty, where head-of-line blocking would stall
     // the engine outright.
-    std::vector<std::size_t> admitted;
-    std::vector<std::vector<PageId>> admitted_pages;
     const std::size_t reserve_pages = static_cast<std::size_t>(
         static_cast<double>(page_count) * config.admit_reserve);
-    while (!waiting.empty() &&
-           running.size() + admitted.size() < config.max_batch) {
+    while (!waiting.empty() && running.size() < config.max_batch) {
       const std::size_t idx = waiting.front();
       const Request& r = result.requests[idx];
-      const std::size_t needed = pages_needed(r.prompt_tokens + 1);
-      const std::size_t reserve =
-          (running.empty() && admitted.empty()) ? 0 : reserve_pages;
+      const std::size_t first_chunk =
+          std::min(r.prompt_tokens + 1, quantum);
+      const std::size_t needed = pages_needed(first_chunk);
+      const std::size_t reserve = running.empty() ? 0 : reserve_pages;
       if (allocator.free_pages() < needed + reserve) break;
       std::vector<PageId> pages;
       if (!try_alloc(needed, pages)) break;  // injected failure: retry later
-      admitted.push_back(idx);
-      admitted_pages.push_back(std::move(pages));
+      running.push_back(
+          {idx, 0, r.max_new_tokens, r.prompt_tokens, std::move(pages),
+           false});
       waiting.pop_front();
-    }
-
-    if (!admitted.empty()) {
-      // Chunked-style prefill: each admitted request's prompt is processed
-      // at its own length (padding a batched prefill to the longest prompt
-      // would penalize exactly the methods that can admit more requests).
-      double prefill_latency = 0.0;
-      for (std::size_t a = 0; a < admitted.size(); ++a) {
-        const std::size_t idx = admitted[a];
-        Request& r = result.requests[idx];
-        prefill_latency += prefill_cost(r.prompt_tokens);
-        r.prefill_start_s = now;
-        running.push_back({idx, r.prompt_tokens, r.max_new_tokens,
-                           std::move(admitted_pages[a]), false});
-      }
-      now += admit_latency + prefill_latency;
-      admit_latency = 0.0;
-      result.busy_s += prefill_latency;
-      // The prompt's last-position output is the first generated token.
-      const std::size_t first_new = running.size() - admitted.size();
-      for (std::size_t i = first_new; i < running.size();) {
-        Running& ru = running[i];
-        Request& r = result.requests[ru.trace_index];
-        r.first_token_s = now;
-        if (ru.remaining > 0) {
-          r.generated = 1;
-          ru.remaining -= 1;
-          ru.context += 1;
-        }
-        if (ru.remaining == 0) {
-          r.finish_s = now;
-          release_all(ru.pages);
-          ++finished;
-          running[i] = running.back();
-          running.pop_back();
-        } else {
-          ++i;
-        }
-      }
-    } else {
-      now += admit_latency;
-      admit_latency = 0.0;
     }
     result.peak_batch = std::max(result.peak_batch, running.size());
 
@@ -348,62 +378,96 @@ EngineResult run_engine(const EngineConfig& config,
       break;  // nothing running, waiting, paused or arriving
     }
 
+    // --- Chunked prefill: one scheduler quantum of prompt tokens ---
+    // FIFO across requests still mid-prefill (admission order), so an
+    // earlier prompt finishes before a later one starts. Each request
+    // stamps its own prefill_start_s when its first chunk runs and its
+    // own first_token_s when its last chunk completes — timestamps are
+    // never shared across an admission round.
+    {
+      double stall = 0.0;
+      bool degraded = false;
+      std::vector<char> dead(running.size(), 0);
+      std::size_t budget = quantum;
+      for (std::size_t i = 0; i < running.size() && budget > 0; ++i) {
+        if (dead[i] != 0) continue;
+        if (running[i].prompt_left == 0) continue;
+        const std::size_t chunk = std::min(running[i].prompt_left, budget);
+        const bool last = chunk == running[i].prompt_left;
+        // The last chunk also backs the first generated token's slot.
+        const std::size_t target =
+            running[i].context + chunk + (last ? 1 : 0);
+        if (!ensure_pages(i, target, dead, stall, degraded)) continue;
+        Running& ru = running[i];
+        Request& r = result.requests[ru.trace_index];
+        if (r.prefill_start_s < 0.0) r.prefill_start_s = now;
+        const double cost = chunk_cost(chunk, ru.context);
+        now += cost;
+        result.busy_s += cost;
+        ru.context += chunk;
+        ru.prompt_left -= chunk;
+        budget -= chunk;
+        if (ru.prompt_left > 0) continue;
+        // The prompt's last-position output is the first generated token.
+        if (r.generated == 0 && ru.remaining > 0) {
+          r.first_token_s = now;
+          r.generated = 1;
+          ru.remaining -= 1;
+          ru.context += 1;
+        }
+        if (ru.remaining == 0) {
+          r.finish_s = now;
+          release_all(ru.pages);
+          ++finished;
+          dead[i] = 1;
+        }
+      }
+      compact_running(dead);
+      now += stall;
+      result.swap_stall_s += stall;
+      if (degraded) ++result.degraded_steps;
+      result.peak_kv_bytes =
+          std::max(result.peak_kv_bytes,
+                   static_cast<double>(allocator.used_pages()) * page_bytes);
+    }
+    if (running.empty()) continue;  // everyone finished or was evicted
+
     // --- Decode-step page growth; preemption is the backstop ---
-    // Each running request about to append token `context + 1` may need
-    // one more page. Injected allocation faults evict the request they
-    // hit (a degraded step); genuine exhaustion evicts the lowest-
-    // priority victim and retries.
+    // Each decoding request about to append token `context + 1` may need
+    // one more page; requests still mid-prefill grow with their cursor
+    // instead. Injected allocation faults evict the request they hit (a
+    // degraded step); genuine exhaustion evicts the lowest-priority
+    // victim and retries.
     {
       double stall = 0.0;
       bool degraded = false;
       std::vector<char> dead(running.size(), 0);
       for (std::size_t i = 0; i < running.size(); ++i) {
         if (dead[i] != 0) continue;
-        Running& ru = running[i];
-        if (ru.pages.size() * pt >= ru.context + 1) continue;
-        for (;;) {
-          const std::size_t injected_before = allocator.injected_failures();
-          const PageId page = allocator.allocate();
-          if (page != kInvalidPage) {
-            ru.pages.push_back(page);
-            break;
-          }
-          if (allocator.injected_failures() > injected_before) {
-            // The fault hit this request's allocation: it is the victim.
-            stall += preempt(ru);
-            dead[i] = 1;
-            degraded = true;
-            break;
-          }
-          const std::size_t v = pick_victim(dead);
-          TURBO_CHECK_MSG(v < running.size(),
-                          "page exhaustion with no evictable request");
-          stall += preempt(running[v]);
-          dead[v] = 1;
-          if (v == i) break;  // evicted itself; no page needed
-        }
+        if (running[i].prompt_left > 0) continue;
+        ensure_pages(i, running[i].context + 1, dead, stall, degraded);
       }
-      std::vector<Running> alive;
-      alive.reserve(running.size());
-      for (std::size_t i = 0; i < running.size(); ++i) {
-        if (dead[i] == 0) alive.push_back(std::move(running[i]));
-      }
-      running.swap(alive);
+      compact_running(dead);
       now += stall;
       result.swap_stall_s += stall;
       if (degraded) ++result.degraded_steps;
     }
     if (running.empty()) continue;  // everyone was evicted this step
 
-    // One decode iteration across the running batch.
+    // One decode iteration across the decoding portion of the batch
+    // (requests mid-prefill hold their batch slot but do not decode).
+    std::size_t decoders = 0;
     std::size_t max_context = 0;
     for (const Running& ru : running) {
+      if (ru.prompt_left > 0) continue;
+      ++decoders;
       max_context = std::max(max_context, ru.context);
     }
+    if (decoders == 0) continue;  // pure-prefill iteration
     sim::InferenceConfig dcfg;
     dcfg.method = config.method;
     dcfg.attention = config.attention;
-    dcfg.batch = running.size();
+    dcfg.batch = decoders;
     dcfg.prompt = max_context;
     const double step = sim::decode_step_breakdown(
                             config.device, config.geometry, dcfg,
@@ -411,15 +475,21 @@ EngineResult run_engine(const EngineConfig& config,
                             .total();
     now += step;
     result.busy_s += step;
-    result.peak_batch = std::max(result.peak_batch, running.size());
     result.peak_kv_bytes =
         std::max(result.peak_kv_bytes,
                  static_cast<double>(allocator.used_pages()) * page_bytes);
 
     for (std::size_t i = 0; i < running.size();) {
       Running& ru = running[i];
+      if (ru.prompt_left > 0) {
+        ++i;
+        continue;
+      }
       Request& r = result.requests[ru.trace_index];
       if (ru.remaining > 0) {
+        if (r.generated == 0 && r.first_token_s < 0.0) {
+          r.first_token_s = now;  // degenerate zero-length-prompt path
+        }
         ru.remaining -= 1;
         ru.context += 1;
         r.generated += 1;
@@ -428,8 +498,9 @@ EngineResult run_engine(const EngineConfig& config,
         r.finish_s = now;
         release_all(ru.pages);
         ++finished;
-        running[i] = running.back();
-        running.pop_back();
+        // Stable erase: the chunk scheduler above is FIFO over this
+        // vector's order, so removals must not reorder survivors.
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
       } else {
         ++i;
       }

@@ -7,9 +7,17 @@
 //      the batch first (swap-in over the PCIe link, or recompute via a
 //      fresh prefill), then waiting requests are admitted FIFO while KV
 //      pages and the batch cap allow.
-//   2. One decode iteration: every running request emits one token; the
-//      step latency comes from the per-method decode model at the current
-//      batch size and maximum context.
+//   2. Chunked prefill (Sarathi-style): up to `prefill_chunk_tokens`
+//      prompt tokens are processed per iteration, FIFO across requests
+//      still mid-prefill. Each request carries a prefill cursor; KV pages
+//      are allocated as the cursor advances (not up-front), and a chunk's
+//      cost is attention over (cached + chunk) with GEMMs over the chunk
+//      only. prefill_chunk_tokens == 0 restores monolithic prefill.
+//   3. One decode iteration: every running request whose prompt is fully
+//      prefilled emits one token; the step latency comes from the
+//      per-method decode model at the current batch size and maximum
+//      context. Decode TPOT is therefore bounded by one chunk, not one
+//      prompt.
 //
 // KV memory is managed as fixed-size pages through a real PageAllocator,
 // so exhaustion (and injected allocation faults) surface exactly where
@@ -54,6 +62,12 @@ struct EngineConfig {
   double memory_headroom = 0.9;      // usable fraction of HBM
   double max_sim_time_s = 36000.0;   // safety stop
 
+  // Scheduler quantum for chunked prefill: at most this many prompt
+  // tokens are prefilled per engine iteration, so long prompts cannot
+  // head-of-line block decode steps. 0 disables chunking (each admitted
+  // prompt runs as one monolithic prefill, the pre-chunking behavior).
+  std::size_t prefill_chunk_tokens = 512;
+
   // --- Pressure / robustness policy ---------------------------------------
   PreemptMode preempt_mode = PreemptMode::kSwap;
   std::size_t page_tokens = 64;      // scheduler page granularity
@@ -91,6 +105,9 @@ struct EngineResult {
                                          // injected allocation failure
   std::size_t injected_alloc_failures = 0;
   std::size_t max_preemptions_single_request = 0;
+  // Total KV tokens re-derived by recompute (recompute-mode re-admissions
+  // plus corrupt-swap recoveries); the sum of Request::recomputed_tokens.
+  std::size_t recomputed_tokens = 0;
   bool hit_time_limit = false;           // max_sim_time_s safety stop fired
 };
 

@@ -23,6 +23,7 @@ ServingMetrics summarize(const EngineResult& result) {
   m.degraded_steps = result.degraded_steps;
   m.injected_alloc_failures = result.injected_alloc_failures;
   m.max_preemptions_single_request = result.max_preemptions_single_request;
+  m.recomputed_tokens = result.recomputed_tokens;
 
   std::vector<float> ttft;
   std::vector<float> tpot;
@@ -32,6 +33,10 @@ ServingMetrics summarize(const EngineResult& result) {
     if (!r.finished() || !r.started()) continue;
     ++m.completed;
     tokens += static_cast<double>(r.generated);
+    // Zero-generation requests complete without ever producing a token:
+    // they have no first_token_s and no meaningful latency-per-output, so
+    // they must not contribute TTFT or e2e samples.
+    if (r.generated == 0) continue;
     ttft.push_back(static_cast<float>(r.ttft()));
     e2e.push_back(static_cast<float>(r.e2e_latency()));
     if (r.generated > 1) {

@@ -11,6 +11,9 @@ struct ServingMetrics {
   std::size_t completed = 0;
   std::size_t rejected = 0;
   double output_tokens_per_s = 0.0;  // generated tokens / makespan
+  // Latency percentiles over requests that actually generated output;
+  // zero-generation requests (max_new_tokens == 0) are excluded from the
+  // TTFT and e2e vectors so they cannot drag the percentiles down.
   double ttft_p50 = 0.0;             // time to first token
   double ttft_p99 = 0.0;
   double tpot_p50 = 0.0;             // per-token latency after the first
@@ -34,6 +37,7 @@ struct ServingMetrics {
   std::size_t degraded_steps = 0;
   std::size_t injected_alloc_failures = 0;
   std::size_t max_preemptions_single_request = 0;
+  std::size_t recomputed_tokens = 0;  // KV tokens re-derived after eviction
 };
 
 ServingMetrics summarize(const EngineResult& result);

@@ -15,17 +15,26 @@ struct Request {
   // broken by arrival order (earlier arrivals are protected).
   int priority = 0;
 
-  // Filled by the engine.
+  // Filled by the engine. `prefill_start_s` is stamped when this request's
+  // own first prefill chunk runs (not when its admission round begins) and
+  // `first_token_s` when its own last chunk completes, so TTFT never
+  // includes other requests admitted in the same round. Requests with
+  // max_new_tokens == 0 never get a first_token_s (nothing is generated).
   double prefill_start_s = -1.0;
   double first_token_s = -1.0;   // time the first output token is ready
   double finish_s = -1.0;
   std::size_t generated = 0;
   std::size_t preemptions = 0;   // times this request was evicted
+  // Tokens whose KV was recomputed after a recompute-mode preemption (or a
+  // corrupt swap-in recovered by recomputation). Distinguishes busy_s spent
+  // on useful work from busy_s spent re-deriving evicted state.
+  std::size_t recomputed_tokens = 0;
 
   bool started() const { return prefill_start_s >= 0.0; }
   bool finished() const { return finish_s >= 0.0; }
 
-  // Time to first token (from arrival). Valid once started.
+  // Time to first token (from arrival). Valid once the first output token
+  // exists (first_token_s >= 0; never true when max_new_tokens == 0).
   double ttft() const { return first_token_s - arrival_s; }
   // Mean time per output token after the first.
   double tpot() const {

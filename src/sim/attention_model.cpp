@@ -136,6 +136,114 @@ PhaseBreakdown attention_prefill_cost(const DeviceSpec& dev,
   return b;
 }
 
+PhaseBreakdown attention_chunk_prefill_cost(const DeviceSpec& dev,
+                                            AttnMethod method,
+                                            const AttnShape& shape,
+                                            const AttnCostConfig& cfg) {
+  TURBO_CHECK(shape.kv_len >= shape.q_len);
+  if (shape.kv_len == shape.q_len) {
+    // First chunk (nothing cached) degenerates to the monolithic pass;
+    // delegating keeps the two paths bit-identical.
+    return attention_prefill_cost(dev, method, shape, cfg);
+  }
+  const double n = grid(shape);
+  const double nkv = kv_grid(shape);
+  const double c = static_cast<double>(shape.q_len);
+  const double cached = static_cast<double>(shape.kv_len - shape.q_len);
+  const double d = static_cast<double>(shape.head_dim);
+  const double causal_factor = cfg.causal ? 0.5 : 1.0;
+  // Full attention over the cached prefix + causal attention inside the
+  // chunk: summed over all chunks this reproduces the monolithic
+  // causal_factor * S^2 score count.
+  const double scores = n * (c * cached + causal_factor * c * c);
+  const double cached_elems = 2.0 * nkv * cached * d;
+  const double chunk_elems = 2.0 * nkv * c * d;
+
+  // I/O common to all methods: read the chunk's Q/K/V, write its O. The
+  // cached prefix is read in the method's stored KV format below.
+  const double io_common = n * c * d * kFp16Bytes        // Q
+                           + chunk_elems * kFp16Bytes    // chunk K, V
+                           + n * c * d * kFp16Bytes;     // O
+
+  PhaseBreakdown b;
+  switch (method) {
+    case AttnMethod::kFlashFp16:
+    case AttnMethod::kKiviFlash:
+    case AttnMethod::kGearFlash: {
+      b.qk_matmul = 2.0 * scores * d / dev.eff_fp16_tensor();
+      b.pv_matmul = b.qk_matmul;
+      b.softmax = exp_fp32_time(dev, scores) +
+                  softmax_overhead_time(dev, scores, /*fp16=*/false);
+      if (method == AttnMethod::kFlashFp16) {
+        // Cached prefix is FP16 pages read straight into the kernel.
+        b.kv_io = memory_time(dev, io_common + cached_elems * kFp16Bytes);
+        b.launch = dev.kernel_launch_overhead;
+      } else {
+        // Pre-pass: decompress the cached prefix to an FP16 scratch cache
+        // (read codes, write FP16), exactly like the decode-time pre-pass.
+        const double cached_code_bytes =
+            cached_elems * cfg.kv_bits / 8.0 +
+            quant_metadata_bytes(cfg, cached, nkv, d);
+        double pre_compute = dequant_to_fp16_time(dev, cached_elems);
+        double pre_bytes = cached_code_bytes + cached_elems * kFp16Bytes;
+        if (method == AttnMethod::kGearFlash) {
+          pre_compute += 2.0 *
+                         gemm_time(dev, shape.kv_len - shape.q_len,
+                                   shape.head_dim, cfg.gear_rank,
+                                   MatmulPrecision::kFp16Tensor) *
+                         nkv;
+          pre_bytes += 2.0 * nkv * (cached + d) *
+                       static_cast<double>(cfg.gear_rank) * kFp16Bytes;
+        }
+        b.dequant = pre_compute;
+        double serialized =
+            std::max(pre_compute, memory_time(dev, pre_bytes)) +
+            dev.kernel_launch_overhead;
+        // The flash kernel then re-reads the materialized FP16 prefix.
+        b.kv_io = memory_time(dev, io_common + cached_elems * kFp16Bytes);
+        // Compression pass over the chunk's freshly produced KV.
+        const double compress_bytes =
+            chunk_elems * kFp16Bytes + chunk_elems * cfg.kv_bits / 8.0 +
+            quant_metadata_bytes(cfg, c, nkv, d);
+        double compress = std::max(quantize_int8_time(dev, chunk_elems),
+                                   memory_time(dev, compress_bytes)) +
+                          dev.kernel_launch_overhead;
+        if (method == AttnMethod::kGearFlash) {
+          compress += 6.0 * gemm_time(dev, shape.q_len, cfg.gear_rank,
+                                      shape.head_dim,
+                                      MatmulPrecision::kFp16Tensor) *
+                      nkv;
+        }
+        b.serialized = serialized + compress;
+        b.quantize = quantize_int8_time(dev, chunk_elems);
+        b.launch = dev.kernel_launch_overhead;
+      }
+      break;
+    }
+    case AttnMethod::kTurbo: {
+      // Fused: the cached prefix's codes are the only extra KV traffic;
+      // second-stage reversal to INT8 happens in registers.
+      const double in_elems = (n + 2.0 * nkv) * c * d;
+      b.quantize = quantize_int8_time(dev, in_elems)    // chunk Q/K/V stage 1
+                   + quantize_int8_time(dev, scores)    // P~ tiles
+                   + dequant_to_int8_time(dev, cached_elems + chunk_elems);
+      b.qk_matmul = 2.0 * scores * d / dev.eff_int8_tensor();
+      b.pv_matmul = b.qk_matmul;
+      b.softmax = exp_sas_time(dev, scores) +
+                  softmax_overhead_time(dev, scores, /*fp16=*/true);
+      const double cached_code_bytes =
+          cached_elems * cfg.kv_bits / 8.0 +
+          quant_metadata_bytes(cfg, cached, nkv, d);
+      const double out_bytes = chunk_elems * cfg.kv_bits / 8.0 +
+                               quant_metadata_bytes(cfg, c, nkv, d);
+      b.kv_io = memory_time(dev, io_common + cached_code_bytes + out_bytes);
+      b.launch = dev.kernel_launch_overhead;
+      break;
+    }
+  }
+  return b;
+}
+
 PhaseBreakdown attention_decode_cost(const DeviceSpec& dev,
                                      AttnMethod method,
                                      const AttnShape& shape,

@@ -82,6 +82,18 @@ PhaseBreakdown attention_prefill_cost(const DeviceSpec& dev,
                                       const AttnShape& shape,
                                       const AttnCostConfig& cfg);
 
+// Cost of one chunked-prefill attention pass: `q_len` new prompt tokens
+// attending over `kv_len` total tokens, of which the first
+// `kv_len - q_len` are already cached (stored in the method's KV format).
+// Score work is full attention over the cached prefix plus causal
+// attention within the chunk, so summing chunks over a prompt preserves
+// the monolithic S^2 total. With kv_len == q_len this is exactly
+// attention_prefill_cost.
+PhaseBreakdown attention_chunk_prefill_cost(const DeviceSpec& dev,
+                                            AttnMethod method,
+                                            const AttnShape& shape,
+                                            const AttnCostConfig& cfg);
+
 // Cost of one decode-step attention pass (q_len == 1, kv_len == context).
 PhaseBreakdown attention_decode_cost(const DeviceSpec& dev,
                                      AttnMethod method,

@@ -145,6 +145,19 @@ E2EBreakdown prefill_breakdown(const DeviceSpec& dev,
   return combine(dev, geom, linear, attn);
 }
 
+E2EBreakdown chunk_prefill_breakdown(const DeviceSpec& dev,
+                                     const ModelGeometry& geom,
+                                     const InferenceConfig& cfg,
+                                     std::size_t cached) {
+  const double linear =
+      linear_time(dev, geom, static_cast<double>(cfg.batch),
+                  static_cast<double>(cfg.prompt));
+  const PhaseBreakdown attn = attention_chunk_prefill_cost(
+      dev, cfg.method,
+      shape_for(geom, cfg, cfg.prompt, cached + cfg.prompt), cfg.attention);
+  return combine(dev, geom, linear, attn);
+}
+
 E2EBreakdown decode_step_breakdown(const DeviceSpec& dev,
                                    const ModelGeometry& geom,
                                    const InferenceConfig& cfg,

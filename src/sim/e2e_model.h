@@ -68,6 +68,16 @@ E2EBreakdown prefill_breakdown(const DeviceSpec& dev,
                                const ModelGeometry& geom,
                                const InferenceConfig& cfg);
 
+// One chunked-prefill pass: the linear stack (GEMMs) runs over the
+// `cfg.prompt` *new* tokens only, while attention spans the `cached`
+// tokens already resident in the KV cache plus the chunk. With
+// cached == 0 this is exactly prefill_breakdown, so a monolithic prefill
+// and a one-chunk "chunked" prefill cost the same.
+E2EBreakdown chunk_prefill_breakdown(const DeviceSpec& dev,
+                                     const ModelGeometry& geom,
+                                     const InferenceConfig& cfg,
+                                     std::size_t cached);
+
 // One decode step at the given context length.
 E2EBreakdown decode_step_breakdown(const DeviceSpec& dev,
                                    const ModelGeometry& geom,

@@ -74,6 +74,23 @@ TEST(DecodeBufferTest, TakeDrainsButKeepsScale) {
   EXPECT_EQ(buf.size(), 1u);
 }
 
+TEST(DecodeBufferTest, TakeResetsClampCounter) {
+  // take() flushes tokens AND the clamp counter; callers accounting
+  // clamped tokens (e.g. quality ablations) must read it before take().
+  DecodeBuffer buf(4, 2);
+  buf.seed_scale(1.0f);
+  buf.push(token({500.0f, -500.0f}));  // clamps under the 1.0 scale
+  buf.push(token({0.5f, -0.5f}));      // in range
+  buf.push(token({300.0f, 0.0f}));     // clamps
+  EXPECT_EQ(buf.clamped_token_count(), 2u);
+  (void)buf.take();
+  EXPECT_EQ(buf.clamped_token_count(), 0u);
+  // The retained universal scale still clamps fresh outliers, counted
+  // from zero for the new flush window.
+  buf.push(token({-700.0f, 700.0f}));
+  EXPECT_EQ(buf.clamped_token_count(), 1u);
+}
+
 TEST(DecodeBufferTest, RoundTripErrorWithinHalfScale) {
   DecodeBuffer buf(16, 8);
   Rng rng(1);

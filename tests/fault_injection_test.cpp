@@ -51,6 +51,7 @@ std::uint64_t digest(const serving::EngineResult& r) {
     mix_d(q.finish_s);
     h = mix(h, q.generated);
     h = mix(h, q.preemptions);
+    h = mix(h, q.recomputed_tokens);
   }
   mix_d(r.makespan_s);
   mix_d(r.busy_s);
@@ -63,6 +64,7 @@ std::uint64_t digest(const serving::EngineResult& r) {
   h = mix(h, r.recoveries);
   h = mix(h, r.degraded_steps);
   h = mix(h, r.injected_alloc_failures);
+  h = mix(h, r.recomputed_tokens);
   return h;
 }
 
@@ -143,6 +145,26 @@ TEST(FaultMatrixTest, IdenticalSeedsBitIdenticalResults) {
   EXPECT_EQ(digest(a), digest(b));
   EXPECT_EQ(a.preemptions, b.preemptions);
   EXPECT_EQ(a.checksum_failures, b.checksum_failures);
+}
+
+TEST(FaultMatrixTest, ChunkedPrefillBitIdenticalUnderFaults) {
+  // Chunked prefill interacts with every pressure path (mid-prompt
+  // eviction, partial-page allocation, swap of partially-prefilled KV);
+  // the result must stay bit-reproducible per seed, and the chunk size
+  // must actually change the schedule.
+  const auto trace = overload_trace();
+  serving::EngineConfig cfg = pressured_engine(3);
+  cfg.prefill_chunk_tokens = 128;
+  const serving::EngineResult a = run_engine(cfg, trace);
+  const serving::EngineResult b = run_engine(cfg, trace);
+  EXPECT_EQ(digest(a), digest(b));
+  expect_full_accounting(a, trace.size());
+
+  serving::EngineConfig monolithic = pressured_engine(3);
+  monolithic.prefill_chunk_tokens = 0;
+  const serving::EngineResult c = run_engine(monolithic, trace);
+  expect_full_accounting(c, trace.size());
+  EXPECT_NE(digest(a), digest(c));
 }
 
 TEST(FaultMatrixTest, DifferentSeedsDifferentFaultStreams) {

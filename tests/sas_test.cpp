@@ -51,6 +51,53 @@ TEST(SasTest, SparsificationBelowThreshold) {
   EXPECT_GT(sas.exp_neg(-5.9f), 0.0f);
 }
 
+TEST(SasTest, ExactThresholdIsNotSparsified) {
+  // Sparsification is x < threshold, strictly: the boundary score itself
+  // still contributes e^{threshold} (Algorithm 3 keeps X >= n_r). A
+  // regression here silently widens the sparsified tail by one LUT bucket.
+  for (const int threshold : {-4, -6, -8}) {
+    SCOPED_TRACE("threshold " + std::to_string(threshold));
+    const Sas sas(SasConfig{.threshold = threshold,
+                            .fp16_arithmetic = false});
+    const float x = static_cast<float>(threshold);
+    EXPECT_GT(sas.exp_neg(x), 0.0f);
+    // y_dec == 0 at the boundary, so the result is LUT[|threshold|] times
+    // poly(0) = c0 — within the polynomial's fit error of e^{threshold}.
+    EXPECT_NEAR(sas.exp_neg(x), std::exp(x), 5e-4f * std::exp(x) + 1e-6f);
+    // One ULP below the boundary is sparsified to exactly zero.
+    const float below =
+        std::nextafter(x, -std::numeric_limits<float>::infinity());
+    EXPECT_EQ(sas.exp_neg(below), 0.0f);
+  }
+}
+
+TEST(SasTest, SentinelBucketYieldsExactZero) {
+  // The LUT carries |threshold| + 2 entries: e^0 .. e^{threshold} plus one
+  // zero sentinel so the branch-free indexed path (Algorithm 3 rewrites
+  // X[X < n_r] to bucket n_r + 1) needs no comparison. The sentinel must
+  // be exactly 0.0 — any epsilon leaks mass into the sparsified tail and
+  // breaks the softmax normalization accounting.
+  for (const int threshold : {-4, -6, -8}) {
+    SCOPED_TRACE("threshold " + std::to_string(threshold));
+    const Sas sas(SasConfig{.threshold = threshold});
+    const auto lut = sas.lut();
+    const std::size_t n = static_cast<std::size_t>(-threshold);
+    ASSERT_EQ(lut.size(), n + 2);
+    EXPECT_EQ(lut[n + 1], 0.0f);
+    // The sentinel annihilates whatever the polynomial produces, exactly:
+    // T[n_r + 1] * poly(t) == 0 for any fractional part t.
+    for (const float t : {0.0f, 0.25f, 0.5f, 0.999f}) {
+      EXPECT_EQ(lut[n + 1] * Sas::poly(t), 0.0f);
+      EXPECT_EQ(lut[n + 1] * Sas::poly_fp16(t), 0.0f);
+    }
+    // All real buckets are strictly positive, so zero uniquely marks the
+    // sparsified bucket.
+    for (std::size_t i = 0; i <= n; ++i) {
+      EXPECT_GT(lut[i], 0.0f);
+    }
+  }
+}
+
 TEST(SasTest, ApproximationErrorWithinRange) {
   const Sas sas;
   for (int i = 0; i <= 600; ++i) {

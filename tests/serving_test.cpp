@@ -231,6 +231,35 @@ TEST(EngineTest, BothPreemptModesDrainTheTrace) {
   EXPECT_EQ(recompute.swap_stall_s, 0.0);
 }
 
+TEST(MetricsTest, ZeroGenerationRequestsExcludedFromLatencyPercentiles) {
+  // A max_new_tokens == 0 request (prefill-only, e.g. scoring) produces no
+  // output token: it must not contribute a degenerate TTFT/e2e sample.
+  std::vector<Request> trace(2);
+  trace[0].id = 0;
+  trace[0].arrival_s = 0.0;
+  trace[0].prompt_tokens = 512;
+  trace[0].max_new_tokens = 0;
+  trace[1].id = 1;
+  trace[1].arrival_s = 0.0;
+  trace[1].prompt_tokens = 512;
+  trace[1].max_new_tokens = 16;
+  const EngineResult r =
+      run_engine(engine(sim::AttnMethod::kTurbo, 4.0), trace);
+  ASSERT_TRUE(r.requests[0].finished());
+  EXPECT_EQ(r.requests[0].generated, 0u);
+  EXPECT_LT(r.requests[0].first_token_s, 0.0);  // never stamped
+  ASSERT_TRUE(r.requests[1].finished());
+  const ServingMetrics m = summarize(r);
+  EXPECT_EQ(m.completed, 2u);
+  // Percentiles come from the generating request alone.
+  EXPECT_FLOAT_EQ(static_cast<float>(m.ttft_p50),
+                  static_cast<float>(r.requests[1].ttft()));
+  EXPECT_FLOAT_EQ(static_cast<float>(m.ttft_p99),
+                  static_cast<float>(r.requests[1].ttft()));
+  EXPECT_FLOAT_EQ(static_cast<float>(m.e2e_p50),
+                  static_cast<float>(r.requests[1].e2e_latency()));
+}
+
 TEST(MetricsTest, UtilizationBounded) {
   const auto trace = generate_trace(small_trace());
   const ServingMetrics m = summarize(

@@ -6,6 +6,8 @@
 #   tools/check.sh asan       # just the ASan+UBSan build + tests
 #   tools/check.sh fault      # fault-injection suite (ctest -L fault) in
 #                             # both builds; checks Release and ASan agree
+#   tools/check.sh serving    # serving/scheduler suite (ctest -L serving)
+#                             # in both builds (chunked prefill, metrics)
 #   tools/check.sh lint       # just turbo_lint
 #   tools/check.sh tidy       # just clang-tidy (skipped when not installed)
 #
@@ -22,9 +24,9 @@ FAILED=0
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    all|release|asan|fault|lint|tidy) ;;
+    all|release|asan|fault|serving|lint|tidy) ;;
     *)
-      echo "check.sh: unknown stage '$s' (expected: release asan fault lint tidy)" >&2
+      echo "check.sh: unknown stage '$s' (expected: release asan fault serving lint tidy)" >&2
       exit 2
       ;;
   esac
@@ -67,6 +69,20 @@ run_fault() {
   ctest --test-dir build-asan-ubsan -L fault --output-on-failure || return 1
 }
 
+run_serving() {
+  banner "serving: scheduler suite (chunked prefill + metrics, both builds)"
+  # Chunked prefill must be bit-deterministic and drain identical totals
+  # in Release and under sanitizers, same contract as the fault stage.
+  cmake --preset release || return 1
+  cmake --build --preset release -j "$JOBS" \
+    --target serving_test chunked_prefill_test || return 1
+  ctest --test-dir build-release -L serving --output-on-failure || return 1
+  cmake --preset debug-asan-ubsan || return 1
+  cmake --build --preset debug-asan-ubsan -j "$JOBS" \
+    --target serving_test chunked_prefill_test || return 1
+  ctest --test-dir build-asan-ubsan -L serving --output-on-failure || return 1
+}
+
 run_lint() {
   banner "lint: turbo_lint quant-invariant rules"
   # Reuse whichever configured build dir already has the lint binary;
@@ -102,6 +118,7 @@ run_tidy() {
 if want release; then run_release || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want asan; then run_asan || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want fault; then run_fault || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want serving; then run_serving || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want lint; then run_lint || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tidy; then run_tidy || FAILED=1; fi
 

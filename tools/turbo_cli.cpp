@@ -41,6 +41,7 @@ using tools::Flags;
       "            --ctx TOKENS  --phase prefill|decode  --tp GPUS\n"
       "  serve:    --rate REQ_PER_S  --duration S  --method ...  --bits B\n"
       "            --device ...  --model ...  --max-batch N  --headroom F\n"
+      "            --prefill-chunk TOKENS (0 = monolithic prefill)\n"
       "            --preempt swap|recompute  --fault-seed S\n"
       "            --alloc-fail-p P  --corrupt-p P  --spike-p P --spike-x M\n");
   std::exit(2);
@@ -154,8 +155,8 @@ int run_latency(const Flags& flags) {
 int run_serve(const Flags& flags) {
   flags.check_consumed({"rate", "duration", "method", "bits", "seed",
                         "device", "model", "max-batch", "headroom",
-                        "preempt", "fault-seed", "alloc-fail-p", "corrupt-p",
-                        "spike-p", "spike-x"});
+                        "prefill-chunk", "preempt", "fault-seed",
+                        "alloc-fail-p", "corrupt-p", "spike-p", "spike-x"});
   serving::TraceConfig trace_cfg;
   trace_cfg.arrival_rate = flags.get_double("rate", 4.0);
   trace_cfg.duration_s = flags.get_double("duration", 60.0);
@@ -169,6 +170,12 @@ int run_serve(const Flags& flags) {
   engine.max_batch =
       static_cast<std::size_t>(flags.get_int("max-batch", 256));
   engine.memory_headroom = flags.get_double("headroom", 0.9);
+  const long chunk = flags.get_int("prefill-chunk", 512);
+  if (chunk < 0) {
+    std::fprintf(stderr, "--prefill-chunk must be >= 0 (0 = monolithic)\n");
+    std::exit(2);
+  }
+  engine.prefill_chunk_tokens = static_cast<std::size_t>(chunk);
   const std::string preempt = flags.get("preempt", "swap");
   if (preempt == "recompute") {
     engine.preempt_mode = serving::PreemptMode::kRecompute;
@@ -196,9 +203,11 @@ int run_serve(const Flags& flags) {
               m.ttft_p50, m.ttft_p99, m.tpot_p50 * 1e3, m.peak_batch,
               m.rejected);
   std::printf("  pressure: preemptions %zu (swap %zu, recompute %zu), "
-              "swap-ins %zu, swapped %.2f/%.2f GB out/in, stall %.2f s\n",
+              "swap-ins %zu, swapped %.2f/%.2f GB out/in, stall %.2f s, "
+              "recomputed %zu tok\n",
               m.preemptions, m.preempted_swap, m.preempted_recompute,
-              m.swap_ins, m.swap_out_gb, m.swap_in_gb, m.swap_stall_s);
+              m.swap_ins, m.swap_out_gb, m.swap_in_gb, m.swap_stall_s,
+              m.recomputed_tokens);
   if (engine.faults.enabled()) {
     std::printf("  faults: alloc failures %zu, degraded steps %zu, "
                 "checksum failures %zu, recoveries %zu, worst-case "
