@@ -150,5 +150,68 @@ int main() {
               "because prefill work is spread across iterations, and tiny "
               "chunks pay for re-reading the cached prefix each chunk. "
               "512 is the shipped default.\n");
+
+  // --- Overload control: FIFO vs class-aware vs + degradation ladder ---
+  // A mixed-class trace pushed well past the sustainable rate on a small
+  // KV pool. FIFO treats every request alike, so interactive requests
+  // queue behind batch work and blow their TTFT deadline; class-aware
+  // scheduling admits and protects interactive first; the degradation
+  // ladder additionally downshifts KV precision under pressure (packing
+  // more tokens per page) and sheds batch arrivals, trading batch
+  // completions and KV fidelity for fewer preemptions and timeouts.
+  std::printf("\n=== Overload control: Phi3-mini on A100-PCIe-40GB, "
+              "headroom 0.35, Turbo-4 ===\n");
+  std::printf("mix: 30%% interactive (TTFT SLO 2.5 s), 50%% standard "
+              "(TTFT SLO 20 s), 20%% batch (no SLO)\n\n");
+  {
+    TraceConfig t;
+    t.arrival_rate = 24.0;
+    t.duration_s = 20.0;
+    t.prompt_log_mean = 5.5;
+    t.prompt_log_std = 0.5;
+    t.gen_log_mean = 5.0;
+    t.gen_log_std = 0.5;
+    t.seed = 17;
+    t.class_mix = {0.3, 0.5, 0.2};
+    t.ttft_deadline_s = {2.5, 20.0, 0.0};
+    const auto trace = generate_trace(t);
+    std::printf("trace: %.0f req/s for %.0f s (%zu requests)\n\n",
+                t.arrival_rate, t.duration_s, trace.size());
+    std::printf("%16s  %8s  %12s  %12s  %7s  %7s  %5s  %6s\n", "policy",
+                "tok/s", "inter. p99", "inter. SLO", "preempt", "timeout",
+                "shed", "minbit");
+    struct PolicyRow {
+      const char* label;
+      SchedPolicy policy;
+      bool degrade;
+    };
+    const PolicyRow rows[] = {
+        {"fifo", SchedPolicy::kFifo, false},
+        {"class-aware", SchedPolicy::kClassAware, false},
+        {"class+degrade", SchedPolicy::kClassAware, true},
+    };
+    for (const PolicyRow& row : rows) {
+      EngineConfig cfg;
+      cfg.device = turbo::sim::a100_pcie_40gb();
+      cfg.geometry = turbo::sim::phi3_mini_geometry();
+      cfg.method = AttnMethod::kTurbo;
+      cfg.attention.kv_bits = 4.0;
+      cfg.memory_headroom = 0.35;
+      cfg.policy = row.policy;
+      cfg.degrade.enabled = row.degrade;
+      const ServingMetrics s = summarize(run_engine(cfg, trace));
+      const ClassBreakdown& inter = s.by_class[0];
+      std::printf("%16s  %8.0f  %11.2fs  %11.1f%%  %7zu  %7zu  %5zu  %6.1f\n",
+                  row.label, s.output_tokens_per_s, inter.ttft_p99,
+                  100.0 * inter.ttft_attainment, s.preemptions, s.timed_out,
+                  s.shed, s.min_kv_bits);
+    }
+  }
+  std::printf("\nExpected: FIFO misses the interactive TTFT SLO (queueing "
+              "behind batch prefills); class-aware keeps interactive p99 "
+              "inside the deadline at the same load; enabling the ladder "
+              "further cuts preemptions and timeouts by downshifting KV "
+              "precision (min KV bits drops toward 2) and shedding batch "
+              "arrivals at the door.\n");
   return 0;
 }

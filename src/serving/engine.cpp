@@ -6,7 +6,10 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/matrix.h"
+#include "common/rng.h"
 #include "kvcache/page_allocator.h"
+#include "quant/error.h"
 #include "serving/swap.h"
 
 namespace turbo::serving {
@@ -20,6 +23,7 @@ struct Running {
   std::size_t prompt_left;    // prompt tokens not yet prefilled (cursor)
   std::vector<PageId> pages;  // pages backing `context` (+ growth slack)
   bool pinned = false;        // protected from further victimization
+  double kv_bits = 0.0;       // precision this request's KV is stored at
 };
 
 // A preempted request waiting out its backoff before re-admission.
@@ -31,7 +35,23 @@ struct Paused {
   double eligible_s;        // earliest re-admission time
   bool swapped;             // true: pages parked in the host store
   double bytes;             // swapped stream size (0 for recompute)
+  double kv_bits;           // precision the parked KV is stored at
 };
+
+// Deadline comparisons use a slack so a token landing exactly on the
+// deadline counts as met, and idle-time jumps that land on an expiry
+// instant make progress.
+constexpr double kDeadlineSlack = 1e-9;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Degradation ladder levels.
+enum : std::size_t { kLevelNormal = 0, kLevelDownshift = 1, kLevelShed = 2 };
 
 }  // namespace
 
@@ -42,18 +62,54 @@ EngineResult run_engine(const EngineConfig& config,
               return a.arrival_s < b.arrival_s;
             });
 
-  const double kv_per_token = sim::kv_cache_bytes_per_token(
-      config.method, config.attention, config.geometry.kv_heads,
-      config.geometry.head_dim) *
-      static_cast<double>(config.geometry.layers);
+  const sim::ModelGeometry& geom = config.geometry;
+  // KV bytes/token at an arbitrary stored precision (the method decides
+  // whether kv_bits matters at all — FP16 ignores it).
+  auto kv_per_token_at = [&](double bits) {
+    sim::AttnCostConfig a = config.attention;
+    a.kv_bits = bits;
+    return sim::kv_cache_bytes_per_token(config.method, a, geom.kv_heads,
+                                         geom.head_dim) *
+           static_cast<double>(geom.layers);
+  };
+  const double bits_normal = config.attention.kv_bits;
+  const double kv_per_token = kv_per_token_at(bits_normal);
   const double kv_budget =
       config.device.hbm_capacity * config.memory_headroom -
-      config.geometry.weight_bytes_fp16();
+      geom.weight_bytes_fp16();
   TURBO_CHECK_MSG(kv_budget > 0.0, "weights alone exceed device memory");
   TURBO_CHECK(config.page_tokens > 0);
   TURBO_CHECK(config.backoff_base_s > 0.0);
   TURBO_CHECK(config.backoff_cap_s >= config.backoff_base_s);
   TURBO_CHECK(config.admit_reserve >= 0.0 && config.admit_reserve < 1.0);
+  TURBO_CHECK_MSG(config.backoff_jitter >= 0.0,
+                  "backoff_jitter must be >= 0");
+  {
+    double share_sum = 0.0;
+    for (const ClassPolicy& p : config.classes) {
+      TURBO_CHECK_MSG(p.page_share >= 0.0 && p.page_share <= 1.0,
+                      "class page_share outside [0, 1]");
+      share_sum += p.page_share;
+    }
+    TURBO_CHECK_MSG(share_sum <= 1.0 + 1e-9,
+                    "class page shares must sum to <= 1");
+  }
+  if (config.degrade.enabled) {
+    TURBO_CHECK_MSG(config.degrade.low_watermark >= 0.0 &&
+                        config.degrade.high_watermark <= 1.0 &&
+                        config.degrade.low_watermark <
+                            config.degrade.high_watermark,
+                    "degrade watermarks must satisfy 0 <= low < high <= 1");
+    TURBO_CHECK(config.degrade.window_iters > 0);
+  }
+
+  // Degraded KV precision: the head-wise 4/2-bit mix, never *above* the
+  // configured precision (downshift only).
+  const double bits_degraded =
+      config.degrade.enabled
+          ? std::min(bits_normal, sim::headwise_mixed_kv_bits(
+                                      config.degrade.two_bit_head_fraction))
+          : bits_normal;
 
   // Scheduler quantum: at most this many prompt tokens prefill per
   // iteration. 0 = monolithic (a whole prompt is one chunk).
@@ -64,7 +120,10 @@ EngineResult run_engine(const EngineConfig& config,
 
   // KV memory as fixed-size pages through a real allocator, so that page
   // exhaustion and injected allocation faults surface exactly where a
-  // paged serving system would see them.
+  // paged serving system would see them. A page is a fixed byte region
+  // sized for `page_tokens` tokens at the *configured* precision; KV
+  // written at a downshifted precision packs proportionally more tokens
+  // into the same page.
   const double page_bytes =
       static_cast<double>(config.page_tokens) * kv_per_token;
   const std::size_t page_count =
@@ -76,17 +135,30 @@ EngineResult run_engine(const EngineConfig& config,
 
   EngineResult result;
   result.requests = trace;
+  result.min_kv_bits = bits_normal;
 
-  const std::size_t pt = config.page_tokens;
-  auto pages_needed = [pt](std::size_t tokens) {
-    return (tokens + pt - 1) / pt;
+  auto tokens_per_page_at = [&](double bits) {
+    const double ratio = kv_per_token / kv_per_token_at(bits);
+    return std::max<std::size_t>(
+        config.page_tokens,
+        static_cast<std::size_t>(
+            static_cast<double>(config.page_tokens) * ratio + 1e-9));
+  };
+  const std::size_t tpp_normal = config.page_tokens;
+  const std::size_t tpp_degraded = tokens_per_page_at(bits_degraded);
+  auto pages_needed = [&](std::size_t tokens, double bits) {
+    const std::size_t tpp =
+        bits == bits_normal ? tpp_normal : tpp_degraded;
+    return (tokens + tpp - 1) / tpp;
   };
 
   // Reject requests that could never fit even with the machine to
   // themselves. Everything else is guaranteed schedulable.
   for (Request& r : result.requests) {
-    if (pages_needed(r.prompt_tokens + r.max_new_tokens) > page_count) {
+    if (pages_needed(r.prompt_tokens + r.max_new_tokens, bits_normal) >
+        page_count) {
       r.finish_s = r.arrival_s;  // degenerate: immediately rejected
+      r.outcome = Outcome::kRejected;
       ++result.rejected;
     }
   }
@@ -94,27 +166,66 @@ EngineResult run_engine(const EngineConfig& config,
   const std::size_t total = result.requests.size();
   std::size_t finished = result.rejected;
 
-  std::deque<std::size_t> waiting;  // indices into result.requests
+  auto class_of = [&](std::size_t idx) {
+    return static_cast<std::size_t>(
+        result.requests[idx].service_class);
+  };
+  const bool class_aware = config.policy == SchedPolicy::kClassAware;
+
+  // Per-class waiting queues (FIFO within a class). Under kFifo the three
+  // queues are drained strictly in global arrival order.
+  std::array<std::deque<std::size_t>, kServiceClassCount> waiting;
+  auto waiting_empty = [&] {
+    for (const auto& q : waiting) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  };
   std::vector<Running> running;
   std::vector<Paused> paused;
   std::size_t next_arrival = 0;
   double now = 0.0;
 
+  // --- Pressure controller (degradation ladder) state ---------------------
+  std::size_t ladder_level = kLevelNormal;
+  std::deque<double> occupancy_window;
+  std::size_t iters_since_level_change = config.degrade.window_iters;
+  auto current_bits = [&] {
+    return ladder_level >= kLevelDownshift ? bits_degraded : bits_normal;
+  };
+  // Accuracy proxy for the downshifted precision: round-trip RMSE of the
+  // two-stage progressive quantizer on a synthetic Gaussian KV block,
+  // computed once on first downshift (src/quant/error.h).
+  auto record_degrade_proxy = [&] {
+    if (result.degrade_rmse_proxy != 0.0) return;
+    const int b = std::clamp(
+        static_cast<int>(std::lround(bits_degraded)), 2, 4);
+    MatrixF sample(128, std::max<std::size_t>(geom.head_dim, 16));
+    Rng rng(0xACC);
+    for (std::size_t r = 0; r < sample.rows(); ++r) {
+      rng.fill_normal(sample.row(r), 0.0, 1.0);
+    }
+    result.degrade_rmse_proxy =
+        progressive_quant_rmse(sample, bit_width_from_int(b), 64);
+  };
+
   // Cost of prefilling a `chunk`-token slice with `cached` tokens already
-  // resident: attention spans cached + chunk, GEMMs cover the chunk only.
-  auto chunk_cost = [&](std::size_t chunk, std::size_t cached) {
+  // resident (stored at `bits`): attention spans cached + chunk, GEMMs
+  // cover the chunk only.
+  auto chunk_cost = [&](std::size_t chunk, std::size_t cached,
+                        double bits) {
     sim::InferenceConfig pcfg;
     pcfg.method = config.method;
     pcfg.attention = config.attention;
+    pcfg.attention.kv_bits = bits;
     pcfg.batch = 1;
     pcfg.prompt = chunk;
-    return sim::chunk_prefill_breakdown(config.device, config.geometry,
-                                        pcfg, cached)
+    return sim::chunk_prefill_breakdown(config.device, geom, pcfg, cached)
         .total();
   };
   // Monolithic prefill over `tokens` (recompute of evicted context).
-  auto prefill_cost = [&](std::size_t tokens) {
-    return chunk_cost(tokens, 0);
+  auto prefill_cost = [&](std::size_t tokens, double bits) {
+    return chunk_cost(tokens, 0, bits);
   };
 
   // Allocate `n` pages or none (failed attempts roll back).
@@ -138,12 +249,26 @@ EngineResult run_engine(const EngineConfig& config,
     pages.clear();
   };
 
-  auto backoff_for = [&](std::size_t preempt_count) {
-    const std::size_t exp =
-        std::min<std::size_t>(preempt_count > 0 ? preempt_count - 1 : 0, 16);
-    return std::min(config.backoff_cap_s,
-                    config.backoff_base_s *
-                        static_cast<double>(std::size_t{1} << exp));
+  // Bounded exponential backoff with deterministic seeded jitter: victims
+  // evicted in the same round (equal backoff) get distinct re-admission
+  // times keyed by (jitter_seed, request id, eviction count), so they do
+  // not stampede one re-admission pass. Jitter stretches the delay by at
+  // most `backoff_jitter`; it never shortens it, so the cap still bounds
+  // the un-jittered wait.
+  auto backoff_for = [&](const Request& r) {
+    const std::size_t n = r.preemptions;
+    const std::size_t exp = std::min<std::size_t>(n > 0 ? n - 1 : 0, 16);
+    double delay = std::min(config.backoff_cap_s,
+                            config.backoff_base_s *
+                                static_cast<double>(std::size_t{1} << exp));
+    if (config.backoff_jitter > 0.0) {
+      const std::uint64_t h = splitmix64(
+          config.jitter_seed ^ splitmix64(r.id * 0x100000001b3ull + n));
+      const double u =
+          static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+      delay *= 1.0 + config.backoff_jitter * u;
+    }
+    return delay;
   };
 
   // Evict running[j]: swap its pages to the host store (PCIe cost) or
@@ -156,9 +281,9 @@ EngineResult run_engine(const EngineConfig& config,
     ++r.preemptions;
     result.max_preemptions_single_request =
         std::max(result.max_preemptions_single_request, r.preemptions);
-    Paused p{victim.trace_index, victim.context,     victim.remaining,
-             victim.prompt_left, now + backoff_for(r.preemptions),
-             false,              0.0};
+    Paused p{victim.trace_index, victim.context,  victim.remaining,
+             victim.prompt_left, now + backoff_for(r), false,
+             0.0,                victim.kv_bits};
     double stall = 0.0;
     if (config.preempt_mode == PreemptMode::kSwap) {
       ++result.preempted_swap;
@@ -179,26 +304,28 @@ EngineResult run_engine(const EngineConfig& config,
     return stall;
   };
 
-  // Lowest-priority victim among alive running requests: non-pinned
-  // first; then lowest Request::priority; then latest arrival. Returns
-  // running.size() when nothing is eligible (running all dead).
+  // Preemption victim among alive running requests: non-pinned first;
+  // then (class-aware) the lowest service class — batch evicted before
+  // standard before interactive; then lowest Request::priority; then
+  // latest arrival. Returns running.size() when nothing is eligible.
   auto pick_victim = [&](const std::vector<char>& dead) {
     std::size_t best = running.size();
-    bool best_pinned = true;
     for (std::size_t j = 0; j < running.size(); ++j) {
       if (dead[j] != 0) continue;
-      const Request& r = result.requests[running[j].trace_index];
       if (best == running.size()) {
         best = j;
-        best_pinned = running[j].pinned;
         continue;
       }
+      const Request& r = result.requests[running[j].trace_index];
       const Request& b = result.requests[running[best].trace_index];
-      const bool j_pinned = running[j].pinned;
-      if (j_pinned != best_pinned) {
-        if (!j_pinned) {
-          best = j;
-          best_pinned = false;
+      if (running[j].pinned != running[best].pinned) {
+        if (!running[j].pinned) best = j;
+        continue;
+      }
+      if (class_aware && r.service_class != b.service_class) {
+        if (static_cast<int>(r.service_class) >
+            static_cast<int>(b.service_class)) {
+          best = j;  // lower tier (higher enum value) evicted first
         }
         continue;
       }
@@ -221,7 +348,8 @@ EngineResult run_engine(const EngineConfig& config,
   auto ensure_pages = [&](std::size_t i, std::size_t target,
                           std::vector<char>& dead, double& stall,
                           bool& degraded) {
-    while (running[i].pages.size() < pages_needed(target)) {
+    while (running[i].pages.size() <
+           pages_needed(target, running[i].kv_bits)) {
       const std::size_t injected_before = allocator.injected_failures();
       const PageId page = allocator.allocate();
       if (page != kInvalidPage) {
@@ -254,25 +382,189 @@ EngineResult run_engine(const EngineConfig& config,
     running.swap(alive);
   };
 
+  // A request has irrecoverably missed a deadline: its TTFT deadline
+  // passed with no first token, or its e2e deadline passed unfinished.
+  auto deadline_expired = [&](const Request& r) {
+    if (!config.enforce_deadlines) return false;
+    if (r.ttft_deadline_s > 0.0 && r.first_token_s < 0.0 &&
+        now > r.arrival_s + r.ttft_deadline_s + kDeadlineSlack) {
+      return true;
+    }
+    if (r.e2e_deadline_s > 0.0 &&
+        now > r.arrival_s + r.e2e_deadline_s + kDeadlineSlack) {
+      return true;
+    }
+    return false;
+  };
+  auto time_out = [&](Request& r) {
+    r.finish_s = now;
+    r.outcome = Outcome::kTimedOut;
+    ++result.timed_out;
+    ++finished;
+  };
+
+  // Pin threshold for a request's class (0 in ClassPolicy = inherit the
+  // engine-wide default).
+  auto pin_threshold = [&](std::size_t idx) {
+    const std::size_t per_class =
+        config.classes[class_of(idx)].pin_after_preemptions;
+    return per_class > 0 ? per_class : config.pin_after_preemptions;
+  };
+
+  // Pages currently held by running requests of a class (swapped-out
+  // requests hold none).
+  auto class_used_pages = [&](std::size_t c) {
+    std::size_t used = 0;
+    for (const Running& ru : running) {
+      if (class_of(ru.trace_index) == c) used += ru.pages.size();
+    }
+    return used;
+  };
+  auto guaranteed_pages = [&](std::size_t c) {
+    return static_cast<std::size_t>(config.classes[c].page_share *
+                                    static_cast<double>(page_count));
+  };
+  // A class has demand when it has waiting or paused requests — its
+  // unmet guarantee is then protected from borrowing by other classes.
+  auto class_has_demand = [&](std::size_t c) {
+    if (!waiting[c].empty()) return true;
+    for (const Paused& p : paused) {
+      if (class_of(p.trace_index) == c) return true;
+    }
+    return false;
+  };
+
+  const std::size_t reserve_pages = static_cast<std::size_t>(
+      static_cast<double>(page_count) * config.admit_reserve);
+
+  // Can a fresh request of class `c` take `needed` pages right now?
+  // Within its guaranteed share a class bypasses the admit reserve;
+  // borrowing beyond it must leave the reserve plus every other
+  // demanding class's unmet guarantee free (work-conserving quotas).
+  auto admission_allowed = [&](std::size_t c, std::size_t needed) {
+    const std::size_t free = allocator.free_pages();
+    const std::size_t reserve = running.empty() ? 0 : reserve_pages;
+    if (!class_aware) return free >= needed + reserve;
+    if (class_used_pages(c) + needed <= guaranteed_pages(c)) {
+      return free >= needed;
+    }
+    std::size_t protected_deficit = 0;
+    for (std::size_t d = 0; d < kServiceClassCount; ++d) {
+      if (d == c || !class_has_demand(d)) continue;
+      const std::size_t used = class_used_pages(d);
+      const std::size_t guaranteed = guaranteed_pages(d);
+      if (used < guaranteed) protected_deficit += guaranteed - used;
+    }
+    return free >= needed + reserve + protected_deficit;
+  };
+
   while (finished < total && now < config.max_sim_time_s) {
     // Pull arrivals whose time has come.
     while (next_arrival < total &&
            result.requests[next_arrival].arrival_s <= now) {
-      if (result.requests[next_arrival].finish_s < 0.0) {
-        waiting.push_back(next_arrival);
+      if (result.requests[next_arrival].outcome == Outcome::kPending) {
+        waiting[class_of(next_arrival)].push_back(next_arrival);
       }
       ++next_arrival;
     }
 
+    // --- Deadline enforcement: waiting, paused, then running ------------
+    if (config.enforce_deadlines) {
+      for (auto& queue : waiting) {
+        for (std::size_t qi = 0; qi < queue.size();) {
+          Request& r = result.requests[queue[qi]];
+          if (deadline_expired(r)) {
+            time_out(r);
+            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
+          } else {
+            ++qi;
+          }
+        }
+      }
+      for (std::size_t pi = 0; pi < paused.size();) {
+        Request& r = result.requests[paused[pi].trace_index];
+        if (deadline_expired(r)) {
+          time_out(r);  // parked pages were already released at eviction
+          paused.erase(paused.begin() + static_cast<std::ptrdiff_t>(pi));
+        } else {
+          ++pi;
+        }
+      }
+      {
+        std::vector<char> dead(running.size(), 0);
+        bool any = false;
+        for (std::size_t i = 0; i < running.size(); ++i) {
+          Request& r = result.requests[running[i].trace_index];
+          if (!deadline_expired(r)) continue;
+          time_out(r);
+          release_all(running[i].pages);
+          dead[i] = 1;
+          any = true;
+        }
+        if (any) compact_running(dead);
+      }
+    }
+
+    // --- Pressure controller: sample occupancy, walk the ladder ---------
+    if (config.degrade.enabled) {
+      occupancy_window.push_back(
+          static_cast<double>(allocator.used_pages()) /
+          static_cast<double>(page_count));
+      if (occupancy_window.size() > config.degrade.window_iters) {
+        occupancy_window.pop_front();
+      }
+      ++iters_since_level_change;
+      if (occupancy_window.size() == config.degrade.window_iters &&
+          iters_since_level_change >= config.degrade.window_iters) {
+        double mean = 0.0;
+        for (const double o : occupancy_window) mean += o;
+        mean /= static_cast<double>(occupancy_window.size());
+        if (mean > config.degrade.high_watermark &&
+            ladder_level < kLevelShed) {
+          ++ladder_level;
+          ++result.ladder_escalations;
+          iters_since_level_change = 0;
+        } else if (mean < config.degrade.low_watermark &&
+                   ladder_level > kLevelNormal) {
+          --ladder_level;
+          ++result.ladder_deescalations;
+          iters_since_level_change = 0;
+        }
+      }
+      if (ladder_level >= kLevelDownshift) ++result.degraded_iterations;
+
+      // Shed level: drop the newest waiting batch-class (then
+      // standard-class) requests — admission control at the door.
+      // Interactive is never shed.
+      if (ladder_level >= kLevelShed) {
+        std::size_t budget = config.degrade.max_shed_per_iter;
+        for (std::size_t c = kServiceClassCount; c-- > 1 && budget > 0;) {
+          while (budget > 0 && !waiting[c].empty()) {
+            Request& r = result.requests[waiting[c].back()];
+            waiting[c].pop_back();
+            r.finish_s = now;
+            r.outcome = Outcome::kShed;
+            ++result.shed;
+            ++finished;
+            --budget;
+          }
+        }
+      }
+    }
+
     // --- Re-admission of preempted requests (before fresh arrivals) ---
-    // Order: higher priority first, then earlier arrival. No overtaking:
-    // the first re-admission that cannot get pages ends the pass, which
-    // keeps the backoff queue fair.
+    // Order: (class-aware) interactive first, then higher priority, then
+    // earlier arrival. No overtaking: the first re-admission that cannot
+    // get pages ends the pass, which keeps the backoff queue fair.
     double admit_latency = 0.0;
     std::sort(paused.begin(), paused.end(),
               [&](const Paused& a, const Paused& b) {
                 const Request& ra = result.requests[a.trace_index];
                 const Request& rb = result.requests[b.trace_index];
+                if (class_aware && ra.service_class != rb.service_class) {
+                  return static_cast<int>(ra.service_class) <
+                         static_cast<int>(rb.service_class);
+                }
                 if (ra.priority != rb.priority) {
                   return ra.priority > rb.priority;
                 }
@@ -287,8 +579,12 @@ EngineResult run_engine(const EngineConfig& config,
         ++pi;
         continue;
       }
+      // Recompute-mode victims rebuild their KV from scratch, so they
+      // re-admit at the *current* ladder precision; swapped victims keep
+      // the precision their parked stream was written at.
+      double bits = p.swapped ? p.kv_bits : current_bits();
       std::vector<PageId> pages;
-      if (!try_alloc(pages_needed(p.context + 1), pages)) {
+      if (!try_alloc(pages_needed(p.context + 1, bits), pages)) {
         p.eligible_s = now + config.backoff_base_s;  // retry tick
         break;                                       // no overtaking
       }
@@ -301,9 +597,11 @@ EngineResult run_engine(const EngineConfig& config,
         result.swap_in_bytes += p.bytes;
         if (fault.corrupt_stream()) {
           // The swapped stream fails its CRC on the way back in. The
-          // pages cannot be adopted — recover by recomputing them.
+          // pages cannot be adopted — recover by recomputing them (at
+          // the current ladder precision, like any recompute).
           ++result.checksum_failures;
-          const double cost = prefill_cost(p.context);
+          bits = current_bits();
+          const double cost = prefill_cost(p.context, bits);
           admit_latency += cost;
           result.busy_s += cost;
           r.recomputed_tokens += p.context;
@@ -315,49 +613,141 @@ EngineResult run_engine(const EngineConfig& config,
       } else if (p.context > 0) {
         // Recompute mode: re-derive the evicted KV with a fresh prefill
         // over everything that was cached (prompt prefix + generated).
-        const double cost = prefill_cost(p.context);
+        const double cost = prefill_cost(p.context, bits);
         admit_latency += cost;
         result.busy_s += cost;
         r.recomputed_tokens += p.context;
         result.recomputed_tokens += p.context;
       }
+      if (bits < bits_normal) {
+        ++result.degraded_admissions;
+        record_degrade_proxy();
+      }
+      r.kv_bits_used = bits;
+      result.min_kv_bits = std::min(result.min_kv_bits, bits);
       // A partially-prefilled victim resumes from its cursor: the chunk
       // loop below continues with p.prompt_left tokens still to go.
-      running.push_back(
-          {p.trace_index, p.context, p.remaining, p.prompt_left,
-           std::move(pages), r.preemptions >= config.pin_after_preemptions});
+      running.push_back({p.trace_index, p.context, p.remaining,
+                         p.prompt_left, std::move(pages),
+                         r.preemptions >= pin_threshold(p.trace_index),
+                         bits});
       paused.erase(paused.begin() + static_cast<std::ptrdiff_t>(pi));
     }
     now += admit_latency;
 
-    // --- Fresh admission: FIFO while pages and the batch cap allow ---
+    // --- Fresh admission ---------------------------------------------------
     // Optimistic and chunk-aware: a request needs only its first chunk's
     // pages to start (the prefill cursor allocates the rest as it
-    // advances); decode growth is backed by preemption. Fresh admissions
-    // leave `admit_reserve` of the pool free for that growth — except
-    // when the batch is empty, where head-of-line blocking would stall
-    // the engine outright.
-    const std::size_t reserve_pages = static_cast<std::size_t>(
-        static_cast<double>(page_count) * config.admit_reserve);
-    while (!waiting.empty() && running.size() < config.max_batch) {
-      const std::size_t idx = waiting.front();
-      const Request& r = result.requests[idx];
-      const std::size_t first_chunk =
-          std::min(r.prompt_tokens + 1, quantum);
-      const std::size_t needed = pages_needed(first_chunk);
-      const std::size_t reserve = running.empty() ? 0 : reserve_pages;
-      if (allocator.free_pages() < needed + reserve) break;
-      std::vector<PageId> pages;
-      if (!try_alloc(needed, pages)) break;  // injected failure: retry later
-      running.push_back(
-          {idx, 0, r.max_new_tokens, r.prompt_tokens, std::move(pages),
-           false});
-      waiting.pop_front();
+    // advances); decode growth is backed by preemption. Under kFifo the
+    // queues drain in global arrival order behind one page check; under
+    // kClassAware each class is tried in tier order against its quota —
+    // a class inside its guaranteed share admits even while a higher
+    // tier is page-blocked, but borrowing beyond the share must leave
+    // the admit reserve and every demanding class's unmet guarantee
+    // free. Admissions during a downshifted ladder level write their KV
+    // at the degraded precision.
+    {
+      const double admit_bits = current_bits();
+      double reclaim_stall = 0.0;
+      // Guarantees are enforceable, not bookkeeping: a class admitting
+      // within its guaranteed share may claw borrowed pages back from
+      // classes running over their own share (lowest tier first, pinned
+      // requests protected). Without this, a saturated pool would make
+      // every guarantee worthless exactly when it matters.
+      auto reclaim_for_guarantee = [&](std::size_t c, std::size_t needed) {
+        while (allocator.free_pages() < needed) {
+          std::size_t best = running.size();
+          for (std::size_t j = 0; j < running.size(); ++j) {
+            if (running[j].pinned) continue;
+            const std::size_t jc = class_of(running[j].trace_index);
+            if (jc == c) continue;
+            if (class_used_pages(jc) <= guaranteed_pages(jc)) continue;
+            if (best == running.size()) {
+              best = j;
+              continue;
+            }
+            const Request& rj = result.requests[running[j].trace_index];
+            const Request& rb = result.requests[running[best].trace_index];
+            const std::size_t bc = class_of(running[best].trace_index);
+            if (jc != bc) {
+              if (jc > bc) best = j;
+              continue;
+            }
+            if (rj.priority != rb.priority) {
+              if (rj.priority < rb.priority) best = j;
+              continue;
+            }
+            if (rj.arrival_s > rb.arrival_s ||
+                (rj.arrival_s == rb.arrival_s && rj.id > rb.id)) {
+              best = j;
+            }
+          }
+          if (best == running.size()) break;  // nothing reclaimable
+          reclaim_stall += preempt(running[best]);
+          running.erase(running.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+        }
+      };
+      auto admit_one = [&](std::size_t c) -> bool {
+        const std::size_t idx = waiting[c].front();
+        const Request& r = result.requests[idx];
+        const std::size_t first_chunk =
+            std::min(r.prompt_tokens + 1, quantum);
+        const std::size_t needed = pages_needed(first_chunk, admit_bits);
+        if (class_aware && allocator.free_pages() < needed &&
+            class_used_pages(c) + needed <= guaranteed_pages(c)) {
+          reclaim_for_guarantee(c, needed);
+        }
+        if (!admission_allowed(c, needed)) return false;
+        std::vector<PageId> pages;
+        if (!try_alloc(needed, pages)) return false;  // injected failure
+        Request& mut = result.requests[idx];
+        if (admit_bits < bits_normal) {
+          ++result.degraded_admissions;
+          record_degrade_proxy();
+        }
+        mut.kv_bits_used = admit_bits;
+        result.min_kv_bits = std::min(result.min_kv_bits, admit_bits);
+        running.push_back({idx, 0, r.max_new_tokens, r.prompt_tokens,
+                           std::move(pages), false, admit_bits});
+        waiting[c].pop_front();
+        return true;
+      };
+      if (class_aware) {
+        for (std::size_t c = 0; c < kServiceClassCount; ++c) {
+          while (!waiting[c].empty() &&
+                 running.size() < config.max_batch) {
+            if (!admit_one(c)) break;
+          }
+        }
+      } else {
+        while (!waiting_empty() && running.size() < config.max_batch) {
+          // Global arrival order across the per-class queues.
+          std::size_t best = kServiceClassCount;
+          for (std::size_t c = 0; c < kServiceClassCount; ++c) {
+            if (waiting[c].empty()) continue;
+            if (best == kServiceClassCount) {
+              best = c;
+              continue;
+            }
+            const Request& rc = result.requests[waiting[c].front()];
+            const Request& rb = result.requests[waiting[best].front()];
+            if (rc.arrival_s < rb.arrival_s ||
+                (rc.arrival_s == rb.arrival_s && rc.id < rb.id)) {
+              best = c;
+            }
+          }
+          if (!admit_one(best)) break;
+        }
+      }
+      now += reclaim_stall;
+      result.swap_stall_s += reclaim_stall;
     }
     result.peak_batch = std::max(result.peak_batch, running.size());
 
     if (running.empty()) {
-      // Idle: jump to the next event (arrival or backoff expiry).
+      // Idle: jump to the next event (arrival, backoff expiry or — so
+      // timeouts are stamped when they happen — a deadline expiry).
       double next_event = std::numeric_limits<double>::infinity();
       if (next_arrival < total) {
         next_event = result.requests[next_arrival].arrival_s;
@@ -365,13 +755,41 @@ EngineResult run_engine(const EngineConfig& config,
       for (const Paused& p : paused) {
         next_event = std::min(next_event, p.eligible_s);
       }
-      if (std::isfinite(next_event)) {
-        now = std::max(now, next_event);
+      if (config.enforce_deadlines) {
+        auto expiry_of = [&](const Request& r) {
+          double e = std::numeric_limits<double>::infinity();
+          if (r.ttft_deadline_s > 0.0 && r.first_token_s < 0.0) {
+            e = r.arrival_s + r.ttft_deadline_s;
+          }
+          if (r.e2e_deadline_s > 0.0) {
+            e = std::min(e, r.arrival_s + r.e2e_deadline_s);
+          }
+          // Step just past the expiry instant so the strict comparison
+          // in deadline_expired() fires and the loop makes progress.
+          return e + 2.0 * kDeadlineSlack;
+        };
+        for (const auto& queue : waiting) {
+          for (const std::size_t idx : queue) {
+            next_event =
+                std::min(next_event, expiry_of(result.requests[idx]));
+          }
+        }
+        for (const Paused& p : paused) {
+          next_event =
+              std::min(next_event, expiry_of(result.requests[p.trace_index]));
+        }
+      }
+      if (std::isfinite(next_event) && next_event > now) {
+        now = next_event;
         continue;
       }
-      if (!waiting.empty()) {
+      if (!waiting_empty()) {
         // Admission blocked with an empty machine: only injected
         // allocation faults can do this. Retry after a tick.
+        now += config.backoff_base_s;
+        continue;
+      }
+      if (!paused.empty() || next_arrival < total) {
         now += config.backoff_base_s;
         continue;
       }
@@ -380,16 +798,29 @@ EngineResult run_engine(const EngineConfig& config,
 
     // --- Chunked prefill: one scheduler quantum of prompt tokens ---
     // FIFO across requests still mid-prefill (admission order), so an
-    // earlier prompt finishes before a later one starts. Each request
-    // stamps its own prefill_start_s when its first chunk runs and its
-    // own first_token_s when its last chunk completes — timestamps are
-    // never shared across an admission round.
+    // earlier prompt finishes before a later one starts — except that the
+    // class-aware policy serves higher tiers' chunks first (stable within
+    // a tier), so an interactive prompt's TTFT is not queued behind batch
+    // prefills that happen to be mid-flight. Each request stamps its own
+    // prefill_start_s when its first chunk runs and its own first_token_s
+    // when its last chunk completes — timestamps are never shared across
+    // an admission round.
     {
       double stall = 0.0;
       bool degraded = false;
       std::vector<char> dead(running.size(), 0);
+      std::vector<std::size_t> order(running.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      if (class_aware) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return class_of(running[a].trace_index) <
+                                  class_of(running[b].trace_index);
+                         });
+      }
       std::size_t budget = quantum;
-      for (std::size_t i = 0; i < running.size() && budget > 0; ++i) {
+      for (std::size_t oi = 0; oi < order.size() && budget > 0; ++oi) {
+        const std::size_t i = order[oi];
         if (dead[i] != 0) continue;
         if (running[i].prompt_left == 0) continue;
         const std::size_t chunk = std::min(running[i].prompt_left, budget);
@@ -401,7 +832,7 @@ EngineResult run_engine(const EngineConfig& config,
         Running& ru = running[i];
         Request& r = result.requests[ru.trace_index];
         if (r.prefill_start_s < 0.0) r.prefill_start_s = now;
-        const double cost = chunk_cost(chunk, ru.context);
+        const double cost = chunk_cost(chunk, ru.context, ru.kv_bits);
         now += cost;
         result.busy_s += cost;
         ru.context += chunk;
@@ -417,6 +848,7 @@ EngineResult run_engine(const EngineConfig& config,
         }
         if (ru.remaining == 0) {
           r.finish_s = now;
+          r.outcome = Outcome::kCompleted;
           release_all(ru.pages);
           ++finished;
           dead[i] = 1;
@@ -436,8 +868,8 @@ EngineResult run_engine(const EngineConfig& config,
     // Each decoding request about to append token `context + 1` may need
     // one more page; requests still mid-prefill grow with their cursor
     // instead. Injected allocation faults evict the request they hit (a
-    // degraded step); genuine exhaustion evicts the lowest-priority
-    // victim and retries.
+    // degraded step); genuine exhaustion evicts the class-aware victim
+    // and retries.
     {
       double stall = 0.0;
       bool degraded = false;
@@ -456,22 +888,31 @@ EngineResult run_engine(const EngineConfig& config,
 
     // One decode iteration across the decoding portion of the batch
     // (requests mid-prefill hold their batch slot but do not decode).
+    // With mixed per-request precision the step is costed at the
+    // context-weighted average stored bits — the batch's aggregate KV
+    // traffic — so downshifted requests speed the whole step up.
     std::size_t decoders = 0;
     std::size_t max_context = 0;
+    double bits_weight = 0.0;
+    double context_weight = 0.0;
     for (const Running& ru : running) {
       if (ru.prompt_left > 0) continue;
       ++decoders;
       max_context = std::max(max_context, ru.context);
+      bits_weight += static_cast<double>(ru.context) * ru.kv_bits;
+      context_weight += static_cast<double>(ru.context);
     }
     if (decoders == 0) continue;  // pure-prefill iteration
     sim::InferenceConfig dcfg;
     dcfg.method = config.method;
     dcfg.attention = config.attention;
+    if (context_weight > 0.0) {
+      dcfg.attention.kv_bits = bits_weight / context_weight;
+    }
     dcfg.batch = decoders;
     dcfg.prompt = max_context;
     const double step = sim::decode_step_breakdown(
-                            config.device, config.geometry, dcfg,
-                            max_context)
+                            config.device, geom, dcfg, max_context)
                             .total();
     now += step;
     result.busy_s += step;
@@ -496,6 +937,7 @@ EngineResult run_engine(const EngineConfig& config,
       }
       if (ru.remaining == 0) {
         r.finish_s = now;
+        r.outcome = Outcome::kCompleted;
         release_all(ru.pages);
         ++finished;
         // Stable erase: the chunk scheduler above is FIFO over this

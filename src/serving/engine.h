@@ -3,17 +3,30 @@
 // implicitly assume, built on the analytical cost model.
 //
 // The simulation loop alternates:
-//   1. Re-admission: preempted requests whose backoff has expired rejoin
+//   1. Deadline enforcement: requests that can no longer meet their TTFT
+//      or e2e deadline are timed out (pages freed) wherever they are —
+//      waiting, paused or running.
+//   2. Overload control: a pressure controller watches page-pool
+//      occupancy over a sliding window and escalates a degradation
+//      ladder — first *downshift* the KV precision of newly (re)admitted
+//      requests (the paper's head-wise 4/2-bit mix as a capacity knob),
+//      relying on preemption as the standing backstop, then *shed*
+//      batch-class admissions outright — and de-escalates when pressure
+//      clears.
+//   3. Re-admission: preempted requests whose backoff has expired rejoin
 //      the batch first (swap-in over the PCIe link, or recompute via a
-//      fresh prefill), then waiting requests are admitted FIFO while KV
-//      pages and the batch cap allow.
-//   2. Chunked prefill (Sarathi-style): up to `prefill_chunk_tokens`
+//      fresh prefill), then waiting requests are admitted — FIFO under
+//      SchedPolicy::kFifo, or class-by-class (interactive first) under
+//      kClassAware with per-class guaranteed page shares that are
+//      work-conserving (idle guarantees are borrowable, unmet guarantees
+//      of classes with queued demand are not).
+//   4. Chunked prefill (Sarathi-style): up to `prefill_chunk_tokens`
 //      prompt tokens are processed per iteration, FIFO across requests
 //      still mid-prefill. Each request carries a prefill cursor; KV pages
 //      are allocated as the cursor advances (not up-front), and a chunk's
 //      cost is attention over (cached + chunk) with GEMMs over the chunk
 //      only. prefill_chunk_tokens == 0 restores monolithic prefill.
-//   3. One decode iteration: every running request whose prompt is fully
+//   5. One decode iteration: every running request whose prompt is fully
 //      prefilled emits one token; the step latency comes from the
 //      per-method decode model at the current batch size and maximum
 //      context. Decode TPOT is therefore bounded by one chunk, not one
@@ -23,22 +36,27 @@
 // so exhaustion (and injected allocation faults) surface exactly where
 // they would in a paged serving system. Admission is optimistic — a
 // request needs only its prompt's pages to start — and decode-time growth
-// that cannot be backed by a free page triggers *preemption*: the
-// lowest-priority running request is evicted, either dropping its KV for
-// later recomputation or swapping its pages to a host store at PCIe cost
+// that cannot be backed by a free page triggers *preemption*: the victim
+// is the lowest class (batch before standard before interactive), then
+// the lowest Request::priority, then the latest arrival; its KV is either
+// dropped for later recomputation or swapped to a host store at PCIe cost
 // (see serving/swap.h). Preempted requests re-enter under bounded
-// exponential backoff and are pinned (never victimized again) after
-// repeated evictions, so no request is starved; only a request that could
-// never fit even alone is rejected outright. A FaultPlan (common/fault.h)
-// deterministically injects allocation failures, swap-stream corruption
-// (detected by checksum, recovered by recompute) and swap latency spikes.
+// exponential backoff with deterministic seeded jitter (so equal-backoff
+// victims don't stampede one re-admission round) and are pinned (never
+// victimized again) after a per-class budget of evictions, so no request
+// is starved; only a request that could never fit even alone is rejected
+// outright. A FaultPlan (common/fault.h) deterministically injects
+// allocation failures, swap-stream corruption (detected by checksum,
+// recovered by recompute) and swap latency spikes.
 //
 // Methods differ in exactly two inputs — decode-step latency and KV
 // bytes/token — which is what turns the paper's kernel-level wins into
 // fleet-level throughput and tail-latency wins.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/fault.h"
@@ -51,6 +69,43 @@ namespace turbo::serving {
 enum class PreemptMode {
   kRecompute,  // drop the pages; re-prefill on re-admission
   kSwap,       // serialize to the host store; swap back in on re-admission
+};
+
+// Admission / victim-selection policy.
+enum class SchedPolicy {
+  kFifo,        // single queue, arrival order, class-blind victims
+  kClassAware,  // per-class queues, guaranteed shares, class-aware victims
+};
+
+// Per-service-class scheduling policy (indexed by ServiceClass).
+struct ClassPolicy {
+  // Guaranteed fraction of the KV page pool. Work-conserving: an idle
+  // class's share is borrowable, but a class cannot borrow past the unmet
+  // guarantees of classes with queued demand. Shares must sum to <= 1.
+  double page_share = 0.0;
+  // Per-class preemption budget: evictions before the request is pinned.
+  // 0 = inherit EngineConfig::pin_after_preemptions.
+  std::size_t pin_after_preemptions = 0;
+};
+
+// Graceful-degradation ladder (pressure controller) configuration.
+struct DegradeConfig {
+  bool enabled = false;
+  // Degraded KV precision, expressed as the paper's head-wise mix: the
+  // fraction of KV heads downshifted from 4-bit to 2-bit. 1.0 => 2.0
+  // average bits (every head 2-bit); 0.5 => the 3.0-bit 2/4 mix. The
+  // resulting kv_bits is clamped to never exceed the configured precision.
+  double two_bit_head_fraction = 1.0;
+  // Sliding-window occupancy thresholds: mean occupancy above `high`
+  // escalates one level (normal -> downshift -> shed), below `low`
+  // de-escalates. The controller waits `window_iters` iterations between
+  // level changes so one burst cannot ride the ladder end to end.
+  double high_watermark = 0.85;
+  double low_watermark = 0.60;
+  std::size_t window_iters = 8;
+  // At the shed level, at most this many waiting batch/standard-class
+  // requests are dropped per iteration (interactive is never shed).
+  std::size_t max_shed_per_iter = 2;
 };
 
 struct EngineConfig {
@@ -68,6 +123,20 @@ struct EngineConfig {
   // prompt runs as one monolithic prefill, the pre-chunking behavior).
   std::size_t prefill_chunk_tokens = 512;
 
+  // --- SLO / overload-control policy --------------------------------------
+  SchedPolicy policy = SchedPolicy::kClassAware;
+  // Indexed by ServiceClass (interactive, standard, batch). Defaults give
+  // every tier a guaranteed share and pin interactive victims soonest.
+  std::array<ClassPolicy, kServiceClassCount> classes = {{
+      {0.35, 2},   // interactive
+      {0.45, 4},   // standard
+      {0.20, 6},   // batch
+  }};
+  // Enforce Request deadlines (time out requests that missed them). Off,
+  // deadlines are carried but ignored — useful for measuring raw tails.
+  bool enforce_deadlines = true;
+  DegradeConfig degrade;
+
   // --- Pressure / robustness policy ---------------------------------------
   PreemptMode preempt_mode = PreemptMode::kSwap;
   std::size_t page_tokens = 64;      // scheduler page granularity
@@ -76,20 +145,37 @@ struct EngineConfig {
   double admit_reserve = 0.1;
   double backoff_base_s = 0.25;      // first re-admission delay
   double backoff_cap_s = 8.0;        // exponential backoff ceiling
-  // After this many preemptions a request is pinned: it is only ever
-  // victimized again if every running request is pinned (forward-progress
-  // fallback), which bounds per-request eviction churn.
+  // Deterministic re-admission jitter: the computed backoff is stretched
+  // by up to this fraction, keyed by (jitter_seed, request id, eviction
+  // count), so victims evicted together spread over distinct re-admission
+  // rounds instead of stampeding the allocator. 0 disables jitter.
+  double backoff_jitter = 0.25;
+  std::uint64_t jitter_seed = 0x51C0;
+  // Fallback preemption budget for classes whose ClassPolicy leaves
+  // pin_after_preemptions at 0: after this many preemptions a request is
+  // pinned — only ever victimized again if every running request is
+  // pinned (forward-progress fallback), which bounds eviction churn.
   std::size_t pin_after_preemptions = 4;
   FaultPlan faults;                  // all-zero probabilities = no injection
 };
 
 struct EngineResult {
-  std::vector<Request> requests;  // with timestamps filled in
+  std::vector<Request> requests;  // with timestamps + outcomes filled in
   double makespan_s = 0.0;        // time the last request finished
   double busy_s = 0.0;            // time spent in prefill+decode steps
   std::size_t peak_batch = 0;
   double peak_kv_bytes = 0.0;
   std::size_t rejected = 0;       // requests that can never fit
+
+  // --- SLO / overload counters --------------------------------------------
+  std::size_t timed_out = 0;             // missed-deadline terminations
+  std::size_t shed = 0;                  // dropped by overload control
+  std::size_t ladder_escalations = 0;    // pressure-level increases
+  std::size_t ladder_deescalations = 0;  // pressure-level decreases
+  std::size_t degraded_iterations = 0;   // iterations at reduced precision
+  std::size_t degraded_admissions = 0;   // (re)admissions written degraded
+  double min_kv_bits = 0.0;              // lowest KV precision used
+  double degrade_rmse_proxy = 0.0;       // quant-error proxy at that level
 
   // --- Robustness counters ------------------------------------------------
   std::size_t preemptions = 0;           // total eviction events
@@ -111,10 +197,11 @@ struct EngineResult {
   bool hit_time_limit = false;           // max_sim_time_s safety stop fired
 };
 
-// Run the trace until every request has completed or been rejected (the
-// max_sim_time_s safety stop is the only other exit, reported via
-// hit_time_limit). Deterministic: identical config + trace (including the
-// fault seed) give identical results.
+// Run the trace until every request has reached a terminal state —
+// completed, rejected, timed-out or shed (the max_sim_time_s safety stop
+// is the only other exit, reported via hit_time_limit; requests it
+// strands stay Outcome::kPending). Deterministic: identical config +
+// trace (including the fault and jitter seeds) give identical results.
 EngineResult run_engine(const EngineConfig& config,
                         std::vector<Request> trace);
 

@@ -6,14 +6,74 @@
 
 namespace turbo::serving {
 
+// Latency tier of a request. Lower enum values are more latency-sensitive:
+// the class-aware scheduler admits, re-admits and protects interactive
+// requests first and sheds batch requests first under sustained overload.
+enum class ServiceClass : std::uint8_t {
+  kInteractive = 0,
+  kStandard = 1,
+  kBatch = 2,
+};
+
+inline constexpr std::size_t kServiceClassCount = 3;
+
+inline const char* service_class_name(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kInteractive:
+      return "interactive";
+    case ServiceClass::kStandard:
+      return "standard";
+    case ServiceClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+// Terminal state of a request. Every request ends in exactly one of the
+// non-pending states (kShed is load-shedding — a rejection decided by the
+// overload controller rather than by size); kPending after an engine run
+// means the max_sim_time_s safety stop fired before the request resolved.
+enum class Outcome : std::uint8_t {
+  kPending = 0,
+  kCompleted,
+  kRejected,   // could never fit, refused at arrival
+  kTimedOut,   // missed its TTFT or e2e deadline
+  kShed,       // dropped by overload control before admission
+};
+
+inline const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kPending:
+      return "pending";
+    case Outcome::kCompleted:
+      return "completed";
+    case Outcome::kRejected:
+      return "rejected";
+    case Outcome::kTimedOut:
+      return "timed-out";
+    case Outcome::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
 struct Request {
   std::uint64_t id = 0;
   double arrival_s = 0.0;        // wall-clock arrival time
   std::size_t prompt_tokens = 0;
   std::size_t max_new_tokens = 0;
   // Scheduling priority: higher values are preempted last. Ties are
-  // broken by arrival order (earlier arrivals are protected).
+  // broken by arrival order (earlier arrivals are protected). Applied
+  // *within* a service class; the class dominates.
   int priority = 0;
+  ServiceClass service_class = ServiceClass::kStandard;
+
+  // Optional SLO deadlines, relative to arrival (0 = none). A request
+  // whose first token cannot land by arrival_s + ttft_deadline_s, or whose
+  // completion cannot land by arrival_s + e2e_deadline_s, is timed out by
+  // the engine (its pages are freed) instead of occupying the machine.
+  double ttft_deadline_s = 0.0;
+  double e2e_deadline_s = 0.0;
 
   // Filled by the engine. `prefill_start_s` is stamped when this request's
   // own first prefill chunk runs (not when its admission round begins) and
@@ -29,6 +89,13 @@ struct Request {
   // corrupt swap-in recovered by recomputation). Distinguishes busy_s spent
   // on useful work from busy_s spent re-deriving evicted state.
   std::size_t recomputed_tokens = 0;
+  // How the request left the system (kPending = still in flight when the
+  // simulation's safety stop fired).
+  Outcome outcome = Outcome::kPending;
+  // KV precision (average stored bits/element) this request's cache was
+  // written at; 0 until first admitted. Below the configured kv_bits when
+  // the degradation ladder downshifted this request.
+  double kv_bits_used = 0.0;
 
   bool started() const { return prefill_start_s >= 0.0; }
   bool finished() const { return finish_s >= 0.0; }
@@ -43,6 +110,14 @@ struct Request {
            static_cast<double>(generated - 1);
   }
   double e2e_latency() const { return finish_s - arrival_s; }
+
+  // Whether the first token met the TTFT deadline (vacuously true without
+  // one). Timed-out and never-started requests miss by definition.
+  bool met_ttft_deadline() const {
+    if (ttft_deadline_s <= 0.0) return true;
+    return first_token_s >= 0.0 &&
+           ttft() <= ttft_deadline_s + 1e-9;
+  }
 };
 
 }  // namespace turbo::serving

@@ -11,6 +11,18 @@ namespace turbo::serving {
 std::vector<Request> generate_trace(const TraceConfig& config) {
   TURBO_CHECK(config.arrival_rate > 0.0);
   TURBO_CHECK(config.duration_s > 0.0);
+  double mix_sum = 0.0;
+  for (const double share : config.class_mix) {
+    TURBO_CHECK_MSG(share >= 0.0, "class_mix shares must be non-negative");
+    mix_sum += share;
+  }
+  TURBO_CHECK_MSG(std::abs(mix_sum - 1.0) <= 1e-6,
+                  "class_mix must sum to 1");
+  // The pure-standard default is the pre-service-class trace; drawing a
+  // class for it would shift every later sample, so it is skipped and the
+  // RNG stream stays bit-identical to traces generated before classes
+  // existed.
+  const bool draw_class = config.class_mix[1] != 1.0;
   Rng rng(config.seed);
 
   std::vector<Request> trace;
@@ -36,6 +48,19 @@ std::vector<Request> generate_trace(const TraceConfig& config) {
         static_cast<std::size_t>(p), 16, config.max_prompt);
     r.max_new_tokens = std::clamp<std::size_t>(
         static_cast<std::size_t>(g), 1, config.max_gen);
+    if (draw_class) {
+      const double c = rng.uniform();
+      if (c < config.class_mix[0]) {
+        r.service_class = ServiceClass::kInteractive;
+      } else if (c < config.class_mix[0] + config.class_mix[1]) {
+        r.service_class = ServiceClass::kStandard;
+      } else {
+        r.service_class = ServiceClass::kBatch;
+      }
+    }
+    const auto cls = static_cast<std::size_t>(r.service_class);
+    r.ttft_deadline_s = config.ttft_deadline_s[cls];
+    r.e2e_deadline_s = config.e2e_deadline_s[cls];
     trace.push_back(r);
   }
   return trace;

@@ -29,6 +29,13 @@ double quant_metadata_bytes(const AttnCostConfig& cfg, double tokens,
 
 }  // namespace
 
+double headwise_mixed_kv_bits(double two_bit_head_fraction) {
+  TURBO_CHECK_MSG(
+      two_bit_head_fraction >= 0.0 && two_bit_head_fraction <= 1.0,
+      "two_bit_head_fraction outside [0, 1]");
+  return 4.0 - 2.0 * two_bit_head_fraction;
+}
+
 std::string_view attn_method_name(AttnMethod m) {
   switch (m) {
     case AttnMethod::kFlashFp16:

@@ -76,6 +76,13 @@ struct PhaseBreakdown {
 double kv_cache_bytes_per_token(AttnMethod method, const AttnCostConfig& cfg,
                                 std::size_t kv_heads, std::size_t head_dim);
 
+// Average stored bits per KV element for the paper's head-wise mixed
+// precision: a `two_bit_head_fraction` of heads (selected by
+// priority(h) = gap x std) stored at 2-bit, the rest at 4-bit. 0.5 gives
+// the 3.0-bit 2/4 mix the paper evaluates; 1.0 is all-2-bit. This is the
+// knob the serving engine's degradation ladder turns under overload.
+double headwise_mixed_kv_bits(double two_bit_head_fraction);
+
 // Cost of one prefill attention pass (q_len == kv_len == prompt length).
 PhaseBreakdown attention_prefill_cost(const DeviceSpec& dev,
                                       AttnMethod method,

@@ -65,6 +65,9 @@ std::uint64_t digest(const serving::EngineResult& r) {
   h = mix(h, r.degraded_steps);
   h = mix(h, r.injected_alloc_failures);
   h = mix(h, r.recomputed_tokens);
+  h = mix(h, r.timed_out);
+  h = mix(h, r.shed);
+  h = mix(h, static_cast<std::uint64_t>(r.hit_time_limit));
   return h;
 }
 
@@ -172,6 +175,35 @@ TEST(FaultMatrixTest, DifferentSeedsDifferentFaultStreams) {
   const serving::EngineResult a = run_engine(pressured_engine(1), trace);
   const serving::EngineResult b = run_engine(pressured_engine(2), trace);
   EXPECT_NE(digest(a), digest(b));
+}
+
+TEST(FaultMatrixTest, BackoffJitterDeterministicAndSeedSensitive) {
+  // Re-admission jitter is keyed by (jitter_seed, request id, eviction
+  // count), never by a shared RNG stream: same seed must be bit-identical
+  // run to run, a different seed must change the schedule, and disabling
+  // jitter must be its own (deterministic) schedule. None of this may
+  // touch the fault stream's determinism.
+  const auto trace = overload_trace();
+  const serving::EngineConfig base = pressured_engine(2);
+  const serving::EngineResult a = run_engine(base, trace);
+  const serving::EngineResult b = run_engine(base, trace);
+  EXPECT_EQ(digest(a), digest(b));
+
+  serving::EngineConfig reseeded = pressured_engine(2);
+  reseeded.jitter_seed = 0xFEED;
+  const serving::EngineResult c = run_engine(reseeded, trace);
+  const serving::EngineResult d = run_engine(reseeded, trace);
+  EXPECT_EQ(digest(c), digest(d));
+  ASSERT_GT(a.preemptions, 0u);  // jitter can only matter under eviction
+  EXPECT_NE(digest(a), digest(c));
+
+  serving::EngineConfig no_jitter = pressured_engine(2);
+  no_jitter.backoff_jitter = 0.0;
+  const serving::EngineResult e = run_engine(no_jitter, trace);
+  const serving::EngineResult f = run_engine(no_jitter, trace);
+  EXPECT_EQ(digest(e), digest(f));
+  EXPECT_NE(digest(a), digest(e));
+  expect_full_accounting(e, trace.size());
 }
 
 TEST(FaultMatrixTest, ZeroProbabilityPlanIsInert) {

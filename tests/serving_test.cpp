@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "serving/engine.h"
 #include "serving/metrics.h"
 #include "serving/trace.h"
@@ -56,6 +57,96 @@ TEST(TraceTest, LengthsWithinBounds) {
     EXPECT_GE(r.arrival_s, 0.0);
     EXPECT_LE(r.arrival_s, t.duration_s);
   }
+}
+
+TEST(TraceTest, TruncationGuardsActuallyClamp) {
+  // Bounds tight enough that the log-normal draws exceed them routinely:
+  // the guards must clamp (samples land exactly on the bound), not merely
+  // never be exceeded by luck.
+  TraceConfig t = small_trace();
+  t.max_prompt = 128;  // median draw ~245 > cap
+  t.max_gen = 32;      // median draw ~55 > cap
+  std::size_t prompt_clamped = 0;
+  std::size_t gen_clamped = 0;
+  const auto trace = generate_trace(t);
+  ASSERT_GT(trace.size(), 20u);
+  for (const Request& r : trace) {
+    EXPECT_LE(r.prompt_tokens, t.max_prompt);
+    EXPECT_LE(r.max_new_tokens, t.max_gen);
+    EXPECT_GE(r.prompt_tokens, 16u);
+    EXPECT_GE(r.max_new_tokens, 1u);
+    if (r.prompt_tokens == t.max_prompt) ++prompt_clamped;
+    if (r.max_new_tokens == t.max_gen) ++gen_clamped;
+  }
+  EXPECT_GT(prompt_clamped, trace.size() / 4);
+  EXPECT_GT(gen_clamped, trace.size() / 4);
+  // Clamping must not perturb the arrival process or the other draws:
+  // the unclamped config yields the same arrivals in the same order.
+  const auto unclamped = generate_trace(small_trace());
+  ASSERT_EQ(trace.size(), unclamped.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].arrival_s, unclamped[i].arrival_s);
+  }
+}
+
+TEST(TraceTest, ClassMixSampledToProportionsAndDeadlinesStamped) {
+  TraceConfig t = small_trace();
+  t.arrival_rate = 20.0;
+  t.duration_s = 200.0;  // ~4000 requests: tight empirical tolerance
+  t.class_mix = {0.25, 0.5, 0.25};
+  t.ttft_deadline_s = {1.0, 10.0, 0.0};
+  t.e2e_deadline_s = {0.0, 0.0, 300.0};
+  const auto trace = generate_trace(t);
+  ASSERT_GT(trace.size(), 2000u);
+  std::array<std::size_t, kServiceClassCount> counts = {0, 0, 0};
+  for (const Request& r : trace) {
+    const auto c = static_cast<std::size_t>(r.service_class);
+    ++counts[c];
+    EXPECT_EQ(r.ttft_deadline_s, t.ttft_deadline_s[c]);
+    EXPECT_EQ(r.e2e_deadline_s, t.e2e_deadline_s[c]);
+  }
+  const auto n = static_cast<double>(trace.size());
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.50, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.25, 0.03);
+}
+
+TEST(TraceTest, InvalidClassMixRejected) {
+  TraceConfig bad_sum = small_trace();
+  bad_sum.class_mix = {0.5, 0.5, 0.5};
+  EXPECT_THROW(generate_trace(bad_sum), CheckError);
+  TraceConfig negative = small_trace();
+  negative.class_mix = {-0.2, 1.0, 0.2};
+  EXPECT_THROW(generate_trace(negative), CheckError);
+}
+
+TEST(TraceTest, DefaultMixPreservesLegacyStream) {
+  // The all-standard default draws no class sample, so arrivals and
+  // lengths are bit-identical to the pre-service-class generator — and
+  // stamping deadlines must not consume randomness either.
+  TraceConfig plain = small_trace();
+  TraceConfig with_deadlines = small_trace();
+  with_deadlines.ttft_deadline_s = {1.0, 5.0, 0.0};
+  const auto a = generate_trace(plain);
+  const auto b = generate_trace(with_deadlines);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+    EXPECT_EQ(a[i].max_new_tokens, b[i].max_new_tokens);
+    EXPECT_EQ(a[i].service_class, ServiceClass::kStandard);
+    EXPECT_EQ(b[i].ttft_deadline_s, 5.0);  // the standard-class slot
+  }
+  // A non-degenerate mix draws one extra uniform per request, which is
+  // allowed to shift the stream — but the first request's arrival and
+  // lengths precede the first class draw and must be untouched.
+  TraceConfig mixed = small_trace();
+  mixed.class_mix = {0.3, 0.4, 0.3};
+  const auto c = generate_trace(mixed);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(a[0].arrival_s, c[0].arrival_s);
+  EXPECT_EQ(a[0].prompt_tokens, c[0].prompt_tokens);
+  EXPECT_EQ(a[0].max_new_tokens, c[0].max_new_tokens);
 }
 
 TEST(TraceTest, ArrivalRateApproximatelyPoisson) {

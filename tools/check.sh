@@ -8,6 +8,8 @@
 #                             # both builds; checks Release and ASan agree
 #   tools/check.sh serving    # serving/scheduler suite (ctest -L serving)
 #                             # in both builds (chunked prefill, metrics)
+#   tools/check.sh slo        # SLO/overload-control suite (ctest -L slo)
+#                             # in both builds (classes, deadlines, ladder)
 #   tools/check.sh lint       # just turbo_lint
 #   tools/check.sh tidy       # just clang-tidy (skipped when not installed)
 #
@@ -24,9 +26,9 @@ FAILED=0
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    all|release|asan|fault|serving|lint|tidy) ;;
+    all|release|asan|fault|serving|slo|lint|tidy) ;;
     *)
-      echo "check.sh: unknown stage '$s' (expected: release asan fault serving lint tidy)" >&2
+      echo "check.sh: unknown stage '$s' (expected: release asan fault serving slo lint tidy)" >&2
       exit 2
       ;;
   esac
@@ -83,6 +85,19 @@ run_serving() {
   ctest --test-dir build-asan-ubsan -L serving --output-on-failure || return 1
 }
 
+run_slo() {
+  banner "slo: overload-control suite (classes, deadlines, ladder, both builds)"
+  # Class-aware scheduling, deadline timeouts and the degradation ladder
+  # must be bit-deterministic per seed in Release and under sanitizers,
+  # same contract as the fault stage.
+  cmake --preset release || return 1
+  cmake --build --preset release -j "$JOBS" --target slo_scheduler_test || return 1
+  ctest --test-dir build-release -L slo --output-on-failure || return 1
+  cmake --preset debug-asan-ubsan || return 1
+  cmake --build --preset debug-asan-ubsan -j "$JOBS" --target slo_scheduler_test || return 1
+  ctest --test-dir build-asan-ubsan -L slo --output-on-failure || return 1
+}
+
 run_lint() {
   banner "lint: turbo_lint quant-invariant rules"
   # Reuse whichever configured build dir already has the lint binary;
@@ -119,6 +134,7 @@ if want release; then run_release || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want asan; then run_asan || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want fault; then run_fault || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want serving; then run_serving || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want slo; then run_slo || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want lint; then run_lint || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tidy; then run_tidy || FAILED=1; fi
 

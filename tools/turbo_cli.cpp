@@ -8,6 +8,7 @@
 // A thin front end over the library so users can sweep configurations
 // without writing C++. Every bench binary remains the canonical,
 // argument-free reproduction path; this tool is for exploration.
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -43,7 +44,10 @@ using tools::Flags;
       "            --device ...  --model ...  --max-batch N  --headroom F\n"
       "            --prefill-chunk TOKENS (0 = monolithic prefill)\n"
       "            --preempt swap|recompute  --fault-seed S\n"
-      "            --alloc-fail-p P  --corrupt-p P  --spike-p P --spike-x M\n");
+      "            --alloc-fail-p P  --corrupt-p P  --spike-p P --spike-x M\n"
+      "            --policy fifo|class  --class-mix I,S,B (fractions, sum 1)\n"
+      "            --deadline-ttft I,S,B  --deadline-e2e I,S,B (s, 0 = none)\n"
+      "            --degrade 0|1  --degrade-frac F (2-bit head fraction)\n");
   std::exit(2);
 }
 
@@ -152,15 +156,50 @@ int run_latency(const Flags& flags) {
   return 0;
 }
 
+// Parse "a,b,c" into a per-class triple (interactive, standard, batch).
+std::array<double, serving::kServiceClassCount> parse_triple(
+    const std::string& text, const char* flag) {
+  std::array<double, serving::kServiceClassCount> out = {0.0, 0.0, 0.0};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::size_t comma = text.find(',', pos);
+    const bool last = i + 1 == out.size();
+    if (last != (comma == std::string::npos)) {
+      std::fprintf(stderr, "--%s wants three comma-separated values\n", flag);
+      std::exit(2);
+    }
+    try {
+      out[i] = std::stod(text.substr(pos, comma - pos));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "--%s: bad number in '%s'\n", flag, text.c_str());
+      std::exit(2);
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
 int run_serve(const Flags& flags) {
   flags.check_consumed({"rate", "duration", "method", "bits", "seed",
                         "device", "model", "max-batch", "headroom",
                         "prefill-chunk", "preempt", "fault-seed",
-                        "alloc-fail-p", "corrupt-p", "spike-p", "spike-x"});
+                        "alloc-fail-p", "corrupt-p", "spike-p", "spike-x",
+                        "policy", "class-mix", "deadline-ttft",
+                        "deadline-e2e", "degrade", "degrade-frac"});
   serving::TraceConfig trace_cfg;
   trace_cfg.arrival_rate = flags.get_double("rate", 4.0);
   trace_cfg.duration_s = flags.get_double("duration", 60.0);
   trace_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const std::string mix = flags.get("class-mix", "");
+  if (!mix.empty()) trace_cfg.class_mix = parse_triple(mix, "class-mix");
+  const std::string dl_ttft = flags.get("deadline-ttft", "");
+  if (!dl_ttft.empty()) {
+    trace_cfg.ttft_deadline_s = parse_triple(dl_ttft, "deadline-ttft");
+  }
+  const std::string dl_e2e = flags.get("deadline-e2e", "");
+  if (!dl_e2e.empty()) {
+    trace_cfg.e2e_deadline_s = parse_triple(dl_e2e, "deadline-e2e");
+  }
 
   serving::EngineConfig engine;
   engine.device = device_by_name(flags.get("device", "a100"));
@@ -185,6 +224,17 @@ int run_serve(const Flags& flags) {
     std::fprintf(stderr, "unknown preempt mode '%s'\n", preempt.c_str());
     std::exit(2);
   }
+  const std::string policy = flags.get("policy", "class");
+  if (policy == "fifo") {
+    engine.policy = serving::SchedPolicy::kFifo;
+  } else if (policy == "class") {
+    engine.policy = serving::SchedPolicy::kClassAware;
+  } else {
+    std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
+    std::exit(2);
+  }
+  engine.degrade.enabled = flags.get_int("degrade", 0) != 0;
+  engine.degrade.two_bit_head_fraction = flags.get_double("degrade-frac", 1.0);
   engine.faults.seed =
       static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
   engine.faults.page_alloc_failure_prob =
@@ -198,10 +248,37 @@ int run_serve(const Flags& flags) {
       serving::summarize(serving::run_engine(engine, trace));
   std::printf("%zu requests @ %.1f req/s: %.0f tok/s, TTFT p50/p99 "
               "%.2f/%.2f s, TPOT p50 %.0f ms, peak batch %zu, rejected "
-              "%zu\n",
+              "%zu, timed-out %zu, shed %zu\n",
               trace.size(), trace_cfg.arrival_rate, m.output_tokens_per_s,
               m.ttft_p50, m.ttft_p99, m.tpot_p50 * 1e3, m.peak_batch,
-              m.rejected);
+              m.rejected, m.timed_out, m.shed);
+  for (std::size_t c = 0; c < serving::kServiceClassCount; ++c) {
+    const serving::ClassBreakdown& cb = m.by_class[c];
+    if (cb.requests == 0) continue;
+    std::printf("  %-11s %4zu req: %zu done, %zu timed-out, %zu shed, "
+                "TTFT p99 %.2f s",
+                serving::service_class_name(
+                    static_cast<serving::ServiceClass>(c)),
+                cb.requests, cb.completed, cb.timed_out, cb.shed,
+                cb.ttft_p99);
+    if (cb.deadline_requests > 0) {
+      std::printf(", TTFT-SLO %.1f%%", 100.0 * cb.ttft_attainment);
+    }
+    std::printf("\n");
+  }
+  if (engine.degrade.enabled) {
+    std::printf("  degrade: %zu escalations / %zu de-escalations, "
+                "%zu degraded admissions (min %.1f-bit KV, rmse proxy "
+                "%.4f), %zu degraded iterations\n",
+                m.ladder_escalations, m.ladder_deescalations,
+                m.degraded_admissions, m.min_kv_bits, m.degrade_rmse_proxy,
+                m.degraded_iterations);
+  }
+  if (m.hit_time_limit) {
+    std::printf("  WARNING: simulation time limit hit with %zu requests "
+                "unfinished — results are truncated, not clean\n",
+                m.unfinished);
+  }
   std::printf("  pressure: preemptions %zu (swap %zu, recompute %zu), "
               "swap-ins %zu, swapped %.2f/%.2f GB out/in, stall %.2f s, "
               "recomputed %zu tok\n",

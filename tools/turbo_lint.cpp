@@ -33,6 +33,15 @@
 //                        deliberate discard with `// turbo-lint:
 //                        allow-unchecked-append`.
 //
+//   unmirrored-engine-counter  every std::size_t / bool counter in
+//                        EngineResult (src/serving/engine.h) must be
+//                        mirrored into ServingMetrics and assigned from
+//                        `result.<name>` in src/serving/metrics.cpp —
+//                        otherwise engine outcomes (timeouts, sheds,
+//                        truncation) silently vanish from the reported
+//                        metrics. Suppress a deliberately engine-private
+//                        field with `// turbo-lint: allow-unmirrored`.
+//
 // Usage: turbo_lint <repo_root>
 // Exit status 0 when clean, 1 with one "file:line: [rule] ..." diagnostic
 // per violation otherwise.
@@ -331,6 +340,102 @@ bool extract_body(const std::string& stripped, const std::regex& sig_re,
   return false;
 }
 
+// --- rule: unmirrored-engine-counter --------------------------------------
+
+// Locate `struct <name> { ... }` in stripped text and return the brace-
+// balanced body (including the outer braces) plus the line of the keyword.
+bool extract_struct_body(const std::string& stripped, const std::string& name,
+                         std::string& body, std::size_t& def_line) {
+  const std::regex sig("\\bstruct\\s+" + name + "\\b");
+  std::smatch m;
+  if (!std::regex_search(stripped, m, sig)) return false;
+  std::size_t pos = static_cast<std::size_t>(m.position()) +
+                    static_cast<std::size_t>(m.length());
+  while (pos < stripped.size() && stripped[pos] != '{' &&
+         stripped[pos] != ';') {
+    ++pos;
+  }
+  if (pos >= stripped.size() || stripped[pos] == ';') return false;
+  const std::size_t body_begin = pos;
+  int braces = 0;
+  while (pos < stripped.size()) {
+    if (stripped[pos] == '{') ++braces;
+    if (stripped[pos] == '}') {
+      --braces;
+      if (braces == 0) break;
+    }
+    ++pos;
+  }
+  body = stripped.substr(body_begin, pos - body_begin + 1);
+  def_line = line_of_offset(stripped, static_cast<std::size_t>(m.position()));
+  return true;
+}
+
+// EngineResult is the engine's ground truth; ServingMetrics is what every
+// consumer (CLI, bench tables, tests) actually reads. A counter added to the
+// former but not forwarded by metrics.cpp is invisible in every report, so
+// the engine can time out or shed requests without anyone noticing.
+void check_unmirrored_engine_counters(const std::vector<SourceFile>& files,
+                                      std::vector<Violation>& out) {
+  const SourceFile* engine_h = nullptr;
+  const SourceFile* metrics_h = nullptr;
+  const SourceFile* metrics_cpp = nullptr;
+  for (const SourceFile& f : files) {
+    if (f.rel == "src/serving/engine.h") engine_h = &f;
+    if (f.rel == "src/serving/metrics.h") metrics_h = &f;
+    if (f.rel == "src/serving/metrics.cpp") metrics_cpp = &f;
+  }
+  if (engine_h == nullptr) return;  // serving layer not present in this tree
+
+  std::string result_body;
+  std::size_t result_line = 0;
+  if (!extract_struct_body(engine_h->stripped, "EngineResult", result_body,
+                           result_line)) {
+    return;
+  }
+  std::string metrics_body;
+  std::size_t metrics_line = 0;
+  const bool have_metrics =
+      metrics_h != nullptr &&
+      extract_struct_body(metrics_h->stripped, "ServingMetrics", metrics_body,
+                          metrics_line);
+
+  // Line numbers inside the struct body: offset of the body within the file.
+  const std::size_t body_offset = engine_h->stripped.find(result_body);
+
+  static const std::regex kCounterField("\\b(std::size_t|bool)\\s+(\\w+)");
+  auto it = std::sregex_iterator(result_body.begin(), result_body.end(),
+                                 kCounterField);
+  for (; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[2].str();
+    const std::size_t line = line_of_offset(
+        engine_h->stripped,
+        body_offset + static_cast<std::size_t>(it->position()));
+    if (line_has_marker(*engine_h, line, "allow-unmirrored")) continue;
+
+    const bool in_metrics =
+        have_metrics &&
+        std::regex_search(metrics_body,
+                          std::regex("\\b" + name + "\\b"));
+    const bool assigned =
+        metrics_cpp != nullptr &&
+        std::regex_search(metrics_cpp->stripped,
+                          std::regex("\\bresult\\s*\\.\\s*" + name + "\\b"));
+    if (in_metrics && assigned) continue;
+    std::string what;
+    if (!in_metrics) what = "has no ServingMetrics counterpart";
+    if (!assigned) {
+      if (!what.empty()) what += " and ";
+      what += "is never read from result. in src/serving/metrics.cpp";
+    }
+    out.push_back(
+        {engine_h->rel, line, "unmirrored-engine-counter",
+         "EngineResult::" + name + " " + what +
+             "; mirror it into ServingMetrics (or annotate with "
+             "turbo-lint: allow-unmirrored)"});
+  }
+}
+
 void check_method_shape_checks(const std::vector<SourceFile>& files,
                                std::vector<Violation>& out) {
   static const std::regex kImplClass(
@@ -428,6 +533,7 @@ int main(int argc, char** argv) {
     check_unchecked_cache_append(f, violations);
   }
   check_method_shape_checks(files, violations);
+  check_unmirrored_engine_counters(files, violations);
 
   for (const Violation& v : violations) {
     std::cout << v.rel << ":" << v.line << ": [" << v.rule << "] "
