@@ -16,6 +16,7 @@
 // injected rate was actually exercised.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
@@ -23,6 +24,50 @@
 #include "common/rng.h"
 
 namespace turbo {
+
+// Maximum number of swap tiers a plan can describe (serving/swap.h builds
+// host -> disk by default; the array leaves room for deeper hierarchies).
+inline constexpr std::size_t kMaxSwapTiers = 4;
+
+// Per-tier fault profile for the tiered swap store. The probabilistic
+// knobs are one Bernoulli draw per probe; the outage window is pure
+// wall-clock arithmetic (NO RNG draw), so forcing a tier down for a fixed
+// interval cannot perturb the draw sequence of every other fault — a
+// windowed run stays bit-comparable to the same seed without the window
+// everywhere outside it.
+struct TierFaultPlan {
+  // Probability a store/fetch probe finds the tier unavailable (models a
+  // flapping disk, a busy host allocator, a dropped link).
+  double unavailable_prob = 0.0;
+  // Probability a stream fetched from this tier comes back corrupted
+  // (detected downstream by the CRC layer, recovered by recompute).
+  double corruption_prob = 0.0;
+  // Probability a transfer touching this tier hits a latency spike.
+  double spike_prob = 0.0;
+  double spike_multiplier = 8.0;
+  // Deterministic unavailability window [start, end): every probe whose
+  // timestamp falls inside it fails. start == end disables the window.
+  double outage_start_s = 0.0;
+  double outage_end_s = 0.0;
+
+  bool enabled() const {
+    return unavailable_prob > 0.0 || corruption_prob > 0.0 ||
+           spike_prob > 0.0 || outage_end_s > outage_start_s;
+  }
+
+  void validate() const {
+    const auto is_prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+    TURBO_CHECK_MSG(is_prob(unavailable_prob),
+                    "tier unavailable_prob outside [0, 1]");
+    TURBO_CHECK_MSG(is_prob(corruption_prob),
+                    "tier corruption_prob outside [0, 1]");
+    TURBO_CHECK_MSG(is_prob(spike_prob), "tier spike_prob outside [0, 1]");
+    TURBO_CHECK_MSG(spike_multiplier >= 1.0,
+                    "tier spike_multiplier must be >= 1");
+    TURBO_CHECK_MSG(outage_end_s >= outage_start_s,
+                    "tier outage window must have end >= start");
+  }
+};
 
 struct FaultPlan {
   std::uint64_t seed = 0;
@@ -40,9 +85,19 @@ struct FaultPlan {
   double swap_spike_prob = 0.0;
   double swap_spike_multiplier = 8.0;
 
+  // Per-tier fault profiles, indexed by swap-tier position (0 = fastest).
+  // All-zero profiles are inert: probes with probability 0 draw nothing.
+  std::array<TierFaultPlan, kMaxSwapTiers> tiers = {};
+
   bool enabled() const {
-    return page_alloc_failure_prob > 0.0 || stream_corruption_prob > 0.0 ||
-           swap_spike_prob > 0.0;
+    if (page_alloc_failure_prob > 0.0 || stream_corruption_prob > 0.0 ||
+        swap_spike_prob > 0.0) {
+      return true;
+    }
+    for (const TierFaultPlan& t : tiers) {
+      if (t.enabled()) return true;
+    }
+    return false;
   }
 
   // Probabilities must be in [0, 1] and the spike multiplier >= 1; a plan
@@ -57,6 +112,7 @@ struct FaultPlan {
                     "swap_spike_prob outside [0, 1]");
     TURBO_CHECK_MSG(swap_spike_multiplier >= 1.0,
                     "swap_spike_multiplier must be >= 1");
+    for (const TierFaultPlan& t : tiers) t.validate();
   }
 };
 
@@ -87,6 +143,35 @@ class FaultInjector {
     return plan_.swap_spike_multiplier;
   }
 
+  // Per-tier probes for the tiered swap store (serving/swap.h). The
+  // deterministic outage window is checked before the probabilistic probe
+  // so a windowed outage never consumes a draw.
+  bool tier_unavailable(std::size_t tier, double now_s) {
+    TURBO_CHECK(tier < kMaxSwapTiers);
+    const TierFaultPlan& t = plan_.tiers[tier];
+    if (t.outage_end_s > t.outage_start_s && now_s >= t.outage_start_s &&
+        now_s < t.outage_end_s) {
+      ++injected_tier_unavailable_;
+      return true;  // deterministic window: no RNG draw
+    }
+    if (!probe(t.unavailable_prob)) return false;
+    ++injected_tier_unavailable_;
+    return true;
+  }
+  bool tier_corrupt(std::size_t tier) {
+    TURBO_CHECK(tier < kMaxSwapTiers);
+    if (!probe(plan_.tiers[tier].corruption_prob)) return false;
+    ++injected_tier_corruptions_;
+    return true;
+  }
+  double tier_latency_multiplier(std::size_t tier) {
+    TURBO_CHECK(tier < kMaxSwapTiers);
+    const TierFaultPlan& t = plan_.tiers[tier];
+    if (!probe(t.spike_prob)) return 1.0;
+    ++injected_tier_spikes_;
+    return t.spike_multiplier;
+  }
+
   // Seed-determined byte offset for an injected corruption.
   std::size_t corruption_offset(std::size_t stream_size) {
     if (stream_size == 0) return 0;
@@ -98,6 +183,13 @@ class FaultInjector {
   }
   std::size_t injected_corruptions() const { return injected_corruptions_; }
   std::size_t injected_spikes() const { return injected_spikes_; }
+  std::size_t injected_tier_unavailable() const {
+    return injected_tier_unavailable_;
+  }
+  std::size_t injected_tier_corruptions() const {
+    return injected_tier_corruptions_;
+  }
+  std::size_t injected_tier_spikes() const { return injected_tier_spikes_; }
 
  private:
   bool probe(double prob) {
@@ -110,6 +202,9 @@ class FaultInjector {
   std::size_t injected_alloc_failures_ = 0;
   std::size_t injected_corruptions_ = 0;
   std::size_t injected_spikes_ = 0;
+  std::size_t injected_tier_unavailable_ = 0;
+  std::size_t injected_tier_corruptions_ = 0;
+  std::size_t injected_tier_spikes_ = 0;
 };
 
 }  // namespace turbo

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <optional>
 
 #include "common/check.h"
 #include "common/matrix.h"
@@ -33,9 +34,10 @@ struct Paused {
   std::size_t remaining;
   std::size_t prompt_left;  // prefill cursor survives preemption
   double eligible_s;        // earliest re-admission time
-  bool swapped;             // true: pages parked in the host store
+  bool swapped;             // true: stream parked in the tiered store
   double bytes;             // swapped stream size (0 for recompute)
   double kv_bits;           // precision the parked KV is stored at
+  bool promote_tried = false;  // one promote attempt per page-blocked wait
 };
 
 // Deadline comparisons use a slack so a token landing exactly on the
@@ -133,6 +135,26 @@ EngineResult run_engine(const EngineConfig& config,
   FaultInjector fault(config.faults);
   allocator.set_fault_injector(&fault);
 
+  // Swap mode parks preemption victims in a tiered store: tier 0 is host
+  // DRAM behind the PCIe link, tier 1 (optional) local disk. The engine
+  // runs the store in phantom mode — byte counts and placement only; the
+  // byte-level serialize/adopt path shares the same machinery in tests.
+  std::optional<TieredSwapStore> swap_store;
+  if (config.preempt_mode == PreemptMode::kSwap) {
+    TURBO_CHECK_MSG(config.swap.tiers >= 1 && config.swap.tiers <= 2,
+                    "engine supports 1 (host) or 2 (host+disk) swap tiers");
+    std::vector<SwapTier> tiers;
+    tiers.push_back(
+        {"host", config.swap.host_capacity_bytes, config.device.pcie_bandwidth});
+    if (config.swap.tiers == 2) {
+      TURBO_CHECK_MSG(config.device.disk_bandwidth > 0.0,
+                      "disk swap tier requires device disk_bandwidth > 0");
+      tiers.push_back({"disk", config.swap.disk_capacity_bytes,
+                       config.device.disk_bandwidth});
+    }
+    swap_store.emplace(std::move(tiers), config.swap.health);
+  }
+
   EngineResult result;
   result.requests = trace;
   result.min_kv_bits = bits_normal;
@@ -185,6 +207,9 @@ EngineResult run_engine(const EngineConfig& config,
   std::vector<Paused> paused;
   std::size_t next_arrival = 0;
   double now = 0.0;
+  // Engine iteration counter: the LRU clock for the tiered swap store
+  // (last-touch recency of parked streams).
+  std::size_t iteration = 0;
 
   // --- Pressure controller (degradation ladder) state ---------------------
   std::size_t ladder_level = kLevelNormal;
@@ -286,15 +311,28 @@ EngineResult run_engine(const EngineConfig& config,
              0.0,                victim.kv_bits};
     double stall = 0.0;
     if (config.preempt_mode == PreemptMode::kSwap) {
-      ++result.preempted_swap;
       // A victim with nothing cached yet (evicted before its first
       // prefill chunk) has no stream to move: zero-cost "swap".
       if (victim.context > 0) {
-        p.swapped = true;
-        p.bytes = static_cast<double>(victim.pages.size()) * page_bytes;
-        result.swap_out_bytes += p.bytes;
-        stall = swap_transfer_seconds(p.bytes, config.device,
-                                      fault.swap_latency_multiplier());
+        const double bytes =
+            static_cast<double>(victim.pages.size()) * page_bytes;
+        const TieredSwapStore::StoreOutcome so = swap_store->store_phantom(
+            r.id, static_cast<std::size_t>(bytes), iteration, now, &fault);
+        if (so.stored) {
+          ++result.preempted_swap;
+          p.swapped = true;
+          p.bytes = bytes;
+          result.swap_out_bytes += p.bytes;
+          stall = so.transfer_s;
+          result.tier_demotions += so.demotions;
+        } else {
+          // Every tier full or unreachable: the stream has nowhere to
+          // go, so this victim degrades to recompute-on-re-admission.
+          ++result.preempted_recompute;
+          ++result.swap_overflow_recomputes;
+        }
+      } else {
+        ++result.preempted_swap;
       }
     } else {
       ++result.preempted_recompute;
@@ -459,6 +497,7 @@ EngineResult run_engine(const EngineConfig& config,
   };
 
   while (finished < total && now < config.max_sim_time_s) {
+    ++iteration;
     // Pull arrivals whose time has come.
     while (next_arrival < total &&
            result.requests[next_arrival].arrival_s <= now) {
@@ -484,7 +523,10 @@ EngineResult run_engine(const EngineConfig& config,
       for (std::size_t pi = 0; pi < paused.size();) {
         Request& r = result.requests[paused[pi].trace_index];
         if (deadline_expired(r)) {
-          time_out(r);  // parked pages were already released at eviction
+          // Pages were released at eviction; a swapped victim also drops
+          // its parked stream so the store cannot leak terminal state.
+          if (paused[pi].swapped) swap_store->erase(r.id);
+          time_out(r);
           paused.erase(paused.begin() + static_cast<std::ptrdiff_t>(pi));
         } else {
           ++pi;
@@ -585,30 +627,68 @@ EngineResult run_engine(const EngineConfig& config,
       double bits = p.swapped ? p.kv_bits : current_bits();
       std::vector<PageId> pages;
       if (!try_alloc(pages_needed(p.context + 1, bits), pages)) {
+        // Page-blocked: spend the wait staging the parked stream up the
+        // hierarchy (once per wait), so when pages do free up the
+        // swap-in reads at host-link speed instead of disk speed.
+        if (p.swapped && !p.promote_tried) {
+          double promote_s = 0.0;
+          if (swap_store->promote(result.requests[p.trace_index].id,
+                                  iteration, now, &fault, &promote_s)) {
+            ++result.tier_promotions;
+            admit_latency += promote_s;
+            result.swap_stall_s += promote_s;
+          }
+          p.promote_tried = true;
+        }
         p.eligible_s = now + config.backoff_base_s;  // retry tick
         break;                                       // no overtaking
       }
       Request& r = result.requests[p.trace_index];
       if (p.swapped) {
-        const double dt = swap_transfer_seconds(
-            p.bytes, config.device, fault.swap_latency_multiplier());
-        admit_latency += dt;
-        result.swap_stall_s += dt;
-        result.swap_in_bytes += p.bytes;
-        if (fault.corrupt_stream()) {
-          // The swapped stream fails its CRC on the way back in. The
-          // pages cannot be adopted — recover by recomputing them (at
-          // the current ladder precision, like any recompute).
-          ++result.checksum_failures;
+        const TieredSwapStore::FetchOutcome fo =
+            swap_store->fetch(r.id, iteration, now, &fault);
+        TURBO_CHECK_MSG(fo.status != TieredSwapStore::FetchStatus::kMissing,
+                        "swapped request lost its parked stream");
+        admit_latency += fo.stall_s;
+        result.tier_retry_stall_s += fo.stall_s;
+        result.tier_failovers += fo.failovers;
+        r.tier_failovers += fo.failovers;
+        result.tier_fetch_retries += fo.retries;
+        if (fo.status == TieredSwapStore::FetchStatus::kUnavailable) {
+          // Failover exhausted: every tier holding the stream is down.
+          // The engine never hangs on a dead hierarchy — drop the parked
+          // stream and recompute the KV (at the current ladder
+          // precision, like any recompute). Not a checksum recovery.
+          swap_store->erase(r.id);
+          ++result.swap_unavailable_recomputes;
           bits = current_bits();
           const double cost = prefill_cost(p.context, bits);
           admit_latency += cost;
           result.busy_s += cost;
           r.recomputed_tokens += p.context;
           result.recomputed_tokens += p.context;
-          ++result.recoveries;
         } else {
-          ++result.swap_ins;
+          admit_latency += fo.transfer_s;
+          result.swap_stall_s += fo.transfer_s;
+          result.swap_in_bytes += p.bytes;
+          // Two corruption sources: the legacy in-transit stream fault
+          // and the per-tier media fault. Either way the CRC catches it
+          // on the way back in and the pages cannot be adopted —
+          // recover by recomputing them.
+          const bool transit_corrupt = fault.corrupt_stream();
+          if (transit_corrupt || fo.corrupted) {
+            ++result.checksum_failures;
+            bits = current_bits();
+            const double cost = prefill_cost(p.context, bits);
+            admit_latency += cost;
+            result.busy_s += cost;
+            r.recomputed_tokens += p.context;
+            result.recomputed_tokens += p.context;
+            ++result.recoveries;
+          } else {
+            ++result.swap_ins;
+          }
+          swap_store->erase(r.id);
         }
       } else if (p.context > 0) {
         // Recompute mode: re-derive the evicted KV with a fresh prefill
@@ -952,6 +1032,22 @@ EngineResult run_engine(const EngineConfig& config,
   result.makespan_s = now;
   result.injected_alloc_failures = allocator.injected_failures();
   result.hit_time_limit = finished < total;
+  if (swap_store.has_value()) {
+    // No-leak invariant: every request reached exactly one terminal
+    // state, and every terminal path (swap-in, unavailable-recompute,
+    // timeout, checksum drop) erased its parked stream. Only the
+    // max_sim_time_s safety stop may strand entries.
+    if (!result.hit_time_limit) {
+      TURBO_CHECK_MSG(swap_store->count() == 0,
+                      "terminal run left streams parked in the swap store");
+    }
+    for (std::size_t t = 0; t < swap_store->tier_count(); ++t) {
+      const TieredSwapStore::TierCounters& tc = swap_store->counters(t);
+      result.tier_stats[t] = tc;
+      result.tier_blacklists += tc.blacklists;
+      if (tc.stores > 0 || tc.demotions_in > 0) ++result.swap_tiers_used;
+    }
+  }
   return result;
 }
 

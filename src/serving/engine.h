@@ -61,6 +61,7 @@
 
 #include "common/fault.h"
 #include "serving/request.h"
+#include "serving/swap.h"
 #include "sim/e2e_model.h"
 
 namespace turbo::serving {
@@ -86,6 +87,19 @@ struct ClassPolicy {
   // Per-class preemption budget: evictions before the request is pinned.
   // 0 = inherit EngineConfig::pin_after_preemptions.
   std::size_t pin_after_preemptions = 0;
+};
+
+// Tiered swap-store configuration (PreemptMode::kSwap only). The engine
+// builds a TieredSwapStore (serving/swap.h) with tier 0 = host DRAM at
+// the device's PCIe bandwidth and, when `tiers == 2`, tier 1 = local
+// disk at the device's disk_bandwidth. Capacities of 0 are unbounded;
+// with the defaults the hierarchy degenerates to the legacy single-tier
+// host store (same costs, same fault-draw sequence).
+struct TieredSwapConfig {
+  std::size_t tiers = 2;                  // 1 = host only, 2 = host + disk
+  std::size_t host_capacity_bytes = 0;    // 0 = unbounded
+  std::size_t disk_capacity_bytes = 0;    // 0 = unbounded
+  TierHealthPolicy health;                // retry / blacklist policy
 };
 
 // Graceful-degradation ladder (pressure controller) configuration.
@@ -156,6 +170,7 @@ struct EngineConfig {
   // pinned — only ever victimized again if every running request is
   // pinned (forward-progress fallback), which bounds eviction churn.
   std::size_t pin_after_preemptions = 4;
+  TieredSwapConfig swap;             // tier layout for PreemptMode::kSwap
   FaultPlan faults;                  // all-zero probabilities = no injection
 };
 
@@ -195,6 +210,23 @@ struct EngineResult {
   // plus corrupt-swap recoveries); the sum of Request::recomputed_tokens.
   std::size_t recomputed_tokens = 0;
   bool hit_time_limit = false;           // max_sim_time_s safety stop fired
+
+  // --- Tiered-swap counters -----------------------------------------------
+  std::size_t tier_demotions = 0;        // LRU demotions host -> disk
+  std::size_t tier_promotions = 0;       // promote-on-blocked-readmission
+  std::size_t tier_failovers = 0;        // tiers skipped during fetches
+  std::size_t tier_blacklists = 0;       // tier blacklist events
+  std::size_t tier_fetch_retries = 0;    // failed per-tier fetch attempts
+  // Swapped victims that degraded to recompute because every tier holding
+  // the stream was unreachable (failover exhausted)...
+  std::size_t swap_unavailable_recomputes = 0;
+  // ...or because no tier had room / was reachable at swap-out time.
+  std::size_t swap_overflow_recomputes = 0;
+  std::size_t swap_tiers_used = 0;       // tiers that held >= 1 stream
+  double tier_retry_stall_s = 0.0;       // retry-backoff wall-clock
+  // Per-tier store counters (stores/hits/demotions/failures/...), indexed
+  // by tier position; tiers beyond swap.tiers stay zero.
+  std::array<TieredSwapStore::TierCounters, kMaxSwapTiers> tier_stats = {};
 };
 
 // Run the trace until every request has reached a terminal state —

@@ -34,6 +34,16 @@ ServingMetrics summarize(const EngineResult& result) {
   m.injected_alloc_failures = result.injected_alloc_failures;
   m.max_preemptions_single_request = result.max_preemptions_single_request;
   m.recomputed_tokens = result.recomputed_tokens;
+  m.tier_demotions = result.tier_demotions;
+  m.tier_promotions = result.tier_promotions;
+  m.tier_failovers = result.tier_failovers;
+  m.tier_blacklists = result.tier_blacklists;
+  m.tier_fetch_retries = result.tier_fetch_retries;
+  m.swap_unavailable_recomputes = result.swap_unavailable_recomputes;
+  m.swap_overflow_recomputes = result.swap_overflow_recomputes;
+  m.swap_tiers_used = result.swap_tiers_used;
+  m.tier_retry_stall_s = result.tier_retry_stall_s;
+  m.tier_stats = result.tier_stats;
 
   std::vector<float> ttft;
   std::vector<float> tpot;

@@ -76,6 +76,18 @@ struct ServingMetrics {
   std::size_t injected_alloc_failures = 0;
   std::size_t max_preemptions_single_request = 0;
   std::size_t recomputed_tokens = 0;  // KV tokens re-derived after eviction
+
+  // Tiered-swap counters (copied from EngineResult; see serving/engine.h).
+  std::size_t tier_demotions = 0;
+  std::size_t tier_promotions = 0;
+  std::size_t tier_failovers = 0;
+  std::size_t tier_blacklists = 0;
+  std::size_t tier_fetch_retries = 0;
+  std::size_t swap_unavailable_recomputes = 0;
+  std::size_t swap_overflow_recomputes = 0;
+  std::size_t swap_tiers_used = 0;
+  double tier_retry_stall_s = 0.0;
+  std::array<TieredSwapStore::TierCounters, kMaxSwapTiers> tier_stats = {};
 };
 
 ServingMetrics summarize(const EngineResult& result);

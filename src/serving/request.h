@@ -89,6 +89,9 @@ struct Request {
   // corrupt swap-in recovered by recomputation). Distinguishes busy_s spent
   // on useful work from busy_s spent re-deriving evicted state.
   std::size_t recomputed_tokens = 0;
+  // Swap tiers skipped (unavailable or blacklisted) while fetching this
+  // request's parked KV stream back in (tiered swap store only).
+  std::size_t tier_failovers = 0;
   // How the request left the system (kPending = still in flight when the
   // simulation's safety stop fired).
   Outcome outcome = Outcome::kPending;

@@ -1,23 +1,44 @@
-// Host-memory swap store for preempted KV sequences.
+// Swap stores for preempted KV sequences: single-tier host memory and a
+// fault-tolerant multi-tier hierarchy.
 //
 // When the scheduler preempts a running request it can either drop its KV
-// pages and re-prefill later (recompute) or move them to host memory and
-// bring them back over the PCIe link (swap) — the vLLM preemption pair.
-// This file provides both halves of the swap path:
+// pages and re-prefill later (recompute) or move them off-device and
+// bring them back later (swap) — the vLLM preemption pair. The paper's
+// progressive KV compression is what makes the swapped streams small
+// enough that a hierarchy deeper than host DRAM is plausible, so this
+// file provides both:
 //
-//  - HostSwapStore: the simulated host-side store. It holds serialized
+//  - HostSwapStore: the original single-tier host store. Holds serialized
 //    sequence streams (kvcache/serialization.h) keyed by request id, so a
-//    swapped sequence really does round-trip through the checksummed
-//    format rather than being parked as live pages.
-//  - swap_out / swap_in: serialize-and-release / fetch-and-adopt with an
-//    explicit status, including checksum-mismatch detection so callers
-//    can fall back to recompute.
-//  - swap_transfer_seconds: the PCIe-bandwidth cost model the serving
-//    engine charges per transfer.
+//    swapped sequence really round-trips through the checksummed format.
+//  - TieredSwapStore: an ordered list of tiers (host DRAM -> disk by
+//    default), each with its own capacity, bandwidth and per-tier fault
+//    profile (common/fault.h TierFaultPlan). Swap-out lands in the
+//    fastest tier with room and demotes cold streams (LRU by last-touch
+//    iteration) under pressure; swap-in probes tiers fastest-first with a
+//    bounded retry/backoff budget, fails over on unavailability, and
+//    reports kUnavailable when every tier holding the stream is dead so
+//    the engine can degrade to recompute. Consecutive-failure
+//    blacklisting with cooloff keeps a flapping tier from stalling the
+//    admission loop; a blacklisted tier is skipped without stall until
+//    its cooloff expires, then probed again (one failure re-blacklists).
+//  - swap_out / swap_in overloads for both stores: serialize-and-release
+//    / fetch-and-adopt with explicit status, including checksum-mismatch
+//    detection so callers can fall back to recompute. The tiered fetch is
+//    non-consuming: the parked stream is only erased once adoption
+//    succeeds (or the stream is proven corrupt), so an out-of-pages retry
+//    always sees pristine bytes.
+//  - swap_transfer_seconds: the legacy single-link PCIe cost model.
+//
+// Every function here that stores or fetches a stream takes a
+// FaultInjector* (turbo_lint rule `unfaultable-swap-io` enforces this),
+// so no unfaultable I/O path can be added later. A null injector means
+// "no faults" and draws nothing.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -30,10 +51,14 @@ namespace turbo::serving {
 class HostSwapStore {
  public:
   // Store a serialized stream under `key` (overwrites any previous one).
-  void store(std::uint64_t key, std::vector<std::uint8_t> stream);
+  // The injector parameter is part of the faultable-I/O contract; the
+  // single-tier store itself never fails or draws.
+  void store(std::uint64_t key, std::vector<std::uint8_t> stream,
+             FaultInjector* fault = nullptr);
 
   // Remove and return the stream stored under `key`; nullopt if absent.
-  std::optional<std::vector<std::uint8_t>> fetch(std::uint64_t key);
+  std::optional<std::vector<std::uint8_t>> fetch(
+      std::uint64_t key, FaultInjector* fault = nullptr);
 
   bool contains(std::uint64_t key) const {
     return streams_.count(key) > 0;
@@ -46,17 +71,182 @@ class HostSwapStore {
   std::size_t bytes_ = 0;
 };
 
+// One level of the swap hierarchy, fastest first.
+struct SwapTier {
+  std::string name;                // "host", "disk", ...
+  std::size_t capacity_bytes = 0;  // 0 = unbounded
+  double bandwidth = 0.0;          // bytes / second, must be > 0
+};
+
+// Retry / blacklist policy shared by every tier.
+struct TierHealthPolicy {
+  // Attempts per tier per fetch before failing over to the next tier.
+  std::size_t retry_budget = 2;
+  // Stall charged per failed attempt (the backoff between retries).
+  double retry_backoff_s = 0.02;
+  // Consecutive failed probes before the tier is blacklisted.
+  std::size_t blacklist_after = 3;
+  // Blacklist duration. After it expires the tier is probed again; a
+  // single failed probe re-blacklists (probing re-admission), a single
+  // success clears the failure streak.
+  double cooloff_s = 5.0;
+
+  void validate() const {
+    TURBO_CHECK_MSG(retry_budget >= 1, "retry_budget must be >= 1");
+    TURBO_CHECK_MSG(retry_backoff_s >= 0.0, "retry_backoff_s must be >= 0");
+    TURBO_CHECK_MSG(blacklist_after >= 1, "blacklist_after must be >= 1");
+    TURBO_CHECK_MSG(cooloff_s >= 0.0, "cooloff_s must be >= 0");
+  }
+};
+
+// Ordered multi-tier store. Entries are either *real* (they carry the
+// serialized stream, used by the byte-level swap path and its tests) or
+// *phantom* (byte counts only, used by the serving engine's cost model);
+// the placement, demotion, failover and health machinery is identical,
+// so what the engine simulates is exactly what the byte path exercises.
+class TieredSwapStore {
+ public:
+  struct TierCounters {
+    std::size_t stores = 0;         // entries placed here by store()
+    std::size_t hits = 0;           // fetches served from this tier
+    std::size_t demotions_in = 0;   // entries demoted down into this tier
+    std::size_t promotions_out = 0; // entries promoted up out of this tier
+    std::size_t failures = 0;       // unavailable probes observed
+    std::size_t blacklists = 0;     // times this tier was blacklisted
+  };
+
+  struct StoreOutcome {
+    bool stored = false;     // false: every tier full or unavailable
+    std::size_t tier = 0;    // tier the stream landed in
+    std::size_t demotions = 0;  // LRU demotions performed to make room
+    double transfer_s = 0.0;    // store + demotion transfer time
+  };
+
+  enum class FetchStatus {
+    kHit,          // stream found and read; entry retained (erase() it)
+    kMissing,      // no entry under this key anywhere
+    kUnavailable,  // entry exists but its tier could not be reached
+  };
+
+  struct FetchOutcome {
+    FetchStatus status = FetchStatus::kMissing;
+    std::size_t tier = 0;       // tier that served the hit
+    std::size_t bytes = 0;      // entry size (valid on kHit)
+    bool corrupted = false;     // per-tier corruption fault fired
+    std::size_t failovers = 0;  // tiers skipped (unavailable/blacklisted)
+    std::size_t retries = 0;    // failed attempts across all tiers
+    double transfer_s = 0.0;    // read transfer time (kHit only)
+    double stall_s = 0.0;       // retry-backoff stall
+  };
+
+  explicit TieredSwapStore(std::vector<SwapTier> tiers,
+                           TierHealthPolicy health = {});
+
+  // Park a serialized stream / a phantom byte count under `key`
+  // (overwriting any previous entry): fastest available tier with room
+  // wins, demoting least-recently-touched entries one tier down when the
+  // target is full. Returns stored == false when no tier can take the
+  // entry — the caller must fall back (the engine recomputes).
+  StoreOutcome store(std::uint64_t key, std::vector<std::uint8_t> stream,
+                     std::size_t iteration, double now_s,
+                     FaultInjector* fault);
+  StoreOutcome store_phantom(std::uint64_t key, std::size_t bytes,
+                             std::size_t iteration, double now_s,
+                             FaultInjector* fault);
+
+  // Probe tiers fastest-first for `key` with per-tier retry/backoff.
+  // Non-consuming: a kHit leaves the entry in place (touching its LRU
+  // stamp) so the caller can retry after an out-of-pages adoption; call
+  // erase() once the stream is adopted or proven corrupt. A missing key
+  // short-circuits with no probes, no stall and no RNG draws.
+  FetchOutcome fetch(std::uint64_t key, std::size_t iteration, double now_s,
+                     FaultInjector* fault);
+
+  // Move `key` one or more tiers up if a faster tier has room (never
+  // demotes anything to make that room). Returns true and adds the read
+  // transfer time to *transfer_s on success. A no-op (entry already in
+  // tier 0, no room above, or key absent) returns false without drawing.
+  bool promote(std::uint64_t key, std::size_t iteration, double now_s,
+               FaultInjector* fault, double* transfer_s);
+
+  // Drop the entry under `key`; returns whether one existed.
+  bool erase(std::uint64_t key);
+
+  // Bytes of the real stream under `key`; nullptr for phantom or absent
+  // entries. Read-only: does not touch LRU state or draw faults.
+  const std::vector<std::uint8_t>* stream_of(std::uint64_t key) const;
+
+  bool contains(std::uint64_t key) const {
+    return entries_.count(key) > 0;
+  }
+  std::size_t count() const { return entries_.size(); }
+  std::size_t tier_count() const { return tiers_.size(); }
+  const SwapTier& tier(std::size_t t) const { return tiers_[t]; }
+  std::size_t stored_bytes() const;
+  std::size_t tier_stored_bytes(std::size_t t) const { return used_[t]; }
+  // Tier currently holding `key` (nullopt when absent).
+  std::optional<std::size_t> tier_of(std::uint64_t key) const;
+  const TierCounters& counters(std::size_t t) const { return counters_[t]; }
+  bool blacklisted(std::size_t t, double now_s) const {
+    return now_s < blacklisted_until_[t];
+  }
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> stream;  // empty for phantom entries
+    std::size_t bytes = 0;
+    std::size_t tier = 0;
+    std::size_t last_touch = 0;  // iteration of last store/fetch
+    bool phantom = false;
+  };
+
+  StoreOutcome store_impl(std::uint64_t key, std::vector<std::uint8_t> stream,
+                          std::size_t bytes, bool phantom,
+                          std::size_t iteration, double now_s,
+                          FaultInjector* fault);
+  bool fits(std::size_t t, std::size_t bytes) const;
+  // Demote LRU entries from `t` into `t + 1` until `bytes` fit (or
+  // nothing more can move). Demotions are internal background moves:
+  // deterministic, no availability probe, charged at the destination
+  // tier's bandwidth.
+  void make_room(std::size_t t, std::size_t bytes, std::size_t iteration,
+                 StoreOutcome& out);
+  // Record a failed / successful availability probe, driving the
+  // consecutive-failure blacklist.
+  void note_failure(std::size_t t, double now_s);
+  void note_success(std::size_t t);
+
+  std::vector<SwapTier> tiers_;
+  TierHealthPolicy health_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::vector<std::size_t> used_;               // bytes resident per tier
+  std::vector<TierCounters> counters_;
+  std::vector<std::size_t> consecutive_failures_;
+  std::vector<double> blacklisted_until_;
+};
+
 // Serialize `seq`, park the stream in the store under `key`, and release
 // the sequence's pages. Returns the stream size in bytes (what the
 // transfer cost model should charge).
 std::size_t swap_out(PagedKvCache& cache, PagedKvCache::SeqId seq,
-                     std::uint64_t key, HostSwapStore& store);
+                     std::uint64_t key, HostSwapStore& store,
+                     FaultInjector* fault = nullptr);
+
+// Tiered variant: the pages are released only when a tier accepted the
+// stream (outcome->stored); on refusal the sequence is left intact so the
+// caller can keep running or drop it for recompute. Returns the stream
+// size when stored, 0 when refused.
+std::size_t swap_out(PagedKvCache& cache, PagedKvCache::SeqId seq,
+                     std::uint64_t key, TieredSwapStore& store,
+                     std::size_t iteration, double now_s, FaultInjector* fault,
+                     TieredSwapStore::StoreOutcome* outcome = nullptr);
 
 enum class SwapInStatus {
   kOk,                // sequence restored; `seq` is valid
   kChecksumMismatch,  // corruption detected; stream dropped — recompute
   kOutOfPages,        // cache cannot back the pages; stream kept in store
   kMissing,           // no stream under this key
+  kUnavailable,       // tiered only: every tier holding the stream is down
 };
 
 struct SwapInResult {
@@ -64,13 +254,29 @@ struct SwapInResult {
   PagedKvCache::SeqId seq = 0;
 };
 
+struct TieredSwapInResult {
+  SwapInStatus status = SwapInStatus::kMissing;
+  PagedKvCache::SeqId seq = 0;
+  TieredSwapStore::FetchOutcome fetch;  // transfer/stall/failover detail
+};
+
 // Fetch `key` from the store and adopt it into `cache`. A corrupt stream
 // (CRC mismatch, or any structural damage) is consumed and reported as
-// kChecksumMismatch; on kOutOfPages the stream is put back so the caller
-// can retry after freeing pages. `fault` optionally injects corruption
-// into the fetched stream (common/fault.h).
+// kChecksumMismatch; on kOutOfPages the stream is parked back so the
+// caller can retry after freeing pages — the parked copy is pristine
+// (deserialization runs on a scratch copy), so a retry can never see
+// injector-mutated bytes. `fault` optionally injects corruption into the
+// fetched stream (common/fault.h).
 SwapInResult swap_in(PagedKvCache& cache, std::uint64_t key,
                      HostSwapStore& store, FaultInjector* fault = nullptr);
+
+// Tiered variant: probes tiers fastest-first (retry/backoff/failover per
+// the store's TierHealthPolicy) and only erases the entry once the
+// stream is adopted or proven corrupt; kOutOfPages and kUnavailable
+// leave the pristine entry in place for a later retry.
+TieredSwapInResult swap_in(PagedKvCache& cache, std::uint64_t key,
+                           TieredSwapStore& store, std::size_t iteration,
+                           double now_s, FaultInjector* fault);
 
 // Seconds to move `bytes` across the host link of `dev`, scaled by a
 // spike multiplier (>= 1.0) from the fault injector.

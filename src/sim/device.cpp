@@ -19,6 +19,7 @@ DeviceSpec a100_sxm_80gb() {
   d.sram_per_sm = 164 * 1024;
   d.sm_count = 108;
   d.pcie_bandwidth = 31.5e9;  // PCIe 4.0 x16 host link
+  d.disk_bandwidth = 7e9;     // node-local NVMe (PCIe 4.0 x4 class)
   return d;
 }
 
@@ -35,7 +36,8 @@ DeviceSpec h100_sxm_80gb() {
   d.hbm_capacity = 80e9;
   d.sram_per_sm = 228 * 1024;
   d.sm_count = 132;
-  d.pcie_bandwidth = 63e9;  // PCIe 5.0 x16 host link
+  d.pcie_bandwidth = 63e9;   // PCIe 5.0 x16 host link
+  d.disk_bandwidth = 12e9;   // node-local NVMe (PCIe 5.0 x4 class)
   return d;
 }
 
@@ -45,6 +47,7 @@ DeviceSpec a100_pcie_40gb() {
   d.hbm_bandwidth = 1.555e12;
   d.hbm_capacity = 40e9;
   d.pcie_bandwidth = 31.5e9;
+  d.disk_bandwidth = 3.5e9;  // budget node: single NVMe, PCIe 3.0 x4 class
   return d;
 }
 

@@ -40,6 +40,12 @@ struct DeviceSpec {
   // raise this number.
   double pcie_bandwidth = 0;
 
+  // Second swap tier (host DRAM -> local disk), bytes / second. Governs
+  // the disk tier of the tiered swap store (serving/swap.h): sequential
+  // NVMe rates for the node-local scratch volume a serving fleet would
+  // spill cold KV streams to. 0 = no disk tier modeled.
+  double disk_bandwidth = 0;
+
   // Achievable fractions of peak (calibration knobs).
   double mma_efficiency = 0.6;       // FP16 tensor-core utilization
   double int8_mma_efficiency = 0.45; // INT8 MMA runs at lower utilization

@@ -68,6 +68,14 @@ std::uint64_t digest(const serving::EngineResult& r) {
   h = mix(h, r.timed_out);
   h = mix(h, r.shed);
   h = mix(h, static_cast<std::uint64_t>(r.hit_time_limit));
+  mix_d(r.tier_retry_stall_s);
+  h = mix(h, r.tier_demotions);
+  h = mix(h, r.tier_promotions);
+  h = mix(h, r.tier_failovers);
+  h = mix(h, r.tier_blacklists);
+  h = mix(h, r.tier_fetch_retries);
+  h = mix(h, r.swap_unavailable_recomputes);
+  h = mix(h, r.swap_overflow_recomputes);
   return h;
 }
 
@@ -220,6 +228,51 @@ TEST(FaultMatrixTest, ZeroProbabilityPlanIsInert) {
   EXPECT_EQ(digest(a), digest(b));
   EXPECT_EQ(a.injected_alloc_failures, 0u);
   EXPECT_EQ(a.checksum_failures, 0u);
+}
+
+TEST(FaultMatrixTest, TierFaultSeedsBitIdentical) {
+  // Per-tier faults (unavailability, media corruption, latency spikes)
+  // ride the same deterministic Bernoulli stream as every other fault:
+  // a seeded plan must replay bit-identically, and the digest — which
+  // folds in every tier counter — must agree across build flavors (this
+  // test runs under both the Release and ASan+UBSan CI matrices).
+  const auto trace = overload_trace();
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE("tier fault seed " + std::to_string(seed));
+    serving::EngineConfig cfg = pressured_engine(seed);
+    cfg.swap.host_capacity_bytes = 64ull << 20;  // keep the disk tier hot
+    for (std::size_t t = 0; t < 2; ++t) {
+      cfg.faults.tiers[t].unavailable_prob = 0.05;
+      cfg.faults.tiers[t].corruption_prob = 0.02;
+      cfg.faults.tiers[t].spike_prob = 0.05;
+    }
+    const serving::EngineResult a = run_engine(cfg, trace);
+    const serving::EngineResult b = run_engine(cfg, trace);
+    EXPECT_EQ(digest(a), digest(b));
+    expect_full_accounting(a, trace.size());
+    EXPECT_EQ(a.checksum_failures, a.recoveries);
+  }
+}
+
+TEST(FaultMatrixTest, AllTiersDeadRecomputeStorm) {
+  // Both tiers permanently unavailable: every swap-out attempt is
+  // refused and every victim must fall back to recompute. The engine
+  // must absorb the storm — full accounting, no swap traffic, nothing
+  // parked — and stay bit-reproducible.
+  const auto trace = overload_trace();
+  serving::EngineConfig cfg = pressured_engine(7);
+  cfg.faults.tiers[0].unavailable_prob = 1.0;
+  cfg.faults.tiers[1].unavailable_prob = 1.0;
+  const serving::EngineResult r = run_engine(cfg, trace);
+  expect_full_accounting(r, trace.size());
+  EXPECT_GT(r.preemptions, 0u);
+  EXPECT_GT(r.swap_overflow_recomputes, 0u);  // refused stores recomputed
+  EXPECT_EQ(r.swap_ins, 0u);                  // nothing ever parked...
+  EXPECT_EQ(r.swap_out_bytes, 0.0);           // ...so no bytes moved
+  EXPECT_EQ(r.swap_in_bytes, 0.0);
+  EXPECT_GT(r.tier_blacklists, 0u);  // the health tracker saw the storm
+  const serving::EngineResult again = run_engine(cfg, trace);
+  EXPECT_EQ(digest(r), digest(again));
 }
 
 // ---- PageAllocator injection ---------------------------------------------

@@ -10,6 +10,8 @@
 #                             # in both builds (chunked prefill, metrics)
 #   tools/check.sh slo        # SLO/overload-control suite (ctest -L slo)
 #                             # in both builds (classes, deadlines, ladder)
+#   tools/check.sh tier       # tiered-swap suite (ctest -L tier) in both
+#                             # builds (placement, failover, blacklist)
 #   tools/check.sh lint       # just turbo_lint
 #   tools/check.sh tidy       # just clang-tidy (skipped when not installed)
 #
@@ -26,9 +28,9 @@ FAILED=0
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    all|release|asan|fault|serving|slo|lint|tidy) ;;
+    all|release|asan|fault|serving|slo|tier|lint|tidy) ;;
     *)
-      echo "check.sh: unknown stage '$s' (expected: release asan fault serving slo lint tidy)" >&2
+      echo "check.sh: unknown stage '$s' (expected: release asan fault serving slo tier lint tidy)" >&2
       exit 2
       ;;
   esac
@@ -98,6 +100,19 @@ run_slo() {
   ctest --test-dir build-asan-ubsan -L slo --output-on-failure || return 1
 }
 
+run_tier() {
+  banner "tier: tiered-swap suite (placement, failover, blacklist, both builds)"
+  # Tier placement, LRU demotion, failover and blacklisting must be
+  # bit-deterministic per seed in Release and under sanitizers, same
+  # contract as the fault stage.
+  cmake --preset release || return 1
+  cmake --build --preset release -j "$JOBS" --target tiered_swap_test || return 1
+  ctest --test-dir build-release -L tier --output-on-failure || return 1
+  cmake --preset debug-asan-ubsan || return 1
+  cmake --build --preset debug-asan-ubsan -j "$JOBS" --target tiered_swap_test || return 1
+  ctest --test-dir build-asan-ubsan -L tier --output-on-failure || return 1
+}
+
 run_lint() {
   banner "lint: turbo_lint quant-invariant rules"
   # Reuse whichever configured build dir already has the lint binary;
@@ -135,6 +150,7 @@ if [[ $FAILED -eq 0 ]] && want asan; then run_asan || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want fault; then run_fault || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want serving; then run_serving || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want slo; then run_slo || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want tier; then run_tier || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want lint; then run_lint || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tidy; then run_tidy || FAILED=1; fi
 

@@ -47,7 +47,12 @@ using tools::Flags;
       "            --alloc-fail-p P  --corrupt-p P  --spike-p P --spike-x M\n"
       "            --policy fifo|class  --class-mix I,S,B (fractions, sum 1)\n"
       "            --deadline-ttft I,S,B  --deadline-e2e I,S,B (s, 0 = none)\n"
-      "            --degrade 0|1  --degrade-frac F (2-bit head fraction)\n");
+      "            --degrade 0|1  --degrade-frac F (2-bit head fraction)\n"
+      "            --swap-tiers 1|2 (host | host+disk)\n"
+      "            --disk-bandwidth GB_PER_S (disk tier link)\n"
+      "            --swap-cap HOST,DISK (GB per tier, 0 = unbounded)\n"
+      "            --tier-fail-p P | P_HOST,P_DISK (unavailable prob)\n"
+      "            --tier-retry-budget N (fetch attempts per tier)\n");
   std::exit(2);
 }
 
@@ -156,6 +161,23 @@ int run_latency(const Flags& flags) {
   return 0;
 }
 
+// Parse "a,b" into a per-tier pair (host, disk).
+std::array<double, 2> parse_pair(const std::string& text, const char* flag) {
+  const std::size_t comma = text.find(',');
+  if (comma == std::string::npos || text.find(',', comma + 1) !=
+                                        std::string::npos) {
+    std::fprintf(stderr, "--%s wants two comma-separated values\n", flag);
+    std::exit(2);
+  }
+  try {
+    return {std::stod(text.substr(0, comma)),
+            std::stod(text.substr(comma + 1))};
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "--%s: bad number in '%s'\n", flag, text.c_str());
+    std::exit(2);
+  }
+}
+
 // Parse "a,b,c" into a per-class triple (interactive, standard, batch).
 std::array<double, serving::kServiceClassCount> parse_triple(
     const std::string& text, const char* flag) {
@@ -185,7 +207,9 @@ int run_serve(const Flags& flags) {
                         "prefill-chunk", "preempt", "fault-seed",
                         "alloc-fail-p", "corrupt-p", "spike-p", "spike-x",
                         "policy", "class-mix", "deadline-ttft",
-                        "deadline-e2e", "degrade", "degrade-frac"});
+                        "deadline-e2e", "degrade", "degrade-frac",
+                        "swap-tiers", "disk-bandwidth", "swap-cap",
+                        "tier-fail-p", "tier-retry-budget"});
   serving::TraceConfig trace_cfg;
   trace_cfg.arrival_rate = flags.get_double("rate", 4.0);
   trace_cfg.duration_s = flags.get_double("duration", 60.0);
@@ -243,6 +267,46 @@ int run_serve(const Flags& flags) {
   engine.faults.swap_spike_prob = flags.get_double("spike-p", 0.0);
   engine.faults.swap_spike_multiplier = flags.get_double("spike-x", 8.0);
 
+  // Tiered swap store: tier layout, per-tier capacity and fault profile.
+  const long tiers = flags.get_int("swap-tiers", 2);
+  if (tiers < 1 || tiers > 2) {
+    std::fprintf(stderr, "--swap-tiers must be 1 (host) or 2 (host+disk)\n");
+    std::exit(2);
+  }
+  engine.swap.tiers = static_cast<std::size_t>(tiers);
+  const double disk_gbps = flags.get_double("disk-bandwidth", 0.0);
+  if (disk_gbps > 0.0) engine.device.disk_bandwidth = disk_gbps * 1e9;
+  const std::string caps = flags.get("swap-cap", "");
+  if (!caps.empty()) {
+    const auto pair = parse_pair(caps, "swap-cap");
+    engine.swap.host_capacity_bytes =
+        static_cast<std::size_t>(pair[0] * 1e9);
+    engine.swap.disk_capacity_bytes =
+        static_cast<std::size_t>(pair[1] * 1e9);
+  }
+  const std::string fail_p = flags.get("tier-fail-p", "");
+  if (!fail_p.empty()) {
+    if (fail_p.find(',') == std::string::npos) {
+      double p = 0.0;
+      try {
+        p = std::stod(fail_p);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "--tier-fail-p: bad number '%s'\n",
+                     fail_p.c_str());
+        std::exit(2);
+      }
+      for (std::size_t t = 0; t < engine.swap.tiers; ++t) {
+        engine.faults.tiers[t].unavailable_prob = p;
+      }
+    } else {
+      const auto pair = parse_pair(fail_p, "tier-fail-p");
+      engine.faults.tiers[0].unavailable_prob = pair[0];
+      engine.faults.tiers[1].unavailable_prob = pair[1];
+    }
+  }
+  engine.swap.health.retry_budget =
+      static_cast<std::size_t>(flags.get_int("tier-retry-budget", 2));
+
   const auto trace = serving::generate_trace(trace_cfg);
   const serving::ServingMetrics m =
       serving::summarize(serving::run_engine(engine, trace));
@@ -292,6 +356,24 @@ int run_serve(const Flags& flags) {
                 m.injected_alloc_failures, m.degraded_steps,
                 m.checksum_failures, m.recoveries,
                 m.max_preemptions_single_request);
+  }
+  if (engine.preempt_mode == serving::PreemptMode::kSwap) {
+    std::printf("  tiers: %zu used, demotions %zu, promotions %zu, "
+                "failovers %zu, retries %zu (stall %.3f s), blacklists "
+                "%zu, recompute fallbacks %zu unavailable / %zu overflow\n",
+                m.swap_tiers_used, m.tier_demotions, m.tier_promotions,
+                m.tier_failovers, m.tier_fetch_retries, m.tier_retry_stall_s,
+                m.tier_blacklists, m.swap_unavailable_recomputes,
+                m.swap_overflow_recomputes);
+    static const char* kTierNames[] = {"host", "disk", "tier2", "tier3"};
+    for (std::size_t t = 0; t < engine.swap.tiers && t < turbo::kMaxSwapTiers;
+         ++t) {
+      const auto& tc = m.tier_stats[t];
+      std::printf("    %-5s stores %zu, hits %zu, demotions-in %zu, "
+                  "failures %zu\n",
+                  kTierNames[t], tc.stores, tc.hits, tc.demotions_in,
+                  tc.failures);
+    }
   }
   return 0;
 }

@@ -42,6 +42,15 @@
 //                        metrics. Suppress a deliberately engine-private
 //                        field with `// turbo-lint: allow-unmirrored`.
 //
+//   unfaultable-swap-io  every function declared or defined in
+//                        src/serving/swap.{h,cpp} that stores or fetches
+//                        a stream (store, store_phantom, fetch, swap_in,
+//                        swap_out, promote) must accept a FaultInjector*
+//                        — an I/O path the injector cannot reach is a
+//                        failure mode no fault-suite seed can exercise.
+//                        Suppress a deliberately fault-free signature
+//                        with `// turbo-lint: allow-unfaultable`.
+//
 // Usage: turbo_lint <repo_root>
 // Exit status 0 when clean, 1 with one "file:line: [rule] ..." diagnostic
 // per violation otherwise.
@@ -436,6 +445,56 @@ void check_unmirrored_engine_counters(const std::vector<SourceFile>& files,
   }
 }
 
+// --- rule: unfaultable-swap-io --------------------------------------------
+
+// The swap store is the one subsystem whose whole point is surviving
+// injected faults; a store/fetch entry point without a FaultInjector*
+// parameter is dead to the fault suite. Calls (obj.store(...)) are uses,
+// not signatures, and are exempt — only declarations and definitions in
+// src/serving/swap.{h,cpp} are checked.
+void check_unfaultable_swap_io(const SourceFile& file,
+                               std::vector<Violation>& out) {
+  if (file.rel.rfind("src/serving/swap.", 0) != 0) return;
+  static const std::regex kIoFn(
+      "\\b(store_phantom|store|fetch|swap_in|swap_out|promote)\\s*\\(");
+  auto begin =
+      std::sregex_iterator(file.stripped.begin(), file.stripped.end(), kIoFn);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::size_t match_pos = static_cast<std::size_t>(it->position());
+    // Skip member calls: a name preceded by '.' or '->' is a use site.
+    std::size_t prev = match_pos;
+    while (prev > 0 && std::isspace(static_cast<unsigned char>(
+                           file.stripped[prev - 1])) != 0) {
+      --prev;
+    }
+    if (prev > 0 && (file.stripped[prev - 1] == '.' ||
+                     (prev > 1 && file.stripped[prev - 2] == '-' &&
+                      file.stripped[prev - 1] == '>'))) {
+      continue;
+    }
+    // Walk the parameter list to its matching ')'.
+    std::size_t pos = match_pos + static_cast<std::size_t>(it->length());
+    const std::size_t params_begin = pos;
+    int depth = 1;
+    while (pos < file.stripped.size() && depth > 0) {
+      if (file.stripped[pos] == '(') ++depth;
+      if (file.stripped[pos] == ')') --depth;
+      ++pos;
+    }
+    const std::string params =
+        file.stripped.substr(params_begin, pos - params_begin);
+    if (params.find("FaultInjector") != std::string::npos) continue;
+    const std::size_t line = line_of_offset(file.stripped, match_pos);
+    if (line_has_marker(file, line, "allow-unfaultable")) continue;
+    out.push_back(
+        {file.rel, line, "unfaultable-swap-io",
+         (*it)[1].str() +
+             " stores or fetches a swap stream but takes no FaultInjector*; "
+             "every swap I/O path must be fault-injectable (or annotate "
+             "with turbo-lint: allow-unfaultable)"});
+  }
+}
+
 void check_method_shape_checks(const std::vector<SourceFile>& files,
                                std::vector<Violation>& out) {
   static const std::regex kImplClass(
@@ -531,6 +590,7 @@ int main(int argc, char** argv) {
     check_unchecked_i8_cast(f, violations);
     check_integer_kernel(f, violations);
     check_unchecked_cache_append(f, violations);
+    check_unfaultable_swap_io(f, violations);
   }
   check_method_shape_checks(files, violations);
   check_unmirrored_engine_counters(files, violations);
