@@ -36,6 +36,7 @@ inline BitWidth bit_width_from_int(int bits) {
       return BitWidth::kInt8;
     default:
       TURBO_CHECK_MSG(false, "unsupported bit width " << bits);
+      return BitWidth::kInt8;  // unreachable: the check above throws
   }
 }
 

@@ -73,28 +73,29 @@ void TieredSwapStore::make_room(std::size_t t, std::size_t bytes,
                                 std::size_t iteration, StoreOutcome& out) {
   const std::size_t below = t + 1;
   if (below >= tiers_.size()) return;
-  while (!fits(t, bytes)) {
-    // Coldest stream in tier t: smallest last-touch iteration, ties
-    // broken by smallest key so the scan order of the map cannot matter.
-    std::uint64_t victim_key = 0;
-    Entry* victim = nullptr;
-    for (auto& [key, e] : entries_) {
-      if (e.tier != t) continue;
-      if (victim == nullptr || e.last_touch < victim->last_touch ||
-          (e.last_touch == victim->last_touch && key < victim_key)) {
-        victim = &e;
-        victim_key = key;
-      }
-    }
-    if (victim == nullptr || !fits(below, victim->bytes)) return;
-    used_[t] -= victim->bytes;
-    used_[below] += victim->bytes;
-    victim->tier = below;
-    victim->last_touch = iteration;
+  if (fits(t, bytes)) return;
+  // Deterministic victim order: coldest first (smallest last-touch
+  // iteration), ties broken by smallest stream key. The candidates are
+  // snapshotted out of the unordered map and sorted so the stdlib's hash
+  // layout can never leak into demotion order — the sorted-snapshot
+  // idiom turbo_lint's `nondeterministic-iteration` rule requires.
+  std::vector<std::pair<std::size_t, std::uint64_t>> victims;
+  for (const auto& [key, e] : entries_) {
+    if (e.tier == t) victims.emplace_back(e.last_touch, key);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const auto& candidate : victims) {
+    if (fits(t, bytes)) break;
+    Entry& victim = entries_.at(candidate.second);
+    if (!fits(below, victim.bytes)) return;
+    used_[t] -= victim.bytes;
+    used_[below] += victim.bytes;
+    victim.tier = below;
+    victim.last_touch = iteration;
     ++counters_[below].demotions_in;
     ++out.demotions;
     out.transfer_s +=
-        static_cast<double>(victim->bytes) / tiers_[below].bandwidth;
+        static_cast<double>(victim.bytes) / tiers_[below].bandwidth;
   }
 }
 

@@ -1,0 +1,10 @@
+// Negative fixture: TURBO_CHECK is the sanctioned precondition macro,
+// and the word assert inside strings/comments ("assert(x)") is opaque
+// to the token stream.
+#include "common/check.h"
+
+void f(int x) {
+  TURBO_CHECK(x > 0);
+  const char* doc = "call assert(x) here";
+  (void)doc;
+}

@@ -1,0 +1,6 @@
+// Positive fixture: raw assert() and <cassert> both fire no-raw-assert.
+#include <cassert>
+
+void f(int x) {
+  assert(x > 0);
+}

@@ -1,0 +1,13 @@
+// Negative fixture: narrowing through the checked helpers, and a wider
+// cast that is not 8-bit.
+#include <cstdint>
+
+#include "common/numeric.h"
+
+std::int8_t f(float v) {
+  return turbo::clamp_to_i8(v);
+}
+
+std::int32_t g(long v) {
+  return static_cast<std::int32_t>(v);
+}

@@ -1,0 +1,10 @@
+// Positive fixture: bare 8-bit narrowing casts fire unchecked-i8-cast.
+#include <cstdint>
+
+std::int8_t f(int v) {
+  return static_cast<std::int8_t>(v);
+}
+
+std::uint8_t g(int v) {
+  return static_cast<uint8_t>(v);
+}

@@ -1,0 +1,11 @@
+// turbo-lint: integer-kernel
+// Negative fixture: integer-only arithmetic stays clean, and an
+// annotated float line is an accepted, documented exception.
+#include <cstdint>
+
+std::int32_t f(std::int32_t x) {
+  std::int64_t acc = static_cast<std::int64_t>(x) * 3;
+  return static_cast<std::int32_t>(acc >> 2);
+}
+
+double g() { return 2.0; }  // turbo-lint: allow-float

@@ -1,0 +1,9 @@
+// turbo-lint: integer-kernel
+// Positive fixture: float type, float literal and std:: math in a file
+// tagged integer-kernel.
+#include <cmath>
+
+double f(int x) {
+  float scale = 1.5f;
+  return std::exp(static_cast<double>(x)) * scale;
+}

@@ -1,0 +1,21 @@
+// Negative fixture: every public entry point validates its shapes.
+#include "attention/method.h"
+
+class CarefulAttention : public KvAttention {
+ public:
+  void prefill(int rows, int cols) {
+    TURBO_CHECK(rows > 0 && cols > 0);
+    rows_ = rows;
+  }
+  void decode(int rows, int cols) {
+    TURBO_CHECK_MSG(rows > 0 && cols > 0, "bad decode shape");
+    rows_ = rows;
+  }
+  void attend(int rows, int cols) {
+    TURBO_CHECK(rows > 0 && cols > 0);
+    rows_ = cols;
+  }
+
+ private:
+  int rows_ = 0;
+};

@@ -1,0 +1,21 @@
+// Positive fixture: a KvAttention implementation whose decode() never
+// validates its inputs with TURBO_CHECK.
+#include "attention/method.h"
+
+class SloppyAttention : public KvAttention {
+ public:
+  void prefill(int rows, int cols) {
+    TURBO_CHECK(rows > 0 && cols > 0);
+    rows_ = rows;
+  }
+  void decode(int rows, int cols) {
+    rows_ = rows + cols;  // no shape validation
+  }
+  void attend(int rows, int cols) {
+    TURBO_CHECK(rows > 0 && cols > 0);
+    rows_ = rows;
+  }
+
+ private:
+  int rows_ = 0;
+};

@@ -1,0 +1,10 @@
+// Negative fixture: the result is consumed (assignment, return,
+// condition), and the two-argument overload returns void and is exempt.
+#include "kvcache/paged_cache.h"
+
+bool f(turbo::PagedKvCache& cache, int seq, int k, int v) {
+  const bool ok = cache.append_token(seq, k, v);
+  if (!cache.append_token(seq, k, v)) return false;
+  cache.append_token(k, v);  // two-argument overload: returns void
+  return ok && cache.append_token(seq, k, v);
+}

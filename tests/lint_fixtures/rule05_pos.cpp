@@ -1,0 +1,8 @@
+// Positive fixture: the fallible three-argument append_token discarded
+// in statement position and behind a (void) cast.
+#include "kvcache/paged_cache.h"
+
+void f(turbo::PagedKvCache& cache, int seq, int k, int v) {
+  cache.append_token(seq, k, v);
+  (void)cache.append_token(seq, k, v);
+}

@@ -1,0 +1,8 @@
+#include "serving/metrics.h"
+
+ServingMetrics collect(const EngineResult& result) {
+  ServingMetrics m;
+  m.completed = result.completed;
+  m.saturated = result.saturated;
+  return m;
+}

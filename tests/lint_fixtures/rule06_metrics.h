@@ -1,0 +1,7 @@
+#pragma once
+#include <cstddef>
+
+struct ServingMetrics {
+  std::size_t completed = 0;
+  bool saturated = false;
+};

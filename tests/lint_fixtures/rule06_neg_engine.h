@@ -1,0 +1,11 @@
+// Negative fixture for unmirrored-engine-counter: every counter is
+// mirrored and assigned, and an annotated engine-private field is an
+// accepted exception.
+#pragma once
+#include <cstddef>
+
+struct EngineResult {
+  std::size_t completed = 0;
+  bool saturated = false;
+  std::size_t scratch_marker = 0;  // turbo-lint: allow-unmirrored
+};

@@ -1,0 +1,10 @@
+// Positive fixture for unmirrored-engine-counter: `dropped` has no
+// ServingMetrics counterpart and is never assigned in metrics.cpp.
+#pragma once
+#include <cstddef>
+
+struct EngineResult {
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  bool saturated = false;
+};

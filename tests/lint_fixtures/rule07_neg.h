@@ -1,0 +1,21 @@
+// Negative fixture for unfaultable-swap-io (loaded as
+// src/serving/swap.h): every I/O signature takes the injector, and call
+// sites (obj.fetch(...)) are exempt.
+#pragma once
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+class FaultInjector;
+
+class FaultableStore {
+ public:
+  void store(std::uint64_t key, std::vector<std::uint8_t> stream,
+             FaultInjector* fault);
+  std::optional<std::vector<std::uint8_t>> fetch(std::uint64_t key,
+                                                 FaultInjector* fault);
+};
+
+inline void drain(FaultableStore& s, FaultInjector* fault) {
+  s.fetch(42, fault);
+}

@@ -1,0 +1,12 @@
+// Positive fixture for unfaultable-swap-io (loaded as
+// src/serving/swap.h): a fetch entry point with no FaultInjector*.
+#pragma once
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+class BareStore {
+ public:
+  void store(std::uint64_t key, std::vector<std::uint8_t> stream);
+  std::optional<std::vector<std::uint8_t>> fetch(std::uint64_t key);
+};

@@ -1,0 +1,28 @@
+// Negative fixture for nondeterministic-iteration: an order-insensitive
+// integer reduction, and the sanctioned sorted-snapshot idiom.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Registry {
+  std::unordered_map<std::uint64_t, std::size_t> entries_;
+
+  std::size_t total_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [key, bytes] : entries_) {
+      total += bytes;  // integer addition commutes: order can't matter
+    }
+    return total;
+  }
+
+  std::vector<std::uint64_t> keys_sorted() const {
+    std::vector<std::uint64_t> snapshot;
+    for (const auto& [key, bytes] : entries_) {
+      snapshot.push_back(key);
+    }
+    std::sort(snapshot.begin(), snapshot.end());
+    return snapshot;
+  }
+};

@@ -1,0 +1,38 @@
+// Positive fixture for nondeterministic-iteration: unordered iteration
+// feeding ordered appends, stream output, and min-selection.
+#include <cstdint>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+struct Registry {
+  std::unordered_map<std::uint64_t, int> entries_;
+
+  std::vector<std::uint64_t> keys_in_hash_order() const {
+    std::vector<std::uint64_t> out;
+    for (const auto& [key, value] : entries_) {
+      out.push_back(key);  // append order = hash layout
+    }
+    return out;
+  }
+
+  void dump() const {
+    for (const auto& [key, value] : entries_) {
+      std::cout << key << "=" << value << "\n";
+    }
+  }
+
+  std::uint64_t coldest() const {
+    std::uint64_t best_key = 0;
+    int best = 0;
+    bool first = true;
+    for (const auto& [key, value] : entries_) {
+      if (first || value < best) {  // tie order is stdlib-dependent
+        best = value;
+        best_key = key;
+        first = false;
+      }
+    }
+    return best_key;
+  }
+};

@@ -1,0 +1,17 @@
+// Negative fixture for unsanctioned-entropy: seeded draws through
+// turbo::Rng, and identifiers that merely *contain* rand/time/clock.
+#include <cstdint>
+
+#include "common/rng.h"
+
+double sample(turbo::Rng& rng) {
+  return rng.uniform();
+}
+
+double gemm_time(double flops) {  // not std::time
+  return flops * 1e-12;
+}
+
+int operand(int brand) {  // not rand()
+  return brand + 1;
+}

@@ -1,0 +1,28 @@
+// Positive fixture for unsanctioned-entropy: libc rand, hardware
+// entropy, wall clocks and pointer-value hashing.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int noisy_seed() {
+  return std::rand();
+}
+
+unsigned hardware_seed() {
+  std::random_device dev;
+  return dev();
+}
+
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long wall() {
+  return std::time(nullptr);
+}
+
+std::uintptr_t addr_hash(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}

@@ -1,0 +1,21 @@
+// Negative fixture for mutable-global-state (loaded as
+// src/kernels/fixture.cpp): constants, types, functions and
+// function-local state are all fine.
+#include <cstddef>
+
+namespace turbo {
+
+constexpr std::size_t kTileBytes = 4096;
+const int kLanes = 8;
+
+struct KernelEntry {
+  int width = 0;
+};
+
+int widen(int w) {
+  int local = w * 2;  // locals are per-invocation, not shared
+  static const int kStep = 3;
+  return local + kStep;
+}
+
+}  // namespace turbo

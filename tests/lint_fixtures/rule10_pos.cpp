@@ -1,0 +1,19 @@
+// Positive fixture for mutable-global-state (loaded as
+// src/kernels/fixture.cpp): a namespace-scope counter, an
+// anonymous-namespace cache, and a mutable function-static.
+#include <cstddef>
+
+namespace turbo {
+
+std::size_t g_dispatch_calls = 0;
+
+namespace {
+int g_last_width = 0;
+}  // namespace
+
+int next_id() {
+  static int counter = 0;
+  return ++counter;
+}
+
+}  // namespace turbo

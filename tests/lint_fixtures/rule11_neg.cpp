@@ -1,0 +1,17 @@
+// Negative fixture for unordered-float-reduction: integer accumulation
+// is exact and commutative, so hash order can't reach the result.
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+struct ByteBook {
+  std::unordered_map<std::uint64_t, std::size_t> per_stream_bytes_;
+
+  std::size_t total_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [key, bytes] : per_stream_bytes_) {
+      total += bytes;
+    }
+    return total;
+  }
+};

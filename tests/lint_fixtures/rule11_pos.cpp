@@ -1,0 +1,16 @@
+// Positive fixture for unordered-float-reduction: double accumulation
+// over hash order — the sum's low bits depend on the stdlib.
+#include <cstdint>
+#include <unordered_map>
+
+struct LatencyBook {
+  std::unordered_map<std::uint64_t, double> per_stream_s_;
+
+  double total_seconds() const {
+    double total = 0.0;
+    for (const auto& [key, seconds] : per_stream_s_) {
+      total += seconds;
+    }
+    return total;
+  }
+};

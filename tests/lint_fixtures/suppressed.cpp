@@ -1,0 +1,17 @@
+// Suppression fixture: each violation carries its rule's inline marker,
+// so the file lints clean — and documents the marker syntax.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::int8_t pack(int v) {
+  return static_cast<std::int8_t>(v);  // turbo-lint: allow-narrowing
+}
+
+std::vector<int> hash_order(const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  for (const auto& [k, v] : m) {  // turbo-lint: allow-unordered-iter
+    out.push_back(v);
+  }
+  return out;
+}

@@ -131,6 +131,30 @@ TEST(TieredStoreTest, CapacityPressureDemotesLruToDisk) {
   EXPECT_DOUBLE_EQ(out.transfer_s, 100.0 / 10.0 + 100.0 / 100.0);
 }
 
+// Regression (turbo_lint rule `nondeterministic-iteration`): the LRU
+// victim scan iterates an unordered_map, so an equal-last-touch tie must
+// be broken by stream id, not by whatever order the stdlib's hash layout
+// happens to enumerate — demotion order is part of the bit-identical
+// seeded-run contract. Two equal-touch streams, room for exactly one on
+// disk: the smaller stream id must be the one demoted, regardless of
+// insertion order.
+TEST(TieredStoreTest, EqualTouchDemotionTieBreaksByStreamId) {
+  for (const bool reversed : {false, true}) {
+    TieredSwapStore store = make_store(200, 100);  // disk fits one entry
+    const std::uint64_t first = reversed ? 7 : 3;
+    const std::uint64_t second = reversed ? 3 : 7;
+    store.store(first, bytes_of(100, 0x01), 1, 0.0, nullptr);
+    store.store(second, bytes_of(100, 0x02), 1, 0.0, nullptr);
+    // Needs the whole host tier: demotion frees one slot (stream 3, the
+    // smaller id), then stalls — stream 7 cannot fit on the full disk.
+    const auto out = store.store(9, bytes_of(200, 0x03), 2, 0.0, nullptr);
+    EXPECT_FALSE(out.stored) << "reversed=" << reversed;
+    EXPECT_EQ(out.demotions, 1u) << "reversed=" << reversed;
+    EXPECT_EQ(store.tier_of(3), std::size_t{1}) << "reversed=" << reversed;
+    EXPECT_EQ(store.tier_of(7), std::size_t{0}) << "reversed=" << reversed;
+  }
+}
+
 TEST(TieredStoreTest, DemotePromoteRoundTripConservesBytes) {
   TieredSwapStore store = make_store(200, 0);
   store.store(1, bytes_of(100, 0x01), 1, 0.0, nullptr);

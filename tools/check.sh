@@ -4,6 +4,7 @@
 #   tools/check.sh            # run everything
 #   tools/check.sh release    # just the Release build + tests
 #   tools/check.sh asan       # just the ASan+UBSan build + tests
+#   tools/check.sh tsan       # just the ThreadSanitizer build + tests
 #   tools/check.sh fault      # fault-injection suite (ctest -L fault) in
 #                             # both builds; checks Release and ASan agree
 #   tools/check.sh serving    # serving/scheduler suite (ctest -L serving)
@@ -28,9 +29,9 @@ FAILED=0
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    all|release|asan|fault|serving|slo|tier|lint|tidy) ;;
+    all|release|asan|tsan|fault|serving|slo|tier|lint|tidy) ;;
     *)
-      echo "check.sh: unknown stage '$s' (expected: release asan fault serving slo tier lint tidy)" >&2
+      echo "check.sh: unknown stage '$s' (expected: release asan tsan fault serving slo tier lint tidy)" >&2
       exit 2
       ;;
   esac
@@ -58,6 +59,16 @@ run_asan() {
   cmake --preset debug-asan-ubsan || return 1
   cmake --build --preset debug-asan-ubsan -j "$JOBS" || return 1
   ctest --preset debug-asan-ubsan || return 1
+}
+
+run_tsan() {
+  banner "tsan: -fsanitize=thread -fno-sanitize-recover=all"
+  # Today's tree is single-threaded, so this lane is a tripwire: the
+  # moment the kernel thread pool lands (ROADMAP), any unsynchronized
+  # shared state fails CI instead of flaking in production.
+  cmake --preset debug-tsan || return 1
+  cmake --build --preset debug-tsan -j "$JOBS" || return 1
+  ctest --preset debug-tsan || return 1
 }
 
 run_fault() {
@@ -114,7 +125,7 @@ run_tier() {
 }
 
 run_lint() {
-  banner "lint: turbo_lint quant-invariant rules"
+  banner "lint: turbo_lint determinism + quant-invariant rules (11 rules)"
   # Reuse whichever configured build dir already has the lint binary;
   # fall back to configuring the release preset.
   local bin=""
@@ -147,6 +158,7 @@ run_tidy() {
 
 if want release; then run_release || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want asan; then run_asan || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want tsan; then run_tsan || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want fault; then run_fault || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want serving; then run_serving || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want slo; then run_slo || FAILED=1; fi

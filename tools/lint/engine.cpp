@@ -1,0 +1,282 @@
+#include "tools/lint/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace turbo::lint {
+
+namespace {
+
+// FNV-1a 64-bit, rendered as 16 hex digits. Stable across platforms and
+// stdlib versions — deliberately not std::hash, whose layout is exactly
+// the kind of nondeterminism this tool exists to keep out of the tree.
+std::string fnv1a_hex(const std::string& data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[h & 0xFULL];
+    h >>= 4;
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Skip a balanced template-argument list: `i` points at '<'; returns the
+// index just past the matching '>'. Treats '>>' as two closers.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  while (i < toks.size()) {
+    const std::string& t = toks[i].text;
+    if (toks[i].kind == TokKind::kPunct) {
+      if (t == "<") ++depth;
+      if (t == ">") --depth;
+      if (t == ">>") depth -= 2;
+      if (t == "<<") depth += 2;  // defensive; not expected in type args
+    }
+    ++i;
+    if (depth <= 0) break;
+  }
+  return i;
+}
+
+}  // namespace
+
+SourceFile make_source(std::string rel, const std::string& text) {
+  SourceFile f;
+  f.rel = std::move(rel);
+  f.raw = text;
+  f.lexed = lex(text);
+  return f;
+}
+
+Project::Project(std::vector<SourceFile> files) : files_(std::move(files)) {
+  for (const SourceFile& f : files_) {
+    const std::vector<Token>& toks = f.lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const std::string& t = toks[i].text;
+
+      // `std::unordered_map<K, V> name` / `std::unordered_set<T> name`
+      if (t == "unordered_map" || t == "unordered_set" ||
+          t == "unordered_multimap" || t == "unordered_multiset") {
+        std::size_t j = i + 1;
+        if (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+            toks[j].text == "<") {
+          j = skip_angles(toks, j);
+        }
+        // Skip reference/pointer declarators.
+        while (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+               (toks[j].text == "&" || toks[j].text == "*")) {
+          ++j;
+        }
+        if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+            !(j + 1 < toks.size() && toks[j + 1].text == "::")) {
+          unordered_names_.insert(toks[j].text);
+        }
+      }
+
+      // `float name` / `double name` (not function declarations)
+      if (t == "float" || t == "double") {
+        std::size_t j = i + 1;
+        while (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+               (toks[j].text == "&" || toks[j].text == "*")) {
+          ++j;
+        }
+        if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+          const bool is_function =
+              j + 1 < toks.size() && toks[j + 1].kind == TokKind::kPunct &&
+              toks[j + 1].text == "(";
+          if (!is_function) float_names_.insert(toks[j].text);
+        }
+      }
+    }
+  }
+}
+
+const SourceFile* Project::find(const std::string& rel) const {
+  for (const SourceFile& f : files_) {
+    if (f.rel == rel) return &f;
+  }
+  return nullptr;
+}
+
+const RuleInfo* rule_info(const std::string& id) {
+  for (const RuleInfo& r : rules()) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+// --- baseline -------------------------------------------------------------
+
+std::string finding_key(const Finding& finding, const Project& project) {
+  std::string line_text;
+  const SourceFile* file = project.find(finding.rel);
+  if (file != nullptr && finding.line >= 1 &&
+      finding.line <= file->lexed.lines.size()) {
+    line_text = trim(file->lexed.lines[finding.line - 1]);
+  }
+  return fnv1a_hex(finding.rule + "\x1f" + finding.rel + "\x1f" + line_text);
+}
+
+std::map<std::string, std::size_t> parse_baseline(const std::string& text) {
+  std::map<std::string, std::size_t> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash_pos = line.find('#');
+    if (hash_pos != std::string::npos) line = line.substr(0, hash_pos);
+    std::istringstream fields(line);
+    std::string rule;
+    std::string rel;
+    std::string key;
+    if (fields >> rule >> rel >> key) ++out[key];
+  }
+  return out;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings,
+                            const Project& project) {
+  std::ostringstream out;
+  out << "# turbo_lint baseline — grandfathered findings.\n"
+      << "# One entry per accepted finding: <rule> <file> <key>, where\n"
+      << "# <key> hashes the rule, the path and the offending line's text\n"
+      << "# (line numbers don't matter, so unrelated edits keep entries\n"
+      << "# valid). Entries that stop matching are reported as stale and\n"
+      << "# must be removed: this file only ever shrinks.\n";
+  std::vector<std::string> entries;
+  entries.reserve(findings.size());
+  for (const Finding& f : findings) {
+    entries.push_back(f.rule + " " + f.rel + " " + finding_key(f, project));
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const std::string& e : entries) out << e << "\n";
+  return out.str();
+}
+
+std::vector<Finding> apply_baseline(
+    const std::vector<Finding>& findings, const Project& project,
+    std::map<std::string, std::size_t> baseline,
+    std::vector<std::string>* stale) {
+  std::vector<Finding> live;
+  for (const Finding& f : findings) {
+    auto it = baseline.find(finding_key(f, project));
+    if (it != baseline.end() && it->second > 0) {
+      --it->second;
+    } else {
+      live.push_back(f);
+    }
+  }
+  if (stale != nullptr) {
+    for (const auto& [key, count] : baseline) {
+      for (std::size_t k = 0; k < count; ++k) stale->push_back(key);
+    }
+  }
+  return live;
+}
+
+// --- reporting ------------------------------------------------------------
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.rel << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string to_json(const std::vector<Finding>& findings,
+                    std::size_t files_scanned) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"tool\": \"turbo_lint\",\n"
+      << "  \"version\": 2,\n"
+      << "  \"files_scanned\": " << files_scanned << ",\n"
+      << "  \"count\": " << findings.size() << ",\n"
+      << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const RuleInfo* info = rule_info(f.rule);
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << json_escape(f.rel) << "\", "
+        << "\"line\": " << f.line << ", "
+        << "\"rule\": \"" << json_escape(f.rule) << "\", "
+        << "\"message\": \"" << json_escape(f.message) << "\", "
+        << "\"suppression\": \""
+        << json_escape(info != nullptr ? info->suppression : "") << "\"}";
+  }
+  out << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+// --- loading --------------------------------------------------------------
+
+std::vector<SourceFile> load_tree(const std::string& root) {
+  std::vector<fs::path> paths;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back(
+        make_source(fs::relative(p, root).generic_string(), buf.str()));
+  }
+  return files;
+}
+
+}  // namespace turbo::lint

@@ -1,0 +1,279 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+
+namespace turbo::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Multi-character operators, longest first so maximal munch falls out of
+// the scan order.
+const char* const kMultiPunct[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",
+};
+
+// Pull every "turbo-lint: <marker>" out of a comment's text.
+void collect_markers(const std::string& comment, std::size_t line,
+                     LexedFile& out) {
+  const std::string needle = "turbo-lint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    while (pos < comment.size() && comment[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < comment.size() &&
+           (is_ident_char(comment[end]) || comment[end] == '-')) {
+      ++end;
+    }
+    if (end > pos) out.markers[line].insert(comment.substr(pos, end - pos));
+    pos = end;
+  }
+}
+
+}  // namespace
+
+bool line_has_marker(const LexedFile& file, std::size_t line,
+                     const std::string& marker) {
+  auto it = file.markers.find(line);
+  return it != file.markers.end() && it->second.count(marker) > 0;
+}
+
+LexedFile lex(const std::string& text) {
+  LexedFile out;
+
+  // Raw line table (index 0 == line 1).
+  {
+    std::string current;
+    for (const char c : text) {
+      if (c == '\n') {
+        out.lines.push_back(current);
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    if (!current.empty()) out.lines.push_back(current);
+  }
+
+  std::size_t i = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+  std::size_t depth = 0;
+  const std::size_t n = text.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  auto push = [&](TokKind kind, std::string spelling, std::size_t tok_line,
+                  std::size_t tok_col, bool is_float = false) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(spelling);
+    t.line = tok_line;
+    t.col = tok_col;
+    t.depth = depth;
+    t.is_float = is_float;
+    out.tokens.push_back(std::move(t));
+  };
+
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  while (i < n) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+        c == '\f') {
+      if (c == '\n') at_line_start = true;
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line; join continuations.
+    if (c == '#' && at_line_start) {
+      const std::size_t d_line = line;
+      const std::size_t d_col = col;
+      std::string directive;
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          directive += ' ';
+          advance(2);
+          continue;
+        }
+        if (text[i] == '\n') break;
+        directive += text[i];
+        advance(1);
+      }
+      push(TokKind::kDirective, directive, d_line, d_col);
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments: dropped from the stream, mined for markers.
+    if (c == '/' && next == '/') {
+      std::string comment;
+      const std::size_t c_line = line;
+      while (i < n && text[i] != '\n') {
+        comment += text[i];
+        advance(1);
+      }
+      collect_markers(comment, c_line, out);
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      std::string comment;
+      std::size_t c_line = line;
+      advance(2);
+      while (i < n) {
+        if (text[i] == '*' && i + 1 < n && text[i + 1] == '/') {
+          advance(2);
+          break;
+        }
+        if (text[i] == '\n') {
+          collect_markers(comment, c_line, out);
+          comment.clear();
+          c_line = line + 1;
+        } else {
+          comment += text[i];
+        }
+        advance(1);
+      }
+      collect_markers(comment, c_line, out);
+      continue;
+    }
+
+    // String / character literals become single opaque tokens.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t s_line = line;
+      const std::size_t s_col = col;
+      advance(1);
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          advance(2);
+        } else {
+          advance(1);
+        }
+      }
+      advance(1);  // closing quote
+      push(quote == '"' ? TokKind::kString : TokKind::kChar,
+           std::string(1, quote), s_line, s_col);
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (is_ident_start(c)) {
+      const std::size_t s_line = line;
+      const std::size_t s_col = col;
+      std::string ident;
+      while (i < n && is_ident_char(text[i])) {
+        ident += text[i];
+        advance(1);
+      }
+      push(TokKind::kIdent, std::move(ident), s_line, s_col);
+      continue;
+    }
+
+    // Numeric literals (covers 0x1F, 1'000, 1.5e-3f, .5f after a digit
+    // start; a leading '.' is handled as punctuation, matching how rules
+    // consume it).
+    if (is_digit(c)) {
+      const std::size_t s_line = line;
+      const std::size_t s_col = col;
+      std::string num;
+      bool is_float = false;
+      while (i < n) {
+        const char d = text[i];
+        if (is_digit(d) || is_ident_char(d) || d == '\'' || d == '.') {
+          if (d == '.') is_float = true;
+          if ((d == 'e' || d == 'E') && num.size() > 0 &&
+              num.find('x') == std::string::npos &&
+              num.find('X') == std::string::npos) {
+            is_float = true;
+            num += d;
+            advance(1);
+            if (i < n && (text[i] == '+' || text[i] == '-')) {
+              num += text[i];
+              advance(1);
+            }
+            continue;
+          }
+          if ((d == 'f' || d == 'F') && num.find('x') == std::string::npos &&
+              num.find('X') == std::string::npos) {
+            is_float = true;
+          }
+          num += d;
+          advance(1);
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, std::move(num), s_line, s_col, is_float);
+      continue;
+    }
+
+    // Braces drive the depth counter; '{' and its '}' share a depth.
+    if (c == '{') {
+      push(TokKind::kPunct, "{", line, col);
+      ++depth;
+      advance(1);
+      continue;
+    }
+    if (c == '}') {
+      if (depth > 0) --depth;
+      push(TokKind::kPunct, "}", line, col);
+      // Fix the recorded depth so the brace matches its opener.
+      out.tokens.back().depth = depth;
+      advance(1);
+      continue;
+    }
+
+    // Multi-character punctuation, longest match first.
+    bool matched = false;
+    for (const char* op : kMultiPunct) {
+      const std::size_t len = std::string(op).size();
+      if (text.compare(i, len, op) == 0) {
+        push(TokKind::kPunct, op, line, col);
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    push(TokKind::kPunct, std::string(1, c), line, col);
+    advance(1);
+  }
+
+  // File-level tags: markers in the first ten lines.
+  for (const auto& [marker_line, names] : out.markers) {
+    if (marker_line > 10) break;
+    out.tags.insert(names.begin(), names.end());
+  }
+  return out;
+}
+
+}  // namespace turbo::lint

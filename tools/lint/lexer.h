@@ -1,0 +1,60 @@
+// Token-stream lexer for turbo_lint (see docs/STATIC_ANALYSIS.md).
+//
+// The v1 linter matched regexes over comment-stripped text; that breaks
+// down as soon as a rule needs to know *where* it is (namespace scope vs
+// function body), needs maximal-munch operators (`>>` closing two
+// template lists), or wants to reason about statements. This lexer
+// produces a proper token stream — identifiers, literals, punctuation,
+// preprocessor directives — each token carrying its line, column and
+// brace depth, so rules pattern-match tokens instead of text. String
+// and character literals become single tokens, which is what makes the
+// engine immune to rule keywords appearing inside log messages.
+//
+// Suppression markers (`// turbo-lint: <marker>`) and file-level tags
+// (markers in the first ten lines) are extracted from comments during
+// lexing and exposed per line, so rules never re-scan raw text.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace turbo::lint {
+
+enum class TokKind {
+  kIdent,      // identifiers and keywords
+  kNumber,     // integer or floating literal (see Token::is_float)
+  kString,     // string literal, contents dropped
+  kChar,       // character literal, contents dropped
+  kPunct,      // operator / punctuation, maximal munch
+  kDirective,  // whole preprocessor logical line (continuations joined)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;       // spelling; for kDirective the whole line
+  std::size_t line = 1;   // 1-based source line
+  std::size_t col = 1;    // 1-based source column
+  std::size_t depth = 0;  // brace depth at the token ('{' and its '}' match)
+  bool is_float = false;  // kNumber only: has '.', exponent, or f/F suffix
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<std::string> lines;  // raw source, index 0 == line 1
+  // line -> suppression markers ("turbo-lint: <marker>") on that line.
+  std::map<std::size_t, std::set<std::string>> markers;
+  // Markers appearing in the first ten lines act as file-level tags
+  // (e.g. `integer-kernel`).
+  std::set<std::string> tags;
+};
+
+LexedFile lex(const std::string& text);
+
+// True when `line` (1-based) carries the given suppression marker.
+bool line_has_marker(const LexedFile& file, std::size_t line,
+                     const std::string& marker);
+
+}  // namespace turbo::lint

@@ -1,605 +1,159 @@
-// turbo_lint — repo-specific invariant checks a generic linter can't do.
+// turbo_lint — repo-specific determinism and invariant checks a generic
+// linter can't do. v2: a token-stream analysis engine (tools/lint/) with
+// a rule registry, machine-readable output and a grandfathering
+// baseline. See docs/STATIC_ANALYSIS.md for the full rule catalog.
 //
-// Rules (see docs/STATIC_ANALYSIS.md for rationale and suppression):
+// Usage:
+//   turbo_lint [options] <repo_root>
 //
-//   no-raw-assert        assert() / <cassert> are forbidden in src/ and
-//                        tools/: release builds compile them out, so a
-//                        violated precondition becomes silent corruption.
-//                        Use TURBO_CHECK (always on) or TURBO_DCHECK.
+//   --json                  machine-readable report on stdout
+//   --baseline FILE         baseline file (default:
+//                           <root>/tools/turbo_lint_baseline.txt if present)
+//   --no-baseline           ignore any baseline file
+//   --write-baseline FILE   write current findings as a baseline and exit
+//   --list-rules            print the rule catalog and exit
 //
-//   unchecked-i8-cast    static_cast<std::int8_t> outside the checked
-//                        helpers (src/common/numeric.h) silently truncates
-//                        out-of-range values; use clamp_to_i8 /
-//                        saturate_cast<>. Suppress a deliberate narrowing
-//                        with `// turbo-lint: allow-narrowing`.
-//
-//   integer-kernel       a file whose head carries `turbo-lint:
-//                        integer-kernel` must stay free of floating-point
-//                        arithmetic (FlashQ's decode path is INT-only by
-//                        design). Suppress one line with `// turbo-lint:
-//                        allow-float`.
-//
-//   method-shape-check   every KvAttention implementation must validate
-//                        its inputs with TURBO_CHECK in prefill(),
-//                        decode() and attend() — these are the public
-//                        entry points the pipeline drives with
-//                        externally-shaped tensors.
-//
-//   unchecked-cache-append  PagedKvCache::append_token returns false when
-//                        the cache is out of pages; discarding that result
-//                        (statement position or a `(void)` cast) silently
-//                        loses tokens. The two-argument QuantizedKvCache
-//                        overload returns void and is exempt. Suppress a
-//                        deliberate discard with `// turbo-lint:
-//                        allow-unchecked-append`.
-//
-//   unmirrored-engine-counter  every std::size_t / bool counter in
-//                        EngineResult (src/serving/engine.h) must be
-//                        mirrored into ServingMetrics and assigned from
-//                        `result.<name>` in src/serving/metrics.cpp —
-//                        otherwise engine outcomes (timeouts, sheds,
-//                        truncation) silently vanish from the reported
-//                        metrics. Suppress a deliberately engine-private
-//                        field with `// turbo-lint: allow-unmirrored`.
-//
-//   unfaultable-swap-io  every function declared or defined in
-//                        src/serving/swap.{h,cpp} that stores or fetches
-//                        a stream (store, store_phantom, fetch, swap_in,
-//                        swap_out, promote) must accept a FaultInjector*
-//                        — an I/O path the injector cannot reach is a
-//                        failure mode no fault-suite seed can exercise.
-//                        Suppress a deliberately fault-free signature
-//                        with `// turbo-lint: allow-unfaultable`.
-//
-// Usage: turbo_lint <repo_root>
-// Exit status 0 when clean, 1 with one "file:line: [rule] ..." diagnostic
-// per violation otherwise.
-#include <cctype>
+// Exit status: 0 clean, 1 violations or stale baseline entries, 2 usage
+// or I/O error. Stale baseline entries (grandfathered findings that no
+// longer exist) are an error so the baseline can only ever shrink.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/lint/engine.h"
+
 namespace fs = std::filesystem;
+namespace lint = turbo::lint;
 
 namespace {
 
-struct SourceFile {
-  fs::path path;
-  std::string rel;       // path relative to the repo root
-  std::string raw;       // original contents (markers live in comments)
-  std::string stripped;  // comments and string/char literals blanked
-};
-
-struct Violation {
-  std::string rel;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-// Blank out comments, string literals and character literals, preserving
-// newlines and byte offsets, so rule regexes only ever see real code.
-std::string strip_comments_and_strings(const std::string& text) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  std::string out = text;
-  State state = State::kCode;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
+int list_rules() {
+  std::size_t n = 0;
+  for (const lint::RuleInfo& r : lint::rules()) {
+    ++n;
+    std::cout << "  " << n << ". " << r.id << "\n       " << r.summary
+              << "\n       suppression: "
+              << (r.suppression.empty() ? "(none — not suppressible)"
+                                        : "// turbo-lint: " + r.suppression)
+              << "\n";
   }
-  return out;
+  return 0;
 }
 
-std::size_t line_of_offset(const std::string& text, std::size_t offset) {
-  std::size_t line = 1;
-  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
-    if (text[i] == '\n') ++line;
-  }
-  return line;
-}
-
-std::string raw_line_at(const std::string& text, std::size_t line) {
-  std::istringstream in(text);
-  std::string current;
-  for (std::size_t n = 1; std::getline(in, current); ++n) {
-    if (n == line) return current;
-  }
-  return {};
-}
-
-bool line_has_marker(const SourceFile& file, std::size_t line,
-                     const std::string& marker) {
-  return raw_line_at(file.raw, line).find("turbo-lint: " + marker) !=
-         std::string::npos;
-}
-
-// First lines of the raw file carry file-level tags.
-bool file_has_tag(const SourceFile& file, const std::string& tag) {
-  std::istringstream in(file.raw);
-  std::string line;
-  for (int n = 0; n < 10 && std::getline(in, line); ++n) {
-    if (line.find("turbo-lint: " + tag) != std::string::npos) return true;
-  }
-  return false;
-}
-
-void scan_regex(const SourceFile& file, const std::regex& re,
-                const std::string& rule, const std::string& message,
-                const std::string& allow_marker,
-                std::vector<Violation>& out) {
-  auto begin =
-      std::sregex_iterator(file.stripped.begin(), file.stripped.end(), re);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::size_t line =
-        line_of_offset(file.stripped, static_cast<std::size_t>(it->position()));
-    if (!allow_marker.empty() && line_has_marker(file, line, allow_marker)) {
-      continue;
-    }
-    out.push_back({file.rel, line, rule, message});
-  }
-}
-
-// --- rule: no-raw-assert --------------------------------------------------
-
-void check_no_raw_assert(const SourceFile& file, std::vector<Violation>& out) {
-  static const std::regex kAssertCall("\\bassert\\s*\\(");
-  static const std::regex kAssertInclude(
-      "#\\s*include\\s*<(cassert|assert\\.h)>");
-  scan_regex(file, kAssertCall, "no-raw-assert",
-             "raw assert() compiles out in release builds; use TURBO_CHECK "
-             "or TURBO_DCHECK",
-             "", out);
-  scan_regex(file, kAssertInclude, "no-raw-assert",
-             "do not include <cassert>; use common/check.h", "", out);
-}
-
-// --- rule: unchecked-i8-cast ----------------------------------------------
-
-void check_unchecked_i8_cast(const SourceFile& file,
-                             std::vector<Violation>& out) {
-  if (file.rel == "src/common/numeric.h") return;  // home of the helpers
-  static const std::regex kI8Cast("static_cast<\\s*(std::)?u?int8_t\\s*>");
-  scan_regex(file, kI8Cast, "unchecked-i8-cast",
-             "bare 8-bit narrowing cast; use clamp_to_i8 / saturate_cast<> "
-             "from common/numeric.h (or annotate with "
-             "turbo-lint: allow-narrowing)",
-             "allow-narrowing", out);
-}
-
-// --- rule: integer-kernel -------------------------------------------------
-
-void check_integer_kernel(const SourceFile& file,
-                          std::vector<Violation>& out) {
-  if (!file_has_tag(file, "integer-kernel")) return;
-  static const std::regex kFpToken(
-      "\\b(float|double)\\b|"
-      "\\b[0-9]+\\.[0-9]*f?\\b|"
-      "\\bstd::(exp|log|sqrt|pow|nearbyint|round|fma)\\b|"
-      "\\bexp_neg\\b");
-  scan_regex(file, kFpToken, "integer-kernel",
-             "floating-point arithmetic in a file tagged integer-kernel "
-             "(annotate the line with turbo-lint: allow-float if deliberate)",
-             "allow-float", out);
-}
-
-// --- rule: unchecked-cache-append -----------------------------------------
-
-// PagedKvCache::append_token (the three-argument, fallible overload)
-// reports page exhaustion through its return value. [[nodiscard]] catches
-// bare discards at compile time in -Werror builds; this rule also catches
-// `(void)`-cast suppressions and guards builds without -Werror.
-void check_unchecked_cache_append(const SourceFile& file,
-                                  std::vector<Violation>& out) {
-  static const std::regex kCall("\\bappend_token\\s*\\(");
-  auto begin = std::sregex_iterator(file.stripped.begin(),
-                                    file.stripped.end(), kCall);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::size_t match_pos = static_cast<std::size_t>(it->position());
-    // Count top-level arguments: only the paged overload takes three.
-    std::size_t pos = match_pos + static_cast<std::size_t>(it->length());
-    int depth = 1;
-    std::size_t args = 1;
-    while (pos < file.stripped.size() && depth > 0) {
-      const char c = file.stripped[pos];
-      if (c == '(') ++depth;
-      if (c == ')') --depth;
-      if (c == ',' && depth == 1) ++args;
-      ++pos;
-    }
-    if (args != 3) continue;
-    // Statement prefix: everything since the last ';', '{' or '}'.
-    std::size_t start = match_pos;
-    while (start > 0) {
-      const char c = file.stripped[start - 1];
-      if (c == ';' || c == '{' || c == '}') break;
-      --start;
-    }
-    const std::string prefix =
-        file.stripped.substr(start, match_pos - start);
-    // Declarations and definitions name the return type.
-    if (std::regex_search(prefix, std::regex("\\bbool\\b"))) continue;
-    // Peel the callee chain ("cache.", "this->cache_.", ...) off the end
-    // of the prefix; whatever remains is the consuming context.
-    std::size_t ctx_end = prefix.size();
-    while (ctx_end > 0) {
-      const char c = prefix[ctx_end - 1];
-      const bool chain =
-          std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
-          c == '.' || c == '-' || c == '>' || c == ':';
-      if (!chain) break;
-      --ctx_end;
-    }
-    std::string context = prefix.substr(0, ctx_end);
-    while (!context.empty() &&
-           std::isspace(static_cast<unsigned char>(context.back())) != 0) {
-      context.pop_back();
-    }
-    const bool void_cast =
-        std::regex_search(context, std::regex("\\(\\s*void\\s*\\)\\s*$"));
-    if (!context.empty() && !void_cast) continue;  // result is consumed
-    const std::size_t line = line_of_offset(file.stripped, match_pos);
-    if (line_has_marker(file, line, "allow-unchecked-append")) continue;
-    out.push_back(
-        {file.rel, line, "unchecked-cache-append",
-         "PagedKvCache::append_token result discarded; page exhaustion "
-         "must be handled (or annotate with "
-         "turbo-lint: allow-unchecked-append)"});
-  }
-}
-
-// --- rule: method-shape-check ---------------------------------------------
-
-// Extract the body of the function whose qualified name starts at the match
-// of `sig_re` in `stripped`; returns false if no definition (declaration
-// only) is found.
-bool extract_body(const std::string& stripped, const std::regex& sig_re,
-                  std::string& body, std::size_t& def_line) {
-  auto it = std::sregex_iterator(stripped.begin(), stripped.end(), sig_re);
-  for (; it != std::sregex_iterator(); ++it) {
-    std::size_t pos = static_cast<std::size_t>(it->position()) +
-                      static_cast<std::size_t>(it->length());
-    // Walk past the parameter list to the matching ')'.
-    int depth = 1;  // sig_re consumed the opening '('
-    while (pos < stripped.size() && depth > 0) {
-      if (stripped[pos] == '(') ++depth;
-      if (stripped[pos] == ')') --depth;
-      ++pos;
-    }
-    // Skip qualifiers (const, noexcept, override, whitespace) up to '{' or
-    // ';'. A ';' means declaration, not definition — try the next match.
-    while (pos < stripped.size() && stripped[pos] != '{' &&
-           stripped[pos] != ';') {
-      ++pos;
-    }
-    if (pos >= stripped.size() || stripped[pos] == ';') continue;
-    const std::size_t body_begin = pos;
-    int braces = 0;
-    while (pos < stripped.size()) {
-      if (stripped[pos] == '{') ++braces;
-      if (stripped[pos] == '}') {
-        --braces;
-        if (braces == 0) break;
-      }
-      ++pos;
-    }
-    body = stripped.substr(body_begin, pos - body_begin + 1);
-    def_line = line_of_offset(
-        stripped, static_cast<std::size_t>(it->position()));
-    return true;
-  }
-  return false;
-}
-
-// --- rule: unmirrored-engine-counter --------------------------------------
-
-// Locate `struct <name> { ... }` in stripped text and return the brace-
-// balanced body (including the outer braces) plus the line of the keyword.
-bool extract_struct_body(const std::string& stripped, const std::string& name,
-                         std::string& body, std::size_t& def_line) {
-  const std::regex sig("\\bstruct\\s+" + name + "\\b");
-  std::smatch m;
-  if (!std::regex_search(stripped, m, sig)) return false;
-  std::size_t pos = static_cast<std::size_t>(m.position()) +
-                    static_cast<std::size_t>(m.length());
-  while (pos < stripped.size() && stripped[pos] != '{' &&
-         stripped[pos] != ';') {
-    ++pos;
-  }
-  if (pos >= stripped.size() || stripped[pos] == ';') return false;
-  const std::size_t body_begin = pos;
-  int braces = 0;
-  while (pos < stripped.size()) {
-    if (stripped[pos] == '{') ++braces;
-    if (stripped[pos] == '}') {
-      --braces;
-      if (braces == 0) break;
-    }
-    ++pos;
-  }
-  body = stripped.substr(body_begin, pos - body_begin + 1);
-  def_line = line_of_offset(stripped, static_cast<std::size_t>(m.position()));
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
   return true;
-}
-
-// EngineResult is the engine's ground truth; ServingMetrics is what every
-// consumer (CLI, bench tables, tests) actually reads. A counter added to the
-// former but not forwarded by metrics.cpp is invisible in every report, so
-// the engine can time out or shed requests without anyone noticing.
-void check_unmirrored_engine_counters(const std::vector<SourceFile>& files,
-                                      std::vector<Violation>& out) {
-  const SourceFile* engine_h = nullptr;
-  const SourceFile* metrics_h = nullptr;
-  const SourceFile* metrics_cpp = nullptr;
-  for (const SourceFile& f : files) {
-    if (f.rel == "src/serving/engine.h") engine_h = &f;
-    if (f.rel == "src/serving/metrics.h") metrics_h = &f;
-    if (f.rel == "src/serving/metrics.cpp") metrics_cpp = &f;
-  }
-  if (engine_h == nullptr) return;  // serving layer not present in this tree
-
-  std::string result_body;
-  std::size_t result_line = 0;
-  if (!extract_struct_body(engine_h->stripped, "EngineResult", result_body,
-                           result_line)) {
-    return;
-  }
-  std::string metrics_body;
-  std::size_t metrics_line = 0;
-  const bool have_metrics =
-      metrics_h != nullptr &&
-      extract_struct_body(metrics_h->stripped, "ServingMetrics", metrics_body,
-                          metrics_line);
-
-  // Line numbers inside the struct body: offset of the body within the file.
-  const std::size_t body_offset = engine_h->stripped.find(result_body);
-
-  static const std::regex kCounterField("\\b(std::size_t|bool)\\s+(\\w+)");
-  auto it = std::sregex_iterator(result_body.begin(), result_body.end(),
-                                 kCounterField);
-  for (; it != std::sregex_iterator(); ++it) {
-    const std::string name = (*it)[2].str();
-    const std::size_t line = line_of_offset(
-        engine_h->stripped,
-        body_offset + static_cast<std::size_t>(it->position()));
-    if (line_has_marker(*engine_h, line, "allow-unmirrored")) continue;
-
-    const bool in_metrics =
-        have_metrics &&
-        std::regex_search(metrics_body,
-                          std::regex("\\b" + name + "\\b"));
-    const bool assigned =
-        metrics_cpp != nullptr &&
-        std::regex_search(metrics_cpp->stripped,
-                          std::regex("\\bresult\\s*\\.\\s*" + name + "\\b"));
-    if (in_metrics && assigned) continue;
-    std::string what;
-    if (!in_metrics) what = "has no ServingMetrics counterpart";
-    if (!assigned) {
-      if (!what.empty()) what += " and ";
-      what += "is never read from result. in src/serving/metrics.cpp";
-    }
-    out.push_back(
-        {engine_h->rel, line, "unmirrored-engine-counter",
-         "EngineResult::" + name + " " + what +
-             "; mirror it into ServingMetrics (or annotate with "
-             "turbo-lint: allow-unmirrored)"});
-  }
-}
-
-// --- rule: unfaultable-swap-io --------------------------------------------
-
-// The swap store is the one subsystem whose whole point is surviving
-// injected faults; a store/fetch entry point without a FaultInjector*
-// parameter is dead to the fault suite. Calls (obj.store(...)) are uses,
-// not signatures, and are exempt — only declarations and definitions in
-// src/serving/swap.{h,cpp} are checked.
-void check_unfaultable_swap_io(const SourceFile& file,
-                               std::vector<Violation>& out) {
-  if (file.rel.rfind("src/serving/swap.", 0) != 0) return;
-  static const std::regex kIoFn(
-      "\\b(store_phantom|store|fetch|swap_in|swap_out|promote)\\s*\\(");
-  auto begin =
-      std::sregex_iterator(file.stripped.begin(), file.stripped.end(), kIoFn);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::size_t match_pos = static_cast<std::size_t>(it->position());
-    // Skip member calls: a name preceded by '.' or '->' is a use site.
-    std::size_t prev = match_pos;
-    while (prev > 0 && std::isspace(static_cast<unsigned char>(
-                           file.stripped[prev - 1])) != 0) {
-      --prev;
-    }
-    if (prev > 0 && (file.stripped[prev - 1] == '.' ||
-                     (prev > 1 && file.stripped[prev - 2] == '-' &&
-                      file.stripped[prev - 1] == '>'))) {
-      continue;
-    }
-    // Walk the parameter list to its matching ')'.
-    std::size_t pos = match_pos + static_cast<std::size_t>(it->length());
-    const std::size_t params_begin = pos;
-    int depth = 1;
-    while (pos < file.stripped.size() && depth > 0) {
-      if (file.stripped[pos] == '(') ++depth;
-      if (file.stripped[pos] == ')') --depth;
-      ++pos;
-    }
-    const std::string params =
-        file.stripped.substr(params_begin, pos - params_begin);
-    if (params.find("FaultInjector") != std::string::npos) continue;
-    const std::size_t line = line_of_offset(file.stripped, match_pos);
-    if (line_has_marker(file, line, "allow-unfaultable")) continue;
-    out.push_back(
-        {file.rel, line, "unfaultable-swap-io",
-         (*it)[1].str() +
-             " stores or fetches a swap stream but takes no FaultInjector*; "
-             "every swap I/O path must be fault-injectable (or annotate "
-             "with turbo-lint: allow-unfaultable)"});
-  }
-}
-
-void check_method_shape_checks(const std::vector<SourceFile>& files,
-                               std::vector<Violation>& out) {
-  static const std::regex kImplClass(
-      "class\\s+(\\w+)[^;{]*:\\s*(?:public\\s+)?KvAttention\\b");
-  static const char* kMethods[] = {"prefill", "decode", "attend"};
-
-  for (const SourceFile& file : files) {
-    auto it = std::sregex_iterator(file.stripped.begin(),
-                                   file.stripped.end(), kImplClass);
-    for (; it != std::sregex_iterator(); ++it) {
-      const std::string cls = (*it)[1].str();
-      if (cls == "KvAttention") continue;
-      for (const char* method : kMethods) {
-        const std::regex sig(cls + "::" + method + "\\s*\\(");
-        bool found = false;
-        bool checked = false;
-        std::string where_rel;
-        std::size_t where_line = 0;
-        for (const SourceFile& candidate : files) {
-          std::string body;
-          std::size_t line = 0;
-          if (extract_body(candidate.stripped, sig, body, line)) {
-            found = true;
-            where_rel = candidate.rel;
-            where_line = line;
-            checked = body.find("TURBO_CHECK") != std::string::npos;
-            break;
-          }
-        }
-        if (!found) {
-          // Inline definition inside the class body, or not implemented in
-          // the scanned tree; look for `method (...) ... {` in the class's
-          // own file as a fallback.
-          const std::regex inline_sig(std::string("\\b") + method +
-                                      "\\s*\\(");
-          std::string body;
-          std::size_t line = 0;
-          if (extract_body(file.stripped, inline_sig, body, line)) {
-            found = true;
-            where_rel = file.rel;
-            where_line = line;
-            checked = body.find("TURBO_CHECK") != std::string::npos;
-          }
-        }
-        if (!found) continue;  // pure declaration; implementation elsewhere
-        if (!checked) {
-          out.push_back(
-              {where_rel, where_line, "method-shape-check",
-               cls + "::" + method +
-                   " must validate its input shapes with TURBO_CHECK"});
-        }
-      }
-    }
-  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: turbo_lint <repo_root>\n");
+  bool json = false;
+  bool no_baseline = false;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string root;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--no-baseline") {
+      no_baseline = true;
+    } else if (a == "--list-rules") {
+      return list_rules();
+    } else if (a == "--baseline" && i + 1 < args.size()) {
+      baseline_path = args[++i];
+    } else if (a == "--write-baseline" && i + 1 < args.size()) {
+      write_baseline_path = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "turbo_lint: unknown option '%s'\n", a.c_str());
+      return 2;
+    } else if (root.empty()) {
+      root = a;
+    } else {
+      std::fprintf(stderr, "turbo_lint: multiple roots given\n");
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr,
+                 "usage: turbo_lint [--json] [--baseline FILE] "
+                 "[--no-baseline] [--write-baseline FILE] [--list-rules] "
+                 "<repo_root>\n");
     return 2;
   }
-  const fs::path root(argv[1]);
-  if (!fs::is_directory(root / "src")) {
-    std::fprintf(stderr, "turbo_lint: %s/src is not a directory\n", argv[1]);
+  if (!fs::is_directory(fs::path(root) / "src")) {
+    std::fprintf(stderr, "turbo_lint: %s/src is not a directory\n",
+                 root.c_str());
     return 2;
   }
 
-  std::vector<SourceFile> files;
-  for (const char* top : {"src", "tools"}) {
-    const fs::path dir = root / top;
-    if (!fs::is_directory(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext != ".h" && ext != ".cpp") continue;
-      std::ifstream in(entry.path(), std::ios::binary);
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      SourceFile f;
-      f.path = entry.path();
-      f.rel = fs::relative(entry.path(), root).generic_string();
-      f.raw = buf.str();
-      f.stripped = strip_comments_and_strings(f.raw);
-      files.push_back(std::move(f));
+  const lint::Project project(lint::load_tree(root));
+  std::vector<lint::Finding> findings = lint::run_rules(project);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "turbo_lint: cannot write baseline '%s'\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << lint::format_baseline(findings, project);
+    std::fprintf(stderr, "turbo_lint: wrote %zu baseline entr%s to %s\n",
+                 findings.size(), findings.size() == 1 ? "y" : "ies",
+                 write_baseline_path.c_str());
+    return 0;
+  }
+
+  // Default baseline: tools/turbo_lint_baseline.txt under the root.
+  if (baseline_path.empty() && !no_baseline) {
+    const fs::path candidate =
+        fs::path(root) / "tools" / "turbo_lint_baseline.txt";
+    if (fs::is_regular_file(candidate)) {
+      baseline_path = candidate.string();
     }
   }
 
-  std::vector<Violation> violations;
-  for (const SourceFile& f : files) {
-    check_no_raw_assert(f, violations);
-    check_unchecked_i8_cast(f, violations);
-    check_integer_kernel(f, violations);
-    check_unchecked_cache_append(f, violations);
-    check_unfaultable_swap_io(f, violations);
+  std::size_t baselined = 0;
+  std::vector<std::string> stale;
+  if (!baseline_path.empty() && !no_baseline) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::fprintf(stderr, "turbo_lint: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    const std::size_t before = findings.size();
+    findings = lint::apply_baseline(findings, project,
+                                    lint::parse_baseline(text), &stale);
+    baselined = before - findings.size();
   }
-  check_method_shape_checks(files, violations);
-  check_unmirrored_engine_counters(files, violations);
 
-  for (const Violation& v : violations) {
-    std::cout << v.rel << ":" << v.line << ": [" << v.rule << "] "
-              << v.message << "\n";
+  if (json) {
+    std::cout << lint::to_json(findings, project.files().size());
+  } else {
+    std::cout << lint::to_text(findings);
+    std::cout << "turbo_lint: " << project.files().size()
+              << " files scanned, " << findings.size() << " violation(s)";
+    if (baselined > 0) std::cout << ", " << baselined << " baselined";
+    if (!stale.empty()) std::cout << ", " << stale.size() << " stale";
+    std::cout << "\n";
   }
-  std::cout << "turbo_lint: " << files.size() << " files scanned, "
-            << violations.size() << " violation(s)\n";
-  return violations.empty() ? 0 : 1;
+  for (const std::string& key : stale) {
+    std::fprintf(stderr,
+                 "turbo_lint: stale baseline entry %s (finding no longer "
+                 "exists — remove it from %s)\n",
+                 key.c_str(), baseline_path.c_str());
+  }
+  return findings.empty() && stale.empty() ? 0 : 1;
 }
