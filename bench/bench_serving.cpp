@@ -5,6 +5,8 @@
 // the load each method sustains before queueing collapse.
 #include <cstdio>
 
+#include "fleet/metrics.h"
+#include "fleet/router.h"
 #include "serving/engine.h"
 #include "serving/metrics.h"
 #include "serving/trace.h"
@@ -279,5 +281,83 @@ int main() {
               "bounded retries — the health tracker blacklists the dead "
               "tier so later stores stop paying the probe, and every "
               "request still completes or is explicitly rejected.\n");
+
+  // --- Fleet: replicated engines behind a health-checked router ---
+  // The overload mix scaled to fleet rate: four replicas absorb ~4x the
+  // single-engine load. The outage rows kill replica 1 for a six-second
+  // window mid-run; the router stops admitting to it, drains its
+  // in-flight work, and migrates live KV streams over the modeled
+  // interconnect (corruption-checked; recompute on failure). Routing
+  // policy decides who inherits the displaced load — class-aware keeps
+  // interactive traffic on the least-loaded survivors.
+  std::printf("\n=== Fleet: 4x Phi3-mini replicas on A100-PCIe-40GB, "
+              "headroom 0.35, Turbo-4 ===\n");
+  std::printf("outage rows: replica 1 down over [2 s, 8 s); KV migrates "
+              "over a 64 GiB/s interconnect, failover budget 2\n\n");
+  {
+    TraceConfig t;
+    t.arrival_rate = 88.0;
+    t.duration_s = 20.0;
+    t.prompt_log_mean = 5.5;
+    t.prompt_log_std = 0.5;
+    t.gen_log_mean = 5.0;
+    t.gen_log_std = 0.5;
+    t.seed = 17;
+    t.class_mix = {0.3, 0.5, 0.2};
+    t.ttft_deadline_s = {2.5, 20.0, 0.0};
+    const auto trace = generate_trace(t);
+    std::printf("trace: %.0f req/s for %.0f s (%zu requests)\n\n",
+                t.arrival_rate, t.duration_s, trace.size());
+    std::printf("%18s  %8s  %12s  %12s  %7s  %7s  %7s  %7s\n", "config",
+                "tok/s", "inter. p99", "inter. SLO", "outage", "drain",
+                "migrate", "recomp");
+    struct FleetRow {
+      const char* label;
+      std::size_t replicas;
+      turbo::fleet::RoutePolicy route;
+      bool outage;
+    };
+    const FleetRow rows[] = {
+        {"1-replica", 1, turbo::fleet::RoutePolicy::kClassAware, false},
+        {"4-rep rr", 4, turbo::fleet::RoutePolicy::kRoundRobin, false},
+        {"4-rep class", 4, turbo::fleet::RoutePolicy::kClassAware, false},
+        {"4-rep rr+kill", 4, turbo::fleet::RoutePolicy::kRoundRobin, true},
+        {"4-rep lop+kill", 4,
+         turbo::fleet::RoutePolicy::kLeastOutstandingPages, true},
+        {"4-rep class+kill", 4, turbo::fleet::RoutePolicy::kClassAware,
+         true},
+    };
+    for (const FleetRow& row : rows) {
+      turbo::fleet::FleetConfig cfg;
+      cfg.engine.device = turbo::sim::a100_pcie_40gb();
+      cfg.engine.geometry = turbo::sim::phi3_mini_geometry();
+      cfg.engine.method = AttnMethod::kTurbo;
+      cfg.engine.attention.kv_bits = 4.0;
+      cfg.engine.memory_headroom = 0.35;
+      cfg.engine.policy = SchedPolicy::kClassAware;
+      cfg.replicas = row.replicas;
+      cfg.route = row.route;
+      if (row.outage) {
+        cfg.engine.faults.replicas[1].outage_start_s = 2.0;
+        cfg.engine.faults.replicas[1].outage_end_s = 8.0;
+      }
+      const turbo::fleet::FleetMetrics m =
+          turbo::fleet::summarize_fleet(turbo::fleet::run_fleet(cfg, trace));
+      const ClassBreakdown& inter = m.fleet.by_class[0];
+      std::printf("%18s  %8.0f  %11.2fs  %11.1f%%  %7zu  %7zu  %7zu  %7zu\n",
+                  row.label, m.fleet.output_tokens_per_s, inter.ttft_p99,
+                  100.0 * inter.ttft_attainment, m.replica_outages,
+                  m.failover_drains, m.migrations, m.migration_recomputes);
+    }
+  }
+  std::printf("\nExpected: one replica cannot carry fleet-rate load (TTFT "
+              "collapses); four replicas restore the single-engine SLO "
+              "picture at 4x the arrival rate. Killing a replica mid-run "
+              "drains and migrates its streams instead of losing them: "
+              "round-robin keeps routing classes blindly and gives back "
+              "the most interactive attainment, while least-pages and "
+              "class-aware steer the displaced load to the emptiest "
+              "survivors and hold interactive TTFT-SLO attainment within "
+              "a few points (target: <= 5) of the no-outage run.\n");
   return 0;
 }

@@ -29,6 +29,33 @@ namespace turbo {
 // host -> disk by default; the array leaves room for deeper hierarchies).
 inline constexpr std::size_t kMaxSwapTiers = 4;
 
+// Maximum number of data-parallel engine replicas a plan can describe
+// (src/fleet routes over at most this many).
+inline constexpr std::size_t kMaxReplicas = 8;
+
+// Per-replica fault profile for the fleet router. Replica health is pure
+// wall-clock arithmetic (NO RNG draw): a replica is down for every probe
+// whose timestamp falls inside [outage_start_s, outage_end_s), so killing
+// a replica for a fixed interval cannot perturb the Bernoulli draw
+// sequence of any other fault — a windowed fleet run stays bit-comparable
+// to the same seed without the window everywhere outside it.
+struct ReplicaFaultPlan {
+  // Deterministic outage window [start, end); start == end disables it.
+  double outage_start_s = 0.0;
+  double outage_end_s = 0.0;
+
+  bool enabled() const { return outage_end_s > outage_start_s; }
+
+  bool down_at(double now_s) const {
+    return enabled() && now_s >= outage_start_s && now_s < outage_end_s;
+  }
+
+  void validate() const {
+    TURBO_CHECK_MSG(outage_end_s >= outage_start_s,
+                    "replica outage window must have end >= start");
+  }
+};
+
 // Per-tier fault profile for the tiered swap store. The probabilistic
 // knobs are one Bernoulli draw per probe; the outage window is pure
 // wall-clock arithmetic (NO RNG draw), so forcing a tier down for a fixed
@@ -85,17 +112,29 @@ struct FaultPlan {
   double swap_spike_prob = 0.0;
   double swap_spike_multiplier = 8.0;
 
+  // Probability a replica-to-replica KV migration (src/fleet) is corrupted
+  // in transit — detected by the CRC layer on arrival, recovered by
+  // recomputing the KV on the destination replica.
+  double migration_corruption_prob = 0.0;
+
   // Per-tier fault profiles, indexed by swap-tier position (0 = fastest).
   // All-zero profiles are inert: probes with probability 0 draw nothing.
   std::array<TierFaultPlan, kMaxSwapTiers> tiers = {};
 
+  // Per-replica outage windows, indexed by fleet replica (src/fleet).
+  // Deterministic: health probes never draw RNG.
+  std::array<ReplicaFaultPlan, kMaxReplicas> replicas = {};
+
   bool enabled() const {
     if (page_alloc_failure_prob > 0.0 || stream_corruption_prob > 0.0 ||
-        swap_spike_prob > 0.0) {
+        swap_spike_prob > 0.0 || migration_corruption_prob > 0.0) {
       return true;
     }
     for (const TierFaultPlan& t : tiers) {
       if (t.enabled()) return true;
+    }
+    for (const ReplicaFaultPlan& r : replicas) {
+      if (r.enabled()) return true;
     }
     return false;
   }
@@ -112,7 +151,10 @@ struct FaultPlan {
                     "swap_spike_prob outside [0, 1]");
     TURBO_CHECK_MSG(swap_spike_multiplier >= 1.0,
                     "swap_spike_multiplier must be >= 1");
+    TURBO_CHECK_MSG(is_prob(migration_corruption_prob),
+                    "migration_corruption_prob outside [0, 1]");
     for (const TierFaultPlan& t : tiers) t.validate();
+    for (const ReplicaFaultPlan& r : replicas) r.validate();
   }
 };
 
@@ -172,6 +214,23 @@ class FaultInjector {
     return t.spike_multiplier;
   }
 
+  // Replica health probe for the fleet router (src/fleet). Pure window
+  // check — never draws RNG — so the router's health model cannot perturb
+  // any other fault stream.
+  bool replica_down(std::size_t replica, double now_s) {
+    TURBO_CHECK(replica < kMaxReplicas);
+    if (!plan_.replicas[replica].down_at(now_s)) return false;
+    ++injected_replica_down_;
+    return true;  // deterministic window: no RNG draw
+  }
+
+  // One Bernoulli draw per replica-to-replica KV migration.
+  bool corrupt_migration() {
+    if (!probe(plan_.migration_corruption_prob)) return false;
+    ++injected_migration_corruptions_;
+    return true;
+  }
+
   // Seed-determined byte offset for an injected corruption.
   std::size_t corruption_offset(std::size_t stream_size) {
     if (stream_size == 0) return 0;
@@ -190,6 +249,10 @@ class FaultInjector {
     return injected_tier_corruptions_;
   }
   std::size_t injected_tier_spikes() const { return injected_tier_spikes_; }
+  std::size_t injected_replica_down() const { return injected_replica_down_; }
+  std::size_t injected_migration_corruptions() const {
+    return injected_migration_corruptions_;
+  }
 
  private:
   bool probe(double prob) {
@@ -205,6 +268,8 @@ class FaultInjector {
   std::size_t injected_tier_unavailable_ = 0;
   std::size_t injected_tier_corruptions_ = 0;
   std::size_t injected_tier_spikes_ = 0;
+  std::size_t injected_replica_down_ = 0;
+  std::size_t injected_migration_corruptions_ = 0;
 };
 
 }  // namespace turbo

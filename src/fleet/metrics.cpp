@@ -1,0 +1,97 @@
+#include "fleet/metrics.h"
+
+#include <algorithm>
+
+namespace turbo::fleet {
+
+namespace {
+
+// Fold the per-replica engine results into one synthetic EngineResult so
+// the serving-level summarize() — percentiles, SLO attainment, the
+// hit_time_limit/unfinished consistency check — runs unchanged over the
+// fleet union. Counters sum; precision floors take the min; peaks sum
+// (replicas run concurrently, so fleet peak memory is the sum of replica
+// peaks, a conservative upper bound).
+serving::EngineResult aggregate(const FleetResult& result) {
+  serving::EngineResult agg;
+  agg.requests = result.requests;
+  agg.makespan_s = result.makespan_s;
+  agg.hit_time_limit = result.hit_time_limit;
+  bool first = true;
+  for (const serving::EngineResult& er : result.replica_results) {
+    agg.busy_s += er.busy_s;
+    agg.peak_batch += er.peak_batch;
+    agg.peak_kv_bytes += er.peak_kv_bytes;
+    agg.rejected += er.rejected;
+    agg.timed_out += er.timed_out;
+    agg.shed += er.shed;
+    agg.ladder_escalations += er.ladder_escalations;
+    agg.ladder_deescalations += er.ladder_deescalations;
+    agg.degraded_iterations += er.degraded_iterations;
+    agg.degraded_admissions += er.degraded_admissions;
+    agg.min_kv_bits =
+        first ? er.min_kv_bits : std::min(agg.min_kv_bits, er.min_kv_bits);
+    agg.degrade_rmse_proxy =
+        std::max(agg.degrade_rmse_proxy, er.degrade_rmse_proxy);
+    agg.preemptions += er.preemptions;
+    agg.preempted_recompute += er.preempted_recompute;
+    agg.preempted_swap += er.preempted_swap;
+    agg.swap_ins += er.swap_ins;
+    agg.swap_out_bytes += er.swap_out_bytes;
+    agg.swap_in_bytes += er.swap_in_bytes;
+    agg.swap_stall_s += er.swap_stall_s;
+    agg.checksum_failures += er.checksum_failures;
+    agg.recoveries += er.recoveries;
+    agg.degraded_steps += er.degraded_steps;
+    agg.injected_alloc_failures += er.injected_alloc_failures;
+    agg.max_preemptions_single_request =
+        std::max(agg.max_preemptions_single_request,
+                 er.max_preemptions_single_request);
+    agg.recomputed_tokens += er.recomputed_tokens;
+    agg.tier_demotions += er.tier_demotions;
+    agg.tier_promotions += er.tier_promotions;
+    agg.tier_failovers += er.tier_failovers;
+    agg.tier_blacklists += er.tier_blacklists;
+    agg.tier_fetch_retries += er.tier_fetch_retries;
+    agg.swap_unavailable_recomputes += er.swap_unavailable_recomputes;
+    agg.swap_overflow_recomputes += er.swap_overflow_recomputes;
+    agg.swap_tiers_used += er.swap_tiers_used;
+    agg.tier_retry_stall_s += er.tier_retry_stall_s;
+    for (std::size_t t = 0; t < kMaxSwapTiers; ++t) {
+      agg.tier_stats[t].stores += er.tier_stats[t].stores;
+      agg.tier_stats[t].hits += er.tier_stats[t].hits;
+      agg.tier_stats[t].demotions_in += er.tier_stats[t].demotions_in;
+      agg.tier_stats[t].promotions_out += er.tier_stats[t].promotions_out;
+      agg.tier_stats[t].failures += er.tier_stats[t].failures;
+      agg.tier_stats[t].blacklists += er.tier_stats[t].blacklists;
+    }
+    first = false;
+  }
+  return agg;
+}
+
+}  // namespace
+
+FleetMetrics summarize_fleet(const FleetResult& result) {
+  FleetMetrics m;
+  m.fleet = serving::summarize(aggregate(result));
+  m.replicas.reserve(result.replica_results.size());
+  for (const serving::EngineResult& er : result.replica_results) {
+    m.replicas.push_back(serving::summarize(er));
+  }
+  m.replica_count = result.replica_count;
+  m.routed = result.routed;
+  m.replica_outages = result.replica_outages;
+  m.failover_drains = result.failover_drains;
+  m.rerouted_waiting = result.rerouted_waiting;
+  m.migrations = result.migrations;
+  m.migration_corruptions = result.migration_corruptions;
+  m.migration_recomputes = result.migration_recomputes;
+  m.migration_budget_exhausted = result.migration_budget_exhausted;
+  m.hit_time_limit = result.hit_time_limit;
+  m.migrated_gb = result.migrated_bytes / (1024.0 * 1024.0 * 1024.0);
+  m.migration_stall_s = result.migration_stall_s;
+  return m;
+}
+
+}  // namespace turbo::fleet

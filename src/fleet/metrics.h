@@ -1,0 +1,42 @@
+// Fleet-level metrics: per-replica serving rollups plus the fleet union.
+//
+// Mirroring contract (turbo_lint rule "unmirrored-engine-counter"): every
+// std::size_t / bool counter in FleetResult has a FleetMetrics field of
+// the same name, filled from it in metrics.cpp — a router counter that
+// never reaches the report is a lint error, not a code-review hope.
+#pragma once
+
+#include <vector>
+
+#include "fleet/router.h"
+#include "serving/metrics.h"
+
+namespace turbo::fleet {
+
+struct FleetMetrics {
+  // Union-level serving metrics: every trace request, whichever replica
+  // finished it, summarized against the fleet makespan.
+  serving::ServingMetrics fleet;
+  // Per-replica serving metrics, indexed by replica id. Sum of the
+  // replicas' counters equals the fleet rollup (drained requests count
+  // only where they terminated).
+  std::vector<serving::ServingMetrics> replicas;
+
+  std::size_t replica_count = 0;
+  std::size_t routed = 0;
+  std::size_t replica_outages = 0;
+  std::size_t failover_drains = 0;
+  std::size_t rerouted_waiting = 0;
+  std::size_t migrations = 0;
+  std::size_t migration_corruptions = 0;
+  std::size_t migration_recomputes = 0;
+  std::size_t migration_budget_exhausted = 0;
+  bool hit_time_limit = false;
+
+  double migrated_gb = 0.0;
+  double migration_stall_s = 0.0;
+};
+
+FleetMetrics summarize_fleet(const FleetResult& result);
+
+}  // namespace turbo::fleet

@@ -1,0 +1,308 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace turbo::fleet {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+MigrationChannel::Outcome MigrationChannel::migrate(std::size_t bytes,
+                                                    FaultInjector* fault) {
+  Outcome out;
+  out.transfer_s = static_cast<double>(bytes) / bandwidth_;
+  // In-transit corruption is one seeded Bernoulli draw; the CRC layer on
+  // the destination detects it, so a corrupt stream costs the wire time
+  // plus a recompute — never silent corruption.
+  out.corrupted = fault != nullptr && fault->corrupt_migration();
+  return out;
+}
+
+Router::Router(const FleetConfig& config)
+    : config_(config),
+      fleet_fault_(config.engine.faults),
+      channel_(config.interconnect_bandwidth) {
+  TURBO_CHECK_MSG(config_.replicas >= 1 && config_.replicas <= kMaxReplicas,
+                  "fleet size must be in [1, kMaxReplicas]");
+  engines_.reserve(config_.replicas);
+  for (std::size_t i = 0; i < config_.replicas; ++i) {
+    serving::EngineConfig c = config_.engine;
+    c.replica_id = i;
+    // Derived per-replica fault seed: independent Bernoulli streams per
+    // replica, replica 0 at the base seed so a 1-replica fleet draws the
+    // exact sequence run_engine() would.
+    c.faults.seed = config_.engine.faults.seed + i;
+    engines_.emplace_back(c);
+  }
+  down_.assign(config_.replicas, 0);
+  outage_fired_.assign(config_.replicas, 0);
+}
+
+bool Router::eligible(std::size_t i, double t) {
+  if (down_[i] != 0) {
+    // Lazy revival: the first routing decision after the outage window
+    // closes brings the replica back (its clock idled through the
+    // blackout).
+    if (t >= config_.engine.faults.replicas[i].outage_end_s) {
+      engines_[i].advance_to(t);
+      down_[i] = 0;
+      return true;
+    }
+    return false;
+  }
+  // A replica whose window covers t but whose own clock has not entered
+  // it yet is already unroutable — admission stops the moment the
+  // router's clock sees the outage; the drain fires when the replica's
+  // clock catches up.
+  return !fleet_fault_.replica_down(i, t);
+}
+
+std::size_t Router::pick_round_robin(std::size_t& cursor, double t) {
+  const std::size_t n = engines_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (cursor + k) % n;
+    if (eligible(i, t)) {
+      cursor = (i + 1) % n;
+      return i;
+    }
+  }
+  return n;
+}
+
+std::size_t Router::pick_least_pages(double t) {
+  const std::size_t n = engines_.size();
+  std::size_t best = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!eligible(i, t)) continue;
+    if (best == n ||
+        engines_[i].used_pages() < engines_[best].used_pages()) {
+      best = i;  // ties keep the lowest index
+    }
+  }
+  return best;
+}
+
+void Router::ensure_some_replica_up(double t) {
+  // Every replica is down: revive the one whose outage ends first, at
+  // its window end — the request waits out the blackout rather than
+  // being lost.
+  const std::size_t n = engines_.size();
+  std::size_t best = n;
+  double best_end = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (down_[i] == 0) continue;
+    const double end = config_.engine.faults.replicas[i].outage_end_s;
+    if (end < best_end) {
+      best = i;
+      best_end = end;
+    }
+  }
+  if (best == n) return;
+  engines_[best].advance_to(std::max(t, best_end));
+  down_[best] = 0;
+}
+
+std::size_t Router::pick_replica(const serving::Request& r, double t) {
+  const std::size_t n = engines_.size();
+  for (int pass = 0; pass < 2; ++pass) {
+    std::size_t pick = n;
+    switch (config_.route) {
+      case RoutePolicy::kRoundRobin:
+        pick = pick_round_robin(rr_cursor_, t);
+        break;
+      case RoutePolicy::kLeastOutstandingPages:
+        pick = pick_least_pages(t);
+        break;
+      case RoutePolicy::kClassAware:
+        if (r.service_class == serving::ServiceClass::kInteractive) {
+          pick = pick_least_pages(t);
+        } else if (r.service_class == serving::ServiceClass::kStandard) {
+          pick = pick_round_robin(standard_cursor_, t);
+        } else {
+          pick = pick_round_robin(batch_cursor_, t);
+        }
+        break;
+    }
+    if (pick < n) return pick;
+    ensure_some_replica_up(t);
+  }
+  // Every replica's window covers t and none has drained yet (their
+  // clocks lag the router's). Place on the one that recovers first; its
+  // own outage will drain and fail the request over.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (config_.engine.faults.replicas[i].outage_end_s <
+        config_.engine.faults.replicas[best].outage_end_s) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void Router::failover(const serving::MigratableRequest& m, double t) {
+  serving::MigratableRequest moved = m;
+  ++moved.request.replica_failovers;
+  const std::size_t dst = pick_replica(moved.request, t);
+  if (moved.context == 0) {
+    // Nothing cached at drain: a plain re-route, no bytes on the wire.
+    ++result_.rerouted_waiting;
+    engines_[dst].adopt(moved, t, false);
+    return;
+  }
+  const bool within_budget =
+      moved.request.replica_failovers <= config_.failover_budget;
+  if (moved.has_stream && within_budget) {
+    const MigrationChannel::Outcome out = channel_.migrate(
+        static_cast<std::size_t>(moved.bytes), &fleet_fault_);
+    ++result_.migrations;
+    result_.migrated_bytes += moved.bytes;
+    result_.migration_stall_s += out.transfer_s;
+    if (out.corrupted) {
+      // CRC caught the transfer fault on arrival: the wire time was
+      // paid, the payload is unusable, the destination recomputes.
+      ++result_.migration_corruptions;
+      ++result_.migration_recomputes;
+      engines_[dst].adopt(moved, t + out.transfer_s, false);
+    } else {
+      engines_[dst].adopt(moved, t + out.transfer_s, true);
+    }
+    return;
+  }
+  // Over the failover budget (or the source had no parked stream): the
+  // terminal fallback — recompute the KV from the prompt on the
+  // destination. Costs latency, never liveness.
+  if (moved.has_stream && !within_budget) {
+    ++result_.migration_budget_exhausted;
+  }
+  ++result_.migration_recomputes;
+  engines_[dst].adopt(moved, t, false);
+}
+
+FleetResult Router::run(std::vector<serving::Request> trace) {
+  TURBO_CHECK_MSG(!ran_, "Router::run() is single-shot");
+  ran_ = true;
+  std::sort(trace.begin(), trace.end(),
+            [](const serving::Request& a, const serving::Request& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+  const double limit = config_.engine.max_sim_time_s;
+  const std::size_t n = engines_.size();
+  std::size_t next = 0;  // next unrouted arrival
+
+  while (true) {
+    // Outage transitions: a replica whose own clock entered its window
+    // stops admitting, drains, and fails everything over. One drain per
+    // window (outage_fired_); the health probe is a pure wall-clock
+    // check, so detecting an outage never perturbs any fault RNG stream.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (down_[i] != 0 || outage_fired_[i] != 0) continue;
+      if (!fleet_fault_.replica_down(i, engines_[i].now())) continue;
+      down_[i] = 1;
+      outage_fired_[i] = 1;
+      ++result_.replica_outages;
+      const double t = engines_[i].now();
+      const std::vector<serving::MigratableRequest> drained =
+          engines_[i].drain();
+      result_.failover_drains += drained.size();
+      for (const serving::MigratableRequest& m : drained) {
+        failover(m, t);
+      }
+    }
+
+    // The fleet frontier: the healthy replica with work furthest behind
+    // in time runs next, so replica iterations interleave in global time
+    // order (ties go to the lowest index).
+    double tmin = kInf;
+    std::size_t who = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (down_[i] != 0 || !engines_[i].has_work()) continue;
+      if (engines_[i].now() < tmin) {
+        tmin = engines_[i].now();
+        who = i;
+      }
+    }
+    const double ta = next < trace.size() ? trace[next].arrival_s : kInf;
+
+    if (who == n && next >= trace.size()) break;  // fleet fully drained
+
+    if (ta <= tmin) {
+      // The next fleet event is an arrival: route it before any replica
+      // steps past it.
+      const std::size_t dst = pick_replica(trace[next], ta);
+      engines_[dst].submit(trace[next]);
+      ++result_.routed;
+      ++next;
+      continue;
+    }
+
+    // Mirrors run_engine's `now < max_sim_time_s` loop condition: once
+    // every replica with work is at or past the stop, in-flight requests
+    // strand as kPending.
+    if (tmin >= limit) break;
+
+    // Step the frontier replica one iteration. The horizon caps its idle
+    // jumps at the next unrouted arrival (which it cannot see in its own
+    // pending queue) and at its own not-yet-fired outage start, so the
+    // loop-top health probe lands exactly on the window edge.
+    double horizon = ta;
+    if (outage_fired_[who] == 0) {
+      const ReplicaFaultPlan& w = config_.engine.faults.replicas[who];
+      if (w.enabled() && w.outage_start_s > engines_[who].now()) {
+        horizon = std::min(horizon, w.outage_start_s);
+      }
+    }
+    engines_[who].step(horizon);
+  }
+
+  // Finalize: per-replica results, the fleet union, and the invariants
+  // the whole subsystem exists to uphold.
+  result_.replica_count = n;
+  bool any_limit = next < trace.size();
+  result_.replica_results.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    serving::EngineResult er = engines_[i].finish();
+    result_.makespan_s = std::max(result_.makespan_s, er.makespan_s);
+    any_limit = any_limit || er.hit_time_limit;
+    for (const serving::Request& r : er.requests) {
+      result_.requests.push_back(r);
+    }
+    result_.replica_results.push_back(std::move(er));
+  }
+  // Arrivals the safety stop stranded before routing: still accounted
+  // for, still kPending.
+  for (; next < trace.size(); ++next) {
+    result_.requests.push_back(trace[next]);
+  }
+  result_.hit_time_limit = any_limit;
+
+  // Exactly-one-terminal-state across the fleet: every trace request
+  // appears exactly once in the union (drained requests moved — not
+  // copied — between replicas), and each is terminal unless the safety
+  // stop fired. Requires unique request ids, which the swap-stream key
+  // namespace already demands.
+  TURBO_CHECK_MSG(result_.requests.size() == trace.size(),
+                  "fleet lost or duplicated a request");
+  std::vector<std::uint64_t> ids;
+  ids.reserve(result_.requests.size());
+  for (const serving::Request& r : result_.requests) ids.push_back(r.id);
+  std::sort(ids.begin(), ids.end());
+  TURBO_CHECK_MSG(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+                  "a request reached more than one terminal state");
+  if (!result_.hit_time_limit) {
+    for (const serving::Request& r : result_.requests) {
+      TURBO_CHECK_MSG(r.outcome != serving::Outcome::kPending,
+                      "a request finished the run without a terminal state");
+    }
+  }
+  return std::move(result_);
+}
+
+FleetResult run_fleet(const FleetConfig& config,
+                      std::vector<serving::Request> trace) {
+  Router router(config);
+  return router.run(std::move(trace));
+}
+
+}  // namespace turbo::fleet

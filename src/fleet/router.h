@@ -1,0 +1,175 @@
+// Fleet serving: a health-checked router over N data-parallel engine
+// replicas with outage drain and KV-migration failover.
+//
+// Each replica is a full serving stack (continuous-batching scheduler,
+// paged KV, tiered swap store) behind the steppable Engine API. The
+// router owns the fleet clock: it interleaves replica iterations in
+// global time order, routes each arrival to a replica chosen by a
+// pluggable policy, and drives a deterministic replica health model from
+// the FaultPlan's per-replica outage windows (pure wall-clock checks —
+// no RNG draws — so a seeded fleet run is bit-identical across build
+// configurations and sanitizers).
+//
+// When a replica's clock enters its outage window the router stops
+// admitting to it, drains every in-flight request, and fails each one
+// over: requests whose KV stream survives the drain are migrated over a
+// modeled interconnect (CRC-checked; corrupt transfers are detected and
+// recovered by recomputing the KV on the destination), subject to a
+// per-request failover budget; everything else — and every request over
+// budget — re-enters through the recompute-from-prompt path, the
+// terminal fallback that turns a dead replica into latency, never lost
+// requests. Fleet invariants: every request reaches exactly one terminal
+// state across the fleet, and a drained replica leaks no pages and no
+// parked swap streams.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "serving/engine.h"
+
+namespace turbo::fleet {
+
+// How the router spreads arrivals over healthy replicas.
+enum class RoutePolicy : std::uint8_t {
+  // Rotate a cursor over healthy replicas: perfectly fair, load-blind.
+  kRoundRobin = 0,
+  // Pick the healthy replica holding the fewest KV pages: tracks actual
+  // memory pressure, so one long-context request does not queue others
+  // behind it.
+  kLeastOutstandingPages = 1,
+  // Class-aware: interactive requests go least-outstanding-pages (their
+  // TTFT pays directly for queueing), standard and batch each rotate
+  // their own round-robin cursor so bulk traffic spreads evenly without
+  // polluting the interactive placement signal.
+  kClassAware = 2,
+};
+
+inline const char* route_policy_name(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::kRoundRobin:
+      return "round-robin";
+    case RoutePolicy::kLeastOutstandingPages:
+      return "least-pages";
+    case RoutePolicy::kClassAware:
+      return "class-aware";
+  }
+  return "?";
+}
+
+struct FleetConfig {
+  // Template for every replica. Per-replica copies differ only in
+  // replica_id (namespaces swap-stream keys) and the fault seed: replica
+  // i runs at seed + i, so replicas draw independent fault streams while
+  // replica 0 keeps the base seed — a 1-replica fleet is bit-identical
+  // to run_engine() on the same config.
+  serving::EngineConfig engine;
+  std::size_t replicas = 2;
+  RoutePolicy route = RoutePolicy::kClassAware;
+  // Modeled replica-to-replica interconnect (bytes/s) carrying migrated
+  // KV streams. The default is NVLink-generation bandwidth.
+  double interconnect_bandwidth = 64.0 * 1024.0 * 1024.0 * 1024.0;
+  // Per-request failover budget: after this many replica failovers a
+  // request's KV is no longer migrated — it re-enters through the
+  // recompute path, bounding the interconnect traffic one unlucky
+  // request can generate.
+  std::size_t failover_budget = 2;
+};
+
+// The modeled interconnect. Every migration entry point takes the fault
+// injector so in-transit corruption is injectable and seed-deterministic
+// (turbo_lint rule "unfaultable-replica-channel" enforces the shape).
+class MigrationChannel {
+ public:
+  explicit MigrationChannel(double bandwidth_bytes_per_s)
+      : bandwidth_(bandwidth_bytes_per_s) {
+    TURBO_CHECK_MSG(bandwidth_ > 0.0,
+                    "interconnect bandwidth must be > 0");
+  }
+
+  struct Outcome {
+    bool corrupted = false;   // CRC mismatch detected on arrival
+    double transfer_s = 0.0;  // wire time (paid even when corrupted)
+  };
+
+  // Move one serialized KV stream between replicas.
+  Outcome migrate(std::size_t bytes, FaultInjector* fault);
+
+ private:
+  double bandwidth_;
+};
+
+struct FleetResult {
+  // Union of every replica's per-request outcomes plus any arrivals
+  // stranded unrouted by the time limit: exactly one entry per trace
+  // request, each in exactly one terminal state (kPending only when
+  // hit_time_limit).
+  std::vector<serving::Request> requests;
+  // Per-replica engine results, indexed by replica id.
+  std::vector<serving::EngineResult> replica_results;
+  double makespan_s = 0.0;  // max replica makespan
+
+  std::size_t replica_count = 0;
+  std::size_t routed = 0;             // arrivals placed on a replica
+  std::size_t replica_outages = 0;    // outage windows that fired
+  std::size_t failover_drains = 0;    // requests drained off dying replicas
+  std::size_t rerouted_waiting = 0;   // drained with no KV: plain re-routes
+  std::size_t migrations = 0;         // KV streams moved over the wire
+  std::size_t migration_corruptions = 0;  // CRC-detected transfer faults
+  // Failovers that landed through the recompute path: corrupted
+  // migrations plus streams over budget or unparkable at the source.
+  std::size_t migration_recomputes = 0;
+  std::size_t migration_budget_exhausted = 0;  // over-budget stream drops
+  bool hit_time_limit = false;  // any replica (or routing) hit the stop
+
+  double migrated_bytes = 0.0;
+  double migration_stall_s = 0.0;  // wire time across all migrations
+};
+
+// Routes one trace over a replicated fleet. Single-shot: construct, call
+// run() once.
+class Router {
+ public:
+  explicit Router(const FleetConfig& config);
+
+  // Run the trace to completion (or the max_sim_time_s safety stop).
+  // Deterministic: identical config + trace give identical results.
+  FleetResult run(std::vector<serving::Request> trace);
+
+ private:
+  // Pick the destination replica for a request at time t under the
+  // configured policy. Only healthy replicas are eligible; a down
+  // replica whose outage window has passed is revived first. When every
+  // replica is down, the one whose outage ends first is revived at its
+  // window end (the request waits out the blackout).
+  std::size_t pick_replica(const serving::Request& r, double t);
+
+  // Fail one drained request over to a healthy replica at time t:
+  // migrate its KV stream within budget, recompute otherwise.
+  void failover(const serving::MigratableRequest& m, double t);
+
+  std::size_t pick_round_robin(std::size_t& cursor, double t);
+  std::size_t pick_least_pages(double t);
+  bool eligible(std::size_t i, double t);
+  void ensure_some_replica_up(double t);
+
+  FleetConfig config_;
+  FaultInjector fleet_fault_;  // health windows + migration corruption
+  MigrationChannel channel_;
+  std::vector<serving::Engine> engines_;
+  std::vector<char> down_;          // currently inside an outage
+  std::vector<char> outage_fired_;  // window already drained this replica
+  std::size_t rr_cursor_ = 0;
+  std::size_t standard_cursor_ = 0;
+  std::size_t batch_cursor_ = 0;
+  FleetResult result_;
+  bool ran_ = false;
+};
+
+// Convenience wrapper: construct a Router and run the trace.
+FleetResult run_fleet(const FleetConfig& config,
+                      std::vector<serving::Request> trace);
+
+}  // namespace turbo::fleet

@@ -55,15 +55,23 @@ std::uint64_t splitmix64(std::uint64_t x) {
 // Degradation ladder levels.
 enum : std::size_t { kLevelNormal = 0, kLevelDownshift = 1, kLevelShed = 2 };
 
-}  // namespace
+// Everything derivable from the config before the first request arrives.
+// Validation runs here, in the same order the monolithic loop used to
+// check it, so invalid configs fail with the same message.
+struct DerivedConfig {
+  double bits_normal = 0.0;
+  double kv_per_token = 0.0;
+  double bits_degraded = 0.0;
+  std::size_t quantum = 0;
+  double page_bytes = 0.0;
+  std::size_t page_count = 0;
+  std::size_t tpp_normal = 0;
+  std::size_t tpp_degraded = 0;
+  std::size_t reserve_pages = 0;
+};
 
-EngineResult run_engine(const EngineConfig& config,
-                        std::vector<Request> trace) {
-  std::sort(trace.begin(), trace.end(),
-            [](const Request& a, const Request& b) {
-              return a.arrival_s < b.arrival_s;
-            });
-
+DerivedConfig derive_config(const EngineConfig& config) {
+  DerivedConfig d;
   const sim::ModelGeometry& geom = config.geometry;
   // KV bytes/token at an arbitrary stored precision (the method decides
   // whether kv_bits matters at all — FP16 ignores it).
@@ -74,8 +82,8 @@ EngineResult run_engine(const EngineConfig& config,
                                          geom.head_dim) *
            static_cast<double>(geom.layers);
   };
-  const double bits_normal = config.attention.kv_bits;
-  const double kv_per_token = kv_per_token_at(bits_normal);
+  d.bits_normal = config.attention.kv_bits;
+  d.kv_per_token = kv_per_token_at(d.bits_normal);
   const double kv_budget =
       config.device.hbm_capacity * config.memory_headroom -
       geom.weight_bytes_fp16();
@@ -107,18 +115,18 @@ EngineResult run_engine(const EngineConfig& config,
 
   // Degraded KV precision: the head-wise 4/2-bit mix, never *above* the
   // configured precision (downshift only).
-  const double bits_degraded =
+  d.bits_degraded =
       config.degrade.enabled
-          ? std::min(bits_normal, sim::headwise_mixed_kv_bits(
-                                      config.degrade.two_bit_head_fraction))
-          : bits_normal;
+          ? std::min(d.bits_normal,
+                     sim::headwise_mixed_kv_bits(
+                         config.degrade.two_bit_head_fraction))
+          : d.bits_normal;
 
   // Scheduler quantum: at most this many prompt tokens prefill per
   // iteration. 0 = monolithic (a whole prompt is one chunk).
-  const std::size_t quantum =
-      config.prefill_chunk_tokens == 0
-          ? std::numeric_limits<std::size_t>::max()
-          : config.prefill_chunk_tokens;
+  d.quantum = config.prefill_chunk_tokens == 0
+                  ? std::numeric_limits<std::size_t>::max()
+                  : config.prefill_chunk_tokens;
 
   // KV memory as fixed-size pages through a real allocator, so that page
   // exhaustion and injected allocation faults surface exactly where a
@@ -126,392 +134,147 @@ EngineResult run_engine(const EngineConfig& config,
   // sized for `page_tokens` tokens at the *configured* precision; KV
   // written at a downshifted precision packs proportionally more tokens
   // into the same page.
-  const double page_bytes =
-      static_cast<double>(config.page_tokens) * kv_per_token;
-  const std::size_t page_count =
-      static_cast<std::size_t>(kv_budget / page_bytes);
-  TURBO_CHECK_MSG(page_count > 0, "KV budget smaller than one page");
-  PageAllocator allocator(page_count);
-  FaultInjector fault(config.faults);
-  allocator.set_fault_injector(&fault);
-
-  // Swap mode parks preemption victims in a tiered store: tier 0 is host
-  // DRAM behind the PCIe link, tier 1 (optional) local disk. The engine
-  // runs the store in phantom mode — byte counts and placement only; the
-  // byte-level serialize/adopt path shares the same machinery in tests.
-  std::optional<TieredSwapStore> swap_store;
-  if (config.preempt_mode == PreemptMode::kSwap) {
-    TURBO_CHECK_MSG(config.swap.tiers >= 1 && config.swap.tiers <= 2,
-                    "engine supports 1 (host) or 2 (host+disk) swap tiers");
-    std::vector<SwapTier> tiers;
-    tiers.push_back(
-        {"host", config.swap.host_capacity_bytes, config.device.pcie_bandwidth});
-    if (config.swap.tiers == 2) {
-      TURBO_CHECK_MSG(config.device.disk_bandwidth > 0.0,
-                      "disk swap tier requires device disk_bandwidth > 0");
-      tiers.push_back({"disk", config.swap.disk_capacity_bytes,
-                       config.device.disk_bandwidth});
-    }
-    swap_store.emplace(std::move(tiers), config.swap.health);
-  }
-
-  EngineResult result;
-  result.requests = trace;
-  result.min_kv_bits = bits_normal;
+  d.page_bytes = static_cast<double>(config.page_tokens) * d.kv_per_token;
+  d.page_count = static_cast<std::size_t>(kv_budget / d.page_bytes);
+  TURBO_CHECK_MSG(d.page_count > 0, "KV budget smaller than one page");
 
   auto tokens_per_page_at = [&](double bits) {
-    const double ratio = kv_per_token / kv_per_token_at(bits);
+    const double ratio = d.kv_per_token / kv_per_token_at(bits);
     return std::max<std::size_t>(
         config.page_tokens,
         static_cast<std::size_t>(
             static_cast<double>(config.page_tokens) * ratio + 1e-9));
   };
-  const std::size_t tpp_normal = config.page_tokens;
-  const std::size_t tpp_degraded = tokens_per_page_at(bits_degraded);
-  auto pages_needed = [&](std::size_t tokens, double bits) {
-    const std::size_t tpp =
-        bits == bits_normal ? tpp_normal : tpp_degraded;
-    return (tokens + tpp - 1) / tpp;
-  };
+  d.tpp_normal = config.page_tokens;
+  d.tpp_degraded = tokens_per_page_at(d.bits_degraded);
+  d.reserve_pages = static_cast<std::size_t>(
+      static_cast<double>(d.page_count) * config.admit_reserve);
+  return d;
+}
 
-  // Reject requests that could never fit even with the machine to
-  // themselves. Everything else is guaranteed schedulable.
-  for (Request& r : result.requests) {
-    if (pages_needed(r.prompt_tokens + r.max_new_tokens, bits_normal) >
-        page_count) {
-      r.finish_s = r.arrival_s;  // degenerate: immediately rejected
-      r.outcome = Outcome::kRejected;
-      ++result.rejected;
+}  // namespace
+
+// The scheduler state behind Engine: every local of the old monolithic
+// run_engine loop promoted to a member, with the loop body as step().
+// The phase order inside step() is untouched — run_engine() through this
+// class is bit-identical to the pre-refactor engine.
+class EngineImpl {
+ public:
+  explicit EngineImpl(const EngineConfig& config)
+      : config_(config),
+        d_(derive_config(config)),
+        allocator_(d_.page_count),
+        fault_(config.faults),
+        class_aware_(config.policy == SchedPolicy::kClassAware),
+        iters_since_level_change_(config.degrade.window_iters) {
+    allocator_.set_fault_injector(&fault_);
+    // Swap mode parks preemption victims in a tiered store: tier 0 is
+    // host DRAM behind the PCIe link, tier 1 (optional) local disk. The
+    // engine runs the store in phantom mode — byte counts and placement
+    // only; the byte-level serialize/adopt path shares the same
+    // machinery in tests.
+    if (config_.preempt_mode == PreemptMode::kSwap) {
+      TURBO_CHECK_MSG(config_.swap.tiers >= 1 && config_.swap.tiers <= 2,
+                      "engine supports 1 (host) or 2 (host+disk) swap tiers");
+      std::vector<SwapTier> tiers;
+      tiers.push_back({"host", config_.swap.host_capacity_bytes,
+                       config_.device.pcie_bandwidth});
+      if (config_.swap.tiers == 2) {
+        TURBO_CHECK_MSG(config_.device.disk_bandwidth > 0.0,
+                        "disk swap tier requires device disk_bandwidth > 0");
+        tiers.push_back({"disk", config_.swap.disk_capacity_bytes,
+                         config_.device.disk_bandwidth});
+      }
+      swap_store_.emplace(std::move(tiers), config_.swap.health);
     }
+    result_.min_kv_bits = d_.bits_normal;
   }
 
-  const std::size_t total = result.requests.size();
-  std::size_t finished = result.rejected;
-
-  auto class_of = [&](std::size_t idx) {
-    return static_cast<std::size_t>(
-        result.requests[idx].service_class);
-  };
-  const bool class_aware = config.policy == SchedPolicy::kClassAware;
-
-  // Per-class waiting queues (FIFO within a class). Under kFifo the three
-  // queues are drained strictly in global arrival order.
-  std::array<std::deque<std::size_t>, kServiceClassCount> waiting;
-  auto waiting_empty = [&] {
-    for (const auto& q : waiting) {
-      if (!q.empty()) return false;
+  void submit(const Request& r) {
+    TURBO_CHECK_MSG(
+        pending_.empty() ||
+            result_.requests[pending_.back()].arrival_s <= r.arrival_s,
+        "submit() requires non-decreasing arrival order");
+    const std::size_t idx = result_.requests.size();
+    result_.requests.push_back(r);
+    drained_.push_back(0);
+    ++live_total_;
+    Request& q = result_.requests.back();
+    // Reject requests that could never fit even with the machine to
+    // themselves. Everything else is guaranteed schedulable. Rejected
+    // requests still ride the pending queue (skipped at arrival pull) so
+    // idle-time jumps land on the same instants the monolithic loop used.
+    if (pages_needed(q.prompt_tokens + q.max_new_tokens, d_.bits_normal) >
+        d_.page_count) {
+      q.finish_s = q.arrival_s;  // degenerate: immediately rejected
+      q.outcome = Outcome::kRejected;
+      ++result_.rejected;
+      ++finished_;
     }
-    return true;
-  };
-  std::vector<Running> running;
-  std::vector<Paused> paused;
-  std::size_t next_arrival = 0;
-  double now = 0.0;
-  // Engine iteration counter: the LRU clock for the tiered swap store
-  // (last-touch recency of parked streams).
-  std::size_t iteration = 0;
+    pending_.push_back(idx);
+  }
 
-  // --- Pressure controller (degradation ladder) state ---------------------
-  std::size_t ladder_level = kLevelNormal;
-  std::deque<double> occupancy_window;
-  std::size_t iters_since_level_change = config.degrade.window_iters;
-  auto current_bits = [&] {
-    return ladder_level >= kLevelDownshift ? bits_degraded : bits_normal;
-  };
-  // Accuracy proxy for the downshifted precision: round-trip RMSE of the
-  // two-stage progressive quantizer on a synthetic Gaussian KV block,
-  // computed once on first downshift (src/quant/error.h).
-  auto record_degrade_proxy = [&] {
-    if (result.degrade_rmse_proxy != 0.0) return;
-    const int b = std::clamp(
-        static_cast<int>(std::lround(bits_degraded)), 2, 4);
-    MatrixF sample(128, std::max<std::size_t>(geom.head_dim, 16));
-    Rng rng(0xACC);
-    for (std::size_t r = 0; r < sample.rows(); ++r) {
-      rng.fill_normal(sample.row(r), 0.0, 1.0);
+  void adopt(const MigratableRequest& m, double eligible_s,
+             bool with_stream) {
+    const std::size_t idx = result_.requests.size();
+    result_.requests.push_back(m.request);
+    drained_.push_back(0);
+    ++live_total_;
+    Request& r = result_.requests.back();
+    TURBO_CHECK_MSG(r.outcome == Outcome::kPending,
+                    "adopt() of a request already in a terminal state");
+    if (m.context == 0) {
+      // Nothing was cached at drain: a plain re-route. The request joins
+      // the destination's waiting queue and admits class-aware like any
+      // fresh arrival.
+      waiting_[class_of(idx)].push_back(idx);
+      return;
     }
-    result.degrade_rmse_proxy =
-        progressive_quant_rmse(sample, bit_width_from_int(b), 64);
-  };
-
-  // Cost of prefilling a `chunk`-token slice with `cached` tokens already
-  // resident (stored at `bits`): attention spans cached + chunk, GEMMs
-  // cover the chunk only.
-  auto chunk_cost = [&](std::size_t chunk, std::size_t cached,
-                        double bits) {
-    sim::InferenceConfig pcfg;
-    pcfg.method = config.method;
-    pcfg.attention = config.attention;
-    pcfg.attention.kv_bits = bits;
-    pcfg.batch = 1;
-    pcfg.prompt = chunk;
-    return sim::chunk_prefill_breakdown(config.device, geom, pcfg, cached)
-        .total();
-  };
-  // Monolithic prefill over `tokens` (recompute of evicted context).
-  auto prefill_cost = [&](std::size_t tokens, double bits) {
-    return chunk_cost(tokens, 0, bits);
-  };
-
-  // Allocate `n` pages or none (failed attempts roll back).
-  auto try_alloc = [&](std::size_t n, std::vector<PageId>& out) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const PageId p = allocator.allocate();
-      if (p == kInvalidPage) {
-        while (!out.empty()) {
-          allocator.release(out.back());
-          out.pop_back();
-        }
-        return false;
-      }
-      out.push_back(p);
-    }
-    return true;
-  };
-
-  auto release_all = [&](std::vector<PageId>& pages) {
-    for (const PageId p : pages) allocator.release(p);
-    pages.clear();
-  };
-
-  // Bounded exponential backoff with deterministic seeded jitter: victims
-  // evicted in the same round (equal backoff) get distinct re-admission
-  // times keyed by (jitter_seed, request id, eviction count), so they do
-  // not stampede one re-admission pass. Jitter stretches the delay by at
-  // most `backoff_jitter`; it never shortens it, so the cap still bounds
-  // the un-jittered wait.
-  auto backoff_for = [&](const Request& r) {
-    const std::size_t n = r.preemptions;
-    const std::size_t exp = std::min<std::size_t>(n > 0 ? n - 1 : 0, 16);
-    double delay = std::min(config.backoff_cap_s,
-                            config.backoff_base_s *
-                                static_cast<double>(std::size_t{1} << exp));
-    if (config.backoff_jitter > 0.0) {
-      const std::uint64_t h = splitmix64(
-          config.jitter_seed ^ splitmix64(r.id * 0x100000001b3ull + n));
-      const double u =
-          static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
-      delay *= 1.0 + config.backoff_jitter * u;
-    }
-    return delay;
-  };
-
-  // Evict running[j]: swap its pages to the host store (PCIe cost) or
-  // drop them for recomputation. A victim with nothing cached yet
-  // (preempted before its first chunk) has nothing to swap and is simply
-  // dropped. Returns the transfer stall incurred.
-  auto preempt = [&](Running& victim) {
-    Request& r = result.requests[victim.trace_index];
-    ++result.preemptions;
-    ++r.preemptions;
-    result.max_preemptions_single_request =
-        std::max(result.max_preemptions_single_request, r.preemptions);
-    Paused p{victim.trace_index, victim.context,  victim.remaining,
-             victim.prompt_left, now + backoff_for(r), false,
-             0.0,                victim.kv_bits};
-    double stall = 0.0;
-    if (config.preempt_mode == PreemptMode::kSwap) {
-      // A victim with nothing cached yet (evicted before its first
-      // prefill chunk) has no stream to move: zero-cost "swap".
-      if (victim.context > 0) {
-        const double bytes =
-            static_cast<double>(victim.pages.size()) * page_bytes;
-        const TieredSwapStore::StoreOutcome so = swap_store->store_phantom(
-            r.id, static_cast<std::size_t>(bytes), iteration, now, &fault);
-        if (so.stored) {
-          ++result.preempted_swap;
-          p.swapped = true;
-          p.bytes = bytes;
-          result.swap_out_bytes += p.bytes;
-          stall = so.transfer_s;
-          result.tier_demotions += so.demotions;
-        } else {
-          // Every tier full or unreachable: the stream has nowhere to
-          // go, so this victim degrades to recompute-on-re-admission.
-          ++result.preempted_recompute;
-          ++result.swap_overflow_recomputes;
-        }
+    Paused p{idx,        m.context, m.remaining, m.prompt_left,
+             eligible_s, false,     0.0,         m.kv_bits};
+    if (with_stream && m.has_stream && swap_store_.has_value()) {
+      // Park the migrated bytes in this replica's own tiered store so the
+      // normal re-admission machinery (promote, fetch, CRC, recompute
+      // fallback) restores them; the host-tier write cost is the landing
+      // leg of the migration.
+      const TieredSwapStore::StoreOutcome so = swap_store_->store_phantom(
+          stream_key(r.id), static_cast<std::size_t>(m.bytes), iteration_,
+          now_, &fault_);
+      if (so.stored) {
+        p.swapped = true;
+        p.bytes = m.bytes;
+        p.eligible_s += so.transfer_s;
+        result_.tier_demotions += so.demotions;
       } else {
-        ++result.preempted_swap;
-      }
-    } else {
-      ++result.preempted_recompute;
-    }
-    release_all(victim.pages);
-    paused.push_back(p);
-    return stall;
-  };
-
-  // Preemption victim among alive running requests: non-pinned first;
-  // then (class-aware) the lowest service class — batch evicted before
-  // standard before interactive; then lowest Request::priority; then
-  // latest arrival. Returns running.size() when nothing is eligible.
-  auto pick_victim = [&](const std::vector<char>& dead) {
-    std::size_t best = running.size();
-    for (std::size_t j = 0; j < running.size(); ++j) {
-      if (dead[j] != 0) continue;
-      if (best == running.size()) {
-        best = j;
-        continue;
-      }
-      const Request& r = result.requests[running[j].trace_index];
-      const Request& b = result.requests[running[best].trace_index];
-      if (running[j].pinned != running[best].pinned) {
-        if (!running[j].pinned) best = j;
-        continue;
-      }
-      if (class_aware && r.service_class != b.service_class) {
-        if (static_cast<int>(r.service_class) >
-            static_cast<int>(b.service_class)) {
-          best = j;  // lower tier (higher enum value) evicted first
-        }
-        continue;
-      }
-      if (r.priority != b.priority) {
-        if (r.priority < b.priority) best = j;
-        continue;
-      }
-      if (r.arrival_s > b.arrival_s ||
-          (r.arrival_s == b.arrival_s && r.id > b.id)) {
-        best = j;
+        // No tier had room: the migrated copy is dropped and the request
+        // degrades to recompute, the same overflow fallback a preemption
+        // victim takes.
+        ++result_.swap_overflow_recomputes;
       }
     }
-    return best;
-  };
+    paused_.push_back(p);
+  }
 
-  // Grow running[i]'s page list until it backs `target` tokens, evicting
-  // victims on genuine exhaustion. An injected allocation fault evicts
-  // running[i] itself (a degraded step). Returns false when running[i]
-  // was evicted (its dead[] slot is set).
-  auto ensure_pages = [&](std::size_t i, std::size_t target,
-                          std::vector<char>& dead, double& stall,
-                          bool& degraded) {
-    while (running[i].pages.size() <
-           pages_needed(target, running[i].kv_bits)) {
-      const std::size_t injected_before = allocator.injected_failures();
-      const PageId page = allocator.allocate();
-      if (page != kInvalidPage) {
-        running[i].pages.push_back(page);
-        continue;
-      }
-      if (allocator.injected_failures() > injected_before) {
-        // The fault hit this request's allocation: it is the victim.
-        stall += preempt(running[i]);
-        dead[i] = 1;
-        degraded = true;
-        return false;
-      }
-      const std::size_t v = pick_victim(dead);
-      TURBO_CHECK_MSG(v < running.size(),
-                      "page exhaustion with no evictable request");
-      stall += preempt(running[v]);
-      dead[v] = 1;
-      if (v == i) return false;  // evicted itself; no page needed
-    }
-    return true;
-  };
-
-  auto compact_running = [&](std::vector<char>& dead) {
-    std::vector<Running> alive;
-    alive.reserve(running.size());
-    for (std::size_t i = 0; i < running.size(); ++i) {
-      if (dead[i] == 0) alive.push_back(std::move(running[i]));
-    }
-    running.swap(alive);
-  };
-
-  // A request has irrecoverably missed a deadline: its TTFT deadline
-  // passed with no first token, or its e2e deadline passed unfinished.
-  auto deadline_expired = [&](const Request& r) {
-    if (!config.enforce_deadlines) return false;
-    if (r.ttft_deadline_s > 0.0 && r.first_token_s < 0.0 &&
-        now > r.arrival_s + r.ttft_deadline_s + kDeadlineSlack) {
-      return true;
-    }
-    if (r.e2e_deadline_s > 0.0 &&
-        now > r.arrival_s + r.e2e_deadline_s + kDeadlineSlack) {
-      return true;
-    }
-    return false;
-  };
-  auto time_out = [&](Request& r) {
-    r.finish_s = now;
-    r.outcome = Outcome::kTimedOut;
-    ++result.timed_out;
-    ++finished;
-  };
-
-  // Pin threshold for a request's class (0 in ClassPolicy = inherit the
-  // engine-wide default).
-  auto pin_threshold = [&](std::size_t idx) {
-    const std::size_t per_class =
-        config.classes[class_of(idx)].pin_after_preemptions;
-    return per_class > 0 ? per_class : config.pin_after_preemptions;
-  };
-
-  // Pages currently held by running requests of a class (swapped-out
-  // requests hold none).
-  auto class_used_pages = [&](std::size_t c) {
-    std::size_t used = 0;
-    for (const Running& ru : running) {
-      if (class_of(ru.trace_index) == c) used += ru.pages.size();
-    }
-    return used;
-  };
-  auto guaranteed_pages = [&](std::size_t c) {
-    return static_cast<std::size_t>(config.classes[c].page_share *
-                                    static_cast<double>(page_count));
-  };
-  // A class has demand when it has waiting or paused requests — its
-  // unmet guarantee is then protected from borrowing by other classes.
-  auto class_has_demand = [&](std::size_t c) {
-    if (!waiting[c].empty()) return true;
-    for (const Paused& p : paused) {
-      if (class_of(p.trace_index) == c) return true;
-    }
-    return false;
-  };
-
-  const std::size_t reserve_pages = static_cast<std::size_t>(
-      static_cast<double>(page_count) * config.admit_reserve);
-
-  // Can a fresh request of class `c` take `needed` pages right now?
-  // Within its guaranteed share a class bypasses the admit reserve;
-  // borrowing beyond it must leave the reserve plus every other
-  // demanding class's unmet guarantee free (work-conserving quotas).
-  auto admission_allowed = [&](std::size_t c, std::size_t needed) {
-    const std::size_t free = allocator.free_pages();
-    const std::size_t reserve = running.empty() ? 0 : reserve_pages;
-    if (!class_aware) return free >= needed + reserve;
-    if (class_used_pages(c) + needed <= guaranteed_pages(c)) {
-      return free >= needed;
-    }
-    std::size_t protected_deficit = 0;
-    for (std::size_t d = 0; d < kServiceClassCount; ++d) {
-      if (d == c || !class_has_demand(d)) continue;
-      const std::size_t used = class_used_pages(d);
-      const std::size_t guaranteed = guaranteed_pages(d);
-      if (used < guaranteed) protected_deficit += guaranteed - used;
-    }
-    return free >= needed + reserve + protected_deficit;
-  };
-
-  while (finished < total && now < config.max_sim_time_s) {
-    ++iteration;
+  // One scheduler iteration — the body of the old while loop, verbatim.
+  // Returns false at the old `break`: nothing running, waiting, paused
+  // or pending.
+  bool step(double horizon_s) {
+    ++iteration_;
     // Pull arrivals whose time has come.
-    while (next_arrival < total &&
-           result.requests[next_arrival].arrival_s <= now) {
-      if (result.requests[next_arrival].outcome == Outcome::kPending) {
-        waiting[class_of(next_arrival)].push_back(next_arrival);
+    while (!pending_.empty() &&
+           result_.requests[pending_.front()].arrival_s <= now_) {
+      const std::size_t idx = pending_.front();
+      pending_.pop_front();
+      if (result_.requests[idx].outcome == Outcome::kPending) {
+        waiting_[class_of(idx)].push_back(idx);
       }
-      ++next_arrival;
     }
 
     // --- Deadline enforcement: waiting, paused, then running ------------
-    if (config.enforce_deadlines) {
-      for (auto& queue : waiting) {
+    if (config_.enforce_deadlines) {
+      for (auto& queue : waiting_) {
         for (std::size_t qi = 0; qi < queue.size();) {
-          Request& r = result.requests[queue[qi]];
+          Request& r = result_.requests[queue[qi]];
           if (deadline_expired(r)) {
             time_out(r);
             queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
@@ -520,26 +283,26 @@ EngineResult run_engine(const EngineConfig& config,
           }
         }
       }
-      for (std::size_t pi = 0; pi < paused.size();) {
-        Request& r = result.requests[paused[pi].trace_index];
+      for (std::size_t pi = 0; pi < paused_.size();) {
+        Request& r = result_.requests[paused_[pi].trace_index];
         if (deadline_expired(r)) {
           // Pages were released at eviction; a swapped victim also drops
           // its parked stream so the store cannot leak terminal state.
-          if (paused[pi].swapped) swap_store->erase(r.id);
+          if (paused_[pi].swapped) swap_store_->erase(stream_key(r.id));
           time_out(r);
-          paused.erase(paused.begin() + static_cast<std::ptrdiff_t>(pi));
+          paused_.erase(paused_.begin() + static_cast<std::ptrdiff_t>(pi));
         } else {
           ++pi;
         }
       }
       {
-        std::vector<char> dead(running.size(), 0);
+        std::vector<char> dead(running_.size(), 0);
         bool any = false;
-        for (std::size_t i = 0; i < running.size(); ++i) {
-          Request& r = result.requests[running[i].trace_index];
+        for (std::size_t i = 0; i < running_.size(); ++i) {
+          Request& r = result_.requests[running_[i].trace_index];
           if (!deadline_expired(r)) continue;
           time_out(r);
-          release_all(running[i].pages);
+          release_all(running_[i].pages);
           dead[i] = 1;
           any = true;
         }
@@ -548,46 +311,46 @@ EngineResult run_engine(const EngineConfig& config,
     }
 
     // --- Pressure controller: sample occupancy, walk the ladder ---------
-    if (config.degrade.enabled) {
-      occupancy_window.push_back(
-          static_cast<double>(allocator.used_pages()) /
-          static_cast<double>(page_count));
-      if (occupancy_window.size() > config.degrade.window_iters) {
-        occupancy_window.pop_front();
+    if (config_.degrade.enabled) {
+      occupancy_window_.push_back(
+          static_cast<double>(allocator_.used_pages()) /
+          static_cast<double>(d_.page_count));
+      if (occupancy_window_.size() > config_.degrade.window_iters) {
+        occupancy_window_.pop_front();
       }
-      ++iters_since_level_change;
-      if (occupancy_window.size() == config.degrade.window_iters &&
-          iters_since_level_change >= config.degrade.window_iters) {
+      ++iters_since_level_change_;
+      if (occupancy_window_.size() == config_.degrade.window_iters &&
+          iters_since_level_change_ >= config_.degrade.window_iters) {
         double mean = 0.0;
-        for (const double o : occupancy_window) mean += o;
-        mean /= static_cast<double>(occupancy_window.size());
-        if (mean > config.degrade.high_watermark &&
-            ladder_level < kLevelShed) {
-          ++ladder_level;
-          ++result.ladder_escalations;
-          iters_since_level_change = 0;
-        } else if (mean < config.degrade.low_watermark &&
-                   ladder_level > kLevelNormal) {
-          --ladder_level;
-          ++result.ladder_deescalations;
-          iters_since_level_change = 0;
+        for (const double o : occupancy_window_) mean += o;
+        mean /= static_cast<double>(occupancy_window_.size());
+        if (mean > config_.degrade.high_watermark &&
+            ladder_level_ < kLevelShed) {
+          ++ladder_level_;
+          ++result_.ladder_escalations;
+          iters_since_level_change_ = 0;
+        } else if (mean < config_.degrade.low_watermark &&
+                   ladder_level_ > kLevelNormal) {
+          --ladder_level_;
+          ++result_.ladder_deescalations;
+          iters_since_level_change_ = 0;
         }
       }
-      if (ladder_level >= kLevelDownshift) ++result.degraded_iterations;
+      if (ladder_level_ >= kLevelDownshift) ++result_.degraded_iterations;
 
       // Shed level: drop the newest waiting batch-class (then
       // standard-class) requests — admission control at the door.
       // Interactive is never shed.
-      if (ladder_level >= kLevelShed) {
-        std::size_t budget = config.degrade.max_shed_per_iter;
+      if (ladder_level_ >= kLevelShed) {
+        std::size_t budget = config_.degrade.max_shed_per_iter;
         for (std::size_t c = kServiceClassCount; c-- > 1 && budget > 0;) {
-          while (budget > 0 && !waiting[c].empty()) {
-            Request& r = result.requests[waiting[c].back()];
-            waiting[c].pop_back();
-            r.finish_s = now;
+          while (budget > 0 && !waiting_[c].empty()) {
+            Request& r = result_.requests[waiting_[c].back()];
+            waiting_[c].pop_back();
+            r.finish_s = now_;
             r.outcome = Outcome::kShed;
-            ++result.shed;
-            ++finished;
+            ++result_.shed;
+            ++finished_;
             --budget;
           }
         }
@@ -599,11 +362,11 @@ EngineResult run_engine(const EngineConfig& config,
     // earlier arrival. No overtaking: the first re-admission that cannot
     // get pages ends the pass, which keeps the backoff queue fair.
     double admit_latency = 0.0;
-    std::sort(paused.begin(), paused.end(),
+    std::sort(paused_.begin(), paused_.end(),
               [&](const Paused& a, const Paused& b) {
-                const Request& ra = result.requests[a.trace_index];
-                const Request& rb = result.requests[b.trace_index];
-                if (class_aware && ra.service_class != rb.service_class) {
+                const Request& ra = result_.requests[a.trace_index];
+                const Request& rb = result_.requests[b.trace_index];
+                if (class_aware_ && ra.service_class != rb.service_class) {
                   return static_cast<int>(ra.service_class) <
                          static_cast<int>(rb.service_class);
                 }
@@ -615,9 +378,9 @@ EngineResult run_engine(const EngineConfig& config,
                 }
                 return ra.id < rb.id;
               });
-    for (std::size_t pi = 0; pi < paused.size();) {
-      Paused& p = paused[pi];
-      if (p.eligible_s > now || running.size() >= config.max_batch) {
+    for (std::size_t pi = 0; pi < paused_.size();) {
+      Paused& p = paused_[pi];
+      if (p.eligible_s > now_ || running_.size() >= config_.max_batch) {
         ++pi;
         continue;
       }
@@ -632,90 +395,91 @@ EngineResult run_engine(const EngineConfig& config,
         // swap-in reads at host-link speed instead of disk speed.
         if (p.swapped && !p.promote_tried) {
           double promote_s = 0.0;
-          if (swap_store->promote(result.requests[p.trace_index].id,
-                                  iteration, now, &fault, &promote_s)) {
-            ++result.tier_promotions;
+          if (swap_store_->promote(
+                  stream_key(result_.requests[p.trace_index].id),
+                  iteration_, now_, &fault_, &promote_s)) {
+            ++result_.tier_promotions;
             admit_latency += promote_s;
-            result.swap_stall_s += promote_s;
+            result_.swap_stall_s += promote_s;
           }
           p.promote_tried = true;
         }
-        p.eligible_s = now + config.backoff_base_s;  // retry tick
-        break;                                       // no overtaking
+        p.eligible_s = now_ + config_.backoff_base_s;  // retry tick
+        break;                                         // no overtaking
       }
-      Request& r = result.requests[p.trace_index];
+      Request& r = result_.requests[p.trace_index];
       if (p.swapped) {
         const TieredSwapStore::FetchOutcome fo =
-            swap_store->fetch(r.id, iteration, now, &fault);
+            swap_store_->fetch(stream_key(r.id), iteration_, now_, &fault_);
         TURBO_CHECK_MSG(fo.status != TieredSwapStore::FetchStatus::kMissing,
                         "swapped request lost its parked stream");
         admit_latency += fo.stall_s;
-        result.tier_retry_stall_s += fo.stall_s;
-        result.tier_failovers += fo.failovers;
+        result_.tier_retry_stall_s += fo.stall_s;
+        result_.tier_failovers += fo.failovers;
         r.tier_failovers += fo.failovers;
-        result.tier_fetch_retries += fo.retries;
+        result_.tier_fetch_retries += fo.retries;
         if (fo.status == TieredSwapStore::FetchStatus::kUnavailable) {
           // Failover exhausted: every tier holding the stream is down.
           // The engine never hangs on a dead hierarchy — drop the parked
           // stream and recompute the KV (at the current ladder
           // precision, like any recompute). Not a checksum recovery.
-          swap_store->erase(r.id);
-          ++result.swap_unavailable_recomputes;
+          swap_store_->erase(stream_key(r.id));
+          ++result_.swap_unavailable_recomputes;
           bits = current_bits();
           const double cost = prefill_cost(p.context, bits);
           admit_latency += cost;
-          result.busy_s += cost;
+          result_.busy_s += cost;
           r.recomputed_tokens += p.context;
-          result.recomputed_tokens += p.context;
+          result_.recomputed_tokens += p.context;
         } else {
           admit_latency += fo.transfer_s;
-          result.swap_stall_s += fo.transfer_s;
-          result.swap_in_bytes += p.bytes;
+          result_.swap_stall_s += fo.transfer_s;
+          result_.swap_in_bytes += p.bytes;
           // Two corruption sources: the legacy in-transit stream fault
           // and the per-tier media fault. Either way the CRC catches it
           // on the way back in and the pages cannot be adopted —
           // recover by recomputing them.
-          const bool transit_corrupt = fault.corrupt_stream();
+          const bool transit_corrupt = fault_.corrupt_stream();
           if (transit_corrupt || fo.corrupted) {
-            ++result.checksum_failures;
+            ++result_.checksum_failures;
             bits = current_bits();
             const double cost = prefill_cost(p.context, bits);
             admit_latency += cost;
-            result.busy_s += cost;
+            result_.busy_s += cost;
             r.recomputed_tokens += p.context;
-            result.recomputed_tokens += p.context;
-            ++result.recoveries;
+            result_.recomputed_tokens += p.context;
+            ++result_.recoveries;
           } else {
-            ++result.swap_ins;
+            ++result_.swap_ins;
           }
-          swap_store->erase(r.id);
+          swap_store_->erase(stream_key(r.id));
         }
       } else if (p.context > 0) {
         // Recompute mode: re-derive the evicted KV with a fresh prefill
         // over everything that was cached (prompt prefix + generated).
         const double cost = prefill_cost(p.context, bits);
         admit_latency += cost;
-        result.busy_s += cost;
+        result_.busy_s += cost;
         r.recomputed_tokens += p.context;
-        result.recomputed_tokens += p.context;
+        result_.recomputed_tokens += p.context;
       }
-      if (bits < bits_normal) {
-        ++result.degraded_admissions;
+      if (bits < d_.bits_normal) {
+        ++result_.degraded_admissions;
         record_degrade_proxy();
       }
       r.kv_bits_used = bits;
-      result.min_kv_bits = std::min(result.min_kv_bits, bits);
+      result_.min_kv_bits = std::min(result_.min_kv_bits, bits);
       // A partially-prefilled victim resumes from its cursor: the chunk
       // loop below continues with p.prompt_left tokens still to go.
-      running.push_back({p.trace_index, p.context, p.remaining,
-                         p.prompt_left, std::move(pages),
-                         r.preemptions >= pin_threshold(p.trace_index),
-                         bits});
-      paused.erase(paused.begin() + static_cast<std::ptrdiff_t>(pi));
+      running_.push_back({p.trace_index, p.context, p.remaining,
+                          p.prompt_left, std::move(pages),
+                          r.preemptions >= pin_threshold(p.trace_index),
+                          bits});
+      paused_.erase(paused_.begin() + static_cast<std::ptrdiff_t>(pi));
     }
-    now += admit_latency;
+    now_ += admit_latency;
 
-    // --- Fresh admission ---------------------------------------------------
+    // --- Fresh admission -------------------------------------------------
     // Optimistic and chunk-aware: a request needs only its first chunk's
     // pages to start (the prefill cursor allocates the rest as it
     // advances); decode growth is backed by preemption. Under kFifo the
@@ -735,20 +499,21 @@ EngineResult run_engine(const EngineConfig& config,
       // requests protected). Without this, a saturated pool would make
       // every guarantee worthless exactly when it matters.
       auto reclaim_for_guarantee = [&](std::size_t c, std::size_t needed) {
-        while (allocator.free_pages() < needed) {
-          std::size_t best = running.size();
-          for (std::size_t j = 0; j < running.size(); ++j) {
-            if (running[j].pinned) continue;
-            const std::size_t jc = class_of(running[j].trace_index);
+        while (allocator_.free_pages() < needed) {
+          std::size_t best = running_.size();
+          for (std::size_t j = 0; j < running_.size(); ++j) {
+            if (running_[j].pinned) continue;
+            const std::size_t jc = class_of(running_[j].trace_index);
             if (jc == c) continue;
             if (class_used_pages(jc) <= guaranteed_pages(jc)) continue;
-            if (best == running.size()) {
+            if (best == running_.size()) {
               best = j;
               continue;
             }
-            const Request& rj = result.requests[running[j].trace_index];
-            const Request& rb = result.requests[running[best].trace_index];
-            const std::size_t bc = class_of(running[best].trace_index);
+            const Request& rj = result_.requests[running_[j].trace_index];
+            const Request& rb =
+                result_.requests[running_[best].trace_index];
+            const std::size_t bc = class_of(running_[best].trace_index);
             if (jc != bc) {
               if (jc > bc) best = j;
               continue;
@@ -762,56 +527,56 @@ EngineResult run_engine(const EngineConfig& config,
               best = j;
             }
           }
-          if (best == running.size()) break;  // nothing reclaimable
-          reclaim_stall += preempt(running[best]);
-          running.erase(running.begin() +
-                        static_cast<std::ptrdiff_t>(best));
+          if (best == running_.size()) break;  // nothing reclaimable
+          reclaim_stall += preempt(running_[best]);
+          running_.erase(running_.begin() +
+                         static_cast<std::ptrdiff_t>(best));
         }
       };
       auto admit_one = [&](std::size_t c) -> bool {
-        const std::size_t idx = waiting[c].front();
-        const Request& r = result.requests[idx];
+        const std::size_t idx = waiting_[c].front();
+        const Request& r = result_.requests[idx];
         const std::size_t first_chunk =
-            std::min(r.prompt_tokens + 1, quantum);
+            std::min(r.prompt_tokens + 1, d_.quantum);
         const std::size_t needed = pages_needed(first_chunk, admit_bits);
-        if (class_aware && allocator.free_pages() < needed &&
+        if (class_aware_ && allocator_.free_pages() < needed &&
             class_used_pages(c) + needed <= guaranteed_pages(c)) {
           reclaim_for_guarantee(c, needed);
         }
         if (!admission_allowed(c, needed)) return false;
         std::vector<PageId> pages;
         if (!try_alloc(needed, pages)) return false;  // injected failure
-        Request& mut = result.requests[idx];
-        if (admit_bits < bits_normal) {
-          ++result.degraded_admissions;
+        Request& mut = result_.requests[idx];
+        if (admit_bits < d_.bits_normal) {
+          ++result_.degraded_admissions;
           record_degrade_proxy();
         }
         mut.kv_bits_used = admit_bits;
-        result.min_kv_bits = std::min(result.min_kv_bits, admit_bits);
-        running.push_back({idx, 0, r.max_new_tokens, r.prompt_tokens,
-                           std::move(pages), false, admit_bits});
-        waiting[c].pop_front();
+        result_.min_kv_bits = std::min(result_.min_kv_bits, admit_bits);
+        running_.push_back({idx, 0, r.max_new_tokens, r.prompt_tokens,
+                            std::move(pages), false, admit_bits});
+        waiting_[c].pop_front();
         return true;
       };
-      if (class_aware) {
+      if (class_aware_) {
         for (std::size_t c = 0; c < kServiceClassCount; ++c) {
-          while (!waiting[c].empty() &&
-                 running.size() < config.max_batch) {
+          while (!waiting_[c].empty() &&
+                 running_.size() < config_.max_batch) {
             if (!admit_one(c)) break;
           }
         }
       } else {
-        while (!waiting_empty() && running.size() < config.max_batch) {
+        while (!waiting_empty() && running_.size() < config_.max_batch) {
           // Global arrival order across the per-class queues.
           std::size_t best = kServiceClassCount;
           for (std::size_t c = 0; c < kServiceClassCount; ++c) {
-            if (waiting[c].empty()) continue;
+            if (waiting_[c].empty()) continue;
             if (best == kServiceClassCount) {
               best = c;
               continue;
             }
-            const Request& rc = result.requests[waiting[c].front()];
-            const Request& rb = result.requests[waiting[best].front()];
+            const Request& rc = result_.requests[waiting_[c].front()];
+            const Request& rb = result_.requests[waiting_[best].front()];
             if (rc.arrival_s < rb.arrival_s ||
                 (rc.arrival_s == rb.arrival_s && rc.id < rb.id)) {
               best = c;
@@ -820,22 +585,25 @@ EngineResult run_engine(const EngineConfig& config,
           if (!admit_one(best)) break;
         }
       }
-      now += reclaim_stall;
-      result.swap_stall_s += reclaim_stall;
+      now_ += reclaim_stall;
+      result_.swap_stall_s += reclaim_stall;
     }
-    result.peak_batch = std::max(result.peak_batch, running.size());
+    result_.peak_batch = std::max(result_.peak_batch, running_.size());
 
-    if (running.empty()) {
+    if (running_.empty()) {
       // Idle: jump to the next event (arrival, backoff expiry or — so
-      // timeouts are stamped when they happen — a deadline expiry).
+      // timeouts are stamped when they happen — a deadline expiry). The
+      // caller's horizon caps the jump: arrivals the router has not
+      // submitted yet live exactly at the horizon, so a fleet replica
+      // idles to the same instants the standalone engine would.
       double next_event = std::numeric_limits<double>::infinity();
-      if (next_arrival < total) {
-        next_event = result.requests[next_arrival].arrival_s;
+      if (!pending_.empty()) {
+        next_event = result_.requests[pending_.front()].arrival_s;
       }
-      for (const Paused& p : paused) {
+      for (const Paused& p : paused_) {
         next_event = std::min(next_event, p.eligible_s);
       }
-      if (config.enforce_deadlines) {
+      if (config_.enforce_deadlines) {
         auto expiry_of = [&](const Request& r) {
           double e = std::numeric_limits<double>::infinity();
           if (r.ttft_deadline_s > 0.0 && r.first_token_s < 0.0) {
@@ -848,32 +616,35 @@ EngineResult run_engine(const EngineConfig& config,
           // in deadline_expired() fires and the loop makes progress.
           return e + 2.0 * kDeadlineSlack;
         };
-        for (const auto& queue : waiting) {
+        for (const auto& queue : waiting_) {
           for (const std::size_t idx : queue) {
             next_event =
-                std::min(next_event, expiry_of(result.requests[idx]));
+                std::min(next_event, expiry_of(result_.requests[idx]));
           }
         }
-        for (const Paused& p : paused) {
-          next_event =
-              std::min(next_event, expiry_of(result.requests[p.trace_index]));
+        for (const Paused& p : paused_) {
+          next_event = std::min(next_event,
+                                expiry_of(result_.requests[p.trace_index]));
         }
       }
-      if (std::isfinite(next_event) && next_event > now) {
-        now = next_event;
-        continue;
+      if (horizon_s > now_ && horizon_s < next_event) {
+        next_event = horizon_s;
+      }
+      if (std::isfinite(next_event) && next_event > now_) {
+        now_ = next_event;
+        return true;
       }
       if (!waiting_empty()) {
         // Admission blocked with an empty machine: only injected
         // allocation faults can do this. Retry after a tick.
-        now += config.backoff_base_s;
-        continue;
+        now_ += config_.backoff_base_s;
+        return true;
       }
-      if (!paused.empty() || next_arrival < total) {
-        now += config.backoff_base_s;
-        continue;
+      if (!paused_.empty() || !pending_.empty()) {
+        now_ += config_.backoff_base_s;
+        return true;
       }
-      break;  // nothing running, waiting, paused or arriving
+      return false;  // nothing running, waiting, paused or pending
     }
 
     // --- Chunked prefill: one scheduler quantum of prompt tokens ---
@@ -888,61 +659,62 @@ EngineResult run_engine(const EngineConfig& config,
     {
       double stall = 0.0;
       bool degraded = false;
-      std::vector<char> dead(running.size(), 0);
-      std::vector<std::size_t> order(running.size());
+      std::vector<char> dead(running_.size(), 0);
+      std::vector<std::size_t> order(running_.size());
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-      if (class_aware) {
+      if (class_aware_) {
         std::stable_sort(order.begin(), order.end(),
                          [&](std::size_t a, std::size_t b) {
-                           return class_of(running[a].trace_index) <
-                                  class_of(running[b].trace_index);
+                           return class_of(running_[a].trace_index) <
+                                  class_of(running_[b].trace_index);
                          });
       }
-      std::size_t budget = quantum;
+      std::size_t budget = d_.quantum;
       for (std::size_t oi = 0; oi < order.size() && budget > 0; ++oi) {
         const std::size_t i = order[oi];
         if (dead[i] != 0) continue;
-        if (running[i].prompt_left == 0) continue;
-        const std::size_t chunk = std::min(running[i].prompt_left, budget);
-        const bool last = chunk == running[i].prompt_left;
+        if (running_[i].prompt_left == 0) continue;
+        const std::size_t chunk =
+            std::min(running_[i].prompt_left, budget);
+        const bool last = chunk == running_[i].prompt_left;
         // The last chunk also backs the first generated token's slot.
         const std::size_t target =
-            running[i].context + chunk + (last ? 1 : 0);
+            running_[i].context + chunk + (last ? 1 : 0);
         if (!ensure_pages(i, target, dead, stall, degraded)) continue;
-        Running& ru = running[i];
-        Request& r = result.requests[ru.trace_index];
-        if (r.prefill_start_s < 0.0) r.prefill_start_s = now;
+        Running& ru = running_[i];
+        Request& r = result_.requests[ru.trace_index];
+        if (r.prefill_start_s < 0.0) r.prefill_start_s = now_;
         const double cost = chunk_cost(chunk, ru.context, ru.kv_bits);
-        now += cost;
-        result.busy_s += cost;
+        now_ += cost;
+        result_.busy_s += cost;
         ru.context += chunk;
         ru.prompt_left -= chunk;
         budget -= chunk;
         if (ru.prompt_left > 0) continue;
         // The prompt's last-position output is the first generated token.
         if (r.generated == 0 && ru.remaining > 0) {
-          r.first_token_s = now;
+          r.first_token_s = now_;
           r.generated = 1;
           ru.remaining -= 1;
           ru.context += 1;
         }
         if (ru.remaining == 0) {
-          r.finish_s = now;
+          r.finish_s = now_;
           r.outcome = Outcome::kCompleted;
           release_all(ru.pages);
-          ++finished;
+          ++finished_;
           dead[i] = 1;
         }
       }
       compact_running(dead);
-      now += stall;
-      result.swap_stall_s += stall;
-      if (degraded) ++result.degraded_steps;
-      result.peak_kv_bytes =
-          std::max(result.peak_kv_bytes,
-                   static_cast<double>(allocator.used_pages()) * page_bytes);
+      now_ += stall;
+      result_.swap_stall_s += stall;
+      if (degraded) ++result_.degraded_steps;
+      result_.peak_kv_bytes = std::max(
+          result_.peak_kv_bytes,
+          static_cast<double>(allocator_.used_pages()) * d_.page_bytes);
     }
-    if (running.empty()) continue;  // everyone finished or was evicted
+    if (running_.empty()) return true;  // everyone finished or was evicted
 
     // --- Decode-step page growth; preemption is the backstop ---
     // Each decoding request about to append token `context + 1` may need
@@ -953,18 +725,18 @@ EngineResult run_engine(const EngineConfig& config,
     {
       double stall = 0.0;
       bool degraded = false;
-      std::vector<char> dead(running.size(), 0);
-      for (std::size_t i = 0; i < running.size(); ++i) {
+      std::vector<char> dead(running_.size(), 0);
+      for (std::size_t i = 0; i < running_.size(); ++i) {
         if (dead[i] != 0) continue;
-        if (running[i].prompt_left > 0) continue;
-        ensure_pages(i, running[i].context + 1, dead, stall, degraded);
+        if (running_[i].prompt_left > 0) continue;
+        ensure_pages(i, running_[i].context + 1, dead, stall, degraded);
       }
       compact_running(dead);
-      now += stall;
-      result.swap_stall_s += stall;
-      if (degraded) ++result.degraded_steps;
+      now_ += stall;
+      result_.swap_stall_s += stall;
+      if (degraded) ++result_.degraded_steps;
     }
-    if (running.empty()) continue;  // everyone was evicted this step
+    if (running_.empty()) return true;  // everyone was evicted this step
 
     // One decode iteration across the decoding portion of the batch
     // (requests mid-prefill hold their batch slot but do not decode).
@@ -975,80 +747,552 @@ EngineResult run_engine(const EngineConfig& config,
     std::size_t max_context = 0;
     double bits_weight = 0.0;
     double context_weight = 0.0;
-    for (const Running& ru : running) {
+    for (const Running& ru : running_) {
       if (ru.prompt_left > 0) continue;
       ++decoders;
       max_context = std::max(max_context, ru.context);
       bits_weight += static_cast<double>(ru.context) * ru.kv_bits;
       context_weight += static_cast<double>(ru.context);
     }
-    if (decoders == 0) continue;  // pure-prefill iteration
+    if (decoders == 0) return true;  // pure-prefill iteration
     sim::InferenceConfig dcfg;
-    dcfg.method = config.method;
-    dcfg.attention = config.attention;
+    dcfg.method = config_.method;
+    dcfg.attention = config_.attention;
     if (context_weight > 0.0) {
       dcfg.attention.kv_bits = bits_weight / context_weight;
     }
     dcfg.batch = decoders;
     dcfg.prompt = max_context;
-    const double step = sim::decode_step_breakdown(
-                            config.device, geom, dcfg, max_context)
-                            .total();
-    now += step;
-    result.busy_s += step;
-    result.peak_kv_bytes =
-        std::max(result.peak_kv_bytes,
-                 static_cast<double>(allocator.used_pages()) * page_bytes);
+    const double step_s = sim::decode_step_breakdown(
+                              config_.device, config_.geometry, dcfg,
+                              max_context)
+                              .total();
+    now_ += step_s;
+    result_.busy_s += step_s;
+    result_.peak_kv_bytes = std::max(
+        result_.peak_kv_bytes,
+        static_cast<double>(allocator_.used_pages()) * d_.page_bytes);
 
-    for (std::size_t i = 0; i < running.size();) {
-      Running& ru = running[i];
+    for (std::size_t i = 0; i < running_.size();) {
+      Running& ru = running_[i];
       if (ru.prompt_left > 0) {
         ++i;
         continue;
       }
-      Request& r = result.requests[ru.trace_index];
+      Request& r = result_.requests[ru.trace_index];
       if (ru.remaining > 0) {
         if (r.generated == 0 && r.first_token_s < 0.0) {
-          r.first_token_s = now;  // degenerate zero-length-prompt path
+          r.first_token_s = now_;  // degenerate zero-length-prompt path
         }
         ru.remaining -= 1;
         ru.context += 1;
         r.generated += 1;
       }
       if (ru.remaining == 0) {
-        r.finish_s = now;
+        r.finish_s = now_;
         r.outcome = Outcome::kCompleted;
         release_all(ru.pages);
-        ++finished;
+        ++finished_;
         // Stable erase: the chunk scheduler above is FIFO over this
         // vector's order, so removals must not reorder survivors.
-        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+        running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
       } else {
         ++i;
       }
     }
+    return true;
   }
 
-  result.makespan_s = now;
-  result.injected_alloc_failures = allocator.injected_failures();
-  result.hit_time_limit = finished < total;
-  if (swap_store.has_value()) {
-    // No-leak invariant: every request reached exactly one terminal
-    // state, and every terminal path (swap-in, unavailable-recompute,
-    // timeout, checksum drop) erased its parked stream. Only the
-    // max_sim_time_s safety stop may strand entries.
-    if (!result.hit_time_limit) {
-      TURBO_CHECK_MSG(swap_store->count() == 0,
-                      "terminal run left streams parked in the swap store");
+  std::vector<MigratableRequest> drain() {
+    std::vector<MigratableRequest> out;
+    auto lift = [&](std::size_t idx, std::size_t context,
+                    std::size_t remaining, std::size_t prompt_left,
+                    double kv_bits, bool has_stream, double bytes) {
+      MigratableRequest m;
+      m.request = result_.requests[idx];
+      m.context = context;
+      m.remaining = remaining;
+      m.prompt_left = prompt_left;
+      m.kv_bits = kv_bits;
+      m.has_stream = has_stream;
+      m.bytes = bytes;
+      drained_[idx] = 1;
+      --live_total_;
+      out.push_back(std::move(m));
+    };
+    // Running requests: their resident KV is the migration payload. The
+    // drain serializes it (phantom: byte counts) straight onto the wire,
+    // so has_stream mirrors what a preemption swap-out would have parked.
+    for (Running& ru : running_) {
+      double bytes = 0.0;
+      bool has_stream = false;
+      if (config_.preempt_mode == PreemptMode::kSwap && ru.context > 0) {
+        bytes = static_cast<double>(ru.pages.size()) * d_.page_bytes;
+        has_stream = true;
+      }
+      release_all(ru.pages);
+      lift(ru.trace_index, ru.context, ru.remaining, ru.prompt_left,
+           ru.kv_bits, has_stream, bytes);
     }
-    for (std::size_t t = 0; t < swap_store->tier_count(); ++t) {
-      const TieredSwapStore::TierCounters& tc = swap_store->counters(t);
-      result.tier_stats[t] = tc;
-      result.tier_blacklists += tc.blacklists;
-      if (tc.stores > 0 || tc.demotions_in > 0) ++result.swap_tiers_used;
+    running_.clear();
+    // Paused requests: a parked stream leaves the store with them.
+    for (const Paused& p : paused_) {
+      if (p.swapped) {
+        swap_store_->erase(stream_key(result_.requests[p.trace_index].id));
+      }
+      lift(p.trace_index, p.context, p.remaining, p.prompt_left, p.kv_bits,
+           p.swapped, p.bytes);
     }
+    paused_.clear();
+    // Waiting and not-yet-arrived requests have no KV: plain re-routes.
+    for (auto& queue : waiting_) {
+      for (const std::size_t idx : queue) {
+        const Request& r = result_.requests[idx];
+        lift(idx, 0, r.max_new_tokens, r.prompt_tokens, 0.0, false, 0.0);
+      }
+      queue.clear();
+    }
+    for (const std::size_t idx : pending_) {
+      const Request& r = result_.requests[idx];
+      if (r.outcome != Outcome::kPending) continue;  // rejected: terminal
+      lift(idx, 0, r.max_new_tokens, r.prompt_tokens, 0.0, false, 0.0);
+    }
+    pending_.clear();
+    // Zero-leak invariants: a drained replica holds no pages and no
+    // parked streams — nothing to leak when the router tears it down.
+    TURBO_CHECK_MSG(allocator_.used_pages() == 0,
+                    "drained replica leaked KV pages");
+    if (swap_store_.has_value()) {
+      TURBO_CHECK_MSG(swap_store_->count() == 0,
+                      "drained replica leaked parked swap streams");
+    }
+    return out;
   }
-  return result;
+
+  EngineResult finish() {
+    result_.makespan_s = now_;
+    result_.injected_alloc_failures = allocator_.injected_failures();
+    result_.hit_time_limit = finished_ < live_total_;
+    if (swap_store_.has_value()) {
+      // No-leak invariant: every request reached exactly one terminal
+      // state, and every terminal path (swap-in, unavailable-recompute,
+      // timeout, checksum drop) erased its parked stream. Only the
+      // max_sim_time_s safety stop may strand entries.
+      if (!result_.hit_time_limit) {
+        TURBO_CHECK_MSG(
+            swap_store_->count() == 0,
+            "terminal run left streams parked in the swap store");
+      }
+      for (std::size_t t = 0; t < swap_store_->tier_count(); ++t) {
+        const TieredSwapStore::TierCounters& tc = swap_store_->counters(t);
+        result_.tier_stats[t] = tc;
+        result_.tier_blacklists += tc.blacklists;
+        if (tc.stores > 0 || tc.demotions_in > 0) ++result_.swap_tiers_used;
+      }
+    }
+    // Requests drained to another replica reach their terminal state
+    // there; dropping them here keeps exactly-one-terminal-state across
+    // the fleet union.
+    bool any_drained = false;
+    for (const char dflag : drained_) {
+      if (dflag != 0) any_drained = true;
+    }
+    if (any_drained) {
+      std::vector<Request> kept;
+      kept.reserve(result_.requests.size());
+      for (std::size_t i = 0; i < result_.requests.size(); ++i) {
+        if (drained_[i] == 0) kept.push_back(std::move(result_.requests[i]));
+      }
+      result_.requests.swap(kept);
+    }
+    return std::move(result_);
+  }
+
+  double now() const { return now_; }
+  bool done() const { return finished_ >= live_total_; }
+  bool has_work() const { return finished_ < live_total_; }
+  std::size_t used_pages() const { return allocator_.used_pages(); }
+  std::size_t live() const { return live_total_ - finished_; }
+
+  void advance_to(double t) {
+    TURBO_CHECK_MSG(running_.empty(),
+                    "advance_to() with work still running");
+    now_ = std::max(now_, t);
+  }
+
+ private:
+  std::uint64_t stream_key(std::uint64_t id) const {
+    return swap_stream_key(config_.replica_id, id);
+  }
+
+  std::size_t pages_needed(std::size_t tokens, double bits) const {
+    const std::size_t tpp =
+        bits == d_.bits_normal ? d_.tpp_normal : d_.tpp_degraded;
+    return (tokens + tpp - 1) / tpp;
+  }
+
+  std::size_t class_of(std::size_t idx) const {
+    return static_cast<std::size_t>(result_.requests[idx].service_class);
+  }
+
+  bool waiting_empty() const {
+    for (const auto& q : waiting_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+
+  double current_bits() const {
+    return ladder_level_ >= kLevelDownshift ? d_.bits_degraded
+                                            : d_.bits_normal;
+  }
+
+  // Accuracy proxy for the downshifted precision: round-trip RMSE of the
+  // two-stage progressive quantizer on a synthetic Gaussian KV block,
+  // computed once on first downshift (src/quant/error.h).
+  void record_degrade_proxy() {
+    if (result_.degrade_rmse_proxy != 0.0) return;
+    const int b =
+        std::clamp(static_cast<int>(std::lround(d_.bits_degraded)), 2, 4);
+    MatrixF sample(128,
+                   std::max<std::size_t>(config_.geometry.head_dim, 16));
+    Rng rng(0xACC);
+    for (std::size_t r = 0; r < sample.rows(); ++r) {
+      rng.fill_normal(sample.row(r), 0.0, 1.0);
+    }
+    result_.degrade_rmse_proxy =
+        progressive_quant_rmse(sample, bit_width_from_int(b), 64);
+  }
+
+  // Cost of prefilling a `chunk`-token slice with `cached` tokens already
+  // resident (stored at `bits`): attention spans cached + chunk, GEMMs
+  // cover the chunk only.
+  double chunk_cost(std::size_t chunk, std::size_t cached,
+                    double bits) const {
+    sim::InferenceConfig pcfg;
+    pcfg.method = config_.method;
+    pcfg.attention = config_.attention;
+    pcfg.attention.kv_bits = bits;
+    pcfg.batch = 1;
+    pcfg.prompt = chunk;
+    return sim::chunk_prefill_breakdown(config_.device, config_.geometry,
+                                        pcfg, cached)
+        .total();
+  }
+  // Monolithic prefill over `tokens` (recompute of evicted context).
+  double prefill_cost(std::size_t tokens, double bits) const {
+    return chunk_cost(tokens, 0, bits);
+  }
+
+  // Allocate `n` pages or none (failed attempts roll back).
+  bool try_alloc(std::size_t n, std::vector<PageId>& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const PageId p = allocator_.allocate();
+      if (p == kInvalidPage) {
+        while (!out.empty()) {
+          allocator_.release(out.back());
+          out.pop_back();
+        }
+        return false;
+      }
+      out.push_back(p);
+    }
+    return true;
+  }
+
+  void release_all(std::vector<PageId>& pages) {
+    for (const PageId p : pages) allocator_.release(p);
+    pages.clear();
+  }
+
+  // Bounded exponential backoff with deterministic seeded jitter: victims
+  // evicted in the same round (equal backoff) get distinct re-admission
+  // times keyed by (jitter_seed, request id, eviction count), so they do
+  // not stampede one re-admission pass. Jitter stretches the delay by at
+  // most `backoff_jitter`; it never shortens it, so the cap still bounds
+  // the un-jittered wait.
+  double backoff_for(const Request& r) const {
+    const std::size_t n = r.preemptions;
+    const std::size_t exp = std::min<std::size_t>(n > 0 ? n - 1 : 0, 16);
+    double delay =
+        std::min(config_.backoff_cap_s,
+                 config_.backoff_base_s *
+                     static_cast<double>(std::size_t{1} << exp));
+    if (config_.backoff_jitter > 0.0) {
+      const std::uint64_t h = splitmix64(
+          config_.jitter_seed ^ splitmix64(r.id * 0x100000001b3ull + n));
+      const double u =
+          static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+      delay *= 1.0 + config_.backoff_jitter * u;
+    }
+    return delay;
+  }
+
+  // Evict `victim`: swap its pages to the host store (PCIe cost) or drop
+  // them for recomputation. A victim with nothing cached yet (preempted
+  // before its first chunk) has nothing to swap and is simply dropped.
+  // Returns the transfer stall incurred.
+  double preempt(Running& victim) {
+    Request& r = result_.requests[victim.trace_index];
+    ++result_.preemptions;
+    ++r.preemptions;
+    result_.max_preemptions_single_request =
+        std::max(result_.max_preemptions_single_request, r.preemptions);
+    Paused p{victim.trace_index, victim.context,
+             victim.remaining,   victim.prompt_left,
+             now_ + backoff_for(r), false,
+             0.0,                victim.kv_bits};
+    double stall = 0.0;
+    if (config_.preempt_mode == PreemptMode::kSwap) {
+      // A victim with nothing cached yet (evicted before its first
+      // prefill chunk) has no stream to move: zero-cost "swap".
+      if (victim.context > 0) {
+        const double bytes =
+            static_cast<double>(victim.pages.size()) * d_.page_bytes;
+        const TieredSwapStore::StoreOutcome so = swap_store_->store_phantom(
+            stream_key(r.id), static_cast<std::size_t>(bytes), iteration_,
+            now_, &fault_);
+        if (so.stored) {
+          ++result_.preempted_swap;
+          p.swapped = true;
+          p.bytes = bytes;
+          result_.swap_out_bytes += p.bytes;
+          stall = so.transfer_s;
+          result_.tier_demotions += so.demotions;
+        } else {
+          // Every tier full or unreachable: the stream has nowhere to
+          // go, so this victim degrades to recompute-on-re-admission.
+          ++result_.preempted_recompute;
+          ++result_.swap_overflow_recomputes;
+        }
+      } else {
+        ++result_.preempted_swap;
+      }
+    } else {
+      ++result_.preempted_recompute;
+    }
+    release_all(victim.pages);
+    paused_.push_back(p);
+    return stall;
+  }
+
+  // Preemption victim among alive running requests: non-pinned first;
+  // then (class-aware) the lowest service class — batch evicted before
+  // standard before interactive; then lowest Request::priority; then
+  // latest arrival. Returns running_.size() when nothing is eligible.
+  std::size_t pick_victim(const std::vector<char>& dead) const {
+    std::size_t best = running_.size();
+    for (std::size_t j = 0; j < running_.size(); ++j) {
+      if (dead[j] != 0) continue;
+      if (best == running_.size()) {
+        best = j;
+        continue;
+      }
+      const Request& r = result_.requests[running_[j].trace_index];
+      const Request& b = result_.requests[running_[best].trace_index];
+      if (running_[j].pinned != running_[best].pinned) {
+        if (!running_[j].pinned) best = j;
+        continue;
+      }
+      if (class_aware_ && r.service_class != b.service_class) {
+        if (static_cast<int>(r.service_class) >
+            static_cast<int>(b.service_class)) {
+          best = j;  // lower tier (higher enum value) evicted first
+        }
+        continue;
+      }
+      if (r.priority != b.priority) {
+        if (r.priority < b.priority) best = j;
+        continue;
+      }
+      if (r.arrival_s > b.arrival_s ||
+          (r.arrival_s == b.arrival_s && r.id > b.id)) {
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  // Grow running_[i]'s page list until it backs `target` tokens, evicting
+  // victims on genuine exhaustion. An injected allocation fault evicts
+  // running_[i] itself (a degraded step). Returns false when running_[i]
+  // was evicted (its dead[] slot is set).
+  bool ensure_pages(std::size_t i, std::size_t target,
+                    std::vector<char>& dead, double& stall,
+                    bool& degraded) {
+    while (running_[i].pages.size() <
+           pages_needed(target, running_[i].kv_bits)) {
+      const std::size_t injected_before = allocator_.injected_failures();
+      const PageId page = allocator_.allocate();
+      if (page != kInvalidPage) {
+        running_[i].pages.push_back(page);
+        continue;
+      }
+      if (allocator_.injected_failures() > injected_before) {
+        // The fault hit this request's allocation: it is the victim.
+        stall += preempt(running_[i]);
+        dead[i] = 1;
+        degraded = true;
+        return false;
+      }
+      const std::size_t v = pick_victim(dead);
+      TURBO_CHECK_MSG(v < running_.size(),
+                      "page exhaustion with no evictable request");
+      stall += preempt(running_[v]);
+      dead[v] = 1;
+      if (v == i) return false;  // evicted itself; no page needed
+    }
+    return true;
+  }
+
+  void compact_running(std::vector<char>& dead) {
+    std::vector<Running> alive;
+    alive.reserve(running_.size());
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      if (dead[i] == 0) alive.push_back(std::move(running_[i]));
+    }
+    running_.swap(alive);
+  }
+
+  // A request has irrecoverably missed a deadline: its TTFT deadline
+  // passed with no first token, or its e2e deadline passed unfinished.
+  bool deadline_expired(const Request& r) const {
+    if (!config_.enforce_deadlines) return false;
+    if (r.ttft_deadline_s > 0.0 && r.first_token_s < 0.0 &&
+        now_ > r.arrival_s + r.ttft_deadline_s + kDeadlineSlack) {
+      return true;
+    }
+    if (r.e2e_deadline_s > 0.0 &&
+        now_ > r.arrival_s + r.e2e_deadline_s + kDeadlineSlack) {
+      return true;
+    }
+    return false;
+  }
+  void time_out(Request& r) {
+    r.finish_s = now_;
+    r.outcome = Outcome::kTimedOut;
+    ++result_.timed_out;
+    ++finished_;
+  }
+
+  // Pin threshold for a request's class (0 in ClassPolicy = inherit the
+  // engine-wide default).
+  std::size_t pin_threshold(std::size_t idx) const {
+    const std::size_t per_class =
+        config_.classes[class_of(idx)].pin_after_preemptions;
+    return per_class > 0 ? per_class : config_.pin_after_preemptions;
+  }
+
+  // Pages currently held by running requests of a class (swapped-out
+  // requests hold none).
+  std::size_t class_used_pages(std::size_t c) const {
+    std::size_t used = 0;
+    for (const Running& ru : running_) {
+      if (class_of(ru.trace_index) == c) used += ru.pages.size();
+    }
+    return used;
+  }
+  std::size_t guaranteed_pages(std::size_t c) const {
+    return static_cast<std::size_t>(config_.classes[c].page_share *
+                                    static_cast<double>(d_.page_count));
+  }
+  // A class has demand when it has waiting or paused requests — its
+  // unmet guarantee is then protected from borrowing by other classes.
+  bool class_has_demand(std::size_t c) const {
+    if (!waiting_[c].empty()) return true;
+    for (const Paused& p : paused_) {
+      if (class_of(p.trace_index) == c) return true;
+    }
+    return false;
+  }
+
+  // Can a fresh request of class `c` take `needed` pages right now?
+  // Within its guaranteed share a class bypasses the admit reserve;
+  // borrowing beyond it must leave the reserve plus every other
+  // demanding class's unmet guarantee free (work-conserving quotas).
+  bool admission_allowed(std::size_t c, std::size_t needed) const {
+    const std::size_t free = allocator_.free_pages();
+    const std::size_t reserve = running_.empty() ? 0 : d_.reserve_pages;
+    if (!class_aware_) return free >= needed + reserve;
+    if (class_used_pages(c) + needed <= guaranteed_pages(c)) {
+      return free >= needed;
+    }
+    std::size_t protected_deficit = 0;
+    for (std::size_t dc = 0; dc < kServiceClassCount; ++dc) {
+      if (dc == c || !class_has_demand(dc)) continue;
+      const std::size_t used = class_used_pages(dc);
+      const std::size_t guaranteed = guaranteed_pages(dc);
+      if (used < guaranteed) protected_deficit += guaranteed - used;
+    }
+    return free >= needed + reserve + protected_deficit;
+  }
+
+  EngineConfig config_;
+  DerivedConfig d_;
+  PageAllocator allocator_;
+  FaultInjector fault_;
+  std::optional<TieredSwapStore> swap_store_;
+  EngineResult result_;
+  // Per-request flags, parallel to result_.requests: 1 = drained to
+  // another replica (excluded from finish()).
+  std::vector<char> drained_;
+
+  bool class_aware_ = false;
+  // Per-class waiting queues (FIFO within a class). Under kFifo the three
+  // queues are drained strictly in global arrival order.
+  std::array<std::deque<std::size_t>, kServiceClassCount> waiting_;
+  std::vector<Running> running_;
+  std::vector<Paused> paused_;
+  // Submitted requests whose arrival time is still in the future (plus
+  // already-terminal rejected entries, kept so idle jumps land on the
+  // same arrival instants as the monolithic loop).
+  std::deque<std::size_t> pending_;
+  std::size_t live_total_ = 0;   // submitted + adopted - drained
+  std::size_t finished_ = 0;     // reached a terminal state here
+  double now_ = 0.0;
+  // Engine iteration counter: the LRU clock for the tiered swap store
+  // (last-touch recency of parked streams).
+  std::size_t iteration_ = 0;
+
+  // --- Pressure controller (degradation ladder) state ---------------------
+  std::size_t ladder_level_ = kLevelNormal;
+  std::deque<double> occupancy_window_;
+  std::size_t iters_since_level_change_ = 0;
+};
+
+Engine::Engine(const EngineConfig& config)
+    : impl_(std::make_unique<EngineImpl>(config)) {}
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+
+void Engine::submit(const Request& r) { impl_->submit(r); }
+void Engine::adopt(const MigratableRequest& m, double eligible_s,
+                   bool with_stream) {
+  impl_->adopt(m, eligible_s, with_stream);
+}
+bool Engine::step(double horizon_s) { return impl_->step(horizon_s); }
+std::vector<MigratableRequest> Engine::drain() { return impl_->drain(); }
+EngineResult Engine::finish() { return impl_->finish(); }
+double Engine::now() const { return impl_->now(); }
+bool Engine::done() const { return impl_->done(); }
+bool Engine::has_work() const { return impl_->has_work(); }
+std::size_t Engine::used_pages() const { return impl_->used_pages(); }
+std::size_t Engine::live() const { return impl_->live(); }
+void Engine::advance_to(double t) { impl_->advance_to(t); }
+
+EngineResult run_engine(const EngineConfig& config,
+                        std::vector<Request> trace) {
+  std::sort(trace.begin(), trace.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+  Engine engine(config);
+  for (const Request& r : trace) engine.submit(r);
+  while (!engine.done() && engine.now() < config.max_sim_time_s) {
+    if (!engine.step(std::numeric_limits<double>::infinity())) break;
+  }
+  return engine.finish();
 }
 
 }  // namespace turbo::serving

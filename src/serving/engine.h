@@ -57,6 +57,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/fault.h"
@@ -172,6 +173,12 @@ struct EngineConfig {
   std::size_t pin_after_preemptions = 4;
   TieredSwapConfig swap;             // tier layout for PreemptMode::kSwap
   FaultPlan faults;                  // all-zero probabilities = no injection
+
+  // Identity of this engine within a fleet (src/fleet). Swap-store stream
+  // keys are namespaced by it (swap_stream_key), so two replicas parking
+  // the same request-local id never alias. The default 0 is the identity
+  // mapping: single-engine runs are bit-identical to the pre-fleet tree.
+  std::size_t replica_id = 0;
 };
 
 struct EngineResult {
@@ -227,6 +234,85 @@ struct EngineResult {
   // Per-tier store counters (stores/hits/demotions/failures/...), indexed
   // by tier position; tiers beyond swap.tiers stay zero.
   std::array<TieredSwapStore::TierCounters, kMaxSwapTiers> tier_stats = {};
+};
+
+// A request lifted out of a draining engine with enough scheduler state
+// to resume on another replica: the prefill cursor, generation progress
+// and — when the KV was parked in the swap store — the stream's byte
+// count, which the fleet router (src/fleet) moves over the interconnect
+// as the migration payload. A request with has_stream == false (or whose
+// migration failed its CRC) is re-admitted through the recompute path:
+// the destination re-prefills `context` tokens, so a dead replica costs
+// latency, never liveness.
+struct MigratableRequest {
+  Request request;
+  std::size_t context = 0;      // tokens whose KV existed at drain
+  std::size_t remaining = 0;    // tokens still to generate
+  std::size_t prompt_left = 0;  // prefill cursor (prompt tokens left)
+  double kv_bits = 0.0;         // precision the KV was stored at
+  bool has_stream = false;      // serialized KV bytes existed at drain
+  double bytes = 0.0;           // stream size (0 when !has_stream)
+};
+
+class EngineImpl;
+
+// The scheduler behind run_engine(), exposed as a steppable object so
+// the fleet router (src/fleet) can interleave N replicas on one clock.
+// run_engine() is exactly submit-everything + step-to-completion: a
+// single-replica fleet is bit-identical to the standalone engine.
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& config);
+  ~Engine();
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Hand the engine a request. Must be called in non-decreasing
+  // arrival_s order; an arrival in the future sits in the pending queue
+  // until the engine's clock reaches it. Requests that could never fit
+  // are rejected immediately (terminal, never scheduled).
+  void submit(const Request& r);
+
+  // Adopt a request drained off another replica. `eligible_s` is the
+  // earliest re-admission time (drain time + migration transfer);
+  // `with_stream` parks the migrated KV bytes in this engine's swap
+  // store so the normal class-aware re-admission/swap-in machinery
+  // restores it. Without a stream (or when no tier has room) the request
+  // re-enters through the recompute path.
+  void adopt(const MigratableRequest& m, double eligible_s,
+             bool with_stream);
+
+  // Run one scheduler iteration. `horizon_s` bounds idle time-jumps: an
+  // idle engine never advances its clock past the horizon (so the router
+  // can inject an arrival or an outage there first). Pass +infinity for
+  // standalone operation. Returns false when there is nothing running,
+  // waiting, paused or pending — i.e. the engine is fully drained.
+  bool step(double horizon_s);
+
+  // Lift every non-terminal request out of the engine: running requests
+  // release their pages, parked swap streams are erased, queues emptied.
+  // Asserts the replica leaks nothing: zero used pages and zero parked
+  // streams afterwards. Drained requests are excluded from this engine's
+  // finish() result — exactly-one-terminal-state moves with them.
+  std::vector<MigratableRequest> drain();
+
+  // Finalize and return the result (makespan, counters, per-request
+  // outcomes). Call once, after the last step()/drain().
+  EngineResult finish();
+
+  double now() const;
+  bool done() const;                // every live request reached terminal
+  bool has_work() const;            // !done(): something left to schedule
+  std::size_t used_pages() const;   // routing signal (least-outstanding)
+  std::size_t live() const;         // non-terminal requests on this engine
+  // Move the idle clock forward (revival after an outage window). The
+  // engine must hold no running work.
+  void advance_to(double t);
+
+ private:
+  std::unique_ptr<EngineImpl> impl_;
 };
 
 // Run the trace until every request has reached a terminal state —

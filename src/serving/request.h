@@ -92,6 +92,9 @@ struct Request {
   // Swap tiers skipped (unavailable or blacklisted) while fetching this
   // request's parked KV stream back in (tiered swap store only).
   std::size_t tier_failovers = 0;
+  // Times this request was drained off a dying replica and failed over to
+  // another one (fleet router only; see src/fleet/router.h).
+  std::size_t replica_failovers = 0;
   // How the request left the system (kPending = still in flight when the
   // simulation's safety stop fired).
   Outcome outcome = Outcome::kPending;

@@ -48,6 +48,21 @@
 
 namespace turbo::serving {
 
+// Swap-store keys are engine-local request ids, which collide the moment
+// two fleet replicas (src/fleet) park the same request-local id — e.g. a
+// request migrated to a new replica while its stale stream is still being
+// torn down on the old one. The fleet path therefore namespaces every key
+// by replica id in the top byte. Replica 0 maps to the identity key, so
+// single-engine runs (and the store's LRU victim ordering, which
+// tie-breaks on key) stay bit-identical to the pre-fleet behavior.
+inline std::uint64_t swap_stream_key(std::size_t replica, std::uint64_t id) {
+  TURBO_CHECK_MSG(replica < kMaxReplicas,
+                  "replica id out of swap-key namespace range");
+  TURBO_CHECK_MSG(id < (std::uint64_t{1} << 56),
+                  "request id overflows the replica-namespaced swap key");
+  return (static_cast<std::uint64_t>(replica) << 56) | id;
+}
+
 class HostSwapStore {
  public:
   // Store a serialized stream under `key` (overwrites any previous one).

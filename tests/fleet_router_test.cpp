@@ -1,0 +1,336 @@
+// Fleet serving: health-checked routing over replicated engines, outage
+// drain and KV-migration failover (src/fleet/router.h).
+//
+// The contracts under test: a 1-replica fleet is bit-identical to the
+// standalone engine; seeded fleet runs (outage windows included) are
+// bit-identical run to run; killing a replica mid-run still leaves every
+// request in exactly one terminal state with zero leaked pages or parked
+// streams; corrupt migrations are CRC-detected and recovered by
+// recompute; the failover budget bounds interconnect traffic; routing
+// policies measurably shape tail latency; and the per-replica metric
+// rollup reconciles with the fleet union.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/fault.h"
+#include "fleet/metrics.h"
+#include "fleet/router.h"
+#include "serving/metrics.h"
+#include "serving/swap.h"
+#include "serving/trace.h"
+#include "sim/attention_model.h"
+
+namespace turbo::fleet {
+namespace {
+
+using serving::EngineConfig;
+using serving::EngineResult;
+using serving::Outcome;
+using serving::Request;
+using serving::ServiceClass;
+using serving::TraceConfig;
+
+// Mixed-class trace spread over a small fleet: 30% interactive with a
+// tight TTFT SLO, 50% standard with a loose one, 20% batch.
+TraceConfig fleet_trace() {
+  TraceConfig t;
+  t.arrival_rate = 24.0;
+  t.duration_s = 15.0;
+  t.prompt_log_mean = 5.5;
+  t.prompt_log_std = 0.5;
+  t.gen_log_mean = 5.0;
+  t.gen_log_std = 0.5;
+  t.seed = 29;
+  t.class_mix = {0.3, 0.5, 0.2};
+  t.ttft_deadline_s = {2.5, 20.0, 0.0};
+  return t;
+}
+
+// Per-replica engine with a squeezed KV pool, so preemption and swap
+// traffic exist for the drain path to migrate.
+EngineConfig fleet_engine() {
+  EngineConfig c;
+  c.device = sim::a100_pcie_40gb();
+  c.geometry = sim::phi3_mini_geometry();
+  c.method = sim::AttnMethod::kTurbo;
+  c.attention.kv_bits = 4.0;
+  c.memory_headroom = 0.35;
+  return c;
+}
+
+FleetConfig base_fleet(std::size_t replicas) {
+  FleetConfig f;
+  f.engine = fleet_engine();
+  f.replicas = replicas;
+  return f;
+}
+
+// Kill replica 1 for a window that starts while the trace is in full
+// flight, so the drain lifts running, paused and waiting requests alike.
+FleetConfig outage_fleet(std::size_t replicas) {
+  FleetConfig f = base_fleet(replicas);
+  f.engine.faults.replicas[1].outage_start_s = 2.0;
+  f.engine.faults.replicas[1].outage_end_s = 8.0;
+  return f;
+}
+
+std::size_t terminal_count(const serving::ServingMetrics& m) {
+  return m.completed + m.rejected + m.timed_out + m.shed;
+}
+
+// Order-independent digest over everything a request carries out of the
+// run, plus the fleet counters — two runs compare in full.
+std::uint64_t digest(const FleetResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  auto mixd = [&](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
+  std::vector<Request> reqs = r.requests;
+  std::sort(reqs.begin(), reqs.end(),
+            [](const Request& a, const Request& b) { return a.id < b.id; });
+  for (const Request& req : reqs) {
+    mix(req.id);
+    mixd(req.prefill_start_s);
+    mixd(req.first_token_s);
+    mixd(req.finish_s);
+    mixd(req.kv_bits_used);
+    mix(req.generated);
+    mix(req.preemptions);
+    mix(req.recomputed_tokens);
+    mix(req.replica_failovers);
+    mix(static_cast<std::uint64_t>(req.outcome));
+  }
+  mixd(r.makespan_s);
+  mixd(r.migrated_bytes);
+  mixd(r.migration_stall_s);
+  mix(r.routed);
+  mix(r.replica_outages);
+  mix(r.failover_drains);
+  mix(r.migrations);
+  mix(r.migration_corruptions);
+  mix(r.migration_recomputes);
+  mix(r.migration_budget_exhausted);
+  mix(static_cast<std::uint64_t>(r.hit_time_limit));
+  return h;
+}
+
+std::uint64_t engine_digest(const EngineResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  auto mixd = [&](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
+  for (const Request& req : r.requests) {
+    mix(req.id);
+    mixd(req.prefill_start_s);
+    mixd(req.first_token_s);
+    mixd(req.finish_s);
+    mixd(req.kv_bits_used);
+    mix(req.generated);
+    mix(req.preemptions);
+    mix(req.recomputed_tokens);
+    mix(static_cast<std::uint64_t>(req.outcome));
+  }
+  mixd(r.makespan_s);
+  mixd(r.busy_s);
+  mixd(r.swap_stall_s);
+  mix(r.preemptions);
+  mix(r.timed_out);
+  mix(r.shed);
+  mix(static_cast<std::uint64_t>(r.hit_time_limit));
+  return h;
+}
+
+// --- Bit-identity -----------------------------------------------------------
+
+// A 1-replica fleet is the standalone engine: same clock, same idle
+// jumps, same fault draws, bit-identical result.
+TEST(FleetIdentityTest, SingleReplicaFleetMatchesRunEngine) {
+  const std::vector<Request> trace = serving::generate_trace(fleet_trace());
+  const EngineConfig cfg = fleet_engine();
+  const EngineResult solo = serving::run_engine(cfg, trace);
+  FleetResult fleet = run_fleet(base_fleet(1), trace);
+  ASSERT_EQ(fleet.replica_results.size(), 1u);
+  EXPECT_EQ(engine_digest(solo), engine_digest(fleet.replica_results[0]));
+  EXPECT_EQ(solo.makespan_s, fleet.makespan_s);
+  EXPECT_EQ(fleet.routed, trace.size());
+  EXPECT_EQ(fleet.replica_outages, 0u);
+  EXPECT_EQ(fleet.migrations, 0u);
+}
+
+// Seeded fleet runs — outage window, drain, migration and all — are
+// bit-identical across repeats (and, via CI, across sanitizer lanes).
+TEST(FleetIdentityTest, SeededOutageRunsAreBitIdentical) {
+  const std::vector<Request> trace = serving::generate_trace(fleet_trace());
+  const FleetConfig cfg = outage_fleet(4);
+  const std::uint64_t a = digest(run_fleet(cfg, trace));
+  const std::uint64_t b = digest(run_fleet(cfg, trace));
+  EXPECT_EQ(a, b);
+}
+
+// --- Outage drain and failover ---------------------------------------------
+
+// One of four replicas dies mid-run: the fleet drains it, fails its
+// requests over, and every trace request still reaches exactly one
+// terminal state with nothing leaked (the router asserts zero pages and
+// zero parked streams at drain internally).
+TEST(FleetOutageTest, ReplicaOutageMidRunLeavesEveryRequestTerminal) {
+  const std::vector<Request> trace = serving::generate_trace(fleet_trace());
+  const FleetResult r = run_fleet(outage_fleet(4), trace);
+  EXPECT_FALSE(r.hit_time_limit);
+  EXPECT_EQ(r.replica_outages, 1u);
+  EXPECT_GT(r.failover_drains, 0u);
+  ASSERT_EQ(r.requests.size(), trace.size());
+  for (const Request& req : r.requests) {
+    EXPECT_NE(req.outcome, Outcome::kPending);
+  }
+  const FleetMetrics m = summarize_fleet(r);
+  EXPECT_EQ(terminal_count(m.fleet), trace.size());
+  EXPECT_EQ(m.fleet.unfinished, 0u);
+  // The drained replica accepted work again after its window: the run
+  // routed every arrival somewhere.
+  EXPECT_EQ(r.routed, trace.size());
+}
+
+// Every migrated stream is corrupted in transit: the CRC layer detects
+// each one and the destination recomputes — the faults cost latency,
+// never a lost request.
+TEST(FleetOutageTest, CorruptMigrationsAreDetectedAndRecomputed) {
+  const std::vector<Request> trace = serving::generate_trace(fleet_trace());
+  FleetConfig cfg = outage_fleet(4);
+  cfg.engine.faults.migration_corruption_prob = 1.0;
+  const FleetResult r = run_fleet(cfg, trace);
+  EXPECT_GT(r.migrations, 0u);
+  EXPECT_EQ(r.migration_corruptions, r.migrations);
+  EXPECT_GE(r.migration_recomputes, r.migration_corruptions);
+  EXPECT_FALSE(r.hit_time_limit);
+  for (const Request& req : r.requests) {
+    EXPECT_NE(req.outcome, Outcome::kPending);
+  }
+}
+
+// A zero failover budget forbids migration outright: drained KV is
+// dropped and recomputed, and not a byte crosses the interconnect.
+TEST(FleetOutageTest, FailoverBudgetZeroForcesRecompute) {
+  const std::vector<Request> trace = serving::generate_trace(fleet_trace());
+  FleetConfig cfg = outage_fleet(4);
+  cfg.failover_budget = 0;
+  const FleetResult r = run_fleet(cfg, trace);
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_EQ(r.migrated_bytes, 0.0);
+  EXPECT_GT(r.failover_drains, 0u);
+  EXPECT_GT(r.migration_budget_exhausted + r.migration_recomputes, 0u);
+  for (const Request& req : r.requests) {
+    EXPECT_NE(req.outcome, Outcome::kPending);
+  }
+  // Same outage, budget allowed: streams do migrate — the knob is live.
+  const FleetResult with_budget = run_fleet(outage_fleet(4), trace);
+  EXPECT_GT(with_budget.migrations, 0u);
+  EXPECT_GT(with_budget.migrated_bytes, 0.0);
+}
+
+// --- Routing policy A/B -----------------------------------------------------
+
+// Alternating huge and tiny prompts defeat round-robin (one replica
+// collects every huge prompt); least-outstanding-pages reads the actual
+// memory pressure and balances, cutting the TTFT tail.
+TEST(FleetPolicyTest, LeastPagesBeatsRoundRobinOnSkewedPrompts) {
+  std::vector<Request> trace;
+  for (std::size_t i = 0; i < 24; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival_s = 0.05 * static_cast<double>(i);
+    r.prompt_tokens = (i % 2 == 0) ? 6000 : 64;
+    r.max_new_tokens = 32;
+    r.service_class = ServiceClass::kInteractive;
+    trace.push_back(r);
+  }
+  FleetConfig rr = base_fleet(2);
+  rr.engine.memory_headroom = 0.5;
+  rr.route = RoutePolicy::kRoundRobin;
+  FleetConfig lop = rr;
+  lop.route = RoutePolicy::kLeastOutstandingPages;
+  const FleetMetrics m_rr = summarize_fleet(run_fleet(rr, trace));
+  const FleetMetrics m_lop = summarize_fleet(run_fleet(lop, trace));
+  EXPECT_EQ(m_rr.fleet.completed, trace.size());
+  EXPECT_EQ(m_lop.fleet.completed, trace.size());
+  EXPECT_LE(m_lop.fleet.ttft_p99, m_rr.fleet.ttft_p99);
+}
+
+// --- Rollup reconciliation --------------------------------------------------
+
+// The fleet rollup is exactly the sum of its replicas: requests count
+// once (where they terminated), and every mirrored counter reconciles.
+TEST(FleetMetricsTest, ReplicaRollupReconcilesWithFleetUnion) {
+  const std::vector<Request> trace = serving::generate_trace(fleet_trace());
+  const FleetResult r = run_fleet(outage_fleet(4), trace);
+  const FleetMetrics m = summarize_fleet(r);
+  ASSERT_EQ(m.replicas.size(), 4u);
+  std::size_t completed = 0, timed_out = 0, shed = 0, rejected = 0;
+  std::size_t preemptions = 0, swap_ins = 0, terminals = 0;
+  for (const serving::ServingMetrics& rm : m.replicas) {
+    completed += rm.completed;
+    timed_out += rm.timed_out;
+    shed += rm.shed;
+    rejected += rm.rejected;
+    preemptions += rm.preemptions;
+    swap_ins += rm.swap_ins;
+    terminals += terminal_count(rm);
+  }
+  EXPECT_EQ(completed, m.fleet.completed);
+  EXPECT_EQ(timed_out, m.fleet.timed_out);
+  EXPECT_EQ(shed, m.fleet.shed);
+  EXPECT_EQ(rejected, m.fleet.rejected);
+  EXPECT_EQ(preemptions, m.fleet.preemptions);
+  EXPECT_EQ(swap_ins, m.fleet.swap_ins);
+  EXPECT_EQ(terminals, trace.size());
+  // Router counters mirror into the metrics struct (lint rule 6 contract).
+  EXPECT_EQ(m.replica_count, r.replica_count);
+  EXPECT_EQ(m.routed, r.routed);
+  EXPECT_EQ(m.replica_outages, r.replica_outages);
+  EXPECT_EQ(m.failover_drains, r.failover_drains);
+  EXPECT_EQ(m.migrations, r.migrations);
+  EXPECT_EQ(m.hit_time_limit, r.hit_time_limit);
+}
+
+// --- Swap-stream key namespacing (regression) -------------------------------
+
+// Two replicas parking the same request-local id must not alias in a
+// shared store namespace. Before keys were namespaced by replica id, the
+// second store_phantom overwrote the first stream (count() == 1) — the
+// classic cross-replica collision this guards against.
+TEST(FleetStreamKeyTest, ReplicaNamespacedKeysDoNotCollide) {
+  EXPECT_NE(serving::swap_stream_key(0, 7), serving::swap_stream_key(1, 7));
+  EXPECT_EQ(serving::swap_stream_key(0, 7), 7u);  // replica 0: identity
+
+  std::vector<serving::SwapTier> tiers;
+  tiers.push_back({"host", 1ull << 30, 16.0 * 1024 * 1024 * 1024});
+  serving::TieredSwapStore store(std::move(tiers));
+  FaultPlan plan;
+  FaultInjector fault(plan);
+  ASSERT_TRUE(store
+                  .store_phantom(serving::swap_stream_key(0, 7), 4096, 1,
+                                 0.0, &fault)
+                  .stored);
+  ASSERT_TRUE(store
+                  .store_phantom(serving::swap_stream_key(1, 7), 4096, 1,
+                                 0.0, &fault)
+                  .stored);
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.fetch(serving::swap_stream_key(0, 7), 2, 0.0, &fault)
+                .status,
+            serving::TieredSwapStore::FetchStatus::kHit);
+  EXPECT_EQ(store.fetch(serving::swap_stream_key(1, 7), 2, 0.0, &fault)
+                .status,
+            serving::TieredSwapStore::FetchStatus::kHit);
+}
+
+}  // namespace
+}  // namespace turbo::fleet

@@ -227,7 +227,7 @@ TEST(LintLexerTest, MarkersAndFileTags) {
 
 // --- rule registry --------------------------------------------------------
 
-TEST(LintRegistryTest, ElevenRulesInOrder) {
+TEST(LintRegistryTest, TwelveRulesInOrder) {
   const auto& rules = turbo::lint::rules();
   const std::vector<std::string> expected = {
       "no-raw-assert",        "unchecked-i8-cast",
@@ -235,7 +235,7 @@ TEST(LintRegistryTest, ElevenRulesInOrder) {
       "unchecked-cache-append", "unmirrored-engine-counter",
       "unfaultable-swap-io",  "nondeterministic-iteration",
       "unsanctioned-entropy", "mutable-global-state",
-      "unordered-float-reduction"};
+      "unordered-float-reduction", "unfaultable-replica-channel"};
   ASSERT_EQ(rules.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(rules[i].id, expected[i]);
@@ -244,6 +244,9 @@ TEST(LintRegistryTest, ElevenRulesInOrder) {
   ASSERT_NE(turbo::lint::rule_info("nondeterministic-iteration"), nullptr);
   EXPECT_EQ(turbo::lint::rule_info("nondeterministic-iteration")->suppression,
             "allow-unordered-iter");
+  ASSERT_NE(turbo::lint::rule_info("unfaultable-replica-channel"), nullptr);
+  EXPECT_EQ(turbo::lint::rule_info("unfaultable-replica-channel")->suppression,
+            "allow-unfaultable-channel");
   EXPECT_EQ(turbo::lint::rule_info("no-such-rule"), nullptr);
 }
 
@@ -319,6 +322,19 @@ TEST(LintRuleTest, UnfaultableSwapIo) {
   // The same signatures outside the swap layer are nobody's business.
   EXPECT_EQ(fire_count("src/kvcache/other.h", "rule07_pos.h",
                        "unfaultable-swap-io"),
+            0u);
+}
+
+TEST(LintRuleTest, UnfaultableReplicaChannel) {
+  EXPECT_GE(fire_count("src/fleet/router.h", "rule12_pos.h",
+                       "unfaultable-replica-channel"),
+            1u);
+  EXPECT_EQ(fire_count("src/fleet/router.h", "rule12_neg.h",
+                       "unfaultable-replica-channel"),
+            0u);
+  // The same signatures outside src/fleet/ are nobody's business.
+  EXPECT_EQ(fire_count("src/serving/other.h", "rule12_pos.h",
+                       "unfaultable-replica-channel"),
             0u);
 }
 

@@ -1,0 +1,18 @@
+// Negative fixture for unfaultable-replica-channel (loaded as
+// src/fleet/router.h): every migration signature takes the injector,
+// and call sites (chan.migrate(...)) are exempt.
+#pragma once
+#include <cstddef>
+
+class FaultInjector;
+
+class FaultableChannel {
+ public:
+  double migrate(std::size_t bytes, FaultInjector* fault);
+  double transfer(std::size_t bytes, double bandwidth,
+                  FaultInjector* fault);
+};
+
+inline void failover(FaultableChannel& chan, FaultInjector* fault) {
+  chan.migrate(4096, fault);
+}

@@ -1,0 +1,10 @@
+// Positive fixture for unfaultable-replica-channel (loaded as
+// src/fleet/router.h): a migration entry point with no FaultInjector*.
+#pragma once
+#include <cstddef>
+
+class BareChannel {
+ public:
+  double migrate(std::size_t bytes);
+  double transfer(std::size_t bytes, double bandwidth);
+};

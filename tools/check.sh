@@ -13,6 +13,9 @@
 #                             # in both builds (classes, deadlines, ladder)
 #   tools/check.sh tier       # tiered-swap suite (ctest -L tier) in both
 #                             # builds (placement, failover, blacklist)
+#   tools/check.sh fleet      # fleet-router suite (ctest -L fleet) in all
+#                             # three builds (routing, outage drain,
+#                             # KV-migration failover)
 #   tools/check.sh lint       # just turbo_lint
 #   tools/check.sh tidy       # just clang-tidy (skipped when not installed)
 #
@@ -29,9 +32,9 @@ FAILED=0
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    all|release|asan|tsan|fault|serving|slo|tier|lint|tidy) ;;
+    all|release|asan|tsan|fault|serving|slo|tier|fleet|lint|tidy) ;;
     *)
-      echo "check.sh: unknown stage '$s' (expected: release asan tsan fault serving slo tier lint tidy)" >&2
+      echo "check.sh: unknown stage '$s' (expected: release asan tsan fault serving slo tier fleet lint tidy)" >&2
       exit 2
       ;;
   esac
@@ -124,8 +127,26 @@ run_tier() {
   ctest --test-dir build-asan-ubsan -L tier --output-on-failure || return 1
 }
 
+run_fleet() {
+  banner "fleet: router suite (routing, outage drain, migration, all builds)"
+  # The fleet suite asserts bit-identical seeded runs and
+  # exactly-one-terminal-state under a replica outage. It runs in all
+  # three lanes: Release, ASan+UBSan, and TSan — the router will sit in
+  # front of the threaded kernel pool (ROADMAP), so the TSan tripwire
+  # covers it from day one.
+  cmake --preset release || return 1
+  cmake --build --preset release -j "$JOBS" --target fleet_router_test || return 1
+  ctest --test-dir build-release -L fleet --output-on-failure || return 1
+  cmake --preset debug-asan-ubsan || return 1
+  cmake --build --preset debug-asan-ubsan -j "$JOBS" --target fleet_router_test || return 1
+  ctest --test-dir build-asan-ubsan -L fleet --output-on-failure || return 1
+  cmake --preset debug-tsan || return 1
+  cmake --build --preset debug-tsan -j "$JOBS" --target fleet_router_test || return 1
+  ctest --test-dir build-tsan -L fleet --output-on-failure || return 1
+}
+
 run_lint() {
-  banner "lint: turbo_lint determinism + quant-invariant rules (11 rules)"
+  banner "lint: turbo_lint determinism + quant-invariant rules (12 rules)"
   # Reuse whichever configured build dir already has the lint binary;
   # fall back to configuring the release preset.
   local bin=""
@@ -163,6 +184,7 @@ if [[ $FAILED -eq 0 ]] && want fault; then run_fault || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want serving; then run_serving || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want slo; then run_slo || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tier; then run_tier || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want fleet; then run_fleet || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want lint; then run_lint || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tidy; then run_tidy || FAILED=1; fi
 

@@ -335,23 +335,31 @@ bool find_struct_body(const Tokens& toks, const char* name,
   return false;
 }
 
-void rule_unmirrored_engine_counters(const Project& project,
-                                     std::vector<Finding>& out) {
-  const SourceFile* engine_h = project.find("src/serving/engine.h");
-  const SourceFile* metrics_h = project.find("src/serving/metrics.h");
-  const SourceFile* metrics_cpp = project.find("src/serving/metrics.cpp");
-  if (engine_h == nullptr) return;  // serving layer absent from this tree
+// One result-struct / metrics-struct mirror pair: every std::size_t or
+// bool field of `result_struct` (in `result_rel`) must appear in
+// `metrics_struct` (in `metrics_rel`) and be read as `result.<name>` in
+// `metrics_cpp_rel`. Instantiated for the serving engine and the fleet
+// router.
+void check_counter_mirror(const Project& project, const char* result_rel,
+                          const char* result_struct, const char* metrics_rel,
+                          const char* metrics_struct,
+                          const char* metrics_cpp_rel,
+                          std::vector<Finding>& out) {
+  const SourceFile* engine_h = project.find(result_rel);
+  const SourceFile* metrics_h = project.find(metrics_rel);
+  const SourceFile* metrics_cpp = project.find(metrics_cpp_rel);
+  if (engine_h == nullptr) return;  // layer absent from this tree
 
   const Tokens& etoks = engine_h->lexed.tokens;
   std::size_t rbegin = 0;
   std::size_t rend = 0;
-  if (!find_struct_body(etoks, "EngineResult", rbegin, rend)) return;
+  if (!find_struct_body(etoks, result_struct, rbegin, rend)) return;
 
   std::size_t mbegin = 0;
   std::size_t mend = 0;
   const bool have_metrics =
       metrics_h != nullptr && find_struct_body(metrics_h->lexed.tokens,
-                                               "ServingMetrics", mbegin, mend);
+                                               metrics_struct, mbegin, mend);
 
   for (std::size_t i = rbegin + 1; i + 1 < rend; ++i) {
     std::string name;
@@ -389,17 +397,29 @@ void rule_unmirrored_engine_counters(const Project& project,
     }
     if (in_metrics && assigned) continue;
     std::string what;
-    if (!in_metrics) what = "has no ServingMetrics counterpart";
+    if (!in_metrics) {
+      what = std::string("has no ") + metrics_struct + " counterpart";
+    }
     if (!assigned) {
       if (!what.empty()) what += " and ";
-      what += "is never read from result. in src/serving/metrics.cpp";
+      what += std::string("is never read from result. in ") + metrics_cpp_rel;
     }
     emit(*engine_h, line, "unmirrored-engine-counter",
-         "EngineResult::" + name + " " + what +
-             "; mirror it into ServingMetrics (or annotate with "
-             "turbo-lint: allow-unmirrored)",
+         std::string(result_struct) + "::" + name + " " + what +
+             "; mirror it into " + metrics_struct +
+             " (or annotate with turbo-lint: allow-unmirrored)",
          out);
   }
+}
+
+void rule_unmirrored_engine_counters(const Project& project,
+                                     std::vector<Finding>& out) {
+  check_counter_mirror(project, "src/serving/engine.h", "EngineResult",
+                       "src/serving/metrics.h", "ServingMetrics",
+                       "src/serving/metrics.cpp", out);
+  check_counter_mirror(project, "src/fleet/router.h", "FleetResult",
+                       "src/fleet/metrics.h", "FleetMetrics",
+                       "src/fleet/metrics.cpp", out);
 }
 
 // --- rule 7: unfaultable-swap-io ------------------------------------------
@@ -430,6 +450,46 @@ void rule_unfaultable_swap_io(const SourceFile& file,
              " stores or fetches a swap stream but takes no FaultInjector*; "
              "every swap I/O path must be fault-injectable (or annotate "
              "with turbo-lint: allow-unfaultable)",
+         out);
+  }
+}
+
+// --- rule 12: unfaultable-replica-channel ---------------------------------
+
+// Mirror of rule 7 for the fleet layer: every replica-to-replica KV
+// migration/transfer entry point in src/fleet/ must accept a
+// FaultInjector*, so in-transit corruption stays injectable and
+// seed-deterministic. Call sites (obj.migrate(...)) are exempt; the
+// router's private failover plumbing is deliberately outside the set —
+// the contract binds the wire, not the bookkeeping around it.
+void rule_unfaultable_replica_channel(const SourceFile& file,
+                                      std::vector<Finding>& out) {
+  if (file.rel.rfind("src/fleet/", 0) != 0) return;
+  static const std::set<std::string> kChannelFns = {
+      "migrate", "migrate_stream", "transfer", "transfer_stream"};
+  const Tokens& toks = file.lexed.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        kChannelFns.count(toks[i].text) == 0 ||
+        !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    // A name preceded by '.' or '->' is a call site, not a signature.
+    if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      continue;
+    }
+    const std::size_t close = match_paren(toks, i + 1);
+    bool has_injector = false;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (is_ident(toks[j], "FaultInjector")) has_injector = true;
+    }
+    if (has_injector) continue;
+    emit(file, toks[i].line, "unfaultable-replica-channel",
+         toks[i].text +
+             " moves a KV stream between replicas but takes no "
+             "FaultInjector*; every migration path must be "
+             "fault-injectable (or annotate with turbo-lint: "
+             "allow-unfaultable-channel)",
          out);
   }
 }
@@ -907,6 +967,10 @@ const std::vector<RuleInfo>& rules() {
        "float accumulation over unordered iteration is hash-layout-"
        "dependent; sort first or accumulate in integer domain",
        "allow-unordered-reduction"},
+      {"unfaultable-replica-channel",
+       "every src/fleet migration/transfer entry point must accept a "
+       "FaultInjector*",
+       "allow-unfaultable-channel"},
   };
   return kRules;
 }
@@ -919,6 +983,7 @@ std::vector<Finding> run_rules(const Project& project) {
     rule_integer_kernel(f, out);
     rule_unchecked_cache_append(f, out);
     rule_unfaultable_swap_io(f, out);
+    rule_unfaultable_replica_channel(f, out);
     rule_nondeterministic_iteration(project, f, out);
     rule_unsanctioned_entropy(f, out);
     rule_mutable_global_state(f, out);

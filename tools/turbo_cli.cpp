@@ -16,6 +16,8 @@
 
 #include "bench/task_methods.h"
 #include "common/check.h"
+#include "fleet/metrics.h"
+#include "fleet/router.h"
 #include "model/profile.h"
 #include "serving/engine.h"
 #include "serving/metrics.h"
@@ -52,7 +54,13 @@ using tools::Flags;
       "            --disk-bandwidth GB_PER_S (disk tier link)\n"
       "            --swap-cap HOST,DISK (GB per tier, 0 = unbounded)\n"
       "            --tier-fail-p P | P_HOST,P_DISK (unavailable prob)\n"
-      "            --tier-retry-budget N (fetch attempts per tier)\n");
+      "            --tier-retry-budget N (fetch attempts per tier)\n"
+      "            --replicas N (data-parallel fleet; 1 = single engine)\n"
+      "            --route rr|lop|class (fleet routing policy)\n"
+      "            --replica-outage IDX:START,END[;IDX:START,END...]\n"
+      "            --migrate-corrupt-p P (per-migration corruption prob)\n"
+      "            --interconnect GB_PER_S (replica-to-replica link)\n"
+      "            --failover-budget N (migrations per request)\n");
   std::exit(2);
 }
 
@@ -209,7 +217,9 @@ int run_serve(const Flags& flags) {
                         "policy", "class-mix", "deadline-ttft",
                         "deadline-e2e", "degrade", "degrade-frac",
                         "swap-tiers", "disk-bandwidth", "swap-cap",
-                        "tier-fail-p", "tier-retry-budget"});
+                        "tier-fail-p", "tier-retry-budget", "replicas",
+                        "route", "replica-outage", "migrate-corrupt-p",
+                        "interconnect", "failover-budget"});
   serving::TraceConfig trace_cfg;
   trace_cfg.arrival_rate = flags.get_double("rate", 4.0);
   trace_cfg.duration_s = flags.get_double("duration", 60.0);
@@ -307,7 +317,118 @@ int run_serve(const Flags& flags) {
   engine.swap.health.retry_budget =
       static_cast<std::size_t>(flags.get_int("tier-retry-budget", 2));
 
+  // Fleet knobs: replica count, routing policy, deterministic outage
+  // windows and the migration fault/interconnect model (src/fleet).
+  const long replicas = flags.get_int("replicas", 1);
+  if (replicas < 1 ||
+      static_cast<std::size_t>(replicas) > turbo::kMaxReplicas) {
+    std::fprintf(stderr, "--replicas must be in [1, %zu]\n",
+                 turbo::kMaxReplicas);
+    std::exit(2);
+  }
+  engine.faults.migration_corruption_prob =
+      flags.get_double("migrate-corrupt-p", 0.0);
+  const std::string outages = flags.get("replica-outage", "");
+  for (std::size_t pos = 0; pos < outages.size();) {
+    std::size_t end = outages.find(';', pos);
+    if (end == std::string::npos) end = outages.size();
+    const std::string seg = outages.substr(pos, end - pos);
+    const std::size_t colon = seg.find(':');
+    const std::size_t comma = seg.find(',', colon + 1);
+    long idx = -1;
+    double start = 0.0;
+    double stop = 0.0;
+    bool ok = colon != std::string::npos && comma != std::string::npos;
+    if (ok) {
+      try {
+        idx = std::stol(seg.substr(0, colon));
+        start = std::stod(seg.substr(colon + 1, comma - colon - 1));
+        stop = std::stod(seg.substr(comma + 1));
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok || idx < 0 || idx >= replicas || stop < start) {
+      std::fprintf(stderr,
+                   "--replica-outage wants IDX:START,END[;...] with IDX < "
+                   "--replicas and END >= START (got '%s')\n",
+                   seg.c_str());
+      std::exit(2);
+    }
+    engine.faults.replicas[static_cast<std::size_t>(idx)].outage_start_s =
+        start;
+    engine.faults.replicas[static_cast<std::size_t>(idx)].outage_end_s =
+        stop;
+    pos = end + 1;
+  }
+
   const auto trace = serving::generate_trace(trace_cfg);
+
+  if (replicas > 1 || !outages.empty()) {
+    fleet::FleetConfig fc;
+    fc.engine = engine;
+    fc.replicas = static_cast<std::size_t>(replicas);
+    const std::string route = flags.get("route", "class");
+    if (route == "rr") {
+      fc.route = fleet::RoutePolicy::kRoundRobin;
+    } else if (route == "lop") {
+      fc.route = fleet::RoutePolicy::kLeastOutstandingPages;
+    } else if (route == "class") {
+      fc.route = fleet::RoutePolicy::kClassAware;
+    } else {
+      std::fprintf(stderr, "unknown route policy '%s'\n", route.c_str());
+      std::exit(2);
+    }
+    fc.interconnect_bandwidth =
+        flags.get_double("interconnect", 64.0) * 1e9;
+    fc.failover_budget =
+        static_cast<std::size_t>(flags.get_int("failover-budget", 2));
+    const fleet::FleetMetrics fm =
+        fleet::summarize_fleet(fleet::run_fleet(fc, trace));
+    std::printf("%zu requests @ %.1f req/s over %zu replicas (%s): "
+                "%.0f tok/s, TTFT p50/p99 %.2f/%.2f s, rejected %zu, "
+                "timed-out %zu, shed %zu\n",
+                trace.size(), trace_cfg.arrival_rate, fm.replica_count,
+                fleet::route_policy_name(fc.route),
+                fm.fleet.output_tokens_per_s, fm.fleet.ttft_p50,
+                fm.fleet.ttft_p99, fm.fleet.rejected, fm.fleet.timed_out,
+                fm.fleet.shed);
+    for (std::size_t c = 0; c < serving::kServiceClassCount; ++c) {
+      const serving::ClassBreakdown& cb = fm.fleet.by_class[c];
+      if (cb.requests == 0) continue;
+      std::printf("  %-11s %4zu req: %zu done, %zu timed-out, %zu shed, "
+                  "TTFT p99 %.2f s",
+                  serving::service_class_name(
+                      static_cast<serving::ServiceClass>(c)),
+                  cb.requests, cb.completed, cb.timed_out, cb.shed,
+                  cb.ttft_p99);
+      if (cb.deadline_requests > 0) {
+        std::printf(", TTFT-SLO %.1f%%", 100.0 * cb.ttft_attainment);
+      }
+      std::printf("\n");
+    }
+    std::printf("  fleet: %zu outages, %zu drained, %zu migrations "
+                "(%.2f GB, %.3f s on the wire), %zu corrupt, %zu "
+                "recomputed, %zu over budget, %zu rerouted\n",
+                fm.replica_outages, fm.failover_drains, fm.migrations,
+                fm.migrated_gb, fm.migration_stall_s,
+                fm.migration_corruptions, fm.migration_recomputes,
+                fm.migration_budget_exhausted, fm.rerouted_waiting);
+    for (std::size_t i = 0; i < fm.replicas.size(); ++i) {
+      const serving::ServingMetrics& rm = fm.replicas[i];
+      std::printf("    replica %zu: %zu done, %zu timed-out, %zu shed, "
+                  "%zu preemptions, TTFT p99 %.2f s\n",
+                  i, rm.completed, rm.timed_out, rm.shed, rm.preemptions,
+                  rm.ttft_p99);
+    }
+    if (fm.hit_time_limit) {
+      std::printf("  WARNING: simulation time limit hit with %zu requests "
+                  "unfinished — results are truncated, not clean\n",
+                  fm.fleet.unfinished);
+    }
+    return 0;
+  }
+
   const serving::ServingMetrics m =
       serving::summarize(serving::run_engine(engine, trace));
   std::printf("%zu requests @ %.1f req/s: %.0f tok/s, TTFT p50/p99 "
