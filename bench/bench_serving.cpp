@@ -359,5 +359,72 @@ int main() {
               "class-aware steer the displaced load to the emptiest "
               "survivors and hold interactive TTFT-SLO attainment within "
               "a few points (target: <= 5) of the no-outage run.\n");
+
+  // --- Prefix sharing: session workloads over the radix KV index ---------
+  // A session mix dominated by one ~1024-token system prompt (90% of
+  // sessions carry it, 4 turns each, a third agentic), run twice over the
+  // *same* trace: once with token ids stripped (every turn re-prefills its
+  // whole history from scratch) and once with ids intact (the radix index
+  // attaches resident prefix pages at admission, so only the novel suffix
+  // is charged and prefilled).
+  std::printf("\n=== Prefix sharing: Phi3-mini on A100-PCIe-40GB, headroom "
+              "0.35, Turbo-4, interactive TTFT SLO 2.5 s ===\n");
+  std::printf("sessions: 1024-token shared system prompt (90%% of "
+              "sessions), 4 turns, 33%% agentic tool loops\n\n");
+  {
+    TraceConfig t;
+    t.arrival_rate = 3.0;
+    t.duration_s = 30.0;
+    t.prompt_log_mean = 5.5;
+    t.prompt_log_std = 0.5;
+    t.gen_log_mean = 4.5;
+    t.gen_log_std = 0.5;
+    t.seed = 23;
+    t.class_mix = {1.0, 0.0, 0.0};
+    t.ttft_deadline_s = {2.5, 0.0, 0.0};
+    t.shared_prefix_tokens = 1024;
+    t.shared_prefix_fraction = 0.9;
+    t.session_turns = 4;
+    t.session_gap_s = 2.0;
+    t.agentic_fraction = 0.33;
+    const auto trace = generate_trace(t);
+    auto stripped = trace;  // identical load, no ids => no sharing
+    for (Request& r : stripped) r.prompt_ids.clear();
+    std::printf("trace: %.0f sessions/s for %.0f s (%zu requests "
+                "counting follow-up turns)\n\n",
+                t.arrival_rate, t.duration_s, trace.size());
+    std::printf("%12s  %8s  %12s  %12s  %10s  %9s  %9s\n", "config",
+                "tok/s", "inter. SLO", "prefilled", "peak pages", "hits",
+                "attached");
+    struct ShareRow {
+      const char* label;
+      const std::vector<Request>* trace;
+    };
+    const ShareRow rows[] = {
+        {"no-sharing", &stripped},
+        {"radix-share", &trace},
+    };
+    for (const ShareRow& row : rows) {
+      EngineConfig cfg;
+      cfg.device = turbo::sim::a100_pcie_40gb();
+      cfg.geometry = turbo::sim::phi3_mini_geometry();
+      cfg.method = AttnMethod::kTurbo;
+      cfg.attention.kv_bits = 4.0;
+      cfg.memory_headroom = 0.35;
+      const ServingMetrics s = summarize(run_engine(cfg, *row.trace));
+      const ClassBreakdown& inter = s.by_class[0];
+      std::printf("%12s  %8.0f  %11.1f%%  %9zu tok  %10zu  %9zu  %9zu\n",
+                  row.label, s.output_tokens_per_s,
+                  100.0 * inter.ttft_attainment, s.prefilled_tokens,
+                  s.peak_referenced_pages, s.prefix_hit_requests,
+                  s.prefix_pages_attached);
+    }
+  }
+  std::printf("\nExpected: with sharing on, every follow-up turn and every "
+              "shared-system-prompt admission attaches its history from "
+              "the radix index, so total prefilled tokens drop by >= 50%% "
+              "and peak referenced pages fall below the no-sharing run, "
+              "at equal or better interactive TTFT-SLO attainment on the "
+              "identical request stream.\n");
   return 0;
 }

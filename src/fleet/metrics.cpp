@@ -57,6 +57,12 @@ serving::EngineResult aggregate(const FleetResult& result) {
     agg.swap_overflow_recomputes += er.swap_overflow_recomputes;
     agg.swap_tiers_used += er.swap_tiers_used;
     agg.tier_retry_stall_s += er.tier_retry_stall_s;
+    agg.prefix_hit_tokens += er.prefix_hit_tokens;
+    agg.prefix_hit_requests += er.prefix_hit_requests;
+    agg.prefix_pages_attached += er.prefix_pages_attached;
+    agg.retained_pages_reclaimed += er.retained_pages_reclaimed;
+    agg.prefilled_tokens += er.prefilled_tokens;
+    agg.peak_referenced_pages += er.peak_referenced_pages;
     for (std::size_t t = 0; t < kMaxSwapTiers; ++t) {
       agg.tier_stats[t].stores += er.tier_stats[t].stores;
       agg.tier_stats[t].hits += er.tier_stats[t].hits;

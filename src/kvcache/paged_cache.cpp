@@ -11,7 +11,8 @@ PagedKvCache::PagedKvCache(std::size_t head_dim, BitWidth bits,
       page_tokens_(page_tokens),
       allocator_(page_count),
       page_data_(page_count),
-      refcount_(page_count, 0) {
+      refcount_(page_count, 0),
+      radix_(page_tokens) {
   TURBO_CHECK(head_dim_ > 0);
   TURBO_CHECK(page_tokens_ > 0);
 }
@@ -41,11 +42,37 @@ void PagedKvCache::release_sequence(SeqId seq) {
   for (PageId p : s.pages) {
     TURBO_DCHECK(refcount_[p] > 0);
     if (--refcount_[p] == 0) {
+      // Dying pages leave the prefix index; descendants cascade out with
+      // them (unreachable without their ancestor) but stay allocated —
+      // erase_page returns index membership, not references.
+      if (radix_.has_page(p)) radix_.erase_page(p);
       page_data_[p] = KvBlock{};
       allocator_.release(p);
     }
   }
   sequences_.erase(seq);
+}
+
+void PagedKvCache::register_prefix(SeqId seq,
+                                   std::span<const std::int32_t> tokens) {
+  const Sequence& s = seq_ref(seq);
+  std::size_t n = tokens.size() / page_tokens_;
+  if (n > s.pages.size()) n = s.pages.size();
+  radix_.insert(tokens.first(n * page_tokens_),
+                std::span<const PageId>(s.pages.data(), n));
+}
+
+PagedKvCache::PrefixAttach PagedKvCache::create_with_prefix(
+    std::span<const std::int32_t> tokens) {
+  const std::vector<PageId> matched = radix_.match(tokens);
+  const SeqId id = create_sequence();
+  Sequence& s = seq_ref(id);
+  for (const PageId p : matched) {
+    TURBO_DCHECK(refcount_[p] > 0);  // index never outlives its pages
+    ++refcount_[p];
+    s.pages.push_back(p);
+  }
+  return PrefixAttach{id, matched.size() * page_tokens_};
 }
 
 bool PagedKvCache::append_token(SeqId seq, std::span<const float> k,
@@ -67,12 +94,22 @@ bool PagedKvCache::append_prefill_block(SeqId seq, const Int8Tile& k_tile,
   Sequence& s = seq_ref(seq);
   TURBO_CHECK(k_tile.q.cols() == head_dim_);
   TURBO_CHECK(k_tile.q.rows() == v_tile.q.rows());
-  TURBO_CHECK_MSG(s.k_buffer.empty(),
-                  "prefill blocks must precede decode tokens");
+  // Same lazy flush-before-push contract as append_token: a full buffer
+  // is drained only when the incoming tile needs the space, so page
+  // exhaustion surfaces *before* any row is absorbed and a failed call
+  // leaves the sequence untouched — an evict-and-retry caller replays
+  // the tile with no token lost and none duplicated. (The old shape
+  // pushed the ragged rows first and flushed after, so a failed flush
+  // stranded them in the buffer for the retry to double-append.)
+  if (s.k_buffer.full()) {
+    if (!flush_buffer(s)) return false;
+  }
   s.k_buffer.seed_scale(k_tile.scale * kSymmetricHeadroom);
   s.v_buffer.seed_scale(v_tile.scale * kSymmetricHeadroom);
 
   if (k_tile.q.rows() == page_tokens_) {
+    TURBO_CHECK_MSG(s.k_buffer.empty(),
+                    "page-sized prefill tile must not straddle buffered rows");
     const PageId page = allocator_.allocate();
     if (page == kInvalidPage) return false;
     page_data_[page].k =
@@ -83,9 +120,13 @@ bool PagedKvCache::append_prefill_block(SeqId seq, const Int8Tile& k_tile,
     s.pages.push_back(page);
     return true;
   }
-  // Ragged final tile: route through the buffer (stays INT8 until enough
-  // decode tokens arrive to fill a page).
+  // Ragged tile: route through the buffer (stays INT8 until enough tokens
+  // arrive to fill a page). Ragged tiles may continue a partially-filled
+  // buffer — suffix prefill after a prefix attach lands here — as long as
+  // the rows fit; the next append drains a full buffer lazily.
   TURBO_CHECK(k_tile.q.rows() < page_tokens_);
+  TURBO_CHECK_MSG(s.k_buffer.size() + k_tile.q.rows() <= page_tokens_,
+                  "ragged prefill tile overflows the tail buffer");
   for (std::size_t r = 0; r < k_tile.q.rows(); ++r) {
     std::vector<float> kt(head_dim_);
     std::vector<float> vt(head_dim_);
@@ -94,7 +135,6 @@ bool PagedKvCache::append_prefill_block(SeqId seq, const Int8Tile& k_tile,
     s.k_buffer.push(kt);
     s.v_buffer.push(vt);
   }
-  if (s.k_buffer.full()) return flush_buffer(s);
   return true;
 }
 
@@ -184,6 +224,15 @@ const DecodeBuffer& PagedKvCache::key_buffer(SeqId seq) const {
 }
 const DecodeBuffer& PagedKvCache::value_buffer(SeqId seq) const {
   return seq_ref(seq).v_buffer;
+}
+
+std::size_t PagedKvCache::charged_pages(SeqId seq) const {
+  const Sequence& s = seq_ref(seq);
+  std::size_t n = 0;
+  for (const PageId p : s.pages) {
+    if (refcount_[p] == 1) ++n;
+  }
+  return n;
 }
 
 std::size_t PagedKvCache::shared_pages() const {

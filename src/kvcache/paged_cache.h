@@ -17,6 +17,7 @@
 #include "kvcache/decode_buffer.h"
 #include "kvcache/page_allocator.h"
 #include "kvcache/quantized_kv_cache.h"
+#include "kvcache/radix_index.h"
 
 namespace turbo {
 
@@ -45,6 +46,26 @@ class PagedKvCache {
 
   void release_sequence(SeqId seq);
   bool has_sequence(SeqId seq) const { return sequences_.count(seq) > 0; }
+
+  // --- Prefix sharing (kvcache/radix_index.h) -------------------------
+  // Index `seq`'s full pages under its token ids so later prompts can
+  // attach to them. Only whole pages are indexed (the tail buffer is
+  // private by construction); chunks already indexed keep their original
+  // page. Indexed pages stay shareable until their refcount drops to
+  // zero — the index holds no reference of its own, so sharing is among
+  // live sequences only.
+  void register_prefix(SeqId seq, std::span<const std::int32_t> tokens);
+
+  struct PrefixAttach {
+    SeqId seq = 0;
+    std::size_t matched_tokens = 0;  // whole-page prefix attached
+  };
+  // Create a sequence attached to the longest indexed prefix of `tokens`:
+  // matched full pages join the new sequence by refcount bump — the
+  // fork_sequence CoW path generalized to partial prefixes. Never fails
+  // and never consumes a page; the caller prefills only the suffix past
+  // `matched_tokens`.
+  PrefixAttach create_with_prefix(std::span<const std::int32_t> tokens);
 
   // --- Data path ----------------------------------------------------------
   // Append one token's K/V to a sequence. Returns false when the cache is
@@ -85,8 +106,16 @@ class PagedKvCache {
   std::size_t sequence_count() const { return sequences_.size(); }
   // Pages referenced by more than one sequence.
   std::size_t shared_pages() const;
+  // Pages this sequence is charged for: only privately-referenced pages
+  // (refcount == 1) count. Shared pages are charged to nobody — across
+  // all sequences, sum(charged_pages) + shared_pages() == used_pages().
+  // Schedulers enforcing per-class page shares must bill with this, not
+  // the page-table length, or residents of a shared prefix are
+  // overcharged for pages evicting them would not free.
+  std::size_t charged_pages(SeqId seq) const;
   // Total compressed bytes held (pages + buffers).
   std::size_t memory_bytes() const;
+  const RadixIndex& radix() const { return radix_; }
 
  private:
   struct Sequence {
@@ -105,6 +134,7 @@ class PagedKvCache {
   PageAllocator allocator_;
   std::vector<KvBlock> page_data_;       // indexed by PageId
   std::vector<std::uint32_t> refcount_;  // indexed by PageId
+  RadixIndex radix_;
   std::unordered_map<SeqId, Sequence> sequences_;
   SeqId next_seq_ = 1;
 };

@@ -1,0 +1,82 @@
+#include "kvcache/radix_index.h"
+
+#include "common/check.h"
+
+namespace turbo {
+
+RadixIndex::RadixIndex(std::size_t page_tokens) : page_tokens_(page_tokens) {
+  TURBO_CHECK(page_tokens_ > 0);
+}
+
+std::vector<PageId> RadixIndex::match(
+    std::span<const std::int32_t> tokens) const {
+  std::vector<PageId> out;
+  const Node* node = &root_;
+  std::size_t pos = 0;
+  while (pos + page_tokens_ <= tokens.size()) {
+    const std::vector<std::int32_t> chunk(
+        tokens.begin() + static_cast<std::ptrdiff_t>(pos),
+        tokens.begin() + static_cast<std::ptrdiff_t>(pos + page_tokens_));
+    const auto it = node->children.find(chunk);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    out.push_back(node->page);
+    pos += page_tokens_;
+  }
+  return out;
+}
+
+std::size_t RadixIndex::insert(std::span<const std::int32_t> tokens,
+                               std::span<const PageId> pages) {
+  TURBO_CHECK_MSG(pages.size() * page_tokens_ <= tokens.size(),
+                  "radix insert: fewer token chunks than pages");
+  Node* node = &root_;
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    TURBO_CHECK(pages[i] != kInvalidPage);
+    std::vector<std::int32_t> chunk(
+        tokens.begin() + static_cast<std::ptrdiff_t>(i * page_tokens_),
+        tokens.begin() + static_cast<std::ptrdiff_t>((i + 1) * page_tokens_));
+    const auto it = node->children.find(chunk);
+    if (it != node->children.end()) {
+      node = it->second.get();  // first writer wins; keep the original page
+      continue;
+    }
+    auto child = std::make_unique<Node>();
+    child->parent = node;
+    child->key = chunk;
+    child->page = pages[i];
+    Node* raw = child.get();
+    TURBO_CHECK_MSG(by_page_.emplace(pages[i], raw).second,
+                    "page " << pages[i] << " already indexed");
+    node->children.emplace(std::move(chunk), std::move(child));
+    node = raw;
+    ++added;
+  }
+  return added;
+}
+
+void RadixIndex::collect_pages(const Node& node,
+                               std::vector<PageId>& out) const {
+  out.push_back(node.page);
+  for (const auto& [key, child] : node.children) {
+    collect_pages(*child, out);
+  }
+}
+
+std::vector<PageId> RadixIndex::erase_page(PageId page) {
+  const auto it = by_page_.find(page);
+  TURBO_CHECK_MSG(it != by_page_.end(), "page " << page << " not indexed");
+  Node* node = it->second;
+  std::vector<PageId> removed;
+  collect_pages(*node, removed);
+  for (const PageId p : removed) {
+    by_page_.erase(p);
+  }
+  Node* parent = node->parent;
+  TURBO_CHECK(parent != nullptr);
+  parent->children.erase(node->key);  // destroys the subtree
+  return removed;
+}
+
+}  // namespace turbo

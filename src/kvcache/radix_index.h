@@ -1,0 +1,73 @@
+// Radix (trie) index over token prefixes at page granularity.
+//
+// SGLang-style RadixAttention bookkeeping for the paged cache: each edge
+// is one page worth of token ids, each node names the resident page that
+// holds that chunk's compressed KV. Admission matches an incoming prompt
+// against the tree to find the longest resident full-page prefix; the
+// matched pages are then attached by refcount bump (the fork_sequence CoW
+// path generalized to partial prefixes) and only the novel suffix is
+// charged pages and chunk-prefilled. The index stores no KV data and owns
+// no references — refcounts live with the cache/engine that feeds it, and
+// the owner must erase pages here when they die.
+//
+// Children are kept in a std::map keyed by the token chunk, so every walk
+// and cascade is deterministic (lint rule 8: no unordered iteration).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kvcache/page_allocator.h"
+
+namespace turbo {
+
+class RadixIndex {
+ public:
+  explicit RadixIndex(std::size_t page_tokens);
+
+  std::size_t page_tokens() const { return page_tokens_; }
+  // Number of pages currently indexed.
+  std::size_t size() const { return by_page_.size(); }
+
+  // Longest indexed prefix of `tokens`, as the pages holding it in order.
+  // Only whole page_tokens-sized chunks match; a partial tail never does.
+  std::vector<PageId> match(std::span<const std::int32_t> tokens) const;
+
+  // Index pages[i] under the i-th page-sized chunk of `tokens`
+  // (tokens.size() must cover pages.size() whole chunks). Chunks already
+  // indexed keep their original page — the first writer wins, so two
+  // sequences that prefilled the same prefix privately do not fight over
+  // the index. Returns how many pages were newly indexed.
+  std::size_t insert(std::span<const std::int32_t> tokens,
+                     std::span<const PageId> pages);
+
+  bool has_page(PageId page) const { return by_page_.count(page) > 0; }
+
+  // Remove the node holding `page` together with its whole subtree (the
+  // descendants would be unreachable without their ancestor) and return
+  // every page whose node was removed, `page` first. The caller decides
+  // what removal means for each returned page (free it, keep it — the
+  // index holds no references).
+  std::vector<PageId> erase_page(PageId page);
+
+ private:
+  struct Node {
+    std::map<std::vector<std::int32_t>, std::unique_ptr<Node>> children;
+    Node* parent = nullptr;
+    std::vector<std::int32_t> key;          // edge label from parent
+    PageId page = kInvalidPage;             // kInvalidPage only at the root
+  };
+
+  void collect_pages(const Node& node, std::vector<PageId>& out) const;
+
+  std::size_t page_tokens_;
+  Node root_;
+  // Reverse lookup only — never iterated (determinism is preserved).
+  std::unordered_map<PageId, Node*> by_page_;
+};
+
+}  // namespace turbo

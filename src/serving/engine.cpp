@@ -4,12 +4,15 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <map>
 #include <optional>
+#include <span>
 
 #include "common/check.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "kvcache/page_allocator.h"
+#include "kvcache/radix_index.h"
 #include "quant/error.h"
 #include "serving/swap.h"
 
@@ -38,6 +41,11 @@ struct Paused {
   double bytes;             // swapped stream size (0 for recompute)
   double kv_bits;           // precision the parked KV is stored at
   bool promote_tried = false;  // one promote attempt per page-blocked wait
+  // Leading tokens whose pages were shared/registered at eviction: they
+  // were not serialized (other residents or the retained pool keep them),
+  // so re-admission re-matches the radix index for them and recomputes
+  // only the shortfall.
+  std::size_t prefix_tokens = 0;
 };
 
 // Deadline comparisons use a slack so a token landing exactly on the
@@ -164,6 +172,8 @@ class EngineImpl {
       : config_(config),
         d_(derive_config(config)),
         allocator_(d_.page_count),
+        radix_(config.page_tokens),
+        page_ref_(d_.page_count, 0),
         fault_(config.faults),
         class_aware_(config.policy == SchedPolicy::kClassAware),
         iters_since_level_change_(config.degrade.window_iters) {
@@ -312,8 +322,10 @@ class EngineImpl {
 
     // --- Pressure controller: sample occupancy, walk the ladder ---------
     if (config_.degrade.enabled) {
+      // Retained pages are reclaimable on demand, so they are not
+      // pressure; the ladder watches what live sequences reference.
       occupancy_window_.push_back(
-          static_cast<double>(allocator_.used_pages()) /
+          static_cast<double>(referenced_pages()) /
           static_cast<double>(d_.page_count));
       if (occupancy_window_.size() > config_.degrade.window_iters) {
         occupancy_window_.pop_front();
@@ -388,8 +400,21 @@ class EngineImpl {
       // re-admit at the *current* ladder precision; swapped victims keep
       // the precision their parked stream was written at.
       double bits = p.swapped ? p.kv_bits : current_bits();
+      // Prefix pages were left resident at eviction (shared or retained);
+      // whatever the index still holds is re-attached for free and only
+      // the shortfall — pages reclaimed in the meantime — is recomputed.
+      std::vector<PageId> matched;
+      if (p.prefix_tokens > 0) {
+        matched = radix_.match(std::span<const std::int32_t>(
+            result_.requests[p.trace_index].prompt_ids.data(),
+            std::min<std::size_t>(
+                result_.requests[p.trace_index].prompt_ids.size(),
+                bits == d_.bits_normal ? p.prefix_tokens : 0)));
+      }
+      std::size_t needed = pages_needed(p.context + 1, bits);
+      needed -= std::min(needed, matched.size());
       std::vector<PageId> pages;
-      if (!try_alloc(pages_needed(p.context + 1, bits), pages)) {
+      if (!try_alloc(needed, pages)) {
         // Page-blocked: spend the wait staging the parked stream up the
         // hierarchy (once per wait), so when pages do free up the
         // swap-in reads at host-link speed instead of disk speed.
@@ -408,6 +433,22 @@ class EngineImpl {
         break;                                         // no overtaking
       }
       Request& r = result_.requests[p.trace_index];
+      // Attach the surviving prefix (refcount bump, no allocation, no
+      // prefill) and recompute only what the index lost since eviction.
+      const std::size_t matched_tokens = matched.size() * d_.tpp_normal;
+      for (const PageId pg : matched) attach_page(pg);
+      pages.insert(pages.begin(), matched.begin(), matched.end());
+      if (p.prefix_tokens > matched_tokens) {
+        const std::size_t shortfall = p.prefix_tokens - matched_tokens;
+        const double cost = prefill_cost(shortfall, bits);
+        admit_latency += cost;
+        result_.busy_s += cost;
+        r.recomputed_tokens += shortfall;
+        result_.recomputed_tokens += shortfall;
+      }
+      // Tokens the parked stream (or a recompute) must restore: the
+      // prefix never left the machine.
+      const std::size_t private_context = p.context - p.prefix_tokens;
       if (p.swapped) {
         const TieredSwapStore::FetchOutcome fo =
             swap_store_->fetch(stream_key(r.id), iteration_, now_, &fault_);
@@ -426,11 +467,11 @@ class EngineImpl {
           swap_store_->erase(stream_key(r.id));
           ++result_.swap_unavailable_recomputes;
           bits = current_bits();
-          const double cost = prefill_cost(p.context, bits);
+          const double cost = prefill_cost(private_context, bits);
           admit_latency += cost;
           result_.busy_s += cost;
-          r.recomputed_tokens += p.context;
-          result_.recomputed_tokens += p.context;
+          r.recomputed_tokens += private_context;
+          result_.recomputed_tokens += private_context;
         } else {
           admit_latency += fo.transfer_s;
           result_.swap_stall_s += fo.transfer_s;
@@ -443,25 +484,26 @@ class EngineImpl {
           if (transit_corrupt || fo.corrupted) {
             ++result_.checksum_failures;
             bits = current_bits();
-            const double cost = prefill_cost(p.context, bits);
+            const double cost = prefill_cost(private_context, bits);
             admit_latency += cost;
             result_.busy_s += cost;
-            r.recomputed_tokens += p.context;
-            result_.recomputed_tokens += p.context;
+            r.recomputed_tokens += private_context;
+            result_.recomputed_tokens += private_context;
             ++result_.recoveries;
           } else {
             ++result_.swap_ins;
           }
           swap_store_->erase(stream_key(r.id));
         }
-      } else if (p.context > 0) {
+      } else if (private_context > 0) {
         // Recompute mode: re-derive the evicted KV with a fresh prefill
-        // over everything that was cached (prompt prefix + generated).
-        const double cost = prefill_cost(p.context, bits);
+        // over everything that was cached privately (attached prefix
+        // pages never left the machine).
+        const double cost = prefill_cost(private_context, bits);
         admit_latency += cost;
         result_.busy_s += cost;
-        r.recomputed_tokens += p.context;
-        result_.recomputed_tokens += p.context;
+        r.recomputed_tokens += private_context;
+        result_.recomputed_tokens += private_context;
       }
       if (bits < d_.bits_normal) {
         ++result_.degraded_admissions;
@@ -499,7 +541,7 @@ class EngineImpl {
       // requests protected). Without this, a saturated pool would make
       // every guarantee worthless exactly when it matters.
       auto reclaim_for_guarantee = [&](std::size_t c, std::size_t needed) {
-        while (allocator_.free_pages() < needed) {
+        while (effective_free() < needed) {
           std::size_t best = running_.size();
           for (std::size_t j = 0; j < running_.size(); ++j) {
             if (running_[j].pinned) continue;
@@ -517,6 +559,17 @@ class EngineImpl {
             if (jc != bc) {
               if (jc > bc) best = j;
               continue;
+            }
+            // Shared-prefix pages survive the eviction (another resident
+            // still holds them), so a mostly-shared victim reclaims almost
+            // nothing: prefer the one holding fewer shared pages.
+            {
+              const std::size_t sj = shared_page_count(running_[j]);
+              const std::size_t sb = shared_page_count(running_[best]);
+              if (sj != sb) {
+                if (sj < sb) best = j;
+                continue;
+              }
             }
             if (rj.priority != rb.priority) {
               if (rj.priority < rb.priority) best = j;
@@ -536,16 +589,24 @@ class EngineImpl {
       auto admit_one = [&](std::size_t c) -> bool {
         const std::size_t idx = waiting_[c].front();
         const Request& r = result_.requests[idx];
-        const std::size_t first_chunk =
-            std::min(r.prompt_tokens + 1, d_.quantum);
+        // Radix hit: resident prefix pages attach for free, so the
+        // request is charged (and reclaims, and reserves) only its novel
+        // suffix — a cache-hit prompt is cheap to admit.
+        const std::vector<PageId> matched =
+            match_prefix(r, admit_bits, r.prompt_tokens);
+        const std::size_t matched_tokens = matched.size() * d_.tpp_normal;
+        const std::size_t suffix = r.prompt_tokens - matched_tokens;
+        const std::size_t first_chunk = std::min(suffix + 1, d_.quantum);
         const std::size_t needed = pages_needed(first_chunk, admit_bits);
-        if (class_aware_ && allocator_.free_pages() < needed &&
+        if (class_aware_ && effective_free() < needed &&
             class_used_pages(c) + needed <= guaranteed_pages(c)) {
           reclaim_for_guarantee(c, needed);
         }
         if (!admission_allowed(c, needed)) return false;
         std::vector<PageId> pages;
         if (!try_alloc(needed, pages)) return false;  // injected failure
+        for (const PageId pg : matched) attach_page(pg);
+        pages.insert(pages.begin(), matched.begin(), matched.end());
         Request& mut = result_.requests[idx];
         if (admit_bits < d_.bits_normal) {
           ++result_.degraded_admissions;
@@ -553,7 +614,12 @@ class EngineImpl {
         }
         mut.kv_bits_used = admit_bits;
         result_.min_kv_bits = std::min(result_.min_kv_bits, admit_bits);
-        running_.push_back({idx, 0, r.max_new_tokens, r.prompt_tokens,
+        mut.prefix_hit_tokens = matched_tokens;
+        if (matched_tokens > 0) {
+          ++result_.prefix_hit_requests;
+          result_.prefix_hit_tokens += matched_tokens;
+        }
+        running_.push_back({idx, matched_tokens, r.max_new_tokens, suffix,
                             std::move(pages), false, admit_bits});
         waiting_[c].pop_front();
         return true;
@@ -690,7 +756,23 @@ class EngineImpl {
         ru.context += chunk;
         ru.prompt_left -= chunk;
         budget -= chunk;
+        result_.prefilled_tokens += chunk;
         if (ru.prompt_left > 0) continue;
+        // Prompt complete: publish its full pages in the prefix index so
+        // later prompts (next session turn, same system prompt) attach
+        // instead of re-prefilling. First writer wins on chunks another
+        // request already registered; degraded-precision pages pack a
+        // different token count and are never published.
+        if (!r.prompt_ids.empty() && ru.kv_bits == d_.bits_normal) {
+          const std::size_t n_full =
+              std::min({r.prompt_tokens / d_.tpp_normal,
+                        r.prompt_ids.size() / d_.tpp_normal,
+                        ru.pages.size()});
+          radix_.insert(
+              std::span<const std::int32_t>(r.prompt_ids.data(),
+                                            n_full * d_.tpp_normal),
+              std::span<const PageId>(ru.pages.data(), n_full));
+        }
         // The prompt's last-position output is the first generated token.
         if (r.generated == 0 && ru.remaining > 0) {
           r.first_token_s = now_;
@@ -713,6 +795,8 @@ class EngineImpl {
       result_.peak_kv_bytes = std::max(
           result_.peak_kv_bytes,
           static_cast<double>(allocator_.used_pages()) * d_.page_bytes);
+      result_.peak_referenced_pages =
+          std::max(result_.peak_referenced_pages, referenced_pages());
     }
     if (running_.empty()) return true;  // everyone finished or was evicted
 
@@ -772,6 +856,8 @@ class EngineImpl {
     result_.peak_kv_bytes = std::max(
         result_.peak_kv_bytes,
         static_cast<double>(allocator_.used_pages()) * d_.page_bytes);
+    result_.peak_referenced_pages =
+        std::max(result_.peak_referenced_pages, referenced_pages());
 
     for (std::size_t i = 0; i < running_.size();) {
       Running& ru = running_[i];
@@ -858,6 +944,9 @@ class EngineImpl {
       lift(idx, 0, r.max_new_tokens, r.prompt_tokens, 0.0, false, 0.0);
     }
     pending_.clear();
+    // Unreferenced retained prefix pages are cache, not state: drop them
+    // so the zero-leak check below sees a genuinely empty allocator.
+    flush_retained();
     // Zero-leak invariants: a drained replica holds no pages and no
     // parked streams — nothing to leak when the router tears it down.
     TURBO_CHECK_MSG(allocator_.used_pages() == 0,
@@ -984,13 +1073,91 @@ class EngineImpl {
     return chunk_cost(tokens, 0, bits);
   }
 
+  // Free pages plus the reclaimable retained pool — what admission and
+  // guarantee reclaim may actually count on.
+  std::size_t effective_free() const {
+    return allocator_.free_pages() + retained_.size();
+  }
+  // Pages live sequences actually reference (retained pages excluded):
+  // the occupancy eviction cannot lower, which is what the pressure
+  // controller and the bench's peak-occupancy claim must see.
+  std::size_t referenced_pages() const {
+    return allocator_.used_pages() - retained_.size();
+  }
+
+  // Evict one retained page from the prefix index and free it, cascading
+  // its now-unreachable radix subtree. Descendant pages still referenced
+  // by live requests stay allocated (they merely become unindexed);
+  // descendant pages that were themselves retained free with it.
+  void reclaim_retained_page(PageId page) {
+    for (const PageId q : radix_.erase_page(page)) {
+      const auto it = retained_.find(q);
+      if (it == retained_.end()) continue;
+      retained_.erase(it);
+      allocator_.release(q);
+      ++result_.retained_pages_reclaimed;
+    }
+  }
+  void flush_retained() {
+    while (!retained_.empty()) {
+      reclaim_retained_page(retained_.begin()->first);
+    }
+  }
+
+  // Allocate one page (ref == 1). On genuine exhaustion the retained pool
+  // is reclaimed least-recently-retained first and the allocation
+  // retried; injected failures are returned to the caller unchanged (the
+  // fault hit this attempt, retained pages notwithstanding). With an
+  // empty pool this is exactly one allocator call — the legacy fault-draw
+  // sequence.
+  PageId alloc_page() {
+    while (true) {
+      const std::size_t injected_before = allocator_.injected_failures();
+      const PageId p = allocator_.allocate();
+      if (p != kInvalidPage) {
+        page_ref_[p] = 1;
+        return p;
+      }
+      if (allocator_.injected_failures() > injected_before) {
+        return kInvalidPage;
+      }
+      if (retained_.empty()) return kInvalidPage;
+      auto lru = retained_.begin();
+      for (auto it = retained_.begin(); it != retained_.end(); ++it) {
+        if (it->second < lru->second) lru = it;
+      }
+      reclaim_retained_page(lru->first);
+    }
+  }
+
+  // Drop one reference. The last reference parks registered pages in the
+  // retained pool (still attachable through the index) and frees
+  // unregistered ones.
+  void unref_page(PageId page) {
+    TURBO_DCHECK(page_ref_[page] > 0);
+    if (--page_ref_[page] > 0) return;
+    if (radix_.has_page(page)) {
+      retained_.emplace(page, retained_touch_++);
+    } else {
+      allocator_.release(page);
+    }
+  }
+
+  // Attach an indexed page by refcount bump (the CoW fork path): retained
+  // pages leave the pool, referenced pages gain a reference.
+  void attach_page(PageId page) {
+    if (page_ref_[page] == 0) retained_.erase(page);
+    ++page_ref_[page];
+    ++result_.prefix_pages_attached;
+  }
+
   // Allocate `n` pages or none (failed attempts roll back).
   bool try_alloc(std::size_t n, std::vector<PageId>& out) {
     for (std::size_t i = 0; i < n; ++i) {
-      const PageId p = allocator_.allocate();
+      const PageId p = alloc_page();
       if (p == kInvalidPage) {
         while (!out.empty()) {
-          allocator_.release(out.back());
+          unref_page(out.back());
           out.pop_back();
         }
         return false;
@@ -1001,8 +1168,35 @@ class EngineImpl {
   }
 
   void release_all(std::vector<PageId>& pages) {
-    for (const PageId p : pages) allocator_.release(p);
+    for (const PageId p : pages) unref_page(p);
     pages.clear();
+  }
+
+  // Longest resident whole-page prefix of `r`'s prompt ids, capped so at
+  // least one prompt token is always left to prefill (the last-chunk
+  // path stamps first_token_s) and to `cap_tokens`. Empty for legacy
+  // requests and away from the configured precision (pages pack
+  // tpp_normal tokens; a degraded admission must not adopt them).
+  std::vector<PageId> match_prefix(const Request& r, double bits,
+                                   std::size_t cap_tokens) const {
+    if (r.prompt_ids.empty() || bits != d_.bits_normal) return {};
+    std::size_t limit = std::min(r.prompt_ids.size(), r.prompt_tokens);
+    if (limit > 0) limit -= 1;  // never attach the whole prompt
+    limit = std::min(limit, cap_tokens);
+    std::vector<PageId> matched = radix_.match(
+        std::span<const std::int32_t>(r.prompt_ids.data(), r.prompt_ids.size())
+            .first(limit));
+    return matched;
+  }
+
+  // Pages of `ru` referenced by somebody else too — evicting them frees
+  // nothing.
+  std::size_t shared_page_count(const Running& ru) const {
+    std::size_t n = 0;
+    for (const PageId p : ru.pages) {
+      if (page_ref_[p] > 1) ++n;
+    }
+    return n;
   }
 
   // Bounded exponential backoff with deterministic seeded jitter: victims
@@ -1032,6 +1226,11 @@ class EngineImpl {
   // them for recomputation. A victim with nothing cached yet (preempted
   // before its first chunk) has nothing to swap and is simply dropped.
   // Returns the transfer stall incurred.
+  //
+  // CoW safety: the leading run of shared/registered pages is neither
+  // serialized nor freed — other residents (or the retained pool) keep
+  // those pages, and re-admission re-attaches them through the index. A
+  // swapped stream therefore covers only the victim's private tokens.
   double preempt(Running& victim) {
     Request& r = result_.requests[victim.trace_index];
     ++result_.preemptions;
@@ -1042,13 +1241,23 @@ class EngineImpl {
              victim.remaining,   victim.prompt_left,
              now_ + backoff_for(r), false,
              0.0,                victim.kv_bits};
+    // Leading indexed pages are the re-attachable prefix; everything
+    // after the first unindexed page is this victim's private state.
+    std::size_t kept = 0;
+    while (kept < victim.pages.size() &&
+           radix_.has_page(victim.pages[kept])) {
+      ++kept;
+    }
+    const std::size_t private_pages = victim.pages.size() - kept;
+    p.prefix_tokens = std::min(kept * d_.tpp_normal, victim.context);
     double stall = 0.0;
     if (config_.preempt_mode == PreemptMode::kSwap) {
       // A victim with nothing cached yet (evicted before its first
-      // prefill chunk) has no stream to move: zero-cost "swap".
-      if (victim.context > 0) {
+      // prefill chunk) — or whose whole cached state lives in shared
+      // prefix pages — has no stream to move: zero-cost "swap".
+      if (victim.context > p.prefix_tokens && private_pages > 0) {
         const double bytes =
-            static_cast<double>(victim.pages.size()) * d_.page_bytes;
+            static_cast<double>(private_pages) * d_.page_bytes;
         const TieredSwapStore::StoreOutcome so = swap_store_->store_phantom(
             stream_key(r.id), static_cast<std::size_t>(bytes), iteration_,
             now_, &fault_);
@@ -1101,6 +1310,16 @@ class EngineImpl {
         }
         continue;
       }
+      // Prefer victims holding fewer shared pages: evicting a request
+      // whose state is mostly shared prefix frees almost nothing.
+      {
+        const std::size_t sj = shared_page_count(running_[j]);
+        const std::size_t sb = shared_page_count(running_[best]);
+        if (sj != sb) {
+          if (sj < sb) best = j;
+          continue;
+        }
+      }
       if (r.priority != b.priority) {
         if (r.priority < b.priority) best = j;
         continue;
@@ -1123,7 +1342,7 @@ class EngineImpl {
     while (running_[i].pages.size() <
            pages_needed(target, running_[i].kv_bits)) {
       const std::size_t injected_before = allocator_.injected_failures();
-      const PageId page = allocator_.allocate();
+      const PageId page = alloc_page();
       if (page != kInvalidPage) {
         running_[i].pages.push_back(page);
         continue;
@@ -1183,12 +1402,18 @@ class EngineImpl {
     return per_class > 0 ? per_class : config_.pin_after_preemptions;
   }
 
-  // Pages currently held by running requests of a class (swapped-out
-  // requests hold none).
+  // Pages currently *charged* to running requests of a class (swapped-out
+  // requests hold none). Only privately-referenced pages (ref == 1) are
+  // billed: a shared prefix page is charged to nobody, because evicting
+  // any single resident would not free it — billing it to each resident
+  // would overcharge every one of them against the class share.
   std::size_t class_used_pages(std::size_t c) const {
     std::size_t used = 0;
     for (const Running& ru : running_) {
-      if (class_of(ru.trace_index) == c) used += ru.pages.size();
+      if (class_of(ru.trace_index) != c) continue;
+      for (const PageId p : ru.pages) {
+        if (page_ref_[p] == 1) ++used;
+      }
     }
     return used;
   }
@@ -1211,7 +1436,7 @@ class EngineImpl {
   // borrowing beyond it must leave the reserve plus every other
   // demanding class's unmet guarantee free (work-conserving quotas).
   bool admission_allowed(std::size_t c, std::size_t needed) const {
-    const std::size_t free = allocator_.free_pages();
+    const std::size_t free = effective_free();
     const std::size_t reserve = running_.empty() ? 0 : d_.reserve_pages;
     if (!class_aware_) return free >= needed + reserve;
     if (class_used_pages(c) + needed <= guaranteed_pages(c)) {
@@ -1230,6 +1455,18 @@ class EngineImpl {
   EngineConfig config_;
   DerivedConfig d_;
   PageAllocator allocator_;
+  // Prefix index over phantom pages (the engine tracks page *counts*, not
+  // KV payloads; the byte-level twin of this machinery lives in
+  // PagedKvCache). Pages indexed here are shareable across requests.
+  RadixIndex radix_;
+  // Uniform per-page reference counts, indexed by PageId. Every allocated
+  // page has ref >= 1 except retained pages (ref == 0, parked below).
+  std::vector<std::uint32_t> page_ref_;
+  // Registered pages whose last reference died, parked for re-attachment
+  // instead of freed: page -> retention order (the LRU clock). An ordered
+  // map so reclaim scans deterministically (lint rule 8).
+  std::map<PageId, std::size_t> retained_;
+  std::size_t retained_touch_ = 0;
   FaultInjector fault_;
   std::optional<TieredSwapStore> swap_store_;
   EngineResult result_;

@@ -49,6 +49,19 @@
 // allocation failures, swap-stream corruption (detected by checksum,
 // recovered by recompute) and swap latency spikes.
 //
+// Prefix sharing (kvcache/radix_index.h): requests carrying prompt token
+// ids are matched against a radix index over resident pages at admission.
+// Matched whole pages attach by refcount bump — charged to nobody, not
+// prefilled — and only the novel suffix allocates pages and runs through
+// chunked prefill. Finished prompts register their full pages in the
+// index; pages whose refcount drops to zero park in a retained pool
+// (reclaimed LRU under genuine exhaustion) so a follow-up turn can
+// re-attach them. Victim selection deprioritizes shared-page holders
+// (evicting them frees little), swap-out serializes only private pages,
+// and class page-share accounting bills only privately-referenced pages.
+// Requests without prompt ids schedule bit-identically to the
+// pre-prefix-sharing engine.
+//
 // Methods differ in exactly two inputs — decode-step latency and KV
 // bytes/token — which is what turns the paper's kernel-level wins into
 // fleet-level throughput and tail-latency wins.
@@ -217,6 +230,25 @@ struct EngineResult {
   // plus corrupt-swap recoveries); the sum of Request::recomputed_tokens.
   std::size_t recomputed_tokens = 0;
   bool hit_time_limit = false;           // max_sim_time_s safety stop fired
+
+  // --- Prefix-sharing counters (kvcache/radix_index.h) --------------------
+  // Prompt tokens served from resident shared-prefix pages at fresh
+  // admission (sum of Request::prefix_hit_tokens)...
+  std::size_t prefix_hit_tokens = 0;
+  // ...across this many cache-hit requests.
+  std::size_t prefix_hit_requests = 0;
+  // Pages attached by refcount bump instead of allocation (fresh
+  // admissions and re-admissions of preempted prefix holders).
+  std::size_t prefix_pages_attached = 0;
+  // Refcount-zero registered pages reclaimed from the retained pool
+  // (LRU, under genuine page exhaustion or at drain).
+  std::size_t retained_pages_reclaimed = 0;
+  // Prompt tokens actually chunk-prefilled — with prefix hits this drops
+  // below the sum of prompt lengths; the bench's headline reduction.
+  std::size_t prefilled_tokens = 0;
+  // Peak pages referenced by live sequences (used pages minus the
+  // reclaimable retained pool) — occupancy that eviction cannot lower.
+  std::size_t peak_referenced_pages = 0;
 
   // --- Tiered-swap counters -----------------------------------------------
   std::size_t tier_demotions = 0;        // LRU demotions host -> disk

@@ -44,6 +44,12 @@ ServingMetrics summarize(const EngineResult& result) {
   m.swap_tiers_used = result.swap_tiers_used;
   m.tier_retry_stall_s = result.tier_retry_stall_s;
   m.tier_stats = result.tier_stats;
+  m.prefix_hit_tokens = result.prefix_hit_tokens;
+  m.prefix_hit_requests = result.prefix_hit_requests;
+  m.prefix_pages_attached = result.prefix_pages_attached;
+  m.retained_pages_reclaimed = result.retained_pages_reclaimed;
+  m.prefilled_tokens = result.prefilled_tokens;
+  m.peak_referenced_pages = result.peak_referenced_pages;
 
   std::vector<float> ttft;
   std::vector<float> tpot;

@@ -88,6 +88,14 @@ struct ServingMetrics {
   std::size_t swap_tiers_used = 0;
   double tier_retry_stall_s = 0.0;
   std::array<TieredSwapStore::TierCounters, kMaxSwapTiers> tier_stats = {};
+
+  // Prefix-sharing counters (copied from EngineResult; see serving/engine.h).
+  std::size_t prefix_hit_tokens = 0;
+  std::size_t prefix_hit_requests = 0;
+  std::size_t prefix_pages_attached = 0;
+  std::size_t retained_pages_reclaimed = 0;
+  std::size_t prefilled_tokens = 0;
+  std::size_t peak_referenced_pages = 0;
 };
 
 ServingMetrics summarize(const EngineResult& result);

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace turbo::serving {
 
@@ -62,6 +63,13 @@ struct Request {
   double arrival_s = 0.0;        // wall-clock arrival time
   std::size_t prompt_tokens = 0;
   std::size_t max_new_tokens = 0;
+  // Prompt token ids, when the workload carries them (session traces:
+  // shared system prompts, multi-turn history re-submission). Empty for
+  // legacy length-only traces — the engine then schedules exactly as it
+  // did before prefix sharing existed. When non-empty, size() matches
+  // prompt_tokens and admission matches the ids against the radix index
+  // to attach resident prefix pages instead of re-prefilling them.
+  std::vector<std::int32_t> prompt_ids;
   // Scheduling priority: higher values are preempted last. Ties are
   // broken by arrival order (earlier arrivals are protected). Applied
   // *within* a service class; the class dominates.
@@ -84,6 +92,9 @@ struct Request {
   double first_token_s = -1.0;   // time the first output token is ready
   double finish_s = -1.0;
   std::size_t generated = 0;
+  // Prompt tokens served from resident shared-prefix pages at admission
+  // (a radix-index hit): these were neither charged pages nor prefilled.
+  std::size_t prefix_hit_tokens = 0;
   std::size_t preemptions = 0;   // times this request was evicted
   // Tokens whose KV was recomputed after a recompute-mode preemption (or a
   // corrupt swap-in recovered by recomputation). Distinguishes busy_s spent

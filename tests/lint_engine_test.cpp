@@ -227,7 +227,7 @@ TEST(LintLexerTest, MarkersAndFileTags) {
 
 // --- rule registry --------------------------------------------------------
 
-TEST(LintRegistryTest, TwelveRulesInOrder) {
+TEST(LintRegistryTest, ThirteenRulesInOrder) {
   const auto& rules = turbo::lint::rules();
   const std::vector<std::string> expected = {
       "no-raw-assert",        "unchecked-i8-cast",
@@ -235,7 +235,8 @@ TEST(LintRegistryTest, TwelveRulesInOrder) {
       "unchecked-cache-append", "unmirrored-engine-counter",
       "unfaultable-swap-io",  "nondeterministic-iteration",
       "unsanctioned-entropy", "mutable-global-state",
-      "unordered-float-reduction", "unfaultable-replica-channel"};
+      "unordered-float-reduction", "unfaultable-replica-channel",
+      "cow-unguarded-page-write"};
   ASSERT_EQ(rules.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(rules[i].id, expected[i]);
@@ -247,6 +248,9 @@ TEST(LintRegistryTest, TwelveRulesInOrder) {
   ASSERT_NE(turbo::lint::rule_info("unfaultable-replica-channel"), nullptr);
   EXPECT_EQ(turbo::lint::rule_info("unfaultable-replica-channel")->suppression,
             "allow-unfaultable-channel");
+  ASSERT_NE(turbo::lint::rule_info("cow-unguarded-page-write"), nullptr);
+  EXPECT_EQ(turbo::lint::rule_info("cow-unguarded-page-write")->suppression,
+            "allow-cow-write");
   EXPECT_EQ(turbo::lint::rule_info("no-such-rule"), nullptr);
 }
 
@@ -335,6 +339,15 @@ TEST(LintRuleTest, UnfaultableReplicaChannel) {
   // The same signatures outside src/fleet/ are nobody's business.
   EXPECT_EQ(fire_count("src/serving/other.h", "rule12_pos.h",
                        "unfaultable-replica-channel"),
+            0u);
+}
+
+TEST(LintRuleTest, CowUnguardedPageWrite) {
+  EXPECT_EQ(fire_count("src/kvcache/paged_cache.cpp", "rule13_pos.cpp",
+                       "cow-unguarded-page-write"),
+            2u);
+  EXPECT_EQ(fire_count("src/kvcache/paged_cache.cpp", "rule13_neg.cpp",
+                       "cow-unguarded-page-write"),
             0u);
 }
 

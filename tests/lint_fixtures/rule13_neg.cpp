@@ -1,0 +1,41 @@
+// Negative fixture for cow-unguarded-page-write: every page_data_ write
+// is either inside a fresh-page allocation site, guarded by a refcount
+// comparison, reads only, or carries the suppression marker.
+#include <cstddef>
+
+struct KvBlock {
+  int k = 0;
+  int v = 0;
+};
+
+struct Cache {
+  KvBlock page_data_[8];
+  unsigned refcount_[8];
+
+  bool append_prefill_block(std::size_t p, int k) {
+    page_data_[p].k = k;  // fresh page: just allocated by this function
+    refcount_[p] = 1;
+    return true;
+  }
+  bool flush_buffer(std::size_t p) {
+    page_data_[p] = KvBlock{};  // fresh page again
+    refcount_[p] = 1;
+    return true;
+  }
+  void release(std::size_t p) {
+    if (--refcount_[p] == 0) {
+      page_data_[p] = KvBlock{};  // guarded: provably last reference
+    }
+  }
+  void private_write(std::size_t p, int k) {
+    if (refcount_[p] == 1) {
+      page_data_[p].k = k;  // guarded: provably private
+    }
+  }
+  int read_only(std::size_t p) const {
+    return page_data_[p].k == 0 ? 1 : 0;  // comparison, not a write
+  }
+  void deliberate(std::size_t p) {
+    page_data_[p].v = 1;  // turbo-lint: allow-cow-write
+  }
+};

@@ -1,0 +1,21 @@
+// Positive fixture for cow-unguarded-page-write: mutating a page payload
+// outside the fresh-page allocation sites, with no refcount guard in
+// sight — a shared page would be corrupted under every other referent.
+#include <cstddef>
+
+struct KvBlock {
+  int k = 0;
+  int v = 0;
+};
+
+struct Cache {
+  KvBlock page_data_[8];
+  unsigned refcount_[8];
+
+  void rewrite_in_place(std::size_t p) {
+    page_data_[p] = KvBlock{};  // unguarded whole-block overwrite
+  }
+  void patch_member(std::size_t p, int k) {
+    page_data_[p].k = k;  // unguarded member write
+  }
+};

@@ -16,6 +16,9 @@
 #   tools/check.sh fleet      # fleet-router suite (ctest -L fleet) in all
 #                             # three builds (routing, outage drain,
 #                             # KV-migration failover)
+#   tools/check.sh prefix     # prefix-sharing suite (ctest -L prefix) in
+#                             # all three builds (radix index, CoW attach,
+#                             # session traces, retained-pool reclaim)
 #   tools/check.sh lint       # just turbo_lint
 #   tools/check.sh tidy       # just clang-tidy (skipped when not installed)
 #
@@ -32,9 +35,9 @@ FAILED=0
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    all|release|asan|tsan|fault|serving|slo|tier|fleet|lint|tidy) ;;
+    all|release|asan|tsan|fault|serving|slo|tier|fleet|prefix|lint|tidy) ;;
     *)
-      echo "check.sh: unknown stage '$s' (expected: release asan tsan fault serving slo tier fleet lint tidy)" >&2
+      echo "check.sh: unknown stage '$s' (expected: release asan tsan fault serving slo tier fleet prefix lint tidy)" >&2
       exit 2
       ;;
   esac
@@ -145,8 +148,26 @@ run_fleet() {
   ctest --test-dir build-tsan -L fleet --output-on-failure || return 1
 }
 
+run_prefix() {
+  banner "prefix: prefix-sharing suite (radix index, CoW, sessions, all builds)"
+  # Prefix attach, retained-pool reclaim and session traces must be
+  # bit-deterministic per seed across all three lanes — the suite's
+  # seeded session run is asserted bit-identical in Release, ASan+UBSan
+  # and TSan, extending the fleet stage's determinism contract to the
+  # radix-shared KV path.
+  cmake --preset release || return 1
+  cmake --build --preset release -j "$JOBS" --target prefix_sharing_test || return 1
+  ctest --test-dir build-release -L prefix --output-on-failure || return 1
+  cmake --preset debug-asan-ubsan || return 1
+  cmake --build --preset debug-asan-ubsan -j "$JOBS" --target prefix_sharing_test || return 1
+  ctest --test-dir build-asan-ubsan -L prefix --output-on-failure || return 1
+  cmake --preset debug-tsan || return 1
+  cmake --build --preset debug-tsan -j "$JOBS" --target prefix_sharing_test || return 1
+  ctest --test-dir build-tsan -L prefix --output-on-failure || return 1
+}
+
 run_lint() {
-  banner "lint: turbo_lint determinism + quant-invariant rules (12 rules)"
+  banner "lint: turbo_lint determinism + quant-invariant rules (13 rules)"
   # Reuse whichever configured build dir already has the lint binary;
   # fall back to configuring the release preset.
   local bin=""
@@ -185,6 +206,7 @@ if [[ $FAILED -eq 0 ]] && want serving; then run_serving || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want slo; then run_slo || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tier; then run_tier || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want fleet; then run_fleet || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want prefix; then run_prefix || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want lint; then run_lint || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tidy; then run_tidy || FAILED=1; fi
 

@@ -1,8 +1,10 @@
-// The eleven turbo_lint rules, implemented over the token stream.
+// The turbo_lint rules, implemented over the token stream.
 // Rules 1-7 are the v1 invariants reimplemented on the engine; rules
 // 8-11 are the determinism / concurrency-readiness pack added ahead of
-// the SIMD + thread-pool kernel overhaul (see docs/STATIC_ANALYSIS.md
-// for the full catalog: rationale, examples, suppression syntax).
+// the SIMD + thread-pool kernel overhaul; 12-13 guard the fleet
+// migration channel and the paged cache's copy-on-write contract (see
+// docs/STATIC_ANALYSIS.md for the full catalog: rationale, examples,
+// suppression syntax).
 #include <algorithm>
 #include <set>
 #include <sstream>
@@ -494,6 +496,94 @@ void rule_unfaultable_replica_channel(const SourceFile& file,
   }
 }
 
+// --- rule 13: cow-unguarded-page-write ------------------------------------
+
+// The paged cache shares full pages across sequences by refcount
+// (copy-on-write); mutating page_data_[...] while another sequence still
+// references the page corrupts that sequence's KV. Writes are sanctioned
+// only inside the fresh-page allocation sites (append_prefill_block,
+// flush_buffer, adopt_sequence — the page was just allocated, refcount
+// is being set to 1) or when the surrounding statement proves private
+// ownership with a refcount_[...] == comparison.
+void rule_cow_unguarded_page_write(const SourceFile& file,
+                                   std::vector<Finding>& out) {
+  const Tokens& toks = file.lexed.tokens;
+  // Body spans of the fresh-page allocation sites.
+  static const char* kFreshPageFns[] = {"append_prefill_block",
+                                        "flush_buffer", "adopt_sequence"};
+  std::vector<std::pair<std::size_t, std::size_t>> fresh;
+  for (const char* fn : kFreshPageFns) {
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!is_ident(toks[i], fn) || !is_punct(toks[i + 1], "(")) continue;
+      std::size_t j = match_paren(toks, i + 1);
+      while (j < toks.size() && !is_punct(toks[j], "{") &&
+             !is_punct(toks[j], ";")) {
+        ++j;
+      }
+      if (j >= toks.size() || is_punct(toks[j], ";")) continue;  // call/decl
+      fresh.emplace_back(j, match_brace(toks, j));
+    }
+  }
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "page_data_") || !is_punct(toks[i + 1], "[")) {
+      continue;
+    }
+    // Matching ']' of the subscript.
+    int depth = 0;
+    std::size_t close = toks.size();
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "[")) ++depth;
+      if (is_punct(toks[j], "]")) {
+        --depth;
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+      }
+    }
+    if (close >= toks.size()) continue;
+    // A write is '=' right after the subscript or after a member chain
+    // ('==' is a comparison, not a write; the lexer keeps it one token).
+    std::size_t j = close + 1;
+    while (j + 1 < toks.size() && is_punct(toks[j], ".") &&
+           toks[j + 1].kind == TokKind::kIdent) {
+      j += 2;
+    }
+    if (j >= toks.size() || !is_punct(toks[j], "=")) continue;
+    bool sanctioned = false;
+    for (const auto& [b, e] : fresh) {
+      if (i > b && i < e) {
+        sanctioned = true;
+        break;
+      }
+    }
+    if (sanctioned) continue;
+    // Guarded form: a refcount_[...] == comparison in the surrounding
+    // statement / condition (e.g. `if (--refcount_[p] == 0)` before a
+    // release-path reset, or `if (refcount_[p] == 1)` before a CoW write).
+    bool guarded = false;
+    const std::size_t lo = i > 40 ? i - 40 : 0;
+    for (std::size_t k = lo; k + 1 < i && !guarded; ++k) {
+      if (!is_ident(toks[k], "refcount_") || !is_punct(toks[k + 1], "[")) {
+        continue;
+      }
+      for (std::size_t m = k + 2; m < std::min(k + 10, i); ++m) {
+        if (is_punct(toks[m], "==")) {
+          guarded = true;
+          break;
+        }
+      }
+    }
+    if (guarded) continue;
+    emit(file, toks[i].line, "cow-unguarded-page-write",
+         "write to page_data_[...] outside a fresh-page allocation site "
+         "without a refcount_[...] == guard: shared (refcount > 1) pages "
+         "are copy-on-write and must never be mutated in place (or "
+         "annotate with turbo-lint: allow-cow-write)",
+         out);
+  }
+}
+
 // --- rules 8 + 11: loops over unordered containers ------------------------
 
 struct UnorderedLoop {
@@ -971,6 +1061,11 @@ const std::vector<RuleInfo>& rules() {
        "every src/fleet migration/transfer entry point must accept a "
        "FaultInjector*",
        "allow-unfaultable-channel"},
+      {"cow-unguarded-page-write",
+       "page_data_[...] writes outside the fresh-page allocation sites "
+       "must prove private ownership with a refcount_[...] == guard "
+       "(shared pages are copy-on-write)",
+       "allow-cow-write"},
   };
   return kRules;
 }
@@ -984,6 +1079,7 @@ std::vector<Finding> run_rules(const Project& project) {
     rule_unchecked_cache_append(f, out);
     rule_unfaultable_swap_io(f, out);
     rule_unfaultable_replica_channel(f, out);
+    rule_cow_unguarded_page_write(f, out);
     rule_nondeterministic_iteration(project, f, out);
     rule_unsanctioned_entropy(f, out);
     rule_mutable_global_state(f, out);

@@ -60,7 +60,12 @@ using tools::Flags;
       "            --replica-outage IDX:START,END[;IDX:START,END...]\n"
       "            --migrate-corrupt-p P (per-migration corruption prob)\n"
       "            --interconnect GB_PER_S (replica-to-replica link)\n"
-      "            --failover-budget N (migrations per request)\n");
+      "            --failover-budget N (migrations per request)\n"
+      "            --sessions TURNS (multi-turn sessions; 1 = single-turn)\n"
+      "            --shared-prefix TOKENS (shared system-prompt length)\n"
+      "            --shared-frac F (fraction of sessions carrying it)\n"
+      "            --session-gap S (think time between turns)\n"
+      "            --agentic-frac F (fraction of agentic tool loops)\n");
   std::exit(2);
 }
 
@@ -219,7 +224,9 @@ int run_serve(const Flags& flags) {
                         "swap-tiers", "disk-bandwidth", "swap-cap",
                         "tier-fail-p", "tier-retry-budget", "replicas",
                         "route", "replica-outage", "migrate-corrupt-p",
-                        "interconnect", "failover-budget"});
+                        "interconnect", "failover-budget", "sessions",
+                        "shared-prefix", "shared-frac", "session-gap",
+                        "agentic-frac"});
   serving::TraceConfig trace_cfg;
   trace_cfg.arrival_rate = flags.get_double("rate", 4.0);
   trace_cfg.duration_s = flags.get_double("duration", 60.0);
@@ -234,6 +241,18 @@ int run_serve(const Flags& flags) {
   if (!dl_e2e.empty()) {
     trace_cfg.e2e_deadline_s = parse_triple(dl_e2e, "deadline-e2e");
   }
+  // Session workload knobs (all defaults preserve the legacy trace).
+  const long turns = flags.get_int("sessions", 1);
+  if (turns < 1) {
+    std::fprintf(stderr, "--sessions must be >= 1\n");
+    std::exit(2);
+  }
+  trace_cfg.session_turns = static_cast<std::size_t>(turns);
+  trace_cfg.shared_prefix_tokens =
+      static_cast<std::size_t>(flags.get_int("shared-prefix", 0));
+  trace_cfg.shared_prefix_fraction = flags.get_double("shared-frac", 1.0);
+  trace_cfg.session_gap_s = flags.get_double("session-gap", 0.0);
+  trace_cfg.agentic_fraction = flags.get_double("agentic-frac", 0.0);
 
   serving::EngineConfig engine;
   engine.device = device_by_name(flags.get("device", "a100"));
@@ -470,6 +489,15 @@ int run_serve(const Flags& flags) {
               m.preemptions, m.preempted_swap, m.preempted_recompute,
               m.swap_ins, m.swap_out_gb, m.swap_in_gb, m.swap_stall_s,
               m.recomputed_tokens);
+  if (trace_cfg.shared_prefix_tokens > 0 || trace_cfg.session_turns > 1 ||
+      trace_cfg.agentic_fraction > 0.0) {
+    std::printf("  prefix: %zu hits (%zu tok attached over %zu pages), "
+                "%zu tok prefilled, %zu retained-page reclaims, peak "
+                "referenced pages %zu\n",
+                m.prefix_hit_requests, m.prefix_hit_tokens,
+                m.prefix_pages_attached, m.prefilled_tokens,
+                m.retained_pages_reclaimed, m.peak_referenced_pages);
+  }
   if (engine.faults.enabled()) {
     std::printf("  faults: alloc failures %zu, degraded steps %zu, "
                 "checksum failures %zu, recoveries %zu, worst-case "
