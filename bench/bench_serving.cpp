@@ -426,5 +426,90 @@ int main() {
               "and peak referenced pages fall below the no-sharing run, "
               "at equal or better interactive TTFT-SLO attainment on the "
               "identical request stream.\n");
+
+  // --- Disaggregation: prefill/decode role split at equal replica count --
+  // Long-prompt session traffic is the workload disaggregation exists
+  // for: in a symmetric fleet every replica interleaves decode iterations
+  // between prefill chunks, so a long prompt's TTFT pays for the resident
+  // batch. Splitting roles gives prompts a decode-free prefill lane and
+  // streams the finished KV to the decode pool over the interconnect.
+  // The outage rows kill prefill replica 0 for a six-second window: its
+  // in-flight prompts re-route to the sibling prefill replica (2p2d+kill,
+  // 3p1d+kill) — a dead role costs latency, never a request.
+  std::printf("\n=== Disaggregation: 4 Phi3-mini replicas on "
+              "A100-PCIe-40GB, headroom 0.35, Turbo-4, interactive TTFT "
+              "SLO 2.5 s ===\n");
+  std::printf("long-prompt sessions: ~900-token prompts, 1024-token shared "
+              "system prefix, 3 turns; outage rows: prefill replica 0 "
+              "down over [2 s, 8 s)\n\n");
+  {
+    TraceConfig t;
+    t.arrival_rate = 16.0;
+    t.duration_s = 20.0;
+    t.prompt_log_mean = 6.8;
+    t.prompt_log_std = 0.4;
+    t.gen_log_mean = 4.5;
+    t.gen_log_std = 0.5;
+    t.seed = 31;
+    t.class_mix = {1.0, 0.0, 0.0};
+    t.ttft_deadline_s = {2.5, 0.0, 0.0};
+    t.shared_prefix_tokens = 1024;
+    t.shared_prefix_fraction = 0.9;
+    t.session_turns = 3;
+    t.session_gap_s = 2.0;
+    const auto trace = generate_trace(t);
+    std::printf("trace: %.0f sessions/s for %.0f s (%zu requests counting "
+                "follow-up turns)\n\n",
+                t.arrival_rate, t.duration_s, trace.size());
+    std::printf("%12s  %8s  %12s  %12s  %8s  %8s  %7s  %7s\n", "config",
+                "tok/s", "inter. p99", "inter. SLO", "handoff", "wire GB",
+                "recomp", "defer");
+    struct DisaggRow {
+      const char* label;
+      std::size_t prefill;  // 0 = symmetric
+      bool outage;
+    };
+    const DisaggRow rows[] = {
+        {"4-rep symm", 0, false}, {"2p2d", 2, false},
+        {"3p1d", 3, false},       {"2p2d+kill", 2, true},
+        {"3p1d+kill", 3, true},
+    };
+    for (const DisaggRow& row : rows) {
+      turbo::fleet::FleetConfig cfg;
+      cfg.engine.device = turbo::sim::a100_pcie_40gb();
+      cfg.engine.geometry = turbo::sim::phi3_mini_geometry();
+      cfg.engine.method = AttnMethod::kTurbo;
+      cfg.engine.attention.kv_bits = 4.0;
+      cfg.engine.memory_headroom = 0.35;
+      cfg.engine.policy = SchedPolicy::kClassAware;
+      cfg.replicas = 4;
+      cfg.prefill_replicas = row.prefill;
+      if (row.outage) {
+        cfg.engine.faults.replicas[0].outage_start_s = 2.0;
+        cfg.engine.faults.replicas[0].outage_end_s = 8.0;
+      }
+      const turbo::fleet::FleetMetrics m =
+          turbo::fleet::summarize_fleet(turbo::fleet::run_fleet(cfg, trace));
+      const ClassBreakdown& inter = m.fleet.by_class[0];
+      std::printf("%12s  %8.0f  %11.2fs  %11.1f%%  %8zu  %8.2f  %7zu  "
+                  "%7zu\n",
+                  row.label, m.fleet.output_tokens_per_s, inter.ttft_p99,
+                  100.0 * inter.ttft_attainment, m.handoffs, m.handoff_gb,
+                  m.handoff_recomputes + m.role_fallback_prefills,
+                  m.backpressure_deferrals);
+    }
+  }
+  std::printf("\nExpected: at equal replica count, the disaggregated "
+              "fleets give long prompts a decode-free prefill lane, so "
+              "interactive TTFT-SLO attainment is >= the symmetric fleet "
+              "(target: 2p2d at or above symmetric) and the TTFT p99 "
+              "drops by an order of magnitude; the handoff column shows "
+              "every finished prefill crossing the interconnect. The "
+              "split spends throughput to buy the TTFT floor — 3p1d "
+              "funnels all decoding through one replica and pays for it "
+              "in tok/s plus backpressure deferrals. Killing prefill "
+              "replica 0 mid-run re-routes its prompts to the surviving "
+              "prefill pool — p99 roughly doubles but attainment holds "
+              "and every request still reaches a terminal state.\n");
   return 0;
 }

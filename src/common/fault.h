@@ -117,6 +117,13 @@ struct FaultPlan {
   // recomputing the KV on the destination replica.
   double migration_corruption_prob = 0.0;
 
+  // Probability a prefill->decode KV handoff send attempt (src/fleet
+  // disaggregation) hits a transient interconnect fault before any bytes
+  // move. The router retries with backoff up to its per-request handoff
+  // budget; an exhausted budget degrades the handoff to recompute on the
+  // destination — latency, never a lost request.
+  double handoff_transient_prob = 0.0;
+
   // Per-tier fault profiles, indexed by swap-tier position (0 = fastest).
   // All-zero profiles are inert: probes with probability 0 draw nothing.
   std::array<TierFaultPlan, kMaxSwapTiers> tiers = {};
@@ -127,7 +134,8 @@ struct FaultPlan {
 
   bool enabled() const {
     if (page_alloc_failure_prob > 0.0 || stream_corruption_prob > 0.0 ||
-        swap_spike_prob > 0.0 || migration_corruption_prob > 0.0) {
+        swap_spike_prob > 0.0 || migration_corruption_prob > 0.0 ||
+        handoff_transient_prob > 0.0) {
       return true;
     }
     for (const TierFaultPlan& t : tiers) {
@@ -153,6 +161,8 @@ struct FaultPlan {
                     "swap_spike_multiplier must be >= 1");
     TURBO_CHECK_MSG(is_prob(migration_corruption_prob),
                     "migration_corruption_prob outside [0, 1]");
+    TURBO_CHECK_MSG(is_prob(handoff_transient_prob),
+                    "handoff_transient_prob outside [0, 1]");
     for (const TierFaultPlan& t : tiers) t.validate();
     for (const ReplicaFaultPlan& r : replicas) r.validate();
   }
@@ -231,6 +241,15 @@ class FaultInjector {
     return true;
   }
 
+  // One Bernoulli draw per prefill->decode handoff send attempt (before
+  // any wire time is paid; the corruption draw happens only for attempts
+  // that actually transfer).
+  bool handoff_transient() {
+    if (!probe(plan_.handoff_transient_prob)) return false;
+    ++injected_handoff_transients_;
+    return true;
+  }
+
   // Seed-determined byte offset for an injected corruption.
   std::size_t corruption_offset(std::size_t stream_size) {
     if (stream_size == 0) return 0;
@@ -253,6 +272,9 @@ class FaultInjector {
   std::size_t injected_migration_corruptions() const {
     return injected_migration_corruptions_;
   }
+  std::size_t injected_handoff_transients() const {
+    return injected_handoff_transients_;
+  }
 
  private:
   bool probe(double prob) {
@@ -270,6 +292,7 @@ class FaultInjector {
   std::size_t injected_tier_spikes_ = 0;
   std::size_t injected_replica_down_ = 0;
   std::size_t injected_migration_corruptions_ = 0;
+  std::size_t injected_handoff_transients_ = 0;
 };
 
 }  // namespace turbo

@@ -63,6 +63,7 @@ serving::EngineResult aggregate(const FleetResult& result) {
     agg.retained_pages_reclaimed += er.retained_pages_reclaimed;
     agg.prefilled_tokens += er.prefilled_tokens;
     agg.peak_referenced_pages += er.peak_referenced_pages;
+    agg.prefill_handoffs += er.prefill_handoffs;
     for (std::size_t t = 0; t < kMaxSwapTiers; ++t) {
       agg.tier_stats[t].stores += er.tier_stats[t].stores;
       agg.tier_stats[t].hits += er.tier_stats[t].hits;
@@ -95,8 +96,20 @@ FleetMetrics summarize_fleet(const FleetResult& result) {
   m.migration_recomputes = result.migration_recomputes;
   m.migration_budget_exhausted = result.migration_budget_exhausted;
   m.hit_time_limit = result.hit_time_limit;
+  m.prefill_replica_count = result.prefill_replica_count;
+  m.handoffs = result.handoffs;
+  m.handoff_corruptions = result.handoff_corruptions;
+  m.handoff_retries = result.handoff_retries;
+  m.handoff_budget_exhausted = result.handoff_budget_exhausted;
+  m.handoff_recomputes = result.handoff_recomputes;
+  m.role_fallback_prefills = result.role_fallback_prefills;
+  m.backpressure_deferrals = result.backpressure_deferrals;
+  m.affinity_hits = result.affinity_hits;
+  m.affinity_misses = result.affinity_misses;
   m.migrated_gb = result.migrated_bytes / (1024.0 * 1024.0 * 1024.0);
   m.migration_stall_s = result.migration_stall_s;
+  m.handoff_gb = result.handoff_bytes / (1024.0 * 1024.0 * 1024.0);
+  m.handoff_stall_s = result.handoff_stall_s;
   return m;
 }
 

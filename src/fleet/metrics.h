@@ -33,8 +33,24 @@ struct FleetMetrics {
   std::size_t migration_budget_exhausted = 0;
   bool hit_time_limit = false;
 
+  // Prefill/decode disaggregation (see fleet/router.h).
+  std::size_t prefill_replica_count = 0;
+  std::size_t handoffs = 0;
+  std::size_t handoff_corruptions = 0;
+  std::size_t handoff_retries = 0;
+  std::size_t handoff_budget_exhausted = 0;
+  std::size_t handoff_recomputes = 0;
+  std::size_t role_fallback_prefills = 0;
+  std::size_t backpressure_deferrals = 0;
+
+  // Affinity routing.
+  std::size_t affinity_hits = 0;
+  std::size_t affinity_misses = 0;
+
   double migrated_gb = 0.0;
   double migration_stall_s = 0.0;
+  double handoff_gb = 0.0;
+  double handoff_stall_s = 0.0;
 };
 
 FleetMetrics summarize_fleet(const FleetResult& result);

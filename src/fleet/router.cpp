@@ -12,6 +12,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 MigrationChannel::Outcome MigrationChannel::migrate(std::size_t bytes,
                                                     FaultInjector* fault) {
   Outcome out;
+  // A zero-byte stream never touches the wire: no transfer time and —
+  // critically for RNG draw-order parity — no corruption Bernoulli draw,
+  // so a run that migrates an empty stream stays bit-identical to one
+  // that skips the call entirely.
+  if (bytes == 0) return out;
   out.transfer_s = static_cast<double>(bytes) / bandwidth_;
   // In-transit corruption is one seeded Bernoulli draw; the CRC layer on
   // the destination detects it, so a corrupt stream costs the wire time
@@ -26,6 +31,15 @@ Router::Router(const FleetConfig& config)
       channel_(config.interconnect_bandwidth) {
   TURBO_CHECK_MSG(config_.replicas >= 1 && config_.replicas <= kMaxReplicas,
                   "fleet size must be in [1, kMaxReplicas]");
+  TURBO_CHECK_MSG(config_.prefill_replicas < config_.replicas,
+                  "disaggregation must leave at least one decode replica");
+  TURBO_CHECK_MSG(config_.decode_watermark > 0.0 &&
+                      config_.decode_watermark <= 1.0,
+                  "decode_watermark must be in (0, 1]");
+  TURBO_CHECK_MSG(config_.handoff_retry_budget >= 1,
+                  "handoff_retry_budget must allow at least one attempt");
+  TURBO_CHECK_MSG(config_.handoff_retry_backoff_s >= 0.0,
+                  "handoff_retry_backoff_s must be >= 0");
   engines_.reserve(config_.replicas);
   for (std::size_t i = 0; i < config_.replicas; ++i) {
     serving::EngineConfig c = config_.engine;
@@ -34,6 +48,10 @@ Router::Router(const FleetConfig& config)
     // replica, replica 0 at the base seed so a 1-replica fleet draws the
     // exact sequence run_engine() would.
     c.faults.seed = config_.engine.faults.seed + i;
+    // Role split: replicas [0, P) prefill and hand off; the rest decode
+    // (and self-prefill only when the prefill pool is dark).
+    c.role = is_prefill(i) ? serving::EngineRole::kPrefillOnly
+                           : serving::EngineRole::kFull;
     engines_.emplace_back(c);
   }
   down_.assign(config_.replicas, 0);
@@ -59,10 +77,40 @@ bool Router::eligible(std::size_t i, double t) {
   return !fleet_fault_.replica_down(i, t);
 }
 
-std::size_t Router::pick_round_robin(std::size_t& cursor, double t) {
+bool Router::in_scope(std::size_t i, Scope scope) const {
+  switch (scope) {
+    case Scope::kAny:
+      return true;
+    case Scope::kPrefill:
+      return is_prefill(i);
+    case Scope::kDecode:
+      return !is_prefill(i);
+  }
+  return true;
+}
+
+bool Router::over_watermark(std::size_t i) const {
+  return static_cast<double>(engines_[i].referenced_pages()) >=
+         config_.decode_watermark *
+             static_cast<double>(engines_[i].total_pages());
+}
+
+bool Router::decode_pool_saturated(double t) {
+  bool any = false;
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    if (!in_scope(i, Scope::kDecode) || !eligible(i, t)) continue;
+    any = true;
+    if (!over_watermark(i)) return false;
+  }
+  return any;
+}
+
+std::size_t Router::pick_round_robin(std::size_t& cursor, double t,
+                                     Scope scope) {
   const std::size_t n = engines_.size();
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t i = (cursor + k) % n;
+    if (!in_scope(i, scope)) continue;
     if (eligible(i, t)) {
       cursor = (i + 1) % n;
       return i;
@@ -71,17 +119,45 @@ std::size_t Router::pick_round_robin(std::size_t& cursor, double t) {
   return n;
 }
 
-std::size_t Router::pick_least_pages(double t) {
+std::size_t Router::pick_least_pages(double t, Scope scope) {
   const std::size_t n = engines_.size();
   std::size_t best = n;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!eligible(i, t)) continue;
+    if (!in_scope(i, scope) || !eligible(i, t)) continue;
     if (best == n ||
         engines_[i].used_pages() < engines_[best].used_pages()) {
       best = i;  // ties keep the lowest index
     }
   }
   return best;
+}
+
+std::size_t Router::pick_affinity(const serving::Request& r, double t,
+                                  Scope scope) {
+  // Longest resident prefix wins (ties keep the lowest index — every
+  // lane scans in the same order, so the pick is deterministic). A
+  // target over the decode watermark is skipped at scoring time: cache
+  // affinity must not funnel a hot session onto a saturated replica.
+  const std::size_t n = engines_.size();
+  std::size_t best = n;
+  std::size_t best_tokens = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!in_scope(i, scope) || !eligible(i, t)) continue;
+    if (over_watermark(i)) continue;
+    const std::size_t tokens = engines_[i].prefix_match_tokens(r);
+    if (tokens > best_tokens) {
+      best = i;
+      best_tokens = tokens;
+    }
+  }
+  if (best < n) {
+    ++result_.affinity_hits;
+    return best;
+  }
+  // No healthy under-watermark replica holds any prefix: fall back to
+  // the memory-pressure signal.
+  ++result_.affinity_misses;
+  return pick_least_pages(t, scope);
 }
 
 void Router::ensure_some_replica_up(double t) {
@@ -104,33 +180,32 @@ void Router::ensure_some_replica_up(double t) {
   down_[best] = 0;
 }
 
-std::size_t Router::pick_replica(const serving::Request& r, double t) {
-  const std::size_t n = engines_.size();
-  for (int pass = 0; pass < 2; ++pass) {
-    std::size_t pick = n;
-    switch (config_.route) {
-      case RoutePolicy::kRoundRobin:
-        pick = pick_round_robin(rr_cursor_, t);
-        break;
-      case RoutePolicy::kLeastOutstandingPages:
-        pick = pick_least_pages(t);
-        break;
-      case RoutePolicy::kClassAware:
-        if (r.service_class == serving::ServiceClass::kInteractive) {
-          pick = pick_least_pages(t);
-        } else if (r.service_class == serving::ServiceClass::kStandard) {
-          pick = pick_round_robin(standard_cursor_, t);
-        } else {
-          pick = pick_round_robin(batch_cursor_, t);
-        }
-        break;
-    }
-    if (pick < n) return pick;
-    ensure_some_replica_up(t);
+std::size_t Router::pick_policy(const serving::Request& r, double t,
+                                Scope scope) {
+  switch (config_.route) {
+    case RoutePolicy::kRoundRobin:
+      return pick_round_robin(rr_cursor_, t, scope);
+    case RoutePolicy::kLeastOutstandingPages:
+      return pick_least_pages(t, scope);
+    case RoutePolicy::kClassAware:
+      if (r.service_class == serving::ServiceClass::kInteractive) {
+        return pick_least_pages(t, scope);
+      } else if (r.service_class == serving::ServiceClass::kStandard) {
+        return pick_round_robin(standard_cursor_, t, scope);
+      } else {
+        return pick_round_robin(batch_cursor_, t, scope);
+      }
+    case RoutePolicy::kAffinity:
+      return pick_affinity(r, t, scope);
   }
+  return engines_.size();
+}
+
+std::size_t Router::earliest_recovering() const {
   // Every replica's window covers t and none has drained yet (their
   // clocks lag the router's). Place on the one that recovers first; its
   // own outage will drain and fail the request over.
+  const std::size_t n = engines_.size();
   std::size_t best = 0;
   for (std::size_t i = 1; i < n; ++i) {
     if (config_.engine.faults.replicas[i].outage_end_s <
@@ -141,10 +216,57 @@ std::size_t Router::pick_replica(const serving::Request& r, double t) {
   return best;
 }
 
+std::size_t Router::pick_with_fallback(const serving::Request& r, double t,
+                                       Scope scope) {
+  const std::size_t n = engines_.size();
+  if (scope != Scope::kAny) {
+    // Failure ladder, rung 1: the preferred role.
+    std::size_t pick = pick_policy(r, t, scope);
+    if (pick < n) return pick;
+    // Rung 2: the opposite role — graceful degradation to symmetric
+    // mode. A prompt landing on a decode replica self-prefills there
+    // (role_fallback_prefills); decode work landing on a prefill
+    // replica decodes there (adopted mid-decode work never re-enters
+    // the prefill path). A dead role costs latency, never liveness.
+    const Scope other =
+        scope == Scope::kPrefill ? Scope::kDecode : Scope::kPrefill;
+    pick = pick_policy(r, t, other);
+    if (pick < n) {
+      if (scope == Scope::kPrefill) ++result_.role_fallback_prefills;
+      return pick;
+    }
+  }
+  // Rung 3: the symmetric blackout machinery — revive the earliest-
+  // recovering down replica and retry, then wait out the blackout on
+  // the replica that recovers first.
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::size_t pick = pick_policy(r, t, Scope::kAny);
+    if (pick < n) return pick;
+    ensure_some_replica_up(t);
+  }
+  return earliest_recovering();
+}
+
+std::size_t Router::pick_replica(const serving::Request& r, double t) {
+  // Arrivals carry a prompt: in disaggregated mode they prefer the
+  // prefill pool; symmetric fleets consider everyone (bit-identical to
+  // the pre-disaggregation router).
+  return pick_with_fallback(r, t, disagg() ? Scope::kPrefill : Scope::kAny);
+}
+
 void Router::failover(const serving::MigratableRequest& m, double t) {
   serving::MigratableRequest moved = m;
   ++moved.request.replica_failovers;
-  const std::size_t dst = pick_replica(moved.request, t);
+  Scope scope = Scope::kAny;
+  if (disagg()) {
+    // Role-aware failover: work still in (or before) prefill re-routes
+    // to a sibling prefill replica; mid-decode work stays in the decode
+    // pool. Either pool being dark degrades to the other inside
+    // pick_with_fallback — a dead role costs latency, never liveness.
+    scope = (moved.prompt_left > 0 || moved.context == 0) ? Scope::kPrefill
+                                                          : Scope::kDecode;
+  }
+  const std::size_t dst = pick_with_fallback(moved.request, t, scope);
   if (moved.context == 0) {
     // Nothing cached at drain: a plain re-route, no bytes on the wire.
     ++result_.rerouted_waiting;
@@ -180,6 +302,70 @@ void Router::failover(const serving::MigratableRequest& m, double t) {
   engines_[dst].adopt(moved, t, false);
 }
 
+void Router::handoff(const serving::MigratableRequest& m,
+                     FaultInjector* fault) {
+  serving::MigratableRequest moved = m;
+  const double t = moved.ready_s;
+  ++result_.handoffs;
+  // Destination ladder: least-loaded decode replica; whole decode pool
+  // dark → any healthy replica (a prefill sibling can decode adopted
+  // work — its handoff trigger only fires at prompt completion, which
+  // adopted mid-decode work never revisits); everyone dark → revive the
+  // earliest-recovering replica and wait out the blackout.
+  const std::size_t n = engines_.size();
+  std::size_t dst = pick_least_pages(t, Scope::kDecode);
+  if (dst == n) dst = pick_least_pages(t, Scope::kAny);
+  if (dst == n) {
+    ensure_some_replica_up(t);
+    dst = pick_least_pages(t, Scope::kAny);
+  }
+  if (dst == n) dst = earliest_recovering();
+  if (!moved.has_stream) {
+    // Recompute preemption mode parks no stream: the decode side
+    // re-derives the KV from the prompt. No wire traffic, no draws.
+    ++result_.handoff_recomputes;
+    engines_[dst].adopt(moved, t, false);
+    return;
+  }
+  // Stream the KV across the interconnect, retrying transient faults
+  // with linear backoff inside a per-request attempt budget.
+  double arrive = t;
+  bool sent = false;
+  bool corrupted = false;
+  for (std::size_t attempt = 0; attempt < config_.handoff_retry_budget;
+       ++attempt) {
+    if (fault != nullptr && fault->handoff_transient()) {
+      // Transient interconnect fault before the payload moved: back off
+      // (linearly in the attempt number) and retry.
+      ++result_.handoff_retries;
+      arrive +=
+          static_cast<double>(attempt + 1) * config_.handoff_retry_backoff_s;
+      continue;
+    }
+    const MigrationChannel::Outcome out =
+        channel_.migrate(static_cast<std::size_t>(moved.bytes), fault);
+    result_.handoff_bytes += moved.bytes;
+    result_.handoff_stall_s += out.transfer_s;
+    arrive += out.transfer_s;
+    sent = true;
+    corrupted = out.corrupted;
+    break;
+  }
+  if (sent && !corrupted) {
+    engines_[dst].adopt(moved, arrive, true);
+    return;
+  }
+  if (corrupted) {
+    // CRC caught the in-transit fault on arrival: the wire time was
+    // paid, the payload is unusable, the decode side recomputes.
+    ++result_.handoff_corruptions;
+  } else {
+    ++result_.handoff_budget_exhausted;
+  }
+  ++result_.handoff_recomputes;
+  engines_[dst].adopt(moved, arrive, false);
+}
+
 FleetResult Router::run(std::vector<serving::Request> trace) {
   TURBO_CHECK_MSG(!ran_, "Router::run() is single-shot");
   ran_ = true;
@@ -211,6 +397,20 @@ FleetResult Router::run(std::vector<serving::Request> trace) {
       }
     }
 
+    // Prefill→decode handoffs: collect finished prefills from healthy
+    // prefill replicas and stream each across the interconnect. (Member
+    // call via this-> — the channel entry point itself carries the
+    // FaultInjector* parameter the static analyzer demands.)
+    if (disagg()) {
+      for (std::size_t i = 0; i < config_.prefill_replicas; ++i) {
+        if (down_[i] != 0) continue;
+        for (const serving::MigratableRequest& m :
+             engines_[i].take_prefilled()) {
+          this->handoff(m, &fleet_fault_);
+        }
+      }
+    }
+
     // The fleet frontier: the healthy replica with work furthest behind
     // in time runs next, so replica iterations interleave in global time
     // order (ties go to the lowest index).
@@ -228,13 +428,27 @@ FleetResult Router::run(std::vector<serving::Request> trace) {
     if (who == n && next >= trace.size()) break;  // fleet fully drained
 
     if (ta <= tmin) {
-      // The next fleet event is an arrival: route it before any replica
-      // steps past it.
-      const std::size_t dst = pick_replica(trace[next], ta);
-      engines_[dst].submit(trace[next]);
-      ++result_.routed;
-      ++next;
-      continue;
+      // Decode-pool backpressure: when every healthy decode replica sits
+      // at or over the watermark, hold prefill admission and let the
+      // fleet drain an iteration first. Only defers while some replica
+      // has work to step — an idle fleet always admits, so backpressure
+      // can stall an arrival but never strand it (liveness backstop).
+      const bool defer = disagg() && who != n && decode_pool_saturated(ta);
+      if (!defer) {
+        // The next fleet event is an arrival: route it before any
+        // replica steps past it.
+        const std::size_t dst = pick_replica(trace[next], ta);
+        engines_[dst].submit(trace[next]);
+        ++result_.routed;
+        ++next;
+        continue;
+      }
+      if (backpressured_arrival_ != next) {
+        // Count each arrival's deferral once, however many iterations
+        // it waits.
+        backpressured_arrival_ = next;
+        ++result_.backpressure_deferrals;
+      }
     }
 
     // Mirrors run_engine's `now < max_sim_time_s` loop condition: once
@@ -256,9 +470,19 @@ FleetResult Router::run(std::vector<serving::Request> trace) {
     engines_[who].step(horizon);
   }
 
+  // The loop-top handoff poll runs before every break, down replicas
+  // lift their queues inside drain(), and no engine steps between the
+  // poll and a break — so no finished prefill can be stranded in a
+  // handoff queue at exit.
+  for (std::size_t i = 0; i < n; ++i) {
+    TURBO_CHECK_MSG(engines_[i].take_prefilled().empty(),
+                    "a finished prefill was stranded at shutdown");
+  }
+
   // Finalize: per-replica results, the fleet union, and the invariants
   // the whole subsystem exists to uphold.
   result_.replica_count = n;
+  result_.prefill_replica_count = config_.prefill_replicas;
   bool any_limit = next < trace.size();
   result_.replica_results.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {

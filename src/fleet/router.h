@@ -45,6 +45,13 @@ enum class RoutePolicy : std::uint8_t {
   // their own round-robin cursor so bulk traffic spreads evenly without
   // polluting the interactive placement signal.
   kClassAware = 2,
+  // Cache-affinity: steer each arrival to the replica whose RadixIndex
+  // holds the longest matching prefix of its prompt, so a session's
+  // follow-up turns land where their history is already resident. Falls
+  // back to least-outstanding-pages when no replica holds a prefix, or
+  // when the affinity target is unhealthy or over the decode watermark
+  // (a hot replica must not absorb every turn of a hot session).
+  kAffinity = 3,
 };
 
 inline const char* route_policy_name(RoutePolicy p) {
@@ -55,6 +62,8 @@ inline const char* route_policy_name(RoutePolicy p) {
       return "least-pages";
     case RoutePolicy::kClassAware:
       return "class-aware";
+    case RoutePolicy::kAffinity:
+      return "affinity";
   }
   return "?";
 }
@@ -76,6 +85,27 @@ struct FleetConfig {
   // recompute path, bounding the interconnect traffic one unlucky
   // request can generate.
   std::size_t failover_budget = 2;
+
+  // --- Prefill/decode disaggregation (Splitwise/DistServe-style) ----------
+  // Replicas [0, prefill_replicas) run chunked prefill only and stream
+  // finished KV to the decode replicas [prefill_replicas, replicas) over
+  // the migration channel. 0 keeps the fleet symmetric (every replica
+  // both prefills and decodes — the pre-disaggregation behavior,
+  // bit-identical). When set, it must leave at least one decode replica.
+  std::size_t prefill_replicas = 0;
+  // Referenced-page fraction above which a decode replica counts as
+  // saturated: when every healthy decode replica is over it, prefill
+  // admission is deferred (backpressure) instead of over-committing the
+  // decode pool; the affinity policy also falls back past a target over
+  // this watermark. Retained prefix cache is reclaimable and exempt.
+  double decode_watermark = 0.90;
+  // Per-request handoff send budget: attempts (each may hit a transient
+  // interconnect fault, FaultPlan::handoff_transient_prob) before the
+  // stream is dropped and the decode side recomputes from the prompt.
+  std::size_t handoff_retry_budget = 3;
+  // Backoff added before the k-th retry of a handoff send (linear:
+  // k * backoff), modeling interconnect congestion avoidance.
+  double handoff_retry_backoff_s = 0.05;
 };
 
 // The modeled interconnect. Every migration entry point takes the fault
@@ -94,7 +124,9 @@ class MigrationChannel {
     double transfer_s = 0.0;  // wire time (paid even when corrupted)
   };
 
-  // Move one serialized KV stream between replicas.
+  // Move one serialized KV stream between replicas. A zero-byte stream
+  // costs no wire time and consumes no corruption draw (RNG draw-order
+  // parity: an empty transfer is indistinguishable from no transfer).
   Outcome migrate(std::size_t bytes, FaultInjector* fault);
 
  private:
@@ -112,6 +144,7 @@ struct FleetResult {
   double makespan_s = 0.0;  // max replica makespan
 
   std::size_t replica_count = 0;
+  std::size_t prefill_replica_count = 0;  // 0 = symmetric fleet
   std::size_t routed = 0;             // arrivals placed on a replica
   std::size_t replica_outages = 0;    // outage windows that fired
   std::size_t failover_drains = 0;    // requests drained off dying replicas
@@ -122,10 +155,32 @@ struct FleetResult {
   // migrations plus streams over budget or unparkable at the source.
   std::size_t migration_recomputes = 0;
   std::size_t migration_budget_exhausted = 0;  // over-budget stream drops
+
+  // --- Prefill->decode handoff (disaggregated mode) -----------------------
+  std::size_t handoffs = 0;               // finished prefills handed over
+  std::size_t handoff_corruptions = 0;    // CRC-detected handoff faults
+  std::size_t handoff_retries = 0;        // transient-fault send retries
+  std::size_t handoff_budget_exhausted = 0;  // send budget ran out
+  // Handoffs that landed through the recompute path: corrupted or
+  // over-budget transfers plus streamless (recompute-mode) sources.
+  std::size_t handoff_recomputes = 0;
+  // Arrivals prefilled by a decode replica because no prefill replica was
+  // healthy: the graceful degradation to symmetric mode.
+  std::size_t role_fallback_prefills = 0;
+  // Arrivals whose admission was deferred at least once because every
+  // healthy decode replica sat over the decode watermark (backpressure
+  // on prefill admission instead of over-committing the decode pool).
+  std::size_t backpressure_deferrals = 0;
+
+  // --- Affinity routing ----------------------------------------------------
+  std::size_t affinity_hits = 0;    // routed to a prefix-holding replica
+  std::size_t affinity_misses = 0;  // fell back to least-outstanding-pages
   bool hit_time_limit = false;  // any replica (or routing) hit the stop
 
   double migrated_bytes = 0.0;
   double migration_stall_s = 0.0;  // wire time across all migrations
+  double handoff_bytes = 0.0;      // KV bytes moved by handoffs
+  double handoff_stall_s = 0.0;    // wire time across all handoffs
 };
 
 // Routes one trace over a replicated fleet. Single-shot: construct, call
@@ -139,6 +194,12 @@ class Router {
   FleetResult run(std::vector<serving::Request> trace);
 
  private:
+  // Which replicas a placement may consider. kAny is the symmetric
+  // fleet's view; the disaggregated router scopes arrivals to prefill
+  // replicas and handoffs/mid-decode failovers to decode replicas, then
+  // widens when the preferred role has no healthy member.
+  enum class Scope : std::uint8_t { kAny, kPrefill, kDecode };
+
   // Pick the destination replica for a request at time t under the
   // configured policy. Only healthy replicas are eligible; a down
   // replica whose outage window has passed is revived first. When every
@@ -146,17 +207,50 @@ class Router {
   // window end (the request waits out the blackout).
   std::size_t pick_replica(const serving::Request& r, double t);
 
+  // Scoped pick with the full failure ladder: the preferred scope first,
+  // then the opposite role (graceful degradation — a prefill placed on a
+  // decode replica counts role_fallback_prefills), then the symmetric
+  // blackout machinery (revive the earliest-recovering replica).
+  std::size_t pick_with_fallback(const serving::Request& r, double t,
+                                 Scope scope);
+
   // Fail one drained request over to a healthy replica at time t:
-  // migrate its KV stream within budget, recompute otherwise.
+  // migrate its KV stream within budget, recompute otherwise. Role-aware
+  // in disaggregated mode (unfinished prompts re-route to a sibling
+  // prefill replica; mid-decode streams go to a decode replica).
   void failover(const serving::MigratableRequest& m, double t);
 
-  std::size_t pick_round_robin(std::size_t& cursor, double t);
-  std::size_t pick_least_pages(double t);
+  // Land one finished prefill on a decode replica: retry transient
+  // interconnect faults with backoff within the handoff budget, CRC-check
+  // the transfer, degrade corrupt/over-budget/streamless handoffs to
+  // recompute on the destination. Takes the fault injector so every
+  // fault on the handoff path is injectable and seed-deterministic
+  // (turbo_lint rule "unfaultable-replica-channel").
+  void handoff(const serving::MigratableRequest& m, FaultInjector* fault);
+
+  std::size_t pick_round_robin(std::size_t& cursor, double t, Scope scope);
+  std::size_t pick_least_pages(double t, Scope scope);
+  std::size_t pick_affinity(const serving::Request& r, double t,
+                            Scope scope);
+  // The configured policy over one scope (no widening). Returns
+  // engines_.size() when the scope has no eligible replica.
+  std::size_t pick_policy(const serving::Request& r, double t, Scope scope);
   bool eligible(std::size_t i, double t);
+  bool in_scope(std::size_t i, Scope scope) const;
+  bool is_prefill(std::size_t i) const {
+    return config_.prefill_replicas > 0 && i < config_.prefill_replicas;
+  }
+  bool disagg() const { return config_.prefill_replicas > 0; }
+  // Replica i's referenced pages sit at or above the decode watermark.
+  bool over_watermark(std::size_t i) const;
+  // Every healthy decode replica is over the watermark (and at least one
+  // exists): admission must wait for decode to drain, not over-commit.
+  bool decode_pool_saturated(double t);
   void ensure_some_replica_up(double t);
+  std::size_t earliest_recovering() const;
 
   FleetConfig config_;
-  FaultInjector fleet_fault_;  // health windows + migration corruption
+  FaultInjector fleet_fault_;  // health windows + migration/handoff faults
   MigrationChannel channel_;
   std::vector<serving::Engine> engines_;
   std::vector<char> down_;          // currently inside an outage
@@ -164,6 +258,9 @@ class Router {
   std::size_t rr_cursor_ = 0;
   std::size_t standard_cursor_ = 0;
   std::size_t batch_cursor_ = 0;
+  // Last arrival index charged a backpressure deferral (each deferred
+  // arrival counts once, however many iterations it waits).
+  std::size_t backpressured_arrival_ = static_cast<std::size_t>(-1);
   FleetResult result_;
   bool ran_ = false;
 };

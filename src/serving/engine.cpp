@@ -786,6 +786,32 @@ class EngineImpl {
           release_all(ru.pages);
           ++finished_;
           dead[i] = 1;
+        } else if (config_.role == EngineRole::kPrefillOnly) {
+          // Disaggregated handoff: the prompt (and its first token) is
+          // done, so this prefill worker lifts the request — KV stream
+          // included, exactly what a drain would serialize — into the
+          // handoff queue for the fleet router to land on a decode
+          // replica. Accounting moves with it (drained_ flag, live
+          // count, pages released), so the zero-leak and exactly-one-
+          // terminal-state invariants keep holding here.
+          MigratableRequest m;
+          m.request = r;
+          m.context = ru.context;
+          m.remaining = ru.remaining;
+          m.prompt_left = 0;
+          m.kv_bits = ru.kv_bits;
+          if (config_.preempt_mode == PreemptMode::kSwap &&
+              ru.context > 0) {
+            m.bytes = static_cast<double>(ru.pages.size()) * d_.page_bytes;
+            m.has_stream = true;
+          }
+          m.ready_s = now_;
+          release_all(ru.pages);
+          drained_[ru.trace_index] = 1;
+          --live_total_;
+          ++result_.prefill_handoffs;
+          prefilled_.push_back(std::move(m));
+          dead[i] = 1;
         }
       }
       compact_running(dead);
@@ -902,6 +928,7 @@ class EngineImpl {
       m.kv_bits = kv_bits;
       m.has_stream = has_stream;
       m.bytes = bytes;
+      m.ready_s = now_;
       drained_[idx] = 1;
       --live_total_;
       out.push_back(std::move(m));
@@ -944,6 +971,11 @@ class EngineImpl {
       lift(idx, 0, r.max_new_tokens, r.prompt_tokens, 0.0, false, 0.0);
     }
     pending_.clear();
+    // Finished prefills the router has not collected yet leave with the
+    // drain: their accounting (drained_ flag, live count, pages) already
+    // moved when they were lifted, so they only ride along.
+    for (MigratableRequest& m : prefilled_) out.push_back(std::move(m));
+    prefilled_.clear();
     // Unreferenced retained prefix pages are cache, not state: drop them
     // so the zero-leak check below sees a genuinely empty allocator.
     flush_retained();
@@ -997,11 +1029,29 @@ class EngineImpl {
     return std::move(result_);
   }
 
+  std::vector<MigratableRequest> take_prefilled() {
+    std::vector<MigratableRequest> out;
+    out.swap(prefilled_);
+    return out;
+  }
+
   double now() const { return now_; }
   bool done() const { return finished_ >= live_total_; }
   bool has_work() const { return finished_ < live_total_; }
   std::size_t used_pages() const { return allocator_.used_pages(); }
   std::size_t live() const { return live_total_ - finished_; }
+  std::size_t total_pages() const { return d_.page_count; }
+  // Pages live sequences actually reference (retained pages excluded):
+  // the occupancy eviction cannot lower, which is what the pressure
+  // controller, the bench's peak-occupancy claim and the fleet's decode
+  // watermark must see.
+  std::size_t referenced_pages() const {
+    return allocator_.used_pages() - retained_.size();
+  }
+  std::size_t prefix_match_tokens(const Request& r) const {
+    return match_prefix(r, d_.bits_normal, r.prompt_tokens).size() *
+           d_.tpp_normal;
+  }
 
   void advance_to(double t) {
     TURBO_CHECK_MSG(running_.empty(),
@@ -1077,12 +1127,6 @@ class EngineImpl {
   // guarantee reclaim may actually count on.
   std::size_t effective_free() const {
     return allocator_.free_pages() + retained_.size();
-  }
-  // Pages live sequences actually reference (retained pages excluded):
-  // the occupancy eviction cannot lower, which is what the pressure
-  // controller and the bench's peak-occupancy claim must see.
-  std::size_t referenced_pages() const {
-    return allocator_.used_pages() - retained_.size();
   }
 
   // Evict one retained page from the prefix index and free it, cascading
@@ -1480,6 +1524,10 @@ class EngineImpl {
   std::array<std::deque<std::size_t>, kServiceClassCount> waiting_;
   std::vector<Running> running_;
   std::vector<Paused> paused_;
+  // Finished prefills awaiting router pickup (EngineRole::kPrefillOnly):
+  // lifted out of the scheduler — pages released, accounting moved — but
+  // not yet landed on a decode replica.
+  std::vector<MigratableRequest> prefilled_;
   // Submitted requests whose arrival time is still in the future (plus
   // already-terminal rejected entries, kept so idle jumps land on the
   // same arrival instants as the monolithic loop).
@@ -1510,12 +1558,22 @@ void Engine::adopt(const MigratableRequest& m, double eligible_s,
 }
 bool Engine::step(double horizon_s) { return impl_->step(horizon_s); }
 std::vector<MigratableRequest> Engine::drain() { return impl_->drain(); }
+std::vector<MigratableRequest> Engine::take_prefilled() {
+  return impl_->take_prefilled();
+}
 EngineResult Engine::finish() { return impl_->finish(); }
 double Engine::now() const { return impl_->now(); }
 bool Engine::done() const { return impl_->done(); }
 bool Engine::has_work() const { return impl_->has_work(); }
 std::size_t Engine::used_pages() const { return impl_->used_pages(); }
 std::size_t Engine::live() const { return impl_->live(); }
+std::size_t Engine::total_pages() const { return impl_->total_pages(); }
+std::size_t Engine::referenced_pages() const {
+  return impl_->referenced_pages();
+}
+std::size_t Engine::prefix_match_tokens(const Request& r) const {
+  return impl_->prefix_match_tokens(r);
+}
 void Engine::advance_to(double t) { impl_->advance_to(t); }
 
 EngineResult run_engine(const EngineConfig& config,

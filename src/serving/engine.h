@@ -92,6 +92,18 @@ enum class SchedPolicy {
   kClassAware,  // per-class queues, guaranteed shares, class-aware victims
 };
 
+// Role of this engine in a disaggregated fleet (src/fleet). A prefill-only
+// engine runs chunked prefill to the first token, then lifts the finished
+// request — KV stream included — into a handoff queue the fleet router
+// drains toward a decode replica (take_prefilled()). Requests it *adopts*
+// mid-decode still decode locally (prompt_left == 0 never re-enters the
+// prefill path), which is the liveness fallback when no decode replica is
+// healthy: a dead role costs latency, never a hung request.
+enum class EngineRole {
+  kFull,         // symmetric: prefill and decode on one engine (default)
+  kPrefillOnly,  // disaggregated prefill worker: hand off after first token
+};
+
 // Per-service-class scheduling policy (indexed by ServiceClass).
 struct ClassPolicy {
   // Guaranteed fraction of the KV page pool. Work-conserving: an idle
@@ -192,6 +204,10 @@ struct EngineConfig {
   // the same request-local id never alias. The default 0 is the identity
   // mapping: single-engine runs are bit-identical to the pre-fleet tree.
   std::size_t replica_id = 0;
+
+  // Disaggregation role (src/fleet --disagg). kFull keeps the symmetric
+  // behavior bit-identical to the pre-disaggregation engine.
+  EngineRole role = EngineRole::kFull;
 };
 
 struct EngineResult {
@@ -250,6 +266,11 @@ struct EngineResult {
   // reclaimable retained pool) — occupancy that eviction cannot lower.
   std::size_t peak_referenced_pages = 0;
 
+  // --- Disaggregation counters (src/fleet) --------------------------------
+  // Requests this prefill-only engine finished prefilling and lifted into
+  // the handoff queue (always 0 for EngineRole::kFull).
+  std::size_t prefill_handoffs = 0;
+
   // --- Tiered-swap counters -----------------------------------------------
   std::size_t tier_demotions = 0;        // LRU demotions host -> disk
   std::size_t tier_promotions = 0;       // promote-on-blocked-readmission
@@ -284,6 +305,10 @@ struct MigratableRequest {
   double kv_bits = 0.0;         // precision the KV was stored at
   bool has_stream = false;      // serialized KV bytes existed at drain
   double bytes = 0.0;           // stream size (0 when !has_stream)
+  // Engine-local clock when the request left its source (drain instant,
+  // or prefill completion for a handoff): the earliest time the transfer
+  // can depart.
+  double ready_s = 0.0;
 };
 
 class EngineImpl;
@@ -324,11 +349,19 @@ class Engine {
   bool step(double horizon_s);
 
   // Lift every non-terminal request out of the engine: running requests
-  // release their pages, parked swap streams are erased, queues emptied.
-  // Asserts the replica leaks nothing: zero used pages and zero parked
-  // streams afterwards. Drained requests are excluded from this engine's
-  // finish() result — exactly-one-terminal-state moves with them.
+  // release their pages, parked swap streams are erased, queues emptied
+  // (the not-yet-collected handoff queue included). Asserts the replica
+  // leaks nothing: zero used pages and zero parked streams afterwards.
+  // Drained requests are excluded from this engine's finish() result —
+  // exactly-one-terminal-state moves with them.
   std::vector<MigratableRequest> drain();
+
+  // Collect requests a prefill-only engine finished prefilling since the
+  // last call (EngineRole::kPrefillOnly). Each carries its KV stream and
+  // ready_s; the fleet router hands them to a decode replica. Their pages
+  // are already released here — accounting moved with them, exactly like
+  // drain(). Always empty for EngineRole::kFull.
+  std::vector<MigratableRequest> take_prefilled();
 
   // Finalize and return the result (makespan, counters, per-request
   // outcomes). Call once, after the last step()/drain().
@@ -339,6 +372,16 @@ class Engine {
   bool has_work() const;            // !done(): something left to schedule
   std::size_t used_pages() const;   // routing signal (least-outstanding)
   std::size_t live() const;         // non-terminal requests on this engine
+  std::size_t total_pages() const;  // KV page-pool capacity
+  // Pages live sequences reference (used minus the reclaimable retained
+  // pool): the occupancy signal behind the fleet's decode watermark —
+  // retained prefix cache is reclaimable and must not exert backpressure.
+  std::size_t referenced_pages() const;
+  // Tokens of `r`'s prompt resident in this engine's radix prefix index
+  // (whole pages only, capped below the full prompt). Pure lookup — no
+  // RNG, no mutation — so affinity routing (src/fleet) can score every
+  // replica without perturbing determinism.
+  std::size_t prefix_match_tokens(const Request& r) const;
   // Move the idle clock forward (revival after an outage window). The
   // engine must hold no running work.
   void advance_to(double t);

@@ -50,6 +50,7 @@ ServingMetrics summarize(const EngineResult& result) {
   m.retained_pages_reclaimed = result.retained_pages_reclaimed;
   m.prefilled_tokens = result.prefilled_tokens;
   m.peak_referenced_pages = result.peak_referenced_pages;
+  m.prefill_handoffs = result.prefill_handoffs;
 
   std::vector<float> ttft;
   std::vector<float> tpot;

@@ -96,6 +96,9 @@ struct ServingMetrics {
   std::size_t retained_pages_reclaimed = 0;
   std::size_t prefilled_tokens = 0;
   std::size_t peak_referenced_pages = 0;
+
+  // Disaggregation counters (copied from EngineResult; see serving/engine.h).
+  std::size_t prefill_handoffs = 0;
 };
 
 ServingMetrics summarize(const EngineResult& result);

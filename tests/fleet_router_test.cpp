@@ -109,6 +109,8 @@ std::uint64_t digest(const FleetResult& r) {
   mixd(r.makespan_s);
   mixd(r.migrated_bytes);
   mixd(r.migration_stall_s);
+  mixd(r.handoff_bytes);
+  mixd(r.handoff_stall_s);
   mix(r.routed);
   mix(r.replica_outages);
   mix(r.failover_drains);
@@ -116,6 +118,15 @@ std::uint64_t digest(const FleetResult& r) {
   mix(r.migration_corruptions);
   mix(r.migration_recomputes);
   mix(r.migration_budget_exhausted);
+  mix(r.handoffs);
+  mix(r.handoff_corruptions);
+  mix(r.handoff_retries);
+  mix(r.handoff_budget_exhausted);
+  mix(r.handoff_recomputes);
+  mix(r.role_fallback_prefills);
+  mix(r.backpressure_deferrals);
+  mix(r.affinity_hits);
+  mix(r.affinity_misses);
   mix(static_cast<std::uint64_t>(r.hit_time_limit));
   return h;
 }
@@ -262,6 +273,110 @@ TEST(FleetPolicyTest, LeastPagesBeatsRoundRobinOnSkewedPrompts) {
   EXPECT_EQ(m_rr.fleet.completed, trace.size());
   EXPECT_EQ(m_lop.fleet.completed, trace.size());
   EXPECT_LE(m_lop.fleet.ttft_p99, m_rr.fleet.ttft_p99);
+}
+
+// --- Affinity routing -------------------------------------------------------
+
+// A request with explicit prompt ids [first_id, first_id + prompt).
+Request ids_request(std::uint64_t id, double arrival, std::int32_t first_id,
+                    std::size_t prompt, std::size_t gen) {
+  Request r;
+  r.id = id;
+  r.arrival_s = arrival;
+  r.prompt_tokens = prompt;
+  r.max_new_tokens = gen;
+  r.service_class = ServiceClass::kInteractive;
+  r.prompt_ids.resize(prompt);
+  for (std::size_t i = 0; i < prompt; ++i) {
+    r.prompt_ids[i] = first_id + static_cast<std::int32_t>(i);
+  }
+  return r;
+}
+
+// Two sessions, two replicas: turn 1 of each session seeds a different
+// replica's radix index (affinity miss -> least-pages); each follow-up
+// turn extends its own session's prompt and must land where that history
+// is resident — pure least-pages would have been indifferent.
+TEST(FleetAffinityTest, FollowUpTurnLandsOnPrefixHoldingReplica) {
+  std::vector<Request> trace;
+  trace.push_back(ids_request(0, 0.00, 0, 1024, 16));      // A, turn 1
+  trace.push_back(ids_request(1, 0.05, 50000, 1024, 16));  // B, turn 1
+  trace.push_back(ids_request(2, 5.00, 0, 1536, 16));      // A, turn 2
+  trace.push_back(ids_request(3, 5.05, 50000, 1536, 16));  // B, turn 2
+  FleetConfig cfg = base_fleet(2);
+  cfg.route = RoutePolicy::kAffinity;
+  const FleetResult r = run_fleet(cfg, trace);
+  EXPECT_FALSE(r.hit_time_limit);
+  ASSERT_EQ(r.replica_results.size(), 2u);
+  auto finished_on = [&r](std::size_t replica, std::uint64_t id) {
+    for (const Request& req : r.replica_results[replica].requests) {
+      if (req.id == id) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(finished_on(0, 0));
+  EXPECT_TRUE(finished_on(1, 1));
+  // The follow-up turns chased their history.
+  EXPECT_TRUE(finished_on(0, 2));
+  EXPECT_TRUE(finished_on(1, 3));
+  EXPECT_EQ(r.affinity_hits, 2u);
+  EXPECT_EQ(r.affinity_misses, 2u);
+  // And the landing replicas actually served the resident prefix.
+  const FleetMetrics m = summarize_fleet(r);
+  EXPECT_GT(m.fleet.prefix_hit_tokens, 0u);
+  EXPECT_EQ(m.affinity_hits, r.affinity_hits);
+  EXPECT_EQ(m.affinity_misses, r.affinity_misses);
+}
+
+// The prefix holder is inside an outage window when the follow-up turn
+// arrives: affinity must fall back to a healthy replica — the dead
+// target costs the cache hit, never the request.
+TEST(FleetAffinityTest, FallsBackWhenPrefixHolderInOutage) {
+  std::vector<Request> trace;
+  trace.push_back(ids_request(0, 0.00, 0, 1024, 16));
+  trace.push_back(ids_request(1, 0.05, 50000, 1024, 16));
+  trace.push_back(ids_request(2, 5.00, 0, 1536, 16));  // holder is down
+  FleetConfig cfg = base_fleet(2);
+  cfg.route = RoutePolicy::kAffinity;
+  cfg.engine.faults.replicas[0].outage_start_s = 3.0;
+  cfg.engine.faults.replicas[0].outage_end_s = 30.0;
+  const FleetResult r = run_fleet(cfg, trace);
+  EXPECT_FALSE(r.hit_time_limit);
+  for (const Request& req : r.requests) {
+    EXPECT_NE(req.outcome, Outcome::kPending);
+  }
+  bool on_healthy = false;
+  for (const Request& req : r.replica_results[1].requests) {
+    if (req.id == 2) on_healthy = true;
+  }
+  EXPECT_TRUE(on_healthy);
+}
+
+// Generated multi-turn session workload under affinity routing: the
+// per-request prefix hits roll up through the replica metrics into the
+// fleet union (lint rule 6's mirroring contract, exercised end to end).
+TEST(FleetAffinityTest, PrefixHitTokensRollUpIntoFleetMetrics) {
+  TraceConfig t;
+  t.arrival_rate = 2.0;
+  t.duration_s = 10.0;
+  t.seed = 23;
+  t.class_mix = {1.0, 0.0, 0.0};
+  t.ttft_deadline_s = {2.5, 0.0, 0.0};
+  t.session_turns = 3;
+  t.shared_prefix_tokens = 512;
+  t.shared_prefix_fraction = 0.9;
+  t.session_gap_s = 1.0;
+  const std::vector<Request> trace = serving::generate_trace(t);
+  FleetConfig cfg = base_fleet(3);
+  cfg.route = RoutePolicy::kAffinity;
+  const FleetMetrics m = summarize_fleet(run_fleet(cfg, trace));
+  EXPECT_GT(m.affinity_hits, 0u);
+  EXPECT_GT(m.fleet.prefix_hit_tokens, 0u);
+  std::size_t per_replica = 0;
+  for (const serving::ServingMetrics& rm : m.replicas) {
+    per_replica += rm.prefix_hit_tokens;
+  }
+  EXPECT_EQ(per_replica, m.fleet.prefix_hit_tokens);
 }
 
 // --- Rollup reconciliation --------------------------------------------------

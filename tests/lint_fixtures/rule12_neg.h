@@ -13,6 +13,17 @@ class FaultableChannel {
                   FaultInjector* fault);
 };
 
+class FaultableRouter {
+ public:
+  void handoff(std::size_t request_id, FaultInjector* fault);
+
+  void collect(FaultableChannel& chan, FaultInjector* fault) {
+    // Member call sites (this->handoff) are exempt, like chan.migrate.
+    this->handoff(7, fault);
+    chan.migrate(4096, fault);
+  }
+};
+
 inline void failover(FaultableChannel& chan, FaultInjector* fault) {
   chan.migrate(4096, fault);
 }

@@ -8,3 +8,11 @@ class BareChannel {
   double migrate(std::size_t bytes);
   double transfer(std::size_t bytes, double bandwidth);
 };
+
+// The prefill→decode handoff path is a channel entry point too: a bare
+// handoff signature is just as unfaultable as a bare migrate.
+class BareRouter {
+ public:
+  void handoff(std::size_t request_id);
+  void handoff_stream(std::size_t request_id, double bytes);
+};

@@ -19,6 +19,9 @@
 #   tools/check.sh prefix     # prefix-sharing suite (ctest -L prefix) in
 #                             # all three builds (radix index, CoW attach,
 #                             # session traces, retained-pool reclaim)
+#   tools/check.sh disagg     # disaggregation suite (ctest -L disagg) in
+#                             # all three builds (role split, prefill->
+#                             # decode handoff, backpressure, degrade)
 #   tools/check.sh lint       # just turbo_lint
 #   tools/check.sh tidy       # just clang-tidy (skipped when not installed)
 #
@@ -35,9 +38,9 @@ FAILED=0
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    all|release|asan|tsan|fault|serving|slo|tier|fleet|prefix|lint|tidy) ;;
+    all|release|asan|tsan|fault|serving|slo|tier|fleet|prefix|disagg|lint|tidy) ;;
     *)
-      echo "check.sh: unknown stage '$s' (expected: release asan tsan fault serving slo tier fleet prefix lint tidy)" >&2
+      echo "check.sh: unknown stage '$s' (expected: release asan tsan fault serving slo tier fleet prefix disagg lint tidy)" >&2
       exit 2
       ;;
   esac
@@ -166,6 +169,24 @@ run_prefix() {
   ctest --test-dir build-tsan -L prefix --output-on-failure || return 1
 }
 
+run_disagg() {
+  banner "disagg: prefill/decode split suite (handoff, backpressure, all builds)"
+  # Disaggregated fleets must be bit-deterministic per seed across all
+  # three lanes — the suite's seeded 2p2d run (outage + handoff faults)
+  # is asserted bit-identical in Release, ASan+UBSan and TSan, and the
+  # acceptance case (a prefill replica killed mid-run) must reach 100%
+  # terminal outcomes in every lane.
+  cmake --preset release || return 1
+  cmake --build --preset release -j "$JOBS" --target disagg_test || return 1
+  ctest --test-dir build-release -L disagg --output-on-failure || return 1
+  cmake --preset debug-asan-ubsan || return 1
+  cmake --build --preset debug-asan-ubsan -j "$JOBS" --target disagg_test || return 1
+  ctest --test-dir build-asan-ubsan -L disagg --output-on-failure || return 1
+  cmake --preset debug-tsan || return 1
+  cmake --build --preset debug-tsan -j "$JOBS" --target disagg_test || return 1
+  ctest --test-dir build-tsan -L disagg --output-on-failure || return 1
+}
+
 run_lint() {
   banner "lint: turbo_lint determinism + quant-invariant rules (13 rules)"
   # Reuse whichever configured build dir already has the lint binary;
@@ -207,6 +228,7 @@ if [[ $FAILED -eq 0 ]] && want slo; then run_slo || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tier; then run_tier || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want fleet; then run_fleet || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want prefix; then run_prefix || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want disagg; then run_disagg || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want lint; then run_lint || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tidy; then run_tidy || FAILED=1; fi
 

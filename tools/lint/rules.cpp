@@ -459,16 +459,19 @@ void rule_unfaultable_swap_io(const SourceFile& file,
 // --- rule 12: unfaultable-replica-channel ---------------------------------
 
 // Mirror of rule 7 for the fleet layer: every replica-to-replica KV
-// migration/transfer entry point in src/fleet/ must accept a
-// FaultInjector*, so in-transit corruption stays injectable and
-// seed-deterministic. Call sites (obj.migrate(...)) are exempt; the
-// router's private failover plumbing is deliberately outside the set —
-// the contract binds the wire, not the bookkeeping around it.
+// migration/transfer entry point in src/fleet/ — including the
+// prefill→decode handoff path — must accept a FaultInjector*, so
+// in-transit corruption and transient send faults stay injectable and
+// seed-deterministic. Call sites (obj.migrate(...), this->handoff(...))
+// are exempt; the router's private failover plumbing is deliberately
+// outside the set — the contract binds the wire, not the bookkeeping
+// around it.
 void rule_unfaultable_replica_channel(const SourceFile& file,
                                       std::vector<Finding>& out) {
   if (file.rel.rfind("src/fleet/", 0) != 0) return;
   static const std::set<std::string> kChannelFns = {
-      "migrate", "migrate_stream", "transfer", "transfer_stream"};
+      "migrate",  "migrate_stream", "transfer",
+      "transfer_stream", "handoff", "handoff_stream"};
   const Tokens& toks = file.lexed.tokens;
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
     if (toks[i].kind != TokKind::kIdent ||

@@ -56,11 +56,16 @@ using tools::Flags;
       "            --tier-fail-p P | P_HOST,P_DISK (unavailable prob)\n"
       "            --tier-retry-budget N (fetch attempts per tier)\n"
       "            --replicas N (data-parallel fleet; 1 = single engine)\n"
-      "            --route rr|lop|class (fleet routing policy)\n"
+      "            --route rr|lop|class|affinity (fleet routing policy)\n"
       "            --replica-outage IDX:START,END[;IDX:START,END...]\n"
       "            --migrate-corrupt-p P (per-migration corruption prob)\n"
       "            --interconnect GB_PER_S (replica-to-replica link)\n"
       "            --failover-budget N (migrations per request)\n"
+      "            --disagg P:D (P prefill + D decode replicas; also PpDd;\n"
+      "                          overrides --replicas)\n"
+      "            --decode-watermark F (decode-pool backpressure threshold)\n"
+      "            --handoff-fail-p P (transient handoff-send fault prob)\n"
+      "            --handoff-retry-budget N (handoff send attempts)\n"
       "            --sessions TURNS (multi-turn sessions; 1 = single-turn)\n"
       "            --shared-prefix TOKENS (shared system-prompt length)\n"
       "            --shared-frac F (fraction of sessions carrying it)\n"
@@ -191,6 +196,37 @@ std::array<double, 2> parse_pair(const std::string& text, const char* flag) {
   }
 }
 
+// Parse "--disagg P:D" — also the compact "PpDd" form (e.g. 2p2d) —
+// into {prefill replicas, decode replicas}.
+std::array<std::size_t, 2> parse_disagg(const std::string& text) {
+  long p = -1;
+  long d = -1;
+  try {
+    std::size_t sep = text.find(':');
+    if (sep != std::string::npos) {
+      p = std::stol(text.substr(0, sep));
+      d = std::stol(text.substr(sep + 1));
+    } else {
+      sep = text.find('p');
+      const std::size_t tail = text.find('d', sep + 1);
+      if (sep != std::string::npos && tail != std::string::npos &&
+          tail == text.size() - 1) {
+        p = std::stol(text.substr(0, sep));
+        d = std::stol(text.substr(sep + 1, tail - sep - 1));
+      }
+    }
+  } catch (const std::exception&) {
+    p = -1;
+  }
+  if (p < 1 || d < 1) {
+    std::fprintf(stderr,
+                 "--disagg wants P:D or PpDd with P, D >= 1 (got '%s')\n",
+                 text.c_str());
+    std::exit(2);
+  }
+  return {static_cast<std::size_t>(p), static_cast<std::size_t>(d)};
+}
+
 // Parse "a,b,c" into a per-class triple (interactive, standard, batch).
 std::array<double, serving::kServiceClassCount> parse_triple(
     const std::string& text, const char* flag) {
@@ -226,7 +262,8 @@ int run_serve(const Flags& flags) {
                         "route", "replica-outage", "migrate-corrupt-p",
                         "interconnect", "failover-budget", "sessions",
                         "shared-prefix", "shared-frac", "session-gap",
-                        "agentic-frac"});
+                        "agentic-frac", "disagg", "decode-watermark",
+                        "handoff-fail-p", "handoff-retry-budget"});
   serving::TraceConfig trace_cfg;
   trace_cfg.arrival_rate = flags.get_double("rate", 4.0);
   trace_cfg.duration_s = flags.get_double("duration", 60.0);
@@ -338,7 +375,16 @@ int run_serve(const Flags& flags) {
 
   // Fleet knobs: replica count, routing policy, deterministic outage
   // windows and the migration fault/interconnect model (src/fleet).
-  const long replicas = flags.get_int("replicas", 1);
+  long replicas = flags.get_int("replicas", 1);
+  // Disaggregation: "--disagg P:D" builds a fleet of P prefill-only plus
+  // D decode replicas, overriding --replicas.
+  const std::string disagg = flags.get("disagg", "");
+  std::size_t prefill_replicas = 0;
+  if (!disagg.empty()) {
+    const auto pd = parse_disagg(disagg);
+    prefill_replicas = pd[0];
+    replicas = static_cast<long>(pd[0] + pd[1]);
+  }
   if (replicas < 1 ||
       static_cast<std::size_t>(replicas) > turbo::kMaxReplicas) {
     std::fprintf(stderr, "--replicas must be in [1, %zu]\n",
@@ -347,6 +393,8 @@ int run_serve(const Flags& flags) {
   }
   engine.faults.migration_corruption_prob =
       flags.get_double("migrate-corrupt-p", 0.0);
+  engine.faults.handoff_transient_prob =
+      flags.get_double("handoff-fail-p", 0.0);
   const std::string outages = flags.get("replica-outage", "");
   for (std::size_t pos = 0; pos < outages.size();) {
     std::size_t end = outages.find(';', pos);
@@ -394,6 +442,8 @@ int run_serve(const Flags& flags) {
       fc.route = fleet::RoutePolicy::kLeastOutstandingPages;
     } else if (route == "class") {
       fc.route = fleet::RoutePolicy::kClassAware;
+    } else if (route == "affinity") {
+      fc.route = fleet::RoutePolicy::kAffinity;
     } else {
       std::fprintf(stderr, "unknown route policy '%s'\n", route.c_str());
       std::exit(2);
@@ -402,6 +452,10 @@ int run_serve(const Flags& flags) {
         flags.get_double("interconnect", 64.0) * 1e9;
     fc.failover_budget =
         static_cast<std::size_t>(flags.get_int("failover-budget", 2));
+    fc.prefill_replicas = prefill_replicas;
+    fc.decode_watermark = flags.get_double("decode-watermark", 0.90);
+    fc.handoff_retry_budget =
+        static_cast<std::size_t>(flags.get_int("handoff-retry-budget", 3));
     const fleet::FleetMetrics fm =
         fleet::summarize_fleet(fleet::run_fleet(fc, trace));
     std::printf("%zu requests @ %.1f req/s over %zu replicas (%s): "
@@ -433,6 +487,24 @@ int run_serve(const Flags& flags) {
                 fm.migrated_gb, fm.migration_stall_s,
                 fm.migration_corruptions, fm.migration_recomputes,
                 fm.migration_budget_exhausted, fm.rerouted_waiting);
+    if (fm.prefill_replica_count > 0) {
+      std::printf("  disagg %zup%zud: %zu handoffs (%.2f GB, %.3f s on "
+                  "the wire), %zu retries, %zu corrupt, %zu recomputed, "
+                  "%zu over budget, %zu role fallbacks, %zu backpressure "
+                  "deferrals\n",
+                  fm.prefill_replica_count,
+                  fm.replica_count - fm.prefill_replica_count, fm.handoffs,
+                  fm.handoff_gb, fm.handoff_stall_s, fm.handoff_retries,
+                  fm.handoff_corruptions, fm.handoff_recomputes,
+                  fm.handoff_budget_exhausted, fm.role_fallback_prefills,
+                  fm.backpressure_deferrals);
+    }
+    if (fc.route == fleet::RoutePolicy::kAffinity) {
+      std::printf("  affinity: %zu hits, %zu misses, %zu prefix-hit "
+                  "tokens\n",
+                  fm.affinity_hits, fm.affinity_misses,
+                  fm.fleet.prefix_hit_tokens);
+    }
     for (std::size_t i = 0; i < fm.replicas.size(); ++i) {
       const serving::ServingMetrics& rm = fm.replicas[i];
       std::printf("    replica %zu: %zu done, %zu timed-out, %zu shed, "
