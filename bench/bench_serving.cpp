@@ -338,8 +338,7 @@ int main() {
       cfg.replicas = row.replicas;
       cfg.route = row.route;
       if (row.outage) {
-        cfg.engine.faults.replicas[1].outage_start_s = 2.0;
-        cfg.engine.faults.replicas[1].outage_end_s = 8.0;
+        cfg.engine.faults.replicas[1].add_outage(2.0, 8.0);
       }
       const turbo::fleet::FleetMetrics m =
           turbo::fleet::summarize_fleet(turbo::fleet::run_fleet(cfg, trace));
@@ -485,8 +484,7 @@ int main() {
       cfg.replicas = 4;
       cfg.prefill_replicas = row.prefill;
       if (row.outage) {
-        cfg.engine.faults.replicas[0].outage_start_s = 2.0;
-        cfg.engine.faults.replicas[0].outage_end_s = 8.0;
+        cfg.engine.faults.replicas[0].add_outage(2.0, 8.0);
       }
       const turbo::fleet::FleetMetrics m =
           turbo::fleet::summarize_fleet(turbo::fleet::run_fleet(cfg, trace));
@@ -511,5 +509,77 @@ int main() {
               "replica 0 mid-run re-routes its prompts to the surviving "
               "prefill pool — p99 roughly doubles but attainment holds "
               "and every request still reaches a terminal state.\n");
+
+  // --- Crash recovery: what a snapshot cadence buys back -----------------
+  // An outage drains politely; a crash loses the process. The rows
+  // compare the same mid-run crash of replica 1 with recovery by
+  // recompute-only (no snapshots) against recovery from a 1-second
+  // crash-consistent snapshot cadence: the restore ladder re-admits
+  // snapshotted streams through the swap-in path and recomputes from the
+  // prompt only what the snapshot predates or a failed CRC invalidates.
+  std::printf("\n=== Crash recovery: 4x Phi3-mini replicas on "
+              "A100-PCIe-40GB, headroom 0.35, Turbo-4 ===\n");
+  std::printf("crash rows: replica 1 crashes at t=6 s, restarts 0.5 s "
+              "later; snapshot rows persist every replica each 1 s\n\n");
+  {
+    TraceConfig t;
+    t.arrival_rate = 88.0;
+    t.duration_s = 20.0;
+    t.prompt_log_mean = 5.5;
+    t.prompt_log_std = 0.5;
+    t.gen_log_mean = 5.0;
+    t.gen_log_std = 0.5;
+    t.seed = 17;
+    t.class_mix = {0.3, 0.5, 0.2};
+    t.ttft_deadline_s = {2.5, 20.0, 0.0};
+    const auto trace = generate_trace(t);
+    std::printf("trace: %.0f req/s for %.0f s (%zu requests)\n\n",
+                t.arrival_rate, t.duration_s, trace.size());
+    std::printf("%16s  %8s  %12s  %8s  %8s  %8s  %8s\n", "config", "tok/s",
+                "inter. SLO", "recomp", "replayed", "restored", "snaps");
+    struct CrashRow {
+      const char* label;
+      bool crash;
+      double snapshot_interval_s;
+    };
+    const CrashRow rows[] = {
+        {"no-crash", false, 0.0},
+        {"crash no-snap", true, 0.0},
+        {"crash+snap 1s", true, 1.0},
+    };
+    for (const CrashRow& row : rows) {
+      turbo::fleet::FleetConfig cfg;
+      cfg.engine.device = turbo::sim::a100_pcie_40gb();
+      cfg.engine.geometry = turbo::sim::phi3_mini_geometry();
+      cfg.engine.method = AttnMethod::kTurbo;
+      cfg.engine.attention.kv_bits = 4.0;
+      cfg.engine.memory_headroom = 0.35;
+      cfg.engine.policy = SchedPolicy::kClassAware;
+      cfg.replicas = 4;
+      cfg.snapshot_interval_s = row.snapshot_interval_s;
+      if (row.crash) {
+        cfg.engine.faults.replicas[1].crash_at_s = 6.0;
+        cfg.engine.faults.replicas[1].restart_delay_s = 0.5;
+      }
+      const turbo::fleet::FleetMetrics m =
+          turbo::fleet::summarize_fleet(turbo::fleet::run_fleet(cfg, trace));
+      const ClassBreakdown& inter = m.fleet.by_class[0];
+      std::printf("%16s  %8.0f  %11.1f%%  %8zu  %8zu  %8zu  %8zu\n",
+                  row.label, m.fleet.output_tokens_per_s,
+                  100.0 * inter.ttft_attainment, m.fleet.recomputed_tokens,
+                  m.fleet.replayed_tokens, m.fleet.restored_requests,
+                  m.fleet.snapshots_written);
+    }
+  }
+  std::printf("\nExpected: a crash with no snapshots recovers every lost "
+              "stream by recompute-from-prompt — the recomputed-token "
+              "column spikes and interactive attainment dips while the "
+              "restarted replica re-derives KV it already had. The "
+              "1-second snapshot cadence restores most streams from the "
+              "last checkpoint instead: recomputed and replayed tokens "
+              "drop measurably versus the snapshot-free crash, the "
+              "restored column shows the requests that came back warm, "
+              "and attainment lands between the clean run and the "
+              "recompute-only crash.\n");
   return 0;
 }

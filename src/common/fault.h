@@ -19,6 +19,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -33,26 +34,82 @@ inline constexpr std::size_t kMaxSwapTiers = 4;
 // (src/fleet routes over at most this many).
 inline constexpr std::size_t kMaxReplicas = 8;
 
+// One deterministic replica unavailability window [start_s, end_s).
+struct OutageWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  bool covers(double now_s) const {
+    return end_s > start_s && now_s >= start_s && now_s < end_s;
+  }
+};
+
 // Per-replica fault profile for the fleet router. Replica health is pure
 // wall-clock arithmetic (NO RNG draw): a replica is down for every probe
-// whose timestamp falls inside [outage_start_s, outage_end_s), so killing
-// a replica for a fixed interval cannot perturb the Bernoulli draw
-// sequence of any other fault — a windowed fleet run stays bit-comparable
-// to the same seed without the window everywhere outside it.
+// whose timestamp falls inside one of its outage windows — or, after a
+// crash, inside [crash_at_s, crash_at_s + restart_delay_s) — so killing a
+// replica cannot perturb the Bernoulli draw sequence of any other fault:
+// a windowed fleet run stays bit-comparable to the same seed without the
+// window everywhere outside it.
+//
+// An outage is polite (the router drains live KV before the replica goes
+// dark); a crash is abrupt (in-flight state is lost and recovered from
+// the last snapshot, or recomputed from the prompt).
 struct ReplicaFaultPlan {
-  // Deterministic outage window [start, end); start == end disables it.
-  double outage_start_s = 0.0;
-  double outage_end_s = 0.0;
+  // Deterministic outage windows, kept sorted and non-overlapping by
+  // add_outage(). A replica can flap: down, back up, down again.
+  std::vector<OutageWindow> outages;
 
-  bool enabled() const { return outage_end_s > outage_start_s; }
+  // Abrupt crash at crash_at_s (0 disables); the replica restarts — from
+  // its last crash-consistent snapshot — restart_delay_s later.
+  double crash_at_s = 0.0;
+  double restart_delay_s = 0.0;
+
+  void add_outage(double start_s, double end_s) {
+    TURBO_CHECK_MSG(end_s > start_s,
+                    "replica outage window must have end > start");
+    auto it = outages.begin();
+    while (it != outages.end() && it->start_s < start_s) ++it;
+    outages.insert(it, OutageWindow{start_s, end_s});
+  }
+
+  bool crash_enabled() const { return crash_at_s > 0.0; }
+  double restart_at_s() const { return crash_at_s + restart_delay_s; }
+
+  bool enabled() const { return !outages.empty() || crash_enabled(); }
 
   bool down_at(double now_s) const {
-    return enabled() && now_s >= outage_start_s && now_s < outage_end_s;
+    for (const OutageWindow& w : outages) {
+      if (w.covers(now_s)) return true;
+    }
+    return crash_enabled() && now_s >= crash_at_s &&
+           now_s < restart_at_s();
+  }
+
+  // End of the downtime covering `now_s` (now_s itself when healthy):
+  // the instant the replica accepts work again.
+  double down_until(double now_s) const {
+    for (const OutageWindow& w : outages) {
+      if (w.covers(now_s)) return w.end_s;
+    }
+    if (crash_enabled() && now_s >= crash_at_s && now_s < restart_at_s()) {
+      return restart_at_s();
+    }
+    return now_s;
   }
 
   void validate() const {
-    TURBO_CHECK_MSG(outage_end_s >= outage_start_s,
-                    "replica outage window must have end >= start");
+    for (std::size_t i = 0; i < outages.size(); ++i) {
+      TURBO_CHECK_MSG(outages[i].end_s > outages[i].start_s,
+                      "replica outage window must have end > start");
+      if (i > 0) {
+        TURBO_CHECK_MSG(outages[i - 1].end_s <= outages[i].start_s,
+                        "replica outage windows must not overlap");
+      }
+    }
+    TURBO_CHECK_MSG(crash_at_s >= 0.0, "crash_at_s must be >= 0");
+    TURBO_CHECK_MSG(restart_delay_s >= 0.0,
+                    "restart_delay_s must be >= 0");
   }
 };
 
@@ -124,6 +181,13 @@ struct FaultPlan {
   // destination — latency, never a lost request.
   double handoff_transient_prob = 0.0;
 
+  // Probability a replica snapshot save attempt finds the snapshot store
+  // unavailable (the previous snapshot, if any, stays valid), and the
+  // probability a restored snapshot blob comes back corrupted — detected
+  // by the CRC layer, recovered by recomputing from the prompt.
+  double snapshot_unavailable_prob = 0.0;
+  double snapshot_corruption_prob = 0.0;
+
   // Per-tier fault profiles, indexed by swap-tier position (0 = fastest).
   // All-zero profiles are inert: probes with probability 0 draw nothing.
   std::array<TierFaultPlan, kMaxSwapTiers> tiers = {};
@@ -135,7 +199,8 @@ struct FaultPlan {
   bool enabled() const {
     if (page_alloc_failure_prob > 0.0 || stream_corruption_prob > 0.0 ||
         swap_spike_prob > 0.0 || migration_corruption_prob > 0.0 ||
-        handoff_transient_prob > 0.0) {
+        handoff_transient_prob > 0.0 || snapshot_unavailable_prob > 0.0 ||
+        snapshot_corruption_prob > 0.0) {
       return true;
     }
     for (const TierFaultPlan& t : tiers) {
@@ -163,6 +228,10 @@ struct FaultPlan {
                     "migration_corruption_prob outside [0, 1]");
     TURBO_CHECK_MSG(is_prob(handoff_transient_prob),
                     "handoff_transient_prob outside [0, 1]");
+    TURBO_CHECK_MSG(is_prob(snapshot_unavailable_prob),
+                    "snapshot_unavailable_prob outside [0, 1]");
+    TURBO_CHECK_MSG(is_prob(snapshot_corruption_prob),
+                    "snapshot_corruption_prob outside [0, 1]");
     for (const TierFaultPlan& t : tiers) t.validate();
     for (const ReplicaFaultPlan& r : replicas) r.validate();
   }
@@ -234,6 +303,34 @@ class FaultInjector {
     return true;  // deterministic window: no RNG draw
   }
 
+  // Crash probe for the fleet router: has this replica's crash instant
+  // passed? Pure wall-clock arithmetic — never draws RNG — so an abrupt
+  // crash cannot perturb any other fault stream. The router fires it at
+  // most once per crash event.
+  bool replica_crashed(std::size_t replica, double now_s) {
+    TURBO_CHECK(replica < kMaxReplicas);
+    const ReplicaFaultPlan& r = plan_.replicas[replica];
+    if (!r.crash_enabled() || now_s < r.crash_at_s) return false;
+    ++injected_replica_crashes_;
+    return true;  // deterministic instant: no RNG draw
+  }
+
+  // One Bernoulli draw per snapshot save attempt: the store was
+  // unreachable, nothing was written (the previous snapshot survives).
+  bool snapshot_unavailable() {
+    if (!probe(plan_.snapshot_unavailable_prob)) return false;
+    ++injected_snapshot_unavailable_;
+    return true;
+  }
+
+  // One Bernoulli draw per snapshot restore: the blob comes back with a
+  // byte flipped (caught by the CRC layer, recovered by recompute).
+  bool corrupt_snapshot() {
+    if (!probe(plan_.snapshot_corruption_prob)) return false;
+    ++injected_snapshot_corruptions_;
+    return true;
+  }
+
   // One Bernoulli draw per replica-to-replica KV migration.
   bool corrupt_migration() {
     if (!probe(plan_.migration_corruption_prob)) return false;
@@ -269,6 +366,15 @@ class FaultInjector {
   }
   std::size_t injected_tier_spikes() const { return injected_tier_spikes_; }
   std::size_t injected_replica_down() const { return injected_replica_down_; }
+  std::size_t injected_replica_crashes() const {
+    return injected_replica_crashes_;
+  }
+  std::size_t injected_snapshot_unavailable() const {
+    return injected_snapshot_unavailable_;
+  }
+  std::size_t injected_snapshot_corruptions() const {
+    return injected_snapshot_corruptions_;
+  }
   std::size_t injected_migration_corruptions() const {
     return injected_migration_corruptions_;
   }
@@ -291,6 +397,9 @@ class FaultInjector {
   std::size_t injected_tier_corruptions_ = 0;
   std::size_t injected_tier_spikes_ = 0;
   std::size_t injected_replica_down_ = 0;
+  std::size_t injected_replica_crashes_ = 0;
+  std::size_t injected_snapshot_unavailable_ = 0;
+  std::size_t injected_snapshot_corruptions_ = 0;
   std::size_t injected_migration_corruptions_ = 0;
   std::size_t injected_handoff_transients_ = 0;
 };

@@ -1,0 +1,160 @@
+#include "fleet/chaos.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace turbo::fleet {
+
+void apply_chaos(FleetConfig& config, std::uint64_t seed, double intensity,
+                 double horizon_s) {
+  TURBO_CHECK_MSG(intensity > 0.0 && intensity <= 1.0,
+                  "chaos intensity must be in (0, 1]");
+  TURBO_CHECK_MSG(horizon_s > 0.0, "chaos horizon must be > 0");
+  // The schedule RNG is private to the generator and fully consumed
+  // before the run starts: chaos drawing never touches the injector's
+  // Bernoulli streams, so the produced config is as deterministic as a
+  // hand-written one.
+  Rng rng(seed);
+  FaultPlan& plan = config.engine.faults;
+
+  // Probabilistic background noise, scaled by intensity. Kept small:
+  // chaos should stress recovery paths, not reduce the run to shed().
+  plan.page_alloc_failure_prob = 0.01 * intensity;
+  plan.stream_corruption_prob = 0.02 * intensity;
+  plan.swap_spike_prob = 0.10 * intensity;
+  plan.migration_corruption_prob = 0.20 * intensity;
+  plan.handoff_transient_prob = 0.20 * intensity;
+  plan.snapshot_unavailable_prob = 0.15 * intensity;
+  plan.snapshot_corruption_prob = 0.15 * intensity;
+
+  // Tier death: the slower swap tier flaps probabilistically and dies
+  // outright for a window mid-run (inert unless the run swaps at all).
+  plan.tiers[1].unavailable_prob = 0.05 * intensity;
+  plan.tiers[1].corruption_prob = 0.05 * intensity;
+  const double tier_death = rng.uniform(0.3, 0.6) * horizon_s;
+  plan.tiers[1].outage_start_s = tier_death;
+  plan.tiers[1].outage_end_s =
+      tier_death + rng.uniform(0.05, 0.15) * horizon_s;
+
+  // Crash-consistent snapshots on: every chaos run exercises the full
+  // restore -> recompute -> dedupe ladder, not just raw recompute.
+  config.snapshot_interval_s =
+      std::max(0.02 * horizon_s, rng.uniform(0.04, 0.10) * horizon_s);
+
+  // One replica is guaranteed to crash mid-run; the rest crash with an
+  // intensity-scaled probability. Crashes land in the middle half of
+  // the horizon so there is state worth losing and time to recover.
+  const std::size_t n = config.replicas;
+  const std::size_t victim = static_cast<std::size_t>(rng.uniform_index(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ReplicaFaultPlan& rp = plan.replicas[i];
+    rp.outages.clear();
+    rp.crash_at_s = 0.0;
+    rp.restart_delay_s = 0.0;
+    // Crash draw first, then outage draws: a fixed draw order keeps the
+    // schedule stable as knobs evolve.
+    const bool crashes =
+        i == victim || rng.uniform() < 0.3 * intensity;
+    if (crashes) {
+      rp.crash_at_s = rng.uniform(0.25, 0.75) * horizon_s;
+      rp.restart_delay_s = rng.uniform(0.02, 0.08) * horizon_s;
+    }
+    // Flapping outages: up to two polite drain windows per replica,
+    // placed sequentially so they never overlap each other.
+    double cursor = rng.uniform(0.05, 0.30) * horizon_s;
+    const std::size_t windows =
+        rng.uniform() < 0.6 * intensity ? 1 + rng.uniform_index(2) : 0;
+    for (std::size_t w = 0; w < windows; ++w) {
+      const double len = rng.uniform(0.03, 0.10) * horizon_s;
+      rp.add_outage(cursor, cursor + len);
+      cursor += len + rng.uniform(0.05, 0.20) * horizon_s;
+    }
+  }
+  // Even a schedule that darkens every replica at once stays safe: the
+  // router's blackout machinery (ensure_some_replica_up) revives the
+  // earliest-recovering replica rather than losing the request.
+  plan.validate();
+}
+
+namespace {
+
+void fail(ChaosAudit& audit, std::string message) {
+  audit.ok = false;
+  audit.failures.push_back(std::move(message));
+}
+
+}  // namespace
+
+ChaosAudit audit_fleet(const FleetResult& result, std::size_t trace_size) {
+  ChaosAudit audit;
+
+  // Exactly one terminal state per trace request.
+  if (result.requests.size() != trace_size) {
+    fail(audit, "terminal union holds " +
+                    std::to_string(result.requests.size()) +
+                    " requests, trace had " + std::to_string(trace_size));
+  }
+  std::vector<std::uint64_t> ids;
+  ids.reserve(result.requests.size());
+  std::size_t pending = 0;
+  for (const serving::Request& r : result.requests) {
+    ids.push_back(r.id);
+    if (r.outcome == serving::Outcome::kPending) ++pending;
+  }
+  std::sort(ids.begin(), ids.end());
+  if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+    fail(audit, "a request id appears more than once in the terminal union");
+  }
+  if (!result.hit_time_limit && pending > 0) {
+    fail(audit, std::to_string(pending) +
+                    " request(s) ended the run without a terminal state");
+  }
+
+  // Every terminal request is accounted to exactly one engine
+  // incarnation; arrivals stranded unrouted exist only under the safety
+  // stop.
+  if (result.replica_results.size() < result.replica_count) {
+    fail(audit, "fewer replica results than replicas");
+  }
+  std::size_t accounted = 0;
+  for (const serving::EngineResult& er : result.replica_results) {
+    accounted += er.requests.size();
+  }
+  if (accounted > result.requests.size()) {
+    fail(audit, "incarnations report more requests than the union holds");
+  }
+  if (!result.hit_time_limit && accounted != result.requests.size()) {
+    fail(audit, "terminal union and per-incarnation accounting disagree: " +
+                    std::to_string(accounted) + " vs " +
+                    std::to_string(result.requests.size()));
+  }
+
+  // Crash / snapshot accounting. Each crash produces exactly one extra
+  // incarnation result and exactly one replica_crashes tick (on the
+  // replacement engine); a restore attempt resolves to exactly one of
+  // {hit, corrupt, missing}, so hits + corruptions never exceed crashes.
+  const std::size_t extra =
+      result.replica_results.size() - result.replica_count;
+  std::size_t crashes = 0;
+  std::size_t restores = 0;
+  std::size_t corruptions = 0;
+  for (const serving::EngineResult& er : result.replica_results) {
+    crashes += er.replica_crashes;
+    restores += er.snapshot_restores;
+    corruptions += er.snapshot_corruptions;
+  }
+  if (crashes != extra) {
+    fail(audit, "replica_crashes (" + std::to_string(crashes) +
+                    ") != crashed incarnations (" + std::to_string(extra) +
+                    ")");
+  }
+  if (restores + corruptions > crashes) {
+    fail(audit, "more snapshot restore outcomes than crashes");
+  }
+  return audit;
+}
+
+}  // namespace turbo::fleet

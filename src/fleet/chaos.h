@@ -1,0 +1,53 @@
+// Seeded chaos harness for the fleet router.
+//
+// Chaos engineering, minus the flakiness: apply_chaos() expands one
+// (seed, intensity) pair into a concrete, deterministic fault schedule —
+// replica crashes with warm restarts, flapping outage windows, tier
+// death, migration/handoff/snapshot corruption, allocation failures —
+// written into a FleetConfig's FaultPlan. The schedule is drawn from a
+// private RNG before the run starts, so the run itself stays
+// bit-identical across build configurations and sanitizer lanes: the
+// same chaos seed reproduces the same disaster, byte for byte.
+//
+// audit_fleet() is the post-run half: it re-checks the invariants the
+// fleet exists to uphold (exactly one terminal state per trace request,
+// every terminal request accounted to exactly one engine incarnation,
+// crash/snapshot counter consistency) and reports every violation
+// instead of stopping at the first, so a failing chaos run tells the
+// whole story.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/router.h"
+
+namespace turbo::fleet {
+
+// Expand (seed, intensity) into a deterministic fault schedule over the
+// config's replicas and write it into config.engine.faults (composing
+// with — and overriding — any per-field knobs already set). intensity
+// scales every probability and event count, in (0, 1]; horizon_s is the
+// wall-clock span the schedule targets (crashes and outages land inside
+// it — pass the trace duration). Always enables periodic snapshots and
+// guarantees at least one replica crash, so every chaos run exercises
+// the full recovery ladder.
+void apply_chaos(FleetConfig& config, std::uint64_t seed, double intensity,
+                 double horizon_s);
+
+// Post-run invariant audit over a chaos (or any fleet) run.
+struct ChaosAudit {
+  bool ok = true;
+  // One human-readable line per violated invariant; empty when ok.
+  std::vector<std::string> failures;
+};
+
+// Audit a finished fleet run against the trace size it consumed. Checks
+// the terminal-state union (exactly trace_size requests, unique ids,
+// no kPending unless the safety stop fired), per-incarnation
+// accounting (every terminal request appears in exactly one engine
+// incarnation's result), and crash/snapshot counter consistency.
+ChaosAudit audit_fleet(const FleetResult& result, std::size_t trace_size);
+
+}  // namespace turbo::fleet

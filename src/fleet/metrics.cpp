@@ -48,6 +48,15 @@ serving::EngineResult aggregate(const FleetResult& result) {
         std::max(agg.max_preemptions_single_request,
                  er.max_preemptions_single_request);
     agg.recomputed_tokens += er.recomputed_tokens;
+    agg.snapshots_written += er.snapshots_written;
+    agg.snapshot_bytes += er.snapshot_bytes;
+    agg.snapshot_restores += er.snapshot_restores;
+    agg.snapshot_corruptions += er.snapshot_corruptions;
+    agg.restored_requests += er.restored_requests;
+    agg.replayed_tokens += er.replayed_tokens;
+    agg.crash_recomputes += er.crash_recomputes;
+    agg.replica_crashes += er.replica_crashes;
+    agg.dedupe_drops += er.dedupe_drops;
     agg.tier_demotions += er.tier_demotions;
     agg.tier_promotions += er.tier_promotions;
     agg.tier_failovers += er.tier_failovers;

@@ -17,9 +17,11 @@ struct FleetMetrics {
   // Union-level serving metrics: every trace request, whichever replica
   // finished it, summarized against the fleet makespan.
   serving::ServingMetrics fleet;
-  // Per-replica serving metrics, indexed by replica id. Sum of the
-  // replicas' counters equals the fleet rollup (drained requests count
-  // only where they terminated).
+  // Per-replica serving metrics: the first replica_count entries are the
+  // final incarnations, indexed by replica id; crashed incarnations
+  // follow in crash order (mirroring FleetResult::replica_results). Sum
+  // of the incarnations' counters equals the fleet rollup (drained
+  // requests count only where they terminated).
   std::vector<serving::ServingMetrics> replicas;
 
   std::size_t replica_count = 0;

@@ -40,30 +40,40 @@ Router::Router(const FleetConfig& config)
                   "handoff_retry_budget must allow at least one attempt");
   TURBO_CHECK_MSG(config_.handoff_retry_backoff_s >= 0.0,
                   "handoff_retry_backoff_s must be >= 0");
+  TURBO_CHECK_MSG(config_.snapshot_interval_s >= 0.0,
+                  "snapshot_interval_s must be >= 0");
   engines_.reserve(config_.replicas);
   for (std::size_t i = 0; i < config_.replicas; ++i) {
-    serving::EngineConfig c = config_.engine;
-    c.replica_id = i;
-    // Derived per-replica fault seed: independent Bernoulli streams per
-    // replica, replica 0 at the base seed so a 1-replica fleet draws the
-    // exact sequence run_engine() would.
-    c.faults.seed = config_.engine.faults.seed + i;
-    // Role split: replicas [0, P) prefill and hand off; the rest decode
-    // (and self-prefill only when the prefill pool is dark).
-    c.role = is_prefill(i) ? serving::EngineRole::kPrefillOnly
-                           : serving::EngineRole::kFull;
-    engines_.emplace_back(c);
+    engines_.emplace_back(replica_cfg(i));
   }
   down_.assign(config_.replicas, 0);
-  outage_fired_.assign(config_.replicas, 0);
+  down_until_.assign(config_.replicas, 0.0);
+  next_window_.assign(config_.replicas, 0);
+  crash_fired_.assign(config_.replicas, 0);
+  last_snapshot_.assign(config_.replicas, 0.0);
+}
+
+serving::EngineConfig Router::replica_cfg(std::size_t i) const {
+  serving::EngineConfig c = config_.engine;
+  c.replica_id = i;
+  // Derived per-replica fault seed: independent Bernoulli streams per
+  // replica, replica 0 at the base seed so a 1-replica fleet draws the
+  // exact sequence run_engine() would. A crashed replica's replacement
+  // reuses the same seed: it draws a fresh, deterministic stream.
+  c.faults.seed = config_.engine.faults.seed + i;
+  // Role split: replicas [0, P) prefill and hand off; the rest decode
+  // (and self-prefill only when the prefill pool is dark).
+  c.role = is_prefill(i) ? serving::EngineRole::kPrefillOnly
+                         : serving::EngineRole::kFull;
+  return c;
 }
 
 bool Router::eligible(std::size_t i, double t) {
   if (down_[i] != 0) {
-    // Lazy revival: the first routing decision after the outage window
-    // closes brings the replica back (its clock idled through the
-    // blackout).
-    if (t >= config_.engine.faults.replicas[i].outage_end_s) {
+    // Lazy revival: the first routing decision after the downtime ends
+    // (outage window close, or crash restart) brings the replica back —
+    // its clock idled through the blackout.
+    if (t >= down_until_[i]) {
       engines_[i].advance_to(t);
       down_[i] = 0;
       return true;
@@ -161,15 +171,15 @@ std::size_t Router::pick_affinity(const serving::Request& r, double t,
 }
 
 void Router::ensure_some_replica_up(double t) {
-  // Every replica is down: revive the one whose outage ends first, at
-  // its window end — the request waits out the blackout rather than
-  // being lost.
+  // Every replica is down: revive the one whose downtime ends first, at
+  // that end — the request waits out the blackout rather than being
+  // lost.
   const std::size_t n = engines_.size();
   std::size_t best = n;
   double best_end = kInf;
   for (std::size_t i = 0; i < n; ++i) {
     if (down_[i] == 0) continue;
-    const double end = config_.engine.faults.replicas[i].outage_end_s;
+    const double end = down_until_[i];
     if (end < best_end) {
       best = i;
       best_end = end;
@@ -201,16 +211,20 @@ std::size_t Router::pick_policy(const serving::Request& r, double t,
   return engines_.size();
 }
 
-std::size_t Router::earliest_recovering() const {
-  // Every replica's window covers t and none has drained yet (their
-  // clocks lag the router's). Place on the one that recovers first; its
-  // own outage will drain and fail the request over.
+std::size_t Router::earliest_recovering(double t) const {
+  // Every replica is dark at t — already marked down, or its plan covers
+  // t before its own clock drained it. Place on the one whose downtime
+  // ends first; its own outage/crash will drain or recover the request.
   const std::size_t n = engines_.size();
   std::size_t best = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    if (config_.engine.faults.replicas[i].outage_end_s <
-        config_.engine.faults.replicas[best].outage_end_s) {
+  double best_end = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double end = down_[i] != 0
+                           ? down_until_[i]
+                           : config_.engine.faults.replicas[i].down_until(t);
+    if (end < best_end) {
       best = i;
+      best_end = end;
     }
   }
   return best;
@@ -244,7 +258,7 @@ std::size_t Router::pick_with_fallback(const serving::Request& r, double t,
     if (pick < n) return pick;
     ensure_some_replica_up(t);
   }
-  return earliest_recovering();
+  return earliest_recovering(t);
 }
 
 std::size_t Router::pick_replica(const serving::Request& r, double t) {
@@ -319,7 +333,7 @@ void Router::handoff(const serving::MigratableRequest& m,
     ensure_some_replica_up(t);
     dst = pick_least_pages(t, Scope::kAny);
   }
-  if (dst == n) dst = earliest_recovering();
+  if (dst == n) dst = earliest_recovering(t);
   if (!moved.has_stream) {
     // Recompute preemption mode parks no stream: the decode side
     // re-derives the KV from the prompt. No wire traffic, no draws.
@@ -366,6 +380,29 @@ void Router::handoff(const serving::MigratableRequest& m,
   engines_[dst].adopt(moved, arrive, false);
 }
 
+void Router::crash_restart(std::size_t i, double t) {
+  const ReplicaFaultPlan& plan = config_.engine.faults.replicas[i];
+  // The process dies with its state: nothing is migrated. drain() is
+  // reused only as the mechanical enumerator of what was in flight — the
+  // lost list tells recovery what it must bring back, and drain() draws
+  // no RNG, so crash detection never perturbs a fault stream.
+  const std::vector<serving::MigratableRequest> lost = engines_[i].drain();
+  // The dead incarnation's terminal requests (and its counters, snapshot
+  // traffic included) survive in its result, appended to replica_results
+  // after the final per-replica entries.
+  crashed_results_.push_back(engines_[i].finish());
+  const double restart = std::max(t, plan.restart_at_s());
+  // Rebuild the engine from the same per-replica config and rehydrate it
+  // through the recovery ladder: snapshot entry → recompute from the
+  // prompt → dedupe (entries whose request already finished or migrated
+  // away pre-crash are dropped, never re-run).
+  engines_[i] = serving::Engine(replica_cfg(i));
+  engines_[i].restore_from(snapshots_, lost, restart, &fleet_fault_);
+  down_[i] = 1;
+  down_until_[i] = restart;
+  last_snapshot_[i] = restart;
+}
+
 FleetResult Router::run(std::vector<serving::Request> trace) {
   TURBO_CHECK_MSG(!ran_, "Router::run() is single-shot");
   ran_ = true;
@@ -378,22 +415,49 @@ FleetResult Router::run(std::vector<serving::Request> trace) {
   std::size_t next = 0;  // next unrouted arrival
 
   while (true) {
-    // Outage transitions: a replica whose own clock entered its window
-    // stops admitting, drains, and fails everything over. One drain per
-    // window (outage_fired_); the health probe is a pure wall-clock
-    // check, so detecting an outage never perturbs any fault RNG stream.
+    // Fault transitions: crashes and outage windows, both pure
+    // wall-clock checks against the replica's own clock — detecting
+    // either never perturbs any fault RNG stream.
     for (std::size_t i = 0; i < n; ++i) {
-      if (down_[i] != 0 || outage_fired_[i] != 0) continue;
-      if (!fleet_fault_.replica_down(i, engines_[i].now())) continue;
+      if (down_[i] != 0) continue;
+      const double now_i = engines_[i].now();
+      const ReplicaFaultPlan& plan = config_.engine.faults.replicas[i];
+      // A clock that jumped past the whole crash blackout (revived from
+      // an overlapping outage after restart_at_s) slept through it: the
+      // replica held nothing while "crashed", so there is nothing to
+      // lose or recover — retire the crash instead of firing it late.
+      if (crash_fired_[i] == 0 && plan.crash_enabled() &&
+          now_i >= plan.restart_at_s()) {
+        crash_fired_[i] = 1;
+      }
+      // Crash first: the abrupt failure beats the polite drain when both
+      // cover the same instant. One crash per replica per run.
+      if (crash_fired_[i] == 0 && fleet_fault_.replica_crashed(i, now_i)) {
+        crash_fired_[i] = 1;
+        crash_restart(i, now_i);
+        continue;
+      }
+      // Outage windows fire in start order, one drain per window (a
+      // flapping replica drains on every window it enters). Windows the
+      // replica's clock skipped entirely — eclipsed by a crash blackout
+      // or a busy step that overshot them — are dropped, never replayed.
+      while (next_window_[i] < plan.outages.size() &&
+             plan.outages[next_window_[i]].end_s <= now_i) {
+        ++next_window_[i];
+      }
+      if (next_window_[i] >= plan.outages.size() ||
+          !plan.outages[next_window_[i]].covers(now_i)) {
+        continue;
+      }
       down_[i] = 1;
-      outage_fired_[i] = 1;
+      down_until_[i] = plan.outages[next_window_[i]].end_s;
+      ++next_window_[i];
       ++result_.replica_outages;
-      const double t = engines_[i].now();
       const std::vector<serving::MigratableRequest> drained =
           engines_[i].drain();
       result_.failover_drains += drained.size();
       for (const serving::MigratableRequest& m : drained) {
-        failover(m, t);
+        failover(m, now_i);
       }
     }
 
@@ -411,15 +475,21 @@ FleetResult Router::run(std::vector<serving::Request> trace) {
       }
     }
 
-    // The fleet frontier: the healthy replica with work furthest behind
-    // in time runs next, so replica iterations interleave in global time
-    // order (ties go to the lowest index).
+    // The fleet frontier: the replica with work furthest behind in time
+    // runs next, so replica iterations interleave in global time order
+    // (ties go to the lowest index). A down replica holds work only
+    // while crash-restarting (outage drains empty the replica; adoption
+    // targets only healthy replicas) — its restored requests make it a
+    // frontier candidate at its restart time, so recovered work can
+    // never strand inside a rebooting replica.
     double tmin = kInf;
     std::size_t who = n;
     for (std::size_t i = 0; i < n; ++i) {
-      if (down_[i] != 0 || !engines_[i].has_work()) continue;
-      if (engines_[i].now() < tmin) {
-        tmin = engines_[i].now();
+      if (!engines_[i].has_work()) continue;
+      double t_i = engines_[i].now();
+      if (down_[i] != 0) t_i = std::max(t_i, down_until_[i]);
+      if (t_i < tmin) {
+        tmin = t_i;
         who = i;
       }
     }
@@ -456,18 +526,42 @@ FleetResult Router::run(std::vector<serving::Request> trace) {
     // strand as kPending.
     if (tmin >= limit) break;
 
+    // A down frontier winner is a crash-restarting replica whose
+    // restored work is now the oldest in the fleet: bring it up at its
+    // restart time before stepping it.
+    if (down_[who] != 0) {
+      engines_[who].advance_to(std::max(engines_[who].now(),
+                                        down_until_[who]));
+      down_[who] = 0;
+    }
+
     // Step the frontier replica one iteration. The horizon caps its idle
     // jumps at the next unrouted arrival (which it cannot see in its own
-    // pending queue) and at its own not-yet-fired outage start, so the
-    // loop-top health probe lands exactly on the window edge.
+    // pending queue), at its own next not-yet-fired outage start, and at
+    // its not-yet-fired crash instant, so the loop-top fault probes land
+    // exactly on the window/crash edge.
     double horizon = ta;
-    if (outage_fired_[who] == 0) {
-      const ReplicaFaultPlan& w = config_.engine.faults.replicas[who];
-      if (w.enabled() && w.outage_start_s > engines_[who].now()) {
-        horizon = std::min(horizon, w.outage_start_s);
-      }
+    const ReplicaFaultPlan& w = config_.engine.faults.replicas[who];
+    if (next_window_[who] < w.outages.size() &&
+        w.outages[next_window_[who]].start_s > engines_[who].now()) {
+      horizon = std::min(horizon, w.outages[next_window_[who]].start_s);
+    }
+    if (crash_fired_[who] == 0 && w.crash_enabled() &&
+        w.crash_at_s > engines_[who].now()) {
+      horizon = std::min(horizon, w.crash_at_s);
     }
     engines_[who].step(horizon);
+
+    // Periodic crash-consistent snapshot: once the replica's clock
+    // passes the per-replica cadence, serialize its scheduler + KV state
+    // into the fleet store (fault-injectable save — the store may drop
+    // it, leaving the previous snapshot in place).
+    if (config_.snapshot_interval_s > 0.0 &&
+        engines_[who].now() >=
+            last_snapshot_[who] + config_.snapshot_interval_s) {
+      engines_[who].snapshot_to(snapshots_, &fleet_fault_);
+      last_snapshot_[who] = engines_[who].now();
+    }
   }
 
   // The loop-top handoff poll runs before every break, down replicas
@@ -479,12 +573,20 @@ FleetResult Router::run(std::vector<serving::Request> trace) {
                     "a finished prefill was stranded at shutdown");
   }
 
+  // Teardown leaves no recovery state behind: snapshots are operational
+  // scratch, not results, so the store must drain to empty with them.
+  for (std::size_t i = 0; i < n; ++i) snapshots_.erase(i);
+  TURBO_CHECK_MSG(snapshots_.count() == 0,
+                  "fleet teardown left snapshots behind");
+
   // Finalize: per-replica results, the fleet union, and the invariants
-  // the whole subsystem exists to uphold.
+  // the whole subsystem exists to uphold. Crashed incarnations
+  // contribute their pre-crash terminal requests to the union; their
+  // in-flight work moved into the replacement engine at restore time.
   result_.replica_count = n;
   result_.prefill_replica_count = config_.prefill_replicas;
   bool any_limit = next < trace.size();
-  result_.replica_results.reserve(n);
+  result_.replica_results.reserve(n + crashed_results_.size());
   for (std::size_t i = 0; i < n; ++i) {
     serving::EngineResult er = engines_[i].finish();
     result_.makespan_s = std::max(result_.makespan_s, er.makespan_s);
@@ -494,6 +596,14 @@ FleetResult Router::run(std::vector<serving::Request> trace) {
     }
     result_.replica_results.push_back(std::move(er));
   }
+  for (serving::EngineResult& er : crashed_results_) {
+    any_limit = any_limit || er.hit_time_limit;
+    for (const serving::Request& r : er.requests) {
+      result_.requests.push_back(r);
+    }
+    result_.replica_results.push_back(std::move(er));
+  }
+  crashed_results_.clear();
   // Arrivals the safety stop stranded before routing: still accounted
   // for, still kPending.
   for (; next < trace.size(); ++next) {

@@ -10,17 +10,29 @@
 // no RNG draws — so a seeded fleet run is bit-identical across build
 // configurations and sanitizers).
 //
-// When a replica's clock enters its outage window the router stops
-// admitting to it, drains every in-flight request, and fails each one
-// over: requests whose KV stream survives the drain are migrated over a
-// modeled interconnect (CRC-checked; corrupt transfers are detected and
-// recovered by recomputing the KV on the destination), subject to a
-// per-request failover budget; everything else — and every request over
-// budget — re-enters through the recompute-from-prompt path, the
-// terminal fallback that turns a dead replica into latency, never lost
-// requests. Fleet invariants: every request reaches exactly one terminal
-// state across the fleet, and a drained replica leaks no pages and no
-// parked swap streams.
+// When a replica's clock enters one of its outage windows the router
+// stops admitting to it, drains every in-flight request, and fails each
+// one over: requests whose KV stream survives the drain are migrated
+// over a modeled interconnect (CRC-checked; corrupt transfers are
+// detected and recovered by recomputing the KV on the destination),
+// subject to a per-request failover budget; everything else — and every
+// request over budget — re-enters through the recompute-from-prompt
+// path, the terminal fallback that turns a dead replica into latency,
+// never lost requests. Windows can repeat: a flapping replica drains on
+// every window it enters.
+//
+// A *crash* (ReplicaFaultPlan::crash_at_s) is the impolite failure: no
+// drain, no migration — the replica's in-flight state dies with it. The
+// router rebuilds the engine after restart_delay_s and rehydrates it
+// from the last crash-consistent snapshot (SnapshotStore; each replica
+// snapshots every snapshot_interval_s). The recovery ladder: restore
+// from the snapshot entry when one exists, recompute from the prompt
+// when the snapshot predates the request or failed its CRC, and drop
+// snapshot entries whose request already reached a terminal state (or
+// migrated away) pre-crash. Fleet invariants: every request reaches
+// exactly one terminal state across the fleet — through crash and
+// restart included — and a drained replica leaks no pages, no parked
+// swap streams and no snapshots.
 #pragma once
 
 #include <cstddef>
@@ -106,6 +118,15 @@ struct FleetConfig {
   // Backoff added before the k-th retry of a handoff send (linear:
   // k * backoff), modeling interconnect congestion avoidance.
   double handoff_retry_backoff_s = 0.05;
+
+  // --- Crash-consistent snapshots -----------------------------------------
+  // Period between crash-consistent state snapshots per replica. Each
+  // snapshot serializes the replica's scheduler + KV occupancy through
+  // the CRC-framed stream format into the fleet SnapshotStore; after a
+  // crash the replacement engine restores from the last one instead of
+  // recomputing every in-flight request from its prompt. 0 disables
+  // snapshotting (a crash then recovers purely through recompute).
+  double snapshot_interval_s = 0.0;
 };
 
 // The modeled interconnect. Every migration entry point takes the fault
@@ -139,7 +160,10 @@ struct FleetResult {
   // request, each in exactly one terminal state (kPending only when
   // hit_time_limit).
   std::vector<serving::Request> requests;
-  // Per-replica engine results, indexed by replica id.
+  // Per-replica engine results. The first replica_count entries are the
+  // final incarnations, indexed by replica id; results of crashed
+  // incarnations (their pre-crash terminal requests and counters) are
+  // appended after, in crash order.
   std::vector<serving::EngineResult> replica_results;
   double makespan_s = 0.0;  // max replica makespan
 
@@ -247,14 +271,36 @@ class Router {
   // exists): admission must wait for decode to drain, not over-commit.
   bool decode_pool_saturated(double t);
   void ensure_some_replica_up(double t);
-  std::size_t earliest_recovering() const;
+  std::size_t earliest_recovering(double t) const;
+  // The per-replica engine config: replica_id = i, fault seed = base + i,
+  // prefill-only role in disaggregated mode. Used at construction and to
+  // rebuild a crashed replica's engine (same seed: the replacement draws
+  // a fresh, deterministic fault stream).
+  serving::EngineConfig replica_cfg(std::size_t i) const;
+  // Kill replica i at time t: its in-flight state dies with the process
+  // (nothing is migrated), the incarnation's result is stashed, and a
+  // replacement engine is rebuilt and rehydrated from the last snapshot
+  // (restore -> recompute -> dedupe ladder), coming up at restart time.
+  void crash_restart(std::size_t i, double t);
 
   FleetConfig config_;
   FaultInjector fleet_fault_;  // health windows + migration/handoff faults
   MigrationChannel channel_;
   std::vector<serving::Engine> engines_;
-  std::vector<char> down_;          // currently inside an outage
-  std::vector<char> outage_fired_;  // window already drained this replica
+  serving::SnapshotStore snapshots_;  // fleet-wide crash-consistent store
+  std::vector<char> down_;  // inside an outage window or crash-restarting
+  // Wall-clock time the current downtime ends (outage window end, or
+  // crash restart time). Only meaningful while down_[i] is set.
+  std::vector<double> down_until_;
+  // Index of the next outage window that has not yet drained replica i
+  // (windows fire in start order; a window fully eclipsed by other
+  // downtime is skipped, never replayed).
+  std::vector<std::size_t> next_window_;
+  std::vector<char> crash_fired_;      // crash_at_s already detected
+  std::vector<double> last_snapshot_;  // per-replica last snapshot clock
+  // Results of crashed incarnations, appended to replica_results after
+  // the final per-replica entries.
+  std::vector<serving::EngineResult> crashed_results_;
   std::size_t rr_cursor_ = 0;
   std::size_t standard_cursor_ = 0;
   std::size_t batch_cursor_ = 0;

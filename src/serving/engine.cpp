@@ -1035,6 +1035,122 @@ class EngineImpl {
     return out;
   }
 
+  // Serialize every non-terminal request into `store` under this
+  // replica's id. Pure observation: the snapshot is what drain() *would*
+  // lift right now, captured without touching pages, queues or the clock
+  // — which is exactly what makes it crash-consistent.
+  void snapshot_to(SnapshotStore& store, FaultInjector* fault) {
+    ReplicaSnapshot snap;
+    snap.replica = config_.replica_id;
+    snap.taken_at_s = now_;
+    auto add = [&](const Request& r, std::size_t context,
+                   std::size_t remaining, std::size_t prompt_left,
+                   double kv_bits, double bytes) {
+      SnapshotEntry e;
+      e.request = r;
+      e.context = context;
+      e.remaining = remaining;
+      e.prompt_left = prompt_left;
+      e.kv_bits = kv_bits;
+      e.bytes = bytes;
+      snap.entries.push_back(std::move(e));
+    };
+    for (const Running& ru : running_) {
+      double bytes = 0.0;
+      if (config_.preempt_mode == PreemptMode::kSwap && ru.context > 0) {
+        bytes = static_cast<double>(ru.pages.size()) * d_.page_bytes;
+      }
+      add(result_.requests[ru.trace_index], ru.context, ru.remaining,
+          ru.prompt_left, ru.kv_bits, bytes);
+    }
+    for (const Paused& p : paused_) {
+      add(result_.requests[p.trace_index], p.context, p.remaining,
+          p.prompt_left, p.kv_bits, p.swapped ? p.bytes : 0.0);
+    }
+    for (const auto& queue : waiting_) {
+      for (const std::size_t idx : queue) {
+        const Request& r = result_.requests[idx];
+        add(r, 0, r.max_new_tokens, r.prompt_tokens, 0.0, 0.0);
+      }
+    }
+    for (const std::size_t idx : pending_) {
+      const Request& r = result_.requests[idx];
+      if (r.outcome != Outcome::kPending) continue;  // rejected: terminal
+      add(r, 0, r.max_new_tokens, r.prompt_tokens, 0.0, 0.0);
+    }
+    for (const MigratableRequest& m : prefilled_) {
+      add(m.request, m.context, m.remaining, m.prompt_left, m.kv_bits,
+          m.has_stream ? m.bytes : 0.0);
+    }
+    const SnapshotStore::SaveOutcome so =
+        store.save(config_.replica_id, snap, fault);
+    if (so.stored) {
+      ++result_.snapshots_written;
+      result_.snapshot_bytes += so.bytes;
+    }
+  }
+
+  // Warm-restart recovery ladder on a freshly constructed incarnation:
+  // snapshot entry -> adopt with its stream (replay only the
+  // post-snapshot delta); no entry -> recompute the whole crash-time
+  // context from the prompt; snapshot entry with no lost request ->
+  // dropped (it reached a terminal state, or migrated away, before the
+  // crash — re-running it would mint a second terminal state).
+  void restore_from(SnapshotStore& store,
+                    const std::vector<MigratableRequest>& lost,
+                    double restart_s, FaultInjector* fault) {
+    TURBO_CHECK_MSG(live_total_ == 0,
+                    "restore_from() on an engine already holding work");
+    result_.replica_crashes = 1;
+    now_ = std::max(now_, restart_s);
+    const SnapshotStore::RestoreOutcome ro =
+        store.restore(config_.replica_id, fault);
+    // Ordered map so recovery scans deterministically (lint rule 8).
+    std::map<std::uint64_t, const SnapshotEntry*> by_id;
+    if (ro.status == SnapshotStore::RestoreStatus::kHit) {
+      ++result_.snapshot_restores;
+      for (const SnapshotEntry& e : ro.snapshot.entries) {
+        by_id.emplace(e.request.id, &e);
+      }
+    } else if (ro.status == SnapshotStore::RestoreStatus::kCorrupt) {
+      ++result_.snapshot_corruptions;
+    }
+    std::size_t entries_used = 0;
+    for (const MigratableRequest& m : lost) {
+      const auto it = by_id.find(m.request.id);
+      if (it != by_id.end()) {
+        // Snapshot hit: resume from the persisted state (stream and
+        // all); only the progress between snapshot and crash replays.
+        const SnapshotEntry& e = *it->second;
+        ++entries_used;
+        MigratableRequest r;
+        r.request = e.request;
+        r.context = e.context;
+        r.remaining = e.remaining;
+        r.prompt_left = e.prompt_left;
+        r.kv_bits = e.kv_bits;
+        r.has_stream = e.bytes > 0.0;
+        r.bytes = e.bytes;
+        r.ready_s = restart_s;
+        adopt(r, restart_s, r.has_stream);
+        ++result_.restored_requests;
+        if (m.context > e.context) {
+          result_.replayed_tokens += m.context - e.context;
+        }
+      } else if (m.context > 0) {
+        // The snapshot predates this request (or failed its CRC): the
+        // whole crash-time context recomputes from the prompt.
+        adopt(m, restart_s, /*with_stream=*/false);
+        ++result_.crash_recomputes;
+        result_.replayed_tokens += m.context;
+      } else {
+        // Nothing was cached at the crash: a plain re-queue.
+        adopt(m, restart_s, /*with_stream=*/false);
+      }
+    }
+    result_.dedupe_drops += ro.snapshot.entries.size() - entries_used;
+  }
+
   double now() const { return now_; }
   bool done() const { return finished_ >= live_total_; }
   bool has_work() const { return finished_ < live_total_; }
@@ -1560,6 +1676,14 @@ bool Engine::step(double horizon_s) { return impl_->step(horizon_s); }
 std::vector<MigratableRequest> Engine::drain() { return impl_->drain(); }
 std::vector<MigratableRequest> Engine::take_prefilled() {
   return impl_->take_prefilled();
+}
+void Engine::snapshot_to(SnapshotStore& store, FaultInjector* fault) {
+  impl_->snapshot_to(store, fault);
+}
+void Engine::restore_from(SnapshotStore& store,
+                          const std::vector<MigratableRequest>& lost,
+                          double restart_s, FaultInjector* fault) {
+  impl_->restore_from(store, lost, restart_s, fault);
 }
 EngineResult Engine::finish() { return impl_->finish(); }
 double Engine::now() const { return impl_->now(); }

@@ -75,6 +75,7 @@
 
 #include "common/fault.h"
 #include "serving/request.h"
+#include "serving/snapshot.h"
 #include "serving/swap.h"
 #include "sim/e2e_model.h"
 
@@ -271,6 +272,33 @@ struct EngineResult {
   // the handoff queue (always 0 for EngineRole::kFull).
   std::size_t prefill_handoffs = 0;
 
+  // --- Crash-recovery counters (src/serving/snapshot.h, src/fleet) -------
+  // Crash-consistent snapshots this replica serialized into the
+  // SnapshotStore, and their total serialized size.
+  std::size_t snapshots_written = 0;
+  std::size_t snapshot_bytes = 0;
+  // Restarts that rehydrated from a CRC-valid snapshot...
+  std::size_t snapshot_restores = 0;
+  // ...and restore attempts whose blob failed its CRC (every entry then
+  // recomputes from the prompt).
+  std::size_t snapshot_corruptions = 0;
+  // Requests re-admitted from a snapshot entry after a crash.
+  std::size_t restored_requests = 0;
+  // Tokens of post-snapshot progress lost to a crash and replayed (the
+  // delta between crash-time and snapshot-time context; the full
+  // crash-time context for requests the snapshot missed).
+  std::size_t replayed_tokens = 0;
+  // Crashed requests with no usable snapshot entry, recomputed from the
+  // prompt.
+  std::size_t crash_recomputes = 0;
+  // Abrupt crashes this engine incarnation recovered from (1 on the
+  // post-restart incarnation, 0 elsewhere).
+  std::size_t replica_crashes = 0;
+  // Snapshot entries dropped at restore because the request was already
+  // terminal (or migrated away) before the crash — the dedupe that keeps
+  // exactly-one-terminal-state through a restart.
+  std::size_t dedupe_drops = 0;
+
   // --- Tiered-swap counters -----------------------------------------------
   std::size_t tier_demotions = 0;        // LRU demotions host -> disk
   std::size_t tier_promotions = 0;       // promote-on-blocked-readmission
@@ -355,6 +383,27 @@ class Engine {
   // Drained requests are excluded from this engine's finish() result —
   // exactly-one-terminal-state moves with them.
   std::vector<MigratableRequest> drain();
+
+  // Serialize a crash-consistent snapshot of every non-terminal request
+  // (running, paused, waiting, pending, queued handoffs) into `store`
+  // under this engine's replica id, replacing the previous snapshot. One
+  // snapshot-unavailability draw per attempt; a failed save leaves the
+  // previous blob valid. Pure observation otherwise — scheduler state,
+  // pages and the clock are untouched.
+  void snapshot_to(SnapshotStore& store, FaultInjector* fault);
+
+  // Warm-restart recovery after a crash, on a freshly constructed engine.
+  // `lost` is what the crashed incarnation held in flight (its state died
+  // with the process — the list is identity + replay accounting only);
+  // `restart_s` is when this incarnation boots. The recovery ladder:
+  // restore each lost request from the snapshot entry (KV stream and all)
+  // when one exists, recompute from the prompt when the snapshot predates
+  // it or the blob failed its CRC, and drop snapshot entries whose
+  // request is not in `lost` (terminal or migrated away pre-crash) so no
+  // request can reach two terminal states.
+  void restore_from(SnapshotStore& store,
+                    const std::vector<MigratableRequest>& lost,
+                    double restart_s, FaultInjector* fault);
 
   // Collect requests a prefill-only engine finished prefilling since the
   // last call (EngineRole::kPrefillOnly). Each carries its KV stream and

@@ -34,6 +34,15 @@ ServingMetrics summarize(const EngineResult& result) {
   m.injected_alloc_failures = result.injected_alloc_failures;
   m.max_preemptions_single_request = result.max_preemptions_single_request;
   m.recomputed_tokens = result.recomputed_tokens;
+  m.snapshots_written = result.snapshots_written;
+  m.snapshot_bytes = result.snapshot_bytes;
+  m.snapshot_restores = result.snapshot_restores;
+  m.snapshot_corruptions = result.snapshot_corruptions;
+  m.restored_requests = result.restored_requests;
+  m.replayed_tokens = result.replayed_tokens;
+  m.crash_recomputes = result.crash_recomputes;
+  m.replica_crashes = result.replica_crashes;
+  m.dedupe_drops = result.dedupe_drops;
   m.tier_demotions = result.tier_demotions;
   m.tier_promotions = result.tier_promotions;
   m.tier_failovers = result.tier_failovers;

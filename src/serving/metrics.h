@@ -77,6 +77,17 @@ struct ServingMetrics {
   std::size_t max_preemptions_single_request = 0;
   std::size_t recomputed_tokens = 0;  // KV tokens re-derived after eviction
 
+  // Crash-recovery counters (copied from EngineResult; see serving/engine.h).
+  std::size_t snapshots_written = 0;
+  std::size_t snapshot_bytes = 0;
+  std::size_t snapshot_restores = 0;
+  std::size_t snapshot_corruptions = 0;
+  std::size_t restored_requests = 0;
+  std::size_t replayed_tokens = 0;
+  std::size_t crash_recomputes = 0;
+  std::size_t replica_crashes = 0;
+  std::size_t dedupe_drops = 0;
+
   // Tiered-swap counters (copied from EngineResult; see serving/engine.h).
   std::size_t tier_demotions = 0;
   std::size_t tier_promotions = 0;

@@ -177,8 +177,7 @@ TEST(DisaggTest, HandoffCountersMirrorIntoFleetMetrics) {
 TEST(DisaggTest, PrefillReplicaOutageRedirectsToSiblings) {
   const std::vector<Request> trace = serving::generate_trace(disagg_trace());
   FleetConfig cfg = disagg_fleet(3, 1);
-  cfg.engine.faults.replicas[1].outage_start_s = 2.0;
-  cfg.engine.faults.replicas[1].outage_end_s = 8.0;
+  cfg.engine.faults.replicas[1].add_outage(2.0, 8.0);
   const FleetResult r = run_fleet(cfg, trace);
   expect_all_terminal(r, trace.size());
   EXPECT_EQ(r.replica_outages, 1u);
@@ -192,8 +191,7 @@ TEST(DisaggTest, PrefillReplicaOutageRedirectsToSiblings) {
 TEST(DisaggTest, LosingTheOnlyPrefillReplicaDegradesToSymmetric) {
   const std::vector<Request> trace = serving::generate_trace(disagg_trace());
   FleetConfig cfg = disagg_fleet(1, 3);
-  cfg.engine.faults.replicas[0].outage_start_s = 2.0;
-  cfg.engine.faults.replicas[0].outage_end_s = 10.0;
+  cfg.engine.faults.replicas[0].add_outage(2.0, 10.0);
   const FleetResult r = run_fleet(cfg, trace);
   expect_all_terminal(r, trace.size());
   EXPECT_EQ(r.replica_outages, 1u);
@@ -205,8 +203,7 @@ TEST(DisaggTest, LosingTheOnlyPrefillReplicaDegradesToSymmetric) {
 TEST(DisaggTest, SeededDisaggRunsAreBitIdentical) {
   const std::vector<Request> trace = serving::generate_trace(disagg_trace());
   FleetConfig cfg = disagg_fleet(2, 2);
-  cfg.engine.faults.replicas[1].outage_start_s = 2.0;
-  cfg.engine.faults.replicas[1].outage_end_s = 8.0;
+  cfg.engine.faults.replicas[1].add_outage(2.0, 8.0);
   cfg.engine.faults.handoff_transient_prob = 0.1;
   cfg.engine.faults.migration_corruption_prob = 0.05;
   const std::uint64_t a = digest(run_fleet(cfg, trace));

@@ -73,8 +73,7 @@ FleetConfig base_fleet(std::size_t replicas) {
 // flight, so the drain lifts running, paused and waiting requests alike.
 FleetConfig outage_fleet(std::size_t replicas) {
   FleetConfig f = base_fleet(replicas);
-  f.engine.faults.replicas[1].outage_start_s = 2.0;
-  f.engine.faults.replicas[1].outage_end_s = 8.0;
+  f.engine.faults.replicas[1].add_outage(2.0, 8.0);
   return f;
 }
 
@@ -338,8 +337,7 @@ TEST(FleetAffinityTest, FallsBackWhenPrefixHolderInOutage) {
   trace.push_back(ids_request(2, 5.00, 0, 1536, 16));  // holder is down
   FleetConfig cfg = base_fleet(2);
   cfg.route = RoutePolicy::kAffinity;
-  cfg.engine.faults.replicas[0].outage_start_s = 3.0;
-  cfg.engine.faults.replicas[0].outage_end_s = 30.0;
+  cfg.engine.faults.replicas[0].add_outage(3.0, 30.0);
   const FleetResult r = run_fleet(cfg, trace);
   EXPECT_FALSE(r.hit_time_limit);
   for (const Request& req : r.requests) {

@@ -227,7 +227,7 @@ TEST(LintLexerTest, MarkersAndFileTags) {
 
 // --- rule registry --------------------------------------------------------
 
-TEST(LintRegistryTest, ThirteenRulesInOrder) {
+TEST(LintRegistryTest, FourteenRulesInOrder) {
   const auto& rules = turbo::lint::rules();
   const std::vector<std::string> expected = {
       "no-raw-assert",        "unchecked-i8-cast",
@@ -236,7 +236,7 @@ TEST(LintRegistryTest, ThirteenRulesInOrder) {
       "unfaultable-swap-io",  "nondeterministic-iteration",
       "unsanctioned-entropy", "mutable-global-state",
       "unordered-float-reduction", "unfaultable-replica-channel",
-      "cow-unguarded-page-write"};
+      "cow-unguarded-page-write", "unfaultable-snapshot-io"};
   ASSERT_EQ(rules.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(rules[i].id, expected[i]);
@@ -251,6 +251,9 @@ TEST(LintRegistryTest, ThirteenRulesInOrder) {
   ASSERT_NE(turbo::lint::rule_info("cow-unguarded-page-write"), nullptr);
   EXPECT_EQ(turbo::lint::rule_info("cow-unguarded-page-write")->suppression,
             "allow-cow-write");
+  ASSERT_NE(turbo::lint::rule_info("unfaultable-snapshot-io"), nullptr);
+  EXPECT_EQ(turbo::lint::rule_info("unfaultable-snapshot-io")->suppression,
+            "allow-unfaultable-snapshot");
   EXPECT_EQ(turbo::lint::rule_info("no-such-rule"), nullptr);
 }
 
@@ -339,6 +342,20 @@ TEST(LintRuleTest, UnfaultableReplicaChannel) {
   // The same signatures outside src/fleet/ are nobody's business.
   EXPECT_EQ(fire_count("src/serving/other.h", "rule12_pos.h",
                        "unfaultable-replica-channel"),
+            0u);
+}
+
+TEST(LintRuleTest, UnfaultableSnapshotIo) {
+  EXPECT_GE(fire_count("src/serving/snapshot.h", "rule14_pos.h",
+                       "unfaultable-snapshot-io"),
+            1u);
+  EXPECT_EQ(fire_count("src/serving/snapshot.h", "rule14_neg.h",
+                       "unfaultable-snapshot-io"),
+            0u);
+  // The same signatures outside the snapshot layer are nobody's business
+  // (src/serving/engine.h declares snapshot_to/restore_from itself).
+  EXPECT_EQ(fire_count("src/serving/engine.h", "rule14_pos.h",
+                       "unfaultable-snapshot-io"),
             0u);
 }
 

@@ -1,0 +1,30 @@
+// Negative fixture for unfaultable-snapshot-io (loaded as
+// src/serving/snapshot.h): every save/restore signature takes the
+// injector, and call sites (store.save(...)) are exempt.
+#pragma once
+#include <cstddef>
+
+class FaultInjector;
+
+class FaultableSnapshotStore {
+ public:
+  bool save(std::size_t replica, FaultInjector* fault);
+  bool restore(std::size_t replica, FaultInjector* fault);
+};
+
+class FaultableEngine {
+ public:
+  void snapshot_to(FaultableSnapshotStore& store, FaultInjector* fault);
+  void restore_from(FaultableSnapshotStore& store, double restart_s,
+                    FaultInjector* fault);
+
+  void checkpoint(FaultableSnapshotStore& store, FaultInjector* fault) {
+    // Member call sites (this->snapshot_to, store.save) are exempt.
+    this->snapshot_to(store, fault);
+    store.save(3, fault);
+  }
+};
+
+inline void recover(FaultableSnapshotStore& store, FaultInjector* fault) {
+  store.restore(3, fault);
+}

@@ -1,0 +1,19 @@
+// Positive fixture for unfaultable-snapshot-io (loaded as
+// src/serving/snapshot.h): snapshot store entry points with no
+// FaultInjector*.
+#pragma once
+#include <cstddef>
+
+class BareSnapshotStore {
+ public:
+  bool save(std::size_t replica);
+  bool restore(std::size_t replica);
+};
+
+// The engine-side entry points are store I/O too: a bare snapshot_to /
+// restore_from signature is just as unfaultable as a bare save.
+class BareEngine {
+ public:
+  void snapshot_to(BareSnapshotStore& store);
+  void restore_from(BareSnapshotStore& store, double restart_s);
+};

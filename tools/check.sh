@@ -22,6 +22,10 @@
 #   tools/check.sh disagg     # disaggregation suite (ctest -L disagg) in
 #                             # all three builds (role split, prefill->
 #                             # decode handoff, backpressure, degrade)
+#   tools/check.sh chaos      # crash-recovery suite (ctest -L chaos) in
+#                             # all three builds (crash faults, snapshot
+#                             # restore, chaos harness) plus a cross-lane
+#                             # diff of a seeded chaos run
 #   tools/check.sh lint       # just turbo_lint
 #   tools/check.sh tidy       # just clang-tidy (skipped when not installed)
 #
@@ -38,9 +42,9 @@ FAILED=0
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    all|release|asan|tsan|fault|serving|slo|tier|fleet|prefix|disagg|lint|tidy) ;;
+    all|release|asan|tsan|fault|serving|slo|tier|fleet|prefix|disagg|chaos|lint|tidy) ;;
     *)
-      echo "check.sh: unknown stage '$s' (expected: release asan tsan fault serving slo tier fleet prefix disagg lint tidy)" >&2
+      echo "check.sh: unknown stage '$s' (expected: release asan tsan fault serving slo tier fleet prefix disagg chaos lint tidy)" >&2
       exit 2
       ;;
   esac
@@ -187,8 +191,46 @@ run_disagg() {
   ctest --test-dir build-tsan -L disagg --output-on-failure || return 1
 }
 
+run_chaos() {
+  banner "chaos: crash-recovery suite (crash, snapshot, chaos, all builds)"
+  # Crash restarts and the composed chaos schedule must be
+  # bit-deterministic per seed across all three lanes. Beyond the ctest
+  # suite, the stage runs one fixed seeded chaos serve through the CLI in
+  # every lane and diffs the full stdout — counters, audit and all — so a
+  # lane-dependent recovery path cannot slip past the unit asserts.
+  local chaos_args=(serve --rate 24 --duration 15 --seed 29 --replicas 4
+                    --chaos-seed 7 --chaos-intensity 0.8)
+  cmake --preset release || return 1
+  cmake --build --preset release -j "$JOBS" \
+    --target crash_recovery_test turbo_cli || return 1
+  ctest --test-dir build-release -L chaos --output-on-failure || return 1
+  ./build-release/tools/turbo_cli "${chaos_args[@]}" \
+    > build-release/chaos_run.txt || return 1
+  cmake --preset debug-asan-ubsan || return 1
+  cmake --build --preset debug-asan-ubsan -j "$JOBS" \
+    --target crash_recovery_test turbo_cli || return 1
+  ctest --test-dir build-asan-ubsan -L chaos --output-on-failure || return 1
+  ./build-asan-ubsan/tools/turbo_cli "${chaos_args[@]}" \
+    > build-asan-ubsan/chaos_run.txt || return 1
+  cmake --preset debug-tsan || return 1
+  cmake --build --preset debug-tsan -j "$JOBS" \
+    --target crash_recovery_test turbo_cli || return 1
+  ctest --test-dir build-tsan -L chaos --output-on-failure || return 1
+  ./build-tsan/tools/turbo_cli "${chaos_args[@]}" \
+    > build-tsan/chaos_run.txt || return 1
+  diff build-release/chaos_run.txt build-asan-ubsan/chaos_run.txt || {
+    echo "chaos: seeded chaos run differs between Release and ASan+UBSan" >&2
+    return 1
+  }
+  diff build-release/chaos_run.txt build-tsan/chaos_run.txt || {
+    echo "chaos: seeded chaos run differs between Release and TSan" >&2
+    return 1
+  }
+  echo "chaos: seeded chaos run is byte-identical across all three lanes"
+}
+
 run_lint() {
-  banner "lint: turbo_lint determinism + quant-invariant rules (13 rules)"
+  banner "lint: turbo_lint determinism + quant-invariant rules (14 rules)"
   # Reuse whichever configured build dir already has the lint binary;
   # fall back to configuring the release preset.
   local bin=""
@@ -229,6 +271,7 @@ if [[ $FAILED -eq 0 ]] && want tier; then run_tier || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want fleet; then run_fleet || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want prefix; then run_prefix || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want disagg; then run_disagg || FAILED=1; fi
+if [[ $FAILED -eq 0 ]] && want chaos; then run_chaos || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want lint; then run_lint || FAILED=1; fi
 if [[ $FAILED -eq 0 ]] && want tidy; then run_tidy || FAILED=1; fi
 

@@ -499,6 +499,50 @@ void rule_unfaultable_replica_channel(const SourceFile& file,
   }
 }
 
+// --- rule 14: unfaultable-snapshot-io -------------------------------------
+
+// Third member of the rule 7/12 family, binding the crash-recovery
+// layer: every snapshot save/restore entry point in
+// src/serving/snapshot.* must accept a FaultInjector*, so snapshot-store
+// unavailability and restore-time corruption stay injectable and
+// seed-deterministic — a recovery path that cannot be made to fail on
+// demand is a recovery path that is never tested. Call sites
+// (store.save(...), store.restore(...)) are exempt; the pure
+// serialize/deserialize helpers are deliberately outside the set — the
+// contract binds the store boundary, not the codec.
+void rule_unfaultable_snapshot_io(const SourceFile& file,
+                                  std::vector<Finding>& out) {
+  if (file.rel.rfind("src/serving/snapshot.", 0) != 0) return;
+  static const std::set<std::string> kSnapshotFns = {
+      "save", "restore", "save_snapshot", "restore_snapshot",
+      "snapshot_to", "restore_from"};
+  const Tokens& toks = file.lexed.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        kSnapshotFns.count(toks[i].text) == 0 ||
+        !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    // A name preceded by '.' or '->' is a call site, not a signature.
+    if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      continue;
+    }
+    const std::size_t close = match_paren(toks, i + 1);
+    bool has_injector = false;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (is_ident(toks[j], "FaultInjector")) has_injector = true;
+    }
+    if (has_injector) continue;
+    emit(file, toks[i].line, "unfaultable-snapshot-io",
+         toks[i].text +
+             " saves or restores a replica snapshot but takes no "
+             "FaultInjector*; every crash-recovery I/O path must be "
+             "fault-injectable (or annotate with turbo-lint: "
+             "allow-unfaultable-snapshot)",
+         out);
+  }
+}
+
 // --- rule 13: cow-unguarded-page-write ------------------------------------
 
 // The paged cache shares full pages across sequences by refcount
@@ -1069,6 +1113,10 @@ const std::vector<RuleInfo>& rules() {
        "must prove private ownership with a refcount_[...] == guard "
        "(shared pages are copy-on-write)",
        "allow-cow-write"},
+      {"unfaultable-snapshot-io",
+       "every src/serving/snapshot save/restore entry point must accept "
+       "a FaultInjector*",
+       "allow-unfaultable-snapshot"},
   };
   return kRules;
 }
@@ -1082,6 +1130,7 @@ std::vector<Finding> run_rules(const Project& project) {
     rule_unchecked_cache_append(f, out);
     rule_unfaultable_swap_io(f, out);
     rule_unfaultable_replica_channel(f, out);
+    rule_unfaultable_snapshot_io(f, out);
     rule_cow_unguarded_page_write(f, out);
     rule_nondeterministic_iteration(project, f, out);
     rule_unsanctioned_entropy(f, out);

@@ -16,6 +16,7 @@
 
 #include "bench/task_methods.h"
 #include "common/check.h"
+#include "fleet/chaos.h"
 #include "fleet/metrics.h"
 #include "fleet/router.h"
 #include "model/profile.h"
@@ -58,6 +59,13 @@ using tools::Flags;
       "            --replicas N (data-parallel fleet; 1 = single engine)\n"
       "            --route rr|lop|class|affinity (fleet routing policy)\n"
       "            --replica-outage IDX:START,END[;IDX:START,END...]\n"
+      "                          (repeat an IDX for a flapping replica)\n"
+      "            --replica-crash IDX:AT[,RESTART_DELAY][;IDX:AT...]\n"
+      "            --snapshot-interval S (crash-consistent snapshots;\n"
+      "                          0 = recover by recompute only)\n"
+      "            --snapshot-unavail-p P  --snapshot-corrupt-p P\n"
+      "            --chaos-seed N (seeded chaos schedule; 0 = off)\n"
+      "            --chaos-intensity F (chaos scale in (0,1])\n"
       "            --migrate-corrupt-p P (per-migration corruption prob)\n"
       "            --interconnect GB_PER_S (replica-to-replica link)\n"
       "            --failover-budget N (migrations per request)\n"
@@ -263,7 +271,10 @@ int run_serve(const Flags& flags) {
                         "interconnect", "failover-budget", "sessions",
                         "shared-prefix", "shared-frac", "session-gap",
                         "agentic-frac", "disagg", "decode-watermark",
-                        "handoff-fail-p", "handoff-retry-budget"});
+                        "handoff-fail-p", "handoff-retry-budget",
+                        "replica-crash", "snapshot-interval",
+                        "snapshot-unavail-p", "snapshot-corrupt-p",
+                        "chaos-seed", "chaos-intensity"});
   serving::TraceConfig trace_cfg;
   trace_cfg.arrival_rate = flags.get_double("rate", 4.0);
   trace_cfg.duration_s = flags.get_double("duration", 60.0);
@@ -415,23 +426,71 @@ int run_serve(const Flags& flags) {
         ok = false;
       }
     }
-    if (!ok || idx < 0 || idx >= replicas || stop < start) {
+    if (!ok || idx < 0 || idx >= replicas || stop <= start) {
       std::fprintf(stderr,
                    "--replica-outage wants IDX:START,END[;...] with IDX < "
-                   "--replicas and END >= START (got '%s')\n",
+                   "--replicas and END > START (got '%s')\n",
                    seg.c_str());
       std::exit(2);
     }
-    engine.faults.replicas[static_cast<std::size_t>(idx)].outage_start_s =
-        start;
-    engine.faults.replicas[static_cast<std::size_t>(idx)].outage_end_s =
-        stop;
+    // Repeated segments for one index accumulate windows: a flapping
+    // replica goes down, revives, and goes down again.
+    engine.faults.replicas[static_cast<std::size_t>(idx)].add_outage(start,
+                                                                     stop);
     pos = end + 1;
   }
 
+  // Abrupt crashes with warm restart: IDX:AT[,RESTART_DELAY][;...].
+  const std::string crashes = flags.get("replica-crash", "");
+  for (std::size_t pos = 0; pos < crashes.size();) {
+    std::size_t end = crashes.find(';', pos);
+    if (end == std::string::npos) end = crashes.size();
+    const std::string seg = crashes.substr(pos, end - pos);
+    const std::size_t colon = seg.find(':');
+    long idx = -1;
+    double at = 0.0;
+    double delay = 0.0;
+    bool ok = colon != std::string::npos;
+    if (ok) {
+      try {
+        idx = std::stol(seg.substr(0, colon));
+        const std::size_t comma = seg.find(',', colon + 1);
+        if (comma == std::string::npos) {
+          at = std::stod(seg.substr(colon + 1));
+        } else {
+          at = std::stod(seg.substr(colon + 1, comma - colon - 1));
+          delay = std::stod(seg.substr(comma + 1));
+        }
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok || idx < 0 || idx >= replicas || at <= 0.0 || delay < 0.0) {
+      std::fprintf(stderr,
+                   "--replica-crash wants IDX:AT[,RESTART_DELAY][;...] with "
+                   "IDX < --replicas and AT > 0 (got '%s')\n",
+                   seg.c_str());
+      std::exit(2);
+    }
+    engine.faults.replicas[static_cast<std::size_t>(idx)].crash_at_s = at;
+    engine.faults.replicas[static_cast<std::size_t>(idx)].restart_delay_s =
+        delay;
+    pos = end + 1;
+  }
+
+  engine.faults.snapshot_unavailable_prob =
+      flags.get_double("snapshot-unavail-p", 0.0);
+  engine.faults.snapshot_corruption_prob =
+      flags.get_double("snapshot-corrupt-p", 0.0);
+  const double snapshot_interval = flags.get_double("snapshot-interval", 0.0);
+  const std::uint64_t chaos_seed =
+      static_cast<std::uint64_t>(flags.get_int("chaos-seed", 0));
+  const double chaos_intensity = flags.get_double("chaos-intensity", 0.5);
+
   const auto trace = serving::generate_trace(trace_cfg);
 
-  if (replicas > 1 || !outages.empty()) {
+  if (replicas > 1 || !outages.empty() || !crashes.empty() ||
+      snapshot_interval > 0.0 || chaos_seed != 0) {
     fleet::FleetConfig fc;
     fc.engine = engine;
     fc.replicas = static_cast<std::size_t>(replicas);
@@ -456,8 +515,20 @@ int run_serve(const Flags& flags) {
     fc.decode_watermark = flags.get_double("decode-watermark", 0.90);
     fc.handoff_retry_budget =
         static_cast<std::size_t>(flags.get_int("handoff-retry-budget", 3));
-    const fleet::FleetMetrics fm =
-        fleet::summarize_fleet(fleet::run_fleet(fc, trace));
+    fc.snapshot_interval_s = snapshot_interval;
+    if (chaos_seed != 0) {
+      // One deterministic disaster schedule drawn from the chaos seed:
+      // crashes, flapping outages, tier death, transfer corruption and
+      // allocation faults, composed over the trace's duration.
+      fleet::apply_chaos(fc, chaos_seed, chaos_intensity,
+                         trace_cfg.duration_s);
+      std::printf("chaos: seed %llu, intensity %.2f over %.0f s\n",
+                  static_cast<unsigned long long>(chaos_seed),
+                  chaos_intensity, trace_cfg.duration_s);
+    }
+    const fleet::FleetResult fr = fleet::run_fleet(fc, trace);
+    const fleet::ChaosAudit audit = fleet::audit_fleet(fr, trace.size());
+    const fleet::FleetMetrics fm = fleet::summarize_fleet(fr);
     std::printf("%zu requests @ %.1f req/s over %zu replicas (%s): "
                 "%.0f tok/s, TTFT p50/p99 %.2f/%.2f s, rejected %zu, "
                 "timed-out %zu, shed %zu\n",
@@ -505,12 +576,44 @@ int run_serve(const Flags& flags) {
                   fm.affinity_hits, fm.affinity_misses,
                   fm.fleet.prefix_hit_tokens);
     }
+    if (fm.fleet.replica_crashes > 0 || fc.snapshot_interval_s > 0.0) {
+      std::printf("  crash recovery: %zu crashes, %zu snapshots written "
+                  "(%.2f MB), %zu restores (%zu corrupt), %zu requests "
+                  "restored (%zu tokens replayed), %zu recomputed from "
+                  "prompt, %zu dedupe drops\n",
+                  fm.fleet.replica_crashes, fm.fleet.snapshots_written,
+                  static_cast<double>(fm.fleet.snapshot_bytes) / 1e6,
+                  fm.fleet.snapshot_restores, fm.fleet.snapshot_corruptions,
+                  fm.fleet.restored_requests, fm.fleet.replayed_tokens,
+                  fm.fleet.crash_recomputes, fm.fleet.dedupe_drops);
+    }
     for (std::size_t i = 0; i < fm.replicas.size(); ++i) {
       const serving::ServingMetrics& rm = fm.replicas[i];
-      std::printf("    replica %zu: %zu done, %zu timed-out, %zu shed, "
-                  "%zu preemptions, TTFT p99 %.2f s\n",
-                  i, rm.completed, rm.timed_out, rm.shed, rm.preemptions,
+      // Entries past replica_count are crashed incarnations: their
+      // pre-crash terminal requests, reported separately from the
+      // replacement engine that finished the run on that slot.
+      if (i < fm.replica_count) {
+        std::printf("    replica %zu: ", i);
+      } else {
+        std::printf("    crashed incarnation %zu: ",
+                    i - fm.replica_count);
+      }
+      std::printf("%zu done, %zu timed-out, %zu shed, %zu preemptions, "
+                  "TTFT p99 %.2f s\n",
+                  rm.completed, rm.timed_out, rm.shed, rm.preemptions,
                   rm.ttft_p99);
+    }
+    if (chaos_seed != 0 || !audit.ok) {
+      if (audit.ok) {
+        std::printf("  chaos audit: OK — %zu requests, every invariant "
+                    "held\n",
+                    trace.size());
+      } else {
+        for (const std::string& f : audit.failures) {
+          std::printf("  chaos audit FAILED: %s\n", f.c_str());
+        }
+        return 1;
+      }
     }
     if (fm.hit_time_limit) {
       std::printf("  WARNING: simulation time limit hit with %zu requests "
